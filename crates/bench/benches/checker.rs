@@ -1,0 +1,50 @@
+//! Model-checker throughput: enumeration, closure, convergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonmask_checker::{check_convergence, is_closed, Fairness, StateSpace};
+use nonmask_program::Predicate;
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(10);
+
+    for (n, k) in [(3usize, 3i64), (4, 4), (5, 5)] {
+        let ring = TokenRing::new(n, k);
+        group.bench_with_input(BenchmarkId::new("enumerate/ring", n), &n, |b, _| {
+            b.iter(|| StateSpace::enumerate(ring.program()).expect("bounded"))
+        });
+        let space = StateSpace::enumerate(ring.program()).expect("bounded");
+        let s = ring.invariant();
+        group.bench_with_input(BenchmarkId::new("closure/ring", n), &n, |b, _| {
+            b.iter(|| is_closed(&space, ring.program(), &s))
+        });
+        group.bench_with_input(BenchmarkId::new("convergence/ring", n), &n, |b, _| {
+            b.iter(|| {
+                check_convergence(
+                    &space,
+                    ring.program(),
+                    &Predicate::always_true(),
+                    &s,
+                    Fairness::WeaklyFair,
+                )
+            })
+        });
+    }
+
+    let dc = DiffusingComputation::new(&Tree::binary(5));
+    let design = dc.design().expect("design");
+    group.bench_function("verify/diffusing-binary-5", |b| {
+        b.iter(|| design.verify().expect("verifiable"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

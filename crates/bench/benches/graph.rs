@@ -1,0 +1,30 @@
+//! Constraint-graph micro-benchmarks: derivation, classification, ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::Tree;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint-graph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [15usize, 63, 255, 1023] {
+        let dc = DiffusingComputation::new(&Tree::binary(n));
+        let design = dc.design().expect("design");
+        group.bench_with_input(BenchmarkId::new("derive", n), &n, |b, _| {
+            b.iter(|| design.constraint_graph().expect("graph"))
+        });
+        let graph = design.constraint_graph().expect("graph");
+        group.bench_with_input(BenchmarkId::new("shape", n), &n, |b, _| {
+            b.iter(|| graph.shape())
+        });
+        group.bench_with_input(BenchmarkId::new("ranks", n), &n, |b, _| {
+            b.iter(|| graph.ranks().expect("ranks"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

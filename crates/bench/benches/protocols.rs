@@ -1,0 +1,55 @@
+//! Protocol step throughput under the shared-memory engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonmask_program::scheduler::RoundRobin;
+use nonmask_program::{Executor, RunConfig};
+use nonmask_protocols::atomic::AtomicActions;
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol-steps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let config = RunConfig::default().max_steps(10_000);
+
+    for n in [8usize, 64, 256] {
+        let ring = TokenRing::new(n, n as i64);
+        group.bench_with_input(BenchmarkId::new("token-ring-10k-steps", n), &n, |b, _| {
+            b.iter(|| {
+                Executor::new(ring.program()).run(
+                    ring.initial_state(),
+                    &mut RoundRobin::new(),
+                    &config,
+                )
+            })
+        });
+    }
+
+    for n in [7usize, 63, 255] {
+        let dc = DiffusingComputation::new(&Tree::binary(n));
+        group.bench_with_input(BenchmarkId::new("diffusing-10k-steps", n), &n, |b, _| {
+            b.iter(|| {
+                Executor::new(dc.program()).run(
+                    dc.initial_state(),
+                    &mut RoundRobin::new(),
+                    &config,
+                )
+            })
+        });
+    }
+
+    let aa = AtomicActions::new(16);
+    group.bench_function("atomic-actions-10k-steps/16", |b| {
+        b.iter(|| {
+            Executor::new(aa.program()).run(aa.initial_state(), &mut RoundRobin::new(), &config)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

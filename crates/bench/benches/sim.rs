@@ -1,0 +1,57 @@
+//! Message-passing simulator round throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+use nonmask_sim::{Refinement, SimConfig, Simulation};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim-rounds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for n in [16usize, 64, 256] {
+        let ring = TokenRing::new(n, n as i64);
+        let refinement = Refinement::new(ring.program()).expect("refinable");
+        group.bench_with_input(BenchmarkId::new("ring-100-rounds", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    ring.program(),
+                    refinement.clone(),
+                    ring.initial_state(),
+                    SimConfig::default(),
+                );
+                for _ in 0..100 {
+                    sim.round();
+                }
+                sim.steps()
+            })
+        });
+    }
+
+    for n in [15usize, 63, 255] {
+        let dc = DiffusingComputation::new(&Tree::binary(n));
+        let refinement = Refinement::new(dc.program()).expect("refinable");
+        group.bench_with_input(BenchmarkId::new("diffusing-100-rounds", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    dc.program(),
+                    refinement.clone(),
+                    dc.initial_state(),
+                    SimConfig::default(),
+                );
+                for _ in 0..100 {
+                    sim.round();
+                }
+                sim.steps()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

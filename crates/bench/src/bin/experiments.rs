@@ -1,0 +1,79 @@
+//! Command-line driver for the reproduction experiments.
+//!
+//! ```text
+//! experiments                      # run everything, print tables
+//! experiments all                  # same
+//! experiments e3 e8                # run selected experiments
+//! experiments --list               # list experiment ids
+//! experiments all --json out.json  # also write machine-readable results
+//! ```
+
+use std::process::ExitCode;
+
+#[derive(serde::Serialize)]
+struct ExperimentResult<'a> {
+    id: &'a str,
+    report: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for id in nonmask_bench::ALL {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut json_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            let Some(path) = args.get(i + 1) else {
+                eprintln!("--json needs a file path");
+                return ExitCode::FAILURE;
+            };
+            json_path = Some(path.clone());
+            i += 2;
+        } else {
+            selected.push(args[i].clone());
+            i += 1;
+        }
+    }
+
+    let ids: Vec<&str> = if selected.is_empty() || selected.iter().any(|a| a == "all") {
+        nonmask_bench::ALL.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for a in &selected {
+            let a = a.as_str();
+            if nonmask_bench::ALL.contains(&a) {
+                ids.push(a);
+            } else {
+                eprintln!("unknown experiment `{a}`; known: {:?}", nonmask_bench::ALL);
+                return ExitCode::FAILURE;
+            }
+        }
+        ids
+    };
+
+    let mut results = Vec::new();
+    for id in ids {
+        println!("=============================================================");
+        let report = nonmask_bench::run(id);
+        println!("{report}");
+        results.push(ExperimentResult { id, report });
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serializable results");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

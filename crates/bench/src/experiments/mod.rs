@@ -1,0 +1,16 @@
+//! Experiment implementations, grouped by kind.
+//!
+//! - [`verify`] — mechanical re-verification of the paper's claims
+//!   (F1, E1, E2, E3, E8, E10).
+//! - [`dynamics`] — convergence-cost measurements (E4, E5, E6).
+//! - [`faults`] — availability under sustained fault load (E7).
+//! - [`refinement`] — shared memory vs message passing vs threads (E9).
+//! - [`nonmasking`] — derived fault spans, S ⊂ T ⊂ true (E11).
+//! - [`cost`] — expected vs worst-case moves; network sensitivity (E12, E13).
+
+pub mod cost;
+pub mod dynamics;
+pub mod faults;
+pub mod nonmasking;
+pub mod refinement;
+pub mod verify;

@@ -1,0 +1,179 @@
+//! The preservation oracle and closure checking.
+//!
+//! "An action of `p` preserves a state predicate `R` iff starting from any
+//! state where the action is enabled and `R` holds, executing the action
+//! yields a state where `R` holds. A state predicate `R` of `p` is closed
+//! iff each action of `p` preserves `R`." (Section 2.)
+
+use nonmask_program::{ActionId, Predicate, Program, State};
+
+use crate::space::StateSpace;
+
+/// A witnessed preservation failure: executing `action` at `before` (where
+/// the checked predicate held) produced `after` (where it does not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violating action.
+    pub action: ActionId,
+    /// The state before execution (predicate held, guard held).
+    pub before: State,
+    /// The state after execution (predicate violated).
+    pub after: State,
+}
+
+impl Violation {
+    /// Render the violation against `program` for diagnostics.
+    pub fn render(&self, program: &Program) -> String {
+        format!(
+            "action `{}` violated the predicate: {} -> {}",
+            program.action(self.action).name(),
+            program.render_state(&self.before),
+            program.render_state(&self.after),
+        )
+    }
+}
+
+/// Does `action` preserve `pred`?
+///
+/// Checks every state of `space` where `pred` and the guard hold; returns
+/// the first violation found, or `None` if the action preserves `pred`.
+pub fn preserves(
+    space: &StateSpace,
+    program: &Program,
+    action: ActionId,
+    pred: &Predicate,
+) -> Option<Violation> {
+    preserves_given(space, program, action, pred, &Predicate::always_true())
+}
+
+/// Does `action` preserve `pred` in states where `assuming` also holds?
+///
+/// This is Theorem 3's conditional preservation: "each closure action of
+/// `p` preserves each constraint in that partition *whenever all constraints
+/// in lower numbered partitions hold*". Only states satisfying
+/// `assuming ∧ pred ∧ guard` are considered.
+pub fn preserves_given(
+    space: &StateSpace,
+    program: &Program,
+    action: ActionId,
+    pred: &Predicate,
+    assuming: &Predicate,
+) -> Option<Violation> {
+    let act = program.action(action);
+    for id in space.ids() {
+        let state = space.state(id);
+        if !assuming.holds(state) || !pred.holds(state) || !act.enabled(state) {
+            continue;
+        }
+        let after = act.successor(state);
+        if !pred.holds(&after) {
+            return Some(Violation {
+                action,
+                before: state.clone(),
+                after,
+            });
+        }
+    }
+    None
+}
+
+/// Is `pred` closed in `program` (preserved by *every* action)?
+///
+/// Returns the first violation found, or `None` when `pred` is closed.
+/// This discharges the paper's Closure requirement for both the invariant
+/// `S` and the fault-span `T`.
+pub fn is_closed(space: &StateSpace, program: &Program, pred: &Predicate) -> Option<Violation> {
+    program
+        .action_ids()
+        .find_map(|a| preserves(space, program, a, pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::Domain;
+
+    /// x, y in 0..=3; action `copy` sets y := x; action `bump` increments x
+    /// (wrapping).
+    fn program() -> Program {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::range(0, 3));
+        let y = b.var("y", Domain::range(0, 3));
+        b.closure_action("copy", [x, y], [y], |_| true, move |s| {
+            let v = s.get(x);
+            s.set(y, v);
+        });
+        b.closure_action("bump", [x], [x], |_| true, move |s| {
+            let v = s.get(x);
+            s.set(x, (v + 1) % 4);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn copy_preserves_equality_bump_does_not() {
+        let p = program();
+        let x = p.var_by_name("x").unwrap();
+        let y = p.var_by_name("y").unwrap();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let eq = Predicate::new("x=y", [x, y], move |s| s.get(x) == s.get(y));
+        let copy = p.action_ids().next().unwrap();
+        let bump = p.action_ids().nth(1).unwrap();
+
+        assert!(preserves(&space, &p, copy, &eq).is_none());
+        let v = preserves(&space, &p, bump, &eq).expect("bump breaks x=y");
+        assert_eq!(v.action, bump);
+        assert!(eq.holds(&v.before));
+        assert!(!eq.holds(&v.after));
+        assert!(v.render(&p).contains("bump"));
+    }
+
+    #[test]
+    fn closure_of_trivial_predicates() {
+        let p = program();
+        let space = StateSpace::enumerate(&p).unwrap();
+        assert!(is_closed(&space, &p, &Predicate::always_true()).is_none());
+        // `false` is vacuously closed: it never holds before execution.
+        assert!(is_closed(&space, &p, &Predicate::always_false()).is_none());
+    }
+
+    #[test]
+    fn is_closed_finds_any_violator() {
+        let p = program();
+        let x = p.var_by_name("x").unwrap();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let x0 = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
+        let v = is_closed(&space, &p, &x0).expect("bump violates x=0");
+        assert_eq!(p.action(v.action).name(), "bump");
+    }
+
+    #[test]
+    fn conditional_preservation() {
+        let p = program();
+        let x = p.var_by_name("x").unwrap();
+        let y = p.var_by_name("y").unwrap();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let bump = p.action_ids().nth(1).unwrap();
+
+        // bump does not preserve y<=x in general (x wraps 3 -> 0) …
+        let le = Predicate::new("y<=x", [x, y], move |s| s.get(y) <= s.get(x));
+        assert!(preserves(&space, &p, bump, &le).is_some());
+        // … but it does when assuming x<3 (no wrap happens).
+        let small = Predicate::new("x<3", [x], move |s| s.get(x) < 3);
+        assert!(preserves_given(&space, &p, bump, &le, &small).is_none());
+    }
+
+    #[test]
+    fn guard_restriction_matters() {
+        // An action whose effect would break the predicate, but whose guard
+        // never lets it run in predicate states, preserves the predicate.
+        let mut b = Program::builder("g");
+        let x = b.var("x", Domain::range(0, 3));
+        b.closure_action("wreck", [x], [x], move |s| s.get(x) > 1, move |s| s.set(x, 3));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let small = Predicate::new("x<=1", [x], move |s| s.get(x) <= 1);
+        let a = p.action_ids().next().unwrap();
+        assert!(preserves(&space, &p, a, &small).is_none());
+    }
+}

@@ -1,0 +1,513 @@
+//! Convergence checking.
+//!
+//! The Convergence requirement (Section 3): *every computation of `p` that
+//! starts at any state where `T` holds reaches a state where `S` holds.*
+//!
+//! Over a finite state space this reduces to analyzing the *region*
+//! `T ∧ ¬S`. A computation can fail to reach `S` in exactly three ways:
+//!
+//! 1. it gets stuck at a region state with no enabled action (a finite
+//!    maximal computation ending outside `S`),
+//! 2. it leaves both `S` and `T` (only possible when `T` is not closed —
+//!    reported so callers notice the missing closure proof), or
+//! 3. it stays in the region forever, cycling.
+//!
+//! Case 3 depends on fairness. Under an **unfair** daemon any cycle inside
+//! the region is a legal computation. Under the paper's **weakly fair**
+//! daemon ("each action that is continuously enabled is eventually
+//! executed"), an infinite computation confined to a strongly connected
+//! component `Q` of the region is legal iff every action enabled at *all*
+//! states of `Q` has at least one transition that stays inside `Q`: any
+//! such action is continuously enabled, so it must be executed infinitely
+//! often, and if each of its executions left `Q` the computation could not
+//! remain in `Q`. (Conversely, when every always-enabled action has an
+//! internal transition, a fair schedule staying in `Q` exists: tour all of
+//! `Q` repeatedly, splicing in each always-enabled action's internal
+//! transition.)
+
+use nonmask_program::{Predicate, Program, State};
+
+use crate::space::{StateId, StateSpace};
+
+/// The daemon assumption under which convergence is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fairness {
+    /// No fairness: every region cycle is a legal computation. Programs
+    /// converging under this assumption satisfy Section 8's remark that
+    /// "the fairness requirement … is often unnecessary".
+    Unfair,
+    /// Weak fairness over actions, the paper's computation model
+    /// (Section 2).
+    WeaklyFair,
+}
+
+impl std::fmt::Display for Fairness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fairness::Unfair => f.write_str("unfair"),
+            Fairness::WeaklyFair => f.write_str("weakly-fair"),
+        }
+    }
+}
+
+/// The outcome of a convergence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvergenceResult {
+    /// Every computation from `T` reaches `S`.
+    Converges,
+    /// A maximal finite computation ends outside `S`: `state` is in the
+    /// region and no action is enabled there.
+    DeadlockOutsideTarget {
+        /// The stuck state.
+        state: State,
+    },
+    /// A transition leaves both `S` and `T` — the fault span is not closed,
+    /// so the convergence question is ill-posed as stated.
+    EscapesFaultSpan {
+        /// Region state the transition starts from.
+        before: State,
+        /// Successor outside `S ∪ T`.
+        after: State,
+    },
+    /// A legal infinite computation stays inside the region forever. The
+    /// witness is one strongly connected component it can inhabit.
+    Divergence {
+        /// States of the witnessing component (or cycle).
+        states: Vec<State>,
+        /// The fairness assumption under which the witness is legal.
+        fairness: Fairness,
+    },
+}
+
+impl ConvergenceResult {
+    /// Whether the check succeeded.
+    pub fn converges(&self) -> bool {
+        matches!(self, ConvergenceResult::Converges)
+    }
+}
+
+/// Check that every computation of `program` from `from` (the fault span
+/// `T`) reaches `to` (the invariant `S`), under the given fairness
+/// assumption.
+///
+/// `Converges` under [`Fairness::Unfair`] implies `Converges` under
+/// [`Fairness::WeaklyFair`]; divergence witnesses found under
+/// `WeaklyFair` are also divergences under `Unfair`.
+pub fn check_convergence(
+    space: &StateSpace,
+    program: &Program,
+    from: &Predicate,
+    to: &Predicate,
+    fairness: Fairness,
+) -> ConvergenceResult {
+    // Region: T ∧ ¬S, with a dense local numbering.
+    let mut local = vec![u32::MAX; space.len()];
+    let mut region: Vec<StateId> = Vec::new();
+    for id in space.ids() {
+        let s = space.state(id);
+        if from.holds(s) && !to.holds(s) {
+            local[id.index()] = region.len() as u32;
+            region.push(id);
+        }
+    }
+    if region.is_empty() {
+        return ConvergenceResult::Converges;
+    }
+
+    // Deadlocks, escapes, and the region-internal adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); region.len()];
+    for (li, &id) in region.iter().enumerate() {
+        let succs = space.successors(id);
+        if succs.is_empty() {
+            return ConvergenceResult::DeadlockOutsideTarget {
+                state: space.state(id).clone(),
+            };
+        }
+        for &(_, t) in succs {
+            let ts = space.state(t);
+            if to.holds(ts) {
+                continue; // exits into S
+            }
+            if !from.holds(ts) {
+                return ConvergenceResult::EscapesFaultSpan {
+                    before: space.state(id).clone(),
+                    after: ts.clone(),
+                };
+            }
+            adj[li].push(local[t.index()]);
+        }
+    }
+
+    // Strongly connected components of the region subgraph (iterative
+    // Tarjan), keeping only components that contain at least one internal
+    // edge (a single state with no self-transition cannot host a cycle).
+    let sccs = tarjan_sccs(&adj);
+    for scc in &sccs {
+        let has_internal_edge = scc.iter().any(|&u| {
+            adj[u as usize]
+                .iter()
+                .any(|v| scc.binary_search(v).is_ok())
+        });
+        if !has_internal_edge {
+            continue;
+        }
+        let divergent = match fairness {
+            Fairness::Unfair => true,
+            Fairness::WeaklyFair => fair_admissible(space, program, &region, scc),
+        };
+        if divergent {
+            return ConvergenceResult::Divergence {
+                states: scc
+                    .iter()
+                    .map(|&u| space.state(region[u as usize]).clone())
+                    .collect(),
+                fairness,
+            };
+        }
+    }
+
+    ConvergenceResult::Converges
+}
+
+/// Whether the SCC admits a weakly fair infinite computation: every action
+/// enabled at all of its states must have a transition staying inside it.
+fn fair_admissible(
+    space: &StateSpace,
+    program: &Program,
+    region: &[StateId],
+    scc: &[u32],
+) -> bool {
+    let in_scc = |sid: StateId| -> bool {
+        // Map the global state id back to the region-local index and check
+        // membership (scc is sorted).
+        region
+            .binary_search(&sid)
+            .ok()
+            .map(|li| scc.binary_search(&(li as u32)).is_ok())
+            .unwrap_or(false)
+    };
+
+    'actions: for aid in program.action_ids() {
+        let act = program.action(aid);
+        let mut has_internal = false;
+        for &u in scc {
+            let sid = region[u as usize];
+            if !act.enabled(space.state(sid)) {
+                // Not continuously enabled on a tour of the SCC: imposes no
+                // fairness obligation here.
+                continue 'actions;
+            }
+            if !has_internal {
+                has_internal = space
+                    .successors(sid)
+                    .iter()
+                    .any(|&(a, t)| a == aid && in_scc(t));
+            }
+        }
+        if !has_internal {
+            // `aid` is enabled everywhere in the SCC but every execution
+            // leaves it: a fair computation cannot stay forever.
+            return false;
+        }
+    }
+    true
+}
+
+/// A breadth-first witness path: from some state satisfying `from` to the
+/// first state in `targets`, following program transitions. Used to turn a
+/// divergence witness (the SCC states of
+/// [`ConvergenceResult::Divergence`]) into a full counterexample
+/// computation a reader can replay.
+///
+/// Returns `None` when no target is reachable from `from` (then the
+/// divergence is only reachable via fault actions, not program steps).
+pub fn shortest_path_to(
+    space: &StateSpace,
+    program: &Program,
+    from: &Predicate,
+    targets: &[State],
+) -> Option<Vec<State>> {
+    let _ = program;
+    let mut target_ids = vec![false; space.len()];
+    for t in targets {
+        if let Some(id) = space.id_of(t) {
+            target_ids[id.index()] = true;
+        }
+    }
+    let mut parent: Vec<Option<StateId>> = vec![None; space.len()];
+    let mut seen = vec![false; space.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for id in space.ids() {
+        if from.holds(space.state(id)) {
+            seen[id.index()] = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        if target_ids[id.index()] {
+            // Rebuild the path.
+            let mut path = vec![space.state(id).clone()];
+            let mut cur = id;
+            while let Some(p) = parent[cur.index()] {
+                path.push(space.state(p).clone());
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(_, next) in space.successors(id) {
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                parent[next.index()] = Some(id);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan SCC. Returns each component as a sorted vector of
+/// node indices.
+fn tarjan_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != u32::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v as usize].len() {
+                let w = adj[v as usize][*ci];
+                *ci += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::{Domain, Program};
+
+    fn pred_eq(p: &Program, name: &str, var: &str, value: i64) -> Predicate {
+        let v = p.var_by_name(var).unwrap();
+        Predicate::new(name, [v], move |s| s.get(v) == value)
+    }
+
+    #[test]
+    fn converging_countdown() {
+        let mut b = Program::builder("down");
+        let x = b.var("x", Domain::range(0, 5));
+        b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
+            let v = s.get(x);
+            s.set(x, v - 1);
+        });
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        for fairness in [Fairness::Unfair, Fairness::WeaklyFair] {
+            assert!(
+                check_convergence(&space, &p, &Predicate::always_true(), &s, fairness)
+                    .converges()
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_outside_target_detected() {
+        // x=2 is absorbing with no enabled action, and not the target.
+        let mut b = Program::builder("stuck");
+        let x = b.var("x", Domain::range(0, 2));
+        b.convergence_action("go", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 0));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let r = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+        assert!(
+            matches!(r, ConvergenceResult::DeadlockOutsideTarget { ref state } if state.slots() == [2])
+        );
+    }
+
+    #[test]
+    fn unfair_cycle_detected_but_fairness_rescues() {
+        // Two actions at every ¬S state: `spin` toggles y and stays in the
+        // region; `exit` jumps to the target. Unfair daemons can spin
+        // forever; a weakly fair daemon must eventually run `exit`.
+        let mut b = Program::builder("spin");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        b.closure_action("spin", [x, y], [y], move |s| !s.get_bool(x), move |s| s.toggle(y));
+        b.convergence_action("exit", [x], [x], move |s| !s.get_bool(x), move |s| {
+            s.set_bool(x, true)
+        });
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = Predicate::new("x", [x], move |st| st.get_bool(x));
+
+        let unfair = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair);
+        assert!(
+            matches!(unfair, ConvergenceResult::Divergence { ref states, fairness: Fairness::Unfair } if states.len() == 2)
+        );
+
+        let fair =
+            check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+        assert!(fair.converges(), "weak fairness forces `exit`: {fair:?}");
+    }
+
+    #[test]
+    fn fair_divergence_detected() {
+        // The only enabled action in the region cycles within it: even fair
+        // computations never reach the target.
+        let mut b = Program::builder("livelock");
+        let y = b.var("y", Domain::Bool);
+        let x = b.var("x", Domain::Bool);
+        b.closure_action("toggle", [x, y], [y], move |s| !s.get_bool(x), move |s| s.toggle(y));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = Predicate::new("x", [x], move |st| st.get_bool(x));
+        let r = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+        assert!(
+            matches!(r, ConvergenceResult::Divergence { fairness: Fairness::WeaklyFair, .. }),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn self_loop_divergence_under_unfair_only() {
+        // `stay` leaves the state unchanged (self-loop); `exit` leaves the
+        // region. Unfair: stay forever. Fair: exit eventually runs.
+        let mut b = Program::builder("selfloop");
+        let x = b.var("x", Domain::Bool);
+        b.closure_action("stay", [x], [x], move |s| !s.get_bool(x), move |_s| {});
+        b.convergence_action("exit", [x], [x], move |s| !s.get_bool(x), move |s| {
+            s.set_bool(x, true)
+        });
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = Predicate::new("x", [x], move |st| st.get_bool(x));
+
+        let unfair = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair);
+        assert!(matches!(unfair, ConvergenceResult::Divergence { ref states, .. } if states.len() == 1));
+        assert!(
+            check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair)
+                .converges()
+        );
+    }
+
+    #[test]
+    fn escape_from_fault_span_detected() {
+        // T = x<=1, but the region action jumps to x=2 ∉ T ∪ S.
+        let mut b = Program::builder("escape");
+        let x = b.var("x", Domain::range(0, 2));
+        b.closure_action("jump", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 2));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let x_id = p.var_by_name("x").unwrap();
+        let t = Predicate::new("x<=1", [x_id], move |st| st.get(x_id) <= 1);
+        let r = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair);
+        assert!(matches!(r, ConvergenceResult::EscapesFaultSpan { .. }), "got {r:?}");
+    }
+
+    #[test]
+    fn empty_region_converges_trivially() {
+        let mut b = Program::builder("trivial");
+        let x = b.var("x", Domain::Bool);
+        let _ = x;
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let r = check_convergence(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &Predicate::always_true(),
+            Fairness::WeaklyFair,
+        );
+        assert!(r.converges());
+    }
+
+    #[test]
+    fn region_limited_to_fault_span() {
+        // Outside T there is a livelock, but convergence is only claimed
+        // from T, so it must not be reported.
+        let mut b = Program::builder("scoped");
+        let x = b.var("x", Domain::range(0, 2));
+        // At x=2 (outside T=x<=1): spin forever via self-loop.
+        b.closure_action("spin", [x], [x], move |s| s.get(x) == 2, move |_s| {});
+        // At x=1: move to 0.
+        b.convergence_action("fix", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 0));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let t = Predicate::new("x<=1", [p.var_by_name("x").unwrap()], {
+            let x = p.var_by_name("x").unwrap();
+            move |st| st.get(x) <= 1
+        });
+        let r = check_convergence(&space, &p, &t, &s, Fairness::Unfair);
+        assert!(r.converges(), "got {r:?}");
+    }
+
+    #[test]
+    fn tarjan_handles_multiple_components() {
+        // Direct unit test of the SCC helper.
+        // 0 -> 1 -> 0 (SCC {0,1}); 2 -> 3 (two singletons); 4 self-loop.
+        let adj = vec![vec![1], vec![0], vec![3], vec![], vec![4]];
+        let mut sccs = tarjan_sccs(&adj);
+        sccs.sort();
+        assert!(sccs.contains(&vec![0, 1]));
+        assert!(sccs.contains(&vec![2]));
+        assert!(sccs.contains(&vec![3]));
+        assert!(sccs.contains(&vec![4]));
+        assert_eq!(sccs.len(), 4);
+    }
+
+    #[test]
+    fn fairness_display() {
+        assert_eq!(Fairness::Unfair.to_string(), "unfair");
+        assert_eq!(Fairness::WeaklyFair.to_string(), "weakly-fair");
+    }
+}

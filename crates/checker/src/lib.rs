@@ -1,0 +1,63 @@
+//! Exhaustive verification of closure and convergence.
+//!
+//! The paper's design method discharges two proof obligations per program
+//! (Section 3):
+//!
+//! - **Closure** — the invariant `S` and the fault-span `T` are closed
+//!   under every program action; each closure action moreover preserves
+//!   each individual constraint (the first antecedent of Theorems 1–3).
+//! - **Convergence** — every computation starting in `T` reaches `S`.
+//!
+//! The paper discharges these by hand; this crate discharges them
+//! mechanically for programs over bounded domains, by enumerating the full
+//! state space:
+//!
+//! - [`StateSpace`] — enumeration and indexing of every state.
+//! - [`closure`] — the *preservation oracle* (`does action a preserve
+//!   predicate c?`), plain and conditional (Theorem 3's "whenever all
+//!   constraints in lower-numbered partitions hold").
+//! - [`convergence`] — convergence checking under an unfair daemon (no
+//!   cycle may exist outside `S`) and under the paper's weakly fair daemon
+//!   (no *fair-admissible* cycle may exist: a strongly connected component
+//!   every always-enabled action of which can be executed without leaving
+//!   the component).
+//! - [`bounds`] — worst-case convergence move counts and variant-function
+//!   validation (the concluding remarks' discussion of variant functions).
+//!
+//! # Example: verifying a tiny stabilizing program
+//!
+//! ```
+//! use nonmask_program::{Domain, Predicate, Program};
+//! use nonmask_checker::{StateSpace, convergence::{check_convergence, Fairness, ConvergenceResult}};
+//!
+//! // One variable that convergence actions drive to 0.
+//! let mut b = Program::builder("to-zero");
+//! let x = b.var("x", Domain::range(0, 3));
+//! b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
+//!     let v = s.get(x);
+//!     s.set(x, v - 1);
+//! });
+//! let p = b.build();
+//! let space = StateSpace::enumerate(&p).unwrap();
+//! let s = Predicate::new("x=0", [x], move |st| st.get(x) == 0);
+//! let t = Predicate::always_true();
+//! let result = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair);
+//! assert!(matches!(result, ConvergenceResult::Converges));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod closure;
+pub mod convergence;
+pub mod expected;
+pub mod space;
+pub mod span;
+
+pub use bounds::{check_variant, worst_case_moves, VariantReport};
+pub use closure::{is_closed, preserves, preserves_given, Violation};
+pub use convergence::{check_convergence, shortest_path_to, ConvergenceResult, Fairness};
+pub use expected::{expected_moves, ExpectedMoves};
+pub use space::{SpaceError, StateId, StateSpace};
+pub use span::{compute_fault_span, StateSet};

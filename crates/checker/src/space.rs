@@ -1,0 +1,292 @@
+//! State-space enumeration and indexing.
+
+use std::collections::HashMap;
+
+use nonmask_program::{ActionId, Predicate, Program, State};
+
+/// Identifier of a state within a [`StateSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Positional index of the state in its space.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Errors raised while enumerating a state space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The program has an unbounded variable; its state space cannot be
+    /// enumerated. Bound the variable (e.g. the `mod K` token-ring
+    /// refinement) to check it.
+    Unbounded {
+        /// Name of the unbounded variable.
+        var: String,
+    },
+    /// The state space exceeds the configured limit.
+    TooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::Unbounded { var } =>
+
+                write!(f, "variable `{var}` is unbounded; state space cannot be enumerated"),
+            SpaceError::TooLarge { limit } => {
+                write!(f, "state space exceeds the limit of {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// The fully enumerated state space of a bounded program, with transitions.
+///
+/// Construction enumerates every state (the cross product of all domains)
+/// and every transition `(state, enabled action) → successor`. Memory is
+/// proportional to `|states| + |transitions|`; the default limit of
+/// 2 million states keeps accidental blow-ups at bay.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    states: Vec<State>,
+    index: HashMap<State, StateId>,
+    /// Per state: `(action, successor)` for every enabled action.
+    transitions: Vec<Vec<(ActionId, StateId)>>,
+}
+
+/// Default cap on the number of states [`StateSpace::enumerate`] will build.
+pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
+
+impl StateSpace {
+    /// Enumerate the full state space of `program`, with the
+    /// [default limit](DEFAULT_STATE_LIMIT).
+    ///
+    /// ```
+    /// use nonmask_program::{Domain, Program};
+    /// use nonmask_checker::StateSpace;
+    ///
+    /// let mut b = Program::builder("two-bools");
+    /// b.var("a", Domain::Bool);
+    /// b.var("b", Domain::Bool);
+    /// let p = b.build();
+    /// let space = StateSpace::enumerate(&p)?;
+    /// assert_eq!(space.len(), 4);
+    /// # Ok::<(), nonmask_checker::SpaceError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SpaceError::Unbounded`] for unbounded programs;
+    /// [`SpaceError::TooLarge`] when the limit is exceeded.
+    pub fn enumerate(program: &Program) -> Result<Self, SpaceError> {
+        Self::enumerate_with_limit(program, DEFAULT_STATE_LIMIT)
+    }
+
+    /// Enumerate with an explicit state-count limit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateSpace::enumerate`].
+    pub fn enumerate_with_limit(program: &Program, limit: usize) -> Result<Self, SpaceError> {
+        if let Some(size) = program.state_space_size() {
+            if size > limit as u128 {
+                return Err(SpaceError::TooLarge { limit });
+            }
+        }
+        let iter = program.enumerate_states().map_err(|e| match e {
+            nonmask_program::ProgramError::UnboundedDomain { var } => SpaceError::Unbounded { var },
+            other => unreachable!("enumerate_states only fails on unbounded domains: {other}"),
+        })?;
+
+        let mut states = Vec::new();
+        let mut index = HashMap::new();
+        for (i, s) in iter.enumerate() {
+            if i >= limit {
+                return Err(SpaceError::TooLarge { limit });
+            }
+            index.insert(s.clone(), StateId(i as u32));
+            states.push(s);
+        }
+
+        let mut transitions = Vec::with_capacity(states.len());
+        for s in &states {
+            let mut outs = Vec::new();
+            for a in program.enabled_actions(s) {
+                let succ = program.action(a).successor(s);
+                let id = *index
+                    .get(&succ)
+                    .unwrap_or_else(|| panic!(
+                        "action `{}` left the state space (wrote {}); domains must be closed under all actions",
+                        program.action(a).name(),
+                        program.render_state(&succ),
+                    ));
+                outs.push((a, id));
+            }
+            transitions.push(outs);
+        }
+
+        Ok(StateSpace {
+            states,
+            index,
+            transitions,
+        })
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the space has no states (impossible for valid programs — a
+    /// program with zero variables still has the single empty state).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// All state ids.
+    pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len()).map(|i| StateId(i as u32))
+    }
+
+    /// The state with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this space.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// The id of `state`, if it belongs to this space.
+    pub fn id_of(&self, state: &State) -> Option<StateId> {
+        self.index.get(state).copied()
+    }
+
+    /// The `(action, successor)` pairs of every action enabled at `id`.
+    pub fn successors(&self, id: StateId) -> &[(ActionId, StateId)] {
+        &self.transitions[id.index()]
+    }
+
+    /// Ids of the states satisfying `pred`.
+    pub fn satisfying(&self, pred: &Predicate) -> Vec<StateId> {
+        self.ids().filter(|&i| pred.holds(self.state(i))).collect()
+    }
+
+    /// Number of states satisfying `pred`.
+    pub fn count_satisfying(&self, pred: &Predicate) -> usize {
+        self.ids().filter(|&i| pred.holds(self.state(i))).count()
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::Domain;
+
+    fn counter(max: i64) -> Program {
+        let mut b = Program::builder("counter");
+        let x = b.var("x", Domain::range(0, max));
+        b.closure_action("inc", [x], [x], move |s| s.get(x) < max, move |s| {
+            let v = s.get(x);
+            s.set(x, v + 1);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn enumerates_all_states_and_transitions() {
+        let p = counter(4);
+        let space = StateSpace::enumerate(&p).unwrap();
+        assert_eq!(space.len(), 5);
+        assert_eq!(space.transition_count(), 4, "inc is disabled at x=4");
+        for id in space.ids() {
+            let x = space.state(id).slots()[0];
+            if x < 4 {
+                let succs = space.successors(id);
+                assert_eq!(succs.len(), 1);
+                assert_eq!(space.state(succs[0].1).slots()[0], x + 1);
+            } else {
+                assert!(space.successors(id).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn id_of_roundtrips() {
+        let p = counter(3);
+        let space = StateSpace::enumerate(&p).unwrap();
+        for id in space.ids() {
+            assert_eq!(space.id_of(space.state(id)), Some(id));
+        }
+        assert_eq!(space.id_of(&State::new(vec![99])), None);
+    }
+
+    #[test]
+    fn satisfying_filters() {
+        let p = counter(9);
+        let x = p.var_by_name("x").unwrap();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let even = Predicate::new("even", [x], move |s| s.get(x) % 2 == 0);
+        assert_eq!(space.satisfying(&even).len(), 5);
+        assert_eq!(space.count_satisfying(&even), 5);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let p = counter(1000);
+        assert_eq!(
+            StateSpace::enumerate_with_limit(&p, 100).unwrap_err(),
+            SpaceError::TooLarge { limit: 100 }
+        );
+    }
+
+    #[test]
+    fn unbounded_rejected() {
+        let mut b = Program::builder("u");
+        b.var("y", Domain::Unbounded);
+        let p = b.build();
+        assert!(matches!(
+            StateSpace::enumerate(&p).unwrap_err(),
+            SpaceError::Unbounded { var } if var == "y"
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "left the state space")]
+    fn escaping_action_panics() {
+        let mut b = Program::builder("bad");
+        let x = b.var("x", Domain::range(0, 2));
+        b.closure_action("overflow", [x], [x], |_| true, move |s| s.set(x, 7));
+        let p = b.build();
+        let _ = StateSpace::enumerate(&p);
+    }
+
+    #[test]
+    fn multi_var_space_size() {
+        let mut b = Program::builder("mv");
+        b.var("a", Domain::Bool);
+        b.var("b", Domain::range(0, 2));
+        b.var("c", Domain::enumeration(["x", "y"]));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        assert_eq!(space.len(), 2 * 3 * 2);
+    }
+}

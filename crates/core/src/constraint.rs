@@ -1,0 +1,55 @@
+//! Constraints: the pieces of a decomposed invariant.
+
+use nonmask_program::{ActionId, Predicate};
+
+/// One constraint of the invariant `S`, paired with the convergence action
+/// that independently checks and establishes it (Section 3: "for each
+/// constraint `c` in `S` we design a convergence action that independently
+/// checks `c` and, if need be, establishes `c` while preserving `T`").
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    name: String,
+    predicate: Predicate,
+    action: ActionId,
+}
+
+impl Constraint {
+    /// Pair `predicate` with the convergence action `action` that
+    /// establishes it.
+    pub fn new(name: impl Into<String>, predicate: Predicate, action: ActionId) -> Self {
+        Constraint {
+            name: name.into(),
+            predicate,
+            action,
+        }
+    }
+
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constraint predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// The convergence action establishing this constraint.
+    pub fn action(&self) -> ActionId {
+        self.action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Predicate::always_true();
+        let c = Constraint::new("c0", p, ActionId::from_index(3));
+        assert_eq!(c.name(), "c0");
+        assert_eq!(c.action(), ActionId::from_index(3));
+        assert!(c.predicate().holds(&nonmask_program::State::zeroed(0)));
+    }
+}

@@ -1,0 +1,895 @@
+//! The design workflow: program + constraints → verified tolerance.
+
+use std::collections::HashMap;
+
+use nonmask_checker::{
+    bounds, closure, convergence::check_convergence, Fairness, SpaceError, StateSpace, Violation,
+};
+use nonmask_graph::{
+    ConstraintGraph, ConstraintRef, GraphError, Layering, NodePartition, Shape,
+};
+use nonmask_program::{ActionId, ActionKind, Predicate, Program};
+
+use crate::constraint::Constraint;
+use crate::report::{ClosureReport, StateCounts, TheoremOutcome, ToleranceReport};
+
+/// Errors raised while building or verifying a [`Design`].
+#[derive(Debug, Clone)]
+pub enum DesignError {
+    /// Two constraints share the same convergence action; the paper
+    /// requires a bijection between constraints and convergence actions.
+    DuplicateAction(ActionId),
+    /// A constraint references an action id that is not in the program.
+    UnknownAction(ActionId),
+    /// The constraint graph could not be derived.
+    Graph(GraphError),
+    /// The state space could not be enumerated.
+    Space(SpaceError),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::DuplicateAction(a) => {
+                write!(f, "action {a} is the convergence action of two constraints")
+            }
+            DesignError::UnknownAction(a) => write!(f, "action {a} is not part of the program"),
+            DesignError::Graph(e) => write!(f, "constraint graph: {e}"),
+            DesignError::Space(e) => write!(f, "state space: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<GraphError> for DesignError {
+    fn from(e: GraphError) -> Self {
+        DesignError::Graph(e)
+    }
+}
+
+impl From<SpaceError> for DesignError {
+    fn from(e: SpaceError) -> Self {
+        DesignError::Space(e)
+    }
+}
+
+/// A complete design in the paper's method: a program whose invariant is
+/// the conjunction of the fault span `T` and a set of [`Constraint`]s, a
+/// node partition for the constraint graph, and an optional
+/// [layering](Layering) for Theorem 3.
+///
+/// Built with [`Design::builder`]; verified end-to-end with
+/// [`Design::verify`]. See the [crate docs](crate) for a worked example.
+#[derive(Debug, Clone)]
+pub struct Design {
+    program: Program,
+    constraints: Vec<Constraint>,
+    fault_span: Predicate,
+    partition: NodePartition,
+    layering: Option<Layering>,
+    invariant_override: Option<Predicate>,
+}
+
+impl Design {
+    /// Start building a design around `program`.
+    pub fn builder(program: Program) -> DesignBuilder {
+        DesignBuilder {
+            program,
+            constraints: Vec::new(),
+            fault_span: Predicate::always_true(),
+            partition: None,
+            layering: None,
+            invariant_override: None,
+        }
+    }
+
+    /// The underlying program (closure + convergence actions).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The constraints whose conjunction (with `T`) is the invariant.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The fault span `T`.
+    pub fn fault_span(&self) -> &Predicate {
+        &self.fault_span
+    }
+
+    /// The node partition used for the constraint graph.
+    pub fn partition(&self) -> &NodePartition {
+        &self.partition
+    }
+
+    /// The layering supplied for Theorem 3, if any.
+    pub fn layering(&self) -> Option<&Layering> {
+        self.layering.as_ref()
+    }
+
+    /// The invariant `S`.
+    ///
+    /// By default `S = T ∧ (∀ i :: c_i)` (Section 3: "the constraints in
+    /// `S` are chosen such that their conjunction together with `T`
+    /// equivales `S`"). Designs built with
+    /// [`DesignBuilder::invariant_override`] use the supplied predicate
+    /// instead — the paper's token ring is such a design: its second-layer
+    /// constraints (`x.j = x.(j+1)`) *imply* the second conjunct of `S`
+    /// without being part of it.
+    pub fn invariant(&self) -> Predicate {
+        if let Some(s) = &self.invariant_override {
+            return s.clone();
+        }
+        let all = Predicate::all(
+            "constraints",
+            self.constraints.iter().map(Constraint::predicate),
+        );
+        self.fault_span.and(&all).named("S")
+    }
+
+    /// Derive the constraint graph of the design's convergence actions.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError`] when some convergence action's reads/writes cannot be
+    /// placed on the partition.
+    pub fn constraint_graph(&self) -> Result<ConstraintGraph, GraphError> {
+        let pairs: Vec<(ActionId, ConstraintRef)> = self
+            .constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.action(), ConstraintRef(i)))
+            .collect();
+        ConstraintGraph::derive(&self.program, &self.partition, &pairs)
+    }
+
+    /// Enumerate the state space and run [`Design::verify_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::Space`] for unbounded or oversized programs;
+    /// [`DesignError::Graph`] if the constraint graph cannot be derived.
+    pub fn verify(&self) -> Result<ToleranceReport, DesignError> {
+        let space = StateSpace::enumerate(&self.program)?;
+        self.verify_with(&space)
+    }
+
+    /// Verify the design against a pre-enumerated state space.
+    ///
+    /// Produces a [`ToleranceReport`] combining:
+    ///
+    /// 1. **Closure checks** — `S` and `T` closed; each convergence action
+    ///    guards exactly its constraint's violation and establishes the
+    ///    constraint.
+    /// 2. **Method-level theorem checks** — which of Theorems 1–3 applies
+    ///    (structural shape conditions from the graph crate, semantic
+    ///    preservation obligations discharged by the checker). For merged
+    ///    (closure+convergence) actions the closure-role obligation is
+    ///    checked on invariant states, mirroring the paper's observation
+    ///    that the merged action coincides with the closure action there.
+    /// 3. **Ground truth** — direct model checking of convergence under
+    ///    both weakly fair and unfair daemons, and the worst-case number of
+    ///    moves outside `S`.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::Graph`] if the constraint graph cannot be derived.
+    pub fn verify_with(&self, space: &StateSpace) -> Result<ToleranceReport, DesignError> {
+        let graph = self.constraint_graph()?;
+        let shape = graph.shape();
+        let s = self.invariant();
+        let t = &self.fault_span;
+        let p = &self.program;
+
+        // --- 1. Closure obligations -----------------------------------
+        let closure_report = self.check_closure(space, &s);
+
+        // --- 2. Theorem side conditions --------------------------------
+        // Memoized conditional-preservation oracle.
+        let mut memo: HashMap<(ActionId, usize, u8), bool> = HashMap::new();
+        let mut preserves_under = |a: ActionId, ci: usize, assuming: &Predicate, tag: u8| -> bool {
+            *memo.entry((a, ci, tag)).or_insert_with(|| {
+                closure::preserves_given(
+                    space,
+                    p,
+                    a,
+                    self.constraints[ci].predicate(),
+                    assuming,
+                )
+                .is_none()
+            })
+        };
+
+        let mut reasons: Vec<String> = Vec::new();
+
+        // Structural: every constraint must read only within its edge's two
+        // node labels (this is what makes the rank argument structural).
+        let mut reads_ok = true;
+        for (i, c) in self.constraints.iter().enumerate() {
+            let edge = graph
+                .edge_ids()
+                .map(|e| *graph.edge_ref(e))
+                .find(|e| e.constraint() == ConstraintRef(i))
+                .expect("one edge per constraint");
+            let allowed: Vec<_> = graph.node_ref(edge.from()).vars().iter()
+                .chain(graph.node_ref(edge.to()).vars().iter())
+                .copied()
+                .collect();
+            for r in c.predicate().reads() {
+                if !allowed.contains(r) {
+                    reads_ok = false;
+                    reasons.push(format!(
+                        "constraint `{}` reads {} outside its edge's node labels",
+                        c.name(),
+                        p.var(*r).name()
+                    ));
+                }
+            }
+        }
+
+        // Closure-role preservation: Closure actions on T-states, Combined
+        // actions on S-states.
+        let mut closure_preserve_ok = true;
+        for a in p.action_ids() {
+            let (assuming, tag): (&Predicate, u8) = match p.action(a).kind() {
+                ActionKind::Closure => (t, 0),
+                ActionKind::Combined => (&s, 1),
+                ActionKind::Convergence => continue,
+            };
+            for ci in 0..self.constraints.len() {
+                if p.action(a).kind() == ActionKind::Combined
+                    && self.constraints[ci].action() == a
+                {
+                    continue; // its own constraint is its convergence target
+                }
+                if !preserves_under(a, ci, assuming, tag) {
+                    closure_preserve_ok = false;
+                    reasons.push(format!(
+                        "action `{}` does not preserve constraint `{}`",
+                        p.action(a).name(),
+                        self.constraints[ci].name()
+                    ));
+                }
+            }
+        }
+
+        let theorem = self.select_theorem(
+            space,
+            &graph,
+            shape,
+            t,
+            &s,
+            reads_ok,
+            closure_preserve_ok,
+            &mut preserves_under,
+            &mut reasons,
+        );
+
+        // --- 3. Ground truth -------------------------------------------
+        let conv_fair = check_convergence(space, p, t, &s, Fairness::WeaklyFair);
+        let conv_unfair = check_convergence(space, p, t, &s, Fairness::Unfair);
+        let worst = bounds::worst_case_moves(space, p, t, &s);
+
+        let state_counts = StateCounts {
+            invariant: space.count_satisfying(&s),
+            fault_span: space.count_satisfying(t),
+            total: space.len(),
+        };
+
+        Ok(ToleranceReport {
+            shape,
+            closure: closure_report,
+            theorem,
+            convergence: conv_fair,
+            convergence_unfair: conv_unfair,
+            worst_case_moves: worst,
+            state_counts,
+        })
+    }
+
+    fn check_closure(&self, space: &StateSpace, s: &Predicate) -> ClosureReport {
+        let p = &self.program;
+        let t = &self.fault_span;
+        let invariant = closure::is_closed(space, p, s);
+        let fault_span = closure::is_closed(space, p, t);
+
+        let mut unguarded = Vec::new();
+        let mut non_establishing = Vec::new();
+        for (i, c) in self.constraints.iter().enumerate() {
+            let act = p.action(c.action());
+            // ¬c ∧ T must enable the convergence action.
+            if let Some(id) = space.ids().find(|&id| {
+                let st = space.state(id);
+                t.holds(st) && !c.predicate().holds(st) && !act.enabled(st)
+            }) {
+                unguarded.push((i, space.state(id).clone()));
+            }
+            // Executing from T ∧ guard must establish c.
+            for id in space.ids() {
+                let st = space.state(id);
+                if !t.holds(st) || !act.enabled(st) {
+                    continue;
+                }
+                let after = act.successor(st);
+                if !c.predicate().holds(&after) {
+                    non_establishing.push((
+                        i,
+                        Violation {
+                            action: c.action(),
+                            before: st.clone(),
+                            after,
+                        },
+                    ));
+                    break;
+                }
+            }
+        }
+
+        ClosureReport {
+            invariant,
+            fault_span,
+            unguarded_constraints: unguarded,
+            non_establishing,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn select_theorem(
+        &self,
+        space: &StateSpace,
+        graph: &ConstraintGraph,
+        shape: Shape,
+        t: &Predicate,
+        s: &Predicate,
+        reads_ok: bool,
+        closure_preserve_ok: bool,
+        preserves_under: &mut impl FnMut(ActionId, usize, &Predicate, u8) -> bool,
+        reasons: &mut Vec<String>,
+    ) -> TheoremOutcome {
+        let _ = space;
+        // Theorem 1: out-tree shape + the closure/read conditions.
+        if shape == Shape::OutTree && reads_ok && closure_preserve_ok {
+            let ranks = graph.ranks().expect("out-trees are acyclic");
+            return TheoremOutcome::Theorem1 { ranks };
+        }
+        if shape != Shape::OutTree {
+            reasons.push(format!("constraint graph is {shape}, not an out-tree"));
+        }
+
+        // Theorem 2: self-looping + linear preservation orders.
+        if shape != Shape::Cyclic && reads_ok && closure_preserve_ok {
+            let mut orders = Vec::new();
+            let mut all_ordered = true;
+            for node in graph.node_ids() {
+                match graph.linear_preservation_order(node, |a, c| {
+                    preserves_under(a, c.0, t, 0)
+                }) {
+                    Some(order) => orders.push((node, order)),
+                    None => {
+                        all_ordered = false;
+                        reasons.push(format!(
+                            "no linear preservation order for the actions targeting node `{}`",
+                            graph.node_ref(node).name()
+                        ));
+                    }
+                }
+            }
+            if all_ordered {
+                return TheoremOutcome::Theorem2 { orders };
+            }
+        } else if shape == Shape::Cyclic {
+            reasons.push("constraint graph is cyclic; Theorem 2 does not apply".to_string());
+        }
+
+        // Theorem 3: requires an explicit layering.
+        let Some(layering) = &self.layering else {
+            reasons.push("no layering supplied; Theorem 3 not attempted".to_string());
+            return TheoremOutcome::NotApplicable {
+                reasons: std::mem::take(reasons),
+            };
+        };
+
+        let mut ok = true;
+        for layer in 0..layering.len() {
+            // `assuming`: T ∧ all constraints of lower layers.
+            let lower: Vec<&Predicate> = layering
+                .below(layer)
+                .iter()
+                .map(|c| self.constraints[c.0].predicate())
+                .collect();
+            // Preservation is required while the program is still
+            // converging (outside `S`): this mirrors the paper's token-ring
+            // observation that the root's closure action "is not enabled
+            // when the first conjunct holds but the second does not" — once
+            // `S` holds, closure actions are free to rearrange constraint
+            // values as long as `S` itself is preserved (checked
+            // separately).
+            let assuming = t
+                .and(&Predicate::all(format!("below-{layer}"), lower.iter().copied()))
+                .and(&s.not());
+
+            // (c) per-layer graph is self-looping.
+            let (layer_graph, layer_shape) = layering.layer_graph(graph, layer);
+            if layer_shape == Shape::Cyclic {
+                ok = false;
+                reasons.push(format!("layer {layer}'s constraint graph is cyclic"));
+                continue;
+            }
+
+            // (a) closure actions preserve this layer's constraints given
+            // lower layers; combined actions likewise given lower layers ∧
+            // their own constraint.
+            for cref in &layering.layers()[layer] {
+                let ci = cref.0;
+                for a in self.program.action_ids() {
+                    let kind = self.program.action(a).kind();
+                    let is_this_constraint = self.constraints[ci].action() == a;
+                    let applicable = match kind {
+                        ActionKind::Closure => true,
+                        // (b) convergence (and merged) actions of *higher*
+                        // layers must preserve this layer.
+                        ActionKind::Convergence | ActionKind::Combined => {
+                            !is_this_constraint
+                                && self
+                                    .constraints
+                                    .iter()
+                                    .position(|c| c.action() == a)
+                                    .and_then(|j| layering.layer_of(ConstraintRef(j)))
+                                    .is_some_and(|l| l > layer)
+                        }
+                    };
+                    if applicable && !preserves_under(a, ci, &assuming, 2 + layer as u8) {
+                        ok = false;
+                        reasons.push(format!(
+                            "layer {layer}: action `{}` does not preserve constraint `{}` given lower layers",
+                            self.program.action(a).name(),
+                            self.constraints[ci].name()
+                        ));
+                    }
+                }
+            }
+
+            // (d) per-node linear orders within the layer, over *adjacent*
+            // edges (Theorem 3's fourth antecedent).
+            for node in layer_graph.node_ids() {
+                if layer_graph
+                    .linear_preservation_order_adjacent(node, |a, c| {
+                        preserves_under(a, c.0, &assuming, 2 + layer as u8)
+                    })
+                    .is_none()
+                {
+                    ok = false;
+                    reasons.push(format!(
+                        "layer {layer}: no linear order for actions targeting node `{}`",
+                        layer_graph.node_ref(node).name()
+                    ));
+                }
+            }
+        }
+
+        if ok {
+            TheoremOutcome::Theorem3 {
+                layers: layering.len(),
+            }
+        } else {
+            TheoremOutcome::NotApplicable {
+                reasons: std::mem::take(reasons),
+            }
+        }
+    }
+}
+
+/// Incremental construction of a [`Design`]; see [`Design::builder`].
+#[derive(Debug)]
+pub struct DesignBuilder {
+    program: Program,
+    constraints: Vec<Constraint>,
+    fault_span: Predicate,
+    partition: Option<NodePartition>,
+    layering: Option<Layering>,
+    invariant_override: Option<Predicate>,
+}
+
+impl DesignBuilder {
+    /// Set the fault span `T` (defaults to `true`, i.e. a stabilizing
+    /// design).
+    pub fn fault_span(mut self, t: Predicate) -> Self {
+        self.fault_span = t;
+        self
+    }
+
+    /// Set the node partition (defaults to
+    /// [`NodePartition::by_process`]).
+    pub fn partition(mut self, partition: NodePartition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Add a constraint and its convergence action.
+    pub fn constraint(
+        mut self,
+        name: impl Into<String>,
+        predicate: Predicate,
+        action: ActionId,
+    ) -> Self {
+        self.constraints.push(Constraint::new(name, predicate, action));
+        self
+    }
+
+    /// Supply a hierarchical partition of the constraints for Theorem 3.
+    pub fn layering(mut self, layering: Layering) -> Self {
+        self.layering = Some(layering);
+        self
+    }
+
+    /// Use `s` as the invariant instead of the conjunction of `T` and the
+    /// constraints (for designs whose constraints imply, rather than
+    /// equal, the invariant — see [`Design::invariant`]).
+    pub fn invariant_override(mut self, s: Predicate) -> Self {
+        self.invariant_override = Some(s);
+        self
+    }
+
+    /// Finish, validating the constraint/action bijection.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::DuplicateAction`] if two constraints share an action;
+    /// [`DesignError::UnknownAction`] for out-of-range action ids.
+    pub fn build(self) -> Result<Design, DesignError> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.constraints {
+            if c.action().index() >= self.program.action_count() {
+                return Err(DesignError::UnknownAction(c.action()));
+            }
+            if !seen.insert(c.action()) {
+                return Err(DesignError::DuplicateAction(c.action()));
+            }
+        }
+        let partition = self
+            .partition
+            .unwrap_or_else(|| NodePartition::by_process(&self.program));
+        Ok(Design {
+            program: self.program,
+            constraints: self.constraints,
+            fault_span: self.fault_span,
+            partition,
+            layering: self.layering,
+            invariant_override: self.invariant_override,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::Domain;
+
+    /// The Section 4 / Section 6 "good" design: fix `x != y` by bumping y,
+    /// fix `x <= z` by raising z. Out-tree graph; Theorem 1.
+    fn good_xyz() -> Design {
+        let mut b = Program::builder("xyz");
+        let x = b.var("x", Domain::range(0, 3));
+        let y = b.var("y", Domain::range(0, 3));
+        let z = b.var("z", Domain::range(0, 3));
+        let fix_y = b.convergence_action(
+            "fix-y",
+            [x, y],
+            [y],
+            move |s| s.get(x) == s.get(y),
+            move |s| {
+                let v = s.get(y);
+                s.set(y, (v + 1) % 4);
+            },
+        );
+        let fix_z = b.convergence_action(
+            "fix-z",
+            [x, z],
+            [z],
+            move |s| s.get(x) > s.get(z),
+            move |s| {
+                let v = s.get(x);
+                s.set(z, v);
+            },
+        );
+        let program = b.build();
+        let c_neq = Predicate::new("x!=y", [x, y], move |s| s.get(x) != s.get(y));
+        let c_le = Predicate::new("x<=z", [x, z], move |s| s.get(x) <= s.get(z));
+        Design::builder(program)
+            .partition(
+                NodePartition::new()
+                    .group("x", [x])
+                    .group("y", [y])
+                    .group("z", [z]),
+            )
+            .constraint("x!=y", c_neq, fix_y)
+            .constraint("x<=z", c_le, fix_z)
+            .build()
+            .unwrap()
+    }
+
+    /// The Section 6 "bad" design: both convergence actions write `x` and
+    /// can violate each other forever.
+    fn bad_xyz() -> Design {
+        let mut b = Program::builder("xyz-bad");
+        let x = b.var("x", Domain::range(0, 3));
+        let y = b.var("y", Domain::range(0, 3));
+        let z = b.var("z", Domain::range(0, 3));
+        let fix_neq = b.convergence_action(
+            "fix-neq-by-x",
+            [x, y],
+            [x],
+            move |s| s.get(x) == s.get(y),
+            move |s| {
+                let v = s.get(x);
+                s.set(x, (v + 1) % 4);
+            },
+        );
+        let fix_le = b.convergence_action(
+            "fix-le-by-x",
+            [x, z],
+            [x],
+            move |s| s.get(x) > s.get(z),
+            move |s| {
+                let v = s.get(z);
+                s.set(x, v);
+            },
+        );
+        let program = b.build();
+        let c_neq = Predicate::new("x!=y", [x, y], move |s| s.get(x) != s.get(y));
+        let c_le = Predicate::new("x<=z", [x, z], move |s| s.get(x) <= s.get(z));
+        Design::builder(program)
+            .partition(
+                NodePartition::new()
+                    .group("x", [x])
+                    .group("y", [y])
+                    .group("z", [z]),
+            )
+            .constraint("x!=y", c_neq, fix_neq)
+            .constraint("x<=z", c_le, fix_le)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn good_design_is_theorem1_tolerant() {
+        let d = good_xyz();
+        let report = d.verify().unwrap();
+        assert!(report.closure.ok(), "{:?}", report.closure);
+        assert!(matches!(report.theorem, TheoremOutcome::Theorem1 { .. }));
+        assert!(report.convergence.converges());
+        assert!(report.convergence_unfair.converges());
+        assert!(report.is_tolerant());
+        assert!(report.is_stabilizing());
+        assert!(report.worst_case_moves.is_some());
+        assert_eq!(report.shape, Shape::OutTree);
+        assert!(report.summary().contains("Theorem 1"));
+    }
+
+    #[test]
+    fn invariant_is_conjunction() {
+        let d = good_xyz();
+        let s = d.invariant();
+        let p = d.program();
+        assert!(s.holds(&p.state_from([0, 1, 2]).unwrap()));
+        assert!(!s.holds(&p.state_from([1, 1, 2]).unwrap()), "x=y violates");
+        assert!(!s.holds(&p.state_from([2, 1, 0]).unwrap()), "x>z violates");
+    }
+
+    #[test]
+    fn bad_design_diverges() {
+        let d = bad_xyz();
+        let report = d.verify().unwrap();
+        // The two actions write the same node: both edges target x, and the
+        // actions violate each other's constraint, so no theorem applies …
+        assert!(!report.theorem.applies());
+        // … and the program really can livelock (model-check ground truth).
+        assert!(!report.convergence.converges());
+        assert!(!report.is_tolerant());
+    }
+
+    #[test]
+    fn duplicate_action_rejected() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let a = b.convergence_action("a", [x], [x], |_| true, |_| {});
+        let program = b.build();
+        let pred = Predicate::new("x", [x], move |s| s.get_bool(x));
+        let result = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]))
+            .constraint("c1", pred.clone(), a)
+            .constraint("c2", pred, a)
+            .build();
+        assert!(matches!(result, Err(DesignError::DuplicateAction(_))));
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let program = b.build();
+        let pred = Predicate::new("x", [x], move |s| s.get_bool(x));
+        let result = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]))
+            .constraint("c", pred, ActionId::from_index(7))
+            .build();
+        assert!(matches!(result, Err(DesignError::UnknownAction(_))));
+    }
+
+    #[test]
+    fn unguarded_constraint_reported() {
+        // The convergence action's guard misses part of ¬c.
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::range(0, 2));
+        let fix = b.convergence_action("fix", [x], [x], move |s| s.get(x) == 1, move |s| {
+            s.set(x, 0)
+        });
+        let program = b.build();
+        let c = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
+        let d = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]))
+            .constraint("x=0", c, fix)
+            .build()
+            .unwrap();
+        let report = d.verify().unwrap();
+        // ¬c at x=2 but fix is only enabled at x=1.
+        assert_eq!(report.closure.unguarded_constraints.len(), 1);
+        assert!(!report.closure.ok());
+        assert!(!report.convergence.converges(), "x=2 deadlocks outside S");
+    }
+
+    #[test]
+    fn non_establishing_action_reported() {
+        // The convergence action runs but does not establish its constraint.
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::range(0, 2));
+        let bogus = b.convergence_action("bogus", [x], [x], move |s| s.get(x) > 0, move |s| {
+            s.set(x, 2)
+        });
+        let program = b.build();
+        let c = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
+        let d = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]))
+            .constraint("x=0", c, bogus)
+            .build()
+            .unwrap();
+        let report = d.verify().unwrap();
+        assert_eq!(report.closure.non_establishing.len(), 1);
+        assert!(!report.convergence.converges());
+    }
+
+    #[test]
+    fn cyclic_layer_is_rejected_with_reason() {
+        use nonmask_graph::{ConstraintRef, Layering};
+        // Two constraints whose repairs write each other's node: a 2-cycle.
+        // Putting BOTH in the same layer keeps the layer graph cyclic, so
+        // Theorem 3 must not apply, with a reason saying why.
+        let mut b = Program::builder("cycle");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        let fix_x = b.convergence_action("fix-x", [x, y], [x], move |s| !s.get_bool(x), move |s| {
+            s.set_bool(x, true)
+        });
+        let fix_y = b.convergence_action("fix-y", [x, y], [y], move |s| !s.get_bool(y), move |s| {
+            s.set_bool(y, true)
+        });
+        let program = b.build();
+        let cx = Predicate::new("x", [x], move |s| s.get_bool(x));
+        let cy = Predicate::new("y", [y], move |s| s.get_bool(y));
+        let design = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]).group("y", [y]))
+            .constraint("x", cx, fix_x)
+            .constraint("y", cy, fix_y)
+            .layering(Layering::single([ConstraintRef(0), ConstraintRef(1)]))
+            .build()
+            .unwrap();
+        let graph = design.constraint_graph().unwrap();
+        assert_eq!(graph.shape(), Shape::Cyclic);
+        let report = design.verify().unwrap();
+        let TheoremOutcome::NotApplicable { reasons } = &report.theorem else {
+            panic!("cyclic single layer cannot satisfy Theorem 3: {:?}", report.theorem);
+        };
+        assert!(reasons.iter().any(|r| r.contains("cyclic")), "{reasons:?}");
+        // The design is nevertheless tolerant — each repair only
+        // strengthens, so ground truth converges (the conditions are
+        // sufficient, not necessary).
+        assert!(report.convergence.converges());
+        assert!(report.is_tolerant());
+    }
+
+    #[test]
+    fn split_layers_rescue_the_cyclic_graph() {
+        use nonmask_graph::{ConstraintRef, Layering};
+        // The same two-constraint cycle as above, but with one constraint
+        // per layer: each layer's graph is a single edge, and the repairs
+        // preserve each other's constraints, so Theorem 3 applies.
+        let mut b = Program::builder("cycle2");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        let fix_x = b.convergence_action("fix-x", [x, y], [x], move |s| !s.get_bool(x), move |s| {
+            s.set_bool(x, true)
+        });
+        let fix_y = b.convergence_action("fix-y", [x, y], [y], move |s| !s.get_bool(y), move |s| {
+            s.set_bool(y, true)
+        });
+        let program = b.build();
+        let cx = Predicate::new("x", [x], move |s| s.get_bool(x));
+        let cy = Predicate::new("y", [y], move |s| s.get_bool(y));
+        let design = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]).group("y", [y]))
+            .constraint("x", cx, fix_x)
+            .constraint("y", cy, fix_y)
+            .layering(
+                Layering::new([vec![ConstraintRef(0)], vec![ConstraintRef(1)]]).unwrap(),
+            )
+            .build()
+            .unwrap();
+        let report = design.verify().unwrap();
+        assert!(
+            matches!(report.theorem, TheoremOutcome::Theorem3 { layers: 2 }),
+            "{:?}",
+            report.theorem
+        );
+        assert!(report.is_tolerant());
+    }
+
+    #[test]
+    fn verify_with_accepts_prebuilt_space() {
+        use nonmask_checker::StateSpace;
+        let d = good_xyz();
+        let space = StateSpace::enumerate(d.program()).unwrap();
+        let a = d.verify_with(&space).unwrap();
+        let b = d.verify().unwrap();
+        assert_eq!(a.is_tolerant(), b.is_tolerant());
+        assert_eq!(a.worst_case_moves, b.worst_case_moves);
+    }
+
+    #[test]
+    fn summary_renders_unbounded_moves() {
+        let report = bad_xyz().verify().unwrap();
+        assert!(report.worst_case_moves.is_none());
+        assert!(report.summary().contains("FAILS"));
+        assert!(!report.summary().contains("worst-case moves:"));
+    }
+
+    #[test]
+    fn invariant_override_is_used() {
+        let mut b = Program::builder("ovr");
+        let x = b.var("x", Domain::Bool);
+        let fix = b.convergence_action("fix", [x], [x], move |s| !s.get_bool(x), move |s| {
+            s.set_bool(x, true)
+        });
+        let program = b.build();
+        let c = Predicate::new("x", [x], move |s| s.get_bool(x));
+        let design = Design::builder(program)
+            .partition(NodePartition::new().group("x", [x]))
+            .constraint("x", c, fix)
+            .invariant_override(Predicate::always_true().named("S-override"))
+            .build()
+            .unwrap();
+        assert_eq!(design.invariant().name(), "S-override");
+        let report = design.verify().unwrap();
+        // With S = true, every state is invariant and convergence is
+        // trivial.
+        assert_eq!(report.state_counts.invariant, report.state_counts.total);
+        assert!(report.is_tolerant());
+    }
+
+    #[test]
+    fn default_partition_is_by_process() {
+        use nonmask_program::ProcessId;
+        let mut b = Program::builder("p");
+        let x = b.var_of("x", Domain::Bool, ProcessId(0));
+        let fix = b.convergence_action("fix", [x], [x], move |s| !s.get_bool(x), move |s| {
+            s.set_bool(x, true)
+        });
+        let program = b.build();
+        let c = Predicate::new("x", [x], move |s| s.get_bool(x));
+        let d = Design::builder(program).constraint("x", c, fix).build().unwrap();
+        assert_eq!(d.partition().len(), 1);
+        let report = d.verify().unwrap();
+        assert!(report.is_tolerant());
+    }
+}

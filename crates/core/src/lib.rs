@@ -1,0 +1,93 @@
+//! # nonmask — constraint satisfaction as a basis for nonmasking fault-tolerance
+//!
+//! A Rust implementation of the design method of Arora, Gouda & Varghese,
+//! *Constraint Satisfaction as a Basis for Designing Nonmasking
+//! Fault-Tolerance* (1994).
+//!
+//! ## The method
+//!
+//! A program `p` is **`T`-tolerant for `S`** (invariant `S`, fault-span `T`,
+//! `S ⇒ T`) iff:
+//!
+//! - **Closure** — both `S` and `T` are closed under `p`'s actions, and
+//! - **Convergence** — every computation of `p` from a `T`-state reaches an
+//!   `S`-state.
+//!
+//! `S = T` is *masking* fault-tolerance; `S ⊂ T` is *nonmasking*; `T = true`
+//! is *stabilizing*. To design such programs, the invariant `S` is
+//! decomposed into **constraints**, each paired with a **convergence
+//! action** `¬c → establish c`, while **closure actions** perform the
+//! intended computation. The paper's Theorems 1–3 give sufficient
+//! conditions — phrased over the [constraint graph](nonmask_graph) — under
+//! which the combined program converges.
+//!
+//! ## This crate
+//!
+//! - [`Constraint`] — a named predicate paired with its convergence action.
+//! - [`CandidateTriple`] — `(p, S, T)` with mechanical closure checking.
+//! - [`Design`] / [`DesignBuilder`] — the design workflow: program +
+//!   constraints + node partition (+ optional [layering](nonmask_graph::Layering)),
+//!   verified end-to-end by [`Design::verify`], which both applies the
+//!   paper's sufficient conditions *and* model-checks the conclusion.
+//! - [`ToleranceReport`] / [`TheoremOutcome`] — what held and which theorem
+//!   applied.
+//! - [`ConvergenceStair`] — Section 7's staged convergence (Gouda–Multari).
+//!
+//! ## Example
+//!
+//! Designing and verifying a two-constraint stabilizing program (the
+//! paper's Section 4 example):
+//!
+//! ```
+//! use nonmask::{Design, TheoremOutcome};
+//! use nonmask_program::{Domain, Predicate, Program};
+//! use nonmask_graph::NodePartition;
+//!
+//! let mut b = Program::builder("xyz");
+//! let x = b.var("x", Domain::range(0, 3));
+//! let y = b.var("y", Domain::range(0, 3));
+//! let z = b.var("z", Domain::range(0, 3));
+//! // Convergence actions: change y if x = y; raise z if x > z.
+//! let fix_y = b.convergence_action("fix-y", [x, y], [y],
+//!     move |s| s.get(x) == s.get(y),
+//!     move |s| { let v = s.get(y); s.set(y, (v + 1) % 4); });
+//! let fix_z = b.convergence_action("fix-z", [x, z], [z],
+//!     move |s| s.get(x) > s.get(z),
+//!     move |s| { let v = s.get(x); s.set(z, v); });
+//! let program = b.build();
+//!
+//! let c_neq = Predicate::new("x!=y", [x, y], move |s| s.get(x) != s.get(y));
+//! let c_le = Predicate::new("x<=z", [x, z], move |s| s.get(x) <= s.get(z));
+//!
+//! let design = Design::builder(program)
+//!     .partition(NodePartition::new().group("x", [x]).group("y", [y]).group("z", [z]))
+//!     .constraint("x!=y", c_neq, fix_y)
+//!     .constraint("x<=z", c_le, fix_z)
+//!     .build()
+//!     .unwrap();
+//!
+//! let report = design.verify().unwrap();
+//! assert!(report.is_tolerant());
+//! assert!(matches!(report.theorem, TheoremOutcome::Theorem1 { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod design;
+pub mod report;
+pub mod stair;
+pub mod triple;
+
+pub use constraint::Constraint;
+pub use design::{Design, DesignBuilder, DesignError};
+pub use report::{ClosureReport, TheoremOutcome, ToleranceReport};
+pub use stair::{ConvergenceStair, StairReport, StageReport};
+pub use triple::CandidateTriple;
+
+// Re-export the sibling crates under their natural names so that `nonmask`
+// works as the single dependency of downstream code.
+pub use nonmask_checker as checker;
+pub use nonmask_graph as graph;
+pub use nonmask_program as program;

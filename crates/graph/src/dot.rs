@@ -1,0 +1,96 @@
+//! Graphviz DOT export.
+
+use nonmask_program::Program;
+
+use crate::graph::ConstraintGraph;
+
+impl ConstraintGraph {
+    /// Render the graph in Graphviz DOT format.
+    ///
+    /// Nodes show their name and variable labels; edges show the labeling
+    /// convergence action's name. Pass the owning [`Program`] so names can
+    /// be resolved.
+    ///
+    /// ```
+    /// # use nonmask_program::{Domain, Program};
+    /// # use nonmask_graph::{ConstraintGraph, ConstraintRef, NodePartition};
+    /// # let mut b = Program::builder("p");
+    /// # let x = b.var("x", Domain::Bool);
+    /// # let y = b.var("y", Domain::Bool);
+    /// # let a = b.convergence_action("fix", [x, y], [y], |_| true, |_| {});
+    /// # let p = b.build();
+    /// # let part = NodePartition::by_variable(&p);
+    /// let g = ConstraintGraph::derive(&p, &part, &[(a, ConstraintRef(0))]).unwrap();
+    /// let dot = g.to_dot(&p);
+    /// assert!(dot.starts_with("digraph"));
+    /// ```
+    pub fn to_dot(&self, program: &Program) -> String {
+        let mut out = String::from("digraph constraint_graph {\n");
+        out.push_str("  rankdir=TB;\n  node [shape=ellipse];\n");
+        for (i, node) in self.nodes().iter().enumerate() {
+            let vars: Vec<&str> = node
+                .vars()
+                .iter()
+                .map(|&v| program.var(v).name())
+                .collect();
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\\n{{{}}}\"];\n",
+                escape(node.name()),
+                escape(&vars.join(", "))
+            ));
+        }
+        for edge in self.edges() {
+            let action = program.action(edge.action()).name();
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                edge.from().index(),
+                edge.to().index(),
+                escape(action)
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConstraintRef;
+    use crate::partition::NodePartition;
+    use nonmask_program::{Domain, Program};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        let a = b.convergence_action("fix-y", [x, y], [y], |_| true, |_| {});
+        let p = b.build();
+        let part = NodePartition::by_variable(&p);
+        let g = ConstraintGraph::derive(&p, &part, &[(a, ConstraintRef(0))]).unwrap();
+        let dot = g.to_dot(&p);
+        assert!(dot.contains("digraph constraint_graph"));
+        assert!(dot.contains("fix-y"));
+        assert!(dot.contains("{x}"));
+        assert!(dot.contains("{y}"));
+        assert!(dot.contains("n0 -> n1") || dot.contains("n1 -> n0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let a = b.convergence_action("say \"hi\"", [x], [x], |_| true, |_| {});
+        let p = b.build();
+        let part = NodePartition::by_variable(&p);
+        let g = ConstraintGraph::derive(&p, &part, &[(a, ConstraintRef(0))]).unwrap();
+        let dot = g.to_dot(&p);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,809 @@
+//! The constraint-graph data structure.
+
+use std::collections::HashMap;
+
+use nonmask_program::{ActionId, Program, VarId};
+
+use crate::partition::NodePartition;
+use crate::shape::{classify, Shape};
+
+/// Identifier of a constraint-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Positional index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a constraint-graph edge (one per convergence action).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Positional index of the edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Index of a constraint in the caller's constraint list.
+///
+/// The graph does not own constraint predicates — it refers to them by
+/// position, since "there is a bijection between constraints and
+/// convergence actions" (Section 4) and the caller holds both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintRef(pub usize);
+
+impl std::fmt::Display for ConstraintRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A constraint-graph node: a named, mutually-exclusive group of variables.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) vars: Vec<VarId>,
+}
+
+impl Node {
+    /// The node's name (e.g. the process it represents).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variables labeling the node.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+}
+
+/// A constraint-graph edge: one convergence action, pointing at the node
+/// whose variables the action writes.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) action: ActionId,
+    pub(crate) constraint: ConstraintRef,
+}
+
+impl Edge {
+    /// The source node (holding the action's read-only variables).
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// The target node (holding the action's written variables).
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// The convergence action labeling the edge.
+    pub fn action(&self) -> ActionId {
+        self.action
+    }
+
+    /// The constraint this action establishes.
+    pub fn constraint(&self) -> ConstraintRef {
+        self.constraint
+    }
+
+    /// Whether the edge is a self-loop.
+    pub fn is_self_loop(&self) -> bool {
+        self.from == self.to
+    }
+}
+
+/// Errors in constructing or querying a constraint graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A convergence action reads or writes a variable not covered by the
+    /// node partition.
+    UncoveredVariable {
+        /// The offending action.
+        action: ActionId,
+        /// The uncovered variable.
+        var: VarId,
+    },
+    /// A convergence action writes variables in more than one node; edges
+    /// have a single target.
+    WritesSpanNodes {
+        /// The offending action.
+        action: ActionId,
+    },
+    /// A convergence action writes nothing; it cannot label an edge.
+    NoWrites {
+        /// The offending action.
+        action: ActionId,
+    },
+    /// A convergence action reads variables outside `label(v) ∪ label(w)`
+    /// for every candidate source `v` (i.e. reads span at least two nodes
+    /// besides the target).
+    ReadsSpanNodes {
+        /// The offending action.
+        action: ActionId,
+    },
+    /// The rank function is only defined when the graph has no cycles of
+    /// length greater than one.
+    CyclicRanks,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UncoveredVariable { action, var } => write!(
+                f,
+                "action {action} uses variable {var}, which no node label covers"
+            ),
+            GraphError::WritesSpanNodes { action } => write!(
+                f,
+                "action {action} writes variables in more than one node label"
+            ),
+            GraphError::NoWrites { action } => {
+                write!(f, "action {action} writes no variables and cannot label an edge")
+            }
+            GraphError::ReadsSpanNodes { action } => write!(
+                f,
+                "action {action} reads variables outside the union of two node labels"
+            ),
+            GraphError::CyclicRanks => {
+                write!(f, "ranks are undefined: the graph has a cycle of length > 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The constraint graph of a set of convergence actions (Section 4).
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl ConstraintGraph {
+    /// Derive the constraint graph of the given `(action, constraint)`
+    /// pairs from the actions' declared read/write sets.
+    ///
+    /// Each action becomes one edge: its target is the node containing its
+    /// writes; its source is the (unique) other node its reads touch, or
+    /// the target itself (a self-loop) when it reads only target variables.
+    ///
+    /// ```
+    /// use nonmask_program::{Domain, Program};
+    /// use nonmask_graph::{ConstraintGraph, ConstraintRef, NodePartition, Shape};
+    ///
+    /// let mut b = Program::builder("p");
+    /// let x = b.var("x", Domain::Bool);
+    /// let y = b.var("y", Domain::Bool);
+    /// // Repairing y from x: reads {x, y}, writes {y} → edge x → y.
+    /// let fix = b.convergence_action("fix-y", [x, y], [y], |_| true, |_| {});
+    /// let p = b.build();
+    ///
+    /// let partition = NodePartition::new().group("x", [x]).group("y", [y]);
+    /// let g = ConstraintGraph::derive(&p, &partition, &[(fix, ConstraintRef(0))])?;
+    /// assert_eq!(g.edge_count(), 1);
+    /// assert_eq!(g.shape(), Shape::OutTree);
+    /// # Ok::<(), nonmask_graph::GraphError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphError`] — returned when an action's reads/writes cannot be
+    /// placed per the paper's definition.
+    pub fn derive(
+        program: &Program,
+        partition: &NodePartition,
+        convergence: &[(ActionId, ConstraintRef)],
+    ) -> Result<Self, GraphError> {
+        let nodes: Vec<Node> = partition
+            .groups()
+            .map(|(name, vars)| Node {
+                name: name.to_string(),
+                vars: vars.to_vec(),
+            })
+            .collect();
+
+        let mut edges = Vec::with_capacity(convergence.len());
+        for &(action, constraint) in convergence {
+            let act = program.action(action);
+
+            // Target: the unique node containing all written variables.
+            let mut target: Option<usize> = None;
+            if act.writes().is_empty() {
+                return Err(GraphError::NoWrites { action });
+            }
+            for &w in act.writes() {
+                let g = partition
+                    .group_of(w)
+                    .ok_or(GraphError::UncoveredVariable { action, var: w })?;
+                match target {
+                    None => target = Some(g),
+                    Some(t) if t == g => {}
+                    Some(_) => return Err(GraphError::WritesSpanNodes { action }),
+                }
+            }
+            let target = target.expect("nonempty writes imply a target");
+
+            // Source: the unique non-target node the reads touch, if any.
+            let mut source: Option<usize> = None;
+            for &r in act.reads() {
+                let g = partition
+                    .group_of(r)
+                    .ok_or(GraphError::UncoveredVariable { action, var: r })?;
+                if g == target {
+                    continue;
+                }
+                match source {
+                    None => source = Some(g),
+                    Some(s) if s == g => {}
+                    Some(_) => return Err(GraphError::ReadsSpanNodes { action }),
+                }
+            }
+            let source = source.unwrap_or(target);
+
+            edges.push(Edge {
+                from: NodeId(source as u32),
+                to: NodeId(target as u32),
+                action,
+                constraint,
+            });
+        }
+
+        Ok(ConstraintGraph { nodes, edges })
+    }
+
+    /// Build a graph from explicit parts (mostly for tests and tooling;
+    /// prefer [`ConstraintGraph::derive`]).
+    pub fn from_parts(nodes: Vec<Node>, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(e.from.index() < nodes.len() && e.to.index() < nodes.len());
+        }
+        ConstraintGraph { nodes, edges }
+    }
+
+    /// Construct a node (companion to [`ConstraintGraph::from_parts`]).
+    pub fn node(name: impl Into<String>, vars: impl IntoIterator<Item = VarId>) -> Node {
+        Node {
+            name: name.into(),
+            vars: vars.into_iter().collect(),
+        }
+    }
+
+    /// Construct an edge (companion to [`ConstraintGraph::from_parts`]).
+    pub fn edge(from: NodeId, to: NodeId, action: ActionId, constraint: ConstraintRef) -> Edge {
+        Edge {
+            from,
+            to,
+            action,
+            constraint,
+        }
+    }
+
+    /// Make a `NodeId` from a raw index (for [`ConstraintGraph::from_parts`]).
+    pub fn node_id(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+
+    /// The graph's nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The graph's edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(|i| EdgeId(i as u32))
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    pub fn node_ref(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an edge of this graph.
+    pub fn edge_ref(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Ids of the edges whose target is `node`.
+    pub fn edges_targeting(&self, node: NodeId) -> Vec<EdgeId> {
+        self.edge_ids()
+            .filter(|&e| self.edges[e.index()].to == node)
+            .collect()
+    }
+
+    /// Ids of the edges whose source is `node` (self-loops included).
+    pub fn edges_leaving(&self, node: NodeId) -> Vec<EdgeId> {
+        self.edge_ids()
+            .filter(|&e| self.edges[e.index()].from == node)
+            .collect()
+    }
+
+    /// Classify the graph per the paper's taxonomy.
+    pub fn shape(&self) -> Shape {
+        classify(self)
+    }
+
+    /// The rank of every node, per the proof of Theorem 1: `rank(j) = 1 +
+    /// max { rank(k) | edge k→j, k ≠ j }`, with `rank = 1` for nodes
+    /// without incoming non-self edges.
+    ///
+    /// Ranks bound convergence: once all convergence actions of edges
+    /// targeting nodes of rank `< r` have quiesced, each action targeting a
+    /// rank-`r` node executes at most once more.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::CyclicRanks`] when the graph has a cycle of length
+    /// greater than one (self-loops are ignored, as in the definition).
+    pub fn ranks(&self) -> Result<Vec<u32>, GraphError> {
+        let n = self.nodes.len();
+        // Kahn's algorithm over non-self edges, tracking longest distance.
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if !e.is_self_loop() {
+                indeg[e.to.index()] += 1;
+            }
+        }
+        let mut rank = vec![1u32; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(v) = queue.pop() {
+            visited += 1;
+            for e in &self.edges {
+                if e.is_self_loop() || e.from.index() != v {
+                    continue;
+                }
+                let t = e.to.index();
+                rank[t] = rank[t].max(rank[v] + 1);
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if visited != n {
+            return Err(GraphError::CyclicRanks);
+        }
+        Ok(rank)
+    }
+
+    /// Whether the underlying undirected graph is connected (vacuously true
+    /// for graphs with at most one node).
+    pub fn is_weakly_connected(&self) -> bool {
+        let n = self.nodes.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for e in &self.edges {
+                for (a, b) in [(e.from.index(), e.to.index()), (e.to.index(), e.from.index())] {
+                    if a == v && !seen[b] {
+                        seen[b] = true;
+                        count += 1;
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Search for a *linear preservation order* of the edges targeting
+    /// `node`: an ordering `e1 … ek` such that for all `i < j`, the action
+    /// of `ej` preserves the constraint of `ei` (the third antecedent of
+    /// Theorem 2).
+    ///
+    /// `preserves(a, c)` must answer whether executing action `a` from any
+    /// state where constraint `c` holds leaves `c` holding (discharge it
+    /// with the model checker's preservation oracle).
+    ///
+    /// Returns `None` when no such order exists.
+    pub fn linear_preservation_order(
+        &self,
+        node: NodeId,
+        mut preserves: impl FnMut(ActionId, ConstraintRef) -> bool,
+    ) -> Option<Vec<EdgeId>> {
+        // Precedence: if action(e_j) does NOT preserve constraint(e_i),
+        // then e_j must come before e_i in the order; the order is any
+        // topological sort of that relation.
+        self.order_edges(self.edges_targeting(node), &mut preserves)
+    }
+
+    /// Like [`ConstraintGraph::linear_preservation_order`], but over the
+    /// edges *adjacent* to `node` (incoming **or** outgoing, as in the
+    /// fourth antecedent of Theorem 3) rather than only those targeting it.
+    ///
+    /// On a path graph this captures same-layer neighbour interference:
+    /// the copy action of edge `j → j+1` may violate the constraint of
+    /// edge `j-1 → j`, and both are adjacent to node `j`.
+    pub fn linear_preservation_order_adjacent(
+        &self,
+        node: NodeId,
+        mut preserves: impl FnMut(ActionId, ConstraintRef) -> bool,
+    ) -> Option<Vec<EdgeId>> {
+        let mut adjacent = self.edges_targeting(node);
+        for e in self.edges_leaving(node) {
+            if !adjacent.contains(&e) {
+                adjacent.push(e);
+            }
+        }
+        self.order_edges(adjacent, &mut preserves)
+    }
+
+    fn order_edges(
+        &self,
+        edges: Vec<EdgeId>,
+        preserves: &mut impl FnMut(ActionId, ConstraintRef) -> bool,
+    ) -> Option<Vec<EdgeId>> {
+        let k = edges.len();
+        if k <= 1 {
+            return Some(edges);
+        }
+        let mut must_precede = vec![Vec::new(); k];
+        let mut indeg = vec![0usize; k];
+        for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let ei = &self.edges[edges[i].index()];
+                let ej = &self.edges[edges[j].index()];
+                if !preserves(ej.action, ei.constraint) {
+                    must_precede[j].push(i);
+                    indeg[i] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..k).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(k);
+        while let Some(j) = queue.pop() {
+            order.push(edges[j]);
+            for &i in &must_precede[j] {
+                indeg[i] -= 1;
+                if indeg[i] == 0 {
+                    queue.push(i);
+                }
+            }
+        }
+        (order.len() == k).then_some(order)
+    }
+
+    /// The subgraph with only the given edges, dropping nodes incident to
+    /// none of them (Theorem 3's per-layer refined constraint graph).
+    ///
+    /// Node/edge ids are renumbered; edge order is preserved.
+    pub fn restricted_to(&self, keep: &[EdgeId]) -> ConstraintGraph {
+        let mut node_map: HashMap<usize, usize> = HashMap::new();
+        let mut nodes = Vec::new();
+        let remap = |old: NodeId, nodes: &mut Vec<Node>, map: &mut HashMap<usize, usize>| {
+            let next = nodes.len();
+            let idx = *map.entry(old.index()).or_insert_with(|| {
+                nodes.push(self.nodes[old.index()].clone());
+                next
+            });
+            NodeId(idx as u32)
+        };
+        let mut edges = Vec::with_capacity(keep.len());
+        for &e in keep {
+            let old = &self.edges[e.index()];
+            let from = remap(old.from, &mut nodes, &mut node_map);
+            let to = remap(old.to, &mut nodes, &mut node_map);
+            edges.push(Edge {
+                from,
+                to,
+                action: old.action,
+                constraint: old.constraint,
+            });
+        }
+        ConstraintGraph { nodes, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::{ActionKind, Domain};
+
+    /// The paper's Section 4 example: constraints `x != y` and `x <= z`,
+    /// with convergence actions that write `y` and `z` respectively.
+    fn paper_example() -> (Program, ConstraintGraph) {
+        let mut b = Program::builder("xyz");
+        let x = b.var("x", Domain::range(0, 3));
+        let y = b.var("y", Domain::range(0, 3));
+        let z = b.var("z", Domain::range(0, 3));
+        let a1 = b.convergence_action("fix-y", [x, y], [y], move |s| s.get(x) == s.get(y), move |s| {
+            let v = s.get(y);
+            s.set(y, (v + 1) % 4);
+        });
+        let a2 = b.convergence_action("fix-z", [x, z], [z], move |s| s.get(x) > s.get(z), move |s| {
+            let v = s.get(x);
+            s.set(z, v);
+        });
+        let p = b.build();
+        let part = NodePartition::by_variable(&p);
+        let g = ConstraintGraph::derive(
+            &p,
+            &part,
+            &[(a1, ConstraintRef(0)), (a2, ConstraintRef(1))],
+        )
+        .unwrap();
+        (p, g)
+    }
+
+    #[test]
+    fn derives_paper_figure() {
+        // Reproduces the figure in Section 4: edges x->y and x->z.
+        let (p, g) = paper_example();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let x = p.var_by_name("x").unwrap();
+        let y = p.var_by_name("y").unwrap();
+        let z = p.var_by_name("z").unwrap();
+        let node_of = |v| g.node_ids().find(|&n| g.node_ref(n).vars() == [v]).unwrap();
+        let (nx, ny, nz) = (node_of(x), node_of(y), node_of(z));
+        assert_eq!(g.edges()[0].from(), nx);
+        assert_eq!(g.edges()[0].to(), ny);
+        assert_eq!(g.edges()[1].from(), nx);
+        assert_eq!(g.edges()[1].to(), nz);
+        assert!(!g.edges()[0].is_self_loop());
+    }
+
+    #[test]
+    fn paper_figure_is_an_out_tree_with_ranks() {
+        let (_, g) = paper_example();
+        assert_eq!(g.shape(), Shape::OutTree);
+        assert!(g.is_weakly_connected());
+        let ranks = g.ranks().unwrap();
+        // x has rank 1, y and z rank 2.
+        assert_eq!(ranks.iter().filter(|&&r| r == 1).count(), 1);
+        assert_eq!(ranks.iter().filter(|&&r| r == 2).count(), 2);
+    }
+
+    #[test]
+    fn self_loop_when_reads_within_target() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let a = b.convergence_action("fix-x", [x], [x], |_| true, |_| {});
+        let p = b.build();
+        let part = NodePartition::by_variable(&p);
+        let g = ConstraintGraph::derive(&p, &part, &[(a, ConstraintRef(0))]).unwrap();
+        assert!(g.edges()[0].is_self_loop());
+        assert_eq!(g.shape(), Shape::SelfLooping);
+        assert_eq!(g.ranks().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn cyclic_graph_detected() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        let a1 = b.convergence_action("xy", [x, y], [y], |_| true, |_| {});
+        let a2 = b.convergence_action("yx", [x, y], [x], |_| true, |_| {});
+        let p = b.build();
+        let part = NodePartition::by_variable(&p);
+        let g = ConstraintGraph::derive(
+            &p,
+            &part,
+            &[(a1, ConstraintRef(0)), (a2, ConstraintRef(1))],
+        )
+        .unwrap();
+        assert_eq!(g.shape(), Shape::Cyclic);
+        assert_eq!(g.ranks(), Err(GraphError::CyclicRanks));
+    }
+
+    #[test]
+    fn derive_rejects_bad_actions() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        let z = b.var("z", Domain::Bool);
+        let writes_two = b.convergence_action("w2", [x], [x, y], |_| true, |_| {});
+        let reads_three = b.convergence_action("r3", [x, y, z], [z], |_| true, |_| {});
+        let writes_none = b.convergence_action("w0", [x], [], |_| true, |_| {});
+        let p = b.build();
+        let part = NodePartition::by_variable(&p);
+
+        assert_eq!(
+            ConstraintGraph::derive(&p, &part, &[(writes_two, ConstraintRef(0))]).unwrap_err(),
+            GraphError::WritesSpanNodes { action: writes_two }
+        );
+        assert_eq!(
+            ConstraintGraph::derive(&p, &part, &[(reads_three, ConstraintRef(0))]).unwrap_err(),
+            GraphError::ReadsSpanNodes { action: reads_three }
+        );
+        assert_eq!(
+            ConstraintGraph::derive(&p, &part, &[(writes_none, ConstraintRef(0))]).unwrap_err(),
+            GraphError::NoWrites { action: writes_none }
+        );
+    }
+
+    #[test]
+    fn derive_rejects_uncovered_variable() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let y = b.var("y", Domain::Bool);
+        let a = b.convergence_action("a", [x, y], [y], |_| true, |_| {});
+        let p = b.build();
+        let part = NodePartition::new().group("only-y", [y]);
+        assert_eq!(
+            ConstraintGraph::derive(&p, &part, &[(a, ConstraintRef(0))]).unwrap_err(),
+            GraphError::UncoveredVariable { action: a, var: x }
+        );
+    }
+
+    #[test]
+    fn chain_ranks_increase() {
+        // n0 -> n1 -> n2: ranks 1, 2, 3.
+        let nodes = vec![
+            ConstraintGraph::node("n0", []),
+            ConstraintGraph::node("n1", []),
+            ConstraintGraph::node("n2", []),
+        ];
+        let edges = vec![
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(0),
+                ConstraintGraph::node_id(1),
+                ActionId::from_index(0),
+                ConstraintRef(0),
+            ),
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(1),
+                ConstraintGraph::node_id(2),
+                ActionId::from_index(1),
+                ConstraintRef(1),
+            ),
+        ];
+        let g = ConstraintGraph::from_parts(nodes, edges);
+        assert_eq!(g.ranks().unwrap(), vec![1, 2, 3]);
+        assert_eq!(g.shape(), Shape::OutTree);
+    }
+
+    #[test]
+    fn linear_order_found_when_acyclic_preservation() {
+        // Two edges target node 1; action a0 violates constraint c1, so a0
+        // must come before... wait: if a0 does not preserve c1, a0 must
+        // precede the establishment of c1, i.e. a0 comes BEFORE e1's action
+        // in the order means e1 (establishing c1) can be violated... The
+        // required property: each action preserves constraints of PRECEDING
+        // actions. So if a0 !preserves c1, then e1 cannot precede e0.
+        let nodes = vec![ConstraintGraph::node("src", []), ConstraintGraph::node("dst", [])];
+        let e = |a: usize, c: usize| {
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(0),
+                ConstraintGraph::node_id(1),
+                ActionId::from_index(a),
+                ConstraintRef(c),
+            )
+        };
+        let g = ConstraintGraph::from_parts(nodes, vec![e(0, 0), e(1, 1)]);
+        let node1 = ConstraintGraph::node_id(1);
+
+        // a1 preserves c0; a0 does not preserve c1 → order must be e0, e1? No:
+        // "each action preserves constraints of preceding actions": if order
+        // is [e1, e0], need a0 to preserve c1 — false. If [e0, e1], need a1
+        // to preserve c0 — true. So the only valid order is [e0, e1].
+        let order = g
+            .linear_preservation_order(node1, |a, c| {
+                !(a.index() == 0 && c.0 == 1) // a0 violates c1; everything else preserves
+            })
+            .unwrap();
+        assert_eq!(order.len(), 2);
+        assert_eq!(g.edge_ref(order[0]).action().index(), 0);
+        assert_eq!(g.edge_ref(order[1]).action().index(), 1);
+    }
+
+    #[test]
+    fn linear_order_absent_on_mutual_violation() {
+        let nodes = vec![ConstraintGraph::node("dst", [])];
+        let e = |a: usize, c: usize| {
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(0),
+                ConstraintGraph::node_id(0),
+                ActionId::from_index(a),
+                ConstraintRef(c),
+            )
+        };
+        let g = ConstraintGraph::from_parts(nodes, vec![e(0, 0), e(1, 1)]);
+        // Each action violates the other's constraint: no order exists.
+        let order = g.linear_preservation_order(ConstraintGraph::node_id(0), |a, c| {
+            a.index() == c.0
+        });
+        assert!(order.is_none());
+    }
+
+    #[test]
+    fn single_edge_order_is_trivial() {
+        let (_, g) = paper_example();
+        for node in g.node_ids() {
+            let targeting = g.edges_targeting(node);
+            if targeting.len() <= 1 {
+                let order = g
+                    .linear_preservation_order(node, |_, _| false)
+                    .expect("≤1 edge always has an order");
+                assert_eq!(order, targeting);
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_drops_isolated_nodes() {
+        let (_, g) = paper_example();
+        let first = g.edge_ids().next().unwrap();
+        let sub = g.restricted_to(&[first]);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.node_count(), 2, "z's node is dropped");
+        assert_eq!(sub.shape(), Shape::OutTree);
+    }
+
+    #[test]
+    fn edges_targeting_and_leaving() {
+        let (_, g) = paper_example();
+        let root = g
+            .node_ids()
+            .find(|&n| g.edges_leaving(n).len() == 2)
+            .expect("x is the root");
+        assert!(g.edges_targeting(root).is_empty());
+        for e in g.edge_ids() {
+            assert_eq!(g.edge_ref(e).from(), root);
+        }
+    }
+
+    #[test]
+    fn kind_metadata_survives() {
+        let (p, g) = paper_example();
+        for e in g.edges() {
+            assert_eq!(p.action(e.action()).kind(), ActionKind::Convergence);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Hierarchical constraint partitions (Theorem 3).
+//!
+//! Theorem 3 partitions the convergence actions (equivalently, their
+//! constraints) into layers `0, 1, …, M-1` such that, per layer, the
+//! constraint graph restricted to that layer is self-looping and lower
+//! layers are preserved by everything above them. A [`Layering`] records
+//! the partition; validating the semantic conditions is the job of the
+//! `nonmask` core crate (with the checker's preservation oracle).
+
+use crate::graph::{ConstraintGraph, ConstraintRef, EdgeId};
+use crate::shape::Shape;
+
+/// Errors in constructing a [`Layering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayeringError {
+    /// A constraint appears in two layers.
+    Duplicate(ConstraintRef),
+    /// A layer is empty.
+    EmptyLayer {
+        /// Index of the empty layer.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for LayeringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayeringError::Duplicate(c) => write!(f, "constraint {c} appears in two layers"),
+            LayeringError::EmptyLayer { layer } => write!(f, "layer {layer} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LayeringError {}
+
+/// A partition of constraints into layers `0 .. M` (lowest first).
+#[derive(Debug, Clone)]
+pub struct Layering {
+    layers: Vec<Vec<ConstraintRef>>,
+}
+
+impl Layering {
+    /// Build a layering; layers are given lowest-numbered first.
+    ///
+    /// # Errors
+    ///
+    /// [`LayeringError::Duplicate`] if a constraint appears twice,
+    /// [`LayeringError::EmptyLayer`] if any layer is empty.
+    pub fn new(
+        layers: impl IntoIterator<Item = Vec<ConstraintRef>>,
+    ) -> Result<Self, LayeringError> {
+        let layers: Vec<Vec<ConstraintRef>> = layers.into_iter().collect();
+        let mut seen = std::collections::HashSet::new();
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.is_empty() {
+                return Err(LayeringError::EmptyLayer { layer: i });
+            }
+            for &c in layer {
+                if !seen.insert(c) {
+                    return Err(LayeringError::Duplicate(c));
+                }
+            }
+        }
+        Ok(Layering { layers })
+    }
+
+    /// The trivial layering: all constraints in one layer.
+    pub fn single(constraints: impl IntoIterator<Item = ConstraintRef>) -> Self {
+        Layering {
+            layers: vec![constraints.into_iter().collect()],
+        }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether there are no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers, lowest first.
+    pub fn layers(&self) -> &[Vec<ConstraintRef>] {
+        &self.layers
+    }
+
+    /// The layer index of `constraint`, if it belongs to the layering.
+    pub fn layer_of(&self, constraint: ConstraintRef) -> Option<usize> {
+        self.layers.iter().position(|l| l.contains(&constraint))
+    }
+
+    /// All constraints in layers strictly below `layer`.
+    pub fn below(&self, layer: usize) -> Vec<ConstraintRef> {
+        self.layers[..layer.min(self.layers.len())]
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// All constraints in layers strictly above `layer`.
+    pub fn above(&self, layer: usize) -> Vec<ConstraintRef> {
+        if layer + 1 >= self.layers.len() {
+            return Vec::new();
+        }
+        self.layers[layer + 1..].iter().flatten().copied().collect()
+    }
+
+    /// The edge ids of `graph` whose constraints are in `layer`.
+    pub fn edges_in_layer(&self, graph: &ConstraintGraph, layer: usize) -> Vec<EdgeId> {
+        let members = &self.layers[layer];
+        graph
+            .edge_ids()
+            .filter(|&e| members.contains(&graph.edge_ref(e).constraint()))
+            .collect()
+    }
+
+    /// The per-layer refined constraint graph (Section 7's `q'`-restricted
+    /// graph) and its shape.
+    pub fn layer_graph(&self, graph: &ConstraintGraph, layer: usize) -> (ConstraintGraph, Shape) {
+        let edges = self.edges_in_layer(graph, layer);
+        let sub = graph.restricted_to(&edges);
+        let shape = sub.shape();
+        (sub, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::ActionId;
+
+    fn c(i: usize) -> ConstraintRef {
+        ConstraintRef(i)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let l = Layering::new([vec![c(0), c(1)], vec![c(2)]]).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.layer_of(c(0)), Some(0));
+        assert_eq!(l.layer_of(c(2)), Some(1));
+        assert_eq!(l.layer_of(c(9)), None);
+        assert_eq!(l.below(1), vec![c(0), c(1)]);
+        assert!(l.below(0).is_empty());
+        assert_eq!(l.above(0), vec![c(2)]);
+        assert!(l.above(1).is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert_eq!(
+            Layering::new([vec![c(0)], vec![c(0)]]).unwrap_err(),
+            LayeringError::Duplicate(c(0))
+        );
+        assert_eq!(
+            Layering::new([vec![c(0)], vec![]]).unwrap_err(),
+            LayeringError::EmptyLayer { layer: 1 }
+        );
+    }
+
+    #[test]
+    fn single_layer() {
+        let l = Layering::single([c(0), c(1), c(2)]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.below(0), vec![]);
+        assert_eq!(l.above(0), vec![]);
+    }
+
+    #[test]
+    fn layer_graphs_restrict_edges() {
+        // A 2-cycle overall, but each layer alone is a single edge: the
+        // paper's Section 7 refinement makes each layer self-looping.
+        let nodes = vec![ConstraintGraph::node("a", []), ConstraintGraph::node("b", [])];
+        let edges = vec![
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(0),
+                ConstraintGraph::node_id(1),
+                ActionId::from_index(0),
+                c(0),
+            ),
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(1),
+                ConstraintGraph::node_id(0),
+                ActionId::from_index(1),
+                c(1),
+            ),
+        ];
+        let g = ConstraintGraph::from_parts(nodes, edges);
+        assert_eq!(g.shape(), Shape::Cyclic);
+
+        let l = Layering::new([vec![c(0)], vec![c(1)]]).unwrap();
+        let (g0, s0) = l.layer_graph(&g, 0);
+        let (g1, s1) = l.layer_graph(&g, 1);
+        assert_eq!(g0.edge_count(), 1);
+        assert_eq!(g1.edge_count(), 1);
+        assert_eq!(s0, Shape::OutTree);
+        assert_eq!(s1, Shape::OutTree);
+    }
+
+    #[test]
+    fn edges_in_layer_filters_by_constraint() {
+        let nodes = vec![ConstraintGraph::node("a", [])];
+        let e = |i: usize| {
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(0),
+                ConstraintGraph::node_id(0),
+                ActionId::from_index(i),
+                c(i),
+            )
+        };
+        let g = ConstraintGraph::from_parts(nodes, vec![e(0), e(1), e(2)]);
+        let l = Layering::new([vec![c(1)], vec![c(0), c(2)]]).unwrap();
+        assert_eq!(l.edges_in_layer(&g, 0).len(), 1);
+        assert_eq!(l.edges_in_layer(&g, 1).len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Constraint graphs (Section 4 of Arora, Gouda & Varghese 1994).
+//!
+//! A *constraint graph* of a set of convergence actions is a directed graph
+//! with:
+//!
+//! - one node per disjoint group of program variables (node *labels* are
+//!   mutually exclusive variable sets), and
+//! - one edge per convergence action: if action `ac` labels the edge from
+//!   node `v` to node `w`, then all variables *read* by `ac` lie in
+//!   `label(v) ∪ label(w)` and all variables *written* by `ac` lie in
+//!   `label(w)`.
+//!
+//! The paper's three sufficient conditions for convergence validation are
+//! phrased over the shape of this graph:
+//!
+//! - **Theorem 1** applies when the graph is an [*out-tree*](Shape::OutTree);
+//! - **Theorem 2** applies when the graph is
+//!   [*self-looping*](Shape::SelfLooping) (acyclic apart from self-loops)
+//!   and the actions targeting each node admit a linear preservation order
+//!   ([`ConstraintGraph::linear_preservation_order`]);
+//! - **Theorem 3** applies when the constraints can be
+//!   [layered](layering::Layering) so that each layer's graph is
+//!   self-looping with per-node linear orders.
+//!
+//! This crate provides the graph data structure, its derivation from a
+//! program's declared read/write sets ([`ConstraintGraph::derive`]), shape
+//! classification, the rank function from Theorem 1's proof, the
+//! linear-order search, layering support, and DOT export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod graph;
+pub mod layering;
+pub mod partition;
+pub mod shape;
+
+pub use graph::{ConstraintGraph, ConstraintRef, Edge, EdgeId, GraphError, Node, NodeId};
+pub use layering::{Layering, LayeringError};
+pub use partition::NodePartition;
+pub use shape::Shape;

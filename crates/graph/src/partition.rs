@@ -1,0 +1,174 @@
+//! Node partitions: disjoint variable groups forming constraint-graph nodes.
+
+use std::collections::HashMap;
+
+use nonmask_program::{ProcessId, Program, VarId};
+
+/// A partition of (a subset of) a program's variables into mutually
+/// exclusive groups, each of which becomes a constraint-graph node.
+///
+/// The paper requires node labels to be mutually exclusive: "a variable
+/// appears in the label of only one node". Variables not covered by any
+/// group simply cannot appear in convergence actions placed on the graph.
+#[derive(Debug, Clone, Default)]
+pub struct NodePartition {
+    groups: Vec<(String, Vec<VarId>)>,
+    owner: HashMap<VarId, usize>,
+}
+
+impl NodePartition {
+    /// An empty partition; add groups with [`NodePartition::group`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One node per process: each group holds the variables tagged with one
+    /// [`ProcessId`] (untagged variables are left out).
+    ///
+    /// This matches the paper's usage, where node `j`'s label is the set of
+    /// variables of process `j` (e.g. `{c.j, sn.j}`).
+    pub fn by_process(program: &Program) -> Self {
+        let mut buckets: Vec<(ProcessId, Vec<VarId>)> = Vec::new();
+        for var in program.var_ids() {
+            if let Some(pid) = program.var(var).process() {
+                match buckets.iter_mut().find(|(p, _)| *p == pid) {
+                    Some((_, vars)) => vars.push(var),
+                    None => buckets.push((pid, vec![var])),
+                }
+            }
+        }
+        buckets.sort_by_key(|(p, _)| *p);
+        let mut partition = NodePartition::new();
+        for (pid, vars) in buckets {
+            partition = partition.group(pid.to_string(), vars);
+        }
+        partition
+    }
+
+    /// One node per variable.
+    pub fn by_variable(program: &Program) -> Self {
+        let mut partition = NodePartition::new();
+        for var in program.var_ids() {
+            partition = partition.group(program.var(var).name().to_string(), [var]);
+        }
+        partition
+    }
+
+    /// Add a named group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable already belongs to another group (labels must
+    /// be mutually exclusive) or the group is empty.
+    pub fn group(mut self, name: impl Into<String>, vars: impl IntoIterator<Item = VarId>) -> Self {
+        let vars: Vec<VarId> = vars.into_iter().collect();
+        assert!(!vars.is_empty(), "constraint-graph nodes must label at least one variable");
+        let index = self.groups.len();
+        for &v in &vars {
+            let prev = self.owner.insert(v, index);
+            assert!(
+                prev.is_none(),
+                "variable {v} appears in two node labels; labels must be mutually exclusive"
+            );
+        }
+        self.groups.push((name.into(), vars));
+        self
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the partition has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The groups, in insertion order.
+    pub fn groups(&self) -> impl Iterator<Item = (&str, &[VarId])> {
+        self.groups.iter().map(|(n, v)| (n.as_str(), v.as_slice()))
+    }
+
+    /// The index of the group containing `var`, if any.
+    pub fn group_of(&self, var: VarId) -> Option<usize> {
+        self.owner.get(&var).copied()
+    }
+
+    /// The name of group `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn name_of(&self, index: usize) -> &str {
+        &self.groups[index].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::Domain;
+
+    fn program() -> Program {
+        let mut b = Program::builder("p");
+        b.var_of("c.0", Domain::Bool, ProcessId(0));
+        b.var_of("sn.0", Domain::Bool, ProcessId(0));
+        b.var_of("c.1", Domain::Bool, ProcessId(1));
+        b.var("global", Domain::Bool);
+        b.build()
+    }
+
+    #[test]
+    fn by_process_groups_tagged_vars() {
+        let p = program();
+        let part = NodePartition::by_process(&p);
+        assert_eq!(part.len(), 2);
+        let c0 = p.var_by_name("c.0").unwrap();
+        let sn0 = p.var_by_name("sn.0").unwrap();
+        let c1 = p.var_by_name("c.1").unwrap();
+        let g = p.var_by_name("global").unwrap();
+        assert_eq!(part.group_of(c0), part.group_of(sn0));
+        assert_ne!(part.group_of(c0), part.group_of(c1));
+        assert_eq!(part.group_of(g), None, "untagged variables are uncovered");
+        assert_eq!(part.name_of(0), "P0");
+    }
+
+    #[test]
+    fn by_variable_gives_singletons() {
+        let p = program();
+        let part = NodePartition::by_variable(&p);
+        assert_eq!(part.len(), 4);
+        for var in p.var_ids() {
+            let g = part.group_of(var).unwrap();
+            assert_eq!(part.name_of(g), p.var(var).name());
+        }
+    }
+
+    #[test]
+    fn manual_groups() {
+        let p = program();
+        let c0 = p.var_by_name("c.0").unwrap();
+        let c1 = p.var_by_name("c.1").unwrap();
+        let part = NodePartition::new().group("left", [c0]).group("right", [c1]);
+        assert_eq!(part.len(), 2);
+        assert_eq!(part.group_of(c0), Some(0));
+        assert_eq!(part.group_of(c1), Some(1));
+        let names: Vec<&str> = part.groups().map(|(n, _)| n).collect();
+        assert_eq!(names, ["left", "right"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn overlapping_groups_panic() {
+        let p = program();
+        let c0 = p.var_by_name("c.0").unwrap();
+        let _ = NodePartition::new().group("a", [c0]).group("b", [c0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_group_panics() {
+        let _ = NodePartition::new().group("empty", []);
+    }
+}

@@ -1,0 +1,169 @@
+//! Shape classification of constraint graphs.
+
+use crate::graph::ConstraintGraph;
+
+/// The paper's taxonomy of constraint-graph shapes, strongest first.
+///
+/// `OutTree ⊂ SelfLooping ⊂ arbitrary`; classification returns the strongest
+/// class that applies, so an out-tree is reported as [`Shape::OutTree`] even
+/// though it is also (vacuously) self-looping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Weakly connected; one node of indegree zero, all others indegree
+    /// one; no self-loops (Section 5). Theorem 1 applies.
+    OutTree,
+    /// Every cycle is a self-loop, i.e. the graph is acyclic once
+    /// self-loops are removed (Section 6). Theorem 2's shape condition.
+    SelfLooping,
+    /// Has a cycle of length greater than one (Section 7). Requires
+    /// refinement (restriction to state subsets or layering) before
+    /// Theorems 1–2 apply.
+    Cyclic,
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shape::OutTree => f.write_str("out-tree"),
+            Shape::SelfLooping => f.write_str("self-looping"),
+            Shape::Cyclic => f.write_str("cyclic"),
+        }
+    }
+}
+
+/// Classify `graph`. Graphs with no nodes classify as [`Shape::SelfLooping`]
+/// (vacuously acyclic, but not a tree).
+pub(crate) fn classify(graph: &ConstraintGraph) -> Shape {
+    let n = graph.node_count();
+    if n == 0 {
+        return Shape::SelfLooping;
+    }
+
+    // Cycle detection ignoring self-loops (Kahn's algorithm).
+    let mut indeg = vec![0usize; n];
+    let mut has_self_loop = false;
+    for e in graph.edges() {
+        if e.is_self_loop() {
+            has_self_loop = true;
+        } else {
+            indeg[e.to().index()] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut visited = 0;
+    let mut order_indeg = indeg.clone();
+    while let Some(v) = queue.pop() {
+        visited += 1;
+        for e in graph.edges() {
+            if !e.is_self_loop() && e.from().index() == v {
+                let t = e.to().index();
+                order_indeg[t] -= 1;
+                if order_indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+    }
+    if visited != n {
+        return Shape::Cyclic;
+    }
+
+    // Out-tree: no self-loops, weakly connected, exactly one root with
+    // indegree 0 and every other node indegree exactly 1.
+    let roots = indeg.iter().filter(|&&d| d == 0).count();
+    let all_single = indeg.iter().all(|&d| d <= 1);
+    if !has_self_loop && roots == 1 && all_single && graph.is_weakly_connected() {
+        Shape::OutTree
+    } else {
+        Shape::SelfLooping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConstraintGraph, ConstraintRef};
+    use nonmask_program::ActionId;
+
+    fn mk(n: usize, arcs: &[(usize, usize)]) -> ConstraintGraph {
+        let nodes = (0..n).map(|i| ConstraintGraph::node(format!("n{i}"), [])).collect();
+        let edges = arcs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, t))| {
+                ConstraintGraph::edge(
+                    ConstraintGraph::node_id(f),
+                    ConstraintGraph::node_id(t),
+                    ActionId::from_index(i),
+                    ConstraintRef(i),
+                )
+            })
+            .collect();
+        ConstraintGraph::from_parts(nodes, edges)
+    }
+
+    #[test]
+    fn single_node_no_edges_is_out_tree() {
+        assert_eq!(mk(1, &[]).shape(), Shape::OutTree);
+    }
+
+    #[test]
+    fn empty_graph_is_self_looping() {
+        assert_eq!(mk(0, &[]).shape(), Shape::SelfLooping);
+    }
+
+    #[test]
+    fn chain_and_star_are_out_trees() {
+        assert_eq!(mk(3, &[(0, 1), (1, 2)]).shape(), Shape::OutTree);
+        assert_eq!(mk(4, &[(0, 1), (0, 2), (0, 3)]).shape(), Shape::OutTree);
+    }
+
+    #[test]
+    fn disconnected_dag_is_not_a_tree() {
+        assert_eq!(mk(4, &[(0, 1), (2, 3)]).shape(), Shape::SelfLooping);
+    }
+
+    #[test]
+    fn diamond_is_not_a_tree() {
+        // Two edges into node 3.
+        assert_eq!(
+            mk(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).shape(),
+            Shape::SelfLooping
+        );
+    }
+
+    #[test]
+    fn self_loop_downgrades_tree() {
+        assert_eq!(mk(2, &[(0, 1), (1, 1)]).shape(), Shape::SelfLooping);
+    }
+
+    #[test]
+    fn two_cycle_is_cyclic() {
+        assert_eq!(mk(2, &[(0, 1), (1, 0)]).shape(), Shape::Cyclic);
+    }
+
+    #[test]
+    fn long_cycle_is_cyclic() {
+        assert_eq!(mk(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).shape(), Shape::Cyclic);
+    }
+
+    #[test]
+    fn cycle_with_tail_is_cyclic() {
+        assert_eq!(mk(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]).shape(), Shape::Cyclic);
+    }
+
+    #[test]
+    fn parallel_edges_break_tree_property() {
+        // Two edges 0 -> 1 (two convergence actions targeting node 1): the
+        // indegree of node 1 is 2, so this is not an out-tree even though it
+        // is acyclic.
+        assert_eq!(mk(2, &[(0, 1), (0, 1)]).shape(), Shape::SelfLooping);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Shape::OutTree.to_string(), "out-tree");
+        assert_eq!(Shape::SelfLooping.to_string(), "self-looping");
+        assert_eq!(Shape::Cyclic.to_string(), "cyclic");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of constraint-graph structure.
+
+use nonmask_graph::{ConstraintGraph, ConstraintRef, Shape};
+use nonmask_program::ActionId;
+use proptest::prelude::*;
+
+/// A random graph as `(node_count, arcs)`; arcs generated with
+/// `from < to` are acyclic by construction, arbitrary arcs may cycle.
+fn acyclic_arcs() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..8).prop_flat_map(|n| {
+        let arc = (0..n - 1).prop_flat_map(move |f| (Just(f), f + 1..n));
+        (Just(n), proptest::collection::vec(arc, 0..12))
+    })
+}
+
+fn arbitrary_arcs() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..8).prop_flat_map(|n| {
+        let arc = (0..n, 0..n);
+        (Just(n), proptest::collection::vec(arc, 0..12))
+    })
+}
+
+fn build(n: usize, arcs: &[(usize, usize)]) -> ConstraintGraph {
+    let nodes = (0..n)
+        .map(|i| ConstraintGraph::node(format!("n{i}"), []))
+        .collect();
+    let edges = arcs
+        .iter()
+        .enumerate()
+        .map(|(i, &(f, t))| {
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(f),
+                ConstraintGraph::node_id(t),
+                ActionId::from_index(i),
+                ConstraintRef(i),
+            )
+        })
+        .collect();
+    ConstraintGraph::from_parts(nodes, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forward-only arcs can never produce a cyclic classification, and
+    /// ranks are defined and strictly increasing along every edge.
+    #[test]
+    fn forward_arcs_are_never_cyclic((n, arcs) in acyclic_arcs()) {
+        let g = build(n, &arcs);
+        prop_assert_ne!(g.shape(), Shape::Cyclic);
+        let ranks = g.ranks().unwrap();
+        for e in g.edges() {
+            prop_assert!(ranks[e.to().index()] > ranks[e.from().index()]);
+        }
+    }
+
+    /// Classification and ranks agree: ranks exist iff the graph is not
+    /// cyclic.
+    #[test]
+    fn ranks_defined_iff_not_cyclic((n, arcs) in arbitrary_arcs()) {
+        // Filter out self-loops from the cyclicity question: ranks ignore
+        // them, as does the shape (self-loops alone are SelfLooping).
+        let g = build(n, &arcs);
+        let cyclic = g.shape() == Shape::Cyclic;
+        prop_assert_eq!(g.ranks().is_err(), cyclic);
+    }
+
+    /// Out-trees demand exactly `n - 1` non-self edges; any graph with a
+    /// different count is not an out-tree.
+    #[test]
+    fn out_tree_edge_count((n, arcs) in arbitrary_arcs()) {
+        let g = build(n, &arcs);
+        if g.shape() == Shape::OutTree {
+            let non_self = g.edges().iter().filter(|e| !e.is_self_loop()).count();
+            prop_assert_eq!(non_self, n - 1);
+            prop_assert!(g.is_weakly_connected());
+        }
+    }
+
+    /// Restricting a graph to a subset of edges never makes it *more*
+    /// cyclic: subgraphs of acyclic graphs are acyclic.
+    #[test]
+    fn restriction_preserves_acyclicity((n, arcs) in acyclic_arcs(), keep_mask in any::<u16>()) {
+        let g = build(n, &arcs);
+        let keep: Vec<_> = g
+            .edge_ids()
+            .enumerate()
+            .filter(|(i, _)| keep_mask & (1 << (i % 16)) != 0)
+            .map(|(_, e)| e)
+            .collect();
+        let sub = g.restricted_to(&keep);
+        prop_assert_ne!(sub.shape(), Shape::Cyclic);
+        prop_assert_eq!(sub.edge_count(), keep.len());
+    }
+
+    /// With a universally-true preservation oracle every node has a linear
+    /// order containing all of its incoming edges; with a universally-false
+    /// oracle only nodes with at most one incoming edge do.
+    #[test]
+    fn linear_order_oracle_extremes((n, arcs) in arbitrary_arcs()) {
+        let g = build(n, &arcs);
+        for node in g.node_ids() {
+            let targeting = g.edges_targeting(node);
+            let always = g.linear_preservation_order(node, |_, _| true).unwrap();
+            prop_assert_eq!(always.len(), targeting.len());
+
+            let never = g.linear_preservation_order(node, |_, _| false);
+            if targeting.len() <= 1 {
+                prop_assert!(never.is_some());
+            } else {
+                prop_assert!(never.is_none(), "mutual violation admits no order");
+            }
+        }
+    }
+
+    /// Any order returned satisfies its defining property: each action
+    /// preserves the constraints of all preceding edges.
+    #[test]
+    fn returned_orders_are_valid((n, arcs) in arbitrary_arcs(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let g = build(n, &arcs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A random but fixed oracle.
+        let table: Vec<Vec<bool>> = (0..g.edge_count())
+            .map(|_| (0..g.edge_count()).map(|_| rng.gen_bool(0.7)).collect())
+            .collect();
+        let oracle = |a: ActionId, c: ConstraintRef| table[a.index() % table.len().max(1)][c.0];
+        for node in g.node_ids() {
+            if let Some(order) = g.linear_preservation_order(node, oracle) {
+                for i in 0..order.len() {
+                    for j in i + 1..order.len() {
+                        let later = g.edge_ref(order[j]).action();
+                        let earlier = g.edge_ref(order[i]).constraint();
+                        prop_assert!(oracle(later, earlier), "order violates its contract");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The abstract syntax tree.
+
+/// A complete program definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramDef {
+    /// Program name.
+    pub name: String,
+    /// Variable declarations, in order.
+    pub vars: Vec<VarDef>,
+    /// Action definitions, in order.
+    pub actions: Vec<ActionDef>,
+}
+
+/// A declared variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDef {
+    /// Variable name (may contain dots, e.g. `c.0`).
+    pub name: String,
+    /// Its domain.
+    pub domain: DomainDef,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A domain in the surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainDef {
+    /// `bool`.
+    Bool,
+    /// `lo .. hi` (inclusive).
+    Range(i64, i64),
+    /// `{label, label, …}`; labels become named constants.
+    Enum(Vec<String>),
+}
+
+/// An action definition: `action name [kind] : guard -> assignments`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDef {
+    /// Action name.
+    pub name: String,
+    /// Declared kind (defaults to `closure`).
+    pub kind: nonmask_program::ActionKind,
+    /// The guard expression.
+    pub guard: Expr,
+    /// Simultaneous assignments `(target, rhs)`.
+    pub assigns: Vec<(String, Expr)>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// Binary operators, in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (Euclidean quotient)
+    Div,
+    /// `%` (mathematical modulo: result is non-negative for positive rhs)
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Render the operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A variable reference or a named (enum-label) constant — resolved at
+    /// compile time.
+    Ident(String),
+    /// Unary `!`.
+    Not(Box<Expr>),
+    /// Unary `-`.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Collect the identifiers referenced by this expression into `out`.
+    pub fn idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) => {}
+            Expr::Ident(name) => out.push(name),
+            Expr::Not(e) | Expr::Neg(e) => e.idents(out),
+            Expr::Bin(_, l, r) => {
+                l.idents(out);
+                r.idents(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_are_collected() {
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bin(
+                BinOp::Eq,
+                Box::new(Expr::Ident("x".into())),
+                Box::new(Expr::Int(1)),
+            )),
+            Box::new(Expr::Not(Box::new(Expr::Ident("y".into())))),
+        );
+        let mut ids = Vec::new();
+        e.idents(&mut ids);
+        assert_eq!(ids, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::And,
+            BinOp::Or,
+        ] {
+            assert!(!op.symbol().is_empty());
+        }
+    }
+}

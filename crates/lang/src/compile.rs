@@ -1,0 +1,332 @@
+//! Compilation of the AST to an executable [`Program`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nonmask_program::{Domain, Program, State, VarId};
+
+use crate::ast::{BinOp, DomainDef, Expr, ProgramDef};
+use crate::LangError;
+
+/// A resolved, evaluable expression: identifiers are variable slots or
+/// folded constants.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Const(i64),
+    Var(VarId),
+    Not(Box<CExpr>),
+    Neg(Box<CExpr>),
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+fn truthy(v: i64) -> bool {
+    v != 0
+}
+
+fn eval(e: &CExpr, s: &State) -> i64 {
+    match e {
+        CExpr::Const(v) => *v,
+        CExpr::Var(id) => s.get(*id),
+        CExpr::Not(inner) => (!truthy(eval(inner, s))) as i64,
+        CExpr::Neg(inner) => -eval(inner, s),
+        CExpr::Bin(op, l, r) => {
+            let (a, b) = (eval(l, s), eval(r, s));
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                // Division and modulo are Euclidean (non-negative
+                // remainder for positive divisors — what `mod K` counters
+                // want); division by zero yields 0 rather than trapping,
+                // since guards must be total functions of the state.
+                BinOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.div_euclid(b)
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.rem_euclid(b)
+                    }
+                }
+                BinOp::Eq => (a == b) as i64,
+                BinOp::Ne => (a != b) as i64,
+                BinOp::Lt => (a < b) as i64,
+                BinOp::Le => (a <= b) as i64,
+                BinOp::Gt => (a > b) as i64,
+                BinOp::Ge => (a >= b) as i64,
+                BinOp::And => (truthy(a) && truthy(b)) as i64,
+                BinOp::Or => (truthy(a) || truthy(b)) as i64,
+            }
+        }
+    }
+}
+
+struct Scope {
+    vars: HashMap<String, VarId>,
+    consts: HashMap<String, i64>,
+}
+
+impl Scope {
+    fn resolve(&self, expr: &Expr, line: u32) -> Result<CExpr, LangError> {
+        Ok(match expr {
+            Expr::Int(v) => CExpr::Const(*v),
+            Expr::Bool(b) => CExpr::Const(*b as i64),
+            Expr::Ident(name) => {
+                if let Some(&id) = self.vars.get(name) {
+                    CExpr::Var(id)
+                } else if let Some(&v) = self.consts.get(name) {
+                    CExpr::Const(v)
+                } else {
+                    return Err(LangError::new(
+                        line,
+                        format!("unknown identifier `{name}` (not a variable or enum label)"),
+                    ));
+                }
+            }
+            Expr::Not(e) => CExpr::Not(Box::new(self.resolve(e, line)?)),
+            Expr::Neg(e) => CExpr::Neg(Box::new(self.resolve(e, line)?)),
+            Expr::Bin(op, l, r) => CExpr::Bin(
+                *op,
+                Box::new(self.resolve(l, line)?),
+                Box::new(self.resolve(r, line)?),
+            ),
+        })
+    }
+}
+
+fn collect_vars(e: &CExpr, out: &mut Vec<VarId>) {
+    match e {
+        CExpr::Const(_) => {}
+        CExpr::Var(id) => out.push(*id),
+        CExpr::Not(inner) | CExpr::Neg(inner) => collect_vars(inner, out),
+        CExpr::Bin(_, l, r) => {
+            collect_vars(l, out);
+            collect_vars(r, out);
+        }
+    }
+}
+
+/// Compile a parsed [`ProgramDef`] into an executable [`Program`].
+///
+/// Typing is deliberately loose (the paper's notation mixes booleans and
+/// small integers freely): booleans are `0`/`1`, any nonzero value is
+/// true in boolean positions, and comparisons yield `0`/`1`.
+///
+/// # Errors
+///
+/// [`LangError`] on duplicate variables, conflicting enum labels, unknown
+/// identifiers, or empty ranges.
+pub fn compile_def(def: &ProgramDef) -> Result<Program, LangError> {
+    let mut b = Program::builder(def.name.clone());
+    let mut scope = Scope {
+        vars: HashMap::new(),
+        consts: HashMap::new(),
+    };
+
+    for var in &def.vars {
+        if scope.vars.contains_key(&var.name) {
+            return Err(LangError::new(
+                var.line,
+                format!("variable `{}` declared twice", var.name),
+            ));
+        }
+        let domain = match &var.domain {
+            DomainDef::Bool => Domain::Bool,
+            DomainDef::Range(lo, hi) => {
+                if lo > hi {
+                    return Err(LangError::new(
+                        var.line,
+                        format!("empty range {lo}..{hi} for `{}`", var.name),
+                    ));
+                }
+                Domain::range(*lo, *hi)
+            }
+            DomainDef::Enum(labels) => {
+                for (i, label) in labels.iter().enumerate() {
+                    match scope.consts.get(label) {
+                        Some(&v) if v != i as i64 => {
+                            return Err(LangError::new(
+                                var.line,
+                                format!(
+                                    "enum label `{label}` already bound to {v}, cannot rebind to {i}"
+                                ),
+                            ))
+                        }
+                        _ => {
+                            scope.consts.insert(label.clone(), i as i64);
+                        }
+                    }
+                }
+                Domain::enumeration(labels.iter().map(String::as_str))
+            }
+        };
+        let id = b.var(var.name.clone(), domain);
+        scope.vars.insert(var.name.clone(), id);
+    }
+
+    for action in &def.actions {
+        let guard = scope.resolve(&action.guard, action.line)?;
+        let mut assigns: Vec<(VarId, CExpr)> = Vec::with_capacity(action.assigns.len());
+        for (target, rhs) in &action.assigns {
+            let Some(&tid) = scope.vars.get(target) else {
+                return Err(LangError::new(
+                    action.line,
+                    format!("assignment target `{target}` is not a declared variable"),
+                ));
+            };
+            assigns.push((tid, scope.resolve(rhs, action.line)?));
+        }
+
+        let mut reads = Vec::new();
+        collect_vars(&guard, &mut reads);
+        for (_, rhs) in &assigns {
+            collect_vars(rhs, &mut reads);
+        }
+        let writes: Vec<VarId> = assigns.iter().map(|(t, _)| *t).collect();
+
+        let guard = Arc::new(guard);
+        let assigns = Arc::new(assigns);
+        b.add_action(nonmask_program::Action::new(
+            action.name.clone(),
+            action.kind,
+            reads,
+            writes,
+            {
+                let guard = guard.clone();
+                move |s: &State| truthy(eval(&guard, s))
+            },
+            move |s: &mut State| {
+                // Simultaneous assignment: evaluate every RHS against the
+                // pre-state, then write.
+                let values: Vec<(VarId, i64)> =
+                    assigns.iter().map(|(t, e)| (*t, eval(e, s))).collect();
+                for (t, v) in values {
+                    s.set(t, v);
+                }
+            },
+        ));
+    }
+
+    b.try_build()
+        .map_err(|e| LangError::new(1, format!("program construction failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn compile(src: &str) -> Program {
+        compile_def(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiles_and_executes() {
+        let p = compile(
+            "program inc var x : 0..3 \
+             action up : x < 3 -> x := x + 1",
+        );
+        let mut s = p.min_state();
+        let a = p.action_ids().next().unwrap();
+        assert!(p.action(a).enabled(&s));
+        p.action(a).apply(&mut s);
+        assert_eq!(s.slots()[0], 1);
+        // Inferred read/write sets.
+        assert_eq!(p.action(a).reads().len(), 1);
+        assert_eq!(p.action(a).writes().len(), 1);
+    }
+
+    #[test]
+    fn simultaneous_assignment_is_simultaneous() {
+        let p = compile(
+            "program swap var x : 0..9; y : 0..9 \
+             action sw : true -> x := y, y := x",
+        );
+        let mut s = p.state_from([3, 7]).unwrap();
+        let a = p.action_ids().next().unwrap();
+        p.action(a).apply(&mut s);
+        assert_eq!(s.slots(), &[7, 3], "swap, not overwrite");
+    }
+
+    #[test]
+    fn enum_labels_are_constants() {
+        let p = compile(
+            "program colors var c : {green, red} \
+             action redden : c == green -> c := red",
+        );
+        let mut s = p.min_state();
+        let a = p.action_ids().next().unwrap();
+        assert!(p.action(a).enabled(&s));
+        p.action(a).apply(&mut s);
+        assert_eq!(s.slots()[0], 1, "red = 1");
+        assert!(!p.action(a).enabled(&s));
+    }
+
+    #[test]
+    fn shared_enum_labels_must_agree() {
+        // Same labels at the same positions: fine.
+        let _ = compile("program ok var a : {g, r}; b : {g, r}");
+        // Conflicting position: error.
+        let err = compile_def(&parse("program bad var a : {g, r}; b : {r, g}").unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("already bound"));
+    }
+
+    #[test]
+    fn euclidean_mod_and_div() {
+        let p = compile(
+            "program m var x : -4..4; y : 0..4 \
+             action a : true -> y := x % 3 \
+             action b : true -> y := x / 0",
+        );
+        let mut s = p.state_from([-4, 0]).unwrap();
+        let ids: Vec<_> = p.action_ids().collect();
+        p.action(ids[0]).apply(&mut s);
+        assert_eq!(s.slots()[1], 2, "-4 mod 3 = 2 (Euclidean)");
+        p.action(ids[1]).apply(&mut s);
+        assert_eq!(s.slots()[1], 0, "division by zero yields 0");
+    }
+
+    #[test]
+    fn unknown_identifier_rejected() {
+        let err = compile_def(&parse("program p var x : bool action a : q -> x := true").unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("unknown identifier `q`"));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let err = compile_def(&parse("program p var x : bool action a : x -> q := true").unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("target `q`"));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let err = compile_def(&parse("program p var x : bool; x : bool").unwrap()).unwrap_err();
+        assert!(err.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let err = compile_def(&parse("program p var x : 5..2").unwrap()).unwrap_err();
+        assert!(err.message.contains("empty range"));
+    }
+
+    #[test]
+    fn boolean_operators_work() {
+        let p = compile(
+            "program b var x : bool; y : bool \
+             action a : x && !y || false -> y := true",
+        );
+        let a = p.action_ids().next().unwrap();
+        assert!(p.action(a).enabled(&p.state_from([1, 0]).unwrap()));
+        assert!(!p.action(a).enabled(&p.state_from([1, 1]).unwrap()));
+        assert!(!p.action(a).enabled(&p.state_from([0, 0]).unwrap()));
+    }
+}

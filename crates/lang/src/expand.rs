@@ -1,0 +1,213 @@
+//! A line-level template preprocessor for parameterized programs.
+//!
+//! The paper writes programs with a process parameter (`process j: 1..N`);
+//! the surface language is monomorphic, so this preprocessor expands
+//! `for`-prefixed lines before parsing:
+//!
+//! ```text
+//! for j in 1..4: action pass.$j [combined] : x.$j != x.${j-1} -> x.$j := x.${j-1}
+//! ```
+//!
+//! expands to three `action` lines with `$j` / `${j±k}` substituted by the
+//! loop value (the range is half-open, as in Rust). Substitutions:
+//!
+//! - `$j` — the loop variable's value,
+//! - `${j+3}`, `${j-1}` — simple offset arithmetic,
+//! - `${j%5}`, with an optional offset first: `${j+1%5}` means `(j+1) % 5`
+//!   (useful for ring indices).
+
+use crate::LangError;
+
+/// Expand all `for`-prefixed lines of `source`.
+///
+/// # Errors
+///
+/// [`LangError`] on malformed `for` prefixes or substitution expressions.
+pub fn expand(source: &str) -> Result<String, LangError> {
+    let mut out = String::with_capacity(source.len());
+    for (idx, line) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("for ") {
+            let (var, lo, hi, body) = parse_for_header(rest, line_no)?;
+            for value in lo..hi {
+                out.push_str(&substitute(body, &var, value, line_no)?);
+                out.push('\n');
+            }
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Parse `j in 1..4: body` returning `(var, lo, hi, body)`.
+fn parse_for_header(rest: &str, line: u32) -> Result<(String, i64, i64, &str), LangError> {
+    let Some((head, body)) = rest.split_once(':') else {
+        return Err(LangError::new(line, "`for` line is missing `:`"));
+    };
+    let mut parts = head.split_whitespace();
+    let var = parts
+        .next()
+        .ok_or_else(|| LangError::new(line, "`for` needs a loop variable"))?
+        .to_string();
+    match parts.next() {
+        Some("in") => {}
+        _ => return Err(LangError::new(line, "`for` expects `<var> in <lo>..<hi>:`")),
+    }
+    let range = parts
+        .next()
+        .ok_or_else(|| LangError::new(line, "`for` expects a range"))?;
+    if parts.next().is_some() {
+        return Err(LangError::new(line, "unexpected tokens after the `for` range"));
+    }
+    let Some((lo, hi)) = range.split_once("..") else {
+        return Err(LangError::new(line, "`for` range must be `<lo>..<hi>` (half-open)"));
+    };
+    let lo: i64 = lo
+        .parse()
+        .map_err(|_| LangError::new(line, format!("bad range start `{lo}`")))?;
+    let hi: i64 = hi
+        .parse()
+        .map_err(|_| LangError::new(line, format!("bad range end `{hi}`")))?;
+    Ok((var, lo, hi, body.trim()))
+}
+
+/// Substitute `$var` and `${var op k ...}` occurrences in `body`.
+fn substitute(body: &str, var: &str, value: i64, line: u32) -> Result<String, LangError> {
+    let mut out = String::with_capacity(body.len());
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'$' {
+            out.push(bytes[i] as char);
+            i += 1;
+            continue;
+        }
+        // `${expr}` form.
+        if bytes.get(i + 1) == Some(&b'{') {
+            let Some(close) = body[i + 2..].find('}') else {
+                return Err(LangError::new(line, "unterminated `${…}`"));
+            };
+            let expr = &body[i + 2..i + 2 + close];
+            out.push_str(&eval_template(expr, var, value, line)?.to_string());
+            i += 2 + close + 1;
+            continue;
+        }
+        // `$var` form.
+        let rest = &body[i + 1..];
+        if rest.starts_with(var)
+            && !rest[var.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            out.push_str(&value.to_string());
+            i += 1 + var.len();
+            continue;
+        }
+        return Err(LangError::new(
+            line,
+            format!("`$` must be followed by `{var}` or `{{…}}`"),
+        ));
+    }
+    Ok(out)
+}
+
+/// Evaluate `var`, `var+k`, `var-k`, optionally followed by `%m`.
+fn eval_template(expr: &str, var: &str, value: i64, line: u32) -> Result<i64, LangError> {
+    let expr = expr.trim();
+    let (main, modulus) = match expr.split_once('%') {
+        Some((m, md)) => {
+            let md: i64 = md
+                .trim()
+                .parse()
+                .map_err(|_| LangError::new(line, format!("bad modulus in `${{{expr}}}`")))?;
+            (m.trim(), Some(md))
+        }
+        None => (expr, None),
+    };
+    let base = if let Some(rest) = main.strip_prefix(var) {
+        let rest = rest.trim();
+        if rest.is_empty() {
+            value
+        } else if let Some(k) = rest.strip_prefix('+') {
+            value
+                + k.trim()
+                    .parse::<i64>()
+                    .map_err(|_| LangError::new(line, format!("bad offset in `${{{expr}}}`")))?
+        } else if let Some(k) = rest.strip_prefix('-') {
+            value
+                - k.trim()
+                    .parse::<i64>()
+                    .map_err(|_| LangError::new(line, format!("bad offset in `${{{expr}}}`")))?
+        } else {
+            return Err(LangError::new(line, format!("cannot parse `${{{expr}}}`")));
+        }
+    } else {
+        return Err(LangError::new(
+            line,
+            format!("`${{{expr}}}` must start with the loop variable `{var}`"),
+        ));
+    };
+    Ok(match modulus {
+        Some(m) if m != 0 => base.rem_euclid(m),
+        _ => base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_simple_loop() {
+        let out = expand("for j in 0..3: var x.$j : bool").unwrap();
+        assert_eq!(out, "var x.0 : bool\nvar x.1 : bool\nvar x.2 : bool\n");
+    }
+
+    #[test]
+    fn offset_and_modulus() {
+        let out = expand("for j in 1..3: x.$j := x.${j-1} + x.${j+1%3}").unwrap();
+        assert_eq!(out, "x.1 := x.0 + x.2\nx.2 := x.1 + x.0\n");
+    }
+
+    #[test]
+    fn non_for_lines_pass_through() {
+        let out = expand("program p\nfor j in 0..1: action a.$j : true -> x := 0").unwrap();
+        assert!(out.starts_with("program p\n"));
+        assert!(out.contains("action a.0"));
+    }
+
+    #[test]
+    fn loop_var_boundary_is_respected() {
+        // `$jx` must not substitute for var `j`.
+        let err = expand("for j in 0..1: $jx").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = expand("ok\nfor j in 0..2 action").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = expand("for j in 0..2: ${j").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = expand("for j in 0..2: ${k+1}").unwrap_err();
+        assert!(err.message.contains("loop variable"));
+    }
+
+    #[test]
+    fn whole_ring_program_expands_and_compiles() {
+        let src = "\
+program ring
+for j in 0..5: var x.$j : 0..4
+action pass.0 [combined] : x.0 == x.4 -> x.0 := (x.0 + 1) % 5
+for j in 1..5: action pass.$j [combined] : x.$j != x.${j-1} -> x.$j := x.${j-1}
+";
+        let expanded = expand(src).unwrap();
+        let program = crate::compile(&expanded).unwrap();
+        assert_eq!(program.var_count(), 5);
+        assert_eq!(program.action_count(), 5);
+    }
+}

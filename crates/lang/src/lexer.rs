@@ -1,0 +1,231 @@
+//! The tokenizer.
+
+use crate::LangError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (may contain `.` segments: `c.0`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// A keyword: `program`, `var`, `action`, `bool`, `true`, `false`.
+    Keyword(&'static str),
+    /// A punctuation/operator token, by its surface text.
+    Punct(&'static str),
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const KEYWORDS: [&str; 6] = ["program", "var", "action", "bool", "true", "false"];
+
+/// Multi-character operators first (longest match wins).
+const PUNCTS: [&str; 20] = [
+    ":=", "==", "!=", "<=", ">=", "&&", "||", "->", "..", "<", ">", "!", "+", "-", "*", "/", "%",
+    ":", ",", ";",
+];
+
+const BRACKETS: [&str; 6] = ["(", ")", "{", "}", "[", "]"];
+
+/// Tokenize `source`.
+///
+/// # Errors
+///
+/// [`LangError`] on unrecognized characters or malformed numbers.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `#` or `//` to end of line.
+        if c == '#' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            // Don't swallow the `..` of a range after a number.
+            let text = &source[start..i];
+            let value: i64 = text
+                .parse()
+                .map_err(|_| LangError::new(line, format!("number `{text}` out of range")))?;
+            out.push(Spanned {
+                tok: Tok::Int(value),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            // An identifier must not end with '.' (that `.` belongs to a
+            // following token, e.g. a stray range).
+            let mut end = i;
+            while end > start && bytes[end - 1] == b'.' {
+                end -= 1;
+            }
+            i = end;
+            let text = &source[start..end];
+            if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == text) {
+                out.push(Spanned {
+                    tok: Tok::Keyword(kw),
+                    line,
+                });
+            } else {
+                out.push(Spanned {
+                    tok: Tok::Ident(text.to_string()),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Brackets.
+        if let Some(&b) = BRACKETS.iter().find(|&&b| b.as_bytes()[0] == bytes[i]) {
+            out.push(Spanned {
+                tok: Tok::Punct(b),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Operators, longest first.
+        let rest = &source[i..];
+        if let Some(&p) = PUNCTS.iter().find(|&&p| rest.starts_with(p)) {
+            out.push(Spanned {
+                tok: Tok::Punct(p),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        return Err(LangError::new(line, format!("unrecognized character `{c}`")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("program p var x : 0..3"),
+            vec![
+                Tok::Keyword("program"),
+                Tok::Ident("p".into()),
+                Tok::Keyword("var"),
+                Tok::Ident("x".into()),
+                Tok::Punct(":"),
+                Tok::Int(0),
+                Tok::Punct(".."),
+                Tok::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(
+            toks("c.0 sn.12"),
+            vec![Tok::Ident("c.0".into()), Tok::Ident("sn.12".into())]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("x := y == z != w <= v"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct(":="),
+                Tok::Ident("y".into()),
+                Tok::Punct("=="),
+                Tok::Ident("z".into()),
+                Tok::Punct("!="),
+                Tok::Ident("w".into()),
+                Tok::Punct("<="),
+                Tok::Ident("v".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("x # comment\ny // another\nz").unwrap();
+        assert_eq!(spanned.len(), 3);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn arrow_and_logic() {
+        assert_eq!(
+            toks("a && b || !c -> d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("b".into()),
+                Tok::Punct("||"),
+                Tok::Punct("!"),
+                Tok::Ident("c".into()),
+                Tok::Punct("->"),
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_range() {
+        assert_eq!(toks("12..15"), vec![Tok::Int(12), Tok::Punct(".."), Tok::Int(15)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("x @ y").is_err());
+        assert_eq!(lex("x\n@").unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn keywords_true_false_bool() {
+        assert_eq!(
+            toks("true false bool"),
+            vec![Tok::Keyword("true"), Tok::Keyword("false"), Tok::Keyword("bool")]
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! A textual guarded-command language, compiled to
+//! [`nonmask_program::Program`]s.
+//!
+//! The paper writes its programs in Dijkstra-style guarded-command
+//! notation; this crate lets you do the same, instead of building actions
+//! from Rust closures:
+//!
+//! ```
+//! use nonmask_lang::compile;
+//!
+//! let program = compile(r#"
+//!     program token_ring
+//!     var x0 : 0..2; x1 : 0..2; x2 : 0..2
+//!     action pass0 [combined] : x0 == x2 -> x0 := (x0 + 1) % 3
+//!     action pass1 [combined] : x1 != x0 -> x1 := x0
+//!     action pass2 [combined] : x2 != x1 -> x2 := x1
+//! "#)?;
+//! assert_eq!(program.name(), "token_ring");
+//! assert_eq!(program.action_count(), 3);
+//! # Ok::<(), nonmask_lang::LangError>(())
+//! ```
+//!
+//! The compiled actions carry *inferred* read/write sets (the free
+//! variables of guards and right-hand sides, and the assignment targets),
+//! so the constraint-graph machinery works on parsed programs exactly as
+//! on hand-built ones. Assignments in one action are simultaneous, as in
+//! the paper (`c.j, sn.j := c.(P.j), sn.(P.j)`).
+//!
+//! # Grammar
+//!
+//! ```text
+//! program  := "program" IDENT var-block* action*
+//! var-block:= "var" decl (";" decl)*
+//! decl     := IDENT ":" domain
+//! domain   := "bool" | INT ".." INT | "{" IDENT ("," IDENT)* "}"
+//! action   := "action" IDENT [ "[" kind "]" ] ":" expr "->" assign ("," assign)*
+//! kind     := "closure" | "convergence" | "combined"
+//! assign   := IDENT ":=" expr
+//! expr     := or-expr; usual precedence: ! > * / % > + - > comparisons > && > ||
+//! ```
+//!
+//! Enumeration labels (`green`, `red`, …) become named constants usable in
+//! expressions. Identifiers may contain `.` (so `c.0`, `sn.1` work
+//! verbatim). Comments run from `#` or `//` to end of line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod expand;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+
+pub use ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, VarDef};
+pub use compile::compile_def;
+pub use expand::expand;
+pub use parser::parse;
+pub use print::pretty;
+
+/// Errors from parsing or compiling a program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based line where the error was detected.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        LangError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parse and compile in one step.
+///
+/// # Errors
+///
+/// [`LangError`] with the offending line on syntax errors, unknown
+/// identifiers, domain violations, or duplicate declarations.
+pub fn compile(source: &str) -> Result<nonmask_program::Program, LangError> {
+    compile_def(&parse(source)?)
+}
+
+/// Expand `for`-templates (see [`expand`]), then parse and compile.
+///
+/// ```
+/// let ring = nonmask_lang::compile_template(r#"
+///     program ring
+///     for j in 0..4: var x.$j : 0..3
+///     action pass.0 [combined] : x.0 == x.3 -> x.0 := (x.0 + 1) % 4
+///     for j in 1..4: action pass.$j [combined] : x.$j != x.${j-1} -> x.$j := x.${j-1}
+/// "#)?;
+/// assert_eq!(ring.action_count(), 4);
+/// # Ok::<(), nonmask_lang::LangError>(())
+/// ```
+///
+/// # Errors
+///
+/// As [`compile`], plus template-expansion errors.
+pub fn compile_template(source: &str) -> Result<nonmask_program::Program, LangError> {
+    compile_def(&parse(&expand(source)?)?)
+}

@@ -1,0 +1,417 @@
+//! Recursive-descent parser.
+
+use nonmask_program::ActionKind;
+
+use crate::ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, VarDef};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::LangError;
+
+/// Parse a program text into its AST.
+///
+/// # Errors
+///
+/// [`LangError`] with the offending line on any syntax error.
+pub fn parse(source: &str) -> Result<ProgramDef, LangError> {
+    let tokens = lex(source)?;
+    let last_line = tokens.last().map_or(1, |t| t.line);
+    let mut p = Parser { tokens, pos: 0, last_line };
+    let def = p.program()?;
+    if let Some(t) = p.peek() {
+        return Err(LangError::new(t.line, format!("unexpected trailing `{}`", render(&t.tok))));
+    }
+    Ok(def)
+}
+
+fn render(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(s) => s.clone(),
+        Tok::Int(v) => v.to_string(),
+        Tok::Keyword(k) => (*k).to_string(),
+        Tok::Punct(p) => (*p).to_string(),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    /// Line of the last token (used for end-of-input errors).
+    last_line: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().map_or(self.last_line, |t| t.line)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Spanned { tok: Tok::Punct(q), .. }) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), LangError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{p}`")))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: &str) -> bool {
+        if matches!(self.peek(), Some(Spanned { tok: Tok::Keyword(q), .. }) if *q == k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: &'static str) -> Result<(), LangError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword `{k}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, u32), LangError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Ident(s), line }) => Ok((s, line)),
+            other => Err(LangError::new(
+                other.as_ref().map_or(self.last_line, |t| t.line),
+                format!(
+                    "expected an identifier, found {}",
+                    other.map_or("end of input".to_string(), |t| format!("`{}`", render(&t.tok)))
+                ),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, LangError> {
+        // Allow a leading minus for negative bounds.
+        let negative = self.eat_punct("-");
+        match self.next() {
+            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(if negative { -v } else { v }),
+            other => Err(LangError::new(
+                other.as_ref().map_or(self.last_line, |t| t.line),
+                "expected an integer".to_string(),
+            )),
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> LangError {
+        LangError::new(
+            self.line(),
+            match self.peek() {
+                Some(t) => format!("expected {wanted}, found `{}`", render(&t.tok)),
+                None => format!("expected {wanted}, found end of input"),
+            },
+        )
+    }
+
+    fn program(&mut self) -> Result<ProgramDef, LangError> {
+        self.expect_keyword("program")?;
+        let (name, _) = self.expect_ident()?;
+
+        let mut vars = Vec::new();
+        // Any number of `var` blocks, each with `;`-separated declarations
+        // (template expansion produces one `var` line per process).
+        while self.eat_keyword("var") {
+            loop {
+                vars.push(self.var_def()?);
+                if !self.eat_punct(";") {
+                    break;
+                }
+                // Permit a trailing semicolon before `action` / `var` / EOF.
+                if !matches!(self.peek(), Some(Spanned { tok: Tok::Ident(_), .. })) {
+                    break;
+                }
+            }
+        }
+
+        let mut actions = Vec::new();
+        while self.eat_keyword("action") {
+            actions.push(self.action_def()?);
+        }
+        Ok(ProgramDef { name, vars, actions })
+    }
+
+    fn var_def(&mut self) -> Result<VarDef, LangError> {
+        let (name, line) = self.expect_ident()?;
+        self.expect_punct(":")?;
+        let domain = self.domain()?;
+        Ok(VarDef { name, domain, line })
+    }
+
+    fn domain(&mut self) -> Result<DomainDef, LangError> {
+        if self.eat_keyword("bool") {
+            return Ok(DomainDef::Bool);
+        }
+        if self.eat_punct("{") {
+            let mut labels = Vec::new();
+            loop {
+                let (label, _) = self.expect_ident()?;
+                labels.push(label);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct("}")?;
+            return Ok(DomainDef::Enum(labels));
+        }
+        let lo = self.expect_int()?;
+        self.expect_punct("..")?;
+        let hi = self.expect_int()?;
+        Ok(DomainDef::Range(lo, hi))
+    }
+
+    fn action_def(&mut self) -> Result<ActionDef, LangError> {
+        let (name, line) = self.expect_ident()?;
+        let kind = if self.eat_punct("[") {
+            let (k, kline) = self.expect_ident()?;
+            let kind = match k.as_str() {
+                "closure" => ActionKind::Closure,
+                "convergence" => ActionKind::Convergence,
+                "combined" => ActionKind::Combined,
+                other => {
+                    return Err(LangError::new(
+                        kline,
+                        format!("unknown action kind `{other}` (closure|convergence|combined)"),
+                    ))
+                }
+            };
+            self.expect_punct("]")?;
+            kind
+        } else {
+            ActionKind::Closure
+        };
+        self.expect_punct(":")?;
+        let guard = self.expr()?;
+        self.expect_punct("->")?;
+        let mut assigns = Vec::new();
+        loop {
+            let (target, _) = self.expect_ident()?;
+            self.expect_punct(":=")?;
+            let rhs = self.expr()?;
+            assigns.push((target, rhs));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(ActionDef {
+            name,
+            kind,
+            guard,
+            assigns,
+            line,
+        })
+    }
+
+    // Precedence climbing: || < && < comparisons < additive < multiplicative < unary.
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = if self.eat_punct("==") {
+            BinOp::Eq
+        } else if self.eat_punct("!=") {
+            BinOp::Ne
+        } else if self.eat_punct("<=") {
+            BinOp::Le
+        } else if self.eat_punct(">=") {
+            BinOp::Ge
+        } else if self.eat_punct("<") {
+            BinOp::Lt
+        } else if self.eat_punct(">") {
+            BinOp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(Expr::Int(v)),
+            Some(Spanned { tok: Tok::Keyword("true"), .. }) => Ok(Expr::Bool(true)),
+            Some(Spanned { tok: Tok::Keyword("false"), .. }) => Ok(Expr::Bool(false)),
+            Some(Spanned { tok: Tok::Ident(name), .. }) => Ok(Expr::Ident(name)),
+            Some(Spanned { tok: Tok::Punct("("), .. }) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(LangError::new(
+                other.as_ref().map_or(self.last_line, |t| t.line),
+                format!(
+                    "expected an expression, found {}",
+                    other.map_or("end of input".to_string(), |t| format!("`{}`", render(&t.tok)))
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let def = parse("program p var x : bool action a : x -> x := false").unwrap();
+        assert_eq!(def.name, "p");
+        assert_eq!(def.vars.len(), 1);
+        assert_eq!(def.actions.len(), 1);
+        assert_eq!(def.actions[0].kind, ActionKind::Closure);
+    }
+
+    #[test]
+    fn parses_domains() {
+        let def = parse(
+            "program p var a : bool; b : -2..5; c : {green, red}",
+        )
+        .unwrap();
+        assert_eq!(def.vars[0].domain, DomainDef::Bool);
+        assert_eq!(def.vars[1].domain, DomainDef::Range(-2, 5));
+        assert_eq!(
+            def.vars[2].domain,
+            DomainDef::Enum(vec!["green".into(), "red".into()])
+        );
+    }
+
+    #[test]
+    fn parses_kinds_and_multi_assign() {
+        let def = parse(
+            "program p var x : 0..3; y : 0..3 \
+             action a [convergence] : x == y -> x := y + 1, y := 0",
+        )
+        .unwrap();
+        assert_eq!(def.actions[0].kind, ActionKind::Convergence);
+        assert_eq!(def.actions[0].assigns.len(), 2);
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let def = parse(
+            "program p var x : 0..9 action a : x + 1 * 2 == 3 && x < 2 || x > 5 -> x := 0",
+        )
+        .unwrap();
+        // ((x + (1*2)) == 3 && x < 2) || (x > 5)
+        let Expr::Bin(BinOp::Or, lhs, _) = &def.actions[0].guard else {
+            panic!("top level should be ||: {:?}", def.actions[0].guard);
+        };
+        let Expr::Bin(BinOp::And, eq, _) = lhs.as_ref() else {
+            panic!("lhs should be &&");
+        };
+        let Expr::Bin(BinOp::Eq, add, _) = eq.as_ref() else {
+            panic!("should be ==");
+        };
+        assert!(matches!(add.as_ref(), Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parenthesized_and_unary() {
+        let def = parse("program p var x : -5..5 action a : !(x == -3) -> x := -(x)").unwrap();
+        assert!(matches!(def.actions[0].guard, Expr::Not(_)));
+        assert!(matches!(def.actions[0].assigns[0].1, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let err = parse("program p\nvar x : bool\naction a : x ->").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse("program p var x : 0..").unwrap_err();
+        assert!(err.message.contains("integer"));
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let err =
+            parse("program p var x : bool action a [magic] : x -> x := false").unwrap_err();
+        assert!(err.message.contains("magic"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse("program p var x : bool ;;;").unwrap_err();
+        assert!(err.message.contains("trailing") || err.message.contains("expected"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Pretty-printing the AST back to surface syntax.
+
+use nonmask_program::ActionKind;
+
+use crate::ast::{DomainDef, Expr, ProgramDef};
+
+/// Render a [`ProgramDef`] back to parseable surface syntax.
+///
+/// `parse(&pretty(&def))` yields a `ProgramDef` equal to `def` (the
+/// printer fully parenthesizes expressions, so the round trip is exact up
+/// to redundant parentheses, which the parser discards).
+pub fn pretty(def: &ProgramDef) -> String {
+    let mut out = format!("program {}\n", def.name);
+    if !def.vars.is_empty() {
+        out.push_str("var ");
+        let decls: Vec<String> = def
+            .vars
+            .iter()
+            .map(|v| format!("{} : {}", v.name, render_domain(&v.domain)))
+            .collect();
+        out.push_str(&decls.join(";\n    "));
+        out.push('\n');
+    }
+    for a in &def.actions {
+        let kind = match a.kind {
+            ActionKind::Closure => "closure",
+            ActionKind::Convergence => "convergence",
+            ActionKind::Combined => "combined",
+        };
+        let assigns: Vec<String> = a
+            .assigns
+            .iter()
+            .map(|(t, e)| format!("{t} := {}", render_expr(e)))
+            .collect();
+        out.push_str(&format!(
+            "action {} [{kind}] : {} -> {}\n",
+            a.name,
+            render_expr(&a.guard),
+            assigns.join(", ")
+        ));
+    }
+    out
+}
+
+fn render_domain(d: &DomainDef) -> String {
+    match d {
+        DomainDef::Bool => "bool".to_string(),
+        DomainDef::Range(lo, hi) => format!("{lo}..{hi}"),
+        DomainDef::Enum(labels) => format!("{{{}}}", labels.join(", ")),
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Ident(name) => name.clone(),
+        Expr::Not(inner) => format!("!({})", render_expr(inner)),
+        Expr::Neg(inner) => format!("-({})", render_expr(inner)),
+        Expr::Bin(op, l, r) => {
+            format!("({} {} {})", render_expr(l), op.symbol(), render_expr(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ProgramDef;
+    use crate::parse;
+
+    /// Zero out source lines so structural equality ignores layout.
+    fn strip_lines(mut def: ProgramDef) -> ProgramDef {
+        for v in &mut def.vars {
+            v.line = 0;
+        }
+        for a in &mut def.actions {
+            a.line = 0;
+        }
+        def
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let src = "program demo \
+                   var x : 0..4; flag : bool; c : {green, red} \
+                   action a [combined] : x < 4 && (!flag || c == green) -> x := x + 1, flag := true \
+                   action b [convergence] : x % 2 == 0 -> c := red";
+        let def = parse(src).unwrap();
+        let printed = pretty(&def);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(
+            strip_lines(def),
+            strip_lines(reparsed),
+            "printed form:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn negative_bounds_roundtrip() {
+        let def = parse("program n var x : -3..3 action a : x == -1 -> x := -(x)").unwrap();
+        let reparsed = parse(&pretty(&def)).unwrap();
+        assert_eq!(strip_lines(def), strip_lines(reparsed));
+    }
+
+    #[test]
+    fn printed_form_mentions_everything() {
+        let def = parse("program p var x : bool action go : x -> x := false").unwrap();
+        let text = pretty(&def);
+        assert!(text.contains("program p"));
+        assert!(text.contains("x : bool"));
+        assert!(text.contains("action go [closure]"));
+    }
+}

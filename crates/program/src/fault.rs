@@ -1,0 +1,333 @@
+//! Fault models.
+//!
+//! The paper represents every fault class as *actions that change the
+//! program state* (Section 3, citing [7, 8]). A [`FaultInjector`] is exactly
+//! that: a hook the engine calls before each program step, which may perturb
+//! the state. The injector reports what it did so runs can account for the
+//! fault load.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::Program;
+use crate::state::State;
+use crate::VarId;
+
+/// A single applied fault: which variable was corrupted and to what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultEvent {
+    /// Step at which the fault was applied.
+    pub step: u64,
+    /// The corrupted variable.
+    pub var: VarId,
+    /// The value written by the fault.
+    pub value: i64,
+}
+
+/// A source of fault actions.
+///
+/// Called by the engine before each program step; mutates `state` in place
+/// and returns the fault events applied (empty when no fault fired).
+pub trait FaultInjector {
+    /// Possibly perturb `state` at `step`.
+    fn inject(&mut self, step: u64, state: &mut State, program: &Program) -> Vec<FaultEvent>;
+
+    /// A short human-readable name, used in reports.
+    fn name(&self) -> &str {
+        "faults"
+    }
+}
+
+/// The fault-free environment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn inject(&mut self, _step: u64, _state: &mut State, _program: &Program) -> Vec<FaultEvent> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+/// Transient state corruption: at each step, with probability `rate`, one
+/// targeted variable is rewritten to a uniformly random domain value.
+///
+/// This is the fault class the paper's stabilizing designs tolerate: faults
+/// that "arbitrarily corrupt the state of any number of nodes" (Section
+/// 5.1) / make "nodes spontaneously become privileged or unprivileged"
+/// (Section 7.1).
+#[derive(Debug, Clone)]
+pub struct TransientCorruption {
+    rate: f64,
+    targets: Option<Vec<VarId>>,
+    remaining: Option<u64>,
+    rng: StdRng,
+}
+
+impl TransientCorruption {
+    /// Corrupt any variable, with per-step probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `0.0..=1.0`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        TransientCorruption {
+            rate,
+            targets: None,
+            remaining: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Restrict corruption to the given variables.
+    pub fn targeting(mut self, vars: impl IntoIterator<Item = VarId>) -> Self {
+        self.targets = Some(vars.into_iter().collect());
+        self
+    }
+
+    /// Stop injecting after `n` fault events in total.
+    pub fn limited_to(mut self, n: u64) -> Self {
+        self.remaining = Some(n);
+        self
+    }
+}
+
+impl FaultInjector for TransientCorruption {
+    fn inject(&mut self, step: u64, state: &mut State, program: &Program) -> Vec<FaultEvent> {
+        if self.remaining == Some(0) || program.var_count() == 0 {
+            return Vec::new();
+        }
+        if !self.rng.gen_bool(self.rate) {
+            return Vec::new();
+        }
+        let var = match &self.targets {
+            Some(ts) if ts.is_empty() => return Vec::new(),
+            Some(ts) => ts[self.rng.gen_range(0..ts.len())],
+            None => {
+                let i = self.rng.gen_range(0..program.var_count());
+                VarId::from_index(i)
+            }
+        };
+        let value = program.var(var).domain().sample(&mut self.rng);
+        state.set(var, value);
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        vec![FaultEvent { step, var, value }]
+    }
+
+    fn name(&self) -> &str {
+        "transient-corruption"
+    }
+}
+
+/// Deterministic, scripted corruption: at each listed step, write the listed
+/// values.
+///
+/// The workhorse of the reproduction experiments — inject a burst of
+/// corruption at a known time, then measure how long the program takes to
+/// re-establish its invariant.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledCorruption {
+    events: Vec<(u64, VarId, i64)>,
+}
+
+impl ScheduledCorruption {
+    /// No scheduled events yet; add them with [`ScheduledCorruption::at`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `var := value` to be applied before program step `step`.
+    pub fn at(mut self, step: u64, var: VarId, value: i64) -> Self {
+        self.events.push((step, var, value));
+        self
+    }
+
+    /// Schedule a burst of writes at `step`.
+    pub fn burst_at(mut self, step: u64, writes: impl IntoIterator<Item = (VarId, i64)>) -> Self {
+        for (var, value) in writes {
+            self.events.push((step, var, value));
+        }
+        self
+    }
+
+    /// Number of scheduled (not yet necessarily applied) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl FaultInjector for ScheduledCorruption {
+    fn inject(&mut self, step: u64, state: &mut State, _program: &Program) -> Vec<FaultEvent> {
+        let mut applied = Vec::new();
+        for &(at, var, value) in &self.events {
+            if at == step {
+                state.set(var, value);
+                applied.push(FaultEvent { step, var, value });
+            }
+        }
+        applied
+    }
+
+    fn name(&self) -> &str {
+        "scheduled-corruption"
+    }
+}
+
+/// Randomized burst corruption: at each listed step, corrupt `k` distinct
+/// random variables to random domain values.
+#[derive(Debug, Clone)]
+pub struct BurstCorruption {
+    steps: Vec<u64>,
+    k: usize,
+    rng: StdRng,
+}
+
+impl BurstCorruption {
+    /// Corrupt `k` random variables at each step in `steps`.
+    pub fn new(steps: impl IntoIterator<Item = u64>, k: usize, seed: u64) -> Self {
+        BurstCorruption {
+            steps: steps.into_iter().collect(),
+            k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultInjector for BurstCorruption {
+    fn inject(&mut self, step: u64, state: &mut State, program: &Program) -> Vec<FaultEvent> {
+        if !self.steps.contains(&step) || program.var_count() == 0 {
+            return Vec::new();
+        }
+        let n = program.var_count();
+        let k = self.k.min(n);
+        // Sample k distinct variable indices (partial Fisher-Yates).
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n);
+            indices.swap(i, j);
+        }
+        indices[..k]
+            .iter()
+            .map(|&i| {
+                let var = VarId::from_index(i);
+                let value = program.var(var).domain().sample(&mut self.rng);
+                state.set(var, value);
+                FaultEvent { step, var, value }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "burst-corruption"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, Program};
+
+    fn program() -> Program {
+        let mut b = Program::builder("p");
+        b.var("x", Domain::range(0, 9));
+        b.var("y", Domain::Bool);
+        b.build()
+    }
+
+    #[test]
+    fn no_faults_does_nothing() {
+        let p = program();
+        let mut s = p.min_state();
+        let before = s.clone();
+        assert!(NoFaults.inject(3, &mut s, &p).is_empty());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn transient_rate_one_always_fires() {
+        let p = program();
+        let mut inj = TransientCorruption::new(1.0, 1);
+        let mut s = p.min_state();
+        let mut fired = 0;
+        for step in 0..50 {
+            fired += inj.inject(step, &mut s, &p).len();
+            p.validate_state(&s).unwrap();
+        }
+        assert_eq!(fired, 50);
+    }
+
+    #[test]
+    fn transient_rate_zero_never_fires() {
+        let p = program();
+        let mut inj = TransientCorruption::new(0.0, 1);
+        let mut s = p.min_state();
+        for step in 0..50 {
+            assert!(inj.inject(step, &mut s, &p).is_empty());
+        }
+    }
+
+    #[test]
+    fn transient_respects_targets_and_limit() {
+        let p = program();
+        let y = p.var_by_name("y").unwrap();
+        let mut inj = TransientCorruption::new(1.0, 2).targeting([y]).limited_to(3);
+        let mut s = p.min_state();
+        let mut events = Vec::new();
+        for step in 0..50 {
+            events.extend(inj.inject(step, &mut s, &p));
+        }
+        assert_eq!(events.len(), 3, "limit respected");
+        assert!(events.iter().all(|e| e.var == y), "targets respected");
+    }
+
+    #[test]
+    fn scheduled_fires_at_exact_steps() {
+        let p = program();
+        let x = p.var_by_name("x").unwrap();
+        let y = p.var_by_name("y").unwrap();
+        let mut inj = ScheduledCorruption::new()
+            .at(2, x, 7)
+            .burst_at(5, [(x, 1), (y, 1)]);
+        assert_eq!(inj.len(), 3);
+        let mut s = p.min_state();
+        assert!(inj.inject(0, &mut s, &p).is_empty());
+        let ev = inj.inject(2, &mut s, &p);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(s.get(x), 7);
+        let ev = inj.inject(5, &mut s, &p);
+        assert_eq!(ev.len(), 2);
+        assert_eq!((s.get(x), s.get(y)), (1, 1));
+    }
+
+    #[test]
+    fn burst_corrupts_k_distinct_vars() {
+        let p = program();
+        let mut inj = BurstCorruption::new([4], 2, 9);
+        let mut s = p.min_state();
+        assert!(inj.inject(3, &mut s, &p).is_empty());
+        let ev = inj.inject(4, &mut s, &p);
+        assert_eq!(ev.len(), 2);
+        assert_ne!(ev[0].var, ev[1].var);
+        p.validate_state(&s).unwrap();
+    }
+
+    #[test]
+    fn burst_k_larger_than_var_count_is_clamped() {
+        let p = program();
+        let mut inj = BurstCorruption::new([0], 10, 9);
+        let mut s = p.min_state();
+        assert_eq!(inj.inject(0, &mut s, &p).len(), 2);
+    }
+}

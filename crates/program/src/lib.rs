@@ -1,0 +1,110 @@
+//! Guarded-command programs in the style of Arora, Gouda & Varghese (1994).
+//!
+//! A *program* is a finite set of typed variables and a finite set of
+//! *actions* of the form `guard -> statement` (Section 2 of the paper). This
+//! crate provides:
+//!
+//! - [`Domain`], [`VarId`], [`State`] — typed variables over bounded or
+//!   unbounded integer domains, and flat program states.
+//! - [`Predicate`] — state predicates with declared read sets and boolean
+//!   combinators.
+//! - [`Action`], [`ActionKind`] — guarded commands with declared read/write
+//!   sets, classified as *closure* or *convergence* actions.
+//! - [`Program`] / [`ProgramBuilder`] — programs and their construction.
+//! - [`Scheduler`] implementations — round-robin, seeded-random,
+//!   adversarial, and fixed-sequence daemons.
+//! - [`Executor`] — a step-by-step execution engine with stabilization
+//!   detection, fault injection hooks and trace/metric recording.
+//! - [`FaultInjector`] implementations — transient state corruption models
+//!   (the paper's "faults are actions that change the program state" view).
+//!
+//! # Example
+//!
+//! ```
+//! use nonmask_program::{Domain, Predicate, Program, RunConfig, Executor};
+//! use nonmask_program::scheduler::RoundRobin;
+//!
+//! // A one-variable program that counts down to zero.
+//! let mut b = Program::builder("countdown");
+//! let x = b.var("x", Domain::range(0, 8));
+//! b.closure_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
+//!     let v = s.get(x);
+//!     s.set(x, v - 1);
+//! });
+//! let p = b.build();
+//!
+//! let zero = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
+//! let init = p.state_from([8]).unwrap();
+//! let report = Executor::new(&p)
+//!     .run(init, &mut RoundRobin::new(), &RunConfig::default().stop_when(&zero, 1));
+//! assert_eq!(report.final_state.get(x), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod engine;
+pub mod fault;
+pub mod predicate;
+pub mod program;
+pub mod scheduler;
+pub mod state;
+pub mod trace;
+pub mod value;
+
+pub use action::{Action, ActionId, ActionKind};
+pub use engine::{Executor, RunConfig, RunReport, StopReason};
+pub use fault::{FaultEvent, FaultInjector, NoFaults, ScheduledCorruption, TransientCorruption};
+pub use predicate::Predicate;
+pub use program::{Program, ProgramBuilder, ProgramError};
+pub use scheduler::Scheduler;
+pub use state::State;
+pub use trace::{Trace, TraceStep};
+pub use value::{Domain, DomainError};
+
+/// Identifier of a process within a program.
+///
+/// Processes are a lightweight grouping mechanism: variables and actions can
+/// be tagged with the process that owns them, which downstream crates use to
+/// derive constraint-graph node partitions ("the variables of node `j`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessId(pub usize);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a variable within a program.
+///
+/// Obtained from [`ProgramBuilder::var`] and used to index [`State`]s. Ids
+/// are only meaningful for the program that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The positional index of this variable in its program's declaration
+    /// order (also its slot index within a [`State`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a `VarId` from a raw slot index.
+    ///
+    /// Intended for tooling that reconstructs ids (e.g. deserialized traces);
+    /// using an index that was never declared on the target program will
+    /// cause panics or domain errors downstream.
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+}
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}

@@ -1,0 +1,589 @@
+//! Programs and their construction.
+
+use rand::Rng;
+
+use crate::action::{Action, ActionId, ActionKind};
+use crate::state::State;
+use crate::value::{Domain, DomainError};
+use crate::{ProcessId, VarId};
+
+/// A declared program variable: name, domain, and optional owning process.
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    name: String,
+    domain: Domain,
+    process: Option<ProcessId>,
+}
+
+impl VarDecl {
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The owning process, if any.
+    pub fn process(&self) -> Option<ProcessId> {
+        self.process
+    }
+}
+
+/// Errors arising while assembling or using a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A state was supplied with the wrong number of slots.
+    WrongArity {
+        /// Slots expected (the number of declared variables).
+        expected: usize,
+        /// Slots supplied.
+        got: usize,
+    },
+    /// A slot value fell outside its variable's domain.
+    OutOfDomain(DomainError),
+    /// An operation required every domain to be bounded, but one is not.
+    UnboundedDomain {
+        /// Name of the unbounded variable.
+        var: String,
+    },
+    /// Two variables were declared with the same name.
+    DuplicateVarName(String),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::WrongArity { expected, got } => {
+                write!(f, "state has {got} slots, program declares {expected} variables")
+            }
+            ProgramError::OutOfDomain(e) => write!(f, "{e}"),
+            ProgramError::UnboundedDomain { var } => {
+                write!(f, "variable `{var}` has an unbounded domain")
+            }
+            ProgramError::DuplicateVarName(n) => {
+                write!(f, "variable name `{n}` declared twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<DomainError> for ProgramError {
+    fn from(e: DomainError) -> Self {
+        ProgramError::OutOfDomain(e)
+    }
+}
+
+/// A finite set of variables and a finite set of guarded-command actions
+/// (Section 2 of the paper).
+///
+/// Built with [`Program::builder`]. Programs are immutable once built; the
+/// execution engine, model checker and constraint-graph tooling all borrow
+/// them.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    vars: Vec<VarDecl>,
+    actions: Vec<Action>,
+}
+
+impl Program {
+    /// Start building a program.
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared variables in declaration order.
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The declaration of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this program.
+    pub fn var(&self, var: VarId) -> &VarDecl {
+        &self.vars[var.index()]
+    }
+
+    /// Look up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// All variable ids, in declaration order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(|i| VarId(i as u32))
+    }
+
+    /// Declared actions in declaration order.
+    pub fn actions(&self) -> &[Action] {
+        self.actions.as_slice()
+    }
+
+    /// Number of declared actions.
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The action with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn action(&self, id: ActionId) -> &Action {
+        &self.actions[id.index()]
+    }
+
+    /// All action ids, in declaration order.
+    pub fn action_ids(&self) -> impl Iterator<Item = ActionId> + '_ {
+        (0..self.actions.len()).map(|i| ActionId(i as u32))
+    }
+
+    /// Ids of the actions of the given kind.
+    pub fn actions_of_kind(&self, kind: ActionKind) -> Vec<ActionId> {
+        self.action_ids()
+            .filter(|id| self.action(*id).kind() == kind)
+            .collect()
+    }
+
+    /// Ids of the actions enabled at `state`.
+    pub fn enabled_actions(&self, state: &State) -> Vec<ActionId> {
+        self.action_ids()
+            .filter(|id| self.action(*id).enabled(state))
+            .collect()
+    }
+
+    /// Whether any action is enabled at `state`.
+    pub fn any_enabled(&self, state: &State) -> bool {
+        self.actions.iter().any(|a| a.enabled(state))
+    }
+
+    /// Validate that `state` has the right arity and every slot is within
+    /// its domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::WrongArity`] or [`ProgramError::OutOfDomain`].
+    pub fn validate_state(&self, state: &State) -> Result<(), ProgramError> {
+        if state.len() != self.vars.len() {
+            return Err(ProgramError::WrongArity {
+                expected: self.vars.len(),
+                got: state.len(),
+            });
+        }
+        for (i, decl) in self.vars.iter().enumerate() {
+            let v = state.slots()[i];
+            if !decl.domain.contains(v) {
+                return Err(ProgramError::OutOfDomain(DomainError {
+                    var: decl.name.clone(),
+                    value: v,
+                    domain: decl.domain.to_string(),
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a validated state from raw slot values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Program::validate_state`].
+    pub fn state_from(&self, slots: impl Into<Vec<i64>>) -> Result<State, ProgramError> {
+        let state = State::new(slots);
+        self.validate_state(&state)?;
+        Ok(state)
+    }
+
+    /// A state with every variable at its domain minimum.
+    pub fn min_state(&self) -> State {
+        self.vars.iter().map(|v| v.domain.min_value()).collect()
+    }
+
+    /// Draw a uniformly random state (each variable sampled independently
+    /// from its domain).
+    pub fn random_state<R: Rng + ?Sized>(&self, rng: &mut R) -> State {
+        self.vars.iter().map(|v| v.domain.sample(rng)).collect()
+    }
+
+    /// Whether every variable's domain is bounded (a prerequisite for
+    /// exhaustive state-space enumeration).
+    pub fn is_bounded(&self) -> bool {
+        self.vars.iter().all(|v| v.domain.is_bounded())
+    }
+
+    /// The size of the full state space, or `None` if some domain is
+    /// unbounded or the product overflows `u128`.
+    pub fn state_space_size(&self) -> Option<u128> {
+        self.vars.iter().try_fold(1u128, |acc, v| {
+            acc.checked_mul(v.domain.size()? as u128)
+        })
+    }
+
+    /// Iterate over *every* state of a bounded program, in lexicographic
+    /// slot order.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::UnboundedDomain`] if any variable is unbounded.
+    pub fn enumerate_states(&self) -> Result<StateIter<'_>, ProgramError> {
+        for v in &self.vars {
+            if !v.domain.is_bounded() {
+                return Err(ProgramError::UnboundedDomain {
+                    var: v.name.clone(),
+                });
+            }
+        }
+        Ok(StateIter {
+            program: self,
+            current: Some(self.min_state()),
+        })
+    }
+
+    /// Render `state` with variable names and domain-aware values, e.g.
+    /// `c.0=red sn.0=true`.
+    pub fn render_state(&self, state: &State) -> String {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{}={}", v.name, v.domain.render(state.slots()[i])))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Iterator over every state of a bounded program.
+///
+/// Produced by [`Program::enumerate_states`].
+#[derive(Debug)]
+pub struct StateIter<'a> {
+    program: &'a Program,
+    current: Option<State>,
+}
+
+impl Iterator for StateIter<'_> {
+    type Item = State;
+
+    fn next(&mut self) -> Option<State> {
+        let state = self.current.take()?;
+        // Compute the lexicographic successor, odometer-style.
+        let mut next = state.clone();
+        let mut i = self.program.vars.len();
+        loop {
+            if i == 0 {
+                // Odometer wrapped: `state` was the last state.
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            let var = VarId(i as u32);
+            let domain = &self.program.vars[i].domain;
+            let v = next.get(var);
+            // Find the next domain value above v, if any.
+            let succ = domain.values().find(|&candidate| candidate > v);
+            match succ {
+                Some(s) => {
+                    next.set(var, s);
+                    self.current = Some(next);
+                    break;
+                }
+                None => {
+                    next.set(var, domain.min_value());
+                    // carry into slot i-1
+                }
+            }
+        }
+        Some(state)
+    }
+}
+
+/// Incremental construction of a [`Program`].
+///
+/// Obtained from [`Program::builder`]. Variables must be declared before the
+/// actions that use them (declaration returns the [`VarId`] the action
+/// closures capture).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    vars: Vec<VarDecl>,
+    actions: Vec<Action>,
+}
+
+impl ProgramBuilder {
+    /// Declare a variable and return its id.
+    pub fn var(&mut self, name: impl Into<String>, domain: Domain) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl {
+            name: name.into(),
+            domain,
+            process: None,
+        });
+        id
+    }
+
+    /// Declare a variable owned by `process`.
+    pub fn var_of(
+        &mut self,
+        name: impl Into<String>,
+        domain: Domain,
+        process: ProcessId,
+    ) -> VarId {
+        let id = self.var(name, domain);
+        self.vars[id.index()].process = Some(process);
+        id
+    }
+
+    /// Add a fully-constructed action and return its id.
+    pub fn add_action(&mut self, action: Action) -> ActionId {
+        let id = ActionId(self.actions.len() as u32);
+        self.actions.push(action);
+        id
+    }
+
+    /// Shorthand for adding a [`ActionKind::Closure`] action.
+    pub fn closure_action<I, J>(
+        &mut self,
+        name: impl Into<String>,
+        reads: I,
+        writes: J,
+        guard: impl Fn(&State) -> bool + Send + Sync + 'static,
+        effect: impl Fn(&mut State) + Send + Sync + 'static,
+    ) -> ActionId
+    where
+        I: IntoIterator<Item = VarId>,
+        J: IntoIterator<Item = VarId>,
+    {
+        self.add_action(Action::new(name, ActionKind::Closure, reads, writes, guard, effect))
+    }
+
+    /// Shorthand for adding a [`ActionKind::Convergence`] action.
+    pub fn convergence_action<I, J>(
+        &mut self,
+        name: impl Into<String>,
+        reads: I,
+        writes: J,
+        guard: impl Fn(&State) -> bool + Send + Sync + 'static,
+        effect: impl Fn(&mut State) + Send + Sync + 'static,
+    ) -> ActionId
+    where
+        I: IntoIterator<Item = VarId>,
+        J: IntoIterator<Item = VarId>,
+    {
+        self.add_action(Action::new(
+            name,
+            ActionKind::Convergence,
+            reads,
+            writes,
+            guard,
+            effect,
+        ))
+    }
+
+    /// Shorthand for adding a [`ActionKind::Combined`] action (a merged
+    /// closure + convergence action, as in the paper's final programs).
+    pub fn combined_action<I, J>(
+        &mut self,
+        name: impl Into<String>,
+        reads: I,
+        writes: J,
+        guard: impl Fn(&State) -> bool + Send + Sync + 'static,
+        effect: impl Fn(&mut State) + Send + Sync + 'static,
+    ) -> ActionId
+    where
+        I: IntoIterator<Item = VarId>,
+        J: IntoIterator<Item = VarId>,
+    {
+        self.add_action(Action::new(name, ActionKind::Combined, reads, writes, guard, effect))
+    }
+
+    /// Finish, validating variable-name uniqueness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two variables share a name (a construction bug, not a
+    /// runtime condition). Use [`ProgramBuilder::try_build`] for a fallible
+    /// variant.
+    pub fn build(self) -> Program {
+        self.try_build().expect("program construction failed")
+    }
+
+    /// Fallible variant of [`ProgramBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::DuplicateVarName`] if two variables share a name.
+    pub fn try_build(self) -> Result<Program, ProgramError> {
+        let mut seen = std::collections::HashSet::new();
+        for v in &self.vars {
+            if !seen.insert(v.name.as_str()) {
+                return Err(ProgramError::DuplicateVarName(v.name.clone()));
+            }
+        }
+        Ok(Program {
+            name: self.name,
+            vars: self.vars,
+            actions: self.actions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_var_program() -> (Program, VarId, VarId) {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::range(0, 2));
+        let y = b.var("y", Domain::Bool);
+        b.closure_action("inc", [x], [x], move |s| s.get(x) < 2, move |s| {
+            let v = s.get(x);
+            s.set(x, v + 1);
+        });
+        b.convergence_action("reset", [x, y], [y], move |s| s.get_bool(y), move |s| {
+            s.set_bool(y, false);
+        });
+        (b.build(), x, y)
+    }
+
+    #[test]
+    fn lookup_and_metadata() {
+        let (p, x, _) = two_var_program();
+        assert_eq!(p.name(), "p");
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.action_count(), 2);
+        assert_eq!(p.var_by_name("x"), Some(x));
+        assert_eq!(p.var_by_name("zz"), None);
+        assert_eq!(p.var(x).name(), "x");
+        assert_eq!(p.actions_of_kind(ActionKind::Closure).len(), 1);
+        assert_eq!(p.actions_of_kind(ActionKind::Convergence).len(), 1);
+    }
+
+    #[test]
+    fn enabled_actions() {
+        let (p, _, _) = two_var_program();
+        let s = p.state_from([0, 1]).unwrap();
+        let enabled = p.enabled_actions(&s);
+        assert_eq!(enabled.len(), 2);
+        let s = p.state_from([2, 0]).unwrap();
+        assert!(p.enabled_actions(&s).is_empty());
+        assert!(!p.any_enabled(&s));
+    }
+
+    #[test]
+    fn state_validation() {
+        let (p, _, _) = two_var_program();
+        assert!(p.state_from([0, 0]).is_ok());
+        assert!(matches!(
+            p.state_from([3, 0]),
+            Err(ProgramError::OutOfDomain(_))
+        ));
+        assert!(matches!(
+            p.state_from([0]),
+            Err(ProgramError::WrongArity { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn state_space_size_and_enumeration() {
+        let (p, _, _) = two_var_program();
+        assert_eq!(p.state_space_size(), Some(6));
+        let states: Vec<State> = p.enumerate_states().unwrap().collect();
+        assert_eq!(states.len(), 6);
+        // All distinct, all valid.
+        let set: std::collections::HashSet<_> = states.iter().cloned().collect();
+        assert_eq!(set.len(), 6);
+        for s in &states {
+            p.validate_state(s).unwrap();
+        }
+        // Lexicographic: first is the min state, last is the max.
+        assert_eq!(states[0], p.min_state());
+        assert_eq!(states[5], State::new(vec![2, 1]));
+    }
+
+    #[test]
+    fn enumeration_rejects_unbounded() {
+        let mut b = Program::builder("u");
+        b.var("x", Domain::Unbounded);
+        let p = b.build();
+        assert!(!p.is_bounded());
+        assert_eq!(p.state_space_size(), None);
+        assert!(matches!(
+            p.enumerate_states(),
+            Err(ProgramError::UnboundedDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn random_states_are_valid() {
+        let (p, _, _) = two_var_program();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = p.random_state(&mut rng);
+            p.validate_state(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_var_names_rejected() {
+        let mut b = Program::builder("d");
+        b.var("x", Domain::Bool);
+        b.var("x", Domain::Bool);
+        assert!(matches!(
+            b.try_build(),
+            Err(ProgramError::DuplicateVarName(_))
+        ));
+    }
+
+    #[test]
+    fn render_state_uses_names_and_labels() {
+        let mut b = Program::builder("r");
+        let c = b.var("c", Domain::enumeration(["green", "red"]));
+        let n = b.var("n", Domain::range(0, 5));
+        let p = b.build();
+        let mut s = p.min_state();
+        s.set(c, 1);
+        s.set(n, 4);
+        assert_eq!(p.render_state(&s), "c=red n=4");
+    }
+
+    #[test]
+    fn process_ownership() {
+        let mut b = Program::builder("o");
+        let x = b.var_of("x", Domain::Bool, ProcessId(2));
+        let p = b.build();
+        assert_eq!(p.var(x).process(), Some(ProcessId(2)));
+    }
+
+    #[test]
+    fn empty_program_enumerates_one_state() {
+        let p = Program::builder("empty").build();
+        let states: Vec<State> = p.enumerate_states().unwrap().collect();
+        assert_eq!(states.len(), 1);
+        assert!(states[0].is_empty());
+    }
+}

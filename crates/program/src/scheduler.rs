@@ -1,0 +1,279 @@
+//! Schedulers ("daemons").
+//!
+//! A computation of a program is a fair, maximal interleaving of enabled
+//! actions (Section 2 of the paper). A [`Scheduler`] decides, at every step,
+//! which enabled action executes. The paper's fairness requirement ("each
+//! action that is continuously enabled is eventually executed") is satisfied
+//! by [`RoundRobin`]; [`Random`] is fair with probability 1; [`Adversarial`]
+//! deliberately ignores fairness — Section 8 remarks that the derived
+//! programs converge even then, which experiment E8 verifies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::action::ActionId;
+use crate::state::State;
+
+/// A daemon selecting which enabled action executes next.
+///
+/// `enabled` is never empty when `select` is called; returning `None` makes
+/// the engine stop the run (useful for schedulers with scripted endings).
+pub trait Scheduler {
+    /// Choose one of `enabled` to execute at `state` in step `step`.
+    fn select(&mut self, enabled: &[ActionId], state: &State, step: u64) -> Option<ActionId>;
+
+    /// A short human-readable name, used in reports.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// Weakly fair round-robin daemon: cycles through action ids, executing the
+/// next enabled one at or after the cursor.
+///
+/// Every continuously enabled action is executed within one full rotation,
+/// so round-robin computations are fair in the paper's sense.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: u32,
+}
+
+impl RoundRobin {
+    /// Create a round-robin daemon starting at action 0.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn select(&mut self, enabled: &[ActionId], _state: &State, _step: u64) -> Option<ActionId> {
+        // Pick the enabled action with the smallest id >= cursor, wrapping.
+        let chosen = enabled
+            .iter()
+            .copied()
+            .filter(|a| a.0 >= self.cursor)
+            .min_by_key(|a| a.0)
+            .or_else(|| enabled.iter().copied().min_by_key(|a| a.0))?;
+        self.cursor = chosen.0 + 1;
+        Some(chosen)
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Uniformly random daemon with a seeded RNG (fair with probability 1).
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: StdRng,
+}
+
+impl Random {
+    /// Create a random daemon from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        Random {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for Random {
+    fn select(&mut self, enabled: &[ActionId], _state: &State, _step: u64) -> Option<ActionId> {
+        if enabled.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..enabled.len());
+        Some(enabled[i])
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Unfair adversarial daemon: always executes the enabled action with the
+/// *highest priority* per a caller-supplied ranking (lower rank = preferred).
+///
+/// With a ranking that prefers "unhelpful" actions this exercises worst-case
+/// schedules; the default ranking (declaration order) starves
+/// later-declared actions for as long as earlier ones stay enabled, which
+/// already violates fairness.
+#[derive(Debug, Clone)]
+pub struct Adversarial {
+    priority: Vec<u32>,
+}
+
+impl Adversarial {
+    /// Prefer actions in declaration order (earliest id always wins).
+    pub fn by_declaration_order() -> Self {
+        Adversarial { priority: Vec::new() }
+    }
+
+    /// Prefer actions in the order given; unlisted actions come last in
+    /// declaration order.
+    pub fn with_priority(order: impl IntoIterator<Item = ActionId>) -> Self {
+        let order: Vec<ActionId> = order.into_iter().collect();
+        let max = order.iter().map(|a| a.0).max().map_or(0, |m| m + 1);
+        let mut priority = vec![u32::MAX; max as usize];
+        for (rank, a) in order.iter().enumerate() {
+            priority[a.0 as usize] = rank as u32;
+        }
+        Adversarial { priority }
+    }
+
+    fn rank(&self, a: ActionId) -> (u32, u32) {
+        let explicit = self
+            .priority
+            .get(a.0 as usize)
+            .copied()
+            .unwrap_or(u32::MAX);
+        (explicit, a.0)
+    }
+}
+
+impl Scheduler for Adversarial {
+    fn select(&mut self, enabled: &[ActionId], _state: &State, _step: u64) -> Option<ActionId> {
+        enabled.iter().copied().min_by_key(|a| self.rank(*a))
+    }
+
+    fn name(&self) -> &str {
+        "adversarial"
+    }
+}
+
+/// Replays a fixed sequence of action ids, skipping entries that are not
+/// enabled; stops when the script is exhausted.
+///
+/// Useful in tests to force a program down a specific computation.
+#[derive(Debug, Clone)]
+pub struct Fixed {
+    script: std::collections::VecDeque<ActionId>,
+    /// Whether a scripted action that is not enabled should be skipped
+    /// (`true`) or should end the run (`false`).
+    skip_disabled: bool,
+}
+
+impl Fixed {
+    /// A script whose disabled entries are skipped.
+    pub fn skipping(script: impl IntoIterator<Item = ActionId>) -> Self {
+        Fixed {
+            script: script.into_iter().collect(),
+            skip_disabled: true,
+        }
+    }
+
+    /// A script that ends the run at the first disabled entry.
+    pub fn strict(script: impl IntoIterator<Item = ActionId>) -> Self {
+        Fixed {
+            script: script.into_iter().collect(),
+            skip_disabled: false,
+        }
+    }
+}
+
+impl Scheduler for Fixed {
+    fn select(&mut self, enabled: &[ActionId], _state: &State, _step: u64) -> Option<ActionId> {
+        while let Some(next) = self.script.pop_front() {
+            if enabled.contains(&next) {
+                return Some(next);
+            }
+            if !self.skip_disabled {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> ActionId {
+        ActionId(i)
+    }
+
+    fn st() -> State {
+        State::zeroed(0)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let enabled = [a(0), a(1), a(2)];
+        assert_eq!(s.select(&enabled, &st(), 0), Some(a(0)));
+        assert_eq!(s.select(&enabled, &st(), 1), Some(a(1)));
+        assert_eq!(s.select(&enabled, &st(), 2), Some(a(2)));
+        assert_eq!(s.select(&enabled, &st(), 3), Some(a(0)));
+    }
+
+    #[test]
+    fn round_robin_skips_disabled() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.select(&[a(1), a(3)], &st(), 0), Some(a(1)));
+        assert_eq!(s.select(&[a(0), a(3)], &st(), 1), Some(a(3)));
+        assert_eq!(s.select(&[a(0)], &st(), 2), Some(a(0)));
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        // Every action enabled forever is selected within one rotation.
+        let mut s = RoundRobin::new();
+        let enabled = [a(0), a(1), a(2), a(3)];
+        let mut seen = std::collections::HashSet::new();
+        for step in 0..4 {
+            seen.insert(s.select(&enabled, &st(), step).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let enabled = [a(0), a(1), a(2)];
+        let run = |seed| {
+            let mut s = Random::seeded(seed);
+            (0..20)
+                .map(|i| s.select(&enabled, &st(), i).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn adversarial_prefers_priority() {
+        let mut s = Adversarial::with_priority([a(2), a(0)]);
+        assert_eq!(s.select(&[a(0), a(1), a(2)], &st(), 0), Some(a(2)));
+        assert_eq!(s.select(&[a(0), a(1)], &st(), 1), Some(a(0)));
+        assert_eq!(s.select(&[a(1)], &st(), 2), Some(a(1)));
+    }
+
+    #[test]
+    fn adversarial_default_is_declaration_order() {
+        let mut s = Adversarial::by_declaration_order();
+        assert_eq!(s.select(&[a(2), a(1)], &st(), 0), Some(a(1)));
+    }
+
+    #[test]
+    fn fixed_skipping_and_strict() {
+        let mut s = Fixed::skipping([a(1), a(0)]);
+        assert_eq!(s.select(&[a(0)], &st(), 0), Some(a(0)), "a1 skipped");
+        assert_eq!(s.select(&[a(0)], &st(), 1), None, "script exhausted");
+
+        let mut s = Fixed::strict([a(1), a(0)]);
+        assert_eq!(s.select(&[a(0)], &st(), 0), None, "strict stops at disabled a1");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundRobin::new().name(), "round-robin");
+        assert_eq!(Random::seeded(0).name(), "random");
+        assert_eq!(Adversarial::by_declaration_order().name(), "adversarial");
+        assert_eq!(Fixed::skipping([]).name(), "fixed");
+    }
+}

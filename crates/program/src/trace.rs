@@ -1,0 +1,157 @@
+//! Execution traces.
+
+use crate::action::ActionId;
+use crate::state::State;
+use crate::Program;
+
+/// One recorded step of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The step number (0-based; step `k` produced `state`).
+    pub step: u64,
+    /// The action executed at this step, or `None` if the step was a pure
+    /// fault injection (the paper's fault actions).
+    pub action: Option<ActionId>,
+    /// Number of fault events applied at this step (before the action ran).
+    pub faults: u32,
+    /// The state *after* the step.
+    pub state: State,
+}
+
+/// A recorded computation: the initial state followed by the steps taken.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    initial: Option<State>,
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record the initial state.
+    pub fn set_initial(&mut self, state: State) {
+        self.initial = Some(state);
+    }
+
+    /// The initial state, if recorded.
+    pub fn initial(&self) -> Option<&State> {
+        self.initial.as_ref()
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// The recorded steps, oldest first.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether any step has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The sequence of visited states: initial state (if recorded) followed
+    /// by each step's post-state.
+    pub fn states(&self) -> impl Iterator<Item = &State> {
+        self.initial.iter().chain(self.steps.iter().map(|s| &s.state))
+    }
+
+    /// Pretty-print against `program` (variable names, action names).
+    ///
+    /// Intended for examples and debugging output, one line per step.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        if let Some(init) = &self.initial {
+            out.push_str(&format!("  init: {}\n", program.render_state(init)));
+        }
+        for s in &self.steps {
+            let label = match s.action {
+                Some(a) => program.action(a).name().to_string(),
+                None => "(fault only)".to_string(),
+            };
+            let fault_note = if s.faults > 0 {
+                format!(" [{} fault(s)]", s.faults)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  #{:<4} {label}{fault_note}: {}\n",
+                s.step,
+                program.render_state(&s.state)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, Program};
+
+    #[test]
+    fn trace_accumulates_states() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.set_initial(State::new(vec![0]));
+        t.push(TraceStep {
+            step: 0,
+            action: Some(ActionId(0)),
+            faults: 0,
+            state: State::new(vec![1]),
+        });
+        t.push(TraceStep {
+            step: 1,
+            action: None,
+            faults: 2,
+            state: State::new(vec![7]),
+        });
+        assert_eq!(t.len(), 2);
+        let states: Vec<_> = t.states().collect();
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[0], &State::new(vec![0]));
+        assert_eq!(states[2], &State::new(vec![7]));
+    }
+
+    #[test]
+    fn render_mentions_actions_and_faults() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::range(0, 9));
+        b.closure_action("bump", [x], [x], |_| true, move |s| {
+            let v = s.get(x);
+            s.set(x, v + 1);
+        });
+        let p = b.build();
+
+        let mut t = Trace::new();
+        t.set_initial(p.state_from([0]).unwrap());
+        t.push(TraceStep {
+            step: 0,
+            action: Some(ActionId(0)),
+            faults: 0,
+            state: p.state_from([1]).unwrap(),
+        });
+        t.push(TraceStep {
+            step: 1,
+            action: None,
+            faults: 1,
+            state: p.state_from([9]).unwrap(),
+        });
+        let text = t.render(&p);
+        assert!(text.contains("init: x=0"));
+        assert!(text.contains("bump"));
+        assert!(text.contains("(fault only)"));
+        assert!(text.contains("[1 fault(s)]"));
+    }
+}

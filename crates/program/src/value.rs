@@ -1,0 +1,248 @@
+//! Variable domains.
+//!
+//! Every program variable carries a [`Domain`] describing its set of legal
+//! values. All values are represented as `i64` slots in a [`crate::State`];
+//! the domain gives them their interpretation (boolean, bounded integer,
+//! enumeration label, or unbounded integer).
+
+use rand::Rng;
+
+/// The set of legal values of a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Domain {
+    /// `{false, true}` encoded as `{0, 1}`.
+    Bool,
+    /// The inclusive integer range `min..=max`.
+    Range {
+        /// Smallest legal value.
+        min: i64,
+        /// Largest legal value.
+        max: i64,
+    },
+    /// A finite enumeration; value `k` means `labels[k]`.
+    Enum {
+        /// Human-readable names of the variants, in value order.
+        labels: Vec<String>,
+    },
+    /// All of `i64`. State-space enumeration is impossible over unbounded
+    /// domains; the model checker rejects programs containing them, while
+    /// the simulator handles them fine.
+    Unbounded,
+}
+
+/// Error raised when a value falls outside its variable's domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainError {
+    /// Name of the offending variable.
+    pub var: String,
+    /// The out-of-domain value.
+    pub value: i64,
+    /// Rendered description of the domain.
+    pub domain: String,
+}
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value {} of variable `{}` is outside its domain {}",
+            self.value, self.var, self.domain
+        )
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl Domain {
+    /// Convenience constructor for [`Domain::Range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn range(min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty domain: range({min}, {max})");
+        Domain::Range { min, max }
+    }
+
+    /// Convenience constructor for [`Domain::Enum`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn enumeration<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        assert!(!labels.is_empty(), "empty domain: enumeration with no labels");
+        Domain::Enum { labels }
+    }
+
+    /// Whether `value` is a member of this domain.
+    pub fn contains(&self, value: i64) -> bool {
+        match self {
+            Domain::Bool => value == 0 || value == 1,
+            Domain::Range { min, max } => (*min..=*max).contains(&value),
+            Domain::Enum { labels } => (0..labels.len() as i64).contains(&value),
+            Domain::Unbounded => true,
+        }
+    }
+
+    /// The number of values in the domain, or `None` if unbounded.
+    pub fn size(&self) -> Option<u64> {
+        match self {
+            Domain::Bool => Some(2),
+            Domain::Range { min, max } => Some((max - min) as u64 + 1),
+            Domain::Enum { labels } => Some(labels.len() as u64),
+            Domain::Unbounded => None,
+        }
+    }
+
+    /// Whether the domain has finitely many values.
+    pub fn is_bounded(&self) -> bool {
+        self.size().is_some()
+    }
+
+    /// The smallest value of the domain (`i64::MIN` when unbounded).
+    pub fn min_value(&self) -> i64 {
+        match self {
+            Domain::Bool => 0,
+            Domain::Range { min, .. } => *min,
+            Domain::Enum { .. } => 0,
+            Domain::Unbounded => i64::MIN,
+        }
+    }
+
+    /// Iterate over the values of a bounded domain in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is [`Domain::Unbounded`]; check
+    /// [`Domain::is_bounded`] first.
+    pub fn values(&self) -> impl Iterator<Item = i64> + '_ {
+        let (min, max) = match self {
+            Domain::Bool => (0, 1),
+            Domain::Range { min, max } => (*min, *max),
+            Domain::Enum { labels } => (0, labels.len() as i64 - 1),
+            Domain::Unbounded => panic!("cannot enumerate an unbounded domain"),
+        };
+        min..=max
+    }
+
+    /// Draw a uniformly random member of the domain.
+    ///
+    /// For [`Domain::Unbounded`] this samples a small symmetric window
+    /// (`-8..=8`) — faults that fling an unbounded counter to an arbitrary
+    /// `i64` are indistinguishable, for stabilization purposes, from faults
+    /// landing nearby, and small windows keep traces legible.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        match self {
+            Domain::Bool => rng.gen_range(0..=1),
+            Domain::Range { min, max } => rng.gen_range(*min..=*max),
+            Domain::Enum { labels } => rng.gen_range(0..labels.len() as i64),
+            Domain::Unbounded => rng.gen_range(-8..=8),
+        }
+    }
+
+    /// Render `value` under this domain's interpretation (e.g. enum label).
+    pub fn render(&self, value: i64) -> String {
+        match self {
+            Domain::Bool => (value != 0).to_string(),
+            Domain::Enum { labels } => labels
+                .get(value as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("<out-of-domain {value}>")),
+            _ => value.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Domain::Bool => write!(f, "bool"),
+            Domain::Range { min, max } => write!(f, "{min}..={max}"),
+            Domain::Enum { labels } => write!(f, "{{{}}}", labels.join(", ")),
+            Domain::Unbounded => write!(f, "i64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bool_domain() {
+        let d = Domain::Bool;
+        assert!(d.contains(0) && d.contains(1));
+        assert!(!d.contains(2) && !d.contains(-1));
+        assert_eq!(d.size(), Some(2));
+        assert_eq!(d.values().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(d.render(1), "true");
+    }
+
+    #[test]
+    fn range_domain() {
+        let d = Domain::range(-2, 3);
+        assert_eq!(d.size(), Some(6));
+        assert!(d.contains(-2) && d.contains(3));
+        assert!(!d.contains(-3) && !d.contains(4));
+        assert_eq!(d.values().count(), 6);
+        assert_eq!(d.min_value(), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_range_panics() {
+        let _ = Domain::range(1, 0);
+    }
+
+    #[test]
+    fn enum_domain() {
+        let d = Domain::enumeration(["green", "red"]);
+        assert_eq!(d.size(), Some(2));
+        assert!(d.contains(0) && d.contains(1) && !d.contains(2));
+        assert_eq!(d.render(0), "green");
+        assert_eq!(d.render(7), "<out-of-domain 7>");
+        assert_eq!(d.to_string(), "{green, red}");
+    }
+
+    #[test]
+    fn unbounded_domain() {
+        let d = Domain::Unbounded;
+        assert!(d.contains(i64::MIN) && d.contains(i64::MAX));
+        assert_eq!(d.size(), None);
+        assert!(!d.is_bounded());
+    }
+
+    #[test]
+    fn sampling_stays_in_domain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in [
+            Domain::Bool,
+            Domain::range(3, 9),
+            Domain::enumeration(["a", "b", "c"]),
+            Domain::Unbounded,
+        ] {
+            for _ in 0..200 {
+                assert!(d.contains(d.sample(&mut rng)));
+            }
+        }
+    }
+
+    #[test]
+    fn domain_error_display() {
+        let e = DomainError {
+            var: "x".into(),
+            value: 9,
+            domain: "0..=3".into(),
+        };
+        assert!(e.to_string().contains("x"));
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,361 @@
+//! Global aggregation over diffusing waves — the "global state snapshot /
+//! termination detection" applications §5.1 names.
+//!
+//! Each node carries an application value `v.j`. The *reflect* closure
+//! action — which already reads every child — additionally folds the
+//! subtree aggregate on the way up:
+//!
+//! ```text
+//! agg.j := v.j + Σ_{k : P.k = j} agg.k        (on reflect)
+//! ```
+//!
+//! so when the root reflects, `agg.0` is the sum of all `v.j` sampled by
+//! the completed wave. As with [`crate::reset`], the aggregation variables
+//! appear in *no* constraint, so the stabilizing diffusing design
+//! (Theorem 1) carries over unchanged — after faults corrupt wave state or
+//! aggregates, the next complete wave produces a correct aggregate again.
+//! Summation specializes to termination detection (sum of activity flags
+//! reaching zero) and to snapshot collection (any commutative fold).
+
+use nonmask::{Design, DesignError};
+use nonmask_graph::NodePartition;
+use nonmask_program::{ActionId, Domain, Predicate, ProcessId, Program, State, VarId};
+
+use crate::diffusing::{GREEN, RED};
+use crate::topology::Tree;
+
+/// A stabilizing sum-aggregation protocol over a rooted [`Tree`].
+#[derive(Debug, Clone)]
+pub struct WaveAggregation {
+    tree: Tree,
+    program: Program,
+    color: Vec<VarId>,
+    session: Vec<VarId>,
+    value: Vec<VarId>,
+    agg: Vec<VarId>,
+    initiate: ActionId,
+    reflect: Vec<ActionId>,
+    combined: Vec<(usize, ActionId)>,
+    max_value: i64,
+}
+
+impl WaveAggregation {
+    /// Build the protocol; application values live in `0..=max_value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_value < 1`.
+    pub fn new(tree: &Tree, max_value: i64) -> Self {
+        assert!(max_value >= 1, "values need at least two states");
+        let n = tree.len();
+        let mut b = Program::builder(format!("wave-aggregation[{n}]"));
+
+        let mut color = Vec::with_capacity(n);
+        let mut session = Vec::with_capacity(n);
+        let mut value = Vec::with_capacity(n);
+        let mut agg = Vec::with_capacity(n);
+        for j in 0..n {
+            color.push(b.var_of(
+                format!("c.{j}"),
+                Domain::enumeration(["green", "red"]),
+                ProcessId(j),
+            ));
+            session.push(b.var_of(format!("sn.{j}"), Domain::Bool, ProcessId(j)));
+            value.push(b.var_of(
+                format!("v.{j}"),
+                Domain::range(0, max_value),
+                ProcessId(j),
+            ));
+            // A subtree aggregate is at most n * max_value; faults may
+            // write anything in that range.
+            agg.push(b.var_of(
+                format!("agg.{j}"),
+                Domain::range(0, n as i64 * max_value),
+                ProcessId(j),
+            ));
+        }
+
+        let (c0, sn0) = (color[0], session[0]);
+        let initiate = b.closure_action(
+            "initiate@0",
+            [c0, sn0],
+            [c0, sn0],
+            move |s| s.get(c0) == GREEN,
+            move |s| {
+                s.set(c0, RED);
+                s.toggle(sn0);
+            },
+        );
+
+        let mut combined = Vec::new();
+        for j in 1..n {
+            let p = tree.parent(j);
+            let (cj, snj, cp, snp) = (color[j], session[j], color[p], session[p]);
+            let id = b.combined_action(
+                format!("propagate/repair@{j}"),
+                [cj, snj, cp, snp],
+                [cj, snj],
+                move |s| {
+                    s.get_bool(snj) != s.get_bool(snp)
+                        || (s.get(cj) == RED && s.get(cp) == GREEN)
+                },
+                move |s| {
+                    let (c, sn) = (s.get(cp), s.get(snp));
+                    s.set(cj, c);
+                    s.set(snj, sn);
+                },
+            );
+            combined.push((j, id));
+        }
+
+        // Reflect + fold: agg.j := v.j + Σ children agg.
+        let mut reflect = Vec::new();
+        for j in 0..n {
+            let kids = tree.children(j);
+            let (cj, snj, vj, aggj) = (color[j], session[j], value[j], agg[j]);
+            let kid_vars: Vec<(VarId, VarId, VarId)> = kids
+                .iter()
+                .map(|&k| (color[k], session[k], agg[k]))
+                .collect();
+            let mut reads = vec![cj, snj, vj];
+            for &(ck, snk, aggk) in &kid_vars {
+                reads.extend([ck, snk, aggk]);
+            }
+            let cap = n as i64 * max_value;
+            let kid_vars2 = kid_vars.clone();
+            let id = b.closure_action(
+                format!("reflect/fold@{j}"),
+                reads,
+                [cj, aggj],
+                move |s| {
+                    s.get(cj) == RED
+                        && kid_vars.iter().all(|&(ck, snk, _)| {
+                            s.get(ck) == GREEN && s.get_bool(snk) == s.get_bool(snj)
+                        })
+                },
+                move |s| {
+                    let total: i64 = s.get(vj)
+                        + kid_vars2.iter().map(|&(_, _, aggk)| s.get(aggk)).sum::<i64>();
+                    // Faulty child aggregates could overflow the domain;
+                    // saturate (the next fault-free wave corrects it).
+                    s.set(aggj, total.min(cap));
+                    s.set(cj, GREEN);
+                },
+            );
+            reflect.push(id);
+        }
+
+        WaveAggregation {
+            tree: tree.clone(),
+            program: b.build(),
+            color,
+            session,
+            value,
+            agg,
+            initiate,
+            reflect,
+            combined,
+            max_value,
+        }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The guarded-command program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The application-value variable of node `j`.
+    pub fn value_var(&self, j: usize) -> VarId {
+        self.value[j]
+    }
+
+    /// The aggregate variable of node `j`.
+    pub fn agg_var(&self, j: usize) -> VarId {
+        self.agg[j]
+    }
+
+    /// The root's reflect/fold action (its execution completes a wave).
+    pub fn root_reflect_action(&self) -> ActionId {
+        self.reflect[0]
+    }
+
+    /// The root's initiate action.
+    pub fn initiate_action(&self) -> ActionId {
+        self.initiate
+    }
+
+    /// The true sum of all application values at `state`.
+    pub fn true_sum(&self, state: &State) -> i64 {
+        self.value.iter().map(|&v| state.get(v)).sum()
+    }
+
+    /// The root's latest completed-wave aggregate.
+    pub fn root_aggregate(&self, state: &State) -> i64 {
+        state.get(self.agg[0])
+    }
+
+    /// The wave-consistency invariant (identical to the diffusing
+    /// computation's; values and aggregates are unconstrained).
+    pub fn invariant(&self) -> Predicate {
+        let rs: Vec<Predicate> = (1..self.tree.len())
+            .map(|j| {
+                let p = self.tree.parent(j);
+                let (cj, snj, cp, snp) =
+                    (self.color[j], self.session[j], self.color[p], self.session[p]);
+                Predicate::new(format!("R.{j}"), [cj, snj, cp, snp], move |s| {
+                    (s.get(cj) == s.get(cp) && s.get_bool(snj) == s.get_bool(snp))
+                        || (s.get(cj) == GREEN && s.get(cp) == RED)
+                })
+            })
+            .collect();
+        Predicate::all("S", rs.iter()).named("S")
+    }
+
+    /// The complete stabilizing [`Design`].
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Design::builder`] validation.
+    pub fn design(&self) -> Result<Design, DesignError> {
+        let mut builder = Design::builder(self.program.clone())
+            .partition(NodePartition::by_process(&self.program));
+        for &(j, action) in &self.combined {
+            let p = self.tree.parent(j);
+            let (cj, snj, cp, snp) =
+                (self.color[j], self.session[j], self.color[p], self.session[p]);
+            builder = builder.constraint(
+                format!("R.{j}"),
+                Predicate::new(format!("R.{j}"), [cj, snj, cp, snp], move |s| {
+                    (s.get(cj) == s.get(cp) && s.get_bool(snj) == s.get_bool(snp))
+                        || (s.get(cj) == GREEN && s.get(cp) == RED)
+                }),
+                action,
+            );
+        }
+        builder.build()
+    }
+
+    /// All-green initial state with the given values and zeroed aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length or a value is out of range.
+    pub fn initial_state(&self, values: &[i64]) -> State {
+        assert_eq!(values.len(), self.tree.len());
+        let mut s = self.program.min_state();
+        for (j, &v) in values.iter().enumerate() {
+            assert!((0..=self.max_value).contains(&v), "value out of range");
+            s.set(self.value[j], v);
+        }
+        s
+    }
+
+    /// Run until the root completes its next wave, returning the aggregate
+    /// it computed (executes at most `max_steps` actions under round-robin).
+    pub fn run_one_wave(&self, state: &mut State, max_steps: u64) -> Option<i64> {
+        use nonmask_program::scheduler::RoundRobin;
+        use nonmask_program::{Executor, RunConfig};
+        let exec = Executor::new(&self.program);
+        let mut sched = RoundRobin::new();
+        for _ in 0..max_steps {
+            let before = state.clone();
+            let report = exec.run(before, &mut sched, &RunConfig::default().max_steps(1));
+            let completed = report.count_of(self.root_reflect_action()) > 0;
+            *state = report.final_state;
+            if completed {
+                return Some(self.root_aggregate(state));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask::TheoremOutcome;
+
+    #[test]
+    fn design_remains_theorem1_with_aggregation() {
+        let wa = WaveAggregation::new(&Tree::chain(3), 1);
+        let report = wa.design().unwrap().verify().unwrap();
+        assert!(
+            matches!(report.theorem, TheoremOutcome::Theorem1 { .. }),
+            "{:?}",
+            report.theorem
+        );
+        assert!(report.is_tolerant(), "{}", report.summary());
+        assert!(report.is_stabilizing());
+    }
+
+    #[test]
+    fn completed_waves_compute_the_true_sum() {
+        let tree = Tree::binary(7);
+        let wa = WaveAggregation::new(&tree, 9);
+        let values = [3i64, 1, 4, 1, 5, 9, 2];
+        let mut state = wa.initial_state(&values);
+        let agg = wa.run_one_wave(&mut state, 10_000).expect("wave completes");
+        assert_eq!(agg, values.iter().sum::<i64>());
+        assert_eq!(agg, wa.true_sum(&state));
+    }
+
+    #[test]
+    fn aggregates_recover_after_corruption() {
+        // Corrupt aggregates and wave state arbitrarily; after the system
+        // re-stabilizes, the next COMPLETE wave reports the true sum again
+        // (nonmasking: intermediate aggregates may be garbage).
+        let tree = Tree::star(5);
+        let wa = WaveAggregation::new(&tree, 5);
+        let values = [2i64, 0, 5, 1, 3];
+        let mut state = wa.initial_state(&values);
+        // Garbage everywhere.
+        for j in 0..5 {
+            state.set(wa.agg_var(j), 17.min(5 * 5));
+        }
+        state.set(wa.program().var_by_name("c.2").unwrap(), RED);
+        state.set(wa.program().var_by_name("sn.4").unwrap(), 1);
+
+        // The first completed wave may fold stale child aggregates; by the
+        // second complete wave every aggregate was recomputed from values.
+        let _ = wa.run_one_wave(&mut state, 10_000).expect("first wave");
+        let agg = wa.run_one_wave(&mut state, 10_000).expect("second wave");
+        assert_eq!(agg, values.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn termination_detection_specialization() {
+        // Activity flags as values: the wave detects global passivity
+        // (sum = 0) exactly when every node is passive.
+        let tree = Tree::chain(4);
+        let wa = WaveAggregation::new(&tree, 1);
+        let mut active = wa.initial_state(&[0, 1, 0, 1]);
+        let agg = wa.run_one_wave(&mut active, 10_000).unwrap();
+        assert_eq!(agg, 2, "two nodes still active");
+
+        let mut passive = wa.initial_state(&[0, 0, 0, 0]);
+        let agg = wa.run_one_wave(&mut passive, 10_000).unwrap();
+        assert_eq!(agg, 0, "termination detected");
+    }
+
+    #[test]
+    fn saturation_keeps_domains_closed() {
+        use nonmask_checker::StateSpace;
+        // Even with adversarial child aggregates the fold stays in domain
+        // (checker would panic on escape during enumeration).
+        let wa = WaveAggregation::new(&Tree::chain(3), 1);
+        let space = StateSpace::enumerate(wa.program()).unwrap();
+        assert!(space.len() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "value out of range")]
+    fn out_of_range_values_rejected() {
+        let wa = WaveAggregation::new(&Tree::chain(2), 3);
+        let _ = wa.initial_state(&[1, 9]);
+    }
+}

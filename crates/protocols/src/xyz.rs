@@ -1,0 +1,274 @@
+//! The paper's didactic three-variable example (§4 and §6).
+//!
+//! The invariant is the conjunction of two constraints over integers
+//! `x`, `y`, `z`:
+//!
+//! - `x != y`
+//! - `x <= z`
+//!
+//! Three convergence-action choices illustrate the method:
+//!
+//! - [`out_tree`] (§4): fix `x != y` by changing `y`, fix `x <= z` by
+//!   raising `z`. The constraint graph is the out-tree of the paper's
+//!   figure; Theorem 1 applies.
+//! - [`ordered`] (§6, second half): both actions write `x`, but the
+//!   `x != y` repair *decreases* `x`, preserving `x <= z`; a linear
+//!   preservation order exists and Theorem 2 applies.
+//! - [`interfering`] (§6, first half): both actions write `x`
+//!   carelessly — "executing one can violate the constraint of the other,
+//!   then executing the other can violate the constraint of the one, and
+//!   so on". No theorem applies, and the model checker exhibits the
+//!   livelock.
+
+use nonmask::{Design, DesignError};
+use nonmask_graph::NodePartition;
+use nonmask_program::{Predicate, Program, VarId};
+use nonmask_program::Domain;
+
+/// Upper bound of the variable domains used by the example designs.
+pub const BOUND: i64 = 4;
+
+/// Handles to the example's variables within its program.
+#[derive(Debug, Clone, Copy)]
+pub struct XyzVars {
+    /// The shared variable `x`.
+    pub x: VarId,
+    /// The variable `y` of constraint `x != y`.
+    pub y: VarId,
+    /// The variable `z` of constraint `x <= z`.
+    pub z: VarId,
+}
+
+fn constraints(x: VarId, y: VarId, z: VarId) -> (Predicate, Predicate) {
+    (
+        Predicate::new("x!=y", [x, y], move |s| s.get(x) != s.get(y)),
+        Predicate::new("x<=z", [x, z], move |s| s.get(x) <= s.get(z)),
+    )
+}
+
+fn partition(x: VarId, y: VarId, z: VarId) -> NodePartition {
+    NodePartition::new().group("x", [x]).group("y", [y]).group("z", [z])
+}
+
+/// The §4 design: repair `x != y` by bumping `y`, repair `x <= z` by
+/// raising `z`. Constraint graph: `x → y`, `x → z` (the paper's figure);
+/// Theorem 1 applies.
+///
+/// # Errors
+///
+/// Construction itself cannot fail; the `Result` mirrors
+/// [`Design::builder`]'s validation.
+pub fn out_tree() -> Result<(Design, XyzVars), DesignError> {
+    let mut b = Program::builder("xyz-out-tree");
+    let x = b.var("x", Domain::range(0, BOUND));
+    let y = b.var("y", Domain::range(0, BOUND));
+    let z = b.var("z", Domain::range(0, BOUND));
+    let fix_y = b.convergence_action(
+        "fix-neq: change y",
+        [x, y],
+        [y],
+        move |s| s.get(x) == s.get(y),
+        move |s| {
+            let v = s.get(y);
+            s.set(y, (v + 1) % (BOUND + 1));
+        },
+    );
+    let fix_z = b.convergence_action(
+        "fix-le: raise z",
+        [x, z],
+        [z],
+        move |s| s.get(x) > s.get(z),
+        move |s| {
+            let v = s.get(x);
+            s.set(z, v);
+        },
+    );
+    let program = b.build();
+    let (c_neq, c_le) = constraints(x, y, z);
+    let design = Design::builder(program)
+        .partition(partition(x, y, z))
+        .constraint("x!=y", c_neq, fix_y)
+        .constraint("x<=z", c_le, fix_z)
+        .build()?;
+    Ok((design, XyzVars { x, y, z }))
+}
+
+/// The §6 ordered design: repair `x != y` by *decreasing* `x` (which
+/// preserves `x <= z`), repair `x <= z` by lowering `x` to `z`. Both edges
+/// target node `x`; the graph is self-looping and the order
+/// `[fix-le, fix-neq]` witnesses Theorem 2.
+///
+/// `y`'s domain starts at `1` so that decreasing `x` is always possible
+/// when `x = y` (the paper works with unbounded integers; the floor is a
+/// bounded-domain artifact).
+///
+/// # Errors
+///
+/// Construction itself cannot fail; the `Result` mirrors
+/// [`Design::builder`]'s validation.
+pub fn ordered() -> Result<(Design, XyzVars), DesignError> {
+    let mut b = Program::builder("xyz-ordered");
+    let x = b.var("x", Domain::range(0, BOUND));
+    let y = b.var("y", Domain::range(1, BOUND));
+    let z = b.var("z", Domain::range(0, BOUND));
+    let fix_neq = b.convergence_action(
+        "fix-neq: decrease x",
+        [x, y],
+        [x],
+        move |s| s.get(x) == s.get(y),
+        move |s| {
+            let v = s.get(x);
+            s.set(x, v - 1);
+        },
+    );
+    let fix_le = b.convergence_action(
+        "fix-le: lower x",
+        [x, z],
+        [x],
+        move |s| s.get(x) > s.get(z),
+        move |s| {
+            let v = s.get(z);
+            s.set(x, v);
+        },
+    );
+    let program = b.build();
+    let (c_neq, c_le) = constraints(x, y, z);
+    let design = Design::builder(program)
+        .partition(partition(x, y, z))
+        .constraint("x!=y", c_neq, fix_neq)
+        .constraint("x<=z", c_le, fix_le)
+        .build()?;
+    Ok((design, XyzVars { x, y, z }))
+}
+
+/// The §6 interfering design: repair `x != y` by *increasing* `x`, repair
+/// `x <= z` by lowering `x` to `z`. Each repair can violate the other's
+/// constraint, forever: when `y = z + 1`, raising `x` off `y` lands it
+/// above `z`, and lowering it back to `z` … can land it on `y`.
+///
+/// Both edges target `x` and the actions admit no linear preservation
+/// order, so no theorem applies — and the model checker finds the
+/// livelock (E3 reproduces this).
+///
+/// # Errors
+///
+/// Construction itself cannot fail; the `Result` mirrors
+/// [`Design::builder`]'s validation.
+pub fn interfering() -> Result<(Design, XyzVars), DesignError> {
+    let mut b = Program::builder("xyz-interfering");
+    let x = b.var("x", Domain::range(0, BOUND));
+    let y = b.var("y", Domain::range(0, BOUND));
+    let z = b.var("z", Domain::range(0, BOUND));
+    let fix_neq = b.convergence_action(
+        "fix-neq: raise x",
+        [x, y],
+        [x],
+        move |s| s.get(x) == s.get(y),
+        move |s| {
+            let v = s.get(x);
+            s.set(x, (v + 1) % (BOUND + 1));
+        },
+    );
+    let fix_le = b.convergence_action(
+        "fix-le: lower x",
+        [x, z],
+        [x],
+        move |s| s.get(x) > s.get(z),
+        move |s| {
+            let v = s.get(z);
+            s.set(x, v);
+        },
+    );
+    let program = b.build();
+    let (c_neq, c_le) = constraints(x, y, z);
+    let design = Design::builder(program)
+        .partition(partition(x, y, z))
+        .constraint("x!=y", c_neq, fix_neq)
+        .constraint("x<=z", c_le, fix_le)
+        .build()?;
+    Ok((design, XyzVars { x, y, z }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask::TheoremOutcome;
+    use nonmask_graph::Shape;
+
+    #[test]
+    fn out_tree_reproduces_paper_figure_and_theorem1() {
+        let (design, _) = out_tree().unwrap();
+        let graph = design.constraint_graph().unwrap();
+        assert_eq!(graph.shape(), Shape::OutTree);
+        assert_eq!(graph.edge_count(), 2);
+        let report = design.verify().unwrap();
+        assert!(matches!(report.theorem, TheoremOutcome::Theorem1 { .. }));
+        assert!(report.is_tolerant());
+        assert!(report.is_stabilizing());
+        assert!(report.convergence_unfair.converges());
+    }
+
+    #[test]
+    fn ordered_is_theorem2() {
+        let (design, _) = ordered().unwrap();
+        let graph = design.constraint_graph().unwrap();
+        assert_eq!(graph.shape(), Shape::SelfLooping, "both edges target x");
+        let report = design.verify().unwrap();
+        assert!(
+            matches!(report.theorem, TheoremOutcome::Theorem2 { .. }),
+            "expected Theorem 2, got {:?}",
+            report.theorem
+        );
+        assert!(report.is_tolerant());
+        assert!(report.convergence_unfair.converges());
+    }
+
+    #[test]
+    fn ordered_linear_order_puts_le_first() {
+        let (design, _) = ordered().unwrap();
+        let report = design.verify().unwrap();
+        let TheoremOutcome::Theorem2 { orders } = report.theorem else {
+            panic!("expected Theorem 2");
+        };
+        // Node x has two incoming edges; the valid order repairs `x<=z`
+        // before `x!=y` (the decrease preserves `x<=z`, not vice versa).
+        let x_order = orders
+            .iter()
+            .map(|(_, o)| o)
+            .find(|o| o.len() == 2)
+            .expect("node x has both edges");
+        let graph = design.constraint_graph().unwrap();
+        let first = graph.edge_ref(x_order[0]).constraint().0;
+        let second = graph.edge_ref(x_order[1]).constraint().0;
+        assert_eq!(design.constraints()[first].name(), "x<=z");
+        assert_eq!(design.constraints()[second].name(), "x!=y");
+    }
+
+    #[test]
+    fn interfering_livelocks() {
+        let (design, _) = interfering().unwrap();
+        let report = design.verify().unwrap();
+        assert!(!report.theorem.applies());
+        assert!(!report.convergence.converges(), "the paper's oscillation exists");
+        assert!(!report.is_tolerant());
+        assert!(report.worst_case_moves.is_none(), "no finite bound under livelock");
+    }
+
+    #[test]
+    fn all_variants_share_the_invariant_semantics() {
+        for (design, vars) in [out_tree().unwrap(), interfering().unwrap()] {
+            let s = design.invariant();
+            let p = design.program();
+            let mk = |xv: i64, yv: i64, zv: i64| {
+                let mut st = p.min_state();
+                st.set(vars.x, xv);
+                st.set(vars.y, yv);
+                st.set(vars.z, zv);
+                st
+            };
+            assert!(s.holds(&mk(1, 2, 3)));
+            assert!(!s.holds(&mk(2, 2, 3)), "x=y violates");
+            assert!(!s.holds(&mk(3, 2, 1)), "x>z violates");
+        }
+    }
+}

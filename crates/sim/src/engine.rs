@@ -1,0 +1,511 @@
+//! The round-based message-passing engine.
+
+use std::collections::VecDeque;
+
+use nonmask_program::{Predicate, Program, State, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::refine::Refinement;
+
+/// Configuration of a [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed (message loss and fault sampling).
+    pub seed: u64,
+    /// Probability that any single update message is dropped.
+    pub loss_rate: f64,
+    /// Maximum rounds for [`Simulation::run_until_stable`].
+    pub max_rounds: u64,
+    /// How many actions each process may execute per round.
+    pub steps_per_round: usize,
+    /// Every `heartbeat_period` rounds each process re-broadcasts all of
+    /// its variables to their remote readers (refreshing stale caches even
+    /// when no writes happen). `0` disables heartbeats.
+    pub heartbeat_period: u64,
+    /// Maximum message delay in rounds: each message is delivered after a
+    /// uniformly random `1..=max_delay` rounds. With `max_delay > 1` the
+    /// network is no longer FIFO (later messages can overtake earlier
+    /// ones), which is exactly the reordering stabilizing protocols must
+    /// survive.
+    pub max_delay: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            loss_rate: 0.0,
+            max_rounds: 100_000,
+            steps_per_round: 1,
+            heartbeat_period: 1,
+            max_delay: 1,
+        }
+    }
+}
+
+/// Outcome of [`Simulation::run_until_stable`].
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// First round after which the predicate held continuously until the
+    /// run stopped, if it stabilized.
+    pub stabilized_at_round: Option<u64>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Action executions across all processes.
+    pub steps: u64,
+    /// Update messages sent (including heartbeats, excluding drops).
+    pub messages_delivered: u64,
+    /// Update messages dropped by the lossy network.
+    pub messages_dropped: u64,
+    /// The final ground-truth state.
+    pub final_state: State,
+}
+
+/// A deterministic round-based message-passing simulation of a refinable
+/// program.
+///
+/// Each process `p` keeps a *view* — a full state vector in which `p`'s
+/// own variables are authoritative and remote variables are cached copies,
+/// updated only by messages. Per round: deliver pending messages, let each
+/// process execute up to [`SimConfig::steps_per_round`] enabled actions on
+/// its view (round-robin over its actions), then broadcast writes (and
+/// heartbeats) to remote readers through the lossy network.
+#[derive(Debug)]
+pub struct Simulation<'p> {
+    program: &'p Program,
+    refinement: Refinement,
+    config: SimConfig,
+    views: Vec<State>,
+    /// Per process: messages awaiting delivery as `(deliver_round, var, value)`.
+    inboxes: Vec<VecDeque<(u64, VarId, i64)>>,
+    cursors: Vec<u32>,
+    /// While `rounds < partition_until`, messages crossing partition
+    /// groups are dropped.
+    partition_until: u64,
+    /// Partition-group id per process (all zero = no partition).
+    partition_group: Vec<usize>,
+    rng: StdRng,
+    rounds: u64,
+    steps: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+}
+
+impl<'p> Simulation<'p> {
+    /// Create a simulation from `initial` (authoritative everywhere; all
+    /// caches start coherent).
+    pub fn new(
+        program: &'p Program,
+        refinement: Refinement,
+        initial: State,
+        config: SimConfig,
+    ) -> Self {
+        let n = refinement.process_count();
+        Simulation {
+            program,
+            refinement,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            views: vec![initial; n],
+            inboxes: vec![VecDeque::new(); n],
+            cursors: vec![0; n],
+            partition_until: 0,
+            partition_group: vec![0; n],
+            rounds: 0,
+            steps: 0,
+            messages_delivered: 0,
+            messages_dropped: 0,
+        }
+    }
+
+    /// The god's-eye state: every variable read from its owner's view.
+    pub fn ground_truth(&self) -> State {
+        let mut s = State::zeroed(self.program.var_count());
+        for var in self.program.var_ids() {
+            let owner = self.refinement.owner_of(var);
+            s.set(var, self.views[owner].get(var));
+        }
+        s
+    }
+
+    /// The view (own variables + caches) of process `p`.
+    pub fn view_of(&self, p: usize) -> &State {
+        &self.views[p]
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Action executions so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Messages delivered so far (writes + heartbeats that were not
+    /// dropped).
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Messages dropped so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    fn send(&mut self, var: VarId, value: i64) {
+        let sender = self.refinement.owner_of(var);
+        for &reader in self.refinement.remote_readers_of(var).to_vec().iter() {
+            let partitioned = self.rounds < self.partition_until
+                && self.partition_group[sender] != self.partition_group[reader];
+            if partitioned
+                || (self.config.loss_rate > 0.0 && self.rng.gen_bool(self.config.loss_rate))
+            {
+                self.messages_dropped += 1;
+            } else {
+                let delay = if self.config.max_delay <= 1 {
+                    1
+                } else {
+                    self.rng.gen_range(1..=self.config.max_delay)
+                };
+                self.inboxes[reader].push_back((self.rounds + delay, var, value));
+                self.messages_delivered += 1;
+            }
+        }
+    }
+
+    /// Partition the processes into groups for the next `rounds` rounds:
+    /// messages crossing group boundaries are dropped until the partition
+    /// heals. `groups[p]` is the group id of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not cover every process.
+    pub fn partition(&mut self, groups: &[usize], rounds: u64) {
+        assert_eq!(
+            groups.len(),
+            self.views.len(),
+            "one group id per process"
+        );
+        self.partition_group.copy_from_slice(groups);
+        self.partition_until = self.rounds + rounds;
+    }
+
+    /// Execute one round: deliver, step every process, broadcast.
+    pub fn round(&mut self) {
+        // 1. Deliver the updates whose delay has elapsed, in send order.
+        for p in 0..self.views.len() {
+            let mut remaining = VecDeque::with_capacity(self.inboxes[p].len());
+            while let Some((due, var, value)) = self.inboxes[p].pop_front() {
+                if due <= self.rounds {
+                    self.views[p].set(var, value);
+                } else {
+                    remaining.push_back((due, var, value));
+                }
+            }
+            self.inboxes[p] = remaining;
+        }
+
+        // 2. Each process executes up to steps_per_round enabled actions.
+        let mut outgoing: Vec<(VarId, i64)> = Vec::new();
+        for p in 0..self.views.len() {
+            let actions = self.refinement.actions_of(p);
+            if actions.is_empty() {
+                continue;
+            }
+            for _ in 0..self.config.steps_per_round {
+                // Round-robin over the process's actions.
+                let k = actions.len() as u32;
+                let mut chosen = None;
+                for off in 0..k {
+                    let idx = ((self.cursors[p] + off) % k) as usize;
+                    if self.program.action(actions[idx]).enabled(&self.views[p]) {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+                let Some(idx) = chosen else { break };
+                self.cursors[p] = (idx as u32 + 1) % k;
+                let action = self.program.action(actions[idx]);
+                action.apply(&mut self.views[p]);
+                self.steps += 1;
+                for &w in action.writes() {
+                    outgoing.push((w, self.views[p].get(w)));
+                }
+            }
+        }
+        for (var, value) in outgoing {
+            self.send(var, value);
+        }
+
+        // 3. Heartbeats.
+        if self.config.heartbeat_period > 0 && self.rounds % self.config.heartbeat_period == 0 {
+            for p in 0..self.views.len() {
+                for var in self.refinement.vars_of(p) {
+                    let value = self.views[p].get(var);
+                    self.send(var, value);
+                }
+            }
+        }
+
+        self.rounds += 1;
+    }
+
+    /// Run rounds until `pred` holds on the ground truth for `hold`
+    /// consecutive rounds (or the round budget is exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hold == 0`.
+    pub fn run_until_stable(&mut self, pred: &Predicate, hold: u32) -> SimReport {
+        assert!(hold > 0);
+        let mut held = 0u32;
+        let mut hold_start = 0u64;
+        let start_round = self.rounds;
+        let mut stabilized_at_round = None;
+        while self.rounds - start_round < self.config.max_rounds {
+            self.round();
+            if pred.holds(&self.ground_truth()) {
+                if held == 0 {
+                    hold_start = self.rounds - 1;
+                }
+                held += 1;
+                if held >= hold {
+                    stabilized_at_round = Some(hold_start);
+                    break;
+                }
+            } else {
+                held = 0;
+            }
+        }
+        SimReport {
+            stabilized_at_round,
+            rounds: self.rounds - start_round,
+            steps: self.steps,
+            messages_delivered: self.messages_delivered,
+            messages_dropped: self.messages_dropped,
+            final_state: self.ground_truth(),
+        }
+    }
+
+    /// Corrupt every variable of process `p` to random domain values
+    /// (authoritative copies only; caches elsewhere go stale, exactly like
+    /// a real memory fault).
+    pub fn corrupt_process(&mut self, p: usize) {
+        for var in self.refinement.vars_of(p) {
+            let value = self.program.var(var).domain().sample(&mut self.rng);
+            self.views[p].set(var, value);
+        }
+    }
+
+    /// Overwrite one authoritative variable (targeted fault injection).
+    pub fn corrupt_var(&mut self, var: VarId, value: i64) {
+        let owner = self.refinement.owner_of(var);
+        self.views[owner].set(var, value);
+    }
+
+    /// Crash-and-restart process `p`: its own variables reset to their
+    /// domain minima and all of its caches are cleared to stale minima.
+    pub fn crash_restart(&mut self, p: usize) {
+        for var in self.program.var_ids() {
+            if self.refinement.owner_of(var) == p {
+                let min = self.program.var(var).domain().min_value();
+                self.views[p].set(var, min);
+            } else {
+                let min = self.program.var(var).domain().min_value();
+                self.views[p].set(var, min);
+            }
+        }
+        self.inboxes[p].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_protocols::diffusing::DiffusingComputation;
+    use nonmask_protocols::token_ring::TokenRing;
+    use nonmask_protocols::Tree;
+
+    fn ring_sim(n: usize, k: i64, config: SimConfig) -> (TokenRing, Refinement) {
+        let ring = TokenRing::new(n, k);
+        let refinement = Refinement::new(ring.program()).unwrap();
+        let _ = &config;
+        (ring, refinement)
+    }
+
+    #[test]
+    fn token_ring_stabilizes_over_messages() {
+        let (ring, refinement) = ring_sim(5, 5, SimConfig::default());
+        let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).unwrap();
+        let mut sim = Simulation::new(ring.program(), refinement, corrupt, SimConfig::default());
+        let report = sim.run_until_stable(&ring.invariant(), 3);
+        assert!(
+            report.stabilized_at_round.is_some(),
+            "no stabilization in {} rounds",
+            report.rounds
+        );
+        assert_eq!(ring.privileges(&report.final_state).len(), 1);
+    }
+
+    #[test]
+    fn token_ring_survives_lossy_network() {
+        let config = SimConfig {
+            loss_rate: 0.3,
+            seed: 9,
+            ..SimConfig::default()
+        };
+        let (ring, refinement) = ring_sim(4, 4, config.clone());
+        let corrupt = ring.program().state_from([2, 0, 3, 1]).unwrap();
+        let mut sim = Simulation::new(ring.program(), refinement, corrupt, config);
+        let report = sim.run_until_stable(&ring.invariant(), 3);
+        assert!(report.stabilized_at_round.is_some());
+        assert!(report.messages_dropped > 0, "the lossy network dropped something");
+    }
+
+    #[test]
+    fn diffusing_computation_recovers_from_corruption() {
+        let tree = Tree::binary(7);
+        let dc = DiffusingComputation::new(&tree);
+        let refinement = Refinement::new(dc.program()).unwrap();
+        let mut sim = Simulation::new(
+            dc.program(),
+            refinement,
+            dc.initial_state(),
+            SimConfig { seed: 4, ..SimConfig::default() },
+        );
+        // Let the wave run, then corrupt three nodes.
+        for _ in 0..10 {
+            sim.round();
+        }
+        sim.corrupt_process(2);
+        sim.corrupt_process(5);
+        sim.corrupt_process(6);
+        let report = sim.run_until_stable(&dc.invariant(), 5);
+        assert!(
+            report.stabilized_at_round.is_some(),
+            "diffusing computation re-stabilized: {} rounds",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn ground_truth_assembles_owner_views() {
+        let (ring, refinement) = ring_sim(3, 3, SimConfig::default());
+        let initial = ring.initial_state();
+        let sim =
+            Simulation::new(ring.program(), refinement, initial.clone(), SimConfig::default());
+        assert_eq!(sim.ground_truth(), initial);
+    }
+
+    #[test]
+    fn heartbeats_refresh_stale_caches() {
+        // An inert program (its only action is never enabled): corruption
+        // can only reach remote caches through heartbeats.
+        use nonmask_program::{Domain, ProcessId, Program};
+        let mut b = Program::builder("inert");
+        let x0 = b.var_of("x.0", Domain::range(0, 5), ProcessId(0));
+        let x1 = b.var_of("x.1", Domain::range(0, 5), ProcessId(1));
+        b.closure_action("never@1", [x0, x1], [x1], |_| false, |_| {});
+        let p = b.build();
+        let refinement = Refinement::new(&p).unwrap();
+        let mut sim = Simulation::new(&p, refinement, p.min_state(), SimConfig::default());
+
+        sim.corrupt_var(x0, 3);
+        assert_eq!(sim.ground_truth().get(x0), 3, "authoritative copy updated");
+        assert_eq!(sim.view_of(1).get(x0), 0, "cache still stale");
+        sim.round(); // heartbeat sends x.0 = 3 …
+        sim.round(); // … delivered at the start of the next round
+        assert_eq!(sim.view_of(1).get(x0), 3, "heartbeat refreshed the cache");
+    }
+
+    #[test]
+    fn crash_restart_resets_node() {
+        let (ring, refinement) = ring_sim(4, 4, SimConfig::default());
+        let corrupt = ring.program().state_from([3, 2, 1, 0]).unwrap();
+        let mut sim = Simulation::new(ring.program(), refinement, corrupt, SimConfig::default());
+        sim.crash_restart(2);
+        assert_eq!(sim.ground_truth().get(ring.counter_var(2)), 0);
+        let report = sim.run_until_stable(&ring.invariant(), 3);
+        assert!(report.stabilized_at_round.is_some());
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let (ring, refinement) = ring_sim(3, 3, SimConfig::default());
+        let mut sim = Simulation::new(
+            ring.program(),
+            refinement,
+            ring.initial_state(),
+            SimConfig::default(),
+        );
+        for _ in 0..5 {
+            sim.round();
+        }
+        assert_eq!(sim.rounds(), 5);
+        assert!(sim.steps() > 0);
+        assert!(sim.messages_delivered() > 0);
+        assert_eq!(sim.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn stabilizes_despite_message_delays() {
+        // max_delay 4: messages reorder freely; the ring still converges.
+        let config = SimConfig {
+            seed: 21,
+            max_delay: 4,
+            ..SimConfig::default()
+        };
+        let (ring, refinement) = ring_sim(5, 5, config.clone());
+        let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).unwrap();
+        let mut sim = Simulation::new(ring.program(), refinement, corrupt, config);
+        let report = sim.run_until_stable(&ring.invariant(), 5);
+        assert!(report.stabilized_at_round.is_some(), "{} rounds", report.rounds);
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        let (ring, refinement) = ring_sim(4, 4, SimConfig::default());
+        let corrupt = ring.program().state_from([2, 0, 3, 1]).unwrap();
+        let mut sim =
+            Simulation::new(ring.program(), refinement, corrupt, SimConfig::default());
+        // Split the ring in half for 50 rounds: cross-group updates drop.
+        sim.partition(&[0, 0, 1, 1], 50);
+        for _ in 0..50 {
+            sim.round();
+        }
+        assert!(sim.messages_dropped() > 0, "the partition dropped messages");
+        // After healing, stabilization proceeds.
+        let report = sim.run_until_stable(&ring.invariant(), 3);
+        assert!(report.stabilized_at_round.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "one group id per process")]
+    fn partition_arity_checked() {
+        let (ring, refinement) = ring_sim(4, 4, SimConfig::default());
+        let mut sim = Simulation::new(
+            ring.program(),
+            refinement,
+            ring.initial_state(),
+            SimConfig::default(),
+        );
+        sim.partition(&[0, 1], 10);
+    }
+
+    #[test]
+    fn heartbeats_can_be_disabled() {
+        let config = SimConfig {
+            heartbeat_period: 0,
+            ..SimConfig::default()
+        };
+        let (ring, refinement) = ring_sim(3, 3, config.clone());
+        let mut sim = Simulation::new(ring.program(), refinement, ring.initial_state(), config);
+        sim.round();
+        // Only write-triggered messages flow: the single enabled action
+        // (the root's pass) wrote x.0, read remotely by process 1.
+        assert_eq!(sim.messages_delivered(), 1);
+    }
+}

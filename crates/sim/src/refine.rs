@@ -1,0 +1,234 @@
+//! Refinability analysis: ownership and readership structure.
+
+use nonmask_program::{ActionId, ProcessId, Program, VarId};
+
+/// Why a program cannot be refined into message passing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefineError {
+    /// A variable is not tagged with an owning process.
+    UnownedVariable {
+        /// The untagged variable.
+        var: VarId,
+    },
+    /// An action writes variables of two different processes; in message
+    /// passing a step executes at a single process.
+    WritesSpanProcesses {
+        /// The offending action.
+        action: ActionId,
+    },
+    /// An action writes nothing, so no process can own its execution.
+    NoWrites {
+        /// The offending action.
+        action: ActionId,
+    },
+}
+
+impl std::fmt::Display for RefineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefineError::UnownedVariable { var } => {
+                write!(f, "variable {var} has no owning process")
+            }
+            RefineError::WritesSpanProcesses { action } => {
+                write!(f, "action {action} writes variables of two processes")
+            }
+            RefineError::NoWrites { action } => {
+                write!(f, "action {action} writes nothing; no process can own it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+/// The message-passing structure of a refinable program.
+///
+/// A program is *refinable* when every variable is owned by a process and
+/// every action writes variables of exactly one process (the action then
+/// executes at that process). Remote variables in an action's read set
+/// become cached copies refreshed by update messages.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    processes: Vec<ProcessId>,
+    /// Variable → index into `processes`.
+    owner: Vec<usize>,
+    /// Action → index into `processes` (the process executing it).
+    executor: Vec<usize>,
+    /// Variable → processes (indices) that read it remotely.
+    remote_readers: Vec<Vec<usize>>,
+}
+
+impl Refinement {
+    /// Analyze `program`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RefineError`].
+    pub fn new(program: &Program) -> Result<Self, RefineError> {
+        // Collect the distinct processes in tag order.
+        let mut processes: Vec<ProcessId> = Vec::new();
+        let mut owner = Vec::with_capacity(program.var_count());
+        for var in program.var_ids() {
+            let pid = program
+                .var(var)
+                .process()
+                .ok_or(RefineError::UnownedVariable { var })?;
+            let idx = match processes.iter().position(|&p| p == pid) {
+                Some(i) => i,
+                None => {
+                    processes.push(pid);
+                    processes.len() - 1
+                }
+            };
+            owner.push(idx);
+        }
+
+        let mut executor = Vec::with_capacity(program.action_count());
+        for aid in program.action_ids() {
+            let action = program.action(aid);
+            let mut exec: Option<usize> = None;
+            for &w in action.writes() {
+                let o = owner[w.index()];
+                match exec {
+                    None => exec = Some(o),
+                    Some(e) if e == o => {}
+                    Some(_) => return Err(RefineError::WritesSpanProcesses { action: aid }),
+                }
+            }
+            executor.push(exec.ok_or(RefineError::NoWrites { action: aid })?);
+        }
+
+        // Remote readers: for each variable, the processes that execute an
+        // action reading it but do not own it.
+        let mut remote_readers = vec![Vec::new(); program.var_count()];
+        for aid in program.action_ids() {
+            let exec = executor[aid.index()];
+            for &r in program.action(aid).reads() {
+                if owner[r.index()] != exec && !remote_readers[r.index()].contains(&exec) {
+                    remote_readers[r.index()].push(exec);
+                }
+            }
+        }
+
+        Ok(Refinement {
+            processes,
+            owner,
+            executor,
+            remote_readers,
+        })
+    }
+
+    /// The distinct processes, in first-appearance order.
+    pub fn processes(&self) -> &[ProcessId] {
+        &self.processes
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Index of the process owning `var`.
+    pub fn owner_of(&self, var: VarId) -> usize {
+        self.owner[var.index()]
+    }
+
+    /// Index of the process executing `action`.
+    pub fn executor_of(&self, action: ActionId) -> usize {
+        self.executor[action.index()]
+    }
+
+    /// Indices of the processes that cache `var` remotely.
+    pub fn remote_readers_of(&self, var: VarId) -> &[usize] {
+        &self.remote_readers[var.index()]
+    }
+
+    /// The actions executed by process `p`.
+    pub fn actions_of(&self, p: usize) -> Vec<ActionId> {
+        (0..self.executor.len())
+            .filter(|&i| self.executor[i] == p)
+            .map(ActionId::from_index)
+            .collect()
+    }
+
+    /// The variables owned by process `p`.
+    pub fn vars_of(&self, p: usize) -> Vec<VarId> {
+        (0..self.owner.len())
+            .filter(|&i| self.owner[i] == p)
+            .map(VarId::from_index)
+            .collect()
+    }
+
+    /// Total number of directed `(owner → reader)` cache relationships — a
+    /// measure of the communication graph's density.
+    pub fn channel_count(&self) -> usize {
+        self.remote_readers.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::Domain;
+
+    fn ring2() -> Program {
+        let mut b = Program::builder("ring2");
+        let x0 = b.var_of("x.0", Domain::range(0, 3), ProcessId(0));
+        let x1 = b.var_of("x.1", Domain::range(0, 3), ProcessId(1));
+        b.combined_action("pass@0", [x0, x1], [x0], |_| true, |_| {});
+        b.combined_action("pass@1", [x0, x1], [x1], |_| true, |_| {});
+        b.build()
+    }
+
+    #[test]
+    fn ring_structure_extracted() {
+        let p = ring2();
+        let r = Refinement::new(&p).unwrap();
+        assert_eq!(r.process_count(), 2);
+        let x0 = p.var_by_name("x.0").unwrap();
+        let x1 = p.var_by_name("x.1").unwrap();
+        assert_eq!(r.owner_of(x0), 0);
+        assert_eq!(r.owner_of(x1), 1);
+        assert_eq!(r.executor_of(ActionId::from_index(0)), 0);
+        assert_eq!(r.executor_of(ActionId::from_index(1)), 1);
+        assert_eq!(r.remote_readers_of(x0), &[1]);
+        assert_eq!(r.remote_readers_of(x1), &[0]);
+        assert_eq!(r.channel_count(), 2);
+        assert_eq!(r.actions_of(0), vec![ActionId::from_index(0)]);
+        assert_eq!(r.vars_of(1), vec![x1]);
+    }
+
+    #[test]
+    fn unowned_variable_rejected() {
+        let mut b = Program::builder("p");
+        let x = b.var("x", Domain::Bool);
+        let _ = x;
+        let p = b.build();
+        assert!(matches!(
+            Refinement::new(&p),
+            Err(RefineError::UnownedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_process_writes_rejected() {
+        let mut b = Program::builder("p");
+        let x0 = b.var_of("x.0", Domain::Bool, ProcessId(0));
+        let x1 = b.var_of("x.1", Domain::Bool, ProcessId(1));
+        b.closure_action("w2", [x0, x1], [x0, x1], |_| true, |_| {});
+        let p = b.build();
+        assert!(matches!(
+            Refinement::new(&p),
+            Err(RefineError::WritesSpanProcesses { .. })
+        ));
+    }
+
+    #[test]
+    fn writeless_action_rejected() {
+        let mut b = Program::builder("p");
+        let x0 = b.var_of("x.0", Domain::Bool, ProcessId(0));
+        b.closure_action("noop", [x0], [], |_| true, |_| {});
+        let p = b.build();
+        assert!(matches!(Refinement::new(&p), Err(RefineError::NoWrites { .. })));
+    }
+}

@@ -1,0 +1,197 @@
+//! An actually-concurrent executor: one OS thread per process, one lock
+//! per variable.
+//!
+//! This realizes the *read/write atomicity* refinement the paper's
+//! concluding remarks point at: a process reads one remote variable at a
+//! time (no action-wide atomicity), so guards are evaluated over
+//! potentially inconsistent snapshots. The unidirectional-information-flow
+//! protocols in this repository (token ring, diffusing computation)
+//! stabilize regardless, which the tests observe on real threads.
+//!
+//! Built on `crossbeam::thread::scope` (borrowing the program and locks
+//! without `Arc` gymnastics) and `parking_lot::Mutex` (cheap uncontended
+//! locking; one lock per variable).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use nonmask_program::{Predicate, Program, State};
+use parking_lot::Mutex;
+
+use crate::refine::Refinement;
+
+/// Outcome of a [`run_threaded`] execution.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// The final global state, assembled after all threads joined.
+    pub final_state: State,
+    /// Total action executions across all threads.
+    pub steps: u64,
+    /// Whether the run ended because the stop predicate was observed (on a
+    /// consistent all-locks snapshot); `false` means the attempt budget ran
+    /// out first.
+    pub stopped_on_predicate: bool,
+}
+
+/// How often (in scheduling attempts) each thread takes a consistent
+/// snapshot to evaluate the stop predicate.
+const SNAPSHOT_PERIOD: u64 = 256;
+
+/// Run `program` with one thread per process, starting from `initial`.
+///
+/// Each thread loops over its actions round-robin; per attempt it
+/// snapshots the variables its next action reads (locking one variable at
+/// a time — deliberately *not* an atomic multi-variable read), and if the
+/// guard holds on the snapshot it applies the effect and publishes the
+/// written values.
+///
+/// Threads run until either `stop_when` holds on a *consistent* snapshot
+/// (all variable locks held in index order — a true linearization point)
+/// or the shared budget of `attempts` scheduling attempts is exhausted.
+/// The shared budget means no thread retires while others still work, so
+/// late cross-thread updates are never silently dropped.
+pub fn run_threaded_until(
+    program: &Program,
+    refinement: &Refinement,
+    initial: &State,
+    attempts: u64,
+    stop_when: Option<&Predicate>,
+) -> ThreadedReport {
+    let locks: Vec<Mutex<i64>> = initial.slots().iter().map(|&v| Mutex::new(v)).collect();
+    let steps = AtomicU64::new(0);
+    let remaining = AtomicU64::new(attempts);
+    let stop = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|scope| {
+        for p in 0..refinement.process_count() {
+            let actions = refinement.actions_of(p);
+            let locks = &locks;
+            let steps = &steps;
+            let remaining = &remaining;
+            let stop = &stop;
+            scope.spawn(move |_| {
+                if actions.is_empty() {
+                    return;
+                }
+                let mut cursor = 0usize;
+                let mut snapshot = State::zeroed(program.var_count());
+                let mut attempt = 0u64;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Shared budget: decrement one attempt; exit at zero.
+                    let prev = remaining.fetch_sub(1, Ordering::Relaxed);
+                    if prev == 0 || prev == u64::MAX {
+                        remaining.store(0, Ordering::Relaxed);
+                        break;
+                    }
+                    attempt += 1;
+
+                    // Periodically take a consistent snapshot (all locks,
+                    // index order) and evaluate the stop predicate.
+                    if let Some(pred) = stop_when {
+                        if attempt % SNAPSHOT_PERIOD == 0 {
+                            let guards: Vec<_> = locks.iter().map(|m| m.lock()).collect();
+                            let full: State = guards.iter().map(|g| **g).collect();
+                            drop(guards);
+                            if pred.holds(&full) {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+
+                    let aid = actions[cursor];
+                    cursor = (cursor + 1) % actions.len();
+                    let action = program.action(aid);
+                    // Low-atomicity read: one variable at a time.
+                    for &r in action.reads() {
+                        let v = *locks[r.index()].lock();
+                        snapshot.set(r, v);
+                    }
+                    if !action.enabled(&snapshot) {
+                        continue;
+                    }
+                    action.apply(&mut snapshot);
+                    for &w in action.writes() {
+                        *locks[w.index()].lock() = snapshot.get(w);
+                    }
+                    steps.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let final_state: State = locks.iter().map(|m| *m.lock()).collect();
+    ThreadedReport {
+        final_state,
+        steps: steps.into_inner(),
+        stopped_on_predicate: stop.into_inner(),
+    }
+}
+
+/// [`run_threaded_until`] without a stop predicate: run the whole attempt
+/// budget down.
+pub fn run_threaded(
+    program: &Program,
+    refinement: &Refinement,
+    initial: &State,
+    attempts: u64,
+) -> ThreadedReport {
+    run_threaded_until(program, refinement, initial, attempts, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_protocols::diffusing::DiffusingComputation;
+    use nonmask_protocols::token_ring::TokenRing;
+    use nonmask_protocols::Tree;
+
+    #[test]
+    fn token_ring_stabilizes_on_real_threads() {
+        let ring = TokenRing::new(5, 5);
+        let refinement = Refinement::new(ring.program()).unwrap();
+        let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).unwrap();
+        let report = run_threaded_until(
+            ring.program(),
+            &refinement,
+            &corrupt,
+            50_000_000,
+            Some(&ring.invariant()),
+        );
+        assert!(
+            report.stopped_on_predicate,
+            "threads observed stabilization before the budget ran out"
+        );
+        // S is closed, so the post-join state is still legitimate.
+        assert_eq!(
+            ring.privileges(&report.final_state).len(),
+            1,
+            "final state: {:?}",
+            report.final_state
+        );
+    }
+
+    #[test]
+    fn diffusing_tree_state_remains_sane_under_concurrency() {
+        let tree = Tree::binary(7);
+        let dc = DiffusingComputation::new(&tree);
+        let refinement = Refinement::new(dc.program()).unwrap();
+        let report = run_threaded(dc.program(), &refinement, &dc.initial_state(), 100_000);
+        dc.program().validate_state(&report.final_state).unwrap();
+        assert!(report.steps > 0);
+        assert!(!report.stopped_on_predicate);
+    }
+
+    #[test]
+    fn zero_attempts_is_identity() {
+        let ring = TokenRing::new(3, 3);
+        let refinement = Refinement::new(ring.program()).unwrap();
+        let initial = ring.initial_state();
+        let report = run_threaded(ring.program(), &refinement, &initial, 0);
+        assert_eq!(report.final_state, initial);
+        assert_eq!(report.steps, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Deriving the fault span `T` mechanically — the nonmasking (but not
+//! stabilizing) middle of the paper's §3 taxonomy.
+//!
+//! Faults here can only corrupt the last node's counter of a windowed
+//! token ring. The fault span `T` is computed as the reachability closure
+//! of `S` under program + fault actions; the result is a strict sandwich
+//! `S ⊂ T ⊂ true`, with `T` closed and convergence from `T` back to `S`.
+//!
+//! ```text
+//! cargo run --example fault_span
+//! ```
+
+use nonmask_checker::{
+    check_convergence, compute_fault_span, is_closed, worst_case_moves, Fairness, StateSpace,
+};
+use nonmask_program::{Action, ActionKind, State};
+use nonmask_protocols::token_ring::windowed_design;
+
+fn main() {
+    let (design, handles) = windowed_design(3, 3).expect("windowed design");
+    let program = design.program();
+    let space = StateSpace::enumerate(program).expect("bounded");
+    let s = design.invariant();
+
+    // Fault model: the last counter can be overwritten with any value.
+    let last = handles.x[2];
+    let faults: Vec<Action> = (0..=3)
+        .map(|v| {
+            Action::new(
+                format!("fault: x.2 := {v}"),
+                ActionKind::Closure,
+                [last],
+                [last],
+                |_: &State| true,
+                move |st: &mut State| st.set(last, v),
+            )
+        })
+        .collect();
+
+    println!("program: {} ({} states)", program.name(), space.len());
+    println!("fault model: overwrite x.2 with an arbitrary value\n");
+
+    let span = compute_fault_span(&space, program, &s, &faults);
+    let t = span.to_predicate(&space, "T");
+
+    println!("|S| = {:>3}   (legitimate states)", space.count_satisfying(&s));
+    println!("|T| = {:>3}   (derived fault span)", span.len());
+    println!("|U| = {:>3}   (all states)\n", space.len());
+
+    let t_closed = is_closed(&space, program, &t).is_none();
+    let conv = check_convergence(&space, program, &t, &s, Fairness::WeaklyFair);
+    let moves = worst_case_moves(&space, program, &t, &s);
+    println!("T closed under program actions: {t_closed}");
+    println!("every fair computation from T reaches S: {}", conv.converges());
+    println!("worst-case moves outside S: {:?}\n", moves);
+
+    assert!(t_closed && conv.converges());
+    assert!(space.count_satisfying(&s) < span.len() && span.len() < space.len());
+    println!("S ⊂ T ⊂ true: the program is NONMASKING tolerant to this fault");
+    println!("class — not masking (faults are visible), not stabilizing (states");
+    println!("outside T are never entered, so tolerance need not cover them).");
+}

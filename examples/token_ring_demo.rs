@@ -1,0 +1,59 @@
+//! Dijkstra's stabilizing token ring (§7.1): start from an arbitrarily
+//! corrupted state with several spurious privileges, watch them collapse
+//! to exactly one, then watch the token circulate.
+//!
+//! ```text
+//! cargo run --example token_ring_demo
+//! ```
+
+use nonmask_program::scheduler::RoundRobin;
+use nonmask_program::{Executor, RunConfig};
+use nonmask_protocols::token_ring::TokenRing;
+
+fn privileges_string(ring: &TokenRing, state: &nonmask_program::State) -> String {
+    (0..ring.len())
+        .map(|j| if ring.is_privileged(state, j) { '*' } else { '.' })
+        .collect()
+}
+
+fn main() {
+    let ring = TokenRing::new(8, 8);
+    // An adversarial initial state: five privileges.
+    let corrupt = ring
+        .program()
+        .state_from([7, 3, 1, 6, 2, 5, 0, 4])
+        .expect("within domain");
+
+    println!("token ring, n=8, k=8; '*' marks privileged nodes\n");
+    println!(
+        "  start    x={:?}  priv={} ({} privileges)",
+        corrupt.slots(),
+        privileges_string(&ring, &corrupt),
+        ring.privileges(&corrupt).len()
+    );
+
+    let report = Executor::new(ring.program()).run(
+        corrupt,
+        &mut RoundRobin::new(),
+        &RunConfig::default().stop_when(&ring.invariant(), 1).record_trace(true),
+    );
+    let trace = report.trace.expect("trace recorded");
+    for step in trace.steps() {
+        println!(
+            "  step {:<3} x={:?}  priv={}",
+            step.step,
+            step.state.slots(),
+            privileges_string(&ring, &step.state)
+        );
+    }
+    println!("\nstabilized after {} steps; now circulating:\n", report.steps);
+
+    let mut state = report.final_state;
+    for round in 0..12 {
+        let holder = ring.token_holder(&state).expect("exactly one privilege");
+        println!("  round {round:<2} token at node {holder}  priv={}", privileges_string(&ring, &state));
+        let enabled = ring.program().enabled_actions(&state);
+        assert_eq!(enabled.len(), 1, "exactly one enabled action inside S");
+        ring.program().action(enabled[0]).apply(&mut state);
+    }
+}

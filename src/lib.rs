@@ -1,0 +1,23 @@
+//! Umbrella crate for the `nonmask` workspace.
+//!
+//! This crate exists so that the repository root can host runnable
+//! [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html) and
+//! cross-crate integration tests. All functionality lives in the member
+//! crates, re-exported here for convenience:
+//!
+//! - [`nonmask`] — the design methodology (candidate triples, designs,
+//!   tolerance verification).
+//! - [`nonmask_program`] — guarded-command programs and execution.
+//! - [`nonmask_graph`] — constraint graphs and theorem-side conditions.
+//! - [`nonmask_checker`] — exhaustive closure/convergence checking.
+//! - [`nonmask_sim`] — message-passing simulation substrate.
+//! - [`nonmask_protocols`] — the paper's worked protocol designs.
+//! - [`nonmask_lang`] — the textual guarded-command language.
+
+pub use nonmask;
+pub use nonmask_checker;
+pub use nonmask_lang;
+pub use nonmask_graph;
+pub use nonmask_program;
+pub use nonmask_protocols;
+pub use nonmask_sim;

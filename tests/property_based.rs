@@ -1,0 +1,140 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use nonmask::TheoremOutcome;
+use nonmask_checker::{worst_case_moves, StateSpace};
+use nonmask_graph::Shape;
+use nonmask_program::scheduler::Random;
+use nonmask_program::{Executor, Predicate, RunConfig, State};
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+use proptest::prelude::*;
+
+/// Strategy: a valid parent vector for a tree of size 2..=6.
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            // parent[j] ∈ 0..j guarantees acyclicity and root at 0.
+            let parents: Vec<BoxedStrategy<usize>> = (0..n)
+                .map(|j| {
+                    if j == 0 {
+                        Just(0usize).boxed()
+                    } else {
+                        (0..j).boxed()
+                    }
+                })
+                .collect();
+            parents
+        })
+        .prop_map(Tree::from_parents)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every recursive tree yields a Theorem-1 stabilizing diffusing
+    /// computation whose constraint graph is an out-tree with ranks
+    /// = depth + 1.
+    #[test]
+    fn diffusing_design_is_theorem1_on_random_trees(tree in tree_strategy()) {
+        let dc = DiffusingComputation::new(&tree);
+        let design = dc.design().unwrap();
+        let graph = design.constraint_graph().unwrap();
+        prop_assert_eq!(graph.shape(), Shape::OutTree);
+        let ranks = graph.ranks().unwrap();
+        for j in 0..tree.len() {
+            prop_assert_eq!(ranks[j] as usize, tree.depth(j) + 1);
+        }
+        // Full verification only on the smaller instances (4^6 = 4096 is
+        // fine; keep the property fast).
+        if tree.len() <= 5 {
+            let report = design.verify().unwrap();
+            let is_theorem1 = matches!(report.theorem, TheoremOutcome::Theorem1 { .. });
+            prop_assert!(is_theorem1);
+            prop_assert!(report.is_stabilizing());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// From any state of the token ring, any seeded-random fair run
+    /// reaches the invariant within the checker's worst-case bound.
+    #[test]
+    fn token_ring_runs_respect_worst_case_bound(
+        slots in proptest::collection::vec(0i64..4, 4),
+        seed in 0u64..1000,
+    ) {
+        let ring = TokenRing::new(4, 4);
+        let start = State::new(slots);
+        ring.program().validate_state(&start).unwrap();
+        let s = ring.invariant();
+        let space = StateSpace::enumerate(ring.program()).unwrap();
+        let bound = worst_case_moves(&space, ring.program(), &Predicate::always_true(), &s)
+            .expect("finite bound");
+        let report = Executor::new(ring.program()).run(
+            start,
+            &mut Random::seeded(seed),
+            &RunConfig::default().stop_when(&s, 1).max_steps(bound + 1),
+        );
+        prop_assert!(report.stop.is_stabilized() || s.holds(&report.final_state));
+        prop_assert!(report.steps <= bound);
+    }
+
+    /// Privilege counting and the invariant predicate always agree.
+    #[test]
+    fn privilege_count_consistency(slots in proptest::collection::vec(0i64..5, 5)) {
+        let ring = TokenRing::new(5, 5);
+        let state = State::new(slots);
+        let privs = ring.privileges(&state);
+        prop_assert!(!privs.is_empty(), "at least one privilege always exists");
+        prop_assert_eq!(ring.invariant().holds(&state), privs.len() == 1);
+        prop_assert_eq!(ring.token_holder(&state).is_some(), privs.len() == 1);
+    }
+
+    /// Predicate combinators satisfy boolean algebra on arbitrary states.
+    #[test]
+    fn predicate_combinator_laws(slots in proptest::collection::vec(-5i64..5, 3)) {
+        use nonmask_program::VarId;
+        let state = State::new(slots);
+        let a = Predicate::new("a", [VarId::from_index(0)], |s| s.slots()[0] > 0);
+        let b = Predicate::new("b", [VarId::from_index(1)], |s| s.slots()[1] > 0);
+        prop_assert_eq!(a.and(&b).holds(&state), a.holds(&state) && b.holds(&state));
+        prop_assert_eq!(a.or(&b).holds(&state), a.holds(&state) || b.holds(&state));
+        prop_assert_eq!(a.not().holds(&state), !a.holds(&state));
+        prop_assert_eq!(
+            a.implies(&b).holds(&state),
+            !a.holds(&state) || b.holds(&state)
+        );
+        // De Morgan.
+        prop_assert_eq!(
+            a.and(&b).not().holds(&state),
+            a.not().or(&b.not()).holds(&state)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The message-passing refinement stabilizes from arbitrary corrupt
+    /// states (token ring, lossless network).
+    #[test]
+    fn message_passing_stabilizes_from_random_states(
+        slots in proptest::collection::vec(0i64..4, 4),
+        seed in 0u64..100,
+    ) {
+        use nonmask_sim::{Refinement, SimConfig, Simulation};
+        let ring = TokenRing::new(4, 4);
+        let refinement = Refinement::new(ring.program()).unwrap();
+        let mut sim = Simulation::new(
+            ring.program(),
+            refinement,
+            State::new(slots),
+            SimConfig { seed, max_rounds: 10_000, ..SimConfig::default() },
+        );
+        let report = sim.run_until_stable(&ring.invariant(), 3);
+        prop_assert!(report.stabilized_at_round.is_some());
+    }
+}
