@@ -32,11 +32,7 @@ fn bench_protocols(c: &mut Criterion) {
         let dc = DiffusingComputation::new(&Tree::binary(n));
         group.bench_with_input(BenchmarkId::new("diffusing-10k-steps", n), &n, |b, _| {
             b.iter(|| {
-                Executor::new(dc.program()).run(
-                    dc.initial_state(),
-                    &mut RoundRobin::new(),
-                    &config,
-                )
+                Executor::new(dc.program()).run(dc.initial_state(), &mut RoundRobin::new(), &config)
             })
         });
     }

@@ -10,10 +10,25 @@
 
 use std::process::ExitCode;
 
-#[derive(serde::Serialize)]
+use nonmask_program::json::escape;
+
 struct ExperimentResult<'a> {
     id: &'a str,
     report: String,
+}
+
+fn results_to_json(results: &[ExperimentResult<'_>]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"id\": \"{}\",\n    \"report\": \"{}\"\n  }}{}\n",
+            escape(r.id),
+            escape(&r.report),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
 }
 
 fn main() -> ExitCode {
@@ -68,7 +83,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("serializable results");
+        let json = results_to_json(&results);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

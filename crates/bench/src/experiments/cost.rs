@@ -58,7 +58,11 @@ pub fn e12() -> String {
 
     for n in [3usize, 4, 5] {
         let ring = TokenRing::new(n, n as i64);
-        row(&format!("token ring n={n}"), ring.program(), &ring.invariant());
+        row(
+            &format!("token ring n={n}"),
+            ring.program(),
+            &ring.invariant(),
+        );
     }
     for (name, tree) in [("chain-4", Tree::chain(4)), ("binary-5", Tree::binary(5))] {
         let dc = DiffusingComputation::new(&tree);
@@ -77,7 +81,10 @@ pub fn e13() -> String {
     );
     let ring = TokenRing::new(6, 6);
     let refinement = Refinement::new(ring.program()).expect("refinable");
-    let corrupt = ring.program().state_from([5, 2, 0, 4, 1, 3]).expect("in domain");
+    let corrupt = ring
+        .program()
+        .state_from([5, 2, 0, 4, 1, 3])
+        .expect("in domain");
 
     for max_delay in [1u64, 2, 4, 8] {
         let mut cells = vec![format!("delay<={max_delay}")];
@@ -121,11 +128,18 @@ pub fn e13() -> String {
 pub fn e14() -> String {
     let mut t = Table::new(
         "E14: event-driven stabilization (virtual time) vs latency/wake ratio",
-        ["mean latency / wake", "ring n=6 median t", "diffusing binary-7 median t"],
+        [
+            "mean latency / wake",
+            "ring n=6 median t",
+            "diffusing binary-7 median t",
+        ],
     );
     let ring = TokenRing::new(6, 6);
     let ring_ref = Refinement::new(ring.program()).expect("refinable");
-    let ring_corrupt = ring.program().state_from([5, 2, 0, 4, 1, 3]).expect("in domain");
+    let ring_corrupt = ring
+        .program()
+        .state_from([5, 2, 0, 4, 1, 3])
+        .expect("in domain");
     let dc = DiffusingComputation::new(&Tree::binary(7));
     let dc_ref = Refinement::new(dc.program()).expect("refinable");
     let mut dc_corrupt = dc.initial_state();
@@ -192,7 +206,12 @@ mod tests {
             100_000,
         );
         assert!(em.converged());
-        assert!(em.max() <= worst + 1e-9, "E_max {} <= worst {}", em.max(), worst);
+        assert!(
+            em.max() <= worst + 1e-9,
+            "E_max {} <= worst {}",
+            em.max(),
+            worst
+        );
         assert!(em.mean() <= em.max());
     }
 

@@ -37,11 +37,7 @@ pub fn e4() -> String {
         let design = dc.design().expect("design");
         let graph = design.constraint_graph().expect("graph");
         let ranks = graph.ranks().expect("out-tree ranks");
-        let rank_sum: u32 = graph
-            .edges()
-            .iter()
-            .map(|e| ranks[e.to().index()])
-            .sum();
+        let rank_sum: u32 = graph.edges().iter().map(|e| ranks[e.to().index()]).sum();
         let s = dc.invariant();
         let mut rng = StdRng::seed_from_u64(11);
         for k in [1, tree.len() / 2, tree.len()] {
@@ -80,8 +76,12 @@ pub fn e5() -> String {
         "E5: diffusing re-stabilization vs tree size/shape (message passing)",
         ["shape", "n", "height", "median rounds", "median messages"],
     );
-    let shapes: [(&str, fn(usize) -> Tree); 3] =
-        [("chain", Tree::chain), ("star", Tree::star), ("binary", Tree::binary)];
+    type TreeMaker = fn(usize) -> Tree;
+    let shapes: [(&str, TreeMaker); 3] = [
+        ("chain", Tree::chain),
+        ("star", Tree::star),
+        ("binary", Tree::binary),
+    ];
     for (shape, mk) in shapes {
         for n in [3usize, 7, 15, 31] {
             let tree = mk(n);
@@ -94,7 +94,10 @@ pub fn e5() -> String {
                     dc.program(),
                     refinement.clone(),
                     dc.initial_state(),
-                    SimConfig { seed, ..SimConfig::default() },
+                    SimConfig {
+                        seed,
+                        ..SimConfig::default()
+                    },
                 );
                 for _ in 0..3 {
                     sim.round();
@@ -104,7 +107,11 @@ pub fn e5() -> String {
                 }
                 let before_msgs = sim.messages_delivered();
                 let report = sim.run_until_stable(&dc.invariant(), 3);
-                rounds.push(report.stabilized_at_round.map_or(u64::MAX, |r| report.rounds.min(r + 3)));
+                rounds.push(
+                    report
+                        .stabilized_at_round
+                        .map_or(u64::MAX, |r| report.rounds.min(r + 3)),
+                );
                 messages.push(report.messages_delivered - before_msgs);
             }
             rounds.sort_unstable();
@@ -127,7 +134,12 @@ pub fn e5() -> String {
 pub fn e6() -> String {
     let mut t = Table::new(
         "E6a: token-ring stabilization cost (random corrupt starts, k=n)",
-        ["n", "median steps to S", "max steps (20 trials)", "worst-case bound (checker)"],
+        [
+            "n",
+            "median steps to S",
+            "max steps (20 trials)",
+            "worst-case bound (checker)",
+        ],
     );
     for n in [3usize, 4, 5, 6, 8] {
         let ring = TokenRing::new(n, n as i64);

@@ -59,13 +59,28 @@ pub fn e7() -> String {
     };
 
     let ring = TokenRing::new(5, 5);
-    measure("token ring n=5", ring.program(), &ring.invariant(), ring.initial_state());
+    measure(
+        "token ring n=5",
+        ring.program(),
+        &ring.invariant(),
+        ring.initial_state(),
+    );
 
     let dc = DiffusingComputation::new(&Tree::binary(7));
-    measure("diffusing binary-7", dc.program(), &dc.invariant(), dc.initial_state());
+    measure(
+        "diffusing binary-7",
+        dc.program(),
+        &dc.invariant(),
+        dc.initial_state(),
+    );
 
     let aa = AtomicActions::new(4);
-    measure("atomic actions n=4", aa.program(), &aa.invariant(), aa.initial_state());
+    measure(
+        "atomic actions n=4",
+        aa.program(),
+        &aa.invariant(),
+        aa.initial_state(),
+    );
 
     t.render()
 }
@@ -91,7 +106,11 @@ mod tests {
             );
             avail.push(report.availability(0).unwrap());
         }
-        assert!(avail[0] > 0.9, "low fault rate: high availability, got {}", avail[0]);
+        assert!(
+            avail[0] > 0.9,
+            "low fault rate: high availability, got {}",
+            avail[0]
+        );
         assert!(
             avail[0] > avail[1],
             "higher rate degrades availability: {avail:?}"

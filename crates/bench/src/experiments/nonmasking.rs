@@ -142,11 +142,7 @@ pub fn ring_sandwich() -> (usize, usize, usize) {
         })
         .collect();
     let span = compute_fault_span(&space, program, &s, &faults);
-    (
-        space.count_satisfying(&s),
-        span.len(),
-        space.len(),
-    )
+    (space.count_satisfying(&s), span.len(), space.len())
 }
 
 /// The same check exposed as a [`Predicate`]-level helper used by tests.

@@ -10,13 +10,7 @@ use nonmask_sim::{Refinement, SimConfig, Simulation};
 
 use crate::table::Table;
 
-fn compare(
-    t: &mut Table,
-    name: &str,
-    program: &Program,
-    s: &Predicate,
-    corrupt: State,
-) {
+fn compare(t: &mut Table, name: &str, program: &Program, s: &Predicate, corrupt: State) {
     // Shared memory: the paper's model, round-robin daemon.
     let shared = Executor::new(program).run(
         corrupt.clone(),
@@ -27,7 +21,12 @@ fn compare(
     // Message passing: cached neighbour state, one action per process per
     // round, heartbeats every round.
     let refinement = Refinement::new(program).expect("refinable");
-    let mut sim = Simulation::new(program, refinement.clone(), corrupt.clone(), SimConfig::default());
+    let mut sim = Simulation::new(
+        program,
+        refinement.clone(),
+        corrupt.clone(),
+        SimConfig::default(),
+    );
     let mp = sim.run_until_stable(s, 3);
 
     // Real threads: lock-per-variable, low-atomicity reads, stopping at
@@ -38,7 +37,8 @@ fn compare(
     t.row([
         name.to_string(),
         shared.steps.to_string(),
-        mp.stabilized_at_round.map_or("(none)".into(), |r| r.to_string()),
+        mp.stabilized_at_round
+            .map_or("(none)".into(), |r| r.to_string()),
         mp.messages_delivered.to_string(),
         threaded.steps.to_string(),
         if threaded_ok { "yes" } else { "NO" }.to_string(),
@@ -63,15 +63,30 @@ pub fn e9() -> String {
     );
 
     let ring = TokenRing::new(5, 5);
-    let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).expect("in domain");
-    compare(&mut t, "token ring n=5", ring.program(), &ring.invariant(), corrupt);
+    let corrupt = ring
+        .program()
+        .state_from([3, 1, 4, 1, 2])
+        .expect("in domain");
+    compare(
+        &mut t,
+        "token ring n=5",
+        ring.program(),
+        &ring.invariant(),
+        corrupt,
+    );
 
     let ring8 = TokenRing::new(8, 8);
     let corrupt8 = ring8
         .program()
         .state_from([7, 3, 1, 6, 2, 5, 0, 4])
         .expect("in domain");
-    compare(&mut t, "token ring n=8", ring8.program(), &ring8.invariant(), corrupt8);
+    compare(
+        &mut t,
+        "token ring n=8",
+        ring8.program(),
+        &ring8.invariant(),
+        corrupt8,
+    );
 
     let dc = DiffusingComputation::new(&Tree::binary(7));
     let mut corrupt_dc = dc.initial_state();
@@ -79,7 +94,13 @@ pub fn e9() -> String {
         corrupt_dc.set(dc.color_var(j), nonmask_protocols::diffusing::RED);
         corrupt_dc.set(dc.session_var(j), (j % 2) as i64);
     }
-    compare(&mut t, "diffusing binary-7", dc.program(), &dc.invariant(), corrupt_dc);
+    compare(
+        &mut t,
+        "diffusing binary-7",
+        dc.program(),
+        &dc.invariant(),
+        corrupt_dc,
+    );
 
     t.render()
 }
@@ -91,7 +112,10 @@ mod tests {
     #[test]
     fn e9_all_models_stabilize() {
         let out = e9();
-        assert!(!out.contains("(none)"), "message passing stabilized:\n{out}");
+        assert!(
+            !out.contains("(none)"),
+            "message passing stabilized:\n{out}"
+        );
         assert!(!out.contains(" NO"), "threaded runs ended inside S:\n{out}");
     }
 }

@@ -64,7 +64,11 @@ pub fn f1() -> String {
         ]);
     }
     let mut out = t.render();
-    out.push_str(&format!("shape: {}\n\nDOT:\n{}", graph.shape(), graph.to_dot(design.program())));
+    out.push_str(&format!(
+        "shape: {}\n\nDOT:\n{}",
+        graph.shape(),
+        graph.to_dot(design.program())
+    ));
     out
 }
 
@@ -95,7 +99,11 @@ pub fn e1() -> String {
                 "-".into(),
                 "-".into(),
                 "-".into(),
-                design.program().state_space_size().expect("bounded").to_string(),
+                design
+                    .program()
+                    .state_space_size()
+                    .expect("bounded")
+                    .to_string(),
             ]);
         } else {
             verdict_row(name, &design, &mut t);
@@ -200,7 +208,12 @@ pub fn e3() -> String {
 pub fn e8() -> String {
     let mut t = Table::new(
         "E8: convergence vs daemon fairness (§8 remark)",
-        ["protocol", "conv(weakly fair)", "conv(unfair)", "needs fairness"],
+        [
+            "protocol",
+            "conv(weakly fair)",
+            "conv(unfair)",
+            "needs fairness",
+        ],
     );
     let mut row = |name: &str, program: &nonmask_program::Program, s: &Predicate| {
         let space = StateSpace::enumerate(program).expect("bounded");
@@ -220,7 +233,11 @@ pub fn e8() -> String {
     let ring = TokenRing::new(4, 4);
     row("token ring n=4 k=4", ring.program(), &ring.invariant());
     let (wdesign, _) = windowed_design(3, 3).expect("windowed");
-    row("windowed ring n=3 m=3", wdesign.program(), &wdesign.invariant());
+    row(
+        "windowed ring n=3 m=3",
+        wdesign.program(),
+        &wdesign.invariant(),
+    );
     let aa = AtomicActions::new(4);
     row("atomic actions n=4", aa.program(), &aa.invariant());
     let (ordered, _) = xyz::ordered().expect("xyz");
@@ -231,7 +248,10 @@ pub fn e8() -> String {
 /// E10 — the method beyond the paper's two worked designs: every protocol
 /// in the repository through the same verification pipeline.
 pub fn e10() -> String {
-    let mut t = Table::new("E10: the design pipeline across all protocols", VERDICT_HEADER);
+    let mut t = Table::new(
+        "E10: the design pipeline across all protocols",
+        VERDICT_HEADER,
+    );
     let (g, _) = xyz::out_tree().expect("xyz");
     verdict_row("xyz out-tree", &g, &mut t);
     let (o, _) = xyz::ordered().expect("xyz");
@@ -293,7 +313,10 @@ mod tests {
             ("atomic", "Theorem 3"),
         ];
         for (name, theorem) in expect {
-            let found = got.iter().find(|(n, _)| n == name).expect("protocol present");
+            let found = got
+                .iter()
+                .find(|(n, _)| n == name)
+                .expect("protocol present");
             assert_eq!(found.1, theorem, "{name}");
         }
     }

@@ -10,7 +10,10 @@ pub struct Table {
 
 impl Table {
     /// Start a table with a title and column headers.
-    pub fn new<S: Into<String>>(title: impl Into<String>, header: impl IntoIterator<Item = S>) -> Self {
+    pub fn new<S: Into<String>>(
+        title: impl Into<String>,
+        header: impl IntoIterator<Item = S>,
+    ) -> Self {
         Table {
             title: title.into(),
             header: header.into_iter().map(Into::into).collect(),

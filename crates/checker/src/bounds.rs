@@ -9,6 +9,9 @@
 
 use nonmask_program::{Predicate, Program, State};
 
+use crate::cache::Bitset;
+use crate::convergence::build_region;
+use crate::options::CheckOptions;
 use crate::space::{StateId, StateSpace};
 
 /// The worst-case number of steps an adversarial (unfair) daemon can keep
@@ -45,16 +48,23 @@ pub fn worst_case_moves(
     to: &Predicate,
 ) -> Option<u64> {
     let _ = program;
-    // Region membership.
-    let mut local = vec![u32::MAX; space.len()];
-    let mut region: Vec<StateId> = Vec::new();
-    for id in space.ids() {
-        let s = space.state(id);
-        if from.holds(s) && !to.holds(s) {
-            local[id.index()] = region.len() as u32;
-            region.push(id);
-        }
-    }
+    let opts = CheckOptions::default();
+    let from_bits = Bitset::for_predicate(space, from, opts);
+    let to_bits = Bitset::for_predicate(space, to, opts);
+    worst_case_moves_bits(space, &from_bits, &to_bits, opts)
+}
+
+/// [`worst_case_moves`] over precomputed predicate caches (evaluations of
+/// `from` and `to` over exactly this `space`). The region is built in
+/// parallel chunks; the longest-path DFS itself is sequential (it visits
+/// each region edge once).
+pub fn worst_case_moves_bits(
+    space: &StateSpace,
+    from_bits: &Bitset,
+    to_bits: &Bitset,
+    opts: CheckOptions,
+) -> Option<u64> {
+    let (region, local) = build_region(space, from_bits, to_bits, opts);
     if region.is_empty() {
         return Some(0);
     }
@@ -261,10 +271,16 @@ mod tests {
     fn countdown(max: i64) -> Program {
         let mut b = Program::builder("down");
         let x = b.var("x", Domain::range(0, max));
-        b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         b.build()
     }
 
@@ -285,12 +301,7 @@ mod tests {
     fn empty_region_is_zero_moves() {
         let p = countdown(3);
         let space = StateSpace::enumerate(&p).unwrap();
-        let moves = worst_case_moves(
-            &space,
-            &p,
-            &Predicate::always_false(),
-            &target(&p),
-        );
+        let moves = worst_case_moves(&space, &p, &Predicate::always_false(), &target(&p));
         assert_eq!(moves, Some(0));
     }
 
@@ -299,11 +310,20 @@ mod tests {
         let mut b = Program::builder("cycle");
         let x = b.var("x", Domain::Bool);
         let y = b.var("y", Domain::Bool);
-        b.closure_action("toggle", [x, y], [y], move |s| !s.get_bool(x), move |s| s.toggle(y));
+        b.closure_action(
+            "toggle",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(x),
+            move |s| s.toggle(y),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
-        assert_eq!(worst_case_moves(&space, &p, &Predicate::always_true(), &s), None);
+        assert_eq!(
+            worst_case_moves(&space, &p, &Predicate::always_true(), &s),
+            None
+        );
     }
 
     #[test]
@@ -314,7 +334,10 @@ mod tests {
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = target(&p);
-        assert_eq!(worst_case_moves(&space, &p, &Predicate::always_true(), &s), None);
+        assert_eq!(
+            worst_case_moves(&space, &p, &Predicate::always_true(), &s),
+            None
+        );
     }
 
     #[test]
@@ -323,17 +346,50 @@ mod tests {
         // still walks all the way down.
         let mut b = Program::builder("branch");
         let x = b.var("x", Domain::range(0, 5));
-        b.convergence_action("jump", [x], [x], move |s| s.get(x) > 0, move |s| s.set(x, 0));
-        b.convergence_action("step", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.convergence_action(
+            "jump",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| s.set(x, 0),
+        );
+        b.convergence_action(
+            "step",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         assert_eq!(
             worst_case_moves(&space, &p, &Predicate::always_true(), &target(&p)),
             Some(5)
         );
+    }
+
+    #[test]
+    fn parallel_bound_matches_serial() {
+        let p = countdown(4999);
+        let space = StateSpace::enumerate(&p).unwrap();
+        let t = Predicate::always_true();
+        let s = target(&p);
+        let from_bits = Bitset::for_predicate(&space, &t, CheckOptions::serial());
+        let to_bits = Bitset::for_predicate(&space, &s, CheckOptions::serial());
+        let serial = worst_case_moves_bits(&space, &from_bits, &to_bits, CheckOptions::serial());
+        assert_eq!(serial, Some(4999));
+        for threads in [2, 4, 8] {
+            let par = worst_case_moves_bits(
+                &space,
+                &from_bits,
+                &to_bits,
+                CheckOptions::default().threads(threads),
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]
@@ -362,10 +418,20 @@ mod tests {
         let mut b = Program::builder("plateau");
         let x = b.var("x", Domain::Bool);
         let y = b.var("y", Domain::Bool);
-        b.closure_action("toggle", [x, y], [y], move |s| !s.get_bool(x), move |s| s.toggle(y));
-        b.convergence_action("exit", [x], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
+        b.closure_action(
+            "toggle",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(x),
+            move |s| s.toggle(y),
+        );
+        b.convergence_action(
+            "exit",
+            [x],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));

@@ -1,0 +1,207 @@
+//! Predicate-evaluation caches: one bit per state.
+//!
+//! Closure, convergence, and bounds checking all repeatedly ask "does
+//! predicate P hold at state s?" for the same handful of predicates (`S`,
+//! `T`, each constraint). A [`Bitset`] evaluates the predicate **once per
+//! state** — in parallel, over word-aligned chunks — and every later pass
+//! answers membership with a single bit test. Compound predicates like
+//! Theorem 3's "T ∧ lower constraints ∧ ¬S" are composed with bitwise
+//! [`and`](Bitset::and)/[`not`](Bitset::not) instead of re-evaluating the
+//! conjuncts.
+
+use nonmask_program::Predicate;
+
+use crate::options::{run_chunks, CheckOptions};
+use crate::space::{StateId, StateSpace};
+
+/// A fixed-length set of state indices, one bit per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// The empty set over `len` states.
+    pub fn zeros(len: usize) -> Self {
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over `len` states.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitset {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Build from a membership function, evaluating `f` once per index.
+    ///
+    /// Workers own disjoint *word-aligned* chunks (multiples of 64 bits),
+    /// so no two threads touch the same word and the result is identical
+    /// for every worker count.
+    pub fn from_fn<F>(len: usize, opts: CheckOptions, f: F) -> Self
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let word_count = len.div_ceil(64);
+        let workers = opts.workers_for(len);
+        let words: Vec<u64> = run_chunks(word_count, workers, |word_range| {
+            word_range
+                .map(|wi| {
+                    let mut word = 0u64;
+                    let base = wi * 64;
+                    for bit in 0..64usize.min(len - base.min(len)) {
+                        if f(base + bit) {
+                            word |= 1 << bit;
+                        }
+                    }
+                    word
+                })
+                .collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        Bitset { words, len }
+    }
+
+    /// Evaluate `pred` once at every state of `space`.
+    pub fn for_predicate(space: &StateSpace, pred: &Predicate, opts: CheckOptions) -> Self {
+        Bitset::from_fn(space.len(), opts, |i| {
+            pred.holds(space.state(StateId::from_index(i)))
+        })
+    }
+
+    /// Whether state index `i` is in the set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Whether state `id` is in the set.
+    #[inline]
+    pub fn contains(&self, id: StateId) -> bool {
+        self.get(id.index())
+    }
+
+    /// Insert state index `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Number of states the set ranges over (not the member count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set ranges over zero states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of member states.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set intersection (conjunction of the cached predicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &Bitset) -> Bitset {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        Bitset {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Set complement (negation of the cached predicate).
+    pub fn not(&self) -> Bitset {
+        let mut b = Bitset {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Zero the bits beyond `len` so `count_ones`/`not` stay exact.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_matches_direct_evaluation() {
+        for len in [0, 1, 63, 64, 65, 2048, 5000] {
+            let b = Bitset::from_fn(len, CheckOptions::serial(), |i| i % 3 == 0);
+            let par = Bitset::from_fn(len, CheckOptions::default().threads(4), |i| i % 3 == 0);
+            assert_eq!(b, par, "len={len}");
+            for i in 0..len {
+                assert_eq!(b.get(i), i % 3 == 0, "len={len} i={i}");
+            }
+            assert_eq!(b.count_ones(), (0..len).filter(|i| i % 3 == 0).count());
+        }
+    }
+
+    #[test]
+    fn ones_and_zeros() {
+        let z = Bitset::zeros(70);
+        let o = Bitset::ones(70);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(o.count_ones(), 70);
+        assert_eq!(o.len(), 70);
+        assert!(!o.is_empty());
+        assert!(Bitset::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitset::from_fn(130, CheckOptions::serial(), |i| i % 2 == 0);
+        let b = Bitset::from_fn(130, CheckOptions::serial(), |i| i % 3 == 0);
+        let both = a.and(&b);
+        let neither = a.not().and(&b.not());
+        for i in 0..130 {
+            assert_eq!(both.get(i), i % 6 == 0);
+            assert_eq!(neither.get(i), i % 2 != 0 && i % 3 != 0);
+        }
+        // Complement is exact on the tail word.
+        assert_eq!(a.count_ones() + a.not().count_ones(), 130);
+    }
+
+    #[test]
+    fn set_inserts() {
+        let mut b = Bitset::zeros(100);
+        b.set(0);
+        b.set(64);
+        b.set(99);
+        assert!(b.get(0) && b.get(64) && b.get(99));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+    }
+}

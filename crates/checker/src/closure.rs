@@ -4,10 +4,19 @@
 //! state where the action is enabled and `R` holds, executing the action
 //! yields a state where `R` holds. A state predicate `R` of `p` is closed
 //! iff each action of `p` preserves `R`." (Section 2.)
+//!
+//! The checks run over the precomputed transition table (a `(action,
+//! successor)` pair exists exactly when the action is enabled, so guards
+//! are never re-evaluated) and over [`Bitset`] predicate caches (each
+//! predicate is evaluated once per state, in parallel). Multi-threaded runs
+//! report the same first violation as a sequential scan: workers own
+//! contiguous id ranges and the lowest-id witness wins.
 
 use nonmask_program::{ActionId, Predicate, Program, State};
 
-use crate::space::StateSpace;
+use crate::cache::Bitset;
+use crate::options::{run_chunks, CheckOptions};
+use crate::space::{StateId, StateSpace};
 
 /// A witnessed preservation failure: executing `action` at `before` (where
 /// the checked predicate held) produced `after` (where it does not).
@@ -59,22 +68,49 @@ pub fn preserves_given(
     pred: &Predicate,
     assuming: &Predicate,
 ) -> Option<Violation> {
-    let act = program.action(action);
-    for id in space.ids() {
-        let state = space.state(id);
-        if !assuming.holds(state) || !pred.holds(state) || !act.enabled(state) {
-            continue;
+    let _ = program;
+    let opts = CheckOptions::default();
+    let pred_bits = Bitset::for_predicate(space, pred, opts);
+    let assuming_bits = Bitset::for_predicate(space, assuming, opts);
+    preserves_given_bits(space, action, &pred_bits, &assuming_bits, opts)
+}
+
+/// [`preserves_given`] over precomputed predicate caches.
+///
+/// `pred_bits` and `assuming_bits` must be evaluations of the predicates
+/// over exactly this `space` (see [`Bitset::for_predicate`]). This is the
+/// hot path shared by the closure report, the theorem side conditions, and
+/// Theorem 3's layered obligations: one bit test per state and per
+/// successor, no predicate evaluation at all.
+pub fn preserves_given_bits(
+    space: &StateSpace,
+    action: ActionId,
+    pred_bits: &Bitset,
+    assuming_bits: &Bitset,
+    opts: CheckOptions,
+) -> Option<Violation> {
+    let workers = opts.workers_for(space.len());
+    let first = run_chunks(space.len(), workers, |range| {
+        for i in range {
+            if !pred_bits.get(i) || !assuming_bits.get(i) {
+                continue;
+            }
+            for &(a, succ) in space.successors(StateId::from_index(i)) {
+                if a == action && !pred_bits.contains(succ) {
+                    return Some((i, succ));
+                }
+            }
         }
-        let after = act.successor(state);
-        if !pred.holds(&after) {
-            return Some(Violation {
-                action,
-                before: state.clone(),
-                after,
-            });
-        }
-    }
-    None
+        None
+    })
+    .into_iter()
+    .flatten()
+    .next();
+    first.map(|(i, succ)| Violation {
+        action,
+        before: space.state(StateId::from_index(i)).clone(),
+        after: space.state(succ).clone(),
+    })
 }
 
 /// Is `pred` closed in `program` (preserved by *every* action)?
@@ -83,9 +119,25 @@ pub fn preserves_given(
 /// This discharges the paper's Closure requirement for both the invariant
 /// `S` and the fault-span `T`.
 pub fn is_closed(space: &StateSpace, program: &Program, pred: &Predicate) -> Option<Violation> {
+    is_closed_bits(
+        space,
+        program,
+        &Bitset::for_predicate(space, pred, CheckOptions::default()),
+        CheckOptions::default(),
+    )
+}
+
+/// [`is_closed`] over a precomputed predicate cache.
+pub fn is_closed_bits(
+    space: &StateSpace,
+    program: &Program,
+    pred_bits: &Bitset,
+    opts: CheckOptions,
+) -> Option<Violation> {
+    let everywhere = Bitset::ones(space.len());
     program
         .action_ids()
-        .find_map(|a| preserves(space, program, a, pred))
+        .find_map(|a| preserves_given_bits(space, a, pred_bits, &everywhere, opts))
 }
 
 #[cfg(test)]
@@ -99,14 +151,26 @@ mod tests {
         let mut b = Program::builder("p");
         let x = b.var("x", Domain::range(0, 3));
         let y = b.var("y", Domain::range(0, 3));
-        b.closure_action("copy", [x, y], [y], |_| true, move |s| {
-            let v = s.get(x);
-            s.set(y, v);
-        });
-        b.closure_action("bump", [x], [x], |_| true, move |s| {
-            let v = s.get(x);
-            s.set(x, (v + 1) % 4);
-        });
+        b.closure_action(
+            "copy",
+            [x, y],
+            [y],
+            |_| true,
+            move |s| {
+                let v = s.get(x);
+                s.set(y, v);
+            },
+        );
+        b.closure_action(
+            "bump",
+            [x],
+            [x],
+            |_| true,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, (v + 1) % 4);
+            },
+        );
         b.build()
     }
 
@@ -169,11 +233,56 @@ mod tests {
         // never lets it run in predicate states, preserves the predicate.
         let mut b = Program::builder("g");
         let x = b.var("x", Domain::range(0, 3));
-        b.closure_action("wreck", [x], [x], move |s| s.get(x) > 1, move |s| s.set(x, 3));
+        b.closure_action(
+            "wreck",
+            [x],
+            [x],
+            move |s| s.get(x) > 1,
+            move |s| s.set(x, 3),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let small = Predicate::new("x<=1", [x], move |s| s.get(x) <= 1);
         let a = p.action_ids().next().unwrap();
         assert!(preserves(&space, &p, a, &small).is_none());
+    }
+
+    #[test]
+    fn parallel_violation_matches_serial() {
+        // A large space with many violations: every worker count must
+        // report the sequentially-first witness.
+        let mut b = Program::builder("big");
+        let x = b.var("x", Domain::range(0, 9999));
+        b.closure_action(
+            "inc",
+            [x],
+            [x],
+            move |s| s.get(x) < 9999,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let a = p.action_ids().next().unwrap();
+        // "x is even" is broken at every even x < 9999.
+        let even = Predicate::new("even", [x], move |s| s.get(x) % 2 == 0);
+        let bits = Bitset::for_predicate(&space, &even, CheckOptions::serial());
+        let everywhere = Bitset::ones(space.len());
+        let serial =
+            preserves_given_bits(&space, a, &bits, &everywhere, CheckOptions::serial()).unwrap();
+        assert_eq!(serial.before.slots()[0], 0, "lowest-id witness");
+        for threads in [2, 4, 8] {
+            let par = preserves_given_bits(
+                &space,
+                a,
+                &bits,
+                &everywhere,
+                CheckOptions::default().threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 }

@@ -24,9 +24,17 @@
 //! internal transition, a fair schedule staying in `Q` exists: tour all of
 //! `Q` repeatedly, splicing in each always-enabled action's internal
 //! transition.)
+//!
+//! Region construction and the deadlock/escape sweep run in parallel over
+//! contiguous id chunks (see [`CheckOptions`]); the SCC analysis is
+//! sequential (it is linear in the region's edges, which is small next to
+//! the full sweep). Every thread count reports the same witness: the
+//! lowest-id event wins, exactly as in a sequential scan.
 
 use nonmask_program::{Predicate, Program, State};
 
+use crate::cache::Bitset;
+use crate::options::{run_chunks, CheckOptions};
 use crate::space::{StateId, StateSpace};
 
 /// The daemon assumption under which convergence is checked.
@@ -100,42 +108,92 @@ pub fn check_convergence(
     to: &Predicate,
     fairness: Fairness,
 ) -> ConvergenceResult {
+    check_convergence_opts(space, program, from, to, fairness, CheckOptions::default())
+}
+
+/// [`check_convergence`] with explicit [`CheckOptions`]. The result is
+/// identical for every thread count.
+pub fn check_convergence_opts(
+    space: &StateSpace,
+    program: &Program,
+    from: &Predicate,
+    to: &Predicate,
+    fairness: Fairness,
+    opts: CheckOptions,
+) -> ConvergenceResult {
+    let from_bits = Bitset::for_predicate(space, from, opts);
+    let to_bits = Bitset::for_predicate(space, to, opts);
+    check_convergence_bits(space, program, &from_bits, &to_bits, fairness, opts)
+}
+
+/// [`check_convergence`] over precomputed predicate caches (evaluations of
+/// `from` and `to` over exactly this `space`). Lets callers share the
+/// caches across the closure, convergence, and bounds passes.
+pub fn check_convergence_bits(
+    space: &StateSpace,
+    program: &Program,
+    from_bits: &Bitset,
+    to_bits: &Bitset,
+    fairness: Fairness,
+    opts: CheckOptions,
+) -> ConvergenceResult {
     // Region: T ∧ ¬S, with a dense local numbering.
-    let mut local = vec![u32::MAX; space.len()];
-    let mut region: Vec<StateId> = Vec::new();
-    for id in space.ids() {
-        let s = space.state(id);
-        if from.holds(s) && !to.holds(s) {
-            local[id.index()] = region.len() as u32;
-            region.push(id);
-        }
-    }
+    let (region, local) = build_region(space, from_bits, to_bits, opts);
     if region.is_empty() {
         return ConvergenceResult::Converges;
     }
 
-    // Deadlocks, escapes, and the region-internal adjacency.
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); region.len()];
-    for (li, &id) in region.iter().enumerate() {
-        let succs = space.successors(id);
-        if succs.is_empty() {
-            return ConvergenceResult::DeadlockOutsideTarget {
-                state: space.state(id).clone(),
-            };
-        }
-        for &(_, t) in succs {
-            let ts = space.state(t);
-            if to.holds(ts) {
-                continue; // exits into S
+    // Deadlocks, escapes, and the region-internal adjacency, in parallel
+    // chunks over the region. Each worker reports its first (lowest-index)
+    // event; the minimum over workers is the sequential witness.
+    enum Event {
+        Deadlock,
+        Escape { after: StateId },
+    }
+    let workers = opts.workers_for(region.len());
+    let region_ref = &region;
+    let local_ref = &local;
+    let chunks = run_chunks(region.len(), workers, move |range| {
+        let mut adj_rows: Vec<Vec<u32>> = Vec::with_capacity(range.len());
+        for li in range {
+            let id = region_ref[li];
+            let succs = space.successors(id);
+            if succs.is_empty() {
+                return (adj_rows, Some((li, Event::Deadlock)));
             }
-            if !from.holds(ts) {
-                return ConvergenceResult::EscapesFaultSpan {
-                    before: space.state(id).clone(),
-                    after: ts.clone(),
-                };
+            let mut row = Vec::new();
+            for &(_, t) in succs {
+                if to_bits.contains(t) {
+                    continue; // exits into S
+                }
+                if !from_bits.contains(t) {
+                    return (adj_rows, Some((li, Event::Escape { after: t })));
+                }
+                row.push(local_ref[t.index()]);
             }
-            adj[li].push(local[t.index()]);
+            adj_rows.push(row);
         }
+        (adj_rows, None)
+    });
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(region.len());
+    let mut first_event: Option<(usize, Event)> = None;
+    for (rows, event) in chunks {
+        adj.extend(rows);
+        if let Some((li, e)) = event {
+            if first_event.as_ref().is_none_or(|(fli, _)| li < *fli) {
+                first_event = Some((li, e));
+            }
+        }
+    }
+    if let Some((li, event)) = first_event {
+        let before = space.state(region[li]).clone();
+        return match event {
+            Event::Deadlock => ConvergenceResult::DeadlockOutsideTarget { state: before },
+            Event::Escape { after } => ConvergenceResult::EscapesFaultSpan {
+                before,
+                after: space.state(after).clone(),
+            },
+        };
     }
 
     // Strongly connected components of the region subgraph (iterative
@@ -143,11 +201,9 @@ pub fn check_convergence(
     // edge (a single state with no self-transition cannot host a cycle).
     let sccs = tarjan_sccs(&adj);
     for scc in &sccs {
-        let has_internal_edge = scc.iter().any(|&u| {
-            adj[u as usize]
-                .iter()
-                .any(|v| scc.binary_search(v).is_ok())
-        });
+        let has_internal_edge = scc
+            .iter()
+            .any(|&u| adj[u as usize].iter().any(|v| scc.binary_search(v).is_ok()));
         if !has_internal_edge {
             continue;
         }
@@ -169,14 +225,38 @@ pub fn check_convergence(
     ConvergenceResult::Converges
 }
 
+/// The region `from ∧ ¬to` as a sorted id list plus the inverse (dense
+/// local) numbering, built in parallel chunks.
+pub(crate) fn build_region(
+    space: &StateSpace,
+    from_bits: &Bitset,
+    to_bits: &Bitset,
+    opts: CheckOptions,
+) -> (Vec<StateId>, Vec<u32>) {
+    let workers = opts.workers_for(space.len());
+    let region: Vec<StateId> = run_chunks(space.len(), workers, |range| {
+        range
+            .filter(|&i| from_bits.get(i) && !to_bits.get(i))
+            .map(StateId::from_index)
+            .collect::<Vec<StateId>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut local = vec![u32::MAX; space.len()];
+    for (li, id) in region.iter().enumerate() {
+        local[id.index()] = li as u32;
+    }
+    (region, local)
+}
+
 /// Whether the SCC admits a weakly fair infinite computation: every action
 /// enabled at all of its states must have a transition staying inside it.
-fn fair_admissible(
-    space: &StateSpace,
-    program: &Program,
-    region: &[StateId],
-    scc: &[u32],
-) -> bool {
+///
+/// Enabledness is read off the transition table (an action is enabled at a
+/// state exactly when the state has a successor pair for it), so no guard
+/// is re-evaluated here.
+fn fair_admissible(space: &StateSpace, program: &Program, region: &[StateId], scc: &[u32]) -> bool {
     let in_scc = |sid: StateId| -> bool {
         // Map the global state id back to the region-local index and check
         // membership (scc is sorted).
@@ -188,20 +268,23 @@ fn fair_admissible(
     };
 
     'actions: for aid in program.action_ids() {
-        let act = program.action(aid);
         let mut has_internal = false;
         for &u in scc {
             let sid = region[u as usize];
-            if !act.enabled(space.state(sid)) {
+            let mut enabled = false;
+            for &(a, t) in space.successors(sid) {
+                if a != aid {
+                    continue;
+                }
+                enabled = true;
+                if !has_internal && in_scc(t) {
+                    has_internal = true;
+                }
+            }
+            if !enabled {
                 // Not continuously enabled on a tour of the SCC: imposes no
                 // fairness obligation here.
                 continue 'actions;
-            }
-            if !has_internal {
-                has_internal = space
-                    .successors(sid)
-                    .iter()
-                    .any(|&(a, t)| a == aid && in_scc(t));
             }
         }
         if !has_internal {
@@ -342,17 +425,22 @@ mod tests {
     fn converging_countdown() {
         let mut b = Program::builder("down");
         let x = b.var("x", Domain::range(0, 5));
-        b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = pred_eq(&p, "x=0", "x", 0);
         for fairness in [Fairness::Unfair, Fairness::WeaklyFair] {
             assert!(
-                check_convergence(&space, &p, &Predicate::always_true(), &s, fairness)
-                    .converges()
+                check_convergence(&space, &p, &Predicate::always_true(), &s, fairness).converges()
             );
         }
     }
@@ -366,7 +454,13 @@ mod tests {
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = pred_eq(&p, "x=0", "x", 0);
-        let r = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+        let r = check_convergence(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+        );
         assert!(
             matches!(r, ConvergenceResult::DeadlockOutsideTarget { ref state } if state.slots() == [2])
         );
@@ -380,10 +474,20 @@ mod tests {
         let mut b = Program::builder("spin");
         let x = b.var("x", Domain::Bool);
         let y = b.var("y", Domain::Bool);
-        b.closure_action("spin", [x, y], [y], move |s| !s.get_bool(x), move |s| s.toggle(y));
-        b.convergence_action("exit", [x], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
+        b.closure_action(
+            "spin",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(x),
+            move |s| s.toggle(y),
+        );
+        b.convergence_action(
+            "exit",
+            [x],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
@@ -393,8 +497,13 @@ mod tests {
             matches!(unfair, ConvergenceResult::Divergence { ref states, fairness: Fairness::Unfair } if states.len() == 2)
         );
 
-        let fair =
-            check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+        let fair = check_convergence(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+        );
         assert!(fair.converges(), "weak fairness forces `exit`: {fair:?}");
     }
 
@@ -405,13 +514,31 @@ mod tests {
         let mut b = Program::builder("livelock");
         let y = b.var("y", Domain::Bool);
         let x = b.var("x", Domain::Bool);
-        b.closure_action("toggle", [x, y], [y], move |s| !s.get_bool(x), move |s| s.toggle(y));
+        b.closure_action(
+            "toggle",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(x),
+            move |s| s.toggle(y),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
-        let r = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+        let r = check_convergence(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+        );
         assert!(
-            matches!(r, ConvergenceResult::Divergence { fairness: Fairness::WeaklyFair, .. }),
+            matches!(
+                r,
+                ConvergenceResult::Divergence {
+                    fairness: Fairness::WeaklyFair,
+                    ..
+                }
+            ),
             "got {r:?}"
         );
     }
@@ -423,19 +550,29 @@ mod tests {
         let mut b = Program::builder("selfloop");
         let x = b.var("x", Domain::Bool);
         b.closure_action("stay", [x], [x], move |s| !s.get_bool(x), move |_s| {});
-        b.convergence_action("exit", [x], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
+        b.convergence_action(
+            "exit",
+            [x],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
 
         let unfair = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair);
-        assert!(matches!(unfair, ConvergenceResult::Divergence { ref states, .. } if states.len() == 1));
         assert!(
-            check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair)
-                .converges()
+            matches!(unfair, ConvergenceResult::Divergence { ref states, .. } if states.len() == 1)
         );
+        assert!(check_convergence(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair
+        )
+        .converges());
     }
 
     #[test]
@@ -443,14 +580,23 @@ mod tests {
         // T = x<=1, but the region action jumps to x=2 ∉ T ∪ S.
         let mut b = Program::builder("escape");
         let x = b.var("x", Domain::range(0, 2));
-        b.closure_action("jump", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 2));
+        b.closure_action(
+            "jump",
+            [x],
+            [x],
+            move |s| s.get(x) == 1,
+            move |s| s.set(x, 2),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = pred_eq(&p, "x=0", "x", 0);
         let x_id = p.var_by_name("x").unwrap();
         let t = Predicate::new("x<=1", [x_id], move |st| st.get(x_id) <= 1);
         let r = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair);
-        assert!(matches!(r, ConvergenceResult::EscapesFaultSpan { .. }), "got {r:?}");
+        assert!(
+            matches!(r, ConvergenceResult::EscapesFaultSpan { .. }),
+            "got {r:?}"
+        );
     }
 
     #[test]
@@ -479,7 +625,13 @@ mod tests {
         // At x=2 (outside T=x<=1): spin forever via self-loop.
         b.closure_action("spin", [x], [x], move |s| s.get(x) == 2, move |_s| {});
         // At x=1: move to 0.
-        b.convergence_action("fix", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 0));
+        b.convergence_action(
+            "fix",
+            [x],
+            [x],
+            move |s| s.get(x) == 1,
+            move |s| s.set(x, 0),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = pred_eq(&p, "x=0", "x", 0);
@@ -489,6 +641,51 @@ mod tests {
         });
         let r = check_convergence(&space, &p, &t, &s, Fairness::Unfair);
         assert!(r.converges(), "got {r:?}");
+    }
+
+    #[test]
+    fn multi_threaded_matches_single_threaded() {
+        // A 4096-state countdown (above the parallel threshold): every
+        // outcome field must be bit-identical across worker counts.
+        let mut b = Program::builder("mt");
+        let x = b.var("x", Domain::range(0, 4095));
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 1,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        // x=1 deadlocks outside the target: a witness exists, and all
+        // thread counts must agree on it.
+        let serial = check_convergence_opts(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            CheckOptions::serial(),
+        );
+        for threads in [2, 4, 8] {
+            let par = check_convergence_opts(
+                &space,
+                &p,
+                &Predicate::always_true(),
+                &s,
+                Fairness::WeaklyFair,
+                CheckOptions::default().threads(threads),
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        assert!(
+            matches!(serial, ConvergenceResult::DeadlockOutsideTarget { ref state } if state.slots() == [1])
+        );
     }
 
     #[test]

@@ -29,10 +29,7 @@ impl ExpectedMoves {
     /// for states already in `S ∨ ¬T`… or `None` when `id` is outside the
     /// analyzed region (i.e. already converged / out of scope).
     pub fn from_state(&self, id: StateId) -> Option<f64> {
-        self.region
-            .binary_search(&id)
-            .ok()
-            .map(|i| self.values[i])
+        self.region.binary_search(&id).ok().map(|i| self.values[i])
     }
 
     /// The maximum expected moves over the region (`0.0` if empty).
@@ -159,10 +156,16 @@ mod tests {
         // One enabled action per state: expectation = distance.
         let mut b = Program::builder("down");
         let x = b.var("x", Domain::range(0, 5));
-        b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x=0", [x], move |st| st.get(x) == 0);
@@ -184,9 +187,21 @@ mod tests {
         // → E[1] = 3, E[2] = 4.
         let mut b = Program::builder("walk");
         let x = b.var("x", Domain::range(0, 2));
-        b.convergence_action("exit", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 0));
+        b.convergence_action(
+            "exit",
+            [x],
+            [x],
+            move |s| s.get(x) == 1,
+            move |s| s.set(x, 0),
+        );
         b.convergence_action("up", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 2));
-        b.convergence_action("down", [x], [x], move |s| s.get(x) == 2, move |s| s.set(x, 1));
+        b.convergence_action(
+            "down",
+            [x],
+            [x],
+            move |s| s.get(x) == 2,
+            move |s| s.set(x, 1),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x=0", [x], move |st| st.get(x) == 0);

@@ -24,6 +24,20 @@
 //! - [`bounds`] — worst-case convergence move counts and variant-function
 //!   validation (the concluding remarks' discussion of variant functions).
 //!
+//! # Performance model
+//!
+//! State ids are assigned *arithmetically*: a state's id is its mixed-radix
+//! enumeration position, so reverse lookup ([`StateSpace::id_of`]) is a few
+//! multiply-adds with no hash map (see the [`space`] module docs). Every
+//! state-space sweep — enumeration, transition construction, predicate
+//! evaluation, closure, the convergence region analysis, and the bounds
+//! region build — runs in parallel over contiguous id chunks, controlled by
+//! [`CheckOptions::threads`]; results are **bit-identical for every thread
+//! count** because per-chunk results are reduced in chunk order (the
+//! lowest-id witness always wins). Predicates are evaluated once per state
+//! into [`Bitset`] caches (`*_bits` function variants) that callers can
+//! share across passes and compose with bitwise `and`/`not`.
+//!
 //! # Example: verifying a tiny stabilizing program
 //!
 //! ```
@@ -49,15 +63,24 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cache;
 pub mod closure;
 pub mod convergence;
 pub mod expected;
+pub mod options;
 pub mod space;
 pub mod span;
 
-pub use bounds::{check_variant, worst_case_moves, VariantReport};
-pub use closure::{is_closed, preserves, preserves_given, Violation};
-pub use convergence::{check_convergence, shortest_path_to, ConvergenceResult, Fairness};
+pub use bounds::{check_variant, worst_case_moves, worst_case_moves_bits, VariantReport};
+pub use cache::Bitset;
+pub use closure::{
+    is_closed, is_closed_bits, preserves, preserves_given, preserves_given_bits, Violation,
+};
+pub use convergence::{
+    check_convergence, check_convergence_bits, check_convergence_opts, shortest_path_to,
+    ConvergenceResult, Fairness,
+};
 pub use expected::{expected_moves, ExpectedMoves};
-pub use space::{SpaceError, StateId, StateSpace};
-pub use span::{compute_fault_span, StateSet};
+pub use options::CheckOptions;
+pub use space::{SpaceError, StateId, StateSpace, DEFAULT_STATE_LIMIT};
+pub use span::{compute_fault_span, compute_fault_span_opts, StateSet};

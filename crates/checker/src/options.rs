@@ -1,0 +1,163 @@
+//! Tuning knobs for the exhaustive checker.
+//!
+//! All state-space passes (enumeration, closure, convergence, bounds,
+//! fault-span) are *embarrassingly parallel over contiguous [`StateId`]
+//! ranges*: each worker owns a chunk of ids and the per-chunk results are
+//! concatenated in chunk order, so multi-threaded runs return **bit-identical
+//! results** to single-threaded runs — including which violation or
+//! divergence witness is reported first.
+//!
+//! [`StateId`]: crate::StateId
+
+use crate::space::DEFAULT_STATE_LIMIT;
+
+/// Below this many work items a pass runs on the calling thread: spawning
+/// workers costs more than the work itself on small spaces.
+const PARALLEL_THRESHOLD: usize = 2048;
+
+/// Options shared by all checker passes.
+///
+/// The default is `threads: 0` (auto-detect the available parallelism) and
+/// the [default state limit](DEFAULT_STATE_LIMIT). Spaces smaller than a
+/// few thousand states always run single-threaded regardless of `threads`,
+/// so the knob is free for small programs.
+///
+/// ```
+/// use nonmask_checker::{CheckOptions, StateSpace};
+/// use nonmask_program::{Domain, Program};
+///
+/// let mut b = Program::builder("two-bools");
+/// b.var("a", Domain::Bool);
+/// b.var("b", Domain::Bool);
+/// let p = b.build();
+/// let space = StateSpace::enumerate_with_options(&p, CheckOptions::default().threads(4))?;
+/// assert_eq!(space.len(), 4);
+/// # Ok::<(), nonmask_checker::SpaceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Number of worker threads; `0` means auto-detect via
+    /// [`std::thread::available_parallelism`]. Results are identical for
+    /// every value — only wall-clock time changes.
+    pub threads: usize,
+    /// Maximum number of states a [`StateSpace`](crate::StateSpace) built
+    /// with these options may contain.
+    pub state_limit: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            threads: 0,
+            state_limit: DEFAULT_STATE_LIMIT,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Options pinned to a single worker thread.
+    pub fn serial() -> Self {
+        CheckOptions::default().threads(1)
+    }
+
+    /// Set the number of worker threads (`0` = auto-detect).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the state-count limit for enumeration.
+    pub fn state_limit(mut self, limit: usize) -> Self {
+        self.state_limit = limit;
+        self
+    }
+
+    /// Resolve the worker count for a pass over `work_items` items.
+    pub(crate) fn workers_for(&self, work_items: usize) -> usize {
+        if work_items < PARALLEL_THRESHOLD {
+            return 1;
+        }
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, work_items)
+    }
+}
+
+/// Split `0..len` into at most `workers` contiguous chunks, run `f` on each
+/// chunk (in parallel when `workers > 1`), and return the per-chunk results
+/// **in chunk order**. Deterministic reductions over the returned vector
+/// (concatenation, first-`Some`, minimum-index) therefore reproduce the
+/// sequential left-to-right scan exactly.
+pub(crate) fn run_chunks<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    if workers <= 1 || len <= 1 {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> = (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("checker worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        for workers in [1, 2, 3, 8] {
+            let ids: Vec<usize> = run_chunks(10_000, workers, |r| r.collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(ids, (0..10_000).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_one_empty_chunk() {
+        let out = run_chunks(0, 4, |r| r.len());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn small_work_is_serial() {
+        let opts = CheckOptions::default().threads(8);
+        assert_eq!(opts.workers_for(10), 1);
+        assert_eq!(opts.workers_for(1_000_000), 8);
+    }
+
+    #[test]
+    fn worker_count_clamped_to_work() {
+        let opts = CheckOptions::default().threads(1_000_000);
+        assert!(opts.workers_for(PARALLEL_THRESHOLD) <= PARALLEL_THRESHOLD);
+    }
+
+    #[test]
+    fn builder_style() {
+        let o = CheckOptions::serial().state_limit(7);
+        assert_eq!(o.threads, 1);
+        assert_eq!(o.state_limit, 7);
+        assert_eq!(CheckOptions::default().threads, 0);
+    }
+}

@@ -1,8 +1,29 @@
 //! State-space enumeration and indexing.
+//!
+//! # Arithmetic (mixed-radix) state ids
+//!
+//! Every bounded domain is a contiguous value range `min..=max` (booleans
+//! are `0..=1`, enumerations `0..=len-1`), and
+//! [`Program::enumerate_states`] yields states in lexicographic order with
+//! the **last** variable cycling fastest. A state's enumeration position is
+//! therefore a pure mixed-radix number:
+//!
+//! ```text
+//! index(s) = Σ_i (s[i] − min_i) · stride_i      stride_i = Π_{j>i} size_j
+//! ```
+//!
+//! [`StateSpace`] exploits this: [`id_of`](StateSpace::id_of) is `O(|vars|)`
+//! multiply-adds with **no hash map, no per-state clones, and no heap
+//! traffic**, and the decode direction (`index → state`) lets enumeration
+//! and transition construction run in parallel over disjoint id ranges (see
+//! [`CheckOptions::threads`]). Successor lookup during transition
+//! construction — the hot path of the whole checker — went from a
+//! `HashMap<State, StateId>` probe per transition to the same handful of
+//! arithmetic operations.
 
-use std::collections::HashMap;
+use nonmask_program::{ActionId, Predicate, Program, State, VarId};
 
-use nonmask_program::{ActionId, Predicate, Program, State};
+use crate::options::{run_chunks, CheckOptions};
 
 /// Identifier of a state within a [`StateSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -12,6 +33,14 @@ impl StateId {
     /// Positional index of the state in its space.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The id at position `index` (caller guarantees `index` fits; every
+    /// space is pre-checked to hold at most `u32::MAX + 1` states).
+    #[inline]
+    pub(crate) fn from_index(index: usize) -> Self {
+        debug_assert!(u32::try_from(index).is_ok());
+        StateId(index as u32)
     }
 }
 
@@ -31,38 +60,146 @@ pub enum SpaceError {
         /// Name of the unbounded variable.
         var: String,
     },
-    /// The state space exceeds the configured limit.
+    /// The state space exceeds the configured limit (or the `u32` id
+    /// range).
     TooLarge {
         /// The limit that was exceeded.
         limit: usize,
+    },
+    /// An action wrote a value outside its variable's domain, producing a
+    /// successor that is not a state of the space. Domains must be closed
+    /// under all actions.
+    EscapedDomain {
+        /// Name of the offending action.
+        action: String,
+        /// Name of the variable whose domain was escaped.
+        var: String,
     },
 }
 
 impl std::fmt::Display for SpaceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpaceError::Unbounded { var } =>
-
-                write!(f, "variable `{var}` is unbounded; state space cannot be enumerated"),
+            SpaceError::Unbounded { var } => write!(
+                f,
+                "variable `{var}` is unbounded; state space cannot be enumerated"
+            ),
             SpaceError::TooLarge { limit } => {
                 write!(f, "state space exceeds the limit of {limit} states")
             }
+            SpaceError::EscapedDomain { action, var } => write!(
+                f,
+                "action `{action}` left the state space (wrote `{var}` outside its domain); \
+                 domains must be closed under all actions"
+            ),
         }
     }
 }
 
 impl std::error::Error for SpaceError {}
 
+/// The mixed-radix index: per variable, the domain minimum, the domain
+/// size, and the stride (product of the sizes of all later variables).
+#[derive(Debug, Clone)]
+struct Radix {
+    mins: Box<[i64]>,
+    sizes: Box<[i64]>,
+    strides: Box<[u64]>,
+}
+
+impl Radix {
+    /// Derive the radix of `program`, returning the total state count.
+    fn of(program: &Program) -> Result<(Radix, u128), SpaceError> {
+        let n = program.var_count();
+        let mut mins = vec![0i64; n];
+        let mut sizes = vec![0i64; n];
+        for i in 0..n {
+            let decl = program.var(VarId::from_index(i));
+            let Some(size) = decl.domain().size() else {
+                return Err(SpaceError::Unbounded {
+                    var: decl.name().to_string(),
+                });
+            };
+            mins[i] = decl.domain().min_value();
+            sizes[i] = size as i64;
+        }
+        // Strides right-to-left: the last variable cycles fastest.
+        let mut strides = vec![1u64; n];
+        let mut total: u128 = 1;
+        for i in (0..n).rev() {
+            // Strides beyond u64 would already exceed any usable limit;
+            // saturate and let the total-vs-limit check reject the space.
+            strides[i] = u128::min(total, u64::MAX as u128) as u64;
+            total = total.saturating_mul(sizes[i] as u128);
+        }
+        Ok((
+            Radix {
+                mins: mins.into_boxed_slice(),
+                sizes: sizes.into_boxed_slice(),
+                strides: strides.into_boxed_slice(),
+            },
+            total,
+        ))
+    }
+
+    /// The enumeration position of `state`, or `None` when some slot is
+    /// outside its domain (or the arity differs).
+    #[inline]
+    fn index_of(&self, state: &State) -> Option<u64> {
+        let slots = state.slots();
+        if slots.len() != self.mins.len() {
+            return None;
+        }
+        let mut acc = 0u64;
+        for (i, &slot) in slots.iter().enumerate() {
+            let offset = slot.wrapping_sub(self.mins[i]);
+            if offset < 0 || offset >= self.sizes[i] {
+                return None;
+            }
+            acc += offset as u64 * self.strides[i];
+        }
+        Some(acc)
+    }
+
+    /// The first variable of `state` whose value is outside its domain,
+    /// for [`SpaceError::EscapedDomain`] diagnostics.
+    fn escaping_var(&self, state: &State) -> usize {
+        let slots = state.slots();
+        let arity = slots.len().min(self.mins.len());
+        for (i, &slot) in slots.iter().enumerate().take(arity) {
+            let offset = slot.wrapping_sub(self.mins[i]);
+            if offset < 0 || offset >= self.sizes[i] {
+                return i;
+            }
+        }
+        0
+    }
+
+    /// The state at enumeration position `idx`.
+    fn state_of(&self, mut idx: u64) -> State {
+        let mut slots = vec![0i64; self.mins.len()];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let q = idx / self.strides[i];
+            *slot = self.mins[i] + q as i64;
+            idx -= q * self.strides[i];
+        }
+        State::new(slots)
+    }
+}
+
 /// The fully enumerated state space of a bounded program, with transitions.
 ///
 /// Construction enumerates every state (the cross product of all domains)
-/// and every transition `(state, enabled action) → successor`. Memory is
-/// proportional to `|states| + |transitions|`; the default limit of
-/// 2 million states keeps accidental blow-ups at bay.
+/// and every transition `(state, enabled action) → successor`, in parallel
+/// over disjoint id ranges when [`CheckOptions::threads`] allows. State ids
+/// are assigned *arithmetically* (see the [module docs](self)): the id of a
+/// state is its mixed-radix enumeration position, so reverse lookup needs
+/// no hash map. Memory is proportional to `|states| + |transitions|`; the
+/// default limit of 2 million states keeps accidental blow-ups at bay.
 #[derive(Debug, Clone)]
 pub struct StateSpace {
     states: Vec<State>,
-    index: HashMap<State, StateId>,
+    radix: Radix,
     /// Per state: `(action, successor)` for every enabled action.
     transitions: Vec<Vec<(ActionId, StateId)>>,
 }
@@ -72,7 +209,7 @@ pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
 
 impl StateSpace {
     /// Enumerate the full state space of `program`, with the
-    /// [default limit](DEFAULT_STATE_LIMIT).
+    /// [default options](CheckOptions::default).
     ///
     /// ```
     /// use nonmask_program::{Domain, Program};
@@ -90,9 +227,11 @@ impl StateSpace {
     /// # Errors
     ///
     /// [`SpaceError::Unbounded`] for unbounded programs;
-    /// [`SpaceError::TooLarge`] when the limit is exceeded.
+    /// [`SpaceError::TooLarge`] when the limit is exceeded;
+    /// [`SpaceError::EscapedDomain`] when an action writes outside a
+    /// domain.
     pub fn enumerate(program: &Program) -> Result<Self, SpaceError> {
-        Self::enumerate_with_limit(program, DEFAULT_STATE_LIMIT)
+        Self::enumerate_with_options(program, CheckOptions::default())
     }
 
     /// Enumerate with an explicit state-count limit.
@@ -101,46 +240,100 @@ impl StateSpace {
     ///
     /// Same as [`StateSpace::enumerate`].
     pub fn enumerate_with_limit(program: &Program, limit: usize) -> Result<Self, SpaceError> {
-        if let Some(size) = program.state_space_size() {
-            if size > limit as u128 {
-                return Err(SpaceError::TooLarge { limit });
+        Self::enumerate_with_options(program, CheckOptions::default().state_limit(limit))
+    }
+
+    /// Enumerate with explicit [`CheckOptions`] (worker threads and state
+    /// limit). The result is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateSpace::enumerate`].
+    pub fn enumerate_with_options(
+        program: &Program,
+        options: CheckOptions,
+    ) -> Result<Self, SpaceError> {
+        let (radix, total) = Radix::of(program)?;
+        // Ids are u32, so the effective cap is the configured limit clamped
+        // to the representable id range; the single pre-check below is the
+        // only size check (construction cannot disagree with it).
+        let id_cap = u32::MAX as u128 + 1;
+        let effective = u128::min(options.state_limit as u128, id_cap);
+        if total > effective {
+            return Err(SpaceError::TooLarge {
+                limit: effective as usize,
+            });
+        }
+        let n = total as usize;
+        let workers = options.workers_for(n);
+
+        // Decode every state from its id, in parallel chunks.
+        let states: Vec<State> = run_chunks(n, workers, |range| {
+            range
+                .map(|i| radix.state_of(i as u64))
+                .collect::<Vec<State>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Transition construction: for each state, every enabled action and
+        // the arithmetic id of its successor. A worker stops at the first
+        // escaping action in its chunk; the lowest-id escape wins overall,
+        // matching a sequential scan.
+        struct Escape {
+            at: usize,
+            action: ActionId,
+            var: usize,
+        }
+        let chunks = run_chunks(n, workers, |range| {
+            let mut outs: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(range.len());
+            for i in range {
+                let state = &states[i];
+                let mut row = Vec::new();
+                for a in program.enabled_actions(state) {
+                    let succ = program.action(a).successor(state);
+                    match radix.index_of(&succ) {
+                        Some(idx) => {
+                            let id = u32::try_from(idx).expect("pre-checked to fit u32");
+                            row.push((a, StateId(id)));
+                        }
+                        None => {
+                            return Err(Escape {
+                                at: i,
+                                action: a,
+                                var: radix.escaping_var(&succ),
+                            });
+                        }
+                    }
+                }
+                outs.push(row);
+            }
+            Ok(outs)
+        });
+
+        let mut transitions: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(n);
+        let mut first_escape: Option<Escape> = None;
+        for chunk in chunks {
+            match chunk {
+                Ok(rows) => transitions.extend(rows),
+                Err(e) => {
+                    if first_escape.as_ref().is_none_or(|f| e.at < f.at) {
+                        first_escape = Some(e);
+                    }
+                }
             }
         }
-        let iter = program.enumerate_states().map_err(|e| match e {
-            nonmask_program::ProgramError::UnboundedDomain { var } => SpaceError::Unbounded { var },
-            other => unreachable!("enumerate_states only fails on unbounded domains: {other}"),
-        })?;
-
-        let mut states = Vec::new();
-        let mut index = HashMap::new();
-        for (i, s) in iter.enumerate() {
-            if i >= limit {
-                return Err(SpaceError::TooLarge { limit });
-            }
-            index.insert(s.clone(), StateId(i as u32));
-            states.push(s);
-        }
-
-        let mut transitions = Vec::with_capacity(states.len());
-        for s in &states {
-            let mut outs = Vec::new();
-            for a in program.enabled_actions(s) {
-                let succ = program.action(a).successor(s);
-                let id = *index
-                    .get(&succ)
-                    .unwrap_or_else(|| panic!(
-                        "action `{}` left the state space (wrote {}); domains must be closed under all actions",
-                        program.action(a).name(),
-                        program.render_state(&succ),
-                    ));
-                outs.push((a, id));
-            }
-            transitions.push(outs);
+        if let Some(e) = first_escape {
+            return Err(SpaceError::EscapedDomain {
+                action: program.action(e.action).name().to_string(),
+                var: program.var(VarId::from_index(e.var)).name().to_string(),
+            });
         }
 
         Ok(StateSpace {
             states,
-            index,
+            radix,
             transitions,
         })
     }
@@ -158,7 +351,7 @@ impl StateSpace {
 
     /// All state ids.
     pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
-        (0..self.states.len()).map(|i| StateId(i as u32))
+        (0..self.states.len()).map(StateId::from_index)
     }
 
     /// The state with id `id`.
@@ -171,8 +364,13 @@ impl StateSpace {
     }
 
     /// The id of `state`, if it belongs to this space.
+    ///
+    /// This is the arithmetic mixed-radix lookup: `O(|vars|)` with no
+    /// hashing or allocation.
     pub fn id_of(&self, state: &State) -> Option<StateId> {
-        self.index.get(state).copied()
+        let idx = self.radix.index_of(state)?;
+        debug_assert!((idx as usize) < self.states.len());
+        Some(StateId(idx as u32))
     }
 
     /// The `(action, successor)` pairs of every action enabled at `id`.
@@ -204,10 +402,16 @@ mod tests {
     fn counter(max: i64) -> Program {
         let mut b = Program::builder("counter");
         let x = b.var("x", Domain::range(0, max));
-        b.closure_action("inc", [x], [x], move |s| s.get(x) < max, move |s| {
-            let v = s.get(x);
-            s.set(x, v + 1);
-        });
+        b.closure_action(
+            "inc",
+            [x],
+            [x],
+            move |s| s.get(x) < max,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
         b.build()
     }
 
@@ -240,6 +444,47 @@ mod tests {
     }
 
     #[test]
+    fn id_of_rejects_malformed_states() {
+        let p = counter(3);
+        let space = StateSpace::enumerate(&p).unwrap();
+        // Wrong arity.
+        assert_eq!(space.id_of(&State::new(vec![0, 0])), None);
+        assert_eq!(space.id_of(&State::new(vec![])), None);
+        // Below the domain minimum (negative offset must not wrap).
+        assert_eq!(space.id_of(&State::new(vec![-1])), None);
+        assert_eq!(space.id_of(&State::new(vec![i64::MIN])), None);
+    }
+
+    #[test]
+    fn arithmetic_ids_match_enumeration_order() {
+        // Mixed domains with nonzero minimum: id must equal position.
+        let mut b = Program::builder("mixed");
+        b.var("a", Domain::range(-2, 1));
+        b.var("b", Domain::Bool);
+        b.var("c", Domain::enumeration(["p", "q", "r"]));
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        assert_eq!(space.len(), 4 * 2 * 3);
+        for (pos, s) in p.enumerate_states().unwrap().enumerate() {
+            assert_eq!(space.id_of(&s).unwrap().index(), pos);
+            assert_eq!(space.state(StateId::from_index(pos)), &s);
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_is_identical() {
+        let p = counter(4000);
+        let serial = StateSpace::enumerate_with_options(&p, CheckOptions::serial()).unwrap();
+        let parallel =
+            StateSpace::enumerate_with_options(&p, CheckOptions::default().threads(4)).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for id in serial.ids() {
+            assert_eq!(serial.state(id), parallel.state(id));
+            assert_eq!(serial.successors(id), parallel.successors(id));
+        }
+    }
+
+    #[test]
     fn satisfying_filters() {
         let p = counter(9);
         let x = p.var_by_name("x").unwrap();
@@ -259,6 +504,27 @@ mod tests {
     }
 
     #[test]
+    fn astronomically_large_spaces_rejected_without_overflow() {
+        // 2^40-ish states: far beyond both the default limit and u32 ids.
+        let mut b = Program::builder("huge");
+        for i in 0..40 {
+            b.var(format!("x{i}"), Domain::Bool);
+        }
+        let p = b.build();
+        assert!(matches!(
+            StateSpace::enumerate(&p).unwrap_err(),
+            SpaceError::TooLarge { .. }
+        ));
+        // Even with a usize::MAX limit the u32 id range caps the space.
+        assert_eq!(
+            StateSpace::enumerate_with_limit(&p, usize::MAX).unwrap_err(),
+            SpaceError::TooLarge {
+                limit: u32::MAX as usize + 1
+            }
+        );
+    }
+
+    #[test]
     fn unbounded_rejected() {
         let mut b = Program::builder("u");
         b.var("y", Domain::Unbounded);
@@ -270,13 +536,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "left the state space")]
-    fn escaping_action_panics() {
+    fn escaping_action_is_an_error() {
         let mut b = Program::builder("bad");
         let x = b.var("x", Domain::range(0, 2));
         b.closure_action("overflow", [x], [x], |_| true, move |s| s.set(x, 7));
         let p = b.build();
-        let _ = StateSpace::enumerate(&p);
+        let err = StateSpace::enumerate(&p).unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::EscapedDomain {
+                action: "overflow".into(),
+                var: "x".into()
+            }
+        );
+        assert!(err.to_string().contains("left the state space"));
+    }
+
+    #[test]
+    fn escape_reports_lowest_state_deterministically() {
+        // `bad` escapes only at x >= 3; every worker count must report the
+        // same (first) witness action.
+        let mut b = Program::builder("bad2");
+        let x = b.var("x", Domain::range(0, 5000));
+        b.closure_action(
+            "fine",
+            [x],
+            [x],
+            move |s| s.get(x) < 5000,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        b.closure_action(
+            "bad",
+            [x],
+            [x],
+            move |s| s.get(x) >= 3,
+            move |s| s.set(x, -1),
+        );
+        let p = b.build();
+        for threads in [1, 2, 8] {
+            let err =
+                StateSpace::enumerate_with_options(&p, CheckOptions::default().threads(threads))
+                    .unwrap_err();
+            assert_eq!(
+                err,
+                SpaceError::EscapedDomain {
+                    action: "bad".into(),
+                    var: "x".into()
+                },
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

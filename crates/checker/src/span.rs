@@ -14,26 +14,35 @@ use std::sync::Arc;
 
 use nonmask_program::{Action, Predicate, Program, State};
 
+use crate::cache::Bitset;
+use crate::options::CheckOptions;
 use crate::space::{StateId, StateSpace};
 
 /// A set of states of a [`StateSpace`], convertible to a [`Predicate`].
+/// Backed by a [`Bitset`] (one bit per state).
 #[derive(Debug, Clone)]
 pub struct StateSet {
-    members: Vec<bool>,
+    members: Bitset,
     count: usize,
 }
 
 impl StateSet {
     /// The states satisfying `pred`.
     pub fn from_predicate(space: &StateSpace, pred: &Predicate) -> Self {
-        let members: Vec<bool> = space.ids().map(|id| pred.holds(space.state(id))).collect();
-        let count = members.iter().filter(|&&b| b).count();
+        Self::from_predicate_opts(space, pred, CheckOptions::default())
+    }
+
+    /// [`StateSet::from_predicate`] with explicit [`CheckOptions`] (the
+    /// predicate is evaluated once per state, in parallel chunks).
+    pub fn from_predicate_opts(space: &StateSpace, pred: &Predicate, opts: CheckOptions) -> Self {
+        let members = Bitset::for_predicate(space, pred, opts);
+        let count = members.count_ones();
         StateSet { members, count }
     }
 
     /// Whether `id` is in the set.
     pub fn contains(&self, id: StateId) -> bool {
-        self.members[id.index()]
+        self.members.contains(id)
     }
 
     /// Number of member states.
@@ -46,13 +55,18 @@ impl StateSet {
         self.count == 0
     }
 
+    /// The underlying per-state membership bits.
+    pub fn bits(&self) -> &Bitset {
+        &self.members
+    }
+
     /// Convert to a [`Predicate`] usable anywhere the library takes one
     /// (the predicate hashes the queried state against the member set, so
     /// it remains valid on states produced later, not just space ids).
     pub fn to_predicate(&self, space: &StateSpace, name: impl Into<String>) -> Predicate {
         let members: HashSet<State> = space
             .ids()
-            .filter(|&id| self.members[id.index()])
+            .filter(|&id| self.members.contains(id))
             .map(|id| space.state(id).clone())
             .collect();
         let members = Arc::new(members);
@@ -77,27 +91,35 @@ pub fn compute_fault_span(
     invariant: &Predicate,
     faults: &[Action],
 ) -> StateSet {
+    compute_fault_span_opts(space, program, invariant, faults, CheckOptions::default())
+}
+
+/// [`compute_fault_span`] with explicit [`CheckOptions`]: the invariant is
+/// seeded in parallel; the reachability sweep itself is sequential (each
+/// state is expanded exactly once).
+pub fn compute_fault_span_opts(
+    space: &StateSpace,
+    program: &Program,
+    invariant: &Predicate,
+    faults: &[Action],
+    opts: CheckOptions,
+) -> StateSet {
     let _ = program;
-    let mut members = vec![false; space.len()];
-    let mut frontier: Vec<StateId> = Vec::new();
-    for id in space.ids() {
-        if invariant.holds(space.state(id)) {
-            members[id.index()] = true;
-            frontier.push(id);
-        }
-    }
+    let mut members = Bitset::for_predicate(space, invariant, opts);
+    let mut frontier: Vec<StateId> = space.ids().filter(|&id| members.contains(id)).collect();
     let mut count = frontier.len();
 
     while let Some(id) = frontier.pop() {
         // Program transitions (precomputed) …
         for &(_, next) in space.successors(id) {
-            if !members[next.index()] {
-                members[next.index()] = true;
+            if !members.contains(next) {
+                members.set(next.index());
                 count += 1;
                 frontier.push(next);
             }
         }
-        // … plus fault transitions.
+        // … plus fault transitions; `id_of` is the arithmetic mixed-radix
+        // lookup, so no hashing happens here either.
         let state = space.state(id);
         for fault in faults {
             if !fault.enabled(state) {
@@ -105,8 +127,8 @@ pub fn compute_fault_span(
             }
             let next = fault.successor(state);
             if let Some(nid) = space.id_of(&next) {
-                if !members[nid.index()] {
-                    members[nid.index()] = true;
+                if !members.contains(nid) {
+                    members.set(nid.index());
                     count += 1;
                     frontier.push(nid);
                 }
@@ -126,10 +148,16 @@ mod tests {
     fn setup() -> (Program, Predicate, Vec<Action>) {
         let mut b = Program::builder("down");
         let x = b.var("x", Domain::range(0, 5));
-        b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         let p = b.build();
         let s = Predicate::new("x=0", [x], move |st| st.get(x) == 0);
         let bump = Action::new(
@@ -175,13 +203,8 @@ mod tests {
             }
         }
         // … and the program converges from T back to S.
-        let r = crate::convergence::check_convergence(
-            &space,
-            &p,
-            &t,
-            &s,
-            crate::Fairness::WeaklyFair,
-        );
+        let r =
+            crate::convergence::check_convergence(&space, &p, &t, &s, crate::Fairness::WeaklyFair);
         assert!(r.converges());
     }
 

@@ -1,17 +1,17 @@
 //! The design workflow: program + constraints → verified tolerance.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use nonmask_checker::{
-    bounds, closure, convergence::check_convergence, Fairness, SpaceError, StateSpace, Violation,
+    bounds, closure, convergence::check_convergence_bits, Bitset, CheckOptions, Fairness,
+    SpaceError, StateSpace, Violation,
 };
-use nonmask_graph::{
-    ConstraintGraph, ConstraintRef, GraphError, Layering, NodePartition, Shape,
-};
+use nonmask_graph::{ConstraintGraph, ConstraintRef, GraphError, Layering, NodePartition, Shape};
 use nonmask_program::{ActionId, ActionKind, Predicate, Program};
 
 use crate::constraint::Constraint;
-use crate::report::{ClosureReport, StateCounts, TheoremOutcome, ToleranceReport};
+use crate::report::{ClosureReport, StateCounts, TheoremOutcome, ToleranceReport, VerifyTimings};
 
 /// Errors raised while building or verifying a [`Design`].
 #[derive(Debug, Clone)]
@@ -69,6 +69,7 @@ pub struct Design {
     partition: NodePartition,
     layering: Option<Layering>,
     invariant_override: Option<Predicate>,
+    options: CheckOptions,
 }
 
 impl Design {
@@ -81,6 +82,7 @@ impl Design {
             partition: None,
             layering: None,
             invariant_override: None,
+            options: CheckOptions::default(),
         }
     }
 
@@ -107,6 +109,21 @@ impl Design {
     /// The layering supplied for Theorem 3, if any.
     pub fn layering(&self) -> Option<&Layering> {
         self.layering.as_ref()
+    }
+
+    /// The checker options (worker threads, state limit) used by
+    /// [`Design::verify`]. Defaults to auto-detected parallelism; see
+    /// [`DesignBuilder::threads`].
+    pub fn options(&self) -> CheckOptions {
+        self.options
+    }
+
+    /// This design with different checker options (e.g. to re-verify with
+    /// another thread count — the verdict is identical by construction,
+    /// only the [`VerifyTimings`] change).
+    pub fn with_options(mut self, options: CheckOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// The invariant `S`.
@@ -152,8 +169,13 @@ impl Design {
     /// [`DesignError::Space`] for unbounded or oversized programs;
     /// [`DesignError::Graph`] if the constraint graph cannot be derived.
     pub fn verify(&self) -> Result<ToleranceReport, DesignError> {
-        let space = StateSpace::enumerate(&self.program)?;
-        self.verify_with(&space)
+        let started = Instant::now();
+        let space = StateSpace::enumerate_with_options(&self.program, self.options)?;
+        let enumerate = started.elapsed();
+        let mut report = self.verify_with(&space)?;
+        report.timings.enumerate = Some(enumerate);
+        report.timings.total += enumerate;
+        Ok(report)
     }
 
     /// Verify the design against a pre-enumerated state space.
@@ -177,28 +199,41 @@ impl Design {
     ///
     /// [`DesignError::Graph`] if the constraint graph cannot be derived.
     pub fn verify_with(&self, space: &StateSpace) -> Result<ToleranceReport, DesignError> {
+        let started = Instant::now();
         let graph = self.constraint_graph()?;
         let shape = graph.shape();
         let s = self.invariant();
         let t = &self.fault_span;
         let p = &self.program;
+        let opts = self.options;
+
+        // Predicate-evaluation caches, shared by every pass below: `S`,
+        // `T`, and each constraint are evaluated exactly once per state
+        // (in parallel), and all later obligations are bit tests.
+        let eval_started = Instant::now();
+        let s_bits = Bitset::for_predicate(space, &s, opts);
+        let t_bits = Bitset::for_predicate(space, t, opts);
+        let c_bits: Vec<Bitset> = self
+            .constraints
+            .iter()
+            .map(|c| Bitset::for_predicate(space, c.predicate(), opts))
+            .collect();
+        let predicate_eval = eval_started.elapsed();
 
         // --- 1. Closure obligations -----------------------------------
-        let closure_report = self.check_closure(space, &s);
+        let closure_started = Instant::now();
+        let closure_report = self.check_closure_bits(space, &s_bits, &t_bits, &c_bits);
+        let closure_time = closure_started.elapsed();
 
         // --- 2. Theorem side conditions --------------------------------
-        // Memoized conditional-preservation oracle.
+        // Memoized conditional-preservation oracle over the bit caches.
+        // `tag` keys the `assuming` set: 0 = T, 1 = S, 2+layer = Theorem
+        // 3's per-layer assumption.
+        let theorem_started = Instant::now();
         let mut memo: HashMap<(ActionId, usize, u8), bool> = HashMap::new();
-        let mut preserves_under = |a: ActionId, ci: usize, assuming: &Predicate, tag: u8| -> bool {
+        let mut preserves_under = |a: ActionId, ci: usize, assuming: &Bitset, tag: u8| -> bool {
             *memo.entry((a, ci, tag)).or_insert_with(|| {
-                closure::preserves_given(
-                    space,
-                    p,
-                    a,
-                    self.constraints[ci].predicate(),
-                    assuming,
-                )
-                .is_none()
+                closure::preserves_given_bits(space, a, &c_bits[ci], assuming, opts).is_none()
             })
         };
 
@@ -213,7 +248,10 @@ impl Design {
                 .map(|e| *graph.edge_ref(e))
                 .find(|e| e.constraint() == ConstraintRef(i))
                 .expect("one edge per constraint");
-            let allowed: Vec<_> = graph.node_ref(edge.from()).vars().iter()
+            let allowed: Vec<_> = graph
+                .node_ref(edge.from())
+                .vars()
+                .iter()
                 .chain(graph.node_ref(edge.to()).vars().iter())
                 .copied()
                 .collect();
@@ -233,14 +271,13 @@ impl Design {
         // actions on S-states.
         let mut closure_preserve_ok = true;
         for a in p.action_ids() {
-            let (assuming, tag): (&Predicate, u8) = match p.action(a).kind() {
-                ActionKind::Closure => (t, 0),
-                ActionKind::Combined => (&s, 1),
+            let (assuming, tag): (&Bitset, u8) = match p.action(a).kind() {
+                ActionKind::Closure => (&t_bits, 0),
+                ActionKind::Combined => (&s_bits, 1),
                 ActionKind::Convergence => continue,
             };
             for ci in 0..self.constraints.len() {
-                if p.action(a).kind() == ActionKind::Combined
-                    && self.constraints[ci].action() == a
+                if p.action(a).kind() == ActionKind::Combined && self.constraints[ci].action() == a
                 {
                     continue; // its own constraint is its convergence target
                 }
@@ -256,25 +293,34 @@ impl Design {
         }
 
         let theorem = self.select_theorem(
-            space,
             &graph,
             shape,
-            t,
-            &s,
+            &t_bits,
+            &s_bits,
+            &c_bits,
             reads_ok,
             closure_preserve_ok,
             &mut preserves_under,
             &mut reasons,
         );
+        let theorem_time = theorem_started.elapsed();
 
         // --- 3. Ground truth -------------------------------------------
-        let conv_fair = check_convergence(space, p, t, &s, Fairness::WeaklyFair);
-        let conv_unfair = check_convergence(space, p, t, &s, Fairness::Unfair);
-        let worst = bounds::worst_case_moves(space, p, t, &s);
+        // Both daemons share the same `S`/`T` bit caches; no predicate is
+        // re-evaluated between the two convergence passes and the bound.
+        let conv_started = Instant::now();
+        let conv_fair =
+            check_convergence_bits(space, p, &t_bits, &s_bits, Fairness::WeaklyFair, opts);
+        let conv_unfair =
+            check_convergence_bits(space, p, &t_bits, &s_bits, Fairness::Unfair, opts);
+        let convergence_time = conv_started.elapsed();
+        let bounds_started = Instant::now();
+        let worst = bounds::worst_case_moves_bits(space, &t_bits, &s_bits, opts);
+        let bounds_time = bounds_started.elapsed();
 
         let state_counts = StateCounts {
-            invariant: space.count_satisfying(&s),
-            fault_span: space.count_satisfying(t),
+            invariant: s_bits.count_ones(),
+            fault_span: t_bits.count_ones(),
             total: space.len(),
         };
 
@@ -286,40 +332,61 @@ impl Design {
             convergence_unfair: conv_unfair,
             worst_case_moves: worst,
             state_counts,
+            timings: VerifyTimings {
+                enumerate: None,
+                predicate_eval,
+                closure: closure_time,
+                theorem: theorem_time,
+                convergence: convergence_time,
+                bounds: bounds_time,
+                total: started.elapsed(),
+            },
         })
     }
 
-    fn check_closure(&self, space: &StateSpace, s: &Predicate) -> ClosureReport {
+    /// The closure obligations over the shared predicate caches. The
+    /// convergence action's enabledness is read off the transition table
+    /// (a `(action, successor)` pair exists exactly when the guard holds),
+    /// so no guard or predicate is re-evaluated here.
+    fn check_closure_bits(
+        &self,
+        space: &StateSpace,
+        s_bits: &Bitset,
+        t_bits: &Bitset,
+        c_bits: &[Bitset],
+    ) -> ClosureReport {
         let p = &self.program;
-        let t = &self.fault_span;
-        let invariant = closure::is_closed(space, p, s);
-        let fault_span = closure::is_closed(space, p, t);
+        let opts = self.options;
+        let invariant = closure::is_closed_bits(space, p, s_bits, opts);
+        let fault_span = closure::is_closed_bits(space, p, t_bits, opts);
 
         let mut unguarded = Vec::new();
         let mut non_establishing = Vec::new();
         for (i, c) in self.constraints.iter().enumerate() {
-            let act = p.action(c.action());
+            let aid = c.action();
             // ¬c ∧ T must enable the convergence action.
             if let Some(id) = space.ids().find(|&id| {
-                let st = space.state(id);
-                t.holds(st) && !c.predicate().holds(st) && !act.enabled(st)
+                t_bits.contains(id)
+                    && !c_bits[i].contains(id)
+                    && !space.successors(id).iter().any(|&(a, _)| a == aid)
             }) {
                 unguarded.push((i, space.state(id).clone()));
             }
             // Executing from T ∧ guard must establish c.
             for id in space.ids() {
-                let st = space.state(id);
-                if !t.holds(st) || !act.enabled(st) {
+                if !t_bits.contains(id) {
                     continue;
                 }
-                let after = act.successor(st);
-                if !c.predicate().holds(&after) {
+                let Some(&(_, succ)) = space.successors(id).iter().find(|&&(a, _)| a == aid) else {
+                    continue;
+                };
+                if !c_bits[i].contains(succ) {
                     non_establishing.push((
                         i,
                         Violation {
-                            action: c.action(),
-                            before: st.clone(),
-                            after,
+                            action: aid,
+                            before: space.state(id).clone(),
+                            after: space.state(succ).clone(),
                         },
                     ));
                     break;
@@ -338,17 +405,16 @@ impl Design {
     #[allow(clippy::too_many_arguments)]
     fn select_theorem(
         &self,
-        space: &StateSpace,
         graph: &ConstraintGraph,
         shape: Shape,
-        t: &Predicate,
-        s: &Predicate,
+        t_bits: &Bitset,
+        s_bits: &Bitset,
+        c_bits: &[Bitset],
         reads_ok: bool,
         closure_preserve_ok: bool,
-        preserves_under: &mut impl FnMut(ActionId, usize, &Predicate, u8) -> bool,
+        preserves_under: &mut impl FnMut(ActionId, usize, &Bitset, u8) -> bool,
         reasons: &mut Vec<String>,
     ) -> TheoremOutcome {
-        let _ = space;
         // Theorem 1: out-tree shape + the closure/read conditions.
         if shape == Shape::OutTree && reads_ok && closure_preserve_ok {
             let ranks = graph.ranks().expect("out-trees are acyclic");
@@ -363,9 +429,9 @@ impl Design {
             let mut orders = Vec::new();
             let mut all_ordered = true;
             for node in graph.node_ids() {
-                match graph.linear_preservation_order(node, |a, c| {
-                    preserves_under(a, c.0, t, 0)
-                }) {
+                match graph
+                    .linear_preservation_order(node, |a, c| preserves_under(a, c.0, t_bits, 0))
+                {
                     Some(order) => orders.push((node, order)),
                     None => {
                         all_ordered = false;
@@ -393,12 +459,9 @@ impl Design {
 
         let mut ok = true;
         for layer in 0..layering.len() {
-            // `assuming`: T ∧ all constraints of lower layers.
-            let lower: Vec<&Predicate> = layering
-                .below(layer)
-                .iter()
-                .map(|c| self.constraints[c.0].predicate())
-                .collect();
+            // `assuming`: T ∧ all constraints of lower layers, composed
+            // bitwise from the shared per-state caches — no predicate is
+            // re-evaluated per layer.
             // Preservation is required while the program is still
             // converging (outside `S`): this mirrors the paper's token-ring
             // observation that the root's closure action "is not enabled
@@ -406,9 +469,10 @@ impl Design {
             // `S` holds, closure actions are free to rearrange constraint
             // values as long as `S` itself is preserved (checked
             // separately).
-            let assuming = t
-                .and(&Predicate::all(format!("below-{layer}"), lower.iter().copied()))
-                .and(&s.not());
+            let mut assuming = t_bits.and(&s_bits.not());
+            for c in layering.below(layer) {
+                assuming = assuming.and(&c_bits[c.0]);
+            }
 
             // (c) per-layer graph is self-looping.
             let (layer_graph, layer_shape) = layering.layer_graph(graph, layer);
@@ -490,6 +554,7 @@ pub struct DesignBuilder {
     partition: Option<NodePartition>,
     layering: Option<Layering>,
     invariant_override: Option<Predicate>,
+    options: CheckOptions,
 }
 
 impl DesignBuilder {
@@ -514,7 +579,8 @@ impl DesignBuilder {
         predicate: Predicate,
         action: ActionId,
     ) -> Self {
-        self.constraints.push(Constraint::new(name, predicate, action));
+        self.constraints
+            .push(Constraint::new(name, predicate, action));
         self
     }
 
@@ -529,6 +595,27 @@ impl DesignBuilder {
     /// equal, the invariant — see [`Design::invariant`]).
     pub fn invariant_override(mut self, s: Predicate) -> Self {
         self.invariant_override = Some(s);
+        self
+    }
+
+    /// Set the checker options (worker threads and state limit) used by
+    /// [`Design::verify`]. Defaults to [`CheckOptions::default`].
+    pub fn options(mut self, options: CheckOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Set the number of worker threads for every state-space sweep
+    /// (enumeration, predicate evaluation, closure, convergence, bounds).
+    ///
+    /// `0` (the default) auto-detects via
+    /// [`std::thread::available_parallelism`]; `1` forces fully serial
+    /// checking. The verification *verdict* is bit-identical for every
+    /// thread count — only the [`VerifyTimings`](crate::VerifyTimings)
+    /// change. Small state spaces (< a few thousand states) are always
+    /// checked on the calling thread regardless of this setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
         self
     }
 
@@ -558,6 +645,7 @@ impl DesignBuilder {
             partition,
             layering: self.layering,
             invariant_override: self.invariant_override,
+            options: self.options,
         })
     }
 }
@@ -723,9 +811,13 @@ mod tests {
         // The convergence action's guard misses part of ¬c.
         let mut b = Program::builder("p");
         let x = b.var("x", Domain::range(0, 2));
-        let fix = b.convergence_action("fix", [x], [x], move |s| s.get(x) == 1, move |s| {
-            s.set(x, 0)
-        });
+        let fix = b.convergence_action(
+            "fix",
+            [x],
+            [x],
+            move |s| s.get(x) == 1,
+            move |s| s.set(x, 0),
+        );
         let program = b.build();
         let c = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
         let d = Design::builder(program)
@@ -745,9 +837,13 @@ mod tests {
         // The convergence action runs but does not establish its constraint.
         let mut b = Program::builder("p");
         let x = b.var("x", Domain::range(0, 2));
-        let bogus = b.convergence_action("bogus", [x], [x], move |s| s.get(x) > 0, move |s| {
-            s.set(x, 2)
-        });
+        let bogus = b.convergence_action(
+            "bogus",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| s.set(x, 2),
+        );
         let program = b.build();
         let c = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
         let d = Design::builder(program)
@@ -769,12 +865,20 @@ mod tests {
         let mut b = Program::builder("cycle");
         let x = b.var("x", Domain::Bool);
         let y = b.var("y", Domain::Bool);
-        let fix_x = b.convergence_action("fix-x", [x, y], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
-        let fix_y = b.convergence_action("fix-y", [x, y], [y], move |s| !s.get_bool(y), move |s| {
-            s.set_bool(y, true)
-        });
+        let fix_x = b.convergence_action(
+            "fix-x",
+            [x, y],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
+        let fix_y = b.convergence_action(
+            "fix-y",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(y),
+            move |s| s.set_bool(y, true),
+        );
         let program = b.build();
         let cx = Predicate::new("x", [x], move |s| s.get_bool(x));
         let cy = Predicate::new("y", [y], move |s| s.get_bool(y));
@@ -789,7 +893,10 @@ mod tests {
         assert_eq!(graph.shape(), Shape::Cyclic);
         let report = design.verify().unwrap();
         let TheoremOutcome::NotApplicable { reasons } = &report.theorem else {
-            panic!("cyclic single layer cannot satisfy Theorem 3: {:?}", report.theorem);
+            panic!(
+                "cyclic single layer cannot satisfy Theorem 3: {:?}",
+                report.theorem
+            );
         };
         assert!(reasons.iter().any(|r| r.contains("cyclic")), "{reasons:?}");
         // The design is nevertheless tolerant — each repair only
@@ -808,12 +915,20 @@ mod tests {
         let mut b = Program::builder("cycle2");
         let x = b.var("x", Domain::Bool);
         let y = b.var("y", Domain::Bool);
-        let fix_x = b.convergence_action("fix-x", [x, y], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
-        let fix_y = b.convergence_action("fix-y", [x, y], [y], move |s| !s.get_bool(y), move |s| {
-            s.set_bool(y, true)
-        });
+        let fix_x = b.convergence_action(
+            "fix-x",
+            [x, y],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
+        let fix_y = b.convergence_action(
+            "fix-y",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(y),
+            move |s| s.set_bool(y, true),
+        );
         let program = b.build();
         let cx = Predicate::new("x", [x], move |s| s.get_bool(x));
         let cy = Predicate::new("y", [y], move |s| s.get_bool(y));
@@ -821,9 +936,7 @@ mod tests {
             .partition(NodePartition::new().group("x", [x]).group("y", [y]))
             .constraint("x", cx, fix_x)
             .constraint("y", cy, fix_y)
-            .layering(
-                Layering::new([vec![ConstraintRef(0)], vec![ConstraintRef(1)]]).unwrap(),
-            )
+            .layering(Layering::new([vec![ConstraintRef(0)], vec![ConstraintRef(1)]]).unwrap())
             .build()
             .unwrap();
         let report = design.verify().unwrap();
@@ -858,9 +971,13 @@ mod tests {
     fn invariant_override_is_used() {
         let mut b = Program::builder("ovr");
         let x = b.var("x", Domain::Bool);
-        let fix = b.convergence_action("fix", [x], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
+        let fix = b.convergence_action(
+            "fix",
+            [x],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
         let program = b.build();
         let c = Predicate::new("x", [x], move |s| s.get_bool(x));
         let design = Design::builder(program)
@@ -882,12 +999,19 @@ mod tests {
         use nonmask_program::ProcessId;
         let mut b = Program::builder("p");
         let x = b.var_of("x", Domain::Bool, ProcessId(0));
-        let fix = b.convergence_action("fix", [x], [x], move |s| !s.get_bool(x), move |s| {
-            s.set_bool(x, true)
-        });
+        let fix = b.convergence_action(
+            "fix",
+            [x],
+            [x],
+            move |s| !s.get_bool(x),
+            move |s| s.set_bool(x, true),
+        );
         let program = b.build();
         let c = Predicate::new("x", [x], move |s| s.get_bool(x));
-        let d = Design::builder(program).constraint("x", c, fix).build().unwrap();
+        let d = Design::builder(program)
+            .constraint("x", c, fix)
+            .build()
+            .unwrap();
         assert_eq!(d.partition().len(), 1);
         let report = d.verify().unwrap();
         assert!(report.is_tolerant());

@@ -82,8 +82,9 @@ pub mod triple;
 
 pub use constraint::Constraint;
 pub use design::{Design, DesignBuilder, DesignError};
-pub use report::{ClosureReport, TheoremOutcome, ToleranceReport};
-pub use stair::{ConvergenceStair, StairReport, StageReport};
+pub use nonmask_checker::CheckOptions;
+pub use report::{ClosureReport, StateCounts, TheoremOutcome, ToleranceReport, VerifyTimings};
+pub use stair::{ConvergenceStair, StageReport, StairReport};
 pub use triple::CandidateTriple;
 
 // Re-export the sibling crates under their natural names so that `nonmask`

@@ -1,5 +1,7 @@
 //! Verification reports.
 
+use std::time::Duration;
+
 use nonmask_checker::{ConvergenceResult, Violation};
 use nonmask_graph::{EdgeId, NodeId, Shape};
 
@@ -97,6 +99,30 @@ pub struct ToleranceReport {
     pub worst_case_moves: Option<u64>,
     /// Number of states in `S`, in `T`, and in total (diagnostics).
     pub state_counts: StateCounts,
+    /// Wall-clock time spent in each verification phase.
+    pub timings: VerifyTimings,
+}
+
+/// Wall-clock breakdown of a [`crate::Design::verify`] run (diagnostics;
+/// the values depend on [`crate::CheckOptions::threads`], nothing else in
+/// the report does).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyTimings {
+    /// Enumerating the state space (`None` when a pre-built space was
+    /// passed to [`crate::Design::verify_with`]).
+    pub enumerate: Option<Duration>,
+    /// Evaluating `S`, `T`, and every constraint into per-state bit caches.
+    pub predicate_eval: Duration,
+    /// The closure obligations (part 1 of the report).
+    pub closure: Duration,
+    /// The theorem side conditions (part 2).
+    pub theorem: Duration,
+    /// Ground-truth convergence under both daemons (part 3).
+    pub convergence: Duration,
+    /// The worst-case move bound (part 3).
+    pub bounds: Duration,
+    /// Everything above, end to end.
+    pub total: Duration,
 }
 
 /// State-count diagnostics.
@@ -153,8 +179,14 @@ mod tests {
 
     #[test]
     fn theorem_outcome_names() {
-        assert_eq!(TheoremOutcome::Theorem1 { ranks: vec![] }.name(), "Theorem 1");
-        assert_eq!(TheoremOutcome::Theorem2 { orders: vec![] }.name(), "Theorem 2");
+        assert_eq!(
+            TheoremOutcome::Theorem1 { ranks: vec![] }.name(),
+            "Theorem 1"
+        );
+        assert_eq!(
+            TheoremOutcome::Theorem2 { orders: vec![] }.name(),
+            "Theorem 2"
+        );
         assert_eq!(TheoremOutcome::Theorem3 { layers: 2 }.name(), "Theorem 3");
         let na = TheoremOutcome::NotApplicable { reasons: vec![] };
         assert_eq!(na.name(), "none");

@@ -47,9 +47,7 @@ impl StairReport {
     /// converges.
     pub fn ok(&self) -> bool {
         self.stages.iter().all(|s| {
-            s.target_closed.is_none()
-                && s.convergence.converges()
-                && s.inclusion_witness.is_none()
+            s.target_closed.is_none() && s.convergence.converges() && s.inclusion_witness.is_none()
         })
     }
 }
@@ -63,7 +61,10 @@ impl ConvergenceStair {
     /// Panics if fewer than two stages are supplied.
     pub fn new(stages: impl IntoIterator<Item = Predicate>) -> Self {
         let stages: Vec<Predicate> = stages.into_iter().collect();
-        assert!(stages.len() >= 2, "a stair needs at least a top and a bottom");
+        assert!(
+            stages.len() >= 2,
+            "a stair needs at least a top and a bottom"
+        );
         ConvergenceStair { stages }
     }
 
@@ -79,12 +80,7 @@ impl ConvergenceStair {
 
     /// Verify every stage: `R_{i+1} ⊆ R_i`, `R_{i+1}` closed, and
     /// convergence from `R_i` to `R_{i+1}` under `fairness`.
-    pub fn verify(
-        &self,
-        space: &StateSpace,
-        program: &Program,
-        fairness: Fairness,
-    ) -> StairReport {
+    pub fn verify(&self, space: &StateSpace, program: &Program, fairness: Fairness) -> StairReport {
         let mut reports = Vec::new();
         for i in 0..self.stages.len() - 1 {
             let from = &self.stages[i];
@@ -114,10 +110,16 @@ mod tests {
     fn program() -> Program {
         let mut b = Program::builder("down");
         let x = b.var("x", Domain::range(0, 5));
-        b.convergence_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         b.build()
     }
 
@@ -158,8 +160,20 @@ mod tests {
         // action breaks an intermediate predicate.
         let mut b = Program::builder("bounce");
         let x = b.var("x", Domain::range(0, 3));
-        b.closure_action("bump-to-3", [x], [x], move |s| s.get(x) == 1, move |s| s.set(x, 3));
-        b.convergence_action("drop", [x], [x], move |s| s.get(x) > 1, move |s| s.set(x, 0));
+        b.closure_action(
+            "bump-to-3",
+            [x],
+            [x],
+            move |s| s.get(x) == 1,
+            move |s| s.set(x, 3),
+        );
+        b.convergence_action(
+            "drop",
+            [x],
+            [x],
+            move |s| s.get(x) > 1,
+            move |s| s.set(x, 0),
+        );
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         // Intermediate stage x<=1 is not closed: bump-to-3 leaves it.

@@ -87,10 +87,16 @@ mod tests {
     fn setup() -> (Program, Predicate, Predicate) {
         let mut b = Program::builder("p");
         let x = b.var("x", Domain::range(0, 3));
-        b.closure_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.closure_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         let p = b.build();
         let s = Predicate::new("x<=1", [x], move |st| st.get(x) <= 1);
         let t = Predicate::new("x<=3", [x], move |st| st.get(x) <= 3);
@@ -125,7 +131,9 @@ mod tests {
         let (p, s, _) = setup();
         let triple = CandidateTriple::stabilizing(p, s);
         let space = StateSpace::enumerate(triple.program()).unwrap();
-        assert!(triple.fault_span().holds(space.state(space.ids().next().unwrap())));
+        assert!(triple
+            .fault_span()
+            .holds(space.state(space.ids().next().unwrap())));
         assert!(triple.check_span_contains_invariant(&space).is_none());
     }
 

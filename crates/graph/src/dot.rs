@@ -28,11 +28,7 @@ impl ConstraintGraph {
         let mut out = String::from("digraph constraint_graph {\n");
         out.push_str("  rankdir=TB;\n  node [shape=ellipse];\n");
         for (i, node) in self.nodes().iter().enumerate() {
-            let vars: Vec<&str> = node
-                .vars()
-                .iter()
-                .map(|&v| program.var(v).name())
-                .collect();
+            let vars: Vec<&str> = node.vars().iter().map(|&v| program.var(v).name()).collect();
             out.push_str(&format!(
                 "  n{i} [label=\"{}\\n{{{}}}\"];\n",
                 escape(node.name()),

@@ -157,14 +157,20 @@ impl std::fmt::Display for GraphError {
                 "action {action} writes variables in more than one node label"
             ),
             GraphError::NoWrites { action } => {
-                write!(f, "action {action} writes no variables and cannot label an edge")
+                write!(
+                    f,
+                    "action {action} writes no variables and cannot label an edge"
+                )
             }
             GraphError::ReadsSpanNodes { action } => write!(
                 f,
                 "action {action} reads variables outside the union of two node labels"
             ),
             GraphError::CyclicRanks => {
-                write!(f, "ranks are undefined: the graph has a cycle of length > 1")
+                write!(
+                    f,
+                    "ranks are undefined: the graph has a cycle of length > 1"
+                )
             }
         }
     }
@@ -427,7 +433,10 @@ impl ConstraintGraph {
         let mut count = 1;
         while let Some(v) = stack.pop() {
             for e in &self.edges {
-                for (a, b) in [(e.from.index(), e.to.index()), (e.to.index(), e.from.index())] {
+                for (a, b) in [
+                    (e.from.index(), e.to.index()),
+                    (e.to.index(), e.from.index()),
+                ] {
                     if a == v && !seen[b] {
                         seen[b] = true;
                         count += 1;
@@ -562,22 +571,31 @@ mod tests {
         let x = b.var("x", Domain::range(0, 3));
         let y = b.var("y", Domain::range(0, 3));
         let z = b.var("z", Domain::range(0, 3));
-        let a1 = b.convergence_action("fix-y", [x, y], [y], move |s| s.get(x) == s.get(y), move |s| {
-            let v = s.get(y);
-            s.set(y, (v + 1) % 4);
-        });
-        let a2 = b.convergence_action("fix-z", [x, z], [z], move |s| s.get(x) > s.get(z), move |s| {
-            let v = s.get(x);
-            s.set(z, v);
-        });
+        let a1 = b.convergence_action(
+            "fix-y",
+            [x, y],
+            [y],
+            move |s| s.get(x) == s.get(y),
+            move |s| {
+                let v = s.get(y);
+                s.set(y, (v + 1) % 4);
+            },
+        );
+        let a2 = b.convergence_action(
+            "fix-z",
+            [x, z],
+            [z],
+            move |s| s.get(x) > s.get(z),
+            move |s| {
+                let v = s.get(x);
+                s.set(z, v);
+            },
+        );
         let p = b.build();
         let part = NodePartition::by_variable(&p);
-        let g = ConstraintGraph::derive(
-            &p,
-            &part,
-            &[(a1, ConstraintRef(0)), (a2, ConstraintRef(1))],
-        )
-        .unwrap();
+        let g =
+            ConstraintGraph::derive(&p, &part, &[(a1, ConstraintRef(0)), (a2, ConstraintRef(1))])
+                .unwrap();
         (p, g)
     }
 
@@ -632,12 +650,9 @@ mod tests {
         let a2 = b.convergence_action("yx", [x, y], [x], |_| true, |_| {});
         let p = b.build();
         let part = NodePartition::by_variable(&p);
-        let g = ConstraintGraph::derive(
-            &p,
-            &part,
-            &[(a1, ConstraintRef(0)), (a2, ConstraintRef(1))],
-        )
-        .unwrap();
+        let g =
+            ConstraintGraph::derive(&p, &part, &[(a1, ConstraintRef(0)), (a2, ConstraintRef(1))])
+                .unwrap();
         assert_eq!(g.shape(), Shape::Cyclic);
         assert_eq!(g.ranks(), Err(GraphError::CyclicRanks));
     }
@@ -660,11 +675,15 @@ mod tests {
         );
         assert_eq!(
             ConstraintGraph::derive(&p, &part, &[(reads_three, ConstraintRef(0))]).unwrap_err(),
-            GraphError::ReadsSpanNodes { action: reads_three }
+            GraphError::ReadsSpanNodes {
+                action: reads_three
+            }
         );
         assert_eq!(
             ConstraintGraph::derive(&p, &part, &[(writes_none, ConstraintRef(0))]).unwrap_err(),
-            GraphError::NoWrites { action: writes_none }
+            GraphError::NoWrites {
+                action: writes_none
+            }
         );
     }
 
@@ -717,7 +736,10 @@ mod tests {
         // in the order means e1 (establishing c1) can be violated... The
         // required property: each action preserves constraints of PRECEDING
         // actions. So if a0 !preserves c1, then e1 cannot precede e0.
-        let nodes = vec![ConstraintGraph::node("src", []), ConstraintGraph::node("dst", [])];
+        let nodes = vec![
+            ConstraintGraph::node("src", []),
+            ConstraintGraph::node("dst", []),
+        ];
         let e = |a: usize, c: usize| {
             ConstraintGraph::edge(
                 ConstraintGraph::node_id(0),
@@ -756,9 +778,8 @@ mod tests {
         };
         let g = ConstraintGraph::from_parts(nodes, vec![e(0, 0), e(1, 1)]);
         // Each action violates the other's constraint: no order exists.
-        let order = g.linear_preservation_order(ConstraintGraph::node_id(0), |a, c| {
-            a.index() == c.0
-        });
+        let order =
+            g.linear_preservation_order(ConstraintGraph::node_id(0), |a, c| a.index() == c.0);
         assert!(order.is_none());
     }
 

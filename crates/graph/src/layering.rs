@@ -173,7 +173,10 @@ mod tests {
     fn layer_graphs_restrict_edges() {
         // A 2-cycle overall, but each layer alone is a single edge: the
         // paper's Section 7 refinement makes each layer self-looping.
-        let nodes = vec![ConstraintGraph::node("a", []), ConstraintGraph::node("b", [])];
+        let nodes = vec![
+            ConstraintGraph::node("a", []),
+            ConstraintGraph::node("b", []),
+        ];
         let edges = vec![
             ConstraintGraph::edge(
                 ConstraintGraph::node_id(0),

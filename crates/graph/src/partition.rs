@@ -62,7 +62,10 @@ impl NodePartition {
     /// be mutually exclusive) or the group is empty.
     pub fn group(mut self, name: impl Into<String>, vars: impl IntoIterator<Item = VarId>) -> Self {
         let vars: Vec<VarId> = vars.into_iter().collect();
-        assert!(!vars.is_empty(), "constraint-graph nodes must label at least one variable");
+        assert!(
+            !vars.is_empty(),
+            "constraint-graph nodes must label at least one variable"
+        );
         let index = self.groups.len();
         for &v in &vars {
             let prev = self.owner.insert(v, index);
@@ -150,7 +153,9 @@ mod tests {
         let p = program();
         let c0 = p.var_by_name("c.0").unwrap();
         let c1 = p.var_by_name("c.1").unwrap();
-        let part = NodePartition::new().group("left", [c0]).group("right", [c1]);
+        let part = NodePartition::new()
+            .group("left", [c0])
+            .group("right", [c1]);
         assert_eq!(part.len(), 2);
         assert_eq!(part.group_of(c0), Some(0));
         assert_eq!(part.group_of(c1), Some(1));

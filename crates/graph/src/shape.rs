@@ -86,7 +86,9 @@ mod tests {
     use nonmask_program::ActionId;
 
     fn mk(n: usize, arcs: &[(usize, usize)]) -> ConstraintGraph {
-        let nodes = (0..n).map(|i| ConstraintGraph::node(format!("n{i}"), [])).collect();
+        let nodes = (0..n)
+            .map(|i| ConstraintGraph::node(format!("n{i}"), []))
+            .collect();
         let edges = arcs
             .iter()
             .enumerate()
@@ -144,12 +146,18 @@ mod tests {
 
     #[test]
     fn long_cycle_is_cyclic() {
-        assert_eq!(mk(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).shape(), Shape::Cyclic);
+        assert_eq!(
+            mk(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).shape(),
+            Shape::Cyclic
+        );
     }
 
     #[test]
     fn cycle_with_tail_is_cyclic() {
-        assert_eq!(mk(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]).shape(), Shape::Cyclic);
+        assert_eq!(
+            mk(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]).shape(),
+            Shape::Cyclic
+        );
     }
 
     #[test]

@@ -153,8 +153,8 @@ pub fn compile_def(def: &ProgramDef) -> Result<Program, LangError> {
                             return Err(LangError::new(
                                 var.line,
                                 format!(
-                                    "enum label `{label}` already bound to {v}, cannot rebind to {i}"
-                                ),
+                                "enum label `{label}` already bound to {v}, cannot rebind to {i}"
+                            ),
                             ))
                         }
                         _ => {
@@ -272,8 +272,8 @@ mod tests {
         // Same labels at the same positions: fine.
         let _ = compile("program ok var a : {g, r}; b : {g, r}");
         // Conflicting position: error.
-        let err = compile_def(&parse("program bad var a : {g, r}; b : {r, g}").unwrap())
-            .unwrap_err();
+        let err =
+            compile_def(&parse("program bad var a : {g, r}; b : {r, g}").unwrap()).unwrap_err();
         assert!(err.message.contains("already bound"));
     }
 

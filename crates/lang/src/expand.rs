@@ -60,10 +60,16 @@ fn parse_for_header(rest: &str, line: u32) -> Result<(String, i64, i64, &str), L
         .next()
         .ok_or_else(|| LangError::new(line, "`for` expects a range"))?;
     if parts.next().is_some() {
-        return Err(LangError::new(line, "unexpected tokens after the `for` range"));
+        return Err(LangError::new(
+            line,
+            "unexpected tokens after the `for` range",
+        ));
     }
     let Some((lo, hi)) = range.split_once("..") else {
-        return Err(LangError::new(line, "`for` range must be `<lo>..<hi>` (half-open)"));
+        return Err(LangError::new(
+            line,
+            "`for` range must be `<lo>..<hi>` (half-open)",
+        ));
     };
     let lo: i64 = lo
         .parse()

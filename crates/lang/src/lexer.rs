@@ -128,7 +128,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LangError> {
             i += p.len();
             continue;
         }
-        return Err(LangError::new(line, format!("unrecognized character `{c}`")));
+        return Err(LangError::new(
+            line,
+            format!("unrecognized character `{c}`"),
+        ));
     }
     Ok(out)
 }
@@ -212,7 +215,10 @@ mod tests {
 
     #[test]
     fn number_then_range() {
-        assert_eq!(toks("12..15"), vec![Tok::Int(12), Tok::Punct(".."), Tok::Int(15)]);
+        assert_eq!(
+            toks("12..15"),
+            vec![Tok::Int(12), Tok::Punct(".."), Tok::Int(15)]
+        );
     }
 
     #[test]
@@ -225,7 +231,11 @@ mod tests {
     fn keywords_true_false_bool() {
         assert_eq!(
             toks("true false bool"),
-            vec![Tok::Keyword("true"), Tok::Keyword("false"), Tok::Keyword("bool")]
+            vec![
+                Tok::Keyword("true"),
+                Tok::Keyword("false"),
+                Tok::Keyword("bool")
+            ]
         );
     }
 }

@@ -14,10 +14,17 @@ use crate::LangError;
 pub fn parse(source: &str) -> Result<ProgramDef, LangError> {
     let tokens = lex(source)?;
     let last_line = tokens.last().map_or(1, |t| t.line);
-    let mut p = Parser { tokens, pos: 0, last_line };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        last_line,
+    };
     let def = p.program()?;
     if let Some(t) = p.peek() {
-        return Err(LangError::new(t.line, format!("unexpected trailing `{}`", render(&t.tok))));
+        return Err(LangError::new(
+            t.line,
+            format!("unexpected trailing `{}`", render(&t.tok)),
+        ));
     }
     Ok(def)
 }
@@ -91,12 +98,18 @@ impl Parser {
 
     fn expect_ident(&mut self) -> Result<(String, u32), LangError> {
         match self.next() {
-            Some(Spanned { tok: Tok::Ident(s), line }) => Ok((s, line)),
+            Some(Spanned {
+                tok: Tok::Ident(s),
+                line,
+            }) => Ok((s, line)),
             other => Err(LangError::new(
                 other.as_ref().map_or(self.last_line, |t| t.line),
                 format!(
                     "expected an identifier, found {}",
-                    other.map_or("end of input".to_string(), |t| format!("`{}`", render(&t.tok)))
+                    other.map_or("end of input".to_string(), |t| format!(
+                        "`{}`",
+                        render(&t.tok)
+                    ))
                 ),
             )),
         }
@@ -106,7 +119,9 @@ impl Parser {
         // Allow a leading minus for negative bounds.
         let negative = self.eat_punct("-");
         match self.next() {
-            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(if negative { -v } else { v }),
+            Some(Spanned {
+                tok: Tok::Int(v), ..
+            }) => Ok(if negative { -v } else { v }),
             other => Err(LangError::new(
                 other.as_ref().map_or(self.last_line, |t| t.line),
                 "expected an integer".to_string(),
@@ -138,7 +153,13 @@ impl Parser {
                     break;
                 }
                 // Permit a trailing semicolon before `action` / `var` / EOF.
-                if !matches!(self.peek(), Some(Spanned { tok: Tok::Ident(_), .. })) {
+                if !matches!(
+                    self.peek(),
+                    Some(Spanned {
+                        tok: Tok::Ident(_),
+                        ..
+                    })
+                ) {
                     break;
                 }
             }
@@ -148,7 +169,11 @@ impl Parser {
         while self.eat_keyword("action") {
             actions.push(self.action_def()?);
         }
-        Ok(ProgramDef { name, vars, actions })
+        Ok(ProgramDef {
+            name,
+            vars,
+            actions,
+        })
     }
 
     fn var_def(&mut self) -> Result<VarDef, LangError> {
@@ -310,11 +335,25 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr, LangError> {
         match self.next() {
-            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(Expr::Int(v)),
-            Some(Spanned { tok: Tok::Keyword("true"), .. }) => Ok(Expr::Bool(true)),
-            Some(Spanned { tok: Tok::Keyword("false"), .. }) => Ok(Expr::Bool(false)),
-            Some(Spanned { tok: Tok::Ident(name), .. }) => Ok(Expr::Ident(name)),
-            Some(Spanned { tok: Tok::Punct("("), .. }) => {
+            Some(Spanned {
+                tok: Tok::Int(v), ..
+            }) => Ok(Expr::Int(v)),
+            Some(Spanned {
+                tok: Tok::Keyword("true"),
+                ..
+            }) => Ok(Expr::Bool(true)),
+            Some(Spanned {
+                tok: Tok::Keyword("false"),
+                ..
+            }) => Ok(Expr::Bool(false)),
+            Some(Spanned {
+                tok: Tok::Ident(name),
+                ..
+            }) => Ok(Expr::Ident(name)),
+            Some(Spanned {
+                tok: Tok::Punct("("),
+                ..
+            }) => {
                 let e = self.expr()?;
                 self.expect_punct(")")?;
                 Ok(e)
@@ -323,7 +362,10 @@ impl Parser {
                 other.as_ref().map_or(self.last_line, |t| t.line),
                 format!(
                     "expected an expression, found {}",
-                    other.map_or("end of input".to_string(), |t| format!("`{}`", render(&t.tok)))
+                    other.map_or("end of input".to_string(), |t| format!(
+                        "`{}`",
+                        render(&t.tok)
+                    ))
                 ),
             )),
         }
@@ -345,10 +387,7 @@ mod tests {
 
     #[test]
     fn parses_domains() {
-        let def = parse(
-            "program p var a : bool; b : -2..5; c : {green, red}",
-        )
-        .unwrap();
+        let def = parse("program p var a : bool; b : -2..5; c : {green, red}").unwrap();
         assert_eq!(def.vars[0].domain, DomainDef::Bool);
         assert_eq!(def.vars[1].domain, DomainDef::Range(-2, 5));
         assert_eq!(
@@ -370,10 +409,9 @@ mod tests {
 
     #[test]
     fn precedence_is_sane() {
-        let def = parse(
-            "program p var x : 0..9 action a : x + 1 * 2 == 3 && x < 2 || x > 5 -> x := 0",
-        )
-        .unwrap();
+        let def =
+            parse("program p var x : 0..9 action a : x + 1 * 2 == 3 && x < 2 || x > 5 -> x := 0")
+                .unwrap();
         // ((x + (1*2)) == 3 && x < 2) || (x > 5)
         let Expr::Bin(BinOp::Or, lhs, _) = &def.actions[0].guard else {
             panic!("top level should be ||: {:?}", def.actions[0].guard);
@@ -404,8 +442,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_kind() {
-        let err =
-            parse("program p var x : bool action a [magic] : x -> x := false").unwrap_err();
+        let err = parse("program p var x : bool action a [magic] : x -> x := false").unwrap_err();
         assert!(err.message.contains("magic"));
     }
 

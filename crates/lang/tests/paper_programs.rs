@@ -95,8 +95,7 @@ fn parsed_diffusing_chain_is_stabilizing() {
 
     assert!(is_closed(&space, &program, &s).is_none(), "S is closed");
     for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-        let verdict =
-            check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
+        let verdict = check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
         assert!(verdict.converges(), "{fairness}: {verdict:?}");
     }
 }

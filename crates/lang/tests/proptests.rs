@@ -5,20 +5,28 @@ use nonmask_program::ActionKind;
 use proptest::prelude::*;
 
 fn ident_strategy() -> impl Strategy<Value = String> {
-    // Identifiers with optional dotted suffix, avoiding keywords.
-    ("[a-z][a-z0-9_]{0,5}", proptest::option::of(0u8..10)).prop_filter_map(
-        "avoid keywords",
-        |(base, suffix)| {
-            const KEYWORDS: [&str; 6] = ["program", "var", "action", "bool", "true", "false"];
-            if KEYWORDS.contains(&base.as_str()) {
-                return None;
-            }
-            Some(match suffix {
-                Some(n) => format!("{base}.{n}"),
-                None => base,
-            })
-        },
-    )
+    // Identifiers `[a-z][a-z0-9_]{0,5}` with optional dotted suffix,
+    // avoiding keywords. (Spelled out char-by-char: the vendored proptest
+    // shim has no regex strategies.)
+    let first = proptest::sample::select(('a'..='z').collect::<Vec<char>>());
+    let rest_alphabet: Vec<char> = ('a'..='z').chain('0'..='9').chain(['_']).collect();
+    let rest = proptest::collection::vec(proptest::sample::select(rest_alphabet), 0..6);
+    let base = (first, rest).prop_map(|(f, r)| {
+        let mut s = String::new();
+        s.push(f);
+        s.extend(r);
+        s
+    });
+    (base, proptest::option::of(0u8..10)).prop_filter_map("avoid keywords", |(base, suffix)| {
+        const KEYWORDS: [&str; 6] = ["program", "var", "action", "bool", "true", "false"];
+        if KEYWORDS.contains(&base.as_str()) {
+            return None;
+        }
+        Some(match suffix {
+            Some(n) => format!("{base}.{n}"),
+            None => base,
+        })
+    })
 }
 
 fn expr_strategy(vars: Vec<String>) -> impl Strategy<Value = Expr> {
@@ -79,7 +87,10 @@ fn program_strategy() -> impl Strategy<Value = ProgramDef> {
                 ]),
                 expr_strategy(vars.clone()),
                 proptest::collection::vec(
-                    (proptest::sample::select(vars.clone()), expr_strategy(vars.clone())),
+                    (
+                        proptest::sample::select(vars.clone()),
+                        expr_strategy(vars.clone()),
+                    ),
                     1..3,
                 ),
             )
@@ -96,7 +107,11 @@ fn program_strategy() -> impl Strategy<Value = ProgramDef> {
                 proptest::collection::vec(action, 0..3),
             )
         })
-        .prop_map(|(name, vars, actions)| ProgramDef { name, vars, actions })
+        .prop_map(|(name, vars, actions)| ProgramDef {
+            name,
+            vars,
+            actions,
+        })
 }
 
 fn strip_lines(mut def: ProgramDef) -> ProgramDef {

@@ -9,7 +9,6 @@ type EffectFn = Arc<dyn Fn(&mut State) + Send + Sync>;
 
 /// Identifier of an action within a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActionId(pub(crate) u32);
 
 impl ActionId {
@@ -35,7 +34,6 @@ impl std::fmt::Display for ActionId {
 /// (Section 3): *closure* actions perform the intended computation when the
 /// invariant holds; *convergence* actions re-establish violated constraints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ActionKind {
     /// Performs the intended computation; must preserve the invariant and
     /// the fault span.
@@ -226,8 +224,8 @@ mod tests {
 
     #[test]
     fn process_tagging() {
-        let a = Action::new("a", ActionKind::Closure, [], [], |_| true, |_| {})
-            .owned_by(ProcessId(4));
+        let a =
+            Action::new("a", ActionKind::Closure, [], [], |_| true, |_| {}).owned_by(ProcessId(4));
         assert_eq!(a.process(), Some(ProcessId(4)));
     }
 
@@ -241,9 +239,14 @@ mod tests {
     #[test]
     fn apply_in_place() {
         let x = v(0);
-        let a = Action::new("zero", ActionKind::Convergence, [x], [x], |_| true, move |s| {
-            s.set(x, 0)
-        });
+        let a = Action::new(
+            "zero",
+            ActionKind::Convergence,
+            [x],
+            [x],
+            |_| true,
+            move |s| s.set(x, 0),
+        );
         let mut s = State::new(vec![9]);
         a.apply(&mut s);
         assert_eq!(s.get(x), 0);

@@ -295,7 +295,10 @@ impl<'p> Executor<'p> {
                     let var = p
                         .var_by_name(&e.var)
                         .expect("validate_state names a declared variable");
-                    break StopReason::DomainViolation { action: chosen, var };
+                    break StopReason::DomainViolation {
+                        action: chosen,
+                        var,
+                    };
                 }
             }
 
@@ -355,10 +358,16 @@ mod tests {
     fn countdown() -> (Program, crate::VarId) {
         let mut b = Program::builder("countdown");
         let x = b.var("x", Domain::range(0, 10));
-        b.closure_action("dec", [x], [x], move |s| s.get(x) > 0, move |s| {
-            let v = s.get(x);
-            s.set(x, v - 1);
-        });
+        b.closure_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
         (b.build(), x)
     }
 
@@ -453,7 +462,10 @@ mod tests {
         assert_eq!(report.steps, 7);
         assert_eq!(report.stabilized_at, Some(5));
         let trace = report.trace.unwrap();
-        assert!(trace.steps().iter().any(|s| s.action.is_none() && s.faults == 1));
+        assert!(trace
+            .steps()
+            .iter()
+            .any(|s| s.action.is_none() && s.faults == 1));
     }
 
     #[test]
@@ -477,10 +489,16 @@ mod tests {
         let x = b.var("x", Domain::range(0, 3));
         let y = b.var("y", Domain::range(0, 3));
         // Declares writes=[x] but also writes y.
-        b.closure_action("sneaky", [x, y], [x], |_| true, move |s| {
-            s.set(x, 1);
-            s.set(y, 3);
-        });
+        b.closure_action(
+            "sneaky",
+            [x, y],
+            [x],
+            |_| true,
+            move |s| {
+                s.set(x, 1);
+                s.set(y, 3);
+            },
+        );
         let p = b.build();
         let report = Executor::new(&p).run(
             p.min_state(),
@@ -497,10 +515,16 @@ mod tests {
     fn domain_violation_detected() {
         let mut b = Program::builder("bad");
         let x = b.var("x", Domain::range(0, 3));
-        b.closure_action("overflow", [x], [x], |_| true, move |s| {
-            let v = s.get(x);
-            s.set(x, v + 1);
-        });
+        b.closure_action(
+            "overflow",
+            [x],
+            [x],
+            |_| true,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
         let p = b.build();
         let report = Executor::new(&p).run(
             p.state_from([3]).unwrap(),

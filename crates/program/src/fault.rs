@@ -15,7 +15,6 @@ use crate::VarId;
 
 /// A single applied fault: which variable was corrupted and to what.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultEvent {
     /// Step at which the fault was applied.
     pub step: u64,
@@ -282,7 +281,9 @@ mod tests {
     fn transient_respects_targets_and_limit() {
         let p = program();
         let y = p.var_by_name("y").unwrap();
-        let mut inj = TransientCorruption::new(1.0, 2).targeting([y]).limited_to(3);
+        let mut inj = TransientCorruption::new(1.0, 2)
+            .targeting([y])
+            .limited_to(3);
         let mut s = p.min_state();
         let mut events = Vec::new();
         for step in 0..50 {

@@ -46,6 +46,7 @@
 pub mod action;
 pub mod engine;
 pub mod fault;
+pub mod json;
 pub mod predicate;
 pub mod program;
 pub mod scheduler;
@@ -69,7 +70,6 @@ pub use value::{Domain, DomainError};
 /// be tagged with the process that owns them, which downstream crates use to
 /// derive constraint-graph node partitions ("the variables of node `j`").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessId(pub usize);
 
 impl std::fmt::Display for ProcessId {
@@ -83,7 +83,6 @@ impl std::fmt::Display for ProcessId {
 /// Obtained from [`ProgramBuilder::var`] and used to index [`State`]s. Ids
 /// are only meaningful for the program that created them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {

@@ -57,7 +57,10 @@ impl std::fmt::Display for ProgramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProgramError::WrongArity { expected, got } => {
-                write!(f, "state has {got} slots, program declares {expected} variables")
+                write!(
+                    f,
+                    "state has {got} slots, program declares {expected} variables"
+                )
             }
             ProgramError::OutOfDomain(e) => write!(f, "{e}"),
             ProgramError::UnboundedDomain { var } => {
@@ -238,9 +241,9 @@ impl Program {
     /// The size of the full state space, or `None` if some domain is
     /// unbounded or the product overflows `u128`.
     pub fn state_space_size(&self) -> Option<u128> {
-        self.vars.iter().try_fold(1u128, |acc, v| {
-            acc.checked_mul(v.domain.size()? as u128)
-        })
+        self.vars
+            .iter()
+            .try_fold(1u128, |acc, v| acc.checked_mul(v.domain.size()? as u128))
     }
 
     /// Iterate over *every* state of a bounded program, in lexicographic
@@ -345,12 +348,7 @@ impl ProgramBuilder {
     }
 
     /// Declare a variable owned by `process`.
-    pub fn var_of(
-        &mut self,
-        name: impl Into<String>,
-        domain: Domain,
-        process: ProcessId,
-    ) -> VarId {
+    pub fn var_of(&mut self, name: impl Into<String>, domain: Domain, process: ProcessId) -> VarId {
         let id = self.var(name, domain);
         self.vars[id.index()].process = Some(process);
         id
@@ -376,7 +374,14 @@ impl ProgramBuilder {
         I: IntoIterator<Item = VarId>,
         J: IntoIterator<Item = VarId>,
     {
-        self.add_action(Action::new(name, ActionKind::Closure, reads, writes, guard, effect))
+        self.add_action(Action::new(
+            name,
+            ActionKind::Closure,
+            reads,
+            writes,
+            guard,
+            effect,
+        ))
     }
 
     /// Shorthand for adding a [`ActionKind::Convergence`] action.
@@ -416,7 +421,14 @@ impl ProgramBuilder {
         I: IntoIterator<Item = VarId>,
         J: IntoIterator<Item = VarId>,
     {
-        self.add_action(Action::new(name, ActionKind::Combined, reads, writes, guard, effect))
+        self.add_action(Action::new(
+            name,
+            ActionKind::Combined,
+            reads,
+            writes,
+            guard,
+            effect,
+        ))
     }
 
     /// Finish, validating variable-name uniqueness.
@@ -460,13 +472,25 @@ mod tests {
         let mut b = Program::builder("p");
         let x = b.var("x", Domain::range(0, 2));
         let y = b.var("y", Domain::Bool);
-        b.closure_action("inc", [x], [x], move |s| s.get(x) < 2, move |s| {
-            let v = s.get(x);
-            s.set(x, v + 1);
-        });
-        b.convergence_action("reset", [x, y], [y], move |s| s.get_bool(y), move |s| {
-            s.set_bool(y, false);
-        });
+        b.closure_action(
+            "inc",
+            [x],
+            [x],
+            move |s| s.get(x) < 2,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        b.convergence_action(
+            "reset",
+            [x, y],
+            [y],
+            move |s| s.get_bool(y),
+            move |s| {
+                s.set_bool(y, false);
+            },
+        );
         (b.build(), x, y)
     }
 
@@ -504,7 +528,10 @@ mod tests {
         ));
         assert!(matches!(
             p.state_from([0]),
-            Err(ProgramError::WrongArity { expected: 2, got: 1 })
+            Err(ProgramError::WrongArity {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

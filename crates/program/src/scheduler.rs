@@ -107,7 +107,9 @@ pub struct Adversarial {
 impl Adversarial {
     /// Prefer actions in declaration order (earliest id always wins).
     pub fn by_declaration_order() -> Self {
-        Adversarial { priority: Vec::new() }
+        Adversarial {
+            priority: Vec::new(),
+        }
     }
 
     /// Prefer actions in the order given; unlisted actions come last in
@@ -123,11 +125,7 @@ impl Adversarial {
     }
 
     fn rank(&self, a: ActionId) -> (u32, u32) {
-        let explicit = self
-            .priority
-            .get(a.0 as usize)
-            .copied()
-            .unwrap_or(u32::MAX);
+        let explicit = self.priority.get(a.0 as usize).copied().unwrap_or(u32::MAX);
         (explicit, a.0)
     }
 }
@@ -242,7 +240,11 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
-        assert_ne!(run(5), run(6), "different seeds should (almost surely) differ");
+        assert_ne!(
+            run(5),
+            run(6),
+            "different seeds should (almost surely) differ"
+        );
     }
 
     #[test]
@@ -266,7 +268,11 @@ mod tests {
         assert_eq!(s.select(&[a(0)], &st(), 1), None, "script exhausted");
 
         let mut s = Fixed::strict([a(1), a(0)]);
-        assert_eq!(s.select(&[a(0)], &st(), 0), None, "strict stops at disabled a1");
+        assert_eq!(
+            s.select(&[a(0)], &st(), 0),
+            None,
+            "strict stops at disabled a1"
+        );
     }
 
     #[test]

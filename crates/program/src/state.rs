@@ -8,7 +8,6 @@ use crate::VarId;
 /// that the model checker can use them as map keys and traces can store them
 /// verbatim.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct State {
     slots: Box<[i64]>,
 }

@@ -64,7 +64,9 @@ impl Trace {
     /// The sequence of visited states: initial state (if recorded) followed
     /// by each step's post-state.
     pub fn states(&self) -> impl Iterator<Item = &State> {
-        self.initial.iter().chain(self.steps.iter().map(|s| &s.state))
+        self.initial
+            .iter()
+            .chain(self.steps.iter().map(|s| &s.state))
     }
 
     /// Pretty-print against `program` (variable names, action names).
@@ -128,10 +130,16 @@ mod tests {
     fn render_mentions_actions_and_faults() {
         let mut b = Program::builder("p");
         let x = b.var("x", Domain::range(0, 9));
-        b.closure_action("bump", [x], [x], |_| true, move |s| {
-            let v = s.get(x);
-            s.set(x, v + 1);
-        });
+        b.closure_action(
+            "bump",
+            [x],
+            [x],
+            |_| true,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
         let p = b.build();
 
         let mut t = Trace::new();

@@ -9,7 +9,6 @@ use rand::Rng;
 
 /// The set of legal values of a variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Domain {
     /// `{false, true}` encoded as `{0, 1}`.
     Bool,
@@ -76,7 +75,10 @@ impl Domain {
         S: Into<String>,
     {
         let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
-        assert!(!labels.is_empty(), "empty domain: enumeration with no labels");
+        assert!(
+            !labels.is_empty(),
+            "empty domain: enumeration with no labels"
+        );
         Domain::Enum { labels }
     }
 

@@ -228,8 +228,7 @@ impl AtomicActions {
         let fr = self.f[j];
         let fl = self.f[(j + self.n - 1) % self.n];
         Predicate::new(format!("c.{j}"), [pcj, fl, fr], move |s| {
-            s.get(pcj) != phase::ENGAGED
-                || (s.get(fl) == lock::RIGHT && s.get(fr) == lock::LEFT)
+            s.get(pcj) != phase::ENGAGED || (s.get(fl) == lock::RIGHT && s.get(fr) == lock::LEFT)
         })
     }
 
@@ -269,7 +268,10 @@ impl AtomicActions {
     /// the *protocol* works for any `n ≥ 2` — verify odd rings against
     /// [`AtomicActions::invariant`] with the checker directly).
     pub fn design(&self) -> Result<Design, DesignError> {
-        assert!(self.n % 2 == 0, "even/odd layering needs an even ring");
+        assert!(
+            self.n.is_multiple_of(2),
+            "even/odd layering needs an even ring"
+        );
         let partition = NodePartition::by_process(&self.program);
         let mut builder = Design::builder(self.program.clone()).partition(partition);
         for j in 0..self.n {
@@ -358,7 +360,10 @@ mod tests {
             &mut Random::seeded(7),
             &RunConfig::default().max_steps(2_000).watch(&s),
         );
-        assert_eq!(report.watch_hits[0], report.steps, "S held after every step");
+        assert_eq!(
+            report.watch_hits[0], report.steps,
+            "S held after every step"
+        );
     }
 
     #[test]
@@ -366,7 +371,7 @@ mod tests {
         // Every process engages eventually (no livelock from the initial
         // state under a random daemon).
         let aa = AtomicActions::new(4);
-        let mut engaged = vec![0u64; 4];
+        let mut engaged = [0u64; 4];
         let mut state = aa.initial_state();
         let mut sched = Random::seeded(3);
         let exec = Executor::new(aa.program());
@@ -377,9 +382,9 @@ mod tests {
                 &RunConfig::default().max_steps(1),
             );
             state = report.final_state;
-            for j in 0..4 {
+            for (j, count) in engaged.iter_mut().enumerate() {
                 if state.get(aa.phase_var(j)) == phase::ENGAGED {
-                    engaged[j] += 1;
+                    *count += 1;
                 }
             }
         }

@@ -31,7 +31,10 @@ impl TreeColoring {
     ///
     /// Panics if `colors < 2`.
     pub fn new(tree: &Tree, colors: i64) -> Self {
-        assert!(colors >= 2, "proper tree coloring needs at least two colors");
+        assert!(
+            colors >= 2,
+            "proper tree coloring needs at least two colors"
+        );
         let n = tree.len();
         let mut b = Program::builder(format!("tree-coloring[{n},C={colors}]"));
         let color: Vec<VarId> = (0..n)
@@ -90,7 +93,10 @@ impl TreeColoring {
     ///
     /// Panics for the root or out-of-range nodes.
     pub fn constraint(&self, j: usize) -> Predicate {
-        assert!(j > 0 && j < self.tree.len(), "R.j is defined for non-root nodes");
+        assert!(
+            j > 0 && j < self.tree.len(),
+            "R.j is defined for non-root nodes"
+        );
         let p = self.tree.parent(j);
         let (cj, cp) = (self.color[j], self.color[p]);
         Predicate::new(format!("R.{j}"), [cj, cp], move |s| s.get(cj) != s.get(cp))
@@ -104,7 +110,8 @@ impl TreeColoring {
 
     /// Whether `state` is a proper coloring.
     pub fn is_proper(&self, state: &State) -> bool {
-        (1..self.tree.len()).all(|j| state.get(self.color[j]) != state.get(self.color[self.tree.parent(j)]))
+        (1..self.tree.len())
+            .all(|j| state.get(self.color[j]) != state.get(self.color[self.tree.parent(j)]))
     }
 
     /// The complete stabilizing [`Design`].

@@ -24,9 +24,7 @@
 
 use nonmask::{Design, DesignError};
 use nonmask_graph::NodePartition;
-use nonmask_program::{
-    ActionId, Domain, Predicate, ProcessId, Program, State, VarId,
-};
+use nonmask_program::{ActionId, Domain, Predicate, ProcessId, Program, State, VarId};
 
 use crate::topology::Tree;
 
@@ -87,8 +85,7 @@ impl DiffusingComputation {
                 [cj, snj, cp, snp],
                 [cj, snj],
                 move |s| {
-                    s.get_bool(snj) != s.get_bool(snp)
-                        || (s.get(cj) == RED && s.get(cp) == GREEN)
+                    s.get_bool(snj) != s.get_bool(snp) || (s.get(cj) == RED && s.get(cp) == GREEN)
                 },
                 move |s| {
                     let (c, sn) = (s.get(cp), s.get(snp));
@@ -178,9 +175,17 @@ impl DiffusingComputation {
     ///
     /// Panics if `j` is the root or out of range.
     pub fn constraint(&self, j: usize) -> Predicate {
-        assert!(j > 0 && j < self.tree.len(), "R.j is defined for non-root nodes");
+        assert!(
+            j > 0 && j < self.tree.len(),
+            "R.j is defined for non-root nodes"
+        );
         let p = self.tree.parent(j);
-        let (cj, snj, cp, snp) = (self.color[j], self.session[j], self.color[p], self.session[p]);
+        let (cj, snj, cp, snp) = (
+            self.color[j],
+            self.session[j],
+            self.color[p],
+            self.session[p],
+        );
         Predicate::new(format!("R.{j}"), [cj, snj, cp, snp], move |s| {
             (s.get(cj) == s.get(cp) && s.get_bool(snj) == s.get_bool(snp))
                 || (s.get(cj) == GREEN && s.get(cp) == RED)
@@ -314,8 +319,8 @@ mod tests {
     use nonmask::TheoremOutcome;
     use nonmask_checker::{check_convergence, Fairness, StateSpace};
     use nonmask_graph::Shape;
-    use nonmask_program::{Executor, RunConfig, StopReason};
     use nonmask_program::scheduler::RoundRobin;
+    use nonmask_program::{Executor, RunConfig, StopReason};
 
     #[test]
     fn design_is_theorem1_stabilizing_on_small_trees() {
@@ -349,8 +354,8 @@ mod tests {
         assert_eq!(graph.node_count(), 7);
         assert_eq!(graph.edge_count(), 6);
         let ranks = graph.ranks().unwrap();
-        for j in 0..7 {
-            assert_eq!(ranks[j] as usize, tree.depth(j) + 1, "rank = depth + 1");
+        for (j, &rank) in ranks.iter().enumerate() {
+            assert_eq!(rank as usize, tree.depth(j) + 1, "rank = depth + 1");
         }
     }
 

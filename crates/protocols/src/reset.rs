@@ -13,9 +13,7 @@
 
 use nonmask::{Design, DesignError};
 use nonmask_graph::NodePartition;
-use nonmask_program::{
-    ActionId, Domain, Predicate, ProcessId, Program, State, VarId,
-};
+use nonmask_program::{ActionId, Domain, Predicate, ProcessId, Program, State, VarId};
 
 use crate::diffusing::{GREEN, RED};
 use crate::topology::Tree;
@@ -58,11 +56,7 @@ impl DistributedReset {
                 ProcessId(j),
             ));
             session.push(b.var_of(format!("sn.{j}"), Domain::Bool, ProcessId(j)));
-            value.push(b.var_of(
-                format!("v.{j}"),
-                Domain::range(0, max_value),
-                ProcessId(j),
-            ));
+            value.push(b.var_of(format!("v.{j}"), Domain::range(0, max_value), ProcessId(j)));
         }
 
         // Root initiates a reset wave, resetting its own value.
@@ -91,8 +85,7 @@ impl DistributedReset {
                 [cj, snj, cp, snp],
                 [cj, snj, vj],
                 move |s| {
-                    s.get_bool(snj) != s.get_bool(snp)
-                        || (s.get(cj) == RED && s.get(cp) == GREEN)
+                    s.get_bool(snj) != s.get_bool(snp) || (s.get(cj) == RED && s.get(cp) == GREEN)
                 },
                 move |s| {
                     let (c, sn) = (s.get(cp), s.get(snp));
@@ -181,9 +174,17 @@ impl DistributedReset {
     /// The wave-consistency constraint `R.j` (identical to the diffusing
     /// computation's; the application value is unconstrained).
     pub fn constraint(&self, j: usize) -> Predicate {
-        assert!(j > 0 && j < self.tree.len(), "R.j is defined for non-root nodes");
+        assert!(
+            j > 0 && j < self.tree.len(),
+            "R.j is defined for non-root nodes"
+        );
         let p = self.tree.parent(j);
-        let (cj, snj, cp, snp) = (self.color[j], self.session[j], self.color[p], self.session[p]);
+        let (cj, snj, cp, snp) = (
+            self.color[j],
+            self.session[j],
+            self.color[p],
+            self.session[p],
+        );
         Predicate::new(format!("R.{j}"), [cj, snj, cp, snp], move |s| {
             (s.get(cj) == s.get(cp) && s.get_bool(snj) == s.get_bool(snp))
                 || (s.get(cj) == GREEN && s.get(cp) == RED)
@@ -221,7 +222,9 @@ impl DistributedReset {
 
     /// Whether every node's application value equals the default.
     pub fn all_reset(&self, state: &State) -> bool {
-        self.value.iter().all(|&v| state.get(v) == self.default_value)
+        self.value
+            .iter()
+            .all(|&v| state.get(v) == self.default_value)
     }
 }
 
@@ -254,14 +257,10 @@ mod tests {
 
         // One full wave (or two) cleans everything: run until all values
         // are default again.
-        let clean = Predicate::new(
-            "all-reset",
-            (0..7).map(|j| reset.value_var(j)),
-            {
-                let vals: Vec<VarId> = (0..7).map(|j| reset.value_var(j)).collect();
-                move |s: &State| vals.iter().all(|&v| s.get(v) == 0)
-            },
-        );
+        let clean = Predicate::new("all-reset", (0..7).map(|j| reset.value_var(j)), {
+            let vals: Vec<VarId> = (0..7).map(|j| reset.value_var(j)).collect();
+            move |s: &State| vals.iter().all(|&v| s.get(v) == 0)
+        });
         let report = Executor::new(reset.program()).run(
             state,
             &mut RoundRobin::new(),
@@ -301,6 +300,9 @@ mod tests {
         assert!(reset.all_reset(&init));
         assert!(reset.invariant().holds(&init));
         assert!(reset.constraint(1).holds(&init));
-        assert!(reset.program().action(reset.initiate_action()).enabled(&init));
+        assert!(reset
+            .program()
+            .action(reset.initiate_action())
+            .enabled(&init));
     }
 }

@@ -174,7 +174,9 @@ impl TokenRing {
 
     /// The privileged nodes at `state`, in ring order.
     pub fn privileges(&self, state: &State) -> Vec<usize> {
-        (0..self.n).filter(|&j| self.is_privileged(state, j)).collect()
+        (0..self.n)
+            .filter(|&j| self.is_privileged(state, j))
+            .collect()
     }
 
     /// The token holder, if exactly one node is privileged.
@@ -481,9 +483,18 @@ mod tests {
         assert!(s.holds(&mk([2, 2, 2])), "all equal: root privileged");
         assert!(s.holds(&mk([3, 3, 2])), "descent at node 2, x.0 = x.2 + 1");
         assert!(s.holds(&mk([3, 2, 2])), "descent at node 1, x.0 = x.2 + 1");
-        assert!(!s.holds(&mk([1, 2, 2])), "increasing violates the first conjunct");
-        assert!(!s.holds(&mk([3, 2, 1])), "x.0 = x.2 + 2 violates the second conjunct");
-        assert!(!s.holds(&mk([3, 3, 1])), "gap of two violates the second conjunct");
+        assert!(
+            !s.holds(&mk([1, 2, 2])),
+            "increasing violates the first conjunct"
+        );
+        assert!(
+            !s.holds(&mk([3, 2, 1])),
+            "x.0 = x.2 + 2 violates the second conjunct"
+        );
+        assert!(
+            !s.holds(&mk([3, 3, 1])),
+            "gap of two violates the second conjunct"
+        );
     }
 
     #[test]

@@ -26,14 +26,15 @@ impl Tree {
             assert!(p < n, "parent of {j} out of range");
         }
         // Every node must reach the root in < n hops.
-        for mut j in 0..n {
+        for start in 0..n {
+            let mut j = start;
             for _ in 0..n {
                 if j == 0 {
                     break;
                 }
                 j = parent[j];
             }
-            assert_eq!(j, 0, "parent vector contains a cycle");
+            assert_eq!(j, 0, "parent vector contains a cycle (at {start})");
         }
         Tree { parent }
     }
@@ -57,9 +58,7 @@ impl Tree {
     /// Panics if `n == 0`.
     pub fn star(n: usize) -> Self {
         assert!(n > 0);
-        Tree {
-            parent: (0..n).map(|j| if j == 0 { 0 } else { 0 }).collect(),
-        }
+        Tree { parent: vec![0; n] }
     }
 
     /// A balanced binary tree with `n` nodes in heap layout
@@ -71,7 +70,9 @@ impl Tree {
     pub fn binary(n: usize) -> Self {
         assert!(n > 0);
         Tree {
-            parent: (0..n).map(|j| if j == 0 { 0 } else { (j - 1) / 2 }).collect(),
+            parent: (0..n)
+                .map(|j| if j == 0 { 0 } else { (j - 1) / 2 })
+                .collect(),
         }
     }
 
@@ -107,7 +108,9 @@ impl Tree {
 
     /// The children of `j`, in increasing order.
     pub fn children(&self, j: usize) -> Vec<usize> {
-        (1..self.parent.len()).filter(|&k| self.parent[k] == j).collect()
+        (1..self.parent.len())
+            .filter(|&k| self.parent[k] == j)
+            .collect()
     }
 
     /// Whether `j` has no children.

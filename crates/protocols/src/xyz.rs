@@ -22,8 +22,8 @@
 
 use nonmask::{Design, DesignError};
 use nonmask_graph::NodePartition;
-use nonmask_program::{Predicate, Program, VarId};
 use nonmask_program::Domain;
+use nonmask_program::{Predicate, Program, VarId};
 
 /// Upper bound of the variable domains used by the example designs.
 pub const BOUND: i64 = 4;
@@ -47,7 +47,10 @@ fn constraints(x: VarId, y: VarId, z: VarId) -> (Predicate, Predicate) {
 }
 
 fn partition(x: VarId, y: VarId, z: VarId) -> NodePartition {
-    NodePartition::new().group("x", [x]).group("y", [y]).group("z", [z])
+    NodePartition::new()
+        .group("x", [x])
+        .group("y", [y])
+        .group("z", [z])
 }
 
 /// The §4 design: repair `x != y` by bumping `y`, repair `x <= z` by
@@ -249,9 +252,15 @@ mod tests {
         let (design, _) = interfering().unwrap();
         let report = design.verify().unwrap();
         assert!(!report.theorem.applies());
-        assert!(!report.convergence.converges(), "the paper's oscillation exists");
+        assert!(
+            !report.convergence.converges(),
+            "the paper's oscillation exists"
+        );
         assert!(!report.is_tolerant());
-        assert!(report.worst_case_moves.is_none(), "no finite bound under livelock");
+        assert!(
+            report.worst_case_moves.is_none(),
+            "no finite bound under livelock"
+        );
     }
 
     #[test]

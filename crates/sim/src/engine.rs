@@ -184,11 +184,7 @@ impl<'p> Simulation<'p> {
     ///
     /// Panics if `groups` does not cover every process.
     pub fn partition(&mut self, groups: &[usize], rounds: u64) {
-        assert_eq!(
-            groups.len(),
-            self.views.len(),
-            "one group id per process"
-        );
+        assert_eq!(groups.len(), self.views.len(), "one group id per process");
         self.partition_group.copy_from_slice(groups);
         self.partition_until = self.rounds + rounds;
     }
@@ -241,7 +237,9 @@ impl<'p> Simulation<'p> {
         }
 
         // 3. Heartbeats.
-        if self.config.heartbeat_period > 0 && self.rounds % self.config.heartbeat_period == 0 {
+        if self.config.heartbeat_period > 0
+            && self.rounds.is_multiple_of(self.config.heartbeat_period)
+        {
             for p in 0..self.views.len() {
                 for var in self.refinement.vars_of(p) {
                     let value = self.views[p].get(var);
@@ -310,13 +308,10 @@ impl<'p> Simulation<'p> {
     /// domain minima and all of its caches are cleared to stale minima.
     pub fn crash_restart(&mut self, p: usize) {
         for var in self.program.var_ids() {
-            if self.refinement.owner_of(var) == p {
-                let min = self.program.var(var).domain().min_value();
-                self.views[p].set(var, min);
-            } else {
-                let min = self.program.var(var).domain().min_value();
-                self.views[p].set(var, min);
-            }
+            // Own variables and cached remote views alike reset to the
+            // domain minimum — the restarted process remembers nothing.
+            let min = self.program.var(var).domain().min_value();
+            self.views[p].set(var, min);
         }
         self.inboxes[p].clear();
     }
@@ -362,7 +357,10 @@ mod tests {
         let mut sim = Simulation::new(ring.program(), refinement, corrupt, config);
         let report = sim.run_until_stable(&ring.invariant(), 3);
         assert!(report.stabilized_at_round.is_some());
-        assert!(report.messages_dropped > 0, "the lossy network dropped something");
+        assert!(
+            report.messages_dropped > 0,
+            "the lossy network dropped something"
+        );
     }
 
     #[test]
@@ -374,7 +372,10 @@ mod tests {
             dc.program(),
             refinement,
             dc.initial_state(),
-            SimConfig { seed: 4, ..SimConfig::default() },
+            SimConfig {
+                seed: 4,
+                ..SimConfig::default()
+            },
         );
         // Let the wave run, then corrupt three nodes.
         for _ in 0..10 {
@@ -395,8 +396,12 @@ mod tests {
     fn ground_truth_assembles_owner_views() {
         let (ring, refinement) = ring_sim(3, 3, SimConfig::default());
         let initial = ring.initial_state();
-        let sim =
-            Simulation::new(ring.program(), refinement, initial.clone(), SimConfig::default());
+        let sim = Simulation::new(
+            ring.program(),
+            refinement,
+            initial.clone(),
+            SimConfig::default(),
+        );
         assert_eq!(sim.ground_truth(), initial);
     }
 
@@ -462,15 +467,18 @@ mod tests {
         let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).unwrap();
         let mut sim = Simulation::new(ring.program(), refinement, corrupt, config);
         let report = sim.run_until_stable(&ring.invariant(), 5);
-        assert!(report.stabilized_at_round.is_some(), "{} rounds", report.rounds);
+        assert!(
+            report.stabilized_at_round.is_some(),
+            "{} rounds",
+            report.rounds
+        );
     }
 
     #[test]
     fn partition_blocks_then_heals() {
         let (ring, refinement) = ring_sim(4, 4, SimConfig::default());
         let corrupt = ring.program().state_from([2, 0, 3, 1]).unwrap();
-        let mut sim =
-            Simulation::new(ring.program(), refinement, corrupt, SimConfig::default());
+        let mut sim = Simulation::new(ring.program(), refinement, corrupt, SimConfig::default());
         // Split the ring in half for 50 rounds: cross-group updates drop.
         sim.partition(&[0, 0, 1, 1], 50);
         for _ in 0..50 {

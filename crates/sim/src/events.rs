@@ -53,8 +53,14 @@ impl Default for EventConfig {
 
 #[derive(Debug, Clone, PartialEq)]
 enum EventKind {
-    Wake { process: usize },
-    Deliver { process: usize, var: VarId, value: i64 },
+    Wake {
+        process: usize,
+    },
+    Deliver {
+        process: usize,
+        var: VarId,
+        value: i64,
+    },
 }
 
 /// Queue entry ordered by `(time, seq)`; `Reverse` turns the max-heap into
@@ -195,7 +201,11 @@ impl<'p> EventSim<'p> {
         };
         self.now = event.time;
         match event.kind {
-            EventKind::Deliver { process, var, value } => {
+            EventKind::Deliver {
+                process,
+                var,
+                value,
+            } => {
                 self.views[process].set(var, value);
                 self.messages_delivered += 1;
             }
@@ -205,7 +215,11 @@ impl<'p> EventSim<'p> {
                     let k = actions.len() as u32;
                     for off in 0..k {
                         let idx = ((self.cursors[process] + off) % k) as usize;
-                        if self.program.action(actions[idx]).enabled(&self.views[process]) {
+                        if self
+                            .program
+                            .action(actions[idx])
+                            .enabled(&self.views[process])
+                        {
                             self.cursors[process] = (idx as u32 + 1) % k;
                             let action = self.program.action(actions[idx]);
                             action.apply(&mut self.views[process]);
@@ -246,17 +260,25 @@ impl<'p> EventSim<'p> {
                 continue;
             }
             let latency = self.exp_sample(self.config.mean_latency);
-            self.push(self.now + latency, EventKind::Deliver {
-                process: reader,
-                var,
-                value,
-            });
+            self.push(
+                self.now + latency,
+                EventKind::Deliver {
+                    process: reader,
+                    var,
+                    value,
+                },
+            );
         }
     }
 
     /// Run until `pred` holds on the ground truth continuously for
     /// `window` units of virtual time, or until `max_time`.
-    pub fn run_until_stable(&mut self, pred: &Predicate, window: f64, max_time: f64) -> EventReport {
+    pub fn run_until_stable(
+        &mut self,
+        pred: &Predicate,
+        window: f64,
+        max_time: f64,
+    ) -> EventReport {
         let mut hold_start: Option<f64> = None;
         let mut stabilized_at = None;
         while self.now < max_time {
@@ -298,7 +320,11 @@ mod tests {
         let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).unwrap();
         let mut sim = EventSim::new(ring.program(), refinement, corrupt, EventConfig::default());
         let report = sim.run_until_stable(&ring.invariant(), 5.0, 10_000.0);
-        assert!(report.stabilized_at.is_some(), "end time {}", report.end_time);
+        assert!(
+            report.stabilized_at.is_some(),
+            "end time {}",
+            report.end_time
+        );
         assert_eq!(ring.privileges(&report.final_state).len(), 1);
     }
 
@@ -326,8 +352,15 @@ mod tests {
         let mut corrupt = dc.initial_state();
         corrupt.set(dc.color_var(2), nonmask_protocols::diffusing::RED);
         corrupt.set(dc.session_var(5), 1);
-        let mut sim =
-            EventSim::new(dc.program(), refinement, corrupt, EventConfig { seed: 9, ..EventConfig::default() });
+        let mut sim = EventSim::new(
+            dc.program(),
+            refinement,
+            corrupt,
+            EventConfig {
+                seed: 9,
+                ..EventConfig::default()
+            },
+        );
         let report = sim.run_until_stable(&dc.invariant(), 5.0, 10_000.0);
         assert!(report.stabilized_at.is_some());
     }
@@ -341,7 +374,10 @@ mod tests {
                 ring.program(),
                 refinement.clone(),
                 ring.initial_state(),
-                EventConfig { seed, ..EventConfig::default() },
+                EventConfig {
+                    seed,
+                    ..EventConfig::default()
+                },
             );
             let mut last = 0.0;
             for _ in 0..500 {

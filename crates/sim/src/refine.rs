@@ -229,6 +229,9 @@ mod tests {
         let x0 = b.var_of("x.0", Domain::Bool, ProcessId(0));
         b.closure_action("noop", [x0], [], |_| true, |_| {});
         let p = b.build();
-        assert!(matches!(Refinement::new(&p), Err(RefineError::NoWrites { .. })));
+        assert!(matches!(
+            Refinement::new(&p),
+            Err(RefineError::NoWrites { .. })
+        ));
     }
 }

@@ -8,14 +8,13 @@
 //! protocols in this repository (token ring, diffusing computation)
 //! stabilize regardless, which the tests observe on real threads.
 //!
-//! Built on `crossbeam::thread::scope` (borrowing the program and locks
-//! without `Arc` gymnastics) and `parking_lot::Mutex` (cheap uncontended
-//! locking; one lock per variable).
+//! Built on `std::thread::scope` (borrowing the program and locks without
+//! `Arc` gymnastics) and `std::sync::Mutex` (one lock per variable).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use nonmask_program::{Predicate, Program, State};
-use parking_lot::Mutex;
 
 use crate::refine::Refinement;
 
@@ -61,14 +60,14 @@ pub fn run_threaded_until(
     let remaining = AtomicU64::new(attempts);
     let stop = AtomicBool::new(false);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for p in 0..refinement.process_count() {
             let actions = refinement.actions_of(p);
             let locks = &locks;
             let steps = &steps;
             let remaining = &remaining;
             let stop = &stop;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 if actions.is_empty() {
                     return;
                 }
@@ -90,8 +89,8 @@ pub fn run_threaded_until(
                     // Periodically take a consistent snapshot (all locks,
                     // index order) and evaluate the stop predicate.
                     if let Some(pred) = stop_when {
-                        if attempt % SNAPSHOT_PERIOD == 0 {
-                            let guards: Vec<_> = locks.iter().map(|m| m.lock()).collect();
+                        if attempt.is_multiple_of(SNAPSHOT_PERIOD) {
+                            let guards: Vec<_> = locks.iter().map(|m| m.lock().unwrap()).collect();
                             let full: State = guards.iter().map(|g| **g).collect();
                             drop(guards);
                             if pred.holds(&full) {
@@ -106,7 +105,7 @@ pub fn run_threaded_until(
                     let action = program.action(aid);
                     // Low-atomicity read: one variable at a time.
                     for &r in action.reads() {
-                        let v = *locks[r.index()].lock();
+                        let v = *locks[r.index()].lock().unwrap();
                         snapshot.set(r, v);
                     }
                     if !action.enabled(&snapshot) {
@@ -114,16 +113,15 @@ pub fn run_threaded_until(
                     }
                     action.apply(&mut snapshot);
                     for &w in action.writes() {
-                        *locks[w.index()].lock() = snapshot.get(w);
+                        *locks[w.index()].lock().unwrap() = snapshot.get(w);
                     }
                     steps.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
-    let final_state: State = locks.iter().map(|m| *m.lock()).collect();
+    let final_state: State = locks.iter().map(|m| *m.lock().unwrap()).collect();
     ThreadedReport {
         final_state,
         steps: steps.into_inner(),

@@ -37,9 +37,16 @@ fn main() {
     let design = aa.design().expect("even ring");
     let graph = design.constraint_graph().expect("derivable");
     let report = design.verify().expect("bounded");
-    println!("constraint graph: {} ({} nodes in a ring)", graph.shape(), graph.node_count());
+    println!(
+        "constraint graph: {} ({} nodes in a ring)",
+        graph.shape(),
+        graph.node_count()
+    );
     println!("theorem: {:?}", report.theorem.name());
-    assert!(matches!(report.theorem, TheoremOutcome::Theorem3 { layers: 2 }));
+    assert!(matches!(
+        report.theorem,
+        TheoremOutcome::Theorem3 { layers: 2 }
+    ));
     println!("tolerant (weakly fair): {}", report.is_tolerant());
     println!(
         "converges under the unfair daemon: {} — this protocol NEEDS fairness\n",
@@ -58,7 +65,10 @@ fn main() {
         aa.initial_state(),
         &mut Random::seeded(11),
         &mut faults,
-        &RunConfig::default().max_steps(60).record_trace(true).watch(&s),
+        &RunConfig::default()
+            .max_steps(60)
+            .record_trace(true)
+            .watch(&s),
     );
 
     println!("timeline ('.'=idle w=waiting E=engaged; '-'=free '<'=left '>'=right):");

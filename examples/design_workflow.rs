@@ -28,7 +28,11 @@ fn report(label: &str, design: &nonmask::Design) {
                         .iter()
                         .map(|e| design.constraints()[graph.edge_ref(*e).constraint().0].name())
                         .collect();
-                    println!("      node {}: {}", graph.node_ref(*node).name(), names.join(" -> "));
+                    println!(
+                        "      node {}: {}",
+                        graph.node_ref(*node).name(),
+                        names.join(" -> ")
+                    );
                 }
             }
         }
@@ -46,9 +50,18 @@ fn report(label: &str, design: &nonmask::Design) {
         "    model check: convergence(fair)={} convergence(unfair)={} worst-case moves={}",
         report.convergence.converges(),
         report.convergence_unfair.converges(),
-        report.worst_case_moves.map_or("∞".into(), |m| m.to_string()),
+        report
+            .worst_case_moves
+            .map_or("∞".into(), |m| m.to_string()),
     );
-    println!("    verdict: {}\n", if report.is_tolerant() { "T-tolerant for S ✓" } else { "NOT tolerant ✗" });
+    println!(
+        "    verdict: {}\n",
+        if report.is_tolerant() {
+            "T-tolerant for S ✓"
+        } else {
+            "NOT tolerant ✗"
+        }
+    );
 }
 
 fn main() {
@@ -72,9 +85,15 @@ fn main() {
     // Three choices of convergence actions for the same constraints:
     report("§4 design: repair y and z (out-tree)", &good);
     let (ordered, _) = xyz::ordered().expect("design");
-    report("§6 design: both repair x, one decreases (ordered)", &ordered);
+    report(
+        "§6 design: both repair x, one decreases (ordered)",
+        &ordered,
+    );
     let (bad, _) = xyz::interfering().expect("design");
-    report("§6 anti-design: both repair x carelessly (interfering)", &bad);
+    report(
+        "§6 anti-design: both repair x carelessly (interfering)",
+        &bad,
+    );
 
     println!("Interference in the bad design: each repair can violate the other's");
     println!("constraint, and the model checker exhibits the resulting livelock —");

@@ -13,7 +13,13 @@ use nonmask_protocols::Tree;
 
 fn render_colors(dc: &DiffusingComputation, state: &nonmask_program::State) -> String {
     (0..dc.tree().len())
-        .map(|j| if state.get(dc.color_var(j)) == RED { 'R' } else { 'g' })
+        .map(|j| {
+            if state.get(dc.color_var(j)) == RED {
+                'R'
+            } else {
+                'g'
+            }
+        })
         .collect()
 }
 
@@ -35,14 +41,21 @@ fn main() {
         dc.initial_state(),
         &mut Random::seeded(42),
         &mut faults,
-        &RunConfig::default().max_steps(60).record_trace(true).watch(&s),
+        &RunConfig::default()
+            .max_steps(60)
+            .record_trace(true)
+            .watch(&s),
     );
 
     println!("diffusing computation on a 7-node binary tree (root = node 0)");
     println!("colors per step (g = green, R = red); S = invariant holds\n");
     let trace = report.trace.expect("trace recorded");
     if let Some(init) = trace.initial() {
-        println!("  init            {}  S={}", render_colors(&dc, init), s.holds(init));
+        println!(
+            "  init            {}  S={}",
+            render_colors(&dc, init),
+            s.holds(init)
+        );
     }
     for step in trace.steps() {
         let tag = match step.action {

@@ -43,7 +43,10 @@ fn main() {
     let span = compute_fault_span(&space, program, &s, &faults);
     let t = span.to_predicate(&space, "T");
 
-    println!("|S| = {:>3}   (legitimate states)", space.count_satisfying(&s));
+    println!(
+        "|S| = {:>3}   (legitimate states)",
+        space.count_satisfying(&s)
+    );
     println!("|T| = {:>3}   (derived fault span)", span.len());
     println!("|U| = {:>3}   (all states)\n", space.len());
 
@@ -51,7 +54,10 @@ fn main() {
     let conv = check_convergence(&space, program, &t, &s, Fairness::WeaklyFair);
     let moves = worst_case_moves(&space, program, &t, &s);
     println!("T closed under program actions: {t_closed}");
-    println!("every fair computation from T reaches S: {}", conv.converges());
+    println!(
+        "every fair computation from T reaches S: {}",
+        conv.converges()
+    );
     println!("worst-case moves outside S: {:?}\n", moves);
 
     assert!(t_closed && conv.converges());

@@ -38,9 +38,11 @@ fn main() {
         p2.enabled_actions(st).len() == 1
     });
     for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-        let verdict =
-            check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
-        println!("convergence under the {fairness} daemon: {}", verdict.converges());
+        let verdict = check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
+        println!(
+            "convergence under the {fairness} daemon: {}",
+            verdict.converges()
+        );
         assert!(verdict.converges());
     }
 

@@ -11,7 +11,8 @@ use nonmask_sim::{Refinement, SimConfig, Simulation};
 
 fn main() {
     let ring = TokenRing::new(8, 8);
-    let refinement = Refinement::new(ring.program()).expect("refinable: every action writes one process");
+    let refinement =
+        Refinement::new(ring.program()).expect("refinable: every action writes one process");
 
     println!(
         "token ring n=8 refined to message passing: {} processes, {} cache channels\n",
@@ -19,7 +20,10 @@ fn main() {
         refinement.channel_count()
     );
 
-    let corrupt = ring.program().state_from([7, 3, 1, 6, 2, 5, 0, 4]).expect("in domain");
+    let corrupt = ring
+        .program()
+        .state_from([7, 3, 1, 6, 2, 5, 0, 4])
+        .expect("in domain");
     let config = SimConfig {
         seed: 7,
         loss_rate: 0.2, // every message dropped with probability 0.2

@@ -47,7 +47,12 @@ fn main() {
 
     // 3. The design: fault span defaults to `true` (stabilizing).
     let design = Design::builder(program)
-        .partition(NodePartition::new().group("x", [x]).group("y", [y]).group("z", [z]))
+        .partition(
+            NodePartition::new()
+                .group("x", [x])
+                .group("y", [y])
+                .group("z", [z]),
+        )
         .constraint("x!=y", c_neq, fix_y)
         .constraint("x<=z", c_le, fix_z)
         .build()
@@ -55,7 +60,11 @@ fn main() {
 
     // 4. Verify: theorem side conditions + exhaustive model checking.
     let graph = design.constraint_graph().expect("derivable graph");
-    println!("constraint graph ({}):\n{}", graph.shape(), graph.to_dot(design.program()));
+    println!(
+        "constraint graph ({}):\n{}",
+        graph.shape(),
+        graph.to_dot(design.program())
+    );
 
     let report = design.verify().expect("bounded state space");
     println!("{}", report.summary());

@@ -12,7 +12,13 @@ use nonmask_protocols::token_ring::TokenRing;
 
 fn privileges_string(ring: &TokenRing, state: &nonmask_program::State) -> String {
     (0..ring.len())
-        .map(|j| if ring.is_privileged(state, j) { '*' } else { '.' })
+        .map(|j| {
+            if ring.is_privileged(state, j) {
+                '*'
+            } else {
+                '.'
+            }
+        })
         .collect()
 }
 
@@ -35,7 +41,9 @@ fn main() {
     let report = Executor::new(ring.program()).run(
         corrupt,
         &mut RoundRobin::new(),
-        &RunConfig::default().stop_when(&ring.invariant(), 1).record_trace(true),
+        &RunConfig::default()
+            .stop_when(&ring.invariant(), 1)
+            .record_trace(true),
     );
     let trace = report.trace.expect("trace recorded");
     for step in trace.steps() {
@@ -46,12 +54,18 @@ fn main() {
             privileges_string(&ring, &step.state)
         );
     }
-    println!("\nstabilized after {} steps; now circulating:\n", report.steps);
+    println!(
+        "\nstabilized after {} steps; now circulating:\n",
+        report.steps
+    );
 
     let mut state = report.final_state;
     for round in 0..12 {
         let holder = ring.token_holder(&state).expect("exactly one privilege");
-        println!("  round {round:<2} token at node {holder}  priv={}", privileges_string(&ring, &state));
+        println!(
+            "  round {round:<2} token at node {holder}  priv={}",
+            privileges_string(&ring, &state)
+        );
         let enabled = ring.program().enabled_actions(&state);
         assert_eq!(enabled.len(), 1, "exactly one enabled action inside S");
         ring.program().action(enabled[0]).apply(&mut state);

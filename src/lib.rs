@@ -16,8 +16,8 @@
 
 pub use nonmask;
 pub use nonmask_checker;
-pub use nonmask_lang;
 pub use nonmask_graph;
+pub use nonmask_lang;
 pub use nonmask_program;
 pub use nonmask_protocols;
 pub use nonmask_sim;

@@ -20,9 +20,7 @@ use nonmask_checker::{
     check_convergence, expected_moves, worst_case_moves, ConvergenceResult, Fairness, StateSpace,
 };
 use nonmask_program::scheduler::{Adversarial, Random, RoundRobin};
-use nonmask_program::{
-    ActionKind, Domain, Executor, Predicate, Program, RunConfig, VarId,
-};
+use nonmask_program::{ActionKind, Domain, Executor, Predicate, Program, RunConfig, VarId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +28,9 @@ const VARS: usize = 3;
 
 /// Index of a state in the 3-boolean truth table.
 fn state_index(s: &nonmask_program::State) -> usize {
-    (0..VARS).fold(0, |acc, i| acc | ((s.get_bool(VarId::from_index(i)) as usize) << i))
+    (0..VARS).fold(0, |acc, i| {
+        acc | ((s.get_bool(VarId::from_index(i)) as usize) << i)
+    })
 }
 
 /// A random table-driven program: each action has a random guard mask and
@@ -38,7 +38,9 @@ fn state_index(s: &nonmask_program::State) -> usize {
 fn random_program(rng: &mut StdRng) -> Program {
     let n_actions = rng.gen_range(2..=4);
     let mut b = Program::builder("random");
-    let vars: Vec<VarId> = (0..VARS).map(|i| b.var(format!("v{i}"), Domain::Bool)).collect();
+    let vars: Vec<VarId> = (0..VARS)
+        .map(|i| b.var(format!("v{i}"), Domain::Bool))
+        .collect();
     for a in 0..n_actions {
         let guard_mask: u8 = rng.gen();
         let value_table: u8 = rng.gen();
@@ -141,7 +143,10 @@ fn checker_verdicts_match_execution() {
                         let next = program.action(a).successor(w);
                         states.contains(&next)
                     });
-                    assert!(has_internal, "trial {trial}: witness state has no internal edge");
+                    assert!(
+                        has_internal,
+                        "trial {trial}: witness state has no internal edge"
+                    );
                 }
             }
             ConvergenceResult::EscapesFaultSpan { .. } => {
@@ -185,9 +190,102 @@ fn checker_verdicts_match_execution() {
 
     // The random family is rich enough to exercise every verdict.
     assert!(converged_fair > 10, "converged(fair): {converged_fair}");
-    assert!(converged_unfair > 5, "converged(unfair): {converged_unfair}");
+    assert!(
+        converged_unfair > 5,
+        "converged(unfair): {converged_unfair}"
+    );
     assert!(deadlocks > 10, "deadlocks: {deadlocks}");
     assert!(divergences > 10, "divergences: {divergences}");
+}
+
+/// Serial and multi-threaded verification agree on *every* design in the
+/// protocols crate: same verdicts, same witnesses, same counts and bounds.
+/// (Timings are the only report fields allowed to differ.)
+#[test]
+fn st_and_mt_verdicts_identical_on_all_protocols() {
+    use nonmask::{CheckOptions, Design};
+    use nonmask_protocols::aggregate::WaveAggregation;
+    use nonmask_protocols::atomic::AtomicActions;
+    use nonmask_protocols::coloring::TreeColoring;
+    use nonmask_protocols::diffusing::DiffusingComputation;
+    use nonmask_protocols::reset::DistributedReset;
+    use nonmask_protocols::token_ring::windowed_design;
+    use nonmask_protocols::{xyz, Tree};
+
+    let tree = Tree::from_parents(vec![0, 0, 1]);
+    let designs: Vec<(&str, Design)> = vec![
+        ("xyz out-tree", xyz::out_tree().unwrap().0),
+        ("xyz ordered", xyz::ordered().unwrap().0),
+        ("xyz interfering", xyz::interfering().unwrap().0),
+        ("windowed token ring", windowed_design(3, 3).unwrap().0),
+        (
+            "diffusing",
+            DiffusingComputation::new(&tree).design().unwrap(),
+        ),
+        ("coloring", TreeColoring::new(&tree, 3).design().unwrap()),
+        (
+            "reset",
+            DistributedReset::new(&tree, 2, 0).design().unwrap(),
+        ),
+        (
+            "aggregate",
+            WaveAggregation::new(&tree, 2).design().unwrap(),
+        ),
+        ("atomic actions", AtomicActions::new(4).design().unwrap()),
+    ];
+
+    for (name, design) in designs {
+        let st = design
+            .clone()
+            .with_options(CheckOptions::serial())
+            .verify()
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let mt = design
+                .clone()
+                .with_options(CheckOptions::default().threads(threads))
+                .verify()
+                .unwrap();
+            assert_eq!(st.shape, mt.shape, "{name}: shape ({threads} threads)");
+            assert_eq!(
+                st.closure.invariant, mt.closure.invariant,
+                "{name}: S-closure witness ({threads} threads)"
+            );
+            assert_eq!(
+                st.closure.fault_span, mt.closure.fault_span,
+                "{name}: T-closure witness ({threads} threads)"
+            );
+            assert_eq!(
+                st.closure.unguarded_constraints, mt.closure.unguarded_constraints,
+                "{name}: unguarded constraints ({threads} threads)"
+            );
+            assert_eq!(
+                st.closure.non_establishing, mt.closure.non_establishing,
+                "{name}: non-establishing witnesses ({threads} threads)"
+            );
+            assert_eq!(
+                format!("{:?}", st.theorem),
+                format!("{:?}", mt.theorem),
+                "{name}: theorem outcome ({threads} threads)"
+            );
+            assert_eq!(
+                st.convergence, mt.convergence,
+                "{name}: fair convergence ({threads} threads)"
+            );
+            assert_eq!(
+                st.convergence_unfair, mt.convergence_unfair,
+                "{name}: unfair convergence ({threads} threads)"
+            );
+            assert_eq!(
+                st.worst_case_moves, mt.worst_case_moves,
+                "{name}: worst-case bound ({threads} threads)"
+            );
+            assert_eq!(
+                st.state_counts, mt.state_counts,
+                "{name}: state counts ({threads} threads)"
+            );
+        }
+    }
 }
 
 #[test]

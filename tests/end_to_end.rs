@@ -2,8 +2,8 @@
 //! inject faults → refine to message passing → run on threads.
 
 use nonmask_checker::{worst_case_moves, StateSpace};
-use nonmask_program::scheduler::{Adversarial, Random, RoundRobin};
 use nonmask_program::fault::BurstCorruption;
+use nonmask_program::scheduler::{Adversarial, Random, RoundRobin};
 use nonmask_program::{Executor, Predicate, RunConfig, StopReason, TransientCorruption};
 use nonmask_protocols::diffusing::DiffusingComputation;
 use nonmask_protocols::token_ring::TokenRing;
@@ -28,7 +28,11 @@ fn diffusing_lifecycle() {
     let run = Executor::new(dc.program()).run(
         dc.initial_state(),
         &mut RoundRobin::new(),
-        &RunConfig::default().max_steps(500).watch(&s).validate_writes(true).validate_domains(true),
+        &RunConfig::default()
+            .max_steps(500)
+            .watch(&s)
+            .validate_writes(true)
+            .validate_domains(true),
     );
     assert_eq!(run.stop, StopReason::MaxSteps);
     assert_eq!(run.watch_hits[0], run.steps, "S held after every step");
@@ -50,7 +54,11 @@ fn diffusing_lifecycle() {
         dc.program(),
         refinement.clone(),
         dc.initial_state(),
-        SimConfig { seed: 1, loss_rate: 0.1, ..SimConfig::default() },
+        SimConfig {
+            seed: 1,
+            loss_rate: 0.1,
+            ..SimConfig::default()
+        },
     );
     sim.corrupt_process(3);
     sim.corrupt_process(5);
@@ -58,8 +66,13 @@ fn diffusing_lifecycle() {
     assert!(sim_report.stabilized_at_round.is_some());
 
     // 5. Real threads observe S on a consistent snapshot.
-    let threaded =
-        run_threaded_until(dc.program(), &refinement, &dc.initial_state(), 50_000_000, Some(&s));
+    let threaded = run_threaded_until(
+        dc.program(),
+        &refinement,
+        &dc.initial_state(),
+        50_000_000,
+        Some(&s),
+    );
     assert!(threaded.stopped_on_predicate);
     assert!(s.holds(&threaded.final_state));
 }
@@ -133,14 +146,14 @@ fn windowed_ring_bound_consistency() {
     assert_eq!(report.worst_case_moves, direct);
 }
 
-/// States, domains, and fault events serialize (the `serde` feature of
-/// `nonmask-program`, enabled by this umbrella crate).
+/// States and domains serialize through `nonmask_program::json` (the
+/// in-tree replacement for the old `serde` feature).
 #[test]
-fn serde_roundtrips() {
+fn json_roundtrips() {
+    use nonmask_program::json;
     use nonmask_program::{Domain, State};
     let s = State::new(vec![3, 1, 4]);
-    let json = serde_json::to_string(&s).unwrap();
-    let back: State = serde_json::from_str(&json).unwrap();
+    let back = json::state_from_json(&json::state_to_json(&s)).unwrap();
     assert_eq!(s, back);
 
     for d in [
@@ -149,8 +162,7 @@ fn serde_roundtrips() {
         Domain::enumeration(["green", "red"]),
         Domain::Unbounded,
     ] {
-        let json = serde_json::to_string(&d).unwrap();
-        let back: Domain = serde_json::from_str(&json).unwrap();
+        let back = json::domain_from_json(&json::domain_to_json(&d)).unwrap();
         assert_eq!(d, back);
     }
 }
@@ -175,12 +187,16 @@ fn divergence_counterexample_path() {
     // The path is a real computation: consecutive states connected by an
     // enabled action.
     for w in path.windows(2) {
-        let connected = program.enabled_actions(&w[0]).iter().any(|&a| {
-            program.action(a).successor(&w[0]) == w[1]
-        });
+        let connected = program
+            .enabled_actions(&w[0])
+            .iter()
+            .any(|&a| program.action(a).successor(&w[0]) == w[1]);
         assert!(connected, "path step is not a transition");
     }
-    assert!(states.contains(path.last().unwrap()), "path ends in the livelock");
+    assert!(
+        states.contains(path.last().unwrap()),
+        "path ends in the livelock"
+    );
 }
 
 /// Doubling `steps_per_round` never slows down stabilization (in rounds).
@@ -194,7 +210,10 @@ fn sim_steps_per_round_speedup() {
             ring.program(),
             refinement.clone(),
             corrupt.clone(),
-            SimConfig { steps_per_round: spr, ..SimConfig::default() },
+            SimConfig {
+                steps_per_round: spr,
+                ..SimConfig::default()
+            },
         );
         sim.run_until_stable(&ring.invariant(), 3)
             .stabilized_at_round
@@ -217,11 +236,7 @@ fn stair_verifies_unfair_too() {
         let xs = xs.clone();
         move |s| (1..xs.len()).all(|j| s.get(xs[j - 1]) >= s.get(xs[j]))
     });
-    let stair = ConvergenceStair::new([
-        Predicate::always_true(),
-        layer1,
-        design.invariant(),
-    ]);
+    let stair = ConvergenceStair::new([Predicate::always_true(), layer1, design.invariant()]);
     let report = stair.verify(&space, &program, Fairness::Unfair);
     assert!(report.ok(), "{report:?}");
 }
@@ -238,7 +253,10 @@ fn event_engine_window_resets() {
         ring.program(),
         refinement,
         corrupt,
-        EventConfig { seed: 5, ..EventConfig::default() },
+        EventConfig {
+            seed: 5,
+            ..EventConfig::default()
+        },
     );
     let report = sim.run_until_stable(&ring.invariant(), 3.0, 50_000.0);
     let at = report.stabilized_at.expect("stabilizes");
@@ -257,11 +275,7 @@ fn candidate_triple_detects_unclosed_span() {
     let x0 = ring.counter_var(0);
     // "x.0 <= 1" is not closed: the root increments x.0 to 2.
     let bogus_span = Predicate::new("x0<=1", [x0], move |s| s.get(x0) <= 1);
-    let triple = CandidateTriple::new(
-        ring.program().clone(),
-        ring.invariant(),
-        bogus_span,
-    );
+    let triple = CandidateTriple::new(ring.program().clone(), ring.invariant(), bogus_span);
     let space = StateSpace::enumerate(triple.program()).unwrap();
     let (_, t_violation) = triple.check_closure(&space);
     assert!(t_violation.is_some(), "the bogus span is escaped");

@@ -55,7 +55,13 @@ fn section3_global_repair_special_case() {
     let s = Predicate::new("S", [x, y], move |st| st.get(x) == 0 && st.get(y) == 0);
     let space = StateSpace::enumerate(&p).unwrap();
     assert!(is_closed(&space, &p, &s).is_none(), "trivially preserves S");
-    let r = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::WeaklyFair);
+    let r = check_convergence(
+        &space,
+        &p,
+        &Predicate::always_true(),
+        &s,
+        Fairness::WeaklyFair,
+    );
     assert!(r.converges());
     assert_eq!(
         worst_case_moves(&space, &p, &Predicate::always_true(), &s),
@@ -113,7 +119,9 @@ fn section5_rank_bound_dominates_real_runs() {
         let report = Executor::new(dc.program()).run(
             start,
             &mut Random::seeded(seed),
-            &RunConfig::default().stop_when(&s, 1).max_steps(10 * bound + 10),
+            &RunConfig::default()
+                .stop_when(&s, 1)
+                .max_steps(10 * bound + 10),
         );
         assert!(
             report.steps <= bound,
@@ -147,7 +155,10 @@ fn section6_ordering_separates_good_from_bad() {
 fn section7_token_ring_layered_design() {
     let (design, handles) = windowed_design(4, 3).unwrap();
     let report = design.verify().unwrap();
-    assert!(matches!(report.theorem, TheoremOutcome::Theorem3 { layers: 2 }));
+    assert!(matches!(
+        report.theorem,
+        TheoremOutcome::Theorem3 { layers: 2 }
+    ));
     assert!(report.is_tolerant());
 
     // The merged layer-2 action is the paper's final x.j != x.(j-1) →
@@ -161,7 +172,10 @@ fn section7_token_ring_layered_design() {
     let l2 = p.action(handles.layer2[0]);
     assert!(!l1.enabled(&st) && l2.enabled(&st), "x.0 > x.1: copy side");
     st.set(handles.x[1], 3);
-    assert!(l1.enabled(&st) && !l2.enabled(&st), "x.0 < x.1: repair side");
+    assert!(
+        l1.enabled(&st) && !l2.enabled(&st),
+        "x.0 < x.1: repair side"
+    );
     st.set(handles.x[1], 2);
     assert!(!l1.enabled(&st) && !l2.enabled(&st), "equal: neither");
 }
@@ -266,11 +280,7 @@ fn section7_convergence_stair() {
         let xs = xs.clone();
         move |s| (1..xs.len()).all(|j| s.get(xs[j - 1]) >= s.get(xs[j]))
     });
-    let stair = ConvergenceStair::new([
-        Predicate::always_true(),
-        layer1,
-        design.invariant(),
-    ]);
+    let stair = ConvergenceStair::new([Predicate::always_true(), layer1, design.invariant()]);
     assert_eq!(stair.height(), 2);
     let report = stair.verify(&space, &program, Fairness::WeaklyFair);
     assert!(report.ok(), "{report:?}");

@@ -1,10 +1,13 @@
 //! Property-based tests over the core invariants of the reproduction.
 
 use nonmask::TheoremOutcome;
-use nonmask_checker::{worst_case_moves, StateSpace};
+use nonmask_checker::{
+    check_convergence, check_convergence_opts, is_closed, is_closed_bits, worst_case_moves, Bitset,
+    CheckOptions, Fairness, StateSpace,
+};
 use nonmask_graph::Shape;
 use nonmask_program::scheduler::Random;
-use nonmask_program::{Executor, Predicate, RunConfig, State};
+use nonmask_program::{Domain, Executor, Predicate, Program, RunConfig, State};
 use nonmask_protocols::diffusing::DiffusingComputation;
 use nonmask_protocols::token_ring::TokenRing;
 use nonmask_protocols::Tree;
@@ -42,8 +45,8 @@ proptest! {
         let graph = design.constraint_graph().unwrap();
         prop_assert_eq!(graph.shape(), Shape::OutTree);
         let ranks = graph.ranks().unwrap();
-        for j in 0..tree.len() {
-            prop_assert_eq!(ranks[j] as usize, tree.depth(j) + 1);
+        for (j, &rank) in ranks.iter().enumerate() {
+            prop_assert_eq!(rank as usize, tree.depth(j) + 1);
         }
         // Full verification only on the smaller instances (4^6 = 4096 is
         // fine; keep the property fast).
@@ -136,5 +139,109 @@ proptest! {
         );
         let report = sim.run_until_stable(&ring.invariant(), 3);
         prop_assert!(report.stabilized_at_round.is_some());
+    }
+}
+
+/// Strategy: a random bounded domain (bool, small integer range, or enum).
+fn domain_strategy() -> BoxedStrategy<Domain> {
+    prop_oneof![
+        Just(Domain::Bool),
+        (-3i64..=3, 1i64..=3).prop_map(|(min, span)| Domain::range(min, min + span)),
+        (2usize..=4).prop_map(|n| Domain::enumeration((0..n).map(|i| format!("label{i}")))),
+    ]
+}
+
+/// Build a program over the given domains with one self-loop action (the
+/// id property concerns enumeration, not transitions).
+fn program_over(domains: Vec<Domain>) -> Program {
+    let mut b = Program::builder("random-domains");
+    for (i, d) in domains.into_iter().enumerate() {
+        b.var(format!("v{i}"), d);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arithmetic ids: for any mix of bounded domains, the [`StateId`] of
+    /// every enumerated state equals its enumeration position, and the
+    /// mixed-radix reverse lookup `id_of` inverts `state`.
+    #[test]
+    fn arithmetic_ids_equal_enumeration_position(
+        domains in proptest::collection::vec(domain_strategy(), 1..=5)
+    ) {
+        let p = program_over(domains);
+        let space = StateSpace::enumerate(&p).unwrap();
+        for (pos, id) in space.ids().enumerate() {
+            prop_assert_eq!(id.index(), pos);
+            prop_assert_eq!(space.id_of(space.state(id)), Some(id));
+        }
+    }
+}
+
+/// Serial and multi-threaded checking must be *bit-identical*: the same
+/// verdict, the same witness states, for every protocol and thread count.
+fn assert_parallel_matches_serial(
+    p: &Program,
+    t: &Predicate,
+    s: &Predicate,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let space = StateSpace::enumerate(p).unwrap();
+    let opts = CheckOptions::default().threads(threads);
+    for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
+        let serial = check_convergence(&space, p, t, s, fairness);
+        let parallel = check_convergence_opts(&space, p, t, s, fairness, opts);
+        prop_assert_eq!(
+            &serial,
+            &parallel,
+            "convergence({:?}) with {} threads",
+            fairness,
+            threads
+        );
+    }
+    let s_bits = Bitset::for_predicate(&space, s, opts);
+    prop_assert_eq!(
+        is_closed(&space, p, s),
+        is_closed_bits(&space, p, &s_bits, opts),
+        "closure with {} threads",
+        threads
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The thread count never changes any verdict or witness on the
+    /// paper's three running designs (xyz, token ring, diffusing).
+    #[test]
+    fn multithreaded_checks_match_serial(threads in 2usize..=8) {
+        let (xyz, _) = nonmask_protocols::xyz::out_tree().unwrap();
+        assert_parallel_matches_serial(
+            xyz.program(),
+            xyz.fault_span(),
+            &xyz.invariant(),
+            threads,
+        )?;
+
+        // 5^5 = 3125 states: crosses the parallel threshold for real.
+        let ring = TokenRing::new(5, 5);
+        assert_parallel_matches_serial(
+            ring.program(),
+            &Predicate::always_true(),
+            &ring.invariant(),
+            threads,
+        )?;
+
+        let dc = DiffusingComputation::new(&Tree::from_parents(vec![0, 0, 1, 1]));
+        let design = dc.design().unwrap();
+        assert_parallel_matches_serial(
+            design.program(),
+            design.fault_span(),
+            &design.invariant(),
+            threads,
+        )?;
     }
 }

@@ -1,0 +1,251 @@
+//! Vendored stand-in for the subset of the `criterion` API this workspace
+//! uses.
+//!
+//! The build environment is offline, so benchmarks run against this minimal
+//! wall-clock harness instead of the statistical criterion engine: each
+//! benchmark is warmed up for `warm_up_time`, then timed for at least
+//! `measurement_time` (and at least `sample_size` iterations), and the mean
+//! time per iteration is printed as
+//! `bench: <group>/<id> ... <mean> per iter (<n> iters)`.
+//!
+//! No plots, no statistics, no baseline comparisons — but the numbers are
+//! honest means over real iterations and the API (`criterion_group!`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `b.iter(...)`)
+//! matches upstream spelling, so swapping the real crate back in is a
+//! one-line manifest change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    defaults: Settings,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            defaults: Settings {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_millis(800),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.defaults;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), self.defaults, &mut f);
+        self
+    }
+}
+
+/// A named benchmark (optionally parameterized), mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Minimum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n as u64;
+        self
+    }
+
+    /// How long to run the routine untimed before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Minimum wall-clock time spent measuring.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine that receives a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id, self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.settings, &mut f);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    settings: Settings,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        settings,
+        measured: None,
+    };
+    f(&mut bencher);
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    match bencher.measured {
+        Some((total, iters)) => {
+            let per_iter = total / iters.max(1) as u32;
+            println!(
+                "bench: {full:<50} {} per iter ({iters} iters)",
+                format_duration(per_iter)
+            );
+        }
+        None => println!("bench: {full:<50} (no measurement — b.iter was never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:>10.3} s ", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:>10.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:>10.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos:>10} ns")
+    }
+}
+
+/// Runs and times the benchmarked routine.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up for `warm_up_time`, then measure for at
+    /// least `measurement_time` and `sample_size` iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+
+        let mut iters = 0u64;
+        let started = Instant::now();
+        let measure_until = started + self.settings.measurement_time;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.settings.sample_size && Instant::now() >= measure_until {
+                break;
+            }
+        }
+        self.measured = Some((started.elapsed(), iters));
+    }
+}
+
+/// Bundle benchmark functions into a runnable group (mirrors upstream).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` running the given groups (mirrors upstream).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

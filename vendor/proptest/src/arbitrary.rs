@@ -1,0 +1,44 @@
+//! `any::<T>()` support.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::BoxedStrategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy(Rc::new(|rng| T::arbitrary(rng)))
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` (upstream generates wilder values; every use in
+    /// this workspace treats the draw as a probability or weight).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}

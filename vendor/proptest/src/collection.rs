@@ -1,0 +1,78 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// An inclusive size band for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` of `lo..=hi` values drawn from `element`.
+pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    let size = size.into();
+    BoxedStrategy(Rc::new(move |rng| {
+        let n = rng.gen_range(size.lo..=size.hi);
+        (0..n).map(|_| element.generate(rng)).collect()
+    }))
+}
+
+/// A `BTreeSet` of `lo..=hi` distinct values drawn from `element`.
+///
+/// If the element domain is too small to reach the requested size, the set
+/// is returned at whatever size repeated draws achieved (upstream rejects
+/// the case instead; no caller in this workspace depends on the
+/// difference).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<BTreeSet<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Ord,
+{
+    let size = size.into();
+    BoxedStrategy(Rc::new(move |rng| {
+        let n = rng.gen_range(size.lo..=size.hi);
+        let mut set = BTreeSet::new();
+        let mut misses = 0u32;
+        while set.len() < n && misses < 1000 {
+            if !set.insert(element.generate(rng)) {
+                misses += 1;
+            }
+        }
+        set
+    }))
+}

@@ -1,0 +1,21 @@
+//! `Option` strategies (mirrors `proptest::option`).
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// `Some(value)` about half the time, `None` otherwise.
+pub fn of<S>(element: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    BoxedStrategy(Rc::new(move |rng| {
+        if rng.gen_bool(0.5) {
+            Some(element.generate(rng))
+        } else {
+            None
+        }
+    }))
+}

@@ -1,0 +1,15 @@
+//! Sampling from fixed collections (mirrors `proptest::sample`).
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::strategy::BoxedStrategy;
+
+/// Uniform choice of one element of `options`.
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "select: empty choice set");
+    BoxedStrategy(Rc::new(move |rng| {
+        options[rng.gen_range(0..options.len())].clone()
+    }))
+}

@@ -1,0 +1,207 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! A strategy here is simply a reproducible value generator: `generate`
+//! draws one value from the given RNG. Combinators compose by closure and
+//! are boxed eagerly ([`BoxedStrategy`]) — call sites only ever name
+//! `impl Strategy<Value = T>` or `BoxedStrategy<T>`, so the concrete
+//! combinator types upstream exposes are unnecessary.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many rejections `prop_filter`/`prop_filter_map` tolerate per value.
+const MAX_FILTER_TRIES: u32 = 10_000;
+
+/// A reproducible generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Type-erase into a cloneable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.generate(rng))))
+    }
+
+    /// Generate a value, build a dependent strategy from it, and draw from
+    /// that.
+    fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.generate(rng)).generate(rng)))
+    }
+
+    /// Discard generated values failing `f` (regenerating in their place).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| {
+            for _ in 0..MAX_FILTER_TRIES {
+                let v = self.generate(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter: too many rejections ({reason})");
+        }))
+    }
+
+    /// Map generated values through a partial function, regenerating on
+    /// `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> Option<O> + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| {
+            for _ in 0..MAX_FILTER_TRIES {
+                if let Some(v) = f(self.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map: too many rejections ({reason})");
+        }))
+    }
+
+    /// Recursive strategies: `self` generates leaves; `recurse` wraps a
+    /// strategy for subterms into a strategy for larger terms. Recursion
+    /// depth is bounded by `depth`; the `_desired_size` and
+    /// `_expected_branch_size` tuning knobs of upstream are accepted and
+    /// ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            let leaf = leaf.clone();
+            // Bias toward leaves so expected term size stays finite.
+            current = BoxedStrategy(Rc::new(move |rng| {
+                if rng.gen_bool(0.5) {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among `options` (backs [`crate::prop_oneof!`]).
+pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(
+        !options.is_empty(),
+        "prop_oneof! needs at least one strategy"
+    );
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = rng.gen_range(0..options.len());
+        options[i].generate(rng)
+    }))
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
