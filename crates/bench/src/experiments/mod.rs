@@ -7,10 +7,12 @@
 //! - [`refinement`] — shared memory vs message passing vs threads (E9).
 //! - [`nonmasking`] — derived fault spans, S ⊂ T ⊂ true (E11).
 //! - [`cost`] — expected vs worst-case moves; network sensitivity (E12, E13).
+//! - [`netlat`] — socket-runtime convergence latency vs frame loss (E15).
 
 pub mod cost;
 pub mod dynamics;
 pub mod faults;
+pub mod netlat;
 pub mod nonmasking;
 pub mod refinement;
 pub mod verify;

@@ -145,7 +145,8 @@ pub fn ring_sandwich() -> (usize, usize, usize) {
     (space.count_satisfying(&s), span.len(), space.len())
 }
 
-/// The same check exposed as a [`Predicate`]-level helper used by tests.
+/// The same check exposed as a [`nonmask_program::Predicate`]-level helper
+/// used by tests.
 pub fn ring_span_is_closed() -> bool {
     let (design, handles) = windowed_design(3, 3).expect("windowed");
     let program = design.program();

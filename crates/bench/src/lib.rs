@@ -21,6 +21,7 @@ pub use table::Table;
 /// The identifiers of all experiments, in presentation order.
 pub const ALL: &[&str] = &[
     "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
 ];
 
 /// Run one experiment by id, returning its rendered report.
@@ -45,6 +46,7 @@ pub fn run(id: &str) -> String {
         "e12" => experiments::cost::e12(),
         "e13" => experiments::cost::e13(),
         "e14" => experiments::cost::e14(),
+        "e15" => experiments::netlat::e15(),
         other => panic!("unknown experiment id `{other}`; known: {ALL:?}"),
     }
 }

@@ -611,7 +611,7 @@ impl DesignBuilder {
     /// `0` (the default) auto-detects via
     /// [`std::thread::available_parallelism`]; `1` forces fully serial
     /// checking. The verification *verdict* is bit-identical for every
-    /// thread count — only the [`VerifyTimings`](crate::VerifyTimings)
+    /// thread count — only the [`VerifyTimings`]
     /// change. Small state spaces (< a few thousand states) are always
     /// checked on the calling thread regardless of this setting.
     pub fn threads(mut self, threads: usize) -> Self {

@@ -95,7 +95,7 @@ pub fn compile(source: &str) -> Result<nonmask_program::Program, LangError> {
     compile_def(&parse(source)?)
 }
 
-/// Expand `for`-templates (see [`expand`]), then parse and compile.
+/// Expand `for`-templates (see [`expand()`]), then parse and compile.
 ///
 /// ```
 /// let ring = nonmask_lang::compile_template(r#"
@@ -110,7 +110,7 @@ pub fn compile(source: &str) -> Result<nonmask_program::Program, LangError> {
 ///
 /// # Errors
 ///
-/// As [`compile`], plus template-expansion errors.
+/// As [`compile()`], plus template-expansion errors.
 pub fn compile_template(source: &str) -> Result<nonmask_program::Program, LangError> {
     compile_def(&parse(&expand(source)?)?)
 }

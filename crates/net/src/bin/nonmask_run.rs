@@ -1,0 +1,254 @@
+//! `nonmask-run`: launch a protocol as distributed TCP-loopback nodes
+//! under configurable fault rates.
+//!
+//! ```text
+//! nonmask-run token-ring --nodes 5 --k 5 --loss 0.2 --seed 1
+//! nonmask-run diffusing --nodes 7 --loss 0.3 --crash 2 --json out.json
+//! nonmask-run --list
+//! ```
+//!
+//! The run starts from a seeded random (usually illegitimate) state,
+//! waits for the runtime detector to observe convergence, optionally
+//! crash-restarts one node into an arbitrary state and waits for
+//! reconvergence, then prints the observability report.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use nonmask_net::{run, FaultConfig, NetConfig, NetEvent};
+use nonmask_program::{Predicate, Program, State};
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "\
+usage: nonmask-run <protocol> [options]
+
+protocols:
+  token-ring        Dijkstra's K-state token ring (--nodes, --k)
+  diffusing         diffusing computation on a binary tree (--nodes)
+
+options:
+  --nodes N         number of processes            (default 5; diffusing: tree size)
+  --k K             token-ring counter modulus     (default = nodes)
+  --loss P          frame drop probability         (default 0.2)
+  --corrupt P       frame bit-flip probability     (default loss/4)
+  --dup P           frame duplication probability  (default loss/4)
+  --delay P         frame delay probability        (default loss/2)
+  --seed S          RNG seed (faults, initial and restart states)  (default 1)
+  --crash NODE      crash-restart NODE into an arbitrary state mid-run
+  --down-ms MS      crash downtime                 (default 50)
+  --timeout-ms MS   abort threshold                (default 30000)
+  --json PATH       also write the machine-readable report to PATH
+  --list            list protocols and exit
+  --help            this text";
+
+struct Args {
+    protocol: String,
+    nodes: usize,
+    k: Option<i64>,
+    loss: f64,
+    corrupt: Option<f64>,
+    dup: Option<f64>,
+    delay: Option<f64>,
+    seed: u64,
+    crash: Option<usize>,
+    down_ms: u64,
+    timeout_ms: u64,
+    json: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        protocol: String::new(),
+        nodes: 5,
+        k: None,
+        loss: 0.2,
+        corrupt: None,
+        dup: None,
+        delay: None,
+        seed: 1,
+        crash: None,
+        down_ms: 50,
+        timeout_ms: 30_000,
+        json: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--k" => args.k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
+            "--loss" => {
+                args.loss = value("--loss")?
+                    .parse()
+                    .map_err(|e| format!("--loss: {e}"))?
+            }
+            "--corrupt" => {
+                args.corrupt = Some(
+                    value("--corrupt")?
+                        .parse()
+                        .map_err(|e| format!("--corrupt: {e}"))?,
+                )
+            }
+            "--dup" => args.dup = Some(value("--dup")?.parse().map_err(|e| format!("--dup: {e}"))?),
+            "--delay" => {
+                args.delay = Some(
+                    value("--delay")?
+                        .parse()
+                        .map_err(|e| format!("--delay: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--crash" => {
+                args.crash = Some(
+                    value("--crash")?
+                        .parse()
+                        .map_err(|e| format!("--crash: {e}"))?,
+                )
+            }
+            "--down-ms" => {
+                args.down_ms = value("--down-ms")?
+                    .parse()
+                    .map_err(|e| format!("--down-ms: {e}"))?
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other if args.protocol.is_empty() => args.protocol = other.to_owned(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    if args.protocol.is_empty() {
+        return Err("missing protocol".to_owned());
+    }
+    Ok(args)
+}
+
+/// The protocol's program, goal predicate, and seeded initial state.
+fn build_protocol(args: &Args) -> Result<(Program, Predicate, State), String> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    match args.protocol.as_str() {
+        "token-ring" => {
+            if args.nodes < 2 {
+                return Err("token-ring needs --nodes >= 2".to_owned());
+            }
+            let k = args.k.unwrap_or(args.nodes as i64);
+            if k < 2 {
+                return Err("token-ring needs --k >= 2".to_owned());
+            }
+            let ring = TokenRing::new(args.nodes, k);
+            let initial = ring.program().random_state(&mut rng);
+            Ok((ring.program().clone(), ring.invariant(), initial))
+        }
+        "diffusing" => {
+            if args.nodes < 1 {
+                return Err("diffusing needs --nodes >= 1".to_owned());
+            }
+            let dc = DiffusingComputation::new(&Tree::binary(args.nodes));
+            let initial = dc.program().random_state(&mut rng);
+            Ok((dc.program().clone(), dc.invariant(), initial))
+        }
+        other => Err(format!("unknown protocol `{other}`; try --list")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--list") {
+        println!("token-ring\ndiffusing");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (program, goal, initial) = match build_protocol(&args) {
+        Ok(built) => built,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let faults = FaultConfig {
+        seed: args.seed,
+        drop_rate: args.loss,
+        corrupt_rate: args.corrupt.unwrap_or(args.loss / 4.0),
+        duplicate_rate: args.dup.unwrap_or(args.loss / 4.0),
+        delay_rate: args.delay.unwrap_or(args.loss / 2.0),
+        max_delay_ticks: 8,
+    };
+    let events = match args.crash {
+        Some(node) => vec![NetEvent::CrashRestart {
+            node,
+            at_least: Duration::ZERO,
+            down: Duration::from_millis(args.down_ms),
+        }],
+        None => Vec::new(),
+    };
+    let config = NetConfig {
+        seed: args.seed,
+        faults,
+        timeout: Duration::from_millis(args.timeout_ms),
+        events,
+        ..NetConfig::default()
+    };
+
+    println!(
+        "launching `{}` as {} socket nodes (loss {:.0}%, seed {})",
+        program.name(),
+        args.nodes,
+        args.loss * 100.0,
+        args.seed
+    );
+    let report = match run(&program, &initial, &goal, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if report.converged {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-node observability counters.
+//!
+//! Each node owns one [`CounterSnapshot`] value, mutated only from its main
+//! loop (reader threads forward decode failures as inbox messages rather
+//! than touching counters), snapshotted into every [`crate::wire::Frame::Report`]
+//! the node ships to the controller, and surfaced verbatim in the final
+//! [`crate::NetReport`].
+
+/// Monotonic per-node event counts.
+///
+/// "Sent" counts frames actually written to a socket, so a dropped frame
+/// increments `dropped` but not `sent`, while a corrupted or duplicated
+/// frame increments both its fault counter and `sent`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Data-plane frames written to peer sockets.
+    pub sent: u64,
+    /// Data-plane frames received and applied.
+    pub received: u64,
+    /// Frames the fault injector dropped (including partition drops).
+    pub dropped: u64,
+    /// Frames the fault injector bit-flipped before sending.
+    pub corrupted: u64,
+    /// Extra copies the fault injector sent.
+    pub duplicated: u64,
+    /// Frames the fault injector held back for later (reordering).
+    pub delayed: u64,
+    /// Received frames rejected by the codec (checksum/tag/truncation).
+    pub rejected: u64,
+    /// Guarded-command actions executed.
+    pub steps: u64,
+    /// Executed actions of convergence or combined kind (repair work).
+    pub convergence_steps: u64,
+    /// Heartbeat frames broadcast.
+    pub heartbeats: u64,
+    /// Reports shipped to the controller.
+    pub reports: u64,
+    /// Crash frames honoured (state dropped).
+    pub crashes: u64,
+}
+
+impl CounterSnapshot {
+    /// Number of `u64` words in the wire form.
+    pub const WORDS: usize = 12;
+
+    /// Flatten to the fixed wire order.
+    pub fn to_words(self) -> [u64; Self::WORDS] {
+        [
+            self.sent,
+            self.received,
+            self.dropped,
+            self.corrupted,
+            self.duplicated,
+            self.delayed,
+            self.rejected,
+            self.steps,
+            self.convergence_steps,
+            self.heartbeats,
+            self.reports,
+            self.crashes,
+        ]
+    }
+
+    /// Rebuild from the fixed wire order.
+    pub fn from_words(words: [u64; Self::WORDS]) -> Self {
+        CounterSnapshot {
+            sent: words[0],
+            received: words[1],
+            dropped: words[2],
+            corrupted: words[3],
+            duplicated: words[4],
+            delayed: words[5],
+            rejected: words[6],
+            steps: words[7],
+            convergence_steps: words[8],
+            heartbeats: words[9],
+            reports: words[10],
+            crashes: words[11],
+        }
+    }
+
+    /// Field `(name, value)` pairs in wire order, for rendering and JSON.
+    pub fn fields(&self) -> [(&'static str, u64); Self::WORDS] {
+        [
+            ("sent", self.sent),
+            ("received", self.received),
+            ("dropped", self.dropped),
+            ("corrupted", self.corrupted),
+            ("duplicated", self.duplicated),
+            ("delayed", self.delayed),
+            ("rejected", self.rejected),
+            ("steps", self.steps),
+            ("convergence_steps", self.convergence_steps),
+            ("heartbeats", self.heartbeats),
+            ("reports", self.reports),
+            ("crashes", self.crashes),
+        ]
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .fields()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_roundtrip() {
+        let c = CounterSnapshot {
+            sent: 1,
+            received: 2,
+            dropped: 3,
+            corrupted: 4,
+            duplicated: 5,
+            delayed: 6,
+            rejected: 7,
+            steps: 8,
+            convergence_steps: 9,
+            heartbeats: 10,
+            reports: 11,
+            crashes: 12,
+        };
+        assert_eq!(CounterSnapshot::from_words(c.to_words()), c);
+    }
+
+    #[test]
+    fn json_names_every_field() {
+        let json = CounterSnapshot::default().to_json();
+        for (name, _) in CounterSnapshot::default().fields() {
+            assert!(json.contains(name), "{name} missing from {json}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Runtime stabilization detection over asynchronously sampled state.
+//!
+//! The controller assembles a god's-eye state from each node's
+//! authoritative reports — but the reports arrive at different times, so
+//! an assembled snapshot mixes per-node states from slightly different
+//! instants and can transiently *leave* the invariant even when every
+//! real global state is inside it (e.g. a token pass observed
+//! half-reported shows zero or two privileges). Requiring the predicate
+//! to hold on every consecutive sample would therefore never terminate
+//! for a live protocol.
+//!
+//! The detector instead declares convergence when, over a sliding window
+//! of at least [`DetectorConfig::stable_for`], the fraction of sampled
+//! snapshots satisfying the predicate reaches
+//! [`DetectorConfig::stable_fraction`] — the runtime analogue of
+//! measuring behavior outside the fault span rather than proving it
+//! ("Ideal Stabilization", Nesterenko & Tixeuil), robust to the sampling
+//! skew that any real observability plane has.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Detector thresholds.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Minimum width of the observation window before convergence can be
+    /// declared.
+    pub stable_for: Duration,
+    /// Fraction of window samples that must satisfy the predicate.
+    pub stable_fraction: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            stable_for: Duration::from_millis(150),
+            stable_fraction: 0.90,
+        }
+    }
+}
+
+/// One convergence episode: from a starting disturbance (run start, crash
+/// restart, partition heal) to detected convergence.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// What started the episode.
+    pub label: String,
+    /// Episode start, as time since the run began.
+    pub started_at: Duration,
+    /// When the detector declared convergence (`None`: never converged).
+    pub converged_at: Option<Duration>,
+}
+
+impl Episode {
+    /// Detected convergence latency.
+    pub fn latency(&self) -> Option<Duration> {
+        self.converged_at.map(|c| c.saturating_sub(self.started_at))
+    }
+}
+
+/// The windowed-fraction stabilization detector.
+#[derive(Debug)]
+pub struct Detector {
+    config: DetectorConfig,
+    episodes: Vec<Episode>,
+    /// Recent samples as `(time, predicate_held)`.
+    window: VecDeque<(Duration, bool)>,
+}
+
+impl Detector {
+    /// Start a detector whose first episode (`label`) begins at time zero.
+    pub fn new(config: DetectorConfig, label: impl Into<String>) -> Self {
+        Detector {
+            config,
+            episodes: vec![Episode {
+                label: label.into(),
+                started_at: Duration::ZERO,
+                converged_at: None,
+            }],
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Begin a new episode at `now` (a fault was injected); clears the
+    /// sample window so pre-fault samples cannot count toward the new
+    /// episode's convergence.
+    pub fn start_episode(&mut self, now: Duration, label: impl Into<String>) {
+        self.window.clear();
+        self.episodes.push(Episode {
+            label: label.into(),
+            started_at: now,
+            converged_at: None,
+        });
+    }
+
+    /// Whether the current episode has already been declared converged.
+    pub fn idle(&self) -> bool {
+        self.episodes
+            .last()
+            .is_some_and(|e| e.converged_at.is_some())
+    }
+
+    /// Feed one sampled evaluation of the predicate on the assembled
+    /// state. Returns `true` if this sample completed the current
+    /// episode.
+    pub fn observe(&mut self, now: Duration, holds: bool) -> bool {
+        if self.idle() {
+            return false;
+        }
+        self.window.push_back((now, holds));
+        // Trim samples that fell out of the sliding window.
+        let horizon = now.saturating_sub(self.config.stable_for);
+        while self.window.front().is_some_and(|&(t, _)| t < horizon) {
+            self.window.pop_front();
+        }
+        let episode = self.episodes.last_mut().expect("one episode always open");
+        // The window must span stable_for (measured from episode start)
+        // before a verdict is possible.
+        if now.saturating_sub(episode.started_at) < self.config.stable_for {
+            return false;
+        }
+        let total = self.window.len();
+        let held = self.window.iter().filter(|&&(_, h)| h).count();
+        if total > 0 && (held as f64) / (total as f64) >= self.config.stable_fraction && holds {
+            episode.converged_at = Some(now);
+            self.window.clear();
+            return true;
+        }
+        false
+    }
+
+    /// All episodes so far, in order.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Whether every episode converged.
+    pub fn all_converged(&self) -> bool {
+        self.episodes.iter().all(|e| e.converged_at.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn detector() -> Detector {
+        Detector::new(
+            DetectorConfig {
+                stable_for: ms(100),
+                stable_fraction: 0.9,
+            },
+            "initial",
+        )
+    }
+
+    #[test]
+    fn converges_after_stable_window() {
+        let mut d = detector();
+        let mut converged_at = None;
+        for t in (0..200).step_by(5) {
+            if d.observe(ms(t), true) {
+                converged_at = Some(t);
+                break;
+            }
+        }
+        assert_eq!(converged_at, Some(100), "exactly at the window edge");
+        assert!(d.idle());
+        assert_eq!(d.episodes()[0].latency(), Some(ms(100)));
+    }
+
+    #[test]
+    fn tolerates_sampling_flicker() {
+        let mut d = detector();
+        // One false sample in twenty (95% true) still converges.
+        let mut done = false;
+        for (i, t) in (0..400).step_by(5).enumerate() {
+            done = d.observe(ms(t), i % 20 != 0);
+            if done {
+                break;
+            }
+        }
+        assert!(done, "5% flicker must not prevent detection");
+    }
+
+    #[test]
+    fn mostly_false_never_converges() {
+        let mut d = detector();
+        for (i, t) in (0..1000).step_by(5).enumerate() {
+            assert!(!d.observe(ms(t), i % 2 == 0), "50% true is not stable");
+        }
+        assert!(!d.all_converged());
+    }
+
+    #[test]
+    fn new_episode_resets_the_window() {
+        let mut d = detector();
+        for t in (0..105).step_by(5) {
+            d.observe(ms(t), true);
+        }
+        assert!(d.idle());
+        d.start_episode(ms(110), "crash-restart node 2");
+        assert!(!d.idle());
+        // Convergence needs a full new window measured from 110.
+        assert!(!d.observe(ms(115), true));
+        assert!(!d.observe(ms(200), true));
+        assert!(d.observe(ms(215), true));
+        assert!(d.all_converged());
+        let e = &d.episodes()[1];
+        assert_eq!(e.label, "crash-restart node 2");
+        assert_eq!(e.latency(), Some(ms(105)));
+    }
+
+    #[test]
+    fn last_sample_must_hold() {
+        let mut d = detector();
+        for t in (0..150).step_by(5) {
+            // 29/30 true overall, but every sample at the verdict point is
+            // false → no convergence on a false sample.
+            let holds = t < 145;
+            let done = d.observe(ms(t), holds);
+            assert!(!done || holds, "never declare convergence on a violation");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The fault-injecting transport: a lossy, corrupting, duplicating,
+//! delaying, partitionable wrapper around a TCP stream.
+//!
+//! Faults are injected on the *send* side, per link, from a deterministic
+//! RNG derived from the run seed and the link's endpoints — so a given
+//! seed always produces the same fault pattern on each link's frame
+//! sequence, independent of thread scheduling. Corruption flips one
+//! random bit in the payload (never the length prefix), so stream framing
+//! survives and the receiver's CRC rejects the frame — the corrupt frame
+//! behaves like a detected drop, which is exactly how real checksummed
+//! transports degrade.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::counters::CounterSnapshot;
+use crate::wire::Frame;
+
+/// Fault rates for every data-plane link.
+///
+/// All probabilities are per frame, applied independently; `0.0`
+/// everywhere is a faithful transport.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Base seed; each link derives its own stream from this and its
+    /// endpoint pair.
+    pub seed: u64,
+    /// Probability a frame is silently dropped.
+    pub drop_rate: f64,
+    /// Probability a frame has one payload bit flipped (the receiver's
+    /// CRC will reject it).
+    pub corrupt_rate: f64,
+    /// Probability a frame is sent twice.
+    pub duplicate_rate: f64,
+    /// Probability a frame is held back `1..=max_delay_ticks` ticks,
+    /// overtaken by later traffic (reordering).
+    pub delay_rate: f64,
+    /// Upper bound on injected delay, in node-loop ticks.
+    pub max_delay_ticks: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_ticks: 4,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A convenience profile: `rate` loss plus light corruption,
+    /// duplication, and delay — the "hostile network" used by tests and
+    /// the CLI.
+    pub fn hostile(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            drop_rate: rate,
+            corrupt_rate: rate / 4.0,
+            duplicate_rate: rate / 4.0,
+            delay_rate: rate / 2.0,
+            max_delay_ticks: 8,
+        }
+    }
+}
+
+/// Shared partition state: group ids per node, or `None` when healed.
+///
+/// Consulted by every link at send time; frames crossing group
+/// boundaries while a partition is active are dropped.
+#[derive(Debug, Default)]
+pub struct PartitionMap {
+    groups: Mutex<Option<Vec<usize>>>,
+}
+
+impl PartitionMap {
+    /// A healed (no partition) map.
+    pub fn new() -> Self {
+        PartitionMap::default()
+    }
+
+    /// Install a partition: `groups[node]` is the node's group id.
+    pub fn set(&self, groups: Vec<usize>) {
+        *self.groups.lock().expect("partition lock") = Some(groups);
+    }
+
+    /// Heal the partition.
+    pub fn heal(&self) {
+        *self.groups.lock().expect("partition lock") = None;
+    }
+
+    /// Whether a frame from `sender` to `receiver` is currently blocked.
+    pub fn blocks(&self, sender: usize, receiver: usize) -> bool {
+        match &*self.groups.lock().expect("partition lock") {
+            Some(groups) => groups.get(sender) != groups.get(receiver),
+            None => false,
+        }
+    }
+}
+
+/// Derive a link-specific RNG from the base seed and the endpoints.
+///
+/// `seed_from_u64` runs SplitMix64 over the combined word, so nearby
+/// `(seed, endpoint)` tuples still yield uncorrelated streams.
+fn link_rng(seed: u64, sender: usize, receiver: usize) -> StdRng {
+    let combined = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((sender as u64 + 1) << 32) | (receiver as u64 + 1));
+    StdRng::seed_from_u64(combined)
+}
+
+/// A fault-injecting, send-side view of one directed TCP link.
+#[derive(Debug)]
+pub struct FaultyLink {
+    stream: TcpStream,
+    rng: StdRng,
+    config: FaultConfig,
+    sender: usize,
+    receiver: usize,
+    /// Held-back frames as `(due_tick, wire_bytes)`.
+    pending: Vec<(u64, Vec<u8>)>,
+}
+
+impl FaultyLink {
+    /// Wrap `stream` as the faulty link `sender → receiver`.
+    pub fn new(stream: TcpStream, sender: usize, receiver: usize, config: FaultConfig) -> Self {
+        let rng = link_rng(config.seed, sender, receiver);
+        FaultyLink {
+            stream,
+            rng,
+            config,
+            sender,
+            receiver,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The receiving node's index.
+    pub fn receiver(&self) -> usize {
+        self.receiver
+    }
+
+    /// Send `frame` through the fault injector at `tick`, updating
+    /// `counters` with whatever happened to it.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors (an unencodable frame surfaces as
+    /// `InvalidData`).
+    pub fn send(
+        &mut self,
+        frame: &Frame,
+        tick: u64,
+        partition: &PartitionMap,
+        counters: &mut CounterSnapshot,
+    ) -> io::Result<()> {
+        if partition.blocks(self.sender, self.receiver) {
+            counters.dropped += 1;
+            return Ok(());
+        }
+        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
+            counters.dropped += 1;
+            return Ok(());
+        }
+        let copies =
+            if self.config.duplicate_rate > 0.0 && self.rng.gen_bool(self.config.duplicate_rate) {
+                counters.duplicated += 1;
+                2
+            } else {
+                1
+            };
+        for _ in 0..copies {
+            let mut wire = frame
+                .encode()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if self.config.corrupt_rate > 0.0 && self.rng.gen_bool(self.config.corrupt_rate) {
+                // Flip one bit strictly inside the payload: framing holds,
+                // the CRC catches it at the receiver.
+                let payload_bits = (wire.len() - 4) * 8;
+                let bit = self.rng.gen_range(0..payload_bits);
+                wire[4 + bit / 8] ^= 1 << (bit % 8);
+                counters.corrupted += 1;
+            }
+            if self.config.delay_rate > 0.0 && self.rng.gen_bool(self.config.delay_rate) {
+                let delay = self.rng.gen_range(1..=self.config.max_delay_ticks.max(1));
+                self.pending.push((tick + delay, wire));
+                counters.delayed += 1;
+            } else {
+                self.stream.write_all(&wire)?;
+                counters.sent += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write every held-back frame whose due tick has arrived.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors.
+    pub fn flush_due(&mut self, tick: u64, counters: &mut CounterSnapshot) -> io::Result<()> {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= tick {
+                let (_, wire) = self.pending.swap_remove(i);
+                self.stream.write_all(&wire)?;
+                counters.sent += 1;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_frame;
+    use std::net::TcpListener;
+
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn faithful_link_delivers_everything() {
+        let (tx, mut rx) = pipe();
+        let mut link = FaultyLink::new(tx, 0, 1, FaultConfig::default());
+        let partition = PartitionMap::new();
+        let mut counters = CounterSnapshot::default();
+        for seq in 0..32u64 {
+            let f = Frame::Update {
+                node: 0,
+                seq,
+                var: 1,
+                value: seq as i64,
+            };
+            link.send(&f, seq, &partition, &mut counters).unwrap();
+        }
+        assert_eq!(counters.sent, 32);
+        assert_eq!(counters.dropped + counters.corrupted + counters.delayed, 0);
+        for seq in 0..32u64 {
+            match read_frame(&mut rx).unwrap().unwrap().unwrap() {
+                Frame::Update { seq: got, .. } => assert_eq!(got, seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drops_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (tx, _rx) = pipe();
+            let config = FaultConfig {
+                seed,
+                drop_rate: 0.5,
+                ..FaultConfig::default()
+            };
+            let mut link = FaultyLink::new(tx, 2, 3, config);
+            let partition = PartitionMap::new();
+            let mut counters = CounterSnapshot::default();
+            for seq in 0..64u64 {
+                let f = Frame::Update {
+                    node: 2,
+                    seq,
+                    var: 0,
+                    value: 0,
+                };
+                link.send(&f, seq, &partition, &mut counters).unwrap();
+            }
+            counters
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault pattern");
+        assert_ne!(run(7).dropped, 0);
+        assert_ne!(run(7).sent, 0);
+    }
+
+    #[test]
+    fn corruption_is_always_rejected_downstream() {
+        let (tx, mut rx) = pipe();
+        let config = FaultConfig {
+            seed: 3,
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut link = FaultyLink::new(tx, 0, 1, config);
+        let partition = PartitionMap::new();
+        let mut counters = CounterSnapshot::default();
+        for seq in 0..16u64 {
+            let f = Frame::Update {
+                node: 0,
+                seq,
+                var: 2,
+                value: -1,
+            };
+            link.send(&f, seq, &partition, &mut counters).unwrap();
+        }
+        drop(link);
+        assert_eq!(counters.corrupted, 16);
+        let mut rejected = 0;
+        while let Some(result) = read_frame(&mut rx).unwrap() {
+            assert!(result.is_err(), "corrupted frame decoded: {result:?}");
+            rejected += 1;
+        }
+        assert_eq!(rejected, 16, "framing survived every corruption");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_frames() {
+        let (tx, mut rx) = pipe();
+        let mut link = FaultyLink::new(tx, 0, 1, FaultConfig::default());
+        let partition = PartitionMap::new();
+        partition.set(vec![0, 1]);
+        let mut counters = CounterSnapshot::default();
+        let f = Frame::Update {
+            node: 0,
+            seq: 0,
+            var: 0,
+            value: 0,
+        };
+        link.send(&f, 0, &partition, &mut counters).unwrap();
+        assert_eq!((counters.sent, counters.dropped), (0, 1));
+        partition.heal();
+        link.send(&f, 1, &partition, &mut counters).unwrap();
+        assert_eq!((counters.sent, counters.dropped), (1, 1));
+        drop(link);
+        assert_eq!(read_frame(&mut rx).unwrap().unwrap().unwrap(), f);
+        assert!(read_frame(&mut rx).unwrap().is_none());
+    }
+
+    #[test]
+    fn delayed_frames_reorder_but_arrive() {
+        let (tx, mut rx) = pipe();
+        let config = FaultConfig {
+            seed: 11,
+            delay_rate: 0.5,
+            max_delay_ticks: 4,
+            ..FaultConfig::default()
+        };
+        let mut link = FaultyLink::new(tx, 0, 1, config);
+        let partition = PartitionMap::new();
+        let mut counters = CounterSnapshot::default();
+        for seq in 0..64u64 {
+            let f = Frame::Update {
+                node: 0,
+                seq,
+                var: 0,
+                value: 0,
+            };
+            link.send(&f, seq, &partition, &mut counters).unwrap();
+            link.flush_due(seq, &mut counters).unwrap();
+        }
+        link.flush_due(u64::MAX, &mut counters).unwrap();
+        drop(link);
+        assert!(counters.delayed > 0);
+        assert_eq!(counters.sent, 64, "every frame eventually flushed");
+        let mut seqs = Vec::new();
+        while let Some(result) = read_frame(&mut rx).unwrap() {
+            match result.unwrap() {
+                Frame::Update { seq, .. } => seqs.push(seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seqs.len(), 64);
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_ne!(seqs, sorted, "delays produced reordering");
+    }
+}

@@ -1,0 +1,432 @@
+//! One distributed node: a thread owning its process's variables,
+//! talking to peers and the controller exclusively through TCP loopback
+//! sockets.
+//!
+//! A node's *view* is a full state vector in which its own variables are
+//! authoritative and remote variables its actions read are caches,
+//! refreshed only by [`Frame::Update`]/[`Frame::Heartbeat`] frames from
+//! their owners. The node never touches shared memory: every byte of
+//! cross-node information crosses a socket through the fault-injecting
+//! transport.
+
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+use nonmask_program::{ActionId, ActionKind, Program, State, VarId};
+
+use crate::counters::CounterSnapshot;
+use crate::fault::{FaultConfig, FaultyLink, PartitionMap};
+use crate::wire::{read_frame, write_frame, Frame, WireError};
+
+/// What one node needs to know about the topology (derived from the
+/// refinement by the runtime).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeSpec {
+    /// This node's index.
+    pub node: usize,
+    /// Actions this node executes.
+    pub actions: Vec<ActionId>,
+    /// Variables this node owns.
+    pub owned: Vec<VarId>,
+    /// `(peer, owned vars that peer reads)` — one outgoing data link per
+    /// entry.
+    pub out_peers: Vec<(usize, Vec<VarId>)>,
+    /// Incoming data connections to expect at startup.
+    pub expected_incoming: usize,
+}
+
+/// Pacing and cadence knobs shared by every node (split out of
+/// [`crate::NetConfig`] so the node loop does not depend on
+/// controller-only fields).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeTiming {
+    /// Wall-clock duration of one loop tick.
+    pub tick: Duration,
+    /// Max actions executed per eligible tick.
+    pub steps_per_tick: usize,
+    /// Ticks a node rests after executing actions (paces the protocol so
+    /// report skew stays well below the inter-action gap).
+    pub cooldown_ticks: u64,
+    /// Heartbeat broadcast period in ticks (`0` disables).
+    pub heartbeat_every: u64,
+    /// Report period in ticks.
+    pub report_every: u64,
+    /// Give up on startup dials/accepts after this long (a peer that died
+    /// before connecting must not wedge the whole run).
+    pub startup_timeout: Duration,
+}
+
+/// What reader threads push into the node's inbox.
+enum InMsg {
+    /// A decoded frame.
+    Frame(Frame),
+    /// A frame the codec rejected (corruption caught by CRC, bad tag…).
+    Rejected,
+    /// The controller connection ended — the run is over for this node.
+    ControlClosed,
+}
+
+/// Pump frames off one socket into the inbox until EOF or a fatal
+/// framing error. `is_control` marks the controller link, whose loss
+/// must end the node (a peer link merely going quiet is normal).
+fn pump(stream: TcpStream, tx: Sender<InMsg>, is_control: bool) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) | Err(_) => break,
+            Ok(Some(Ok(frame))) => {
+                if tx.send(InMsg::Frame(frame)).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Err(WireError::Oversized { .. }))) => {
+                // The frame boundary itself is gone; stop reading.
+                let _ = tx.send(InMsg::Rejected);
+                break;
+            }
+            Ok(Some(Err(_))) => {
+                if tx.send(InMsg::Rejected).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    if is_control {
+        let _ = tx.send(InMsg::ControlClosed);
+    }
+}
+
+/// An outgoing data link plus the owned variables its receiver reads.
+struct OutLink {
+    link: FaultyLink,
+    vars: Vec<VarId>,
+}
+
+/// Run one node to completion (until [`Frame::Shutdown`] or loss of the
+/// controller).
+///
+/// # Errors
+///
+/// Startup I/O errors (dial/accept). After startup, peer-link write
+/// failures demote the link instead of failing the node, and controller
+/// write failures end the node cleanly.
+#[allow(clippy::too_many_arguments)] // one call site, in the runtime
+pub(crate) fn run_node(
+    program: &Program,
+    spec: &NodeSpec,
+    listener: TcpListener,
+    peer_addrs: &[SocketAddr],
+    controller_addr: SocketAddr,
+    initial_view: State,
+    partition: &PartitionMap,
+    faults: &FaultConfig,
+    timing: &NodeTiming,
+) -> io::Result<()> {
+    let node = u16::try_from(spec.node).expect("runtime validates node count");
+    let (tx, rx) = std::sync::mpsc::channel::<InMsg>();
+
+    // Instrumentation plane: reliable, no fault injection.
+    let control = TcpStream::connect(controller_addr)?;
+    control.set_nodelay(true)?;
+    let mut control_tx = control.try_clone()?;
+    write_frame(&mut control_tx, &Frame::Hello { node })?;
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || pump(control, tx, true));
+    }
+
+    // Data plane out: dial every reader of our variables.
+    let mut links: Vec<OutLink> = Vec::with_capacity(spec.out_peers.len());
+    for (peer, vars) in &spec.out_peers {
+        let mut stream = TcpStream::connect(peer_addrs[*peer])?;
+        stream.set_nodelay(true)?;
+        // The opener bypasses the injector: losing it costs nothing, but a
+        // clean handshake keeps the link's fault pattern aligned with the
+        // deterministic frame sequence.
+        write_frame(&mut stream, &Frame::Hello { node })?;
+        links.push(OutLink {
+            link: FaultyLink::new(stream, spec.node, *peer, faults.clone()),
+            vars: vars.clone(),
+        });
+    }
+
+    // Data plane in: accept the known number of writers, one pump each.
+    // Non-blocking with a deadline: a writer that died before dialing
+    // must not leave this node wedged in accept (the controller would
+    // then block forever joining its thread).
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + timing.startup_timeout;
+    let mut accepted = 0;
+    while accepted < spec.expected_incoming {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                let tx = tx.clone();
+                std::thread::spawn(move || pump(stream, tx, false));
+                accepted += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer never connected",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    drop(listener);
+
+    main_loop(
+        program,
+        spec,
+        node,
+        initial_view,
+        &rx,
+        &mut control_tx,
+        &mut links,
+        partition,
+        timing,
+    );
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn main_loop(
+    program: &Program,
+    spec: &NodeSpec,
+    node: u16,
+    mut view: State,
+    rx: &Receiver<InMsg>,
+    control_tx: &mut TcpStream,
+    links: &mut Vec<OutLink>,
+    partition: &PartitionMap,
+    timing: &NodeTiming,
+) {
+    let mut counters = CounterSnapshot::default();
+    let mut crashed = false;
+    let mut shutdown = false;
+    let mut lost_controller = false;
+    let mut cursor = 0usize;
+    let mut cooldown_until = 0u64;
+    let mut data_seq = 0u64;
+    let mut report_seq = 0u64;
+    let mut tick = 0u64;
+
+    let apply = |view: &mut State, var: u32, value: i64| {
+        // Out-of-range indices cannot come from CRC-checked frames, but a
+        // misbehaving peer must not crash the node.
+        if (var as usize) < program.var_count() {
+            view.set(VarId::from_index(var as usize), value);
+        }
+    };
+
+    'node: loop {
+        // 1. Drain the inbox.
+        loop {
+            match rx.try_recv() {
+                Ok(InMsg::Frame(frame)) => match frame {
+                    Frame::Update { var, value, .. } => {
+                        counters.received += 1;
+                        if !crashed {
+                            apply(&mut view, var, value);
+                        }
+                    }
+                    Frame::Heartbeat { vars, .. } => {
+                        counters.received += 1;
+                        if !crashed {
+                            for (var, value) in vars {
+                                apply(&mut view, var, value);
+                            }
+                        }
+                    }
+                    Frame::Crash => {
+                        crashed = true;
+                        counters.crashes += 1;
+                    }
+                    Frame::Restart { vars } => {
+                        // The whole view — owned variables and caches —
+                        // comes back arbitrary: the nonmasking scenario.
+                        for (var, value) in vars {
+                            apply(&mut view, var, value);
+                        }
+                        crashed = false;
+                        cooldown_until = 0;
+                    }
+                    Frame::Shutdown => shutdown = true,
+                    Frame::Hello { .. } | Frame::Report { .. } => {}
+                },
+                Ok(InMsg::Rejected) => counters.rejected += 1,
+                Ok(InMsg::ControlClosed) | Err(TryRecvError::Disconnected) => {
+                    lost_controller = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+        if shutdown || lost_controller {
+            break 'node;
+        }
+
+        if !crashed {
+            // 2. Execute enabled actions, round-robin, paced by cooldown.
+            if tick >= cooldown_until && !spec.actions.is_empty() {
+                let mut executed = false;
+                for _ in 0..timing.steps_per_tick {
+                    let k = spec.actions.len();
+                    let mut chosen = None;
+                    for off in 0..k {
+                        let idx = (cursor + off) % k;
+                        if program.action(spec.actions[idx]).enabled(&view) {
+                            chosen = Some(idx);
+                            break;
+                        }
+                    }
+                    let Some(idx) = chosen else { break };
+                    cursor = (idx + 1) % k;
+                    let action = program.action(spec.actions[idx]);
+                    action.apply(&mut view);
+                    counters.steps += 1;
+                    if action.kind() != ActionKind::Closure {
+                        counters.convergence_steps += 1;
+                    }
+                    executed = true;
+                    for &w in action.writes() {
+                        let value = view.get(w);
+                        data_seq += 1;
+                        let frame = Frame::Update {
+                            node,
+                            seq: data_seq,
+                            var: w.index() as u32,
+                            value,
+                        };
+                        send_to_readers(links, w, &frame, tick, partition, &mut counters);
+                    }
+                }
+                if executed {
+                    cooldown_until = tick + timing.cooldown_ticks;
+                }
+            }
+
+            // 3. Heartbeats: re-broadcast owned values to each reader.
+            if timing.heartbeat_every > 0
+                && tick.is_multiple_of(timing.heartbeat_every)
+                && !links.is_empty()
+            {
+                counters.heartbeats += 1;
+                let mut i = 0;
+                while i < links.len() {
+                    let vars: Vec<(u32, i64)> = links[i]
+                        .vars
+                        .iter()
+                        .map(|&v| (v.index() as u32, view.get(v)))
+                        .collect();
+                    data_seq += 1;
+                    let frame = Frame::Heartbeat {
+                        node,
+                        seq: data_seq,
+                        vars,
+                    };
+                    if links[i]
+                        .link
+                        .send(&frame, tick, partition, &mut counters)
+                        .is_err()
+                    {
+                        links.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // 4. Report authoritative values to the controller.
+            if timing.report_every > 0 && tick.is_multiple_of(timing.report_every) {
+                report_seq += 1;
+                counters.reports += 1;
+                let report = report_frame(spec, node, report_seq, false, counters, &view);
+                if write_frame(control_tx, &report).is_err() {
+                    break 'node;
+                }
+            }
+        }
+
+        // 5. Deliver delayed frames whose tick has come (in-flight frames
+        // belong to the network, so this runs even while crashed).
+        let mut i = 0;
+        while i < links.len() {
+            if links[i].link.flush_due(tick, &mut counters).is_err() {
+                links.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        tick += 1;
+        std::thread::sleep(timing.tick);
+    }
+
+    // Final report: ship the closing counters (best effort).
+    if !lost_controller {
+        report_seq += 1;
+        counters.reports += 1;
+        let report = report_frame(spec, node, report_seq, true, counters, &view);
+        let _ = write_frame(control_tx, &report);
+    }
+    // Shut the socket itself down (shared by every clone): this unblocks
+    // our own control pump thread, and — once the controller's clones go
+    // too — delivers the FIN its reader thread is waiting on. Without
+    // this, each side's blocked reader keeps a clone open and neither
+    // ever sees EOF.
+    let _ = control_tx.shutdown(Shutdown::Both);
+}
+
+/// Send `frame` on every link whose receiver reads `w`; dead links are
+/// dropped (their node has already shut down).
+fn send_to_readers(
+    links: &mut Vec<OutLink>,
+    w: VarId,
+    frame: &Frame,
+    tick: u64,
+    partition: &PartitionMap,
+    counters: &mut CounterSnapshot,
+) {
+    let mut i = 0;
+    while i < links.len() {
+        if links[i].vars.contains(&w)
+            && links[i]
+                .link
+                .send(frame, tick, partition, counters)
+                .is_err()
+        {
+            links.swap_remove(i);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn report_frame(
+    spec: &NodeSpec,
+    node: u16,
+    seq: u64,
+    last: bool,
+    counters: CounterSnapshot,
+    view: &State,
+) -> Frame {
+    Frame::Report {
+        node,
+        seq,
+        last,
+        counters,
+        vars: spec
+            .owned
+            .iter()
+            .map(|&v| (v.index() as u32, view.get(v)))
+            .collect(),
+    }
+}

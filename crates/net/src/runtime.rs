@@ -1,0 +1,640 @@
+//! The controller: launches one socket node per protocol process, injects
+//! scheduled faults, detects stabilization at runtime, and assembles the
+//! machine-readable report.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use nonmask_program::json::{escape, state_to_json};
+use nonmask_program::{Predicate, Program, State, VarId};
+use nonmask_sim::{RefineError, Refinement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::counters::CounterSnapshot;
+use crate::detect::{Detector, DetectorConfig, Episode};
+use crate::fault::{FaultConfig, PartitionMap};
+use crate::node::{run_node, NodeSpec, NodeTiming};
+use crate::wire::{read_frame, write_frame, Frame, MAX_PAYLOAD};
+
+/// A scheduled disturbance.
+///
+/// Events fire in order, and each waits until the detector has declared
+/// the *current* episode converged (and `at_least` has elapsed) — so
+/// every episode's convergence latency is measured from a converged
+/// baseline, never overlapping the previous recovery.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// Crash `node` (it drops its state and goes silent), then after
+    /// `down` restart it with an *arbitrary* full view sampled from the
+    /// run's RNG — the paper's nonmasking scenario.
+    CrashRestart {
+        /// Node to crash.
+        node: usize,
+        /// Earliest time (since run start) the crash may fire.
+        at_least: Duration,
+        /// How long the node stays down.
+        down: Duration,
+    },
+    /// Partition the nodes into groups (frames crossing group boundaries
+    /// drop), then heal after `heal_after`.
+    Partition {
+        /// `groups[node]` is the node's group id.
+        groups: Vec<usize>,
+        /// Earliest time (since run start) the partition may form.
+        at_least: Duration,
+        /// How long the partition lasts.
+        heal_after: Duration,
+    },
+}
+
+/// Configuration of a [`run`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Seed for restart-state sampling (fault rates seed separately via
+    /// [`FaultConfig::seed`]).
+    pub seed: u64,
+    /// Data-plane fault rates.
+    pub faults: FaultConfig,
+    /// Wall-clock duration of one node-loop tick.
+    pub tick: Duration,
+    /// Max actions a node executes per eligible tick.
+    pub steps_per_tick: usize,
+    /// Ticks a node rests after executing (paces the protocol below the
+    /// report cadence so assembled snapshots are near-consistent).
+    pub cooldown_ticks: u64,
+    /// Heartbeat period in ticks (`0` disables; heartbeats are what heal
+    /// caches after lost updates, so disable only with a lossless net).
+    pub heartbeat_every: u64,
+    /// Report period in ticks.
+    pub report_every: u64,
+    /// Stabilization-detector thresholds.
+    pub detector: DetectorConfig,
+    /// Abort the run (unconverged) after this much wall-clock time.
+    pub timeout: Duration,
+    /// Scheduled disturbances.
+    pub events: Vec<NetEvent>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            seed: 0,
+            faults: FaultConfig::default(),
+            tick: Duration::from_micros(200),
+            steps_per_tick: 1,
+            cooldown_ticks: 16,
+            heartbeat_every: 4,
+            report_every: 1,
+            detector: DetectorConfig::default(),
+            timeout: Duration::from_secs(30),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Why a run could not start.
+#[derive(Debug)]
+pub enum NetError {
+    /// The program is not refinable into per-process nodes.
+    Refine(RefineError),
+    /// Arbitrary restart states require bounded domains.
+    Unbounded,
+    /// More processes than the wire's 16-bit node ids.
+    TooManyNodes(usize),
+    /// A full-view frame for this program would exceed [`MAX_PAYLOAD`].
+    TooManyVars(usize),
+    /// An event references a node outside the process range.
+    BadEvent(String),
+    /// Socket setup failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Refine(e) => write!(f, "not refinable: {e}"),
+            NetError::Unbounded => {
+                write!(
+                    f,
+                    "arbitrary restart states require bounded variable domains"
+                )
+            }
+            NetError::TooManyNodes(n) => write!(f, "{n} processes exceed 16-bit node ids"),
+            NetError::TooManyVars(n) => {
+                write!(
+                    f,
+                    "{n} variables do not fit one frame ({MAX_PAYLOAD} byte payload cap)"
+                )
+            }
+            NetError::BadEvent(msg) => write!(f, "bad event: {msg}"),
+            NetError::Io(e) => write!(f, "socket setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<RefineError> for NetError {
+    fn from(e: RefineError) -> Self {
+        NetError::Refine(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// One node's slice of the final report.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// The node's final counters (from its last report).
+    pub counters: CounterSnapshot,
+}
+
+/// The machine-readable outcome of a [`run`].
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Every episode converged and the run did not time out.
+    pub converged: bool,
+    /// The run hit [`NetConfig::timeout`].
+    pub timed_out: bool,
+    /// Convergence episodes with wall-clock latencies.
+    pub episodes: Vec<Episode>,
+    /// Total wall-clock duration of the run.
+    pub wall: Duration,
+    /// Name of the goal predicate.
+    pub goal: String,
+    /// Final assembled (god's-eye) state.
+    pub final_state: State,
+    /// Per-node counters.
+    pub nodes: Vec<NodeReport>,
+}
+
+fn dur_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl NetReport {
+    /// Render as a JSON object (counters, episodes, and final state all
+    /// machine-readable).
+    pub fn to_json(&self) -> String {
+        let episodes: Vec<String> = self
+            .episodes
+            .iter()
+            .map(|e| {
+                let converged = e
+                    .converged_at
+                    .map_or("null".to_owned(), |c| format!("{:.3}", dur_ms(c)));
+                let latency = e
+                    .latency()
+                    .map_or("null".to_owned(), |l| format!("{:.3}", dur_ms(l)));
+                format!(
+                    "{{\"label\":\"{}\",\"started_ms\":{:.3},\"converged_ms\":{},\"latency_ms\":{}}}",
+                    escape(&e.label),
+                    dur_ms(e.started_at),
+                    converged,
+                    latency
+                )
+            })
+            .collect();
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"node\":{},\"counters\":{}}}",
+                    n.node,
+                    n.counters.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"converged\":{},\"timed_out\":{},\"wall_ms\":{:.3},\"goal\":\"{}\",\"episodes\":[{}],\"final_state\":{},\"nodes\":[{}]}}",
+            self.converged,
+            self.timed_out,
+            dur_ms(self.wall),
+            escape(&self.goal),
+            episodes.join(","),
+            state_to_json(&self.final_state),
+            nodes.join(",")
+        )
+    }
+
+    /// Render as a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "converged: {}  (wall {:.1} ms, goal `{}`)\n",
+            self.converged,
+            dur_ms(self.wall),
+            self.goal
+        ));
+        for e in &self.episodes {
+            match e.latency() {
+                Some(l) => out.push_str(&format!("  {}: {:.1} ms\n", e.label, dur_ms(l))),
+                None => out.push_str(&format!("  {}: did not converge\n", e.label)),
+            }
+        }
+        for n in &self.nodes {
+            let c = n.counters;
+            out.push_str(&format!(
+                "  node {}: sent {} recv {} dropped {} corrupted {} dup {} delayed {} rejected {} steps {} (conv {}) hb {} reports {} crashes {}\n",
+                n.node,
+                c.sent,
+                c.received,
+                c.dropped,
+                c.corrupted,
+                c.duplicated,
+                c.delayed,
+                c.rejected,
+                c.steps,
+                c.convergence_steps,
+                c.heartbeats,
+                c.reports,
+                c.crashes
+            ));
+        }
+        out
+    }
+}
+
+/// An internal scheduled follow-up to a fired event.
+enum PendingAction {
+    Restart { node: usize },
+    Heal,
+}
+
+fn build_specs(refinement: &Refinement) -> Vec<NodeSpec> {
+    let n = refinement.process_count();
+    let mut specs: Vec<NodeSpec> = (0..n)
+        .map(|p| NodeSpec {
+            node: p,
+            actions: refinement.actions_of(p),
+            owned: refinement.vars_of(p),
+            out_peers: Vec::new(),
+            expected_incoming: 0,
+        })
+        .collect();
+    for p in 0..n {
+        let mut peer_vars: Vec<(usize, Vec<VarId>)> = Vec::new();
+        for &v in &specs[p].owned.clone() {
+            for &q in refinement.remote_readers_of(v) {
+                match peer_vars.iter_mut().find(|(peer, _)| *peer == q) {
+                    Some((_, vars)) => vars.push(v),
+                    None => peer_vars.push((q, vec![v])),
+                }
+            }
+        }
+        peer_vars.sort_by_key(|(peer, _)| *peer);
+        for (q, _) in &peer_vars {
+            specs[*q].expected_incoming += 1;
+        }
+        specs[p].out_peers = peer_vars;
+    }
+    specs
+}
+
+fn validate(
+    program: &Program,
+    refinement: &Refinement,
+    config: &NetConfig,
+) -> Result<(), NetError> {
+    if !program.is_bounded() {
+        return Err(NetError::Unbounded);
+    }
+    let n = refinement.process_count();
+    if n > usize::from(u16::MAX) {
+        return Err(NetError::TooManyNodes(n));
+    }
+    // A Restart frame carries the full view: 12 bytes per var + header.
+    if program.var_count() * 12 + 64 > MAX_PAYLOAD {
+        return Err(NetError::TooManyVars(program.var_count()));
+    }
+    for event in &config.events {
+        match event {
+            NetEvent::CrashRestart { node, .. } if *node >= n => {
+                return Err(NetError::BadEvent(format!(
+                    "crash-restart of node {node}, but only {n} nodes"
+                )));
+            }
+            NetEvent::Partition { groups, .. } if groups.len() != n => {
+                return Err(NetError::BadEvent(format!(
+                    "partition lists {} groups for {n} nodes",
+                    groups.len()
+                )));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Launch `program` as one TCP-loopback node per process, drive it from
+/// `initial` until the goal predicate stabilizes (and every scheduled
+/// event has played out), and return the observability report.
+///
+/// # Errors
+///
+/// See [`NetError`].
+pub fn run(
+    program: &Program,
+    initial: &State,
+    goal: &Predicate,
+    config: &NetConfig,
+) -> Result<NetReport, NetError> {
+    let refinement = Refinement::new(program)?;
+    validate(program, &refinement, config)?;
+    let specs = build_specs(&refinement);
+    let n = specs.len();
+
+    // Bind every listener before any thread dials anything.
+    let mut node_listeners = Vec::with_capacity(n);
+    let mut peer_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        peer_addrs.push(listener.local_addr()?);
+        node_listeners.push(listener);
+    }
+    let controller_listener = TcpListener::bind("127.0.0.1:0")?;
+    let controller_addr = controller_listener.local_addr()?;
+
+    let partition = PartitionMap::new();
+    let timing = NodeTiming {
+        tick: config.tick,
+        steps_per_tick: config.steps_per_tick,
+        cooldown_ticks: config.cooldown_ticks,
+        heartbeat_every: config.heartbeat_every,
+        report_every: config.report_every,
+        startup_timeout: config.timeout,
+    };
+
+    let mut result: Option<NetReport> = None;
+    std::thread::scope(|scope| -> Result<(), NetError> {
+        for (spec, listener) in specs.iter().zip(node_listeners) {
+            let peer_addrs = &peer_addrs;
+            let partition = &partition;
+            let timing = &timing;
+            let faults = &config.faults;
+            let initial_view = initial.clone();
+            scope.spawn(move || {
+                // Startup failures leave the node silent; the controller
+                // times out and reports non-convergence.
+                let _ = run_node(
+                    program,
+                    spec,
+                    listener,
+                    peer_addrs,
+                    controller_addr,
+                    initial_view,
+                    partition,
+                    faults,
+                    timing,
+                );
+            });
+        }
+        result = Some(control_loop(
+            program,
+            initial,
+            goal,
+            config,
+            &partition,
+            controller_listener,
+            n,
+            scope,
+        )?);
+        Ok(())
+    })?;
+    Ok(result.expect("control loop ran"))
+}
+
+/// Accept all node control connections, run the event/detector loop, and
+/// assemble the report.
+#[allow(clippy::too_many_arguments)]
+fn control_loop<'scope, 'env>(
+    program: &Program,
+    initial: &State,
+    goal: &Predicate,
+    config: &NetConfig,
+    partition: &PartitionMap,
+    controller_listener: TcpListener,
+    n: usize,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+) -> Result<NetReport, NetError>
+where
+    'env: 'scope,
+{
+    let (report_tx, report_rx) = std::sync::mpsc::channel::<Frame>();
+
+    // Each node dials in and opens with Hello{node}; the read half feeds
+    // the report channel, the write half carries control frames. The
+    // accept loop is deadlined: a node that died during startup must not
+    // block the run forever (on bail-out, dropping the listener and the
+    // accepted streams resets every node's control link, which each node
+    // treats as shutdown — so the scoped threads still unwind).
+    let mut control_tx: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    controller_listener.set_nonblocking(true)?;
+    let accept_deadline = Instant::now() + config.timeout;
+    for _ in 0..n {
+        let stream = loop {
+            match controller_listener.accept() {
+                Ok((stream, _)) => break stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() > accept_deadline {
+                        for open in control_tx.iter().flatten() {
+                            let _ = open.shutdown(std::net::Shutdown::Both);
+                        }
+                        return Err(NetError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "a node never connected to the controller",
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        };
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let node = match read_frame(&mut reader)? {
+            Some(Ok(Frame::Hello { node })) => usize::from(node),
+            other => {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Hello on control connection, got {other:?}"),
+                )))
+            }
+        };
+        control_tx[node] = Some(stream);
+        let tx: Sender<Frame> = report_tx.clone();
+        scope.spawn(move || {
+            while let Ok(Some(result)) = read_frame(&mut reader) {
+                match result {
+                    Ok(frame) => {
+                        if tx.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+    }
+    drop(report_tx);
+    drop(controller_listener);
+
+    let start = Instant::now();
+    let mut assembled = initial.clone();
+    let mut node_counters = vec![CounterSnapshot::default(); n];
+    let mut node_done = vec![false; n];
+    let mut detector = Detector::new(config.detector.clone(), "initial convergence");
+    let mut queue: VecDeque<NetEvent> = config.events.iter().cloned().collect();
+    let mut pending: Vec<(Duration, PendingAction)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xD15E_A5ED));
+    let mut timed_out = false;
+
+    let apply_report = |frame: &Frame,
+                        assembled: &mut State,
+                        node_counters: &mut [CounterSnapshot],
+                        node_done: &mut [bool]| {
+        if let Frame::Report {
+            node,
+            last,
+            counters,
+            vars,
+            ..
+        } = frame
+        {
+            let node = usize::from(*node);
+            if node < n {
+                node_counters[node] = *counters;
+                node_done[node] |= *last;
+                for &(var, value) in vars {
+                    if (var as usize) < program.var_count() {
+                        assembled.set(VarId::from_index(var as usize), value);
+                    }
+                }
+            }
+        }
+    };
+
+    loop {
+        // Block briefly for the next report, then drain the backlog.
+        match report_rx.recv_timeout(Duration::from_micros(500)) {
+            Ok(frame) => apply_report(&frame, &mut assembled, &mut node_counters, &mut node_done),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        for frame in report_rx.try_iter() {
+            apply_report(&frame, &mut assembled, &mut node_counters, &mut node_done);
+        }
+        let now = start.elapsed();
+
+        // Fire due follow-ups (restarts, heals) unconditionally.
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, action) = pending.swap_remove(i);
+                match action {
+                    PendingAction::Restart { node } => {
+                        let arbitrary: Vec<(u32, i64)> = program
+                            .var_ids()
+                            .map(|v| (v.index() as u32, program.var(v).domain().sample(&mut rng)))
+                            .collect();
+                        send_control(&mut control_tx, node, &Frame::Restart { vars: arbitrary });
+                        detector.start_episode(now, format!("crash-restart node {node}"));
+                    }
+                    PendingAction::Heal => {
+                        partition.heal();
+                        detector.start_episode(now, "partition heal");
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Fire the next scheduled event once the system is converged.
+        if pending.is_empty() && detector.idle() {
+            let due = matches!(
+                queue.front(),
+                Some(NetEvent::CrashRestart { at_least, .. } | NetEvent::Partition { at_least, .. })
+                    if *at_least <= now
+            );
+            if due {
+                match queue.pop_front().expect("checked front") {
+                    NetEvent::CrashRestart { node, down, .. } => {
+                        send_control(&mut control_tx, node, &Frame::Crash);
+                        pending.push((now + down, PendingAction::Restart { node }));
+                    }
+                    NetEvent::Partition {
+                        groups, heal_after, ..
+                    } => {
+                        partition.set(groups);
+                        pending.push((now + heal_after, PendingAction::Heal));
+                    }
+                }
+            }
+        }
+
+        detector.observe(now, goal.holds(&assembled));
+
+        if queue.is_empty() && pending.is_empty() && detector.idle() {
+            break;
+        }
+        if now > config.timeout {
+            timed_out = true;
+            break;
+        }
+    }
+
+    // Shut everything down and collect final reports.
+    for node in 0..n {
+        send_control(&mut control_tx, node, &Frame::Shutdown);
+    }
+    let grace = Instant::now();
+    while !node_done.iter().all(|&d| d) && grace.elapsed() < Duration::from_secs(5) {
+        match report_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(frame) => apply_report(&frame, &mut assembled, &mut node_counters, &mut node_done),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Shut the sockets down (not just drop our clones): the scoped reader
+    // threads hold their own clones and are blocked in read, so only a
+    // socket-level shutdown gets them EOF and lets the scope join.
+    for stream in control_tx.iter().flatten() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    drop(control_tx);
+
+    let converged = detector.all_converged() && !timed_out;
+    Ok(NetReport {
+        converged,
+        timed_out,
+        episodes: detector.episodes().to_vec(),
+        wall: start.elapsed(),
+        goal: goal.name().to_owned(),
+        final_state: assembled,
+        nodes: node_counters
+            .into_iter()
+            .enumerate()
+            .map(|(node, counters)| NodeReport { node, counters })
+            .collect(),
+    })
+}
+
+/// Best-effort control-plane send; a node that already exited is fine.
+fn send_control(control_tx: &mut [Option<TcpStream>], node: usize, frame: &Frame) {
+    if let Some(stream) = control_tx.get_mut(node).and_then(Option::as_mut) {
+        let _ = write_frame(stream, frame);
+    }
+}

@@ -1,0 +1,588 @@
+//! The length-prefixed wire codec.
+//!
+//! Every frame travels as a 4-byte big-endian payload length followed by
+//! the payload; the payload is a 1-byte tag, the tag-specific body in
+//! fixed-width little-endian fields, and a trailing CRC-32 (IEEE) of the
+//! tag and body. CRC-32 detects every single-bit error and every burst of
+//! up to 32 bits, so the fault injector's bit flips are *always* caught —
+//! a corrupted frame is rejected and counted, never silently applied.
+//!
+//! Stream framing survives payload corruption because the injector (and
+//! any single-frame fault) leaves the length prefix intact; only an
+//! [`WireError::Oversized`] length is unrecoverable mid-stream, and
+//! readers treat it as fatal for the connection.
+
+use std::io::{self, Read, Write};
+
+use crate::counters::CounterSnapshot;
+
+/// Hard ceiling on payload size (tag + body + checksum), in bytes.
+///
+/// Large enough for a [`Frame::Report`] over thousands of variables,
+/// small enough that a corrupted-on-the-wire length cannot make a reader
+/// allocate gigabytes.
+pub const MAX_PAYLOAD: usize = 1 << 16;
+
+/// Bytes of checksum at the end of every payload.
+const CRC_LEN: usize = 4;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the advertised structure was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`] (fatal for a stream: the
+    /// frame boundary itself is untrustworthy).
+    Oversized {
+        /// The advertised payload length.
+        len: usize,
+    },
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// The CRC-32 over tag + body did not match (bit corruption).
+    BadChecksum {
+        /// Checksum carried by the frame.
+        found: u32,
+        /// Checksum recomputed over the received bytes.
+        computed: u32,
+    },
+    /// The payload is longer than the decoded structure (framing slip).
+    Trailing {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} more bytes, have {have}"
+                )
+            }
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes exceeds {MAX_PAYLOAD}")
+            }
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::BadChecksum { found, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {found:#010x}, computed {computed:#010x}"
+                )
+            }
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), bitwise.
+///
+/// Frames are small and sends are paced, so the table-free form is plenty
+/// fast and keeps the codec dependency- and allocation-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A protocol frame.
+///
+/// `Update`/`Heartbeat` flow node → node over the fault-injected data
+/// plane; `Report` flows node → controller and `Crash`/`Restart`/
+/// `Shutdown` controller → node over the reliable instrumentation plane;
+/// `Hello` opens every connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection opener: identifies the dialing node.
+    Hello {
+        /// Index of the dialing node.
+        node: u16,
+    },
+    /// One authoritative variable changed at `node`.
+    Update {
+        /// Writing node.
+        node: u16,
+        /// Per-link send sequence number (diagnostic; receivers tolerate
+        /// loss, duplication, and reordering without it).
+        seq: u64,
+        /// Variable index (`VarId::index()`).
+        var: u32,
+        /// New value.
+        value: i64,
+    },
+    /// Periodic re-broadcast of every variable `node` owns, refreshing
+    /// caches that missed dropped updates.
+    Heartbeat {
+        /// Broadcasting node.
+        node: u16,
+        /// Per-link send sequence number.
+        seq: u64,
+        /// `(variable index, value)` pairs.
+        vars: Vec<(u32, i64)>,
+    },
+    /// Node → controller observability report.
+    Report {
+        /// Reporting node.
+        node: u16,
+        /// Report sequence number.
+        seq: u64,
+        /// True on the final report sent while shutting down.
+        last: bool,
+        /// The node's counters at the time of the report.
+        counters: CounterSnapshot,
+        /// Authoritative `(variable index, value)` pairs for owned vars.
+        vars: Vec<(u32, i64)>,
+    },
+    /// Controller → node: crash now (drop state, go silent).
+    Crash,
+    /// Controller → node: restart with this (arbitrary) full view.
+    Restart {
+        /// `(variable index, value)` pairs covering the node's whole view
+        /// — owned variables *and* caches come back arbitrary.
+        vars: Vec<(u32, i64)>,
+    },
+    /// Controller → node: send a final report and exit.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_REPORT: u8 = 4;
+const TAG_CRASH: u8 = 5;
+const TAG_RESTART: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vars(out: &mut Vec<u8>, vars: &[(u32, i64)]) -> Result<(), WireError> {
+    let count = u16::try_from(vars.len()).map_err(|_| WireError::Oversized {
+        len: vars.len() * 12,
+    })?;
+    put_u16(out, count);
+    for &(var, value) in vars {
+        put_u32(out, var);
+        put_i64(out, value);
+    }
+    Ok(())
+}
+
+/// A cursor over a received payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let have = self.bytes.len() - self.pos;
+        if have < n {
+            return Err(WireError::Truncated { needed: n, have });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn vars(&mut self) -> Result<Vec<(u32, i64)>, WireError> {
+        let count = self.u16()? as usize;
+        let mut vars = Vec::with_capacity(count.min(MAX_PAYLOAD / 12));
+        for _ in 0..count {
+            let var = self.u32()?;
+            let value = self.i64()?;
+            vars.push((var, value));
+        }
+        Ok(vars)
+    }
+}
+
+impl Frame {
+    /// Encode the full wire form: length prefix, tag, body, CRC-32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] if the frame does not fit [`MAX_PAYLOAD`]
+    /// (a variable list too long for one frame).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut payload = Vec::with_capacity(32);
+        match self {
+            Frame::Hello { node } => {
+                payload.push(TAG_HELLO);
+                put_u16(&mut payload, *node);
+            }
+            Frame::Update {
+                node,
+                seq,
+                var,
+                value,
+            } => {
+                payload.push(TAG_UPDATE);
+                put_u16(&mut payload, *node);
+                put_u64(&mut payload, *seq);
+                put_u32(&mut payload, *var);
+                put_i64(&mut payload, *value);
+            }
+            Frame::Heartbeat { node, seq, vars } => {
+                payload.push(TAG_HEARTBEAT);
+                put_u16(&mut payload, *node);
+                put_u64(&mut payload, *seq);
+                put_vars(&mut payload, vars)?;
+            }
+            Frame::Report {
+                node,
+                seq,
+                last,
+                counters,
+                vars,
+            } => {
+                payload.push(TAG_REPORT);
+                put_u16(&mut payload, *node);
+                put_u64(&mut payload, *seq);
+                payload.push(u8::from(*last));
+                for word in counters.to_words() {
+                    put_u64(&mut payload, word);
+                }
+                put_vars(&mut payload, vars)?;
+            }
+            Frame::Crash => payload.push(TAG_CRASH),
+            Frame::Restart { vars } => {
+                payload.push(TAG_RESTART);
+                put_vars(&mut payload, vars)?;
+            }
+            Frame::Shutdown => payload.push(TAG_SHUTDOWN),
+        }
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        if payload.len() > MAX_PAYLOAD {
+            return Err(WireError::Oversized { len: payload.len() });
+        }
+        let mut wire = Vec::with_capacity(4 + payload.len());
+        wire.extend_from_slice(&u32::try_from(payload.len()).expect("bounded").to_be_bytes());
+        wire.extend_from_slice(&payload);
+        Ok(wire)
+    }
+
+    /// Decode a payload (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]; notably [`WireError::BadChecksum`] for any
+    /// single-bit corruption anywhere in the payload.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        if payload.len() < 1 + CRC_LEN {
+            return Err(WireError::Truncated {
+                needed: 1 + CRC_LEN,
+                have: payload.len(),
+            });
+        }
+        if payload.len() > MAX_PAYLOAD {
+            return Err(WireError::Oversized { len: payload.len() });
+        }
+        let (body, crc_bytes) = payload.split_at(payload.len() - CRC_LEN);
+        let found = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if found != computed {
+            return Err(WireError::BadChecksum { found, computed });
+        }
+        let mut c = Cursor {
+            bytes: body,
+            pos: 0,
+        };
+        let frame = match c.u8()? {
+            TAG_HELLO => Frame::Hello { node: c.u16()? },
+            TAG_UPDATE => Frame::Update {
+                node: c.u16()?,
+                seq: c.u64()?,
+                var: c.u32()?,
+                value: c.i64()?,
+            },
+            TAG_HEARTBEAT => Frame::Heartbeat {
+                node: c.u16()?,
+                seq: c.u64()?,
+                vars: c.vars()?,
+            },
+            TAG_REPORT => {
+                let node = c.u16()?;
+                let seq = c.u64()?;
+                let last = c.u8()? != 0;
+                let mut words = [0u64; CounterSnapshot::WORDS];
+                for word in &mut words {
+                    *word = c.u64()?;
+                }
+                Frame::Report {
+                    node,
+                    seq,
+                    last,
+                    counters: CounterSnapshot::from_words(words),
+                    vars: c.vars()?,
+                }
+            }
+            TAG_CRASH => Frame::Crash,
+            TAG_RESTART => Frame::Restart { vars: c.vars()? },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        if c.pos != body.len() {
+            return Err(WireError::Trailing {
+                extra: body.len() - c.pos,
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Write one frame to `w` (length prefix included).
+///
+/// # Errors
+///
+/// I/O errors from the writer; an unencodable frame surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let wire = frame
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    w.write_all(&wire)
+}
+
+/// Read one frame from `r`.
+///
+/// Returns `Ok(None)` on a cleanly (or mid-frame) closed connection,
+/// `Ok(Some(Err(_)))` for a frame that arrived but failed to decode —
+/// [`WireError::Oversized`] is fatal for the stream (the caller must stop
+/// reading; the boundary is lost), checksum/tag errors are per-frame and
+/// the stream remains framed — and `Ok(Some(Ok(_)))` for a good frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than EOF.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Result<Frame, WireError>>> {
+    let mut len_bytes = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut len_bytes) {
+        return match e.kind() {
+            io::ErrorKind::UnexpectedEof => Ok(None),
+            _ => Err(e),
+        };
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_PAYLOAD {
+        return Ok(Some(Err(WireError::Oversized { len })));
+    }
+    let mut payload = vec![0u8; len];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return match e.kind() {
+            io::ErrorKind::UnexpectedEof => Ok(None),
+            _ => Err(e),
+        };
+    }
+    Ok(Some(Frame::decode(&payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { node: 3 },
+            Frame::Update {
+                node: 1,
+                seq: 42,
+                var: 7,
+                value: -5,
+            },
+            Frame::Heartbeat {
+                node: 0,
+                seq: 9,
+                vars: vec![(0, 1), (4, -9)],
+            },
+            Frame::Report {
+                node: 2,
+                seq: 100,
+                last: true,
+                counters: CounterSnapshot {
+                    sent: 1,
+                    received: 2,
+                    dropped: 3,
+                    corrupted: 4,
+                    duplicated: 5,
+                    delayed: 6,
+                    rejected: 7,
+                    steps: 8,
+                    convergence_steps: 9,
+                    heartbeats: 10,
+                    reports: 11,
+                    crashes: 12,
+                },
+                vars: vec![(2, 2)],
+            },
+            Frame::Crash,
+            Frame::Restart {
+                vars: vec![(0, 3), (1, 0), (2, i64::MIN)],
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn roundtrips() {
+        for frame in sample_frames() {
+            let wire = frame.encode().unwrap();
+            let len = u32::from_be_bytes(wire[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, wire.len() - 4);
+            assert_eq!(Frame::decode(&wire[4..]).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn stream_roundtrips() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().unwrap().unwrap(), *f);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let frame = Frame::Update {
+            node: 1,
+            seq: 7,
+            var: 3,
+            value: 11,
+        };
+        let wire = frame.encode().unwrap();
+        let payload = &wire[4..];
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut bad = payload.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let frame = Frame::Heartbeat {
+            node: 1,
+            seq: 2,
+            vars: vec![(0, 1), (1, 2), (2, 3)],
+        };
+        let wire = frame.encode().unwrap();
+        let payload = &wire[4..];
+        for cut in 0..payload.len() {
+            assert!(
+                Frame::decode(&payload[..cut]).is_err(),
+                "truncation to {cut} bytes slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal_not_allocated() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut r = &wire[..];
+        match read_frame(&mut r).unwrap() {
+            Some(Err(WireError::Oversized { len })) => assert_eq!(len, u32::MAX as usize),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let frame = Frame::Crash;
+        let mut wire = frame.encode().unwrap();
+        // Rebuild payload with an extra byte, fixing the checksum so only
+        // the trailing check can object.
+        let mut body = wire[4..wire.len() - CRC_LEN].to_vec();
+        body.push(0xAB);
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        wire = body;
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(WireError::Trailing { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn too_many_vars_is_oversized() {
+        let frame = Frame::Restart {
+            vars: (0..70_000).map(|i| (i as u32, 0i64)).collect(),
+        };
+        assert!(matches!(frame.encode(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn crc_reference_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

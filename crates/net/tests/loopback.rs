@@ -1,0 +1,190 @@
+//! End-to-end tests: real protocols over real TCP loopback sockets,
+//! converging under injected faults and crash-restarts.
+//!
+//! Seeds are fixed so the fault schedule on every link is deterministic;
+//! wall-clock latencies still vary run to run, so assertions are on
+//! outcomes (convergence, episode structure, counters), never on times.
+
+use std::time::Duration;
+
+use nonmask_net::{run, FaultConfig, NetConfig, NetEvent, NetReport};
+use nonmask_program::{Predicate, Program, State};
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// ≥20% frame loss plus corruption, duplication, and delay/reorder.
+fn hostile(seed: u64) -> FaultConfig {
+    FaultConfig::hostile(seed, 0.25)
+}
+
+fn config(seed: u64, events: Vec<NetEvent>) -> NetConfig {
+    NetConfig {
+        seed,
+        faults: hostile(seed),
+        timeout: Duration::from_secs(60),
+        events,
+        ..NetConfig::default()
+    }
+}
+
+fn crash_restart(node: usize) -> Vec<NetEvent> {
+    vec![NetEvent::CrashRestart {
+        node,
+        at_least: Duration::ZERO,
+        down: Duration::from_millis(30),
+    }]
+}
+
+fn run_protocol(
+    program: &Program,
+    goal: &Predicate,
+    seed: u64,
+    events: Vec<NetEvent>,
+) -> NetReport {
+    let initial = program.random_state(&mut StdRng::seed_from_u64(seed));
+    run(program, &initial, goal, &config(seed, events)).expect("run starts")
+}
+
+fn assert_converged(report: &NetReport, episodes: usize) {
+    assert!(report.converged, "did not converge: {}", report.render());
+    assert!(!report.timed_out);
+    assert_eq!(report.episodes.len(), episodes, "{}", report.render());
+    for e in &report.episodes {
+        let latency = e.latency().expect("converged episode has a latency");
+        assert!(latency > Duration::ZERO);
+    }
+}
+
+#[test]
+fn token_ring_converges_under_loss_and_crash_restart() {
+    let ring = TokenRing::new(5, 5);
+    let report = run_protocol(ring.program(), &ring.invariant(), 42, crash_restart(2));
+    assert_converged(&report, 2);
+    assert!(ring.invariant().holds(&report.final_state));
+    assert_eq!(ring.privileges(&report.final_state).len(), 1);
+
+    // The faults actually fired and the nodes actually used the network.
+    let total: u64 = report.nodes.iter().map(|n| n.counters.dropped).sum();
+    assert!(total > 0, "no frames dropped at 25% loss?");
+    let corrupted: u64 = report.nodes.iter().map(|n| n.counters.corrupted).sum();
+    let rejected: u64 = report.nodes.iter().map(|n| n.counters.rejected).sum();
+    assert!(corrupted > 0, "no frames corrupted?");
+    assert!(
+        rejected > 0,
+        "corrupted frames must be rejected by the codec"
+    );
+    assert!(report.nodes.iter().all(|n| n.counters.sent > 0));
+    assert!(report.nodes.iter().all(|n| n.counters.received > 0));
+    // Exactly the crashed node records a crash.
+    assert_eq!(report.nodes[2].counters.crashes, 1);
+    let crashes: u64 = report.nodes.iter().map(|n| n.counters.crashes).sum();
+    assert_eq!(crashes, 1);
+}
+
+#[test]
+fn diffusing_computation_converges_under_loss_and_crash_restart() {
+    let dc = DiffusingComputation::new(&Tree::binary(7));
+    let report = run_protocol(dc.program(), &dc.invariant(), 1337, crash_restart(3));
+    assert_converged(&report, 2);
+    assert!(dc.invariant().holds(&report.final_state));
+    assert_eq!(report.nodes[3].counters.crashes, 1);
+    assert!(report.nodes.iter().map(|n| n.counters.dropped).sum::<u64>() > 0);
+}
+
+#[test]
+fn token_ring_survives_partition_and_heals() {
+    let ring = TokenRing::new(4, 4);
+    let events = vec![NetEvent::Partition {
+        groups: vec![0, 0, 1, 1],
+        at_least: Duration::ZERO,
+        heal_after: Duration::from_millis(40),
+    }];
+    let report = run_protocol(ring.program(), &ring.invariant(), 7, events);
+    assert_converged(&report, 2);
+    assert_eq!(report.episodes[1].label, "partition heal");
+    assert!(ring.invariant().holds(&report.final_state));
+}
+
+#[test]
+fn report_json_is_machine_readable() {
+    let ring = TokenRing::new(3, 3);
+    let report = run_protocol(ring.program(), &ring.invariant(), 5, crash_restart(0));
+    let json = report.to_json();
+    // Structure: episodes with latencies, per-node counters, final state.
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"converged\":true"));
+    assert!(json.contains("\"episodes\":[{\"label\":\"initial convergence\""));
+    assert!(json.contains("\"label\":\"crash-restart node 0\""));
+    assert!(json.contains("\"latency_ms\":"));
+    assert!(json.contains("\"final_state\":["));
+    for node in 0..3 {
+        assert!(json.contains(&format!("{{\"node\":{node},\"counters\":{{\"sent\":")));
+    }
+    for field in ["dropped", "corrupted", "rejected", "convergence_steps"] {
+        assert!(json.contains(&format!("\"{field}\":")), "missing {field}");
+    }
+}
+
+#[test]
+fn faultless_run_reports_clean_counters() {
+    let ring = TokenRing::new(3, 3);
+    let initial = ring.program().state_from([2, 0, 1]).unwrap();
+    let config = NetConfig {
+        timeout: Duration::from_secs(60),
+        ..NetConfig::default()
+    };
+    let report = run(ring.program(), &initial, &ring.invariant(), &config).unwrap();
+    assert_converged(&report, 1);
+    for n in &report.nodes {
+        assert_eq!(n.counters.dropped, 0);
+        assert_eq!(n.counters.corrupted, 0);
+        assert_eq!(n.counters.rejected, 0);
+        assert_eq!(n.counters.crashes, 0);
+        assert_eq!(n.counters.sent, n.counters.sent.max(1));
+    }
+    // A lossless network delivers exactly what was sent.
+    let sent: u64 = report.nodes.iter().map(|n| n.counters.sent).sum();
+    let received: u64 = report.nodes.iter().map(|n| n.counters.received).sum();
+    assert_eq!(sent, received);
+}
+
+#[test]
+fn unrefinable_or_oversized_inputs_error_cleanly() {
+    use nonmask_net::NetError;
+    use nonmask_program::{Domain, ProcessId};
+    // Unbounded domains cannot be crash-restarted into arbitrary states.
+    let mut builder = Program::builder("unbounded");
+    let x = builder.var_of("x", Domain::Unbounded, ProcessId(0));
+    builder.convergence_action(
+        "dec",
+        [x],
+        [x],
+        move |s: &State| s.get(x) > 0,
+        move |s| {
+            let v = s.get(x);
+            s.set(x, v - 1);
+        },
+    );
+    let program = builder.build();
+    let goal = Predicate::new("zero", [x], move |s: &State| s.get(x) == 0);
+    let initial = program.state_from([3]).unwrap();
+    let err = run(&program, &initial, &goal, &NetConfig::default()).unwrap_err();
+    assert!(matches!(err, NetError::Unbounded), "{err}");
+
+    // Events must reference real nodes.
+    let ring = TokenRing::new(3, 3);
+    let config = NetConfig {
+        events: vec![NetEvent::CrashRestart {
+            node: 9,
+            at_least: Duration::ZERO,
+            down: Duration::ZERO,
+        }],
+        ..NetConfig::default()
+    };
+    let initial = ring.initial_state();
+    let err = run(ring.program(), &initial, &ring.invariant(), &config).unwrap_err();
+    assert!(matches!(err, NetError::BadEvent(_)), "{err}");
+}

@@ -6,7 +6,7 @@
 //! | [`diffusing`] | §5.1 | out-tree mirroring the process tree | 1 |
 //! | [`token_ring`] | §7.1 | path, two layers | 3 |
 //! | [`atomic`] | named in the abstract (full version only) | ring, even/odd layers | 3 |
-//! | [`reset`] | §5.1's application list, ref [12] | out-tree (rides on diffusing) | 1 |
+//! | [`reset`] | §5.1's application list, ref \[12\] | out-tree (rides on diffusing) | 1 |
 //! | [`aggregate`] | §5.1's application list (snapshot / termination detection) | out-tree (rides on diffusing) | 1 |
 //! | [`coloring`] | beyond the paper: a *silent* Theorem-1 design | out-tree | 1 |
 //! | [`three_state`] | Dijkstra's 3-state line (checker-verified baseline) | (not constraint-based) | — |

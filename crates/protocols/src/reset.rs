@@ -1,6 +1,6 @@
 //! Distributed reset: the flagship *application* of diffusing computations
 //! (§5.1 names "global state snapshot, termination detection, deadlock
-//! detection, and distributed reset"; the paper's citation [12] is
+//! detection, and distributed reset"; the paper's citation \[12\] is
 //! Arora & Gouda's distributed reset).
 //!
 //! Each node carries an application value `v.j`. The diffusing wave doubles

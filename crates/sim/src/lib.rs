@@ -23,6 +23,11 @@
 //! - [`threaded`] — an actually-concurrent executor (one OS thread per
 //!   process, a lock per variable) for wall-clock sanity experiments.
 //!
+//! The `nonmask-net` crate takes the same [`Refinement`] one step
+//! further: nodes as OS threads whose *only* channel is a TCP loopback
+//! socket, with fault-injecting transport and runtime stabilization
+//! detection — the refinement over a real network stack.
+//!
 //! The engine never consults global state to *execute* — only to *measure*
 //! (stabilization detection uses the god's-eye [`Simulation::ground_truth`]
 //! assembled from authoritative slots, exactly like the paper's proofs

@@ -31,9 +31,38 @@ pub struct ThreadedReport {
     pub stopped_on_predicate: bool,
 }
 
-/// How often (in scheduling attempts) each thread takes a consistent
-/// snapshot to evaluate the stop predicate.
-const SNAPSHOT_PERIOD: u64 = 256;
+/// Tuning knobs for a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedOptions {
+    /// Shared budget of scheduling attempts across all threads.
+    pub attempts: u64,
+    /// How often (in scheduling attempts, per thread) a consistent
+    /// snapshot is taken to evaluate the stop predicate. Smaller detects
+    /// stabilization sooner but serializes on all locks more often.
+    pub snapshot_period: u64,
+}
+
+impl ThreadedOptions {
+    /// Options with the default snapshot period (every 256 attempts).
+    pub fn new(attempts: u64) -> Self {
+        ThreadedOptions {
+            attempts,
+            snapshot_period: 256,
+        }
+    }
+
+    /// Replace the snapshot period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0` (every attempt would be a full-lock snapshot *and*
+    /// `is_multiple_of(0)` never fires — an unusable configuration).
+    pub fn snapshot_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "snapshot period must be positive");
+        self.snapshot_period = period;
+        self
+    }
+}
 
 /// Run `program` with one thread per process, starting from `initial`.
 ///
@@ -45,16 +74,19 @@ const SNAPSHOT_PERIOD: u64 = 256;
 ///
 /// Threads run until either `stop_when` holds on a *consistent* snapshot
 /// (all variable locks held in index order — a true linearization point)
-/// or the shared budget of `attempts` scheduling attempts is exhausted.
-/// The shared budget means no thread retires while others still work, so
-/// late cross-thread updates are never silently dropped.
-pub fn run_threaded_until(
+/// or the shared budget of [`ThreadedOptions::attempts`] scheduling
+/// attempts is exhausted. The shared budget means no thread retires while
+/// others still work, so late cross-thread updates are never silently
+/// dropped.
+pub fn run_threaded_with(
     program: &Program,
     refinement: &Refinement,
     initial: &State,
-    attempts: u64,
+    options: &ThreadedOptions,
     stop_when: Option<&Predicate>,
 ) -> ThreadedReport {
+    let attempts = options.attempts;
+    let snapshot_period = options.snapshot_period.max(1);
     let locks: Vec<Mutex<i64>> = initial.slots().iter().map(|&v| Mutex::new(v)).collect();
     let steps = AtomicU64::new(0);
     let remaining = AtomicU64::new(attempts);
@@ -89,7 +121,7 @@ pub fn run_threaded_until(
                     // Periodically take a consistent snapshot (all locks,
                     // index order) and evaluate the stop predicate.
                     if let Some(pred) = stop_when {
-                        if attempt.is_multiple_of(SNAPSHOT_PERIOD) {
+                        if attempt.is_multiple_of(snapshot_period) {
                             let guards: Vec<_> = locks.iter().map(|m| m.lock().unwrap()).collect();
                             let full: State = guards.iter().map(|g| **g).collect();
                             drop(guards);
@@ -127,6 +159,24 @@ pub fn run_threaded_until(
         steps: steps.into_inner(),
         stopped_on_predicate: stop.into_inner(),
     }
+}
+
+/// [`run_threaded_with`] with the default [`ThreadedOptions`] for a given
+/// attempt budget.
+pub fn run_threaded_until(
+    program: &Program,
+    refinement: &Refinement,
+    initial: &State,
+    attempts: u64,
+    stop_when: Option<&Predicate>,
+) -> ThreadedReport {
+    run_threaded_with(
+        program,
+        refinement,
+        initial,
+        &ThreadedOptions::new(attempts),
+        stop_when,
+    )
 }
 
 /// [`run_threaded_until`] without a stop predicate: run the whole attempt
@@ -181,6 +231,31 @@ mod tests {
         dc.program().validate_state(&report.final_state).unwrap();
         assert!(report.steps > 0);
         assert!(!report.stopped_on_predicate);
+    }
+
+    #[test]
+    fn custom_snapshot_period_still_stops_on_predicate() {
+        let ring = TokenRing::new(4, 4);
+        let refinement = Refinement::new(ring.program()).unwrap();
+        let corrupt = ring.program().state_from([3, 1, 2, 0]).unwrap();
+        // An aggressive period (every attempt) must still stabilize and
+        // stop; it just checks far more often than the default 256.
+        let options = ThreadedOptions::new(50_000_000).snapshot_period(1);
+        let report = run_threaded_with(
+            ring.program(),
+            &refinement,
+            &corrupt,
+            &options,
+            Some(&ring.invariant()),
+        );
+        assert!(report.stopped_on_predicate);
+        assert_eq!(ring.privileges(&report.final_state).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot period must be positive")]
+    fn zero_snapshot_period_is_rejected() {
+        let _ = ThreadedOptions::new(10).snapshot_period(0);
     }
 
     #[test]

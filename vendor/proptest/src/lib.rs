@@ -3,7 +3,7 @@
 //!
 //! The build environment is offline, so the workspace vendors a minimal
 //! random-generation property-testing harness with proptest-compatible
-//! spelling: [`Strategy`] with `prop_map` / `prop_flat_map` /
+//! spelling: [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
 //! `prop_filter` / `prop_filter_map` / `prop_recursive` / `boxed`,
 //! [`strategy::Just`], range and tuple and `Vec` strategies,
 //! [`collection::vec`] / [`collection::btree_set`], [`option::of`],
