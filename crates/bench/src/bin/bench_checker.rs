@@ -1,0 +1,250 @@
+//! B1 perf baseline: state-space construction throughput and resident
+//! memory of the CSR representation, emitted as `BENCH_checker.json`.
+//!
+//! ```text
+//! bench_checker                 # full run (includes the 16.7M-state instances)
+//! bench_checker --smoke         # small instances only (CI-sized, seconds)
+//! bench_checker --check         # additionally fail if bytes/state regresses
+//! bench_checker --out FILE      # write the JSON somewhere else
+//! ```
+//!
+//! For every instance the run reports states/s and transitions/s of
+//! enumeration, the CSR resident bytes per state
+//! ([`StateSpace::resident_bytes`]), and the bytes per state of the seed
+//! representation, computed from the same state and transition counts.
+//! The seed's `StateSpace` held three parallel structures (see the v0
+//! `crates/checker/src/space.rs`): a materialized `Vec<State>`, a
+//! `HashMap<State, StateId>` reverse index with *owned cloned* keys, and
+//! one `Vec<(ActionId, StateId)>` transition row per state:
+//!
+//! ```text
+//! seed_bytes = n·(16 + 8·vars)      states column (fat Box<[i64]> + slots)
+//!            + n·(16 + 8·vars)      cloned HashMap keys (heap)
+//!            + (n·8/7)·(24 + 1)     hash buckets (key+id) + control bytes
+//!            + n·24 + m·8           row Vec headers + 8-byte pairs
+//! ```
+//!
+//! With `--check`, each instance's measured CSR bytes/state is compared
+//! against the committed ceiling below; CI runs `--smoke --check` so a
+//! representation regression (e.g. transitions growing back to 16 bytes)
+//! fails the build.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nonmask_checker::{CheckOptions, StateSpace};
+use nonmask_program::Program;
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+
+/// One benchmark instance: a named program plus the committed ceiling on
+/// CSR bytes per state (`--check` fails above it). Ceilings are ~15% over
+/// the measured value on the reference container, so noise passes but a
+/// layout regression (anything that adds bytes per transition) does not.
+struct Instance {
+    name: &'static str,
+    program: Program,
+    max_bytes_per_state: f64,
+    smoke: bool,
+}
+
+fn instances(smoke_only: bool) -> Vec<Instance> {
+    let mut all = vec![
+        Instance {
+            name: "token-ring-n5-k5",
+            program: TokenRing::new(5, 5).program().clone(),
+            max_bytes_per_state: 36.0,
+            smoke: true,
+        },
+        Instance {
+            name: "token-ring-n7-k7",
+            program: TokenRing::new(7, 7).program().clone(),
+            max_bytes_per_state: 52.0,
+            smoke: true,
+        },
+        Instance {
+            name: "diffusing-binary-9",
+            program: DiffusingComputation::new(&Tree::binary(9))
+                .program()
+                .clone(),
+            max_bytes_per_state: 78.0,
+            smoke: true,
+        },
+        Instance {
+            name: "token-ring-n8-k8",
+            program: TokenRing::new(8, 8).program().clone(),
+            max_bytes_per_state: 62.0,
+            smoke: false,
+        },
+        Instance {
+            name: "diffusing-binary-12",
+            program: DiffusingComputation::new(&Tree::binary(12))
+                .program()
+                .clone(),
+            max_bytes_per_state: 110.0,
+            smoke: false,
+        },
+    ];
+    if smoke_only {
+        all.retain(|i| i.smoke);
+    }
+    all
+}
+
+struct Row {
+    name: &'static str,
+    states: usize,
+    transitions: usize,
+    enumerate_seconds: f64,
+    states_per_second: f64,
+    transitions_per_second: f64,
+    resident_bytes: usize,
+    bytes_per_state: f64,
+    seed_bytes: u64,
+    seed_bytes_per_state: f64,
+    memory_reduction: f64,
+    max_bytes_per_state: f64,
+}
+
+fn measure(inst: &Instance) -> Row {
+    let started = Instant::now();
+    let space = StateSpace::enumerate_with_options(&inst.program, CheckOptions::default())
+        .expect("bench instances are bounded and fit the default budget");
+    let secs = started.elapsed().as_secs_f64();
+
+    let n = space.len();
+    let m = space.transition_count();
+    let vars = space.var_count();
+    let resident = space.resident_bytes();
+    // The seed representation (see the module docs): materialized states,
+    // a hash index with owned keys, and nested transition rows. The hash
+    // table is modeled at its 7/8 maximum load factor, i.e. a lower bound
+    // on its true capacity.
+    let state_bytes = 16 + 8 * vars as u64;
+    let seed_bytes = n as u64 * state_bytes * 2   // Vec<State> + cloned keys
+        + (n as u64 * 8).div_ceil(7) * 25         // buckets (24 B) + ctrl (1 B)
+        + n as u64 * 24                           // row Vec headers
+        + m as u64 * 8; // (ActionId, StateId) pairs
+
+    Row {
+        name: inst.name,
+        states: n,
+        transitions: m,
+        enumerate_seconds: secs,
+        states_per_second: n as f64 / secs,
+        transitions_per_second: m as f64 / secs,
+        resident_bytes: resident,
+        bytes_per_state: resident as f64 / n as f64,
+        seed_bytes,
+        seed_bytes_per_state: seed_bytes as f64 / n as f64,
+        memory_reduction: seed_bytes as f64 / resident as f64,
+        max_bytes_per_state: inst.max_bytes_per_state,
+    }
+}
+
+fn to_json(mode: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench-checker-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"instances\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"states\": {},\n",
+                "      \"transitions\": {},\n",
+                "      \"enumerate_seconds\": {:.3},\n",
+                "      \"states_per_second\": {:.0},\n",
+                "      \"transitions_per_second\": {:.0},\n",
+                "      \"resident_bytes\": {},\n",
+                "      \"bytes_per_state\": {:.2},\n",
+                "      \"seed_bytes\": {},\n",
+                "      \"seed_bytes_per_state\": {:.2},\n",
+                "      \"memory_reduction\": {:.2},\n",
+                "      \"max_bytes_per_state\": {:.1}\n",
+                "    }}{}\n",
+            ),
+            r.name,
+            r.states,
+            r.transitions,
+            r.enumerate_seconds,
+            r.states_per_second,
+            r.transitions_per_second,
+            r.resident_bytes,
+            r.bytes_per_state,
+            r.seed_bytes,
+            r.seed_bytes_per_state,
+            r.memory_reduction,
+            r.max_bytes_per_state,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_checker.json".to_string());
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>9} {:>12} {:>13} {:>8} {:>8} {:>7}",
+        "instance",
+        "states",
+        "transitions",
+        "enum s",
+        "states/s",
+        "trans/s",
+        "B/state",
+        "seed B/s",
+        "reduce"
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for inst in instances(smoke) {
+        let r = measure(&inst);
+        println!(
+            "{:<22} {:>12} {:>12} {:>9.3} {:>12.0} {:>13.0} {:>8.2} {:>8.2} {:>6.2}x",
+            r.name,
+            r.states,
+            r.transitions,
+            r.enumerate_seconds,
+            r.states_per_second,
+            r.transitions_per_second,
+            r.bytes_per_state,
+            r.seed_bytes_per_state,
+            r.memory_reduction,
+        );
+        if check && r.bytes_per_state > r.max_bytes_per_state {
+            eprintln!(
+                "FAIL {}: {:.2} bytes/state exceeds the committed ceiling {:.1}",
+                r.name, r.bytes_per_state, r.max_bytes_per_state
+            );
+            failed = true;
+        }
+        rows.push(r);
+    }
+
+    let json = to_json(if smoke { "smoke" } else { "full" }, &rows);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

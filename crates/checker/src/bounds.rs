@@ -88,14 +88,14 @@ pub fn worst_case_moves_bits(
         mark[start] = Mark::Grey;
         while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
             let sid = region[v];
-            let succs = space.successors(sid);
+            let succs = space.successor_ids(sid);
             if succs.is_empty() {
                 // Deadlock inside the region: the computation never reaches
                 // `to`, so no finite bound exists.
                 return None;
             }
             if *ci < succs.len() {
-                let (_, t) = succs[*ci];
+                let t = succs[*ci];
                 *ci += 1;
                 let tl = local[t.index()];
                 if tl == u32::MAX {
@@ -112,7 +112,7 @@ pub fn worst_case_moves_bits(
             } else {
                 // All children resolved: longest = 1 + max(child longest, 0-for-exits).
                 let mut best = 0u64;
-                for &(_, t) in succs {
+                for &t in succs {
                     let tl = local[t.index()];
                     let via = if tl == u32::MAX {
                         1
@@ -181,9 +181,10 @@ pub fn check_variant(
     let _ = program;
     let mut local = vec![u32::MAX; space.len()];
     let mut region: Vec<StateId> = Vec::new();
+    let mut scratch = space.scratch_state();
     for id in space.ids() {
-        let s = space.state(id);
-        if from.holds(s) && !to.holds(s) {
+        space.decode_state(id, &mut scratch);
+        if from.holds(&scratch) && !to.holds(&scratch) {
             local[id.index()] = region.len() as u32;
             region.push(id);
         }
@@ -192,22 +193,25 @@ pub fn check_variant(
     // Non-increase along all transitions leaving region states (whether
     // they stay in the region or exit, the variant must not grow while
     // outside `to`). Build the constant-value internal adjacency as we go.
+    let mut succ_scratch = space.scratch_state();
     let mut flat_adj: Vec<Vec<u32>> = vec![Vec::new(); region.len()];
     for (li, &id) in region.iter().enumerate() {
-        let s = space.state(id);
-        if space.successors(id).is_empty() {
-            return VariantReport::Deadlock { state: s.clone() };
+        space.decode_state(id, &mut scratch);
+        if space.successor_ids(id).is_empty() {
+            return VariantReport::Deadlock {
+                state: scratch.clone(),
+            };
         }
-        let fv = f(s);
-        for &(_, t) in space.successors(id) {
-            let ts = space.state(t);
+        let fv = f(&scratch);
+        for &t in space.successor_ids(id) {
             let tl = local[t.index()];
             if tl != u32::MAX {
-                let ftv = f(ts);
+                space.decode_state(t, &mut succ_scratch);
+                let ftv = f(&succ_scratch);
                 if ftv > fv {
                     return VariantReport::Increases {
-                        before: s.clone(),
-                        after: ts.clone(),
+                        before: scratch.clone(),
+                        after: succ_scratch.clone(),
                     };
                 }
                 if ftv == fv {
@@ -220,7 +224,7 @@ pub fn check_variant(
     // A cycle among constant-value internal edges = plateau.
     if let Some(v) = find_cycle_vertex(&flat_adj) {
         return VariantReport::StuckPlateau {
-            state: space.state(region[v]).clone(),
+            state: space.state(region[v]),
         };
     }
     VariantReport::Valid

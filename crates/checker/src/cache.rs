@@ -71,11 +71,32 @@ impl Bitset {
         Bitset { words, len }
     }
 
-    /// Evaluate `pred` once at every state of `space`.
+    /// Evaluate `pred` once at every state of `space`, decoding each state
+    /// into a per-worker scratch buffer (no per-state allocation).
     pub fn for_predicate(space: &StateSpace, pred: &Predicate, opts: CheckOptions) -> Self {
-        Bitset::from_fn(space.len(), opts, |i| {
-            pred.holds(space.state(StateId::from_index(i)))
+        let len = space.len();
+        let word_count = len.div_ceil(64);
+        let workers = opts.workers_for(len);
+        let words: Vec<u64> = run_chunks(word_count, workers, |word_range| {
+            let mut scratch = space.scratch_state();
+            word_range
+                .map(|wi| {
+                    let mut word = 0u64;
+                    let base = wi * 64;
+                    for bit in 0..64usize.min(len - base.min(len)) {
+                        space.decode_state(StateId::from_index(base + bit), &mut scratch);
+                        if pred.holds(&scratch) {
+                            word |= 1 << bit;
+                        }
+                    }
+                    word
+                })
+                .collect::<Vec<u64>>()
         })
+        .into_iter()
+        .flatten()
+        .collect();
+        Bitset { words, len }
     }
 
     /// Whether state index `i` is in the set.
@@ -111,6 +132,15 @@ impl Bitset {
     /// Number of member states.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the member indices in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Set intersection (conjunction of the cached predicates).
@@ -149,6 +179,29 @@ impl Bitset {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+}
+
+/// Ascending iterator over the member indices of a [`Bitset`], produced by
+/// [`Bitset::iter_ones`]. Skips zero words a whole word at a time.
+#[derive(Debug, Clone)]
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
     }
 }
 
@@ -192,6 +245,18 @@ mod tests {
         }
         // Complement is exact on the tail word.
         assert_eq!(a.count_ones() + a.not().count_ones(), 130);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        for len in [0, 1, 63, 64, 65, 130, 1000] {
+            let b = Bitset::from_fn(len, CheckOptions::serial(), |i| i % 7 == 0 || i == len - 1);
+            let got: Vec<usize> = b.iter_ones().collect();
+            let want: Vec<usize> = (0..len).filter(|&i| b.get(i)).collect();
+            assert_eq!(got, want, "len={len}");
+        }
+        assert_eq!(Bitset::zeros(500).iter_ones().count(), 0);
+        assert_eq!(Bitset::ones(500).iter_ones().count(), 500);
     }
 
     #[test]

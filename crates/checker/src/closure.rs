@@ -95,7 +95,7 @@ pub fn preserves_given_bits(
             if !pred_bits.get(i) || !assuming_bits.get(i) {
                 continue;
             }
-            for &(a, succ) in space.successors(StateId::from_index(i)) {
+            for (a, succ) in space.successors(StateId::from_index(i)) {
                 if a == action && !pred_bits.contains(succ) {
                     return Some((i, succ));
                 }
@@ -108,8 +108,8 @@ pub fn preserves_given_bits(
     .next();
     first.map(|(i, succ)| Violation {
         action,
-        before: space.state(StateId::from_index(i)).clone(),
-        after: space.state(succ).clone(),
+        before: space.state(StateId::from_index(i)),
+        after: space.state(succ),
     })
 }
 

@@ -25,17 +25,34 @@
 //! `Q` repeatedly, splicing in each always-enabled action's internal
 //! transition.)
 //!
-//! Region construction and the deadlock/escape sweep run in parallel over
-//! contiguous id chunks (see [`CheckOptions`]); the SCC analysis is
-//! sequential (it is linear in the region's edges, which is small next to
-//! the full sweep). Every thread count reports the same witness: the
-//! lowest-id event wins, exactly as in a sequential scan.
+//! # Pipeline
+//!
+//! The region's internal adjacency is built as a CSR graph (region-local
+//! `u32` nodes, one `offsets` array plus a flat `edges` array) with the same
+//! two-phase count/prefix-sum/fill scheme as the state space itself, so the
+//! layout is bit-identical for every thread count. The deadlock/escape sweep
+//! rides along with the counting pass.
+//!
+//! Before any SCC work, a **peeling fast path** computes the greatest set of
+//! region states from which a computation can stay in the region *forever*:
+//! repeatedly remove (via reverse edges and internal out-degree counters,
+//! Kahn-style, `O(V+E)`) every state all of whose internal successors are
+//! already removed. A state survives iff it starts an infinite
+//! region-confined path, so every cycle — and hence every nontrivial SCC —
+//! lies wholly inside the residual. In the common converging case the
+//! residual is empty and Tarjan never runs; otherwise Tarjan runs on the
+//! residual subgraph only. (Note the residual is *not* "states that cannot
+//! reach `S`": a cycle that could exit to `S` but need not is still a legal
+//! unfair divergence, and the peel keeps it.)
+//!
+//! Every thread count reports the same witness: the lowest-id event wins,
+//! exactly as in a sequential scan.
 
-use nonmask_program::{Predicate, Program, State};
+use nonmask_program::{ActionId, Predicate, Program, State};
 
 use crate::cache::Bitset;
-use crate::options::{run_chunks, CheckOptions};
-use crate::space::{StateId, StateSpace};
+use crate::options::{chunk_ranges, run_chunks, CheckOptions};
+use crate::space::{offsets_from_counts, StateId, StateSpace};
 
 /// The daemon assumption under which convergence is checked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,42 +160,43 @@ pub fn check_convergence_bits(
         return ConvergenceResult::Converges;
     }
 
-    // Deadlocks, escapes, and the region-internal adjacency, in parallel
-    // chunks over the region. Each worker reports its first (lowest-index)
-    // event; the minimum over workers is the sequential witness.
+    // Counting pass: deadlocks, escapes, and per-state internal edge counts,
+    // in parallel chunks over the region. Each worker reports its first
+    // (lowest-index) event; the minimum over workers is the sequential
+    // witness.
     enum Event {
         Deadlock,
         Escape { after: StateId },
     }
-    let workers = opts.workers_for(region.len());
+    let n = region.len();
+    let workers = opts.workers_for(n);
     let region_ref = &region;
-    let local_ref = &local;
-    let chunks = run_chunks(region.len(), workers, move |range| {
-        let mut adj_rows: Vec<Vec<u32>> = Vec::with_capacity(range.len());
+    let chunks = run_chunks(n, workers, move |range| {
+        let mut counts: Vec<u32> = Vec::with_capacity(range.len());
         for li in range {
             let id = region_ref[li];
-            let succs = space.successors(id);
+            let succs = space.successor_ids(id);
             if succs.is_empty() {
-                return (adj_rows, Some((li, Event::Deadlock)));
+                return (counts, Some((li, Event::Deadlock)));
             }
-            let mut row = Vec::new();
-            for &(_, t) in succs {
+            let mut c = 0u32;
+            for &t in succs {
                 if to_bits.contains(t) {
                     continue; // exits into S
                 }
                 if !from_bits.contains(t) {
-                    return (adj_rows, Some((li, Event::Escape { after: t })));
+                    return (counts, Some((li, Event::Escape { after: t })));
                 }
-                row.push(local_ref[t.index()]);
+                c += 1;
             }
-            adj_rows.push(row);
+            counts.push(c);
         }
-        (adj_rows, None)
+        (counts, None)
     });
-    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(region.len());
+    let mut counts: Vec<u32> = Vec::with_capacity(n);
     let mut first_event: Option<(usize, Event)> = None;
-    for (rows, event) in chunks {
-        adj.extend(rows);
+    for (chunk_counts, event) in chunks {
+        counts.extend(chunk_counts);
         if let Some((li, e)) = event {
             if first_event.as_ref().is_none_or(|(fli, _)| li < *fli) {
                 first_event = Some((li, e));
@@ -186,36 +204,122 @@ pub fn check_convergence_bits(
         }
     }
     if let Some((li, event)) = first_event {
-        let before = space.state(region[li]).clone();
+        let before = space.state(region[li]);
         return match event {
             Event::Deadlock => ConvergenceResult::DeadlockOutsideTarget { state: before },
             Event::Escape { after } => ConvergenceResult::EscapesFaultSpan {
                 before,
-                after: space.state(after).clone(),
+                after: space.state(after),
             },
         };
     }
 
-    // Strongly connected components of the region subgraph (iterative
+    // Internal region edges can't outnumber the space's transitions, which
+    // fit u32 offsets by construction.
+    let offsets =
+        offsets_from_counts(&counts).expect("region edges bounded by the space's transitions");
+    let m = *offsets.last().expect("offsets never empty") as usize;
+
+    // Fill pass: region-local CSR edges, each chunk writing its disjoint
+    // sub-slice (same chunk boundaries as the counting pass).
+    let local_ref = &local;
+    let mut edges = vec![0u32; m];
+    let fill = |range: std::ops::Range<usize>, out: &mut [u32]| {
+        let mut k = 0usize;
+        for li in range {
+            for &t in space.successor_ids(region_ref[li]) {
+                if !to_bits.contains(t) {
+                    out[k] = local_ref[t.index()];
+                    k += 1;
+                }
+            }
+        }
+        debug_assert_eq!(k, out.len());
+    };
+    if workers <= 1 {
+        fill(0..n, &mut edges);
+    } else {
+        let fill = &fill;
+        let mut rest: &mut [u32] = &mut edges;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for r in chunk_ranges(n, workers) {
+                let take = (offsets[r.end] - offsets[r.start]) as usize;
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                rest = tail;
+                handles.push(scope.spawn(move || fill(r, chunk)));
+            }
+            for h in handles {
+                h.join().expect("checker worker panicked");
+            }
+        });
+    }
+    let row = |u: u32| -> &[u32] {
+        let (lo, hi) = (
+            offsets[u as usize] as usize,
+            offsets[u as usize + 1] as usize,
+        );
+        &edges[lo..hi]
+    };
+
+    // Peeling fast path: remove every state whose internal successors are
+    // all removed; what survives (`outdeg > 0` at the fixpoint) is exactly
+    // the set of states with an infinite region-confined path. Empty in the
+    // common converging case — then no SCC analysis is needed at all.
+    let (rev_offsets, rev_edges) = reverse_csr(&offsets, &edges, n);
+    let mut outdeg = counts;
+    let mut worklist: Vec<u32> = (0..n as u32).filter(|&u| outdeg[u as usize] == 0).collect();
+    let mut removed = worklist.len();
+    while let Some(u) = worklist.pop() {
+        let (lo, hi) = (
+            rev_offsets[u as usize] as usize,
+            rev_offsets[u as usize + 1] as usize,
+        );
+        for &p in &rev_edges[lo..hi] {
+            outdeg[p as usize] -= 1;
+            if outdeg[p as usize] == 0 {
+                worklist.push(p);
+                removed += 1;
+            }
+        }
+    }
+    if removed == n {
+        return ConvergenceResult::Converges;
+    }
+    let mut alive = Bitset::zeros(n);
+    for (u, &d) in outdeg.iter().enumerate() {
+        if d > 0 {
+            alive.set(u);
+        }
+    }
+
+    // Strongly connected components of the residual subgraph (iterative
     // Tarjan), keeping only components that contain at least one internal
-    // edge (a single state with no self-transition cannot host a cycle).
-    let sccs = tarjan_sccs(&adj);
+    // edge (a residual chain state feeding a cycle is a singleton SCC and
+    // cannot itself host one).
+    let sccs = tarjan_sccs_csr(&offsets, &edges, &alive);
     for scc in &sccs {
+        let mut scc_bits = Bitset::zeros(n);
+        for &u in scc {
+            scc_bits.set(u as usize);
+        }
         let has_internal_edge = scc
             .iter()
-            .any(|&u| adj[u as usize].iter().any(|v| scc.binary_search(v).is_ok()));
+            .any(|&u| row(u).iter().any(|&v| scc_bits.get(v as usize)));
         if !has_internal_edge {
             continue;
         }
         let divergent = match fairness {
             Fairness::Unfair => true,
-            Fairness::WeaklyFair => fair_admissible(space, program, &region, scc),
+            Fairness::WeaklyFair => {
+                fair_admissible(space, program, &region, &local, scc, &scc_bits)
+            }
         };
         if divergent {
             return ConvergenceResult::Divergence {
                 states: scc
                     .iter()
-                    .map(|&u| space.state(region[u as usize]).clone())
+                    .map(|&u| space.state(region[u as usize]))
                     .collect(),
                 fairness,
             };
@@ -250,21 +354,45 @@ pub(crate) fn build_region(
     (region, local)
 }
 
+/// Transpose a CSR graph over `n` nodes: `(rev_offsets, rev_edges)` with
+/// the predecessors of `u` at `rev_edges[rev_offsets[u]..rev_offsets[u+1]]`.
+fn reverse_csr(offsets: &[u32], edges: &[u32], n: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut rev_counts = vec![0u32; n];
+    for &t in edges {
+        rev_counts[t as usize] += 1;
+    }
+    let rev_offsets = offsets_from_counts(&rev_counts).expect("transpose has the same edge count");
+    let mut cursor: Vec<u32> = rev_offsets[..n].to_vec();
+    let mut rev_edges = vec![0u32; edges.len()];
+    for u in 0..n {
+        let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+        for &t in &edges[lo..hi] {
+            rev_edges[cursor[t as usize] as usize] = u as u32;
+            cursor[t as usize] += 1;
+        }
+    }
+    (rev_offsets, rev_edges)
+}
+
 /// Whether the SCC admits a weakly fair infinite computation: every action
 /// enabled at all of its states must have a transition staying inside it.
 ///
 /// Enabledness is read off the transition table (an action is enabled at a
 /// state exactly when the state has a successor pair for it), so no guard
-/// is re-evaluated here.
-fn fair_admissible(space: &StateSpace, program: &Program, region: &[StateId], scc: &[u32]) -> bool {
+/// is re-evaluated here. Membership tests reuse the dense `local` numbering
+/// from [`build_region`] plus the per-SCC bitset — O(1) per transition, no
+/// binary searches.
+fn fair_admissible(
+    space: &StateSpace,
+    program: &Program,
+    region: &[StateId],
+    local: &[u32],
+    scc: &[u32],
+    scc_bits: &Bitset,
+) -> bool {
     let in_scc = |sid: StateId| -> bool {
-        // Map the global state id back to the region-local index and check
-        // membership (scc is sorted).
-        region
-            .binary_search(&sid)
-            .ok()
-            .map(|li| scc.binary_search(&(li as u32)).is_ok())
-            .unwrap_or(false)
+        let li = local[sid.index()];
+        li != u32::MAX && scc_bits.get(li as usize)
     };
 
     'actions: for aid in program.action_ids() {
@@ -272,7 +400,7 @@ fn fair_admissible(space: &StateSpace, program: &Program, region: &[StateId], sc
         for &u in scc {
             let sid = region[u as usize];
             let mut enabled = false;
-            for &(a, t) in space.successors(sid) {
+            for (a, t) in space.successors(sid) {
                 if a != aid {
                     continue;
                 }
@@ -296,52 +424,67 @@ fn fair_admissible(space: &StateSpace, program: &Program, region: &[StateId], sc
     true
 }
 
+/// One step of a replayable witness path produced by [`shortest_path_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// The action whose execution reached [`PathStep::state`] from the
+    /// previous step's state; `None` at the start of the path.
+    pub action: Option<ActionId>,
+    /// The state reached.
+    pub state: State,
+}
+
 /// A breadth-first witness path: from some state satisfying `from` to the
 /// first state in `targets`, following program transitions. Used to turn a
 /// divergence witness (the SCC states of
 /// [`ConvergenceResult::Divergence`]) into a full counterexample
-/// computation a reader can replay.
+/// computation a reader can replay: each step records the [`ActionId`]
+/// executed, so `program.action(a).successor(&prev)` reproduces it.
 ///
 /// Returns `None` when no target is reachable from `from` (then the
 /// divergence is only reachable via fault actions, not program steps).
 pub fn shortest_path_to(
     space: &StateSpace,
-    program: &Program,
     from: &Predicate,
     targets: &[State],
-) -> Option<Vec<State>> {
-    let _ = program;
-    let mut target_ids = vec![false; space.len()];
+) -> Option<Vec<PathStep>> {
+    const NO_PARENT: u32 = u32::MAX;
+    let mut target_ids = Bitset::zeros(space.len());
     for t in targets {
         if let Some(id) = space.id_of(t) {
-            target_ids[id.index()] = true;
+            target_ids.set(id.index());
         }
     }
-    let mut parent: Vec<Option<StateId>> = vec![None; space.len()];
-    let mut seen = vec![false; space.len()];
-    let mut queue = std::collections::VecDeque::new();
-    for id in space.ids() {
-        if from.holds(space.state(id)) {
-            seen[id.index()] = true;
-            queue.push_back(id);
-        }
-    }
+    let mut parent = vec![NO_PARENT; space.len()];
+    let mut via = vec![ActionId::from_index(0); space.len()];
+    let mut seen = Bitset::for_predicate(space, from, CheckOptions::default());
+    let mut queue: std::collections::VecDeque<StateId> =
+        seen.iter_ones().map(StateId::from_index).collect();
     while let Some(id) = queue.pop_front() {
-        if target_ids[id.index()] {
-            // Rebuild the path.
-            let mut path = vec![space.state(id).clone()];
+        if target_ids.contains(id) {
+            // Rebuild the path; the start state (no parent) carries no
+            // action.
+            let mut path = Vec::new();
             let mut cur = id;
-            while let Some(p) = parent[cur.index()] {
-                path.push(space.state(p).clone());
-                cur = p;
+            loop {
+                let p = parent[cur.index()];
+                path.push(PathStep {
+                    action: (p != NO_PARENT).then(|| via[cur.index()]),
+                    state: space.state(cur),
+                });
+                if p == NO_PARENT {
+                    break;
+                }
+                cur = StateId::from_index(p as usize);
             }
             path.reverse();
             return Some(path);
         }
-        for &(_, next) in space.successors(id) {
-            if !seen[next.index()] {
-                seen[next.index()] = true;
-                parent[next.index()] = Some(id);
+        for (a, next) in space.successors(id) {
+            if !seen.contains(next) {
+                seen.set(next.index());
+                parent[next.index()] = id.index() as u32;
+                via[next.index()] = a;
                 queue.push_back(next);
             }
         }
@@ -349,10 +492,18 @@ pub fn shortest_path_to(
     None
 }
 
-/// Iterative Tarjan SCC. Returns each component as a sorted vector of
-/// node indices.
-fn tarjan_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
-    let n = adj.len();
+/// Iterative Tarjan SCC over a CSR graph, restricted to the `alive`
+/// sub-nodes (both roots and traversed edges). Returns each component as a
+/// sorted vector of node indices.
+fn tarjan_sccs_csr(offsets: &[u32], edges: &[u32], alive: &Bitset) -> Vec<Vec<u32>> {
+    let n = offsets.len() - 1;
+    let row = |u: u32| -> &[u32] {
+        let (lo, hi) = (
+            offsets[u as usize] as usize,
+            offsets[u as usize + 1] as usize,
+        );
+        &edges[lo..hi]
+    };
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
     let mut on_stack = vec![false; n];
@@ -363,7 +514,7 @@ fn tarjan_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
     // Explicit DFS stack: (node, next child position).
     let mut call: Vec<(u32, usize)> = Vec::new();
     for root in 0..n as u32 {
-        if index[root as usize] != u32::MAX {
+        if index[root as usize] != u32::MAX || !alive.get(root as usize) {
             continue;
         }
         call.push((root, 0));
@@ -374,9 +525,12 @@ fn tarjan_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
         on_stack[root as usize] = true;
 
         while let Some(&mut (v, ref mut ci)) = call.last_mut() {
-            if *ci < adj[v as usize].len() {
-                let w = adj[v as usize][*ci];
+            if *ci < row(v).len() {
+                let w = row(v)[*ci];
                 *ci += 1;
+                if !alive.get(w as usize) {
+                    continue;
+                }
                 if index[w as usize] == u32::MAX {
                     index[w as usize] = next_index;
                     low[w as usize] = next_index;
@@ -471,6 +625,11 @@ mod tests {
         // Two actions at every ¬S state: `spin` toggles y and stays in the
         // region; `exit` jumps to the target. Unfair daemons can spin
         // forever; a weakly fair daemon must eventually run `exit`.
+        //
+        // This is also the soundness test for the peeling fast path: every
+        // region state here *can* reach S (via `exit`), so a
+        // "cannot-reach-S" residual would be empty and the unfair
+        // divergence missed. The peel keeps the spin cycle alive.
         let mut b = Program::builder("spin");
         let x = b.var("x", Domain::Bool);
         let y = b.var("y", Domain::Bool);
@@ -689,17 +848,108 @@ mod tests {
     }
 
     #[test]
+    fn divergence_witness_is_thread_count_invariant() {
+        // A large region full of internal 2-cycles (spin on y) plus exits:
+        // the peel keeps every cycle and each thread count must report the
+        // identical witness SCC.
+        let mut b = Program::builder("mt-div");
+        let x = b.var("x", Domain::range(0, 4095));
+        let y = b.var("y", Domain::Bool);
+        b.closure_action(
+            "spin",
+            [x, y],
+            [y],
+            move |s| s.get(x) > 0,
+            move |s| s.toggle(y),
+        );
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let serial = check_convergence_opts(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::Unfair,
+            CheckOptions::serial(),
+        );
+        assert!(
+            matches!(serial, ConvergenceResult::Divergence { ref states, .. } if states.len() == 2),
+            "got {serial:?}"
+        );
+        for threads in [2, 8] {
+            let par = check_convergence_opts(
+                &space,
+                &p,
+                &Predicate::always_true(),
+                &s,
+                Fairness::Unfair,
+                CheckOptions::default().threads(threads),
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    fn csr_of(adj: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+        let counts: Vec<u32> = adj.iter().map(|r| r.len() as u32).collect();
+        let offsets = offsets_from_counts(&counts).unwrap();
+        let edges: Vec<u32> = adj.iter().flatten().copied().collect();
+        (offsets, edges)
+    }
+
+    #[test]
     fn tarjan_handles_multiple_components() {
         // Direct unit test of the SCC helper.
         // 0 -> 1 -> 0 (SCC {0,1}); 2 -> 3 (two singletons); 4 self-loop.
         let adj = vec![vec![1], vec![0], vec![3], vec![], vec![4]];
-        let mut sccs = tarjan_sccs(&adj);
+        let (offsets, edges) = csr_of(&adj);
+        let mut sccs = tarjan_sccs_csr(&offsets, &edges, &Bitset::ones(adj.len()));
         sccs.sort();
         assert!(sccs.contains(&vec![0, 1]));
         assert!(sccs.contains(&vec![2]));
         assert!(sccs.contains(&vec![3]));
         assert!(sccs.contains(&vec![4]));
         assert_eq!(sccs.len(), 4);
+    }
+
+    #[test]
+    fn tarjan_respects_alive_filter() {
+        // Same graph, but with node 1 peeled: the {0,1} cycle disappears
+        // and 0 becomes a singleton.
+        let adj = vec![vec![1], vec![0], vec![3], vec![], vec![4]];
+        let (offsets, edges) = csr_of(&adj);
+        let mut alive = Bitset::ones(adj.len());
+        let mut without_1 = Bitset::zeros(adj.len());
+        for u in [0usize, 2, 3, 4] {
+            without_1.set(u);
+        }
+        std::mem::swap(&mut alive, &mut without_1);
+        let sccs = tarjan_sccs_csr(&offsets, &edges, &alive);
+        assert!(sccs.contains(&vec![0]));
+        assert!(!sccs.iter().any(|c| c.contains(&1)));
+    }
+
+    #[test]
+    fn reverse_csr_transposes() {
+        let adj = vec![vec![1, 2], vec![2], vec![0, 2]];
+        let (offsets, edges) = csr_of(&adj);
+        let (ro, re) = reverse_csr(&offsets, &edges, 3);
+        let preds = |u: usize| -> Vec<u32> { re[ro[u] as usize..ro[u + 1] as usize].to_vec() };
+        assert_eq!(preds(0), vec![2]);
+        assert_eq!(preds(1), vec![0]);
+        let mut p2 = preds(2);
+        p2.sort_unstable();
+        assert_eq!(p2, vec![0, 1, 2]);
     }
 
     #[test]

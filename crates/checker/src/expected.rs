@@ -75,9 +75,10 @@ pub fn expected_moves(
     let _ = program;
     let mut local = vec![usize::MAX; space.len()];
     let mut region: Vec<StateId> = Vec::new();
+    let mut scratch = space.scratch_state();
     for id in space.ids() {
-        let s = space.state(id);
-        if from.holds(s) && !to.holds(s) {
+        space.decode_state(id, &mut scratch);
+        if from.holds(&scratch) && !to.holds(&scratch) {
             local[id.index()] = region.len();
             region.push(id);
         }
@@ -98,9 +99,9 @@ pub fn expected_moves(
         .iter()
         .map(|&id| {
             space
-                .successors(id)
+                .successor_ids(id)
                 .iter()
-                .map(|&(_, t)| {
+                .map(|&t| {
                     let li = local[t.index()];
                     (li != usize::MAX).then_some(li)
                 })

@@ -28,15 +28,26 @@
 //!
 //! State ids are assigned *arithmetically*: a state's id is its mixed-radix
 //! enumeration position, so reverse lookup ([`StateSpace::id_of`]) is a few
-//! multiply-adds with no hash map (see the [`space`] module docs). Every
-//! state-space sweep — enumeration, transition construction, predicate
-//! evaluation, closure, the convergence region analysis, and the bounds
-//! region build — runs in parallel over contiguous id chunks, controlled by
-//! [`CheckOptions::threads`]; results are **bit-identical for every thread
-//! count** because per-chunk results are reduced in chunk order (the
-//! lowest-id witness always wins). Predicates are evaluated once per state
-//! into [`Bitset`] caches (`*_bits` function variants) that callers can
-//! share across passes and compose with bitwise `and`/`not`.
+//! multiply-adds with no hash map, and the forward direction means states
+//! are never materialized — [`StateSpace::state`] decodes any state from
+//! its id on demand, and hot loops decode into reusable scratch buffers
+//! ([`StateSpace::decode_state`]). Transitions live in flat CSR arrays
+//! (`offsets` + parallel `actions`/`succs` columns): resident memory is
+//! 4 bytes per state plus 8 per transition, gated by an explicit
+//! [`CheckOptions::memory_budget`] instead of a blunt state-count cap (see
+//! the [`space`] module docs).
+//!
+//! Every state-space sweep — enumeration, transition construction,
+//! predicate evaluation, closure, the convergence region analysis, and the
+//! bounds region build — runs in parallel over contiguous id chunks,
+//! controlled by [`CheckOptions::threads`]; results are **bit-identical for
+//! every thread count** because per-chunk results are reduced in chunk
+//! order (the lowest-id witness always wins). Predicates are evaluated once
+//! per state into [`Bitset`] caches (`*_bits` function variants) that
+//! callers can share across passes and compose with bitwise `and`/`not`.
+//! Convergence peels the region down to the states that can stay in it
+//! forever before running any SCC analysis, so the Tarjan pass vanishes in
+//! the common converging case (see the [`convergence`] module docs).
 //!
 //! # Example: verifying a tiny stabilizing program
 //!
@@ -72,15 +83,17 @@ pub mod space;
 pub mod span;
 
 pub use bounds::{check_variant, worst_case_moves, worst_case_moves_bits, VariantReport};
-pub use cache::Bitset;
+pub use cache::{Bitset, OnesIter};
 pub use closure::{
     is_closed, is_closed_bits, preserves, preserves_given, preserves_given_bits, Violation,
 };
 pub use convergence::{
     check_convergence, check_convergence_bits, check_convergence_opts, shortest_path_to,
-    ConvergenceResult, Fairness,
+    ConvergenceResult, Fairness, PathStep,
 };
 pub use expected::{expected_moves, ExpectedMoves};
-pub use options::CheckOptions;
-pub use space::{SpaceError, StateId, StateSpace, DEFAULT_STATE_LIMIT};
+pub use options::{CheckOptions, DEFAULT_MEMORY_BUDGET};
+pub use space::{
+    SpaceError, StateId, StateSpace, Transitions, TransitionsIter, DEFAULT_STATE_LIMIT,
+};
 pub use span::{compute_fault_span, compute_fault_span_opts, StateSet};

@@ -15,10 +15,18 @@ use crate::space::DEFAULT_STATE_LIMIT;
 /// workers costs more than the work itself on small spaces.
 const PARALLEL_THRESHOLD: usize = 2048;
 
+/// Default [`CheckOptions::memory_budget`]: 8 GiB of resident CSR arrays.
+///
+/// At the CSR cost of `4·(states+1) + 8·transitions` bytes this admits
+/// spaces of hundreds of millions of states (the seed representation's
+/// ~100+ bytes/state capped out around 2 million).
+pub const DEFAULT_MEMORY_BUDGET: usize = 8 << 30;
+
 /// Options shared by all checker passes.
 ///
-/// The default is `threads: 0` (auto-detect the available parallelism) and
-/// the [default state limit](DEFAULT_STATE_LIMIT). Spaces smaller than a
+/// The default is `threads: 0` (auto-detect the available parallelism), the
+/// [default state limit](DEFAULT_STATE_LIMIT) (the full `u32` id range), and
+/// the [default memory budget](DEFAULT_MEMORY_BUDGET). Spaces smaller than a
 /// few thousand states always run single-threaded regardless of `threads`,
 /// so the knob is free for small programs.
 ///
@@ -41,8 +49,15 @@ pub struct CheckOptions {
     /// every value — only wall-clock time changes.
     pub threads: usize,
     /// Maximum number of states a [`StateSpace`](crate::StateSpace) built
-    /// with these options may contain.
+    /// with these options may contain. Defaults to the full `u32` id range;
+    /// in practice `memory_budget` binds first.
     pub state_limit: usize,
+    /// Maximum resident bytes the CSR arrays of a
+    /// [`StateSpace`](crate::StateSpace) may occupy
+    /// (`4·(states+1) + 8·transitions`). Enumeration fails with
+    /// [`SpaceError::BudgetExceeded`](crate::SpaceError::BudgetExceeded)
+    /// before the big allocations happen.
+    pub memory_budget: usize,
 }
 
 impl Default for CheckOptions {
@@ -50,6 +65,7 @@ impl Default for CheckOptions {
         CheckOptions {
             threads: 0,
             state_limit: DEFAULT_STATE_LIMIT,
+            memory_budget: DEFAULT_MEMORY_BUDGET,
         }
     }
 }
@@ -72,6 +88,12 @@ impl CheckOptions {
         self
     }
 
+    /// Set the resident-memory budget (bytes) for enumeration.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
     /// Resolve the worker count for a pass over `work_items` items.
     pub(crate) fn workers_for(&self, work_items: usize) -> usize {
         if work_items < PARALLEL_THRESHOLD {
@@ -88,6 +110,20 @@ impl CheckOptions {
     }
 }
 
+/// The contiguous chunk ranges `run_chunks` hands to `workers` workers over
+/// `0..len`, exposed so two-phase passes (count, then fill disjoint
+/// sub-slices) can split their output arrays along the same boundaries.
+pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    if workers <= 1 || len <= 1 {
+        return std::iter::once(0..len).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect()
+}
+
 /// Split `0..len` into at most `workers` contiguous chunks, run `f` on each
 /// chunk (in parallel when `workers > 1`), and return the per-chunk results
 /// **in chunk order**. Deterministic reductions over the returned vector
@@ -98,14 +134,10 @@ where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> T + Sync,
 {
-    if workers <= 1 || len <= 1 {
-        return vec![f(0..len)];
+    let ranges = chunk_ranges(len, workers);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
     }
-    let chunk = len.div_ceil(workers);
-    let ranges: Vec<std::ops::Range<usize>> = (0..len)
-        .step_by(chunk)
-        .map(|start| start..(start + chunk).min(len))
-        .collect();
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
@@ -135,6 +167,20 @@ mod tests {
     }
 
     #[test]
+    fn chunk_ranges_tile_the_input() {
+        for (len, workers) in [(0, 4), (1, 4), (10, 3), (10_000, 7), (2048, 2048)] {
+            let ranges = chunk_ranges(len, workers);
+            assert!(ranges.len() <= workers.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "len={len} workers={workers}");
+                next = r.end;
+            }
+            assert_eq!(next, len, "len={len} workers={workers}");
+        }
+    }
+
+    #[test]
     fn empty_range_yields_one_empty_chunk() {
         let out = run_chunks(0, 4, |r| r.len());
         assert_eq!(out, vec![0]);
@@ -155,9 +201,11 @@ mod tests {
 
     #[test]
     fn builder_style() {
-        let o = CheckOptions::serial().state_limit(7);
+        let o = CheckOptions::serial().state_limit(7).memory_budget(1 << 20);
         assert_eq!(o.threads, 1);
         assert_eq!(o.state_limit, 7);
+        assert_eq!(o.memory_budget, 1 << 20);
         assert_eq!(CheckOptions::default().threads, 0);
+        assert_eq!(CheckOptions::default().memory_budget, DEFAULT_MEMORY_BUDGET);
     }
 }

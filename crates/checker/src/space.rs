@@ -1,4 +1,4 @@
-//! State-space enumeration and indexing.
+//! State-space enumeration and compact CSR storage.
 //!
 //! # Arithmetic (mixed-radix) state ids
 //!
@@ -12,18 +12,50 @@
 //! index(s) = Σ_i (s[i] − min_i) · stride_i      stride_i = Π_{j>i} size_j
 //! ```
 //!
-//! [`StateSpace`] exploits this: [`id_of`](StateSpace::id_of) is `O(|vars|)`
-//! multiply-adds with **no hash map, no per-state clones, and no heap
-//! traffic**, and the decode direction (`index → state`) lets enumeration
-//! and transition construction run in parallel over disjoint id ranges (see
-//! [`CheckOptions::threads`]). Successor lookup during transition
-//! construction — the hot path of the whole checker — went from a
-//! `HashMap<State, StateId>` probe per transition to the same handful of
-//! arithmetic operations.
+//! [`StateSpace`] exploits this in both directions. [`id_of`]
+//! (`state → index`) is `O(|vars|)` multiply-adds with **no hash map and no
+//! heap traffic**. The decode direction (`index → state`) means states never
+//! need to be materialized at all: the space stores **no** `Vec<State>` —
+//! [`state`] re-derives any state from its id on demand, and hot loops use
+//! [`decode_state`] to decode into a reusable scratch `State` without
+//! allocating.
+//!
+//! # CSR transition storage
+//!
+//! Transitions are stored in compressed-sparse-row form: one `offsets` array
+//! with `len + 1` entries plus two parallel flat arrays `actions` / `succs`,
+//! so the transitions of state `i` are the slices
+//! `actions[offsets[i]..offsets[i+1]]` and `succs[offsets[i]..offsets[i+1]]`.
+//! The resident cost is **4 bytes per state + 8 bytes per transition**,
+//! independent of the number of variables — versus the seed representation's
+//! per-state heap-allocated `State` plus per-state `Vec` row (~100+ bytes per
+//! state), an order-of-magnitude cut for protocol-sized programs.
+//!
+//! Construction is two-phase so results are bit-identical for every thread
+//! count: phase 1 counts enabled actions per state (parallel over disjoint
+//! id chunks), a sequential prefix sum turns the counts into `offsets`
+//! (checking the `u32` edge-count bound), and phase 2 fills each chunk's
+//! disjoint sub-slices of the final arrays in place. Guards are evaluated
+//! twice (once per phase); the paper's guarded commands are pure, so the
+//! trade is deterministic layout and half the peak memory of a
+//! collect-then-concatenate build.
+//!
+//! # Memory budget
+//!
+//! The id range allows up to `u32::MAX + 1` states; what actually bounds a
+//! run is the [`CheckOptions::memory_budget`]: enumeration rejects a space
+//! whose resident CSR bytes (`4·(len+1) + 8·transitions`, estimated before
+//! the big allocations happen) would exceed it, instead of the seed's blunt
+//! 2-million-state cap.
+//!
+//! [`id_of`]: StateSpace::id_of
+//! [`state`]: StateSpace::state
+//! [`decode_state`]: StateSpace::decode_state
 
 use nonmask_program::{ActionId, Predicate, Program, State, VarId};
 
-use crate::options::{run_chunks, CheckOptions};
+use crate::cache::Bitset;
+use crate::options::{chunk_ranges, run_chunks, CheckOptions};
 
 /// Identifier of a state within a [`StateSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -60,11 +92,25 @@ pub enum SpaceError {
         /// Name of the unbounded variable.
         var: String,
     },
-    /// The state space exceeds the configured limit (or the `u32` id
+    /// The state space exceeds the configured state limit (or the `u32` id
     /// range).
     TooLarge {
         /// The limit that was exceeded.
         limit: usize,
+    },
+    /// The CSR arrays for the space would exceed the configured
+    /// [`CheckOptions::memory_budget`]. Raise the budget to check larger
+    /// instances.
+    BudgetExceeded {
+        /// Resident bytes the space would need.
+        required: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
+    /// The space has more transitions than CSR `u32` offsets can index.
+    TooManyTransitions {
+        /// The transition count that overflowed the `u32` range.
+        count: u64,
     },
     /// An action wrote a value outside its variable's domain, producing a
     /// successor that is not a state of the space. Domains must be closed
@@ -87,6 +133,15 @@ impl std::fmt::Display for SpaceError {
             SpaceError::TooLarge { limit } => {
                 write!(f, "state space exceeds the limit of {limit} states")
             }
+            SpaceError::BudgetExceeded { required, budget } => write!(
+                f,
+                "state space needs {required} resident bytes, over the memory budget of \
+                 {budget} bytes; raise `CheckOptions::memory_budget` to check it"
+            ),
+            SpaceError::TooManyTransitions { count } => write!(
+                f,
+                "state space has {count} transitions, more than CSR u32 offsets can index"
+            ),
             SpaceError::EscapedDomain { action, var } => write!(
                 f,
                 "action `{action}` left the state space (wrote `{var}` outside its domain); \
@@ -142,6 +197,11 @@ impl Radix {
         ))
     }
 
+    /// Number of variables per state.
+    fn var_count(&self) -> usize {
+        self.mins.len()
+    }
+
     /// The enumeration position of `state`, or `None` when some slot is
     /// outside its domain (or the arity differs).
     #[inline]
@@ -175,37 +235,145 @@ impl Radix {
         0
     }
 
-    /// The state at enumeration position `idx`.
-    fn state_of(&self, mut idx: u64) -> State {
-        let mut slots = vec![0i64; self.mins.len()];
-        for (i, slot) in slots.iter_mut().enumerate() {
+    /// Decode the state at enumeration position `idx` into `out`, reusing
+    /// `out`'s slot buffer. `out` must have [`Radix::var_count`] slots.
+    #[inline]
+    fn decode_into(&self, mut idx: u64, out: &mut State) {
+        debug_assert_eq!(out.len(), self.mins.len());
+        for i in 0..self.mins.len() {
             let q = idx / self.strides[i];
-            *slot = self.mins[i] + q as i64;
+            out.set(VarId::from_index(i), self.mins[i] + q as i64);
             idx -= q * self.strides[i];
         }
-        State::new(slots)
+    }
+
+    /// The state at enumeration position `idx`, freshly allocated.
+    fn state_of(&self, idx: u64) -> State {
+        let mut out = State::zeroed(self.mins.len());
+        self.decode_into(idx, &mut out);
+        out
+    }
+}
+
+/// The `(action, successor)` transitions of one state: a zero-copy view of
+/// two parallel CSR row slices, yielded by [`StateSpace::successors`].
+///
+/// Iterate it like the former `&[(ActionId, StateId)]` rows:
+///
+/// ```ignore
+/// for (action, succ) in space.successors(id) { ... }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transitions<'a> {
+    actions: &'a [ActionId],
+    succs: &'a [StateId],
+}
+
+impl<'a> Transitions<'a> {
+    /// Number of transitions (enabled actions) at this state.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the state has no enabled action (a deadlock).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The actions of the row, parallel to [`Transitions::succs`].
+    pub fn actions(&self) -> &'a [ActionId] {
+        self.actions
+    }
+
+    /// The successor ids of the row, parallel to [`Transitions::actions`].
+    pub fn succs(&self) -> &'a [StateId] {
+        self.succs
+    }
+
+    /// The `k`-th `(action, successor)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn get(&self, k: usize) -> (ActionId, StateId) {
+        (self.actions[k], self.succs[k])
+    }
+
+    /// Iterate the `(action, successor)` pairs in action-id order.
+    pub fn iter(&self) -> TransitionsIter<'a> {
+        self.into_iter()
+    }
+}
+
+/// Iterator over a CSR row's `(action, successor)` pairs.
+pub type TransitionsIter<'a> = std::iter::Zip<
+    std::iter::Copied<std::slice::Iter<'a, ActionId>>,
+    std::iter::Copied<std::slice::Iter<'a, StateId>>,
+>;
+
+impl<'a> IntoIterator for Transitions<'a> {
+    type Item = (ActionId, StateId);
+    type IntoIter = TransitionsIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.iter().copied().zip(self.succs.iter().copied())
     }
 }
 
 /// The fully enumerated state space of a bounded program, with transitions.
 ///
-/// Construction enumerates every state (the cross product of all domains)
-/// and every transition `(state, enabled action) → successor`, in parallel
-/// over disjoint id ranges when [`CheckOptions::threads`] allows. State ids
-/// are assigned *arithmetically* (see the [module docs](self)): the id of a
-/// state is its mixed-radix enumeration position, so reverse lookup needs
-/// no hash map. Memory is proportional to `|states| + |transitions|`; the
-/// default limit of 2 million states keeps accidental blow-ups at bay.
+/// States are never materialized: a state is a pure mixed-radix function of
+/// its id (see the [module docs](self)), decoded on demand by
+/// [`state`](StateSpace::state) / [`decode_state`](StateSpace::decode_state).
+/// Transitions live in three flat CSR arrays (`offsets`, `actions`,
+/// `succs`), built in parallel over disjoint id ranges when
+/// [`CheckOptions::threads`] allows; the result is bit-identical for every
+/// thread count. Resident memory is `4·(len+1) + 8·transition_count` bytes,
+/// gated by [`CheckOptions::memory_budget`].
 #[derive(Debug, Clone)]
 pub struct StateSpace {
-    states: Vec<State>,
+    len: usize,
     radix: Radix,
-    /// Per state: `(action, successor)` for every enabled action.
-    transitions: Vec<Vec<(ActionId, StateId)>>,
+    /// CSR row bounds: state `i`'s transitions are `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u32>,
+    /// Flat action column, parallel to `succs`.
+    actions: Vec<ActionId>,
+    /// Flat successor column, parallel to `actions`.
+    succs: Vec<StateId>,
 }
 
-/// Default cap on the number of states [`StateSpace::enumerate`] will build.
-pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
+/// Default cap on the number of states [`StateSpace::enumerate`] will build:
+/// the full `u32` id range. In practice the binding constraint is the
+/// [`CheckOptions::memory_budget`], not this count.
+pub const DEFAULT_STATE_LIMIT: usize = u32::MAX as usize + 1;
+
+/// Escape diagnostic produced during transition construction.
+struct Escape {
+    action: ActionId,
+    var: usize,
+}
+
+/// Exclusive prefix sum of per-state transition counts, producing the CSR
+/// `offsets` array (`counts.len() + 1` entries).
+///
+/// # Errors
+///
+/// The total transition count when it exceeds the `u32` offset range.
+pub(crate) fn offsets_from_counts(counts: &[u32]) -> Result<Vec<u32>, u64> {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total > u32::MAX as u64 {
+        return Err(total);
+    }
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in counts {
+        // Cannot overflow: the total was checked above.
+        acc += c;
+        offsets.push(acc);
+    }
+    Ok(offsets)
+}
 
 impl StateSpace {
     /// Enumerate the full state space of `program`, with the
@@ -227,9 +395,11 @@ impl StateSpace {
     /// # Errors
     ///
     /// [`SpaceError::Unbounded`] for unbounded programs;
-    /// [`SpaceError::TooLarge`] when the limit is exceeded;
-    /// [`SpaceError::EscapedDomain`] when an action writes outside a
-    /// domain.
+    /// [`SpaceError::TooLarge`] when the state limit is exceeded;
+    /// [`SpaceError::BudgetExceeded`] when the CSR arrays would not fit the
+    /// memory budget; [`SpaceError::TooManyTransitions`] when the edge count
+    /// overflows `u32` offsets; [`SpaceError::EscapedDomain`] when an action
+    /// writes outside a domain.
     pub fn enumerate(program: &Program) -> Result<Self, SpaceError> {
         Self::enumerate_with_options(program, CheckOptions::default())
     }
@@ -243,8 +413,9 @@ impl StateSpace {
         Self::enumerate_with_options(program, CheckOptions::default().state_limit(limit))
     }
 
-    /// Enumerate with explicit [`CheckOptions`] (worker threads and state
-    /// limit). The result is identical for every thread count.
+    /// Enumerate with explicit [`CheckOptions`] (worker threads, state
+    /// limit, memory budget). The result is identical for every thread
+    /// count.
     ///
     /// # Errors
     ///
@@ -255,8 +426,7 @@ impl StateSpace {
     ) -> Result<Self, SpaceError> {
         let (radix, total) = Radix::of(program)?;
         // Ids are u32, so the effective cap is the configured limit clamped
-        // to the representable id range; the single pre-check below is the
-        // only size check (construction cannot disagree with it).
+        // to the representable id range.
         let id_cap = u32::MAX as u128 + 1;
         let effective = u128::min(options.state_limit as u128, id_cap);
         if total > effective {
@@ -265,66 +435,116 @@ impl StateSpace {
             });
         }
         let n = total as usize;
+        let budget = options.memory_budget as u64;
+        // Floor estimate before any large allocation: the offsets column
+        // alone. (The transient phase-1 counts array is the same size.)
+        let offsets_bytes = 4 * (n as u64 + 1);
+        if offsets_bytes > budget {
+            return Err(SpaceError::BudgetExceeded {
+                required: offsets_bytes,
+                budget,
+            });
+        }
         let workers = options.workers_for(n);
+        let nv = radix.var_count();
 
-        // Decode every state from its id, in parallel chunks.
-        let states: Vec<State> = run_chunks(n, workers, |range| {
-            range
-                .map(|i| radix.state_of(i as u64))
-                .collect::<Vec<State>>()
+        // Phase 1: count enabled actions per state, decoding each state into
+        // a per-chunk scratch buffer (no per-state allocation).
+        let counts: Vec<u32> = run_chunks(n, workers, |range| {
+            let mut scratch = State::zeroed(nv);
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                radix.decode_into(i as u64, &mut scratch);
+                let mut c = 0u32;
+                for a in program.action_ids() {
+                    if program.action(a).enabled(&scratch) {
+                        c += 1;
+                    }
+                }
+                out.push(c);
+            }
+            out
         })
         .into_iter()
         .flatten()
         .collect();
 
-        // Transition construction: for each state, every enabled action and
-        // the arithmetic id of its successor. A worker stops at the first
-        // escaping action in its chunk; the lowest-id escape wins overall,
-        // matching a sequential scan.
-        struct Escape {
-            at: usize,
-            action: ActionId,
-            var: usize,
+        let offsets = offsets_from_counts(&counts)
+            .map_err(|count| SpaceError::TooManyTransitions { count })?;
+        drop(counts);
+        let m = *offsets.last().expect("offsets never empty") as usize;
+        let exact_bytes = offsets_bytes + 8 * m as u64;
+        if exact_bytes > budget {
+            return Err(SpaceError::BudgetExceeded {
+                required: exact_bytes,
+                budget,
+            });
         }
-        let chunks = run_chunks(n, workers, |range| {
-            let mut outs: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(range.len());
+
+        // Phase 2: fill the final arrays in place. Each chunk owns the
+        // disjoint sub-slices its offsets describe, so any thread count
+        // produces the identical layout. A worker stops at the first
+        // escaping action in its chunk; chunks are in ascending id order, so
+        // the first reporting chunk holds the lowest-id escape, matching a
+        // sequential scan.
+        let mut actions = vec![ActionId::from_index(0); m];
+        let mut succs = vec![StateId(0); m];
+        let fill = |range: std::ops::Range<usize>,
+                    actions: &mut [ActionId],
+                    succs: &mut [StateId]|
+         -> Option<Escape> {
+            let mut scratch = State::zeroed(nv);
+            let mut succ = State::zeroed(nv);
+            let mut k = 0usize;
             for i in range {
-                let state = &states[i];
-                let mut row = Vec::new();
-                for a in program.enabled_actions(state) {
-                    let succ = program.action(a).successor(state);
+                radix.decode_into(i as u64, &mut scratch);
+                for a in program.action_ids() {
+                    let act = program.action(a);
+                    if !act.enabled(&scratch) {
+                        continue;
+                    }
+                    act.successor_into(&scratch, &mut succ);
                     match radix.index_of(&succ) {
                         Some(idx) => {
-                            let id = u32::try_from(idx).expect("pre-checked to fit u32");
-                            row.push((a, StateId(id)));
+                            actions[k] = a;
+                            succs[k] = StateId(idx as u32);
+                            k += 1;
                         }
                         None => {
-                            return Err(Escape {
-                                at: i,
+                            return Some(Escape {
                                 action: a,
                                 var: radix.escaping_var(&succ),
                             });
                         }
                     }
                 }
-                outs.push(row);
             }
-            Ok(outs)
-        });
-
-        let mut transitions: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(n);
-        let mut first_escape: Option<Escape> = None;
-        for chunk in chunks {
-            match chunk {
-                Ok(rows) => transitions.extend(rows),
-                Err(e) => {
-                    if first_escape.as_ref().is_none_or(|f| e.at < f.at) {
-                        first_escape = Some(e);
-                    }
+            debug_assert_eq!(k, succs.len(), "impure guard: phase-2 count drifted");
+            None
+        };
+        let escape: Option<Escape> = if workers <= 1 {
+            fill(0..n, &mut actions, &mut succs)
+        } else {
+            let fill = &fill;
+            let mut a_rest: &mut [ActionId] = &mut actions;
+            let mut s_rest: &mut [StateId] = &mut succs;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for r in chunk_ranges(n, workers) {
+                    let take = (offsets[r.end] - offsets[r.start]) as usize;
+                    let (a_chunk, rest) = std::mem::take(&mut a_rest).split_at_mut(take);
+                    a_rest = rest;
+                    let (s_chunk, rest) = std::mem::take(&mut s_rest).split_at_mut(take);
+                    s_rest = rest;
+                    handles.push(scope.spawn(move || fill(r, a_chunk, s_chunk)));
                 }
-            }
-        }
-        if let Some(e) = first_escape {
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("checker worker panicked"))
+                    .find_map(|e| e)
+            })
+        };
+        if let Some(e) = escape {
             return Err(SpaceError::EscapedDomain {
                 action: program.action(e.action).name().to_string(),
                 var: program.var(VarId::from_index(e.var)).name().to_string(),
@@ -332,35 +552,62 @@ impl StateSpace {
         }
 
         Ok(StateSpace {
-            states,
+            len: n,
             radix,
-            transitions,
+            offsets,
+            actions,
+            succs,
         })
     }
 
     /// Number of states.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.len
     }
 
     /// Whether the space has no states (impossible for valid programs — a
     /// program with zero variables still has the single empty state).
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.len == 0
+    }
+
+    /// Number of variables per state.
+    pub fn var_count(&self) -> usize {
+        self.radix.var_count()
     }
 
     /// All state ids.
     pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
-        (0..self.states.len()).map(StateId::from_index)
+        (0..self.len).map(StateId::from_index)
     }
 
-    /// The state with id `id`.
+    /// The state with id `id`, decoded from the id (freshly allocated; use
+    /// [`decode_state`](StateSpace::decode_state) in loops).
     ///
     /// # Panics
     ///
     /// Panics if `id` is not from this space.
-    pub fn state(&self, id: StateId) -> &State {
-        &self.states[id.index()]
+    pub fn state(&self, id: StateId) -> State {
+        assert!(id.index() < self.len, "state id {id} out of range");
+        self.radix.state_of(id.0 as u64)
+    }
+
+    /// Decode the state with id `id` into `out`, reusing `out`'s buffer
+    /// (see [`scratch_state`](StateSpace::scratch_state)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this space or `out` has the wrong arity.
+    #[inline]
+    pub fn decode_state(&self, id: StateId, out: &mut State) {
+        assert!(id.index() < self.len, "state id {id} out of range");
+        self.radix.decode_into(id.0 as u64, out);
+    }
+
+    /// A zeroed scratch state of this space's arity, for
+    /// [`decode_state`](StateSpace::decode_state) loops.
+    pub fn scratch_state(&self) -> State {
+        State::zeroed(self.radix.var_count())
     }
 
     /// The id of `state`, if it belongs to this space.
@@ -369,28 +616,67 @@ impl StateSpace {
     /// hashing or allocation.
     pub fn id_of(&self, state: &State) -> Option<StateId> {
         let idx = self.radix.index_of(state)?;
-        debug_assert!((idx as usize) < self.states.len());
+        debug_assert!((idx as usize) < self.len);
         Some(StateId(idx as u32))
     }
 
-    /// The `(action, successor)` pairs of every action enabled at `id`.
-    pub fn successors(&self, id: StateId) -> &[(ActionId, StateId)] {
-        &self.transitions[id.index()]
+    /// The `(action, successor)` pairs of every action enabled at `id`, in
+    /// action-id order, as a view of the CSR row.
+    pub fn successors(&self, id: StateId) -> Transitions<'_> {
+        let (lo, hi) = self.row_bounds(id);
+        Transitions {
+            actions: &self.actions[lo..hi],
+            succs: &self.succs[lo..hi],
+        }
     }
 
-    /// Ids of the states satisfying `pred`.
+    /// Only the successor ids of `id` (skips the action column; the fastest
+    /// row view for reachability-style sweeps).
+    pub fn successor_ids(&self, id: StateId) -> &[StateId] {
+        let (lo, hi) = self.row_bounds(id);
+        &self.succs[lo..hi]
+    }
+
+    #[inline]
+    fn row_bounds(&self, id: StateId) -> (usize, usize) {
+        let i = id.index();
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Ids of the states satisfying `pred` (parallel scan with the
+    /// [default options](CheckOptions::default)).
     pub fn satisfying(&self, pred: &Predicate) -> Vec<StateId> {
-        self.ids().filter(|&i| pred.holds(self.state(i))).collect()
+        self.satisfying_opts(pred, CheckOptions::default())
     }
 
-    /// Number of states satisfying `pred`.
+    /// Ids of the states satisfying `pred`, with explicit options.
+    pub fn satisfying_opts(&self, pred: &Predicate, options: CheckOptions) -> Vec<StateId> {
+        Bitset::for_predicate(self, pred, options)
+            .iter_ones()
+            .map(StateId::from_index)
+            .collect()
+    }
+
+    /// Number of states satisfying `pred` (parallel scan with the
+    /// [default options](CheckOptions::default)).
     pub fn count_satisfying(&self, pred: &Predicate) -> usize {
-        self.ids().filter(|&i| pred.holds(self.state(i))).count()
+        Bitset::for_predicate(self, pred, CheckOptions::default()).count_ones()
     }
 
     /// Total number of transitions.
     pub fn transition_count(&self) -> usize {
-        self.transitions.iter().map(Vec::len).sum()
+        self.succs.len()
+    }
+
+    /// Resident bytes of the space: the three CSR arrays plus the radix
+    /// tables. This is what [`CheckOptions::memory_budget`] gates (the
+    /// radix is negligible: 24 bytes per *variable*, not per state).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.actions.len() * std::mem::size_of::<ActionId>()
+            + self.succs.len() * std::mem::size_of::<StateId>()
+            + self.radix.var_count() * 3 * 8
     }
 }
 
@@ -426,7 +712,7 @@ mod tests {
             if x < 4 {
                 let succs = space.successors(id);
                 assert_eq!(succs.len(), 1);
-                assert_eq!(space.state(succs[0].1).slots()[0], x + 1);
+                assert_eq!(space.state(succs.get(0).1).slots()[0], x + 1);
             } else {
                 assert!(space.successors(id).is_empty());
             }
@@ -438,7 +724,7 @@ mod tests {
         let p = counter(3);
         let space = StateSpace::enumerate(&p).unwrap();
         for id in space.ids() {
-            assert_eq!(space.id_of(space.state(id)), Some(id));
+            assert_eq!(space.id_of(&space.state(id)), Some(id));
         }
         assert_eq!(space.id_of(&State::new(vec![99])), None);
     }
@@ -467,7 +753,18 @@ mod tests {
         assert_eq!(space.len(), 4 * 2 * 3);
         for (pos, s) in p.enumerate_states().unwrap().enumerate() {
             assert_eq!(space.id_of(&s).unwrap().index(), pos);
-            assert_eq!(space.state(StateId::from_index(pos)), &s);
+            assert_eq!(space.state(StateId::from_index(pos)), s);
+        }
+    }
+
+    #[test]
+    fn decode_state_matches_state() {
+        let p = counter(17);
+        let space = StateSpace::enumerate(&p).unwrap();
+        let mut scratch = space.scratch_state();
+        for id in space.ids() {
+            space.decode_state(id, &mut scratch);
+            assert_eq!(scratch, space.state(id));
         }
     }
 
@@ -478,6 +775,7 @@ mod tests {
         let parallel =
             StateSpace::enumerate_with_options(&p, CheckOptions::default().threads(4)).unwrap();
         assert_eq!(serial.len(), parallel.len());
+        assert_eq!(serial.offsets, parallel.offsets, "CSR offsets must match");
         for id in serial.ids() {
             assert_eq!(serial.state(id), parallel.state(id));
             assert_eq!(serial.successors(id), parallel.successors(id));
@@ -492,6 +790,18 @@ mod tests {
         let even = Predicate::new("even", [x], move |s| s.get(x) % 2 == 0);
         assert_eq!(space.satisfying(&even).len(), 5);
         assert_eq!(space.count_satisfying(&even), 5);
+    }
+
+    #[test]
+    fn satisfying_is_thread_count_invariant() {
+        let p = counter(9999);
+        let x = p.var_by_name("x").unwrap();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let pred = Predicate::new("mod7", [x], move |s| s.get(x) % 7 == 0);
+        let serial = space.satisfying_opts(&pred, CheckOptions::serial());
+        let parallel = space.satisfying_opts(&pred, CheckOptions::default().threads(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), space.count_satisfying(&pred));
     }
 
     #[test]
@@ -522,6 +832,57 @@ mod tests {
                 limit: u32::MAX as usize + 1
             }
         );
+    }
+
+    #[test]
+    fn memory_budget_is_enforced() {
+        let p = counter(99_999);
+        // 100k states need ~400KB of offsets alone; a 1KB budget must
+        // reject the space before any large allocation.
+        let err =
+            StateSpace::enumerate_with_options(&p, CheckOptions::default().memory_budget(1024))
+                .unwrap_err();
+        let SpaceError::BudgetExceeded { required, budget } = err else {
+            panic!("expected BudgetExceeded, got {err:?}");
+        };
+        assert_eq!(budget, 1024);
+        assert!(required > 1024);
+        // A budget that admits the exact resident size succeeds.
+        let space = StateSpace::enumerate(&p).unwrap();
+        let ok = StateSpace::enumerate_with_options(
+            &p,
+            CheckOptions::default().memory_budget(space.resident_bytes()),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn resident_bytes_counts_csr_arrays() {
+        let p = counter(4);
+        let space = StateSpace::enumerate(&p).unwrap();
+        // 6 offsets + 4 actions + 4 succs = 24 + 16 + 16 bytes, plus the
+        // struct header and one variable's radix entries.
+        let expected = std::mem::size_of::<StateSpace>() + 24 + 16 + 16 + 24;
+        assert_eq!(space.resident_bytes(), expected);
+    }
+
+    #[test]
+    fn offsets_prefix_sum_near_u32_boundary() {
+        // Exactly u32::MAX transitions: fine.
+        let ok = offsets_from_counts(&[u32::MAX - 10, 7, 3]).unwrap();
+        assert_eq!(ok, vec![0, u32::MAX - 10, u32::MAX - 3, u32::MAX]);
+        // One more overflows the offset range and must be rejected, not
+        // wrapped.
+        assert_eq!(
+            offsets_from_counts(&[u32::MAX, 1]),
+            Err(u32::MAX as u64 + 1)
+        );
+        // Many large counts must accumulate in u64, not saturate u32.
+        assert_eq!(
+            offsets_from_counts(&[u32::MAX, u32::MAX, u32::MAX]),
+            Err(3 * (u32::MAX as u64))
+        );
+        assert_eq!(offsets_from_counts(&[]), Ok(vec![0]));
     }
 
     #[test]

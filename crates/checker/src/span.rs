@@ -64,14 +64,14 @@ impl StateSet {
     /// (the predicate hashes the queried state against the member set, so
     /// it remains valid on states produced later, not just space ids).
     pub fn to_predicate(&self, space: &StateSpace, name: impl Into<String>) -> Predicate {
-        let members: HashSet<State> = space
-            .ids()
-            .filter(|&id| self.members.contains(id))
-            .map(|id| space.state(id).clone())
+        let members: HashSet<State> = self
+            .members
+            .iter_ones()
+            .map(|i| space.state(StateId::from_index(i)))
             .collect();
         let members = Arc::new(members);
         // The predicate reads every variable (it inspects whole states).
-        let reads: Vec<_> = (0..space.state(StateId(0)).len())
+        let reads: Vec<_> = (0..space.var_count())
             .map(nonmask_program::VarId::from_index)
             .collect();
         Predicate::new(name, reads, move |s| members.contains(s))
@@ -106,12 +106,14 @@ pub fn compute_fault_span_opts(
 ) -> StateSet {
     let _ = program;
     let mut members = Bitset::for_predicate(space, invariant, opts);
-    let mut frontier: Vec<StateId> = space.ids().filter(|&id| members.contains(id)).collect();
+    let mut frontier: Vec<StateId> = members.iter_ones().map(StateId::from_index).collect();
     let mut count = frontier.len();
 
+    let mut scratch = space.scratch_state();
+    let mut succ = space.scratch_state();
     while let Some(id) = frontier.pop() {
-        // Program transitions (precomputed) …
-        for &(_, next) in space.successors(id) {
+        // Program transitions (precomputed in CSR) …
+        for &next in space.successor_ids(id) {
             if !members.contains(next) {
                 members.set(next.index());
                 count += 1;
@@ -119,14 +121,18 @@ pub fn compute_fault_span_opts(
             }
         }
         // … plus fault transitions; `id_of` is the arithmetic mixed-radix
-        // lookup, so no hashing happens here either.
-        let state = space.state(id);
+        // lookup and the states are decoded into scratch buffers, so no
+        // hashing or allocation happens here either.
+        if faults.is_empty() {
+            continue;
+        }
+        space.decode_state(id, &mut scratch);
         for fault in faults {
-            if !fault.enabled(state) {
+            if !fault.enabled(&scratch) {
                 continue;
             }
-            let next = fault.successor(state);
-            if let Some(nid) = space.id_of(&next) {
+            fault.successor_into(&scratch, &mut succ);
+            if let Some(nid) = space.id_of(&succ) {
                 if !members.contains(nid) {
                     members.set(nid.index());
                     count += 1;
@@ -198,8 +204,8 @@ mod tests {
         assert!(crate::closure::is_closed(&space, &p, &t).is_none());
         // … contains S …
         for id in space.ids() {
-            if s.holds(space.state(id)) {
-                assert!(t.holds(space.state(id)));
+            if s.holds(&space.state(id)) {
+                assert!(t.holds(&space.state(id)));
             }
         }
         // … and the program converges from T back to S.
@@ -226,7 +232,7 @@ mod tests {
         assert!(!set.is_empty());
         let back = set.to_predicate(&space, "S'");
         for id in space.ids() {
-            assert_eq!(s.holds(space.state(id)), back.holds(space.state(id)));
+            assert_eq!(s.holds(&space.state(id)), back.holds(&space.state(id)));
         }
     }
 }

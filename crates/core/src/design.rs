@@ -368,16 +368,16 @@ impl Design {
             if let Some(id) = space.ids().find(|&id| {
                 t_bits.contains(id)
                     && !c_bits[i].contains(id)
-                    && !space.successors(id).iter().any(|&(a, _)| a == aid)
+                    && !space.successors(id).actions().contains(&aid)
             }) {
-                unguarded.push((i, space.state(id).clone()));
+                unguarded.push((i, space.state(id)));
             }
             // Executing from T ∧ guard must establish c.
             for id in space.ids() {
                 if !t_bits.contains(id) {
                     continue;
                 }
-                let Some(&(_, succ)) = space.successors(id).iter().find(|&&(a, _)| a == aid) else {
+                let Some((_, succ)) = space.successors(id).iter().find(|&(a, _)| a == aid) else {
                     continue;
                 };
                 if !c_bits[i].contains(succ) {
@@ -385,8 +385,8 @@ impl Design {
                         i,
                         Violation {
                             action: aid,
-                            before: space.state(id).clone(),
-                            after: space.state(succ).clone(),
+                            before: space.state(id),
+                            after: space.state(succ),
                         },
                     ));
                     break;

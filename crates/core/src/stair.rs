@@ -88,8 +88,7 @@ impl ConvergenceStair {
             let inclusion_witness = space
                 .ids()
                 .map(|id| space.state(id))
-                .find(|s| to.holds(s) && !from.holds(s))
-                .cloned();
+                .find(|s| to.holds(s) && !from.holds(s));
             reports.push(StageReport {
                 stage: i,
                 target_closed: closure::is_closed(space, program, to),

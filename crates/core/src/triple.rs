@@ -51,9 +51,10 @@ impl CandidateTriple {
     /// Whether this triple is *masking*: `S` and `T` denote the same set of
     /// states (checked extensionally over `space`).
     pub fn is_masking(&self, space: &StateSpace) -> bool {
+        let mut scratch = space.scratch_state();
         space.ids().all(|id| {
-            let s = space.state(id);
-            self.invariant.holds(s) == self.fault_span.holds(s)
+            space.decode_state(id, &mut scratch);
+            self.invariant.holds(&scratch) == self.fault_span.holds(&scratch)
         })
     }
 
@@ -75,7 +76,6 @@ impl CandidateTriple {
             .ids()
             .map(|id| space.state(id))
             .find(|s| self.invariant.holds(s) && !self.fault_span.holds(s))
-            .cloned()
     }
 }
 
@@ -133,7 +133,7 @@ mod tests {
         let space = StateSpace::enumerate(triple.program()).unwrap();
         assert!(triple
             .fault_span()
-            .holds(space.state(space.ids().next().unwrap())));
+            .holds(&space.state(space.ids().next().unwrap())));
         assert!(triple.check_span_contains_invariant(&space).is_none());
     }
 

@@ -111,15 +111,15 @@ fn parsed_programs_match_hand_built_semantics() {
     for id in space.ids() {
         let st = space.state(id);
         let parsed_succs: std::collections::BTreeSet<_> = parsed
-            .enabled_actions(st)
+            .enabled_actions(&st)
             .into_iter()
-            .map(|a| parsed.action(a).successor(st).into_slots())
+            .map(|a| parsed.action(a).successor(&st).into_slots())
             .collect();
         let hand_succs: std::collections::BTreeSet<_> = hand
             .program()
-            .enabled_actions(st)
+            .enabled_actions(&st)
             .into_iter()
-            .map(|a| hand.program().action(a).successor(st).into_slots())
+            .map(|a| hand.program().action(a).successor(&st).into_slots())
             .collect();
         assert_eq!(parsed_succs, hand_succs, "at state {:?}", st.slots());
     }

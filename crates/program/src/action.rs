@@ -162,6 +162,19 @@ impl Action {
         self.apply(&mut next);
         next
     }
+
+    /// Execute the statement into a caller-provided scratch state: `out`
+    /// becomes the successor of `state` without allocating. The
+    /// hot-loop counterpart of [`Action::successor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `state` have different lengths.
+    #[inline]
+    pub fn successor_into(&self, state: &State, out: &mut State) {
+        out.copy_from(state);
+        self.apply(out);
+    }
 }
 
 impl std::fmt::Debug for Action {
@@ -234,6 +247,27 @@ mod tests {
         assert_eq!(ActionKind::Closure.to_string(), "closure");
         assert_eq!(ActionKind::Convergence.to_string(), "convergence");
         assert_eq!(ActionKind::Combined.to_string(), "combined");
+    }
+
+    #[test]
+    fn successor_into_matches_successor() {
+        let x = v(0);
+        let a = Action::new(
+            "inc",
+            ActionKind::Closure,
+            [x],
+            [x],
+            |_| true,
+            move |s| {
+                let val = s.get(x);
+                s.set(x, val + 1);
+            },
+        );
+        let s0 = State::new(vec![4]);
+        let mut scratch = State::zeroed(1);
+        a.successor_into(&s0, &mut scratch);
+        assert_eq!(scratch, a.successor(&s0));
+        assert_eq!(s0.get(x), 4, "source state must not change");
     }
 
     #[test]

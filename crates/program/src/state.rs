@@ -76,6 +76,18 @@ impl State {
         self.set_bool(var, !v);
     }
 
+    /// Overwrite every slot of `self` with the slots of `other`, reusing
+    /// `self`'s buffer. The allocation-free counterpart of `clone` for hot
+    /// loops that cycle one scratch state through many values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different lengths.
+    #[inline]
+    pub fn copy_from(&mut self, other: &State) {
+        self.slots.copy_from_slice(&other.slots);
+    }
+
     /// View of all slots in declaration order.
     pub fn slots(&self) -> &[i64] {
         &self.slots
@@ -181,6 +193,22 @@ mod tests {
     fn display_is_compact() {
         let s = State::new(vec![1, 0, 2]);
         assert_eq!(s.to_string(), "[1, 0, 2]");
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let src = State::new(vec![7, -2, 5]);
+        let mut dst = State::zeroed(3);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_mismatched_lengths_panics() {
+        let src = State::zeroed(2);
+        let mut dst = State::zeroed(3);
+        dst.copy_from(&src);
     }
 
     #[test]

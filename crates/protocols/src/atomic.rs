@@ -344,7 +344,7 @@ mod tests {
         let s = aa.invariant();
         for id in space.satisfying(&s) {
             assert!(
-                !aa.neighbours_engaged(space.state(id)),
+                !aa.neighbours_engaged(&space.state(id)),
                 "S implies neighbour mutual exclusion"
             );
         }

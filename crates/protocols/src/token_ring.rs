@@ -393,9 +393,9 @@ mod tests {
         let s = ring.invariant();
         for id in space.satisfying(&s) {
             let st = space.state(id);
-            let enabled = ring.program().enabled_actions(st);
+            let enabled = ring.program().enabled_actions(&st);
             assert_eq!(enabled.len(), 1);
-            let holder = ring.token_holder(st).unwrap();
+            let holder = ring.token_holder(&st).unwrap();
             assert_eq!(enabled[0], ring.pass_action(holder));
         }
     }

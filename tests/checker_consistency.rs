@@ -107,7 +107,7 @@ fn checker_verdicts_match_execution() {
                 // Round-robin (fair) reaches S from every state.
                 for id in space.ids() {
                     let report = Executor::new(&program).run(
-                        space.state(id).clone(),
+                        space.state(id),
                         &mut RoundRobin::new(),
                         &RunConfig::default().stop_when(&s, 1).max_steps(1_000),
                     );
@@ -163,7 +163,7 @@ fn checker_verdicts_match_execution() {
                 for variant in 0..3u64 {
                     let run = |sched: &mut dyn nonmask_program::Scheduler| {
                         Executor::new(&program).run(
-                            space.state(id).clone(),
+                            space.state(id),
                             sched,
                             &RunConfig::default().stop_when(&s, 1).max_steps(bound + 1),
                         )

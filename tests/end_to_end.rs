@@ -182,19 +182,29 @@ fn divergence_counterexample_path() {
     else {
         panic!("interfering design should diverge");
     };
-    let path = shortest_path_to(&space, program, &t, &states).expect("reachable livelock");
+    let path = shortest_path_to(&space, &t, &states).expect("reachable livelock");
     assert!(!path.is_empty());
-    // The path is a real computation: consecutive states connected by an
-    // enabled action.
+    assert!(
+        path[0].action.is_none(),
+        "the start state has no incoming action"
+    );
+    // The path is a real computation that replays step by step: each
+    // recorded action is enabled in the previous state and produces
+    // exactly the next recorded state.
     for w in path.windows(2) {
-        let connected = program
-            .enabled_actions(&w[0])
-            .iter()
-            .any(|&a| program.action(a).successor(&w[0]) == w[1]);
-        assert!(connected, "path step is not a transition");
+        let a = w[1].action.expect("every later step records its action");
+        assert!(
+            program.enabled_actions(&w[0].state).contains(&a),
+            "recorded action is not enabled"
+        );
+        assert_eq!(
+            program.action(a).successor(&w[0].state),
+            w[1].state,
+            "replaying the recorded action diverges from the witness path"
+        );
     }
     assert!(
-        states.contains(path.last().unwrap()),
+        states.contains(&path.last().unwrap().state),
         "path ends in the livelock"
     );
 }

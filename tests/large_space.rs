@@ -1,0 +1,50 @@
+//! Large-space acceptance: a full-size token ring (`8^8 = 16,777,216`
+//! states) enumerates into the compact CSR representation and passes
+//! closure + convergence within the default memory budget.
+//!
+//! Ignored by default (it sweeps ~16.7M states several times, which takes
+//! minutes on one core); run with `cargo test --release -- --ignored`.
+
+use nonmask_checker::{
+    check_convergence_bits, is_closed_bits, Bitset, CheckOptions, Fairness, StateSpace,
+    DEFAULT_MEMORY_BUDGET,
+};
+use nonmask_protocols::token_ring::TokenRing;
+
+#[test]
+#[ignore = "sweeps 16.7M states; run with --ignored"]
+fn token_ring_16m_states_within_default_budget() {
+    let ring = TokenRing::new(8, 8);
+    let opts = CheckOptions::default();
+    let space = StateSpace::enumerate_with_options(ring.program(), opts)
+        .expect("8^8 states fit the default memory budget");
+    assert_eq!(space.len(), 8usize.pow(8));
+
+    let bytes = space.resident_bytes();
+    assert!(
+        bytes <= DEFAULT_MEMORY_BUDGET,
+        "resident {bytes} bytes exceeds the default budget"
+    );
+    let per_state = bytes as f64 / space.len() as f64;
+    assert!(
+        per_state < 64.0,
+        "CSR should stay under 64 bytes/state on the ring, got {per_state:.1}"
+    );
+
+    let s = ring.invariant();
+    let s_bits = Bitset::for_predicate(&space, &s, opts);
+    assert!(
+        is_closed_bits(&space, ring.program(), &s_bits, opts).is_none(),
+        "the invariant is closed"
+    );
+    let t_bits = Bitset::ones(space.len());
+    let r = check_convergence_bits(
+        &space,
+        ring.program(),
+        &t_bits,
+        &s_bits,
+        Fairness::WeaklyFair,
+        opts,
+    );
+    assert!(r.converges(), "{r:?}");
+}

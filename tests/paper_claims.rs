@@ -189,7 +189,7 @@ fn section7_token_ring_specification() {
     let space = StateSpace::enumerate(ring.program()).unwrap();
     let s = ring.invariant();
     for id in space.satisfying(&s) {
-        assert_eq!(ring.privileges(space.state(id)).len(), 1);
+        assert_eq!(ring.privileges(&space.state(id)).len(), 1);
     }
     // Convergence from every state = recovery from arbitrary privilege
     // corruption.

@@ -175,8 +175,79 @@ proptest! {
         let space = StateSpace::enumerate(&p).unwrap();
         for (pos, id) in space.ids().enumerate() {
             prop_assert_eq!(id.index(), pos);
-            prop_assert_eq!(space.id_of(space.state(id)), Some(id));
+            prop_assert_eq!(space.id_of(&space.state(id)), Some(id));
         }
+    }
+}
+
+/// Build a program over `domains` with one wrapping-increment action per
+/// `(guard_var, write_var, delta)` spec. Guards compare against the guard
+/// variable's minimum; effects wrap within the written domain, so every
+/// successor stays representable.
+fn program_with_actions(domains: Vec<Domain>, actions: Vec<(usize, usize, i64)>) -> Program {
+    let mut b = Program::builder("random-actions");
+    let vars: Vec<_> = domains
+        .iter()
+        .enumerate()
+        .map(|(i, d)| b.var(format!("v{i}"), d.clone()))
+        .collect();
+    let bounds: Vec<(i64, i64)> = domains
+        .iter()
+        .map(|d| {
+            let min = d.min_value();
+            (min, min + d.size().unwrap() as i64 - 1)
+        })
+        .collect();
+    for (k, (g, w, delta)) in actions.into_iter().enumerate() {
+        let (gv, wv) = (vars[g % vars.len()], vars[w % vars.len()]);
+        let (gmin, _) = bounds[g % vars.len()];
+        let (wmin, wmax) = bounds[w % vars.len()];
+        let size = wmax - wmin + 1;
+        b.closure_action(
+            format!("a{k}"),
+            [gv, wv],
+            [wv],
+            move |s| s.get(gv) > gmin,
+            move |s| {
+                let v = s.get(wv);
+                s.set(wv, wmin + (v - wmin + delta).rem_euclid(size));
+            },
+        );
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSR ground truth: for every state, the CSR row
+    /// ([`StateSpace::successors`]) equals a direct per-state enumeration —
+    /// the enabled actions in declaration order, each paired with the
+    /// mixed-radix id of its successor — and the parallel `succs` column
+    /// ([`StateSpace::successor_ids`]) agrees pairwise.
+    #[test]
+    fn csr_rows_match_direct_enumeration(
+        domains in proptest::collection::vec(domain_strategy(), 1..=4),
+        actions in proptest::collection::vec((0usize..4, 0usize..4, 1i64..=3), 0..=4)
+    ) {
+        let p = program_with_actions(domains, actions);
+        let space = StateSpace::enumerate(&p).unwrap();
+        let mut total = 0usize;
+        for id in space.ids() {
+            let st = space.state(id);
+            let expected: Vec<_> = p
+                .action_ids()
+                .filter(|&a| p.action(a).enabled(&st))
+                .map(|a| (a, space.id_of(&p.action(a).successor(&st)).unwrap()))
+                .collect();
+            let row: Vec<_> = space.successors(id).iter().collect();
+            prop_assert_eq!(&row, &expected, "row of state {}", id.index());
+            let ids: Vec<_> = space.successor_ids(id).to_vec();
+            let pair_ids: Vec<_> = row.iter().map(|&(_, t)| t).collect();
+            prop_assert_eq!(ids, pair_ids);
+            total += expected.len();
+        }
+        prop_assert_eq!(space.transition_count(), total);
     }
 }
 
