@@ -32,7 +32,7 @@ pub fn e12() -> String {
     let mut row = |name: &str, program: &nonmask_program::Program, s: &Predicate| {
         let space = StateSpace::enumerate(program).expect("bounded");
         let t_pred = Predicate::always_true();
-        let worst = worst_case_moves(&space, program, &t_pred, s);
+        let worst = worst_case_moves(&space, program, &t_pred, s).expect("bounds");
         let em = expected_moves(&space, program, &t_pred, s, 1e-10, 100_000);
         // Simulated mean over uniformly random starts and schedules.
         let mut rng = StdRng::seed_from_u64(3);
@@ -196,6 +196,7 @@ mod tests {
         let s = ring.invariant();
         let space = StateSpace::enumerate(ring.program()).unwrap();
         let worst = worst_case_moves(&space, ring.program(), &Predicate::always_true(), &s)
+            .expect("bounds")
             .expect("finite") as f64;
         let em = expected_moves(
             &space,

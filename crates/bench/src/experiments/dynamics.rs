@@ -159,6 +159,7 @@ pub fn e6() -> String {
         let bound = if n <= 5 {
             let space = StateSpace::enumerate(ring.program()).expect("bounded");
             worst_case_moves(&space, ring.program(), &Predicate::always_true(), &s)
+                .expect("bounds")
                 .map_or("∞".to_string(), |m| m.to_string())
         } else {
             "(state space too large)".to_string()
@@ -187,7 +188,8 @@ pub fn e6() -> String {
                 &Predicate::always_true(),
                 &ring.invariant(),
                 Fairness::WeaklyFair,
-            );
+            )
+            .expect("convergence");
             cells.push(if r.converges() { "yes" } else { "NO" }.to_string());
         }
         t2.row(cells);
@@ -207,7 +209,8 @@ pub fn e6() -> String {
             ts.program(),
             &Predicate::always_true(),
             &ts.invariant(),
-        );
+        )
+        .expect("bounds");
         let ring = TokenRing::new(n, n as i64);
         let ring_space = StateSpace::enumerate(ring.program()).expect("bounded");
         let ring_bound = worst_case_moves(
@@ -215,7 +218,8 @@ pub fn e6() -> String {
             ring.program(),
             &Predicate::always_true(),
             &ring.invariant(),
-        );
+        )
+        .expect("bounds");
         t3.row([
             n.to_string(),
             ts_bound.map_or("∞".into(), |m| m.to_string()),

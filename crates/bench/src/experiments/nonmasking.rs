@@ -62,14 +62,17 @@ pub fn e11() -> String {
                 )
             })
             .collect();
-        let span = compute_fault_span(&space, program, &s, &faults);
+        let span = compute_fault_span(&space, program, &s, &faults).expect("span");
         let t_pred = span.to_predicate(&space, "T");
-        let closed = is_closed(&space, program, &t_pred).is_none();
-        let conv = check_convergence(&space, program, &t_pred, &s, Fairness::WeaklyFair);
-        let moves = worst_case_moves(&space, program, &t_pred, &s);
+        let closed = is_closed(&space, program, &t_pred)
+            .expect("closure")
+            .is_none();
+        let conv = check_convergence(&space, program, &t_pred, &s, Fairness::WeaklyFair)
+            .expect("convergence");
+        let moves = worst_case_moves(&space, program, &t_pred, &s).expect("bounds");
         t.row([
             "windowed ring n=3 / corrupt x.2 only".to_string(),
-            space.count_satisfying(&s).to_string(),
+            space.count_satisfying(&s).expect("count").to_string(),
             span.len().to_string(),
             space.len().to_string(),
             yn(closed).to_string(),
@@ -98,14 +101,17 @@ pub fn e11() -> String {
                 ));
             }
         }
-        let span = compute_fault_span(&space, dc.program(), &s, &faults);
+        let span = compute_fault_span(&space, dc.program(), &s, &faults).expect("span");
         let t_pred = span.to_predicate(&space, "T");
-        let closed = is_closed(&space, dc.program(), &t_pred).is_none();
-        let conv = check_convergence(&space, dc.program(), &t_pred, &s, Fairness::WeaklyFair);
-        let moves = worst_case_moves(&space, dc.program(), &t_pred, &s);
+        let closed = is_closed(&space, dc.program(), &t_pred)
+            .expect("closure")
+            .is_none();
+        let conv = check_convergence(&space, dc.program(), &t_pred, &s, Fairness::WeaklyFair)
+            .expect("convergence");
+        let moves = worst_case_moves(&space, dc.program(), &t_pred, &s).expect("bounds");
         t.row([
             "diffusing binary-5 / redden leaves".to_string(),
-            space.count_satisfying(&s).to_string(),
+            space.count_satisfying(&s).expect("count").to_string(),
             span.len().to_string(),
             space.len().to_string(),
             yn(closed).to_string(),
@@ -141,8 +147,12 @@ pub fn ring_sandwich() -> (usize, usize, usize) {
             )
         })
         .collect();
-    let span = compute_fault_span(&space, program, &s, &faults);
-    (space.count_satisfying(&s), span.len(), space.len())
+    let span = compute_fault_span(&space, program, &s, &faults).expect("span");
+    (
+        space.count_satisfying(&s).expect("count"),
+        span.len(),
+        space.len(),
+    )
 }
 
 /// The same check exposed as a [`nonmask_program::Predicate`]-level helper
@@ -165,10 +175,14 @@ pub fn ring_span_is_closed() -> bool {
             )
         })
         .collect();
-    let span = compute_fault_span(&space, program, &s, &faults);
+    let span = compute_fault_span(&space, program, &s, &faults).expect("span");
     let t_pred = span.to_predicate(&space, "T");
-    is_closed(&space, program, &t_pred).is_none()
-        && check_convergence(&space, program, &t_pred, &s, Fairness::WeaklyFair).converges()
+    is_closed(&space, program, &t_pred)
+        .expect("closure")
+        .is_none()
+        && check_convergence(&space, program, &t_pred, &s, Fairness::WeaklyFair)
+            .expect("convergence")
+            .converges()
 }
 
 #[cfg(test)]

@@ -143,17 +143,22 @@ pub fn e2() -> String {
         let space = StateSpace::enumerate(ring.program()).expect("bounded");
         let s = ring.invariant();
         let t_pred = Predicate::always_true();
-        let closed = nonmask_checker::is_closed(&space, ring.program(), &s).is_none();
-        let fair = check_convergence(&space, ring.program(), &t_pred, &s, Fairness::WeaklyFair);
-        let unfair = check_convergence(&space, ring.program(), &t_pred, &s, Fairness::Unfair);
-        let moves = nonmask_checker::worst_case_moves(&space, ring.program(), &t_pred, &s);
+        let closed = nonmask_checker::is_closed(&space, ring.program(), &s)
+            .expect("closure")
+            .is_none();
+        let fair = check_convergence(&space, ring.program(), &t_pred, &s, Fairness::WeaklyFair)
+            .expect("convergence");
+        let unfair = check_convergence(&space, ring.program(), &t_pred, &s, Fairness::Unfair)
+            .expect("convergence");
+        let moves =
+            nonmask_checker::worst_case_moves(&space, ring.program(), &t_pred, &s).expect("bounds");
         t2.row([
             format!("n={n} k={k}"),
             yn(closed).to_string(),
             yn(fair.converges()).to_string(),
             yn(unfair.converges()).to_string(),
             moves.map_or("∞".into(), |m| m.to_string()),
-            space.count_satisfying(&s).to_string(),
+            space.count_satisfying(&s).expect("count").to_string(),
             space.len().to_string(),
         ]);
     }
@@ -189,8 +194,10 @@ pub fn e3() -> String {
         let (program, invariant) = DiffusingComputation::misdesigned(&tree);
         let space = StateSpace::enumerate(&program).expect("bounded");
         let t_pred = Predicate::always_true();
-        let fair = check_convergence(&space, &program, &t_pred, &invariant, Fairness::WeaklyFair);
-        let unfair = check_convergence(&space, &program, &t_pred, &invariant, Fairness::Unfair);
+        let fair = check_convergence(&space, &program, &t_pred, &invariant, Fairness::WeaklyFair)
+            .expect("convergence");
+        let unfair = check_convergence(&space, &program, &t_pred, &invariant, Fairness::Unfair)
+            .expect("convergence");
         t2.row([
             name.to_string(),
             yn(fair.converges()).to_string(),
@@ -218,8 +225,10 @@ pub fn e8() -> String {
     let mut row = |name: &str, program: &nonmask_program::Program, s: &Predicate| {
         let space = StateSpace::enumerate(program).expect("bounded");
         let t_pred = Predicate::always_true();
-        let fair = check_convergence(&space, program, &t_pred, s, Fairness::WeaklyFair);
-        let unfair = check_convergence(&space, program, &t_pred, s, Fairness::Unfair);
+        let fair = check_convergence(&space, program, &t_pred, s, Fairness::WeaklyFair)
+            .expect("convergence");
+        let unfair =
+            check_convergence(&space, program, &t_pred, s, Fairness::Unfair).expect("convergence");
         t.row([
             name.to_string(),
             yn(fair.converges()).to_string(),

@@ -11,6 +11,7 @@ use nonmask_program::{Predicate, Program, State};
 
 use crate::cache::Bitset;
 use crate::convergence::build_region;
+use crate::error::CheckError;
 use crate::options::CheckOptions;
 use crate::space::{StateId, StateSpace};
 
@@ -37,20 +38,24 @@ use crate::space::{StateId, StateSpace};
 /// let p = b.build();
 /// let space = StateSpace::enumerate(&p)?;
 /// let s = Predicate::new("x=0", [x], move |st| st.get(x) == 0);
-/// let bound = worst_case_moves(&space, &p, &Predicate::always_true(), &s);
+/// let bound = worst_case_moves(&space, &p, &Predicate::always_true(), &s)?;
 /// assert_eq!(bound, Some(4), "x=4 takes four decrements");
-/// # Ok::<(), nonmask_checker::SpaceError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if a predicate panics at some state.
 pub fn worst_case_moves(
     space: &StateSpace,
     program: &Program,
     from: &Predicate,
     to: &Predicate,
-) -> Option<u64> {
+) -> Result<Option<u64>, CheckError> {
     let _ = program;
     let opts = CheckOptions::default();
-    let from_bits = Bitset::for_predicate(space, from, opts);
-    let to_bits = Bitset::for_predicate(space, to, opts);
+    let from_bits = Bitset::for_predicate(space, from, opts)?;
+    let to_bits = Bitset::for_predicate(space, to, opts)?;
     worst_case_moves_bits(space, &from_bits, &to_bits, opts)
 }
 
@@ -63,10 +68,10 @@ pub fn worst_case_moves_bits(
     from_bits: &Bitset,
     to_bits: &Bitset,
     opts: CheckOptions,
-) -> Option<u64> {
-    let (region, local) = build_region(space, from_bits, to_bits, opts);
+) -> Result<Option<u64>, CheckError> {
+    let (region, local) = build_region(space, from_bits, to_bits, opts)?;
     if region.is_empty() {
-        return Some(0);
+        return Ok(Some(0));
     }
 
     // memo[li]: longest number of moves from region state li until the
@@ -92,7 +97,7 @@ pub fn worst_case_moves_bits(
             if succs.is_empty() {
                 // Deadlock inside the region: the computation never reaches
                 // `to`, so no finite bound exists.
-                return None;
+                return Ok(None);
             }
             if *ci < succs.len() {
                 let t = succs[*ci];
@@ -106,7 +111,7 @@ pub fn worst_case_moves_bits(
                         mark[tl as usize] = Mark::Grey;
                         stack.push((tl as usize, 0));
                     }
-                    Mark::Grey => return None, // cycle
+                    Mark::Grey => return Ok(None), // cycle
                     Mark::Done(_) => {}
                 }
             } else {
@@ -129,7 +134,7 @@ pub fn worst_case_moves_bits(
         }
     }
 
-    Some(
+    Ok(Some(
         (0..region.len())
             .map(|v| match mark[v] {
                 Mark::Done(d) => d,
@@ -137,7 +142,7 @@ pub fn worst_case_moves_bits(
             })
             .max()
             .unwrap_or(0),
-    )
+    ))
 }
 
 /// The result of validating a candidate variant function over a region.
@@ -297,7 +302,7 @@ mod tests {
     fn countdown_worst_case_is_max() {
         let p = countdown(7);
         let space = StateSpace::enumerate(&p).unwrap();
-        let moves = worst_case_moves(&space, &p, &Predicate::always_true(), &target(&p));
+        let moves = worst_case_moves(&space, &p, &Predicate::always_true(), &target(&p)).unwrap();
         assert_eq!(moves, Some(7));
     }
 
@@ -305,7 +310,7 @@ mod tests {
     fn empty_region_is_zero_moves() {
         let p = countdown(3);
         let space = StateSpace::enumerate(&p).unwrap();
-        let moves = worst_case_moves(&space, &p, &Predicate::always_false(), &target(&p));
+        let moves = worst_case_moves(&space, &p, &Predicate::always_false(), &target(&p)).unwrap();
         assert_eq!(moves, Some(0));
     }
 
@@ -325,7 +330,7 @@ mod tests {
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
         assert_eq!(
-            worst_case_moves(&space, &p, &Predicate::always_true(), &s),
+            worst_case_moves(&space, &p, &Predicate::always_true(), &s).unwrap(),
             None
         );
     }
@@ -339,7 +344,7 @@ mod tests {
         let space = StateSpace::enumerate(&p).unwrap();
         let s = target(&p);
         assert_eq!(
-            worst_case_moves(&space, &p, &Predicate::always_true(), &s),
+            worst_case_moves(&space, &p, &Predicate::always_true(), &s).unwrap(),
             None
         );
     }
@@ -370,7 +375,7 @@ mod tests {
         let p = b.build();
         let space = StateSpace::enumerate(&p).unwrap();
         assert_eq!(
-            worst_case_moves(&space, &p, &Predicate::always_true(), &target(&p)),
+            worst_case_moves(&space, &p, &Predicate::always_true(), &target(&p)).unwrap(),
             Some(5)
         );
     }
@@ -381,9 +386,10 @@ mod tests {
         let space = StateSpace::enumerate(&p).unwrap();
         let t = Predicate::always_true();
         let s = target(&p);
-        let from_bits = Bitset::for_predicate(&space, &t, CheckOptions::serial());
-        let to_bits = Bitset::for_predicate(&space, &s, CheckOptions::serial());
-        let serial = worst_case_moves_bits(&space, &from_bits, &to_bits, CheckOptions::serial());
+        let from_bits = Bitset::for_predicate(&space, &t, CheckOptions::serial()).unwrap();
+        let to_bits = Bitset::for_predicate(&space, &s, CheckOptions::serial()).unwrap();
+        let serial =
+            worst_case_moves_bits(&space, &from_bits, &to_bits, CheckOptions::serial()).unwrap();
         assert_eq!(serial, Some(4999));
         for threads in [2, 4, 8] {
             let par = worst_case_moves_bits(
@@ -391,7 +397,8 @@ mod tests {
                 &from_bits,
                 &to_bits,
                 CheckOptions::default().threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
     }

@@ -11,6 +11,7 @@
 
 use nonmask_program::Predicate;
 
+use crate::error::CheckError;
 use crate::options::{run_chunks, CheckOptions};
 use crate::space::{StateId, StateSpace};
 
@@ -45,7 +46,11 @@ impl Bitset {
     /// Workers own disjoint *word-aligned* chunks (multiples of 64 bits),
     /// so no two threads touch the same word and the result is identical
     /// for every worker count.
-    pub fn from_fn<F>(len: usize, opts: CheckOptions, f: F) -> Self
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `f` panics.
+    pub fn from_fn<F>(len: usize, opts: CheckOptions, f: F) -> Result<Self, CheckError>
     where
         F: Fn(usize) -> bool + Sync,
     {
@@ -64,16 +69,24 @@ impl Bitset {
                     word
                 })
                 .collect::<Vec<u64>>()
-        })
+        })?
         .into_iter()
         .flatten()
         .collect();
-        Bitset { words, len }
+        Ok(Bitset { words, len })
     }
 
     /// Evaluate `pred` once at every state of `space`, decoding each state
     /// into a per-worker scratch buffer (no per-state allocation).
-    pub fn for_predicate(space: &StateSpace, pred: &Predicate, opts: CheckOptions) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics.
+    pub fn for_predicate(
+        space: &StateSpace,
+        pred: &Predicate,
+        opts: CheckOptions,
+    ) -> Result<Self, CheckError> {
         let len = space.len();
         let word_count = len.div_ceil(64);
         let workers = opts.workers_for(len);
@@ -92,11 +105,11 @@ impl Bitset {
                     word
                 })
                 .collect::<Vec<u64>>()
-        })
+        })?
         .into_iter()
         .flatten()
         .collect();
-        Bitset { words, len }
+        Ok(Bitset { words, len })
     }
 
     /// Whether state index `i` is in the set.
@@ -212,8 +225,9 @@ mod tests {
     #[test]
     fn from_fn_matches_direct_evaluation() {
         for len in [0, 1, 63, 64, 65, 2048, 5000] {
-            let b = Bitset::from_fn(len, CheckOptions::serial(), |i| i % 3 == 0);
-            let par = Bitset::from_fn(len, CheckOptions::default().threads(4), |i| i % 3 == 0);
+            let b = Bitset::from_fn(len, CheckOptions::serial(), |i| i % 3 == 0).unwrap();
+            let par =
+                Bitset::from_fn(len, CheckOptions::default().threads(4), |i| i % 3 == 0).unwrap();
             assert_eq!(b, par, "len={len}");
             for i in 0..len {
                 assert_eq!(b.get(i), i % 3 == 0, "len={len} i={i}");
@@ -235,8 +249,8 @@ mod tests {
 
     #[test]
     fn boolean_algebra() {
-        let a = Bitset::from_fn(130, CheckOptions::serial(), |i| i % 2 == 0);
-        let b = Bitset::from_fn(130, CheckOptions::serial(), |i| i % 3 == 0);
+        let a = Bitset::from_fn(130, CheckOptions::serial(), |i| i % 2 == 0).unwrap();
+        let b = Bitset::from_fn(130, CheckOptions::serial(), |i| i % 3 == 0).unwrap();
         let both = a.and(&b);
         let neither = a.not().and(&b.not());
         for i in 0..130 {
@@ -250,7 +264,8 @@ mod tests {
     #[test]
     fn iter_ones_ascending() {
         for len in [0, 1, 63, 64, 65, 130, 1000] {
-            let b = Bitset::from_fn(len, CheckOptions::serial(), |i| i % 7 == 0 || i == len - 1);
+            let b = Bitset::from_fn(len, CheckOptions::serial(), |i| i % 7 == 0 || i == len - 1)
+                .unwrap();
             let got: Vec<usize> = b.iter_ones().collect();
             let want: Vec<usize> = (0..len).filter(|&i| b.get(i)).collect();
             assert_eq!(got, want, "len={len}");

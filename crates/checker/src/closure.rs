@@ -15,6 +15,7 @@
 use nonmask_program::{ActionId, Predicate, Program, State};
 
 use crate::cache::Bitset;
+use crate::error::CheckError;
 use crate::options::{run_chunks, CheckOptions};
 use crate::space::{StateId, StateSpace};
 
@@ -46,12 +47,16 @@ impl Violation {
 ///
 /// Checks every state of `space` where `pred` and the guard hold; returns
 /// the first violation found, or `None` if the action preserves `pred`.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if `pred` panics at some state.
 pub fn preserves(
     space: &StateSpace,
     program: &Program,
     action: ActionId,
     pred: &Predicate,
-) -> Option<Violation> {
+) -> Result<Option<Violation>, CheckError> {
     preserves_given(space, program, action, pred, &Predicate::always_true())
 }
 
@@ -67,11 +72,11 @@ pub fn preserves_given(
     action: ActionId,
     pred: &Predicate,
     assuming: &Predicate,
-) -> Option<Violation> {
+) -> Result<Option<Violation>, CheckError> {
     let _ = program;
     let opts = CheckOptions::default();
-    let pred_bits = Bitset::for_predicate(space, pred, opts);
-    let assuming_bits = Bitset::for_predicate(space, assuming, opts);
+    let pred_bits = Bitset::for_predicate(space, pred, opts)?;
+    let assuming_bits = Bitset::for_predicate(space, assuming, opts)?;
     preserves_given_bits(space, action, &pred_bits, &assuming_bits, opts)
 }
 
@@ -88,7 +93,7 @@ pub fn preserves_given_bits(
     pred_bits: &Bitset,
     assuming_bits: &Bitset,
     opts: CheckOptions,
-) -> Option<Violation> {
+) -> Result<Option<Violation>, CheckError> {
     let workers = opts.workers_for(space.len());
     let first = run_chunks(space.len(), workers, |range| {
         for i in range {
@@ -102,15 +107,15 @@ pub fn preserves_given_bits(
             }
         }
         None
-    })
+    })?
     .into_iter()
     .flatten()
     .next();
-    first.map(|(i, succ)| Violation {
+    Ok(first.map(|(i, succ)| Violation {
         action,
         before: space.state(StateId::from_index(i)),
         after: space.state(succ),
-    })
+    }))
 }
 
 /// Is `pred` closed in `program` (preserved by *every* action)?
@@ -118,26 +123,37 @@ pub fn preserves_given_bits(
 /// Returns the first violation found, or `None` when `pred` is closed.
 /// This discharges the paper's Closure requirement for both the invariant
 /// `S` and the fault-span `T`.
-pub fn is_closed(space: &StateSpace, program: &Program, pred: &Predicate) -> Option<Violation> {
+pub fn is_closed(
+    space: &StateSpace,
+    program: &Program,
+    pred: &Predicate,
+) -> Result<Option<Violation>, CheckError> {
     is_closed_bits(
         space,
         program,
-        &Bitset::for_predicate(space, pred, CheckOptions::default()),
+        &Bitset::for_predicate(space, pred, CheckOptions::default())?,
         CheckOptions::default(),
     )
 }
 
 /// [`is_closed`] over a precomputed predicate cache.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if a worker panics mid-scan.
 pub fn is_closed_bits(
     space: &StateSpace,
     program: &Program,
     pred_bits: &Bitset,
     opts: CheckOptions,
-) -> Option<Violation> {
+) -> Result<Option<Violation>, CheckError> {
     let everywhere = Bitset::ones(space.len());
-    program
-        .action_ids()
-        .find_map(|a| preserves_given_bits(space, a, pred_bits, &everywhere, opts))
+    for a in program.action_ids() {
+        if let Some(v) = preserves_given_bits(space, a, pred_bits, &everywhere, opts)? {
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -184,8 +200,10 @@ mod tests {
         let copy = p.action_ids().next().unwrap();
         let bump = p.action_ids().nth(1).unwrap();
 
-        assert!(preserves(&space, &p, copy, &eq).is_none());
-        let v = preserves(&space, &p, bump, &eq).expect("bump breaks x=y");
+        assert!(preserves(&space, &p, copy, &eq).unwrap().is_none());
+        let v = preserves(&space, &p, bump, &eq)
+            .unwrap()
+            .expect("bump breaks x=y");
         assert_eq!(v.action, bump);
         assert!(eq.holds(&v.before));
         assert!(!eq.holds(&v.after));
@@ -196,9 +214,13 @@ mod tests {
     fn closure_of_trivial_predicates() {
         let p = program();
         let space = StateSpace::enumerate(&p).unwrap();
-        assert!(is_closed(&space, &p, &Predicate::always_true()).is_none());
+        assert!(is_closed(&space, &p, &Predicate::always_true())
+            .unwrap()
+            .is_none());
         // `false` is vacuously closed: it never holds before execution.
-        assert!(is_closed(&space, &p, &Predicate::always_false()).is_none());
+        assert!(is_closed(&space, &p, &Predicate::always_false())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -207,7 +229,9 @@ mod tests {
         let x = p.var_by_name("x").unwrap();
         let space = StateSpace::enumerate(&p).unwrap();
         let x0 = Predicate::new("x=0", [x], move |s| s.get(x) == 0);
-        let v = is_closed(&space, &p, &x0).expect("bump violates x=0");
+        let v = is_closed(&space, &p, &x0)
+            .unwrap()
+            .expect("bump violates x=0");
         assert_eq!(p.action(v.action).name(), "bump");
     }
 
@@ -221,10 +245,12 @@ mod tests {
 
         // bump does not preserve y<=x in general (x wraps 3 -> 0) …
         let le = Predicate::new("y<=x", [x, y], move |s| s.get(y) <= s.get(x));
-        assert!(preserves(&space, &p, bump, &le).is_some());
+        assert!(preserves(&space, &p, bump, &le).unwrap().is_some());
         // … but it does when assuming x<3 (no wrap happens).
         let small = Predicate::new("x<3", [x], move |s| s.get(x) < 3);
-        assert!(preserves_given(&space, &p, bump, &le, &small).is_none());
+        assert!(preserves_given(&space, &p, bump, &le, &small)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -244,7 +270,7 @@ mod tests {
         let space = StateSpace::enumerate(&p).unwrap();
         let small = Predicate::new("x<=1", [x], move |s| s.get(x) <= 1);
         let a = p.action_ids().next().unwrap();
-        assert!(preserves(&space, &p, a, &small).is_none());
+        assert!(preserves(&space, &p, a, &small).unwrap().is_none());
     }
 
     #[test]
@@ -268,10 +294,11 @@ mod tests {
         let a = p.action_ids().next().unwrap();
         // "x is even" is broken at every even x < 9999.
         let even = Predicate::new("even", [x], move |s| s.get(x) % 2 == 0);
-        let bits = Bitset::for_predicate(&space, &even, CheckOptions::serial());
+        let bits = Bitset::for_predicate(&space, &even, CheckOptions::serial()).unwrap();
         let everywhere = Bitset::ones(space.len());
-        let serial =
-            preserves_given_bits(&space, a, &bits, &everywhere, CheckOptions::serial()).unwrap();
+        let serial = preserves_given_bits(&space, a, &bits, &everywhere, CheckOptions::serial())
+            .unwrap()
+            .unwrap();
         assert_eq!(serial.before.slots()[0], 0, "lowest-id witness");
         for threads in [2, 4, 8] {
             let par = preserves_given_bits(
@@ -281,8 +308,50 @@ mod tests {
                 &everywhere,
                 CheckOptions::default().threads(threads),
             )
+            .unwrap()
             .unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn poisoned_predicate_surfaces_as_worker_failed() {
+        // A predicate that panics mid-scan must produce a typed error from
+        // the public API, on both the serial and the threaded path.
+        let mut b = Program::builder("big");
+        let x = b.var("x", Domain::range(0, 9999));
+        b.closure_action(
+            "inc",
+            [x],
+            [x],
+            move |s| s.get(x) < 9999,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let poisoned = Predicate::new("poisoned", [x], move |s| {
+            if s.get(x) == 7777 {
+                panic!("predicate poisoned at x=7777");
+            }
+            true
+        });
+        let err = is_closed(&space, &p, &poisoned).unwrap_err();
+        assert!(
+            matches!(err, CheckError::WorkerFailed { ref payload }
+                if payload.contains("poisoned at x=7777")),
+            "got {err:?}"
+        );
+        // Small spaces run the scan on the calling thread; the panic must
+        // still be caught, not unwind through the caller.
+        let mut b = Program::builder("small");
+        let y = b.var("y", Domain::range(0, 3));
+        let small = b.build();
+        let small_space = StateSpace::enumerate(&small).unwrap();
+        let always_panics = Predicate::new("boom", [y], |_| panic!("always boom"));
+        let err = is_closed(&small_space, &small, &always_panics).unwrap_err();
+        assert!(matches!(err, CheckError::WorkerFailed { .. }));
     }
 }

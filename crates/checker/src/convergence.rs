@@ -48,9 +48,11 @@
 //! Every thread count reports the same witness: the lowest-id event wins,
 //! exactly as in a sequential scan.
 
+use nonmask_obs::{Event, Journal};
 use nonmask_program::{ActionId, Predicate, Program, State};
 
 use crate::cache::Bitset;
+use crate::error::{payload_string, CheckError};
 use crate::options::{chunk_ranges, run_chunks, CheckOptions};
 use crate::space::{offsets_from_counts, StateId, StateSpace};
 
@@ -111,6 +113,21 @@ impl ConvergenceResult {
     }
 }
 
+/// Size counters for one convergence pass, produced by
+/// [`check_convergence_stats`] and surfaced in journals as
+/// [`Event::Wave`]: how much of the region the peeling fast path resolved
+/// before any SCC analysis, and how many components Tarjan then examined.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvergenceStats {
+    /// States in the region `T ∧ ¬S`.
+    pub region_states: u64,
+    /// Region states removed by the Kahn-style peel (all of them, in the
+    /// common converging case).
+    pub peeled_states: u64,
+    /// Strongly connected components found in the residual subgraph.
+    pub sccs_found: u64,
+}
+
 /// Check that every computation of `program` from `from` (the fault span
 /// `T`) reaches `to` (the invariant `S`), under the given fairness
 /// assumption.
@@ -118,18 +135,26 @@ impl ConvergenceResult {
 /// `Converges` under [`Fairness::Unfair`] implies `Converges` under
 /// [`Fairness::WeaklyFair`]; divergence witnesses found under
 /// `WeaklyFair` are also divergences under `Unfair`.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if a predicate panics mid-scan.
 pub fn check_convergence(
     space: &StateSpace,
     program: &Program,
     from: &Predicate,
     to: &Predicate,
     fairness: Fairness,
-) -> ConvergenceResult {
+) -> Result<ConvergenceResult, CheckError> {
     check_convergence_opts(space, program, from, to, fairness, CheckOptions::default())
 }
 
 /// [`check_convergence`] with explicit [`CheckOptions`]. The result is
 /// identical for every thread count.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if a predicate panics mid-scan.
 pub fn check_convergence_opts(
     space: &StateSpace,
     program: &Program,
@@ -137,15 +162,56 @@ pub fn check_convergence_opts(
     to: &Predicate,
     fairness: Fairness,
     opts: CheckOptions,
-) -> ConvergenceResult {
-    let from_bits = Bitset::for_predicate(space, from, opts);
-    let to_bits = Bitset::for_predicate(space, to, opts);
-    check_convergence_bits(space, program, &from_bits, &to_bits, fairness, opts)
+) -> Result<ConvergenceResult, CheckError> {
+    Ok(check_convergence_stats(
+        space,
+        program,
+        from,
+        to,
+        fairness,
+        opts,
+        &Journal::disabled(),
+    )?
+    .0)
+}
+
+/// [`check_convergence_opts`] that additionally reports
+/// [`ConvergenceStats`] and journals the pass: one [`Event::Wave`] per
+/// invocation with the region, peel, and SCC sizes.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if a predicate panics mid-scan.
+#[allow(clippy::too_many_arguments)]
+pub fn check_convergence_stats(
+    space: &StateSpace,
+    program: &Program,
+    from: &Predicate,
+    to: &Predicate,
+    fairness: Fairness,
+    opts: CheckOptions,
+    journal: &Journal,
+) -> Result<(ConvergenceResult, ConvergenceStats), CheckError> {
+    let from_bits = Bitset::for_predicate(space, from, opts)?;
+    let to_bits = Bitset::for_predicate(space, to, opts)?;
+    let (result, stats) =
+        check_convergence_bits_stats(space, program, &from_bits, &to_bits, fairness, opts)?;
+    journal.emit_with(|| Event::Wave {
+        fairness: fairness.to_string(),
+        region: stats.region_states,
+        peeled: stats.peeled_states,
+        sccs: stats.sccs_found,
+    });
+    Ok((result, stats))
 }
 
 /// [`check_convergence`] over precomputed predicate caches (evaluations of
 /// `from` and `to` over exactly this `space`). Lets callers share the
 /// caches across the closure, convergence, and bounds passes.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if a worker panics mid-scan.
 pub fn check_convergence_bits(
     space: &StateSpace,
     program: &Program,
@@ -153,18 +219,37 @@ pub fn check_convergence_bits(
     to_bits: &Bitset,
     fairness: Fairness,
     opts: CheckOptions,
-) -> ConvergenceResult {
+) -> Result<ConvergenceResult, CheckError> {
+    Ok(check_convergence_bits_stats(space, program, from_bits, to_bits, fairness, opts)?.0)
+}
+
+/// [`check_convergence_bits`] plus the pass's [`ConvergenceStats`].
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if an action body panics while edges are
+/// being materialized.
+pub fn check_convergence_bits_stats(
+    space: &StateSpace,
+    program: &Program,
+    from_bits: &Bitset,
+    to_bits: &Bitset,
+    fairness: Fairness,
+    opts: CheckOptions,
+) -> Result<(ConvergenceResult, ConvergenceStats), CheckError> {
+    let mut stats = ConvergenceStats::default();
     // Region: T ∧ ¬S, with a dense local numbering.
-    let (region, local) = build_region(space, from_bits, to_bits, opts);
+    let (region, local) = build_region(space, from_bits, to_bits, opts)?;
+    stats.region_states = region.len() as u64;
     if region.is_empty() {
-        return ConvergenceResult::Converges;
+        return Ok((ConvergenceResult::Converges, stats));
     }
 
     // Counting pass: deadlocks, escapes, and per-state internal edge counts,
     // in parallel chunks over the region. Each worker reports its first
     // (lowest-index) event; the minimum over workers is the sequential
     // witness.
-    enum Event {
+    enum RegionEvent {
         Deadlock,
         Escape { after: StateId },
     }
@@ -177,7 +262,7 @@ pub fn check_convergence_bits(
             let id = region_ref[li];
             let succs = space.successor_ids(id);
             if succs.is_empty() {
-                return (counts, Some((li, Event::Deadlock)));
+                return (counts, Some((li, RegionEvent::Deadlock)));
             }
             let mut c = 0u32;
             for &t in succs {
@@ -185,16 +270,16 @@ pub fn check_convergence_bits(
                     continue; // exits into S
                 }
                 if !from_bits.contains(t) {
-                    return (counts, Some((li, Event::Escape { after: t })));
+                    return (counts, Some((li, RegionEvent::Escape { after: t })));
                 }
                 c += 1;
             }
             counts.push(c);
         }
         (counts, None)
-    });
+    })?;
     let mut counts: Vec<u32> = Vec::with_capacity(n);
-    let mut first_event: Option<(usize, Event)> = None;
+    let mut first_event: Option<(usize, RegionEvent)> = None;
     for (chunk_counts, event) in chunks {
         counts.extend(chunk_counts);
         if let Some((li, e)) = event {
@@ -205,13 +290,14 @@ pub fn check_convergence_bits(
     }
     if let Some((li, event)) = first_event {
         let before = space.state(region[li]);
-        return match event {
-            Event::Deadlock => ConvergenceResult::DeadlockOutsideTarget { state: before },
-            Event::Escape { after } => ConvergenceResult::EscapesFaultSpan {
+        let result = match event {
+            RegionEvent::Deadlock => ConvergenceResult::DeadlockOutsideTarget { state: before },
+            RegionEvent::Escape { after } => ConvergenceResult::EscapesFaultSpan {
                 before,
                 after: space.state(after),
             },
         };
+        return Ok((result, stats));
     }
 
     // Internal region edges can't outnumber the space's transitions, which
@@ -237,7 +323,11 @@ pub fn check_convergence_bits(
         debug_assert_eq!(k, out.len());
     };
     if workers <= 1 {
-        fill(0..n, &mut edges);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fill(0..n, &mut edges))).map_err(
+            |p| CheckError::WorkerFailed {
+                payload: payload_string(p),
+            },
+        )?;
     } else {
         let fill = &fill;
         let mut rest: &mut [u32] = &mut edges;
@@ -249,10 +339,21 @@ pub fn check_convergence_bits(
                 rest = tail;
                 handles.push(scope.spawn(move || fill(r, chunk)));
             }
+            // Join *every* handle before acting on any failure so the scope
+            // never re-raises an unjoined panic.
+            let mut failure = None;
             for h in handles {
-                h.join().expect("checker worker panicked");
+                if let Err(p) = h.join() {
+                    if failure.is_none() {
+                        failure = Some(payload_string(p));
+                    }
+                }
             }
-        });
+            match failure {
+                Some(payload) => Err(CheckError::WorkerFailed { payload }),
+                None => Ok(()),
+            }
+        })?;
     }
     let row = |u: u32| -> &[u32] {
         let (lo, hi) = (
@@ -283,8 +384,9 @@ pub fn check_convergence_bits(
             }
         }
     }
+    stats.peeled_states = removed as u64;
     if removed == n {
-        return ConvergenceResult::Converges;
+        return Ok((ConvergenceResult::Converges, stats));
     }
     let mut alive = Bitset::zeros(n);
     for (u, &d) in outdeg.iter().enumerate() {
@@ -298,6 +400,7 @@ pub fn check_convergence_bits(
     // edge (a residual chain state feeding a cycle is a singleton SCC and
     // cannot itself host one).
     let sccs = tarjan_sccs_csr(&offsets, &edges, &alive);
+    stats.sccs_found = sccs.len() as u64;
     for scc in &sccs {
         let mut scc_bits = Bitset::zeros(n);
         for &u in scc {
@@ -316,17 +419,18 @@ pub fn check_convergence_bits(
             }
         };
         if divergent {
-            return ConvergenceResult::Divergence {
+            let result = ConvergenceResult::Divergence {
                 states: scc
                     .iter()
                     .map(|&u| space.state(region[u as usize]))
                     .collect(),
                 fairness,
             };
+            return Ok((result, stats));
         }
     }
 
-    ConvergenceResult::Converges
+    Ok((ConvergenceResult::Converges, stats))
 }
 
 /// The region `from ∧ ¬to` as a sorted id list plus the inverse (dense
@@ -336,14 +440,14 @@ pub(crate) fn build_region(
     from_bits: &Bitset,
     to_bits: &Bitset,
     opts: CheckOptions,
-) -> (Vec<StateId>, Vec<u32>) {
+) -> Result<(Vec<StateId>, Vec<u32>), CheckError> {
     let workers = opts.workers_for(space.len());
     let region: Vec<StateId> = run_chunks(space.len(), workers, |range| {
         range
             .filter(|&i| from_bits.get(i) && !to_bits.get(i))
             .map(StateId::from_index)
             .collect::<Vec<StateId>>()
-    })
+    })?
     .into_iter()
     .flatten()
     .collect();
@@ -351,7 +455,7 @@ pub(crate) fn build_region(
     for (li, id) in region.iter().enumerate() {
         local[id.index()] = li as u32;
     }
-    (region, local)
+    Ok((region, local))
 }
 
 /// Transpose a CSR graph over `n` nodes: `(rev_offsets, rev_edges)` with
@@ -441,13 +545,17 @@ pub struct PathStep {
 /// computation a reader can replay: each step records the [`ActionId`]
 /// executed, so `program.action(a).successor(&prev)` reproduces it.
 ///
-/// Returns `None` when no target is reachable from `from` (then the
+/// Returns `Ok(None)` when no target is reachable from `from` (then the
 /// divergence is only reachable via fault actions, not program steps).
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if `from` panics at some state.
 pub fn shortest_path_to(
     space: &StateSpace,
     from: &Predicate,
     targets: &[State],
-) -> Option<Vec<PathStep>> {
+) -> Result<Option<Vec<PathStep>>, CheckError> {
     const NO_PARENT: u32 = u32::MAX;
     let mut target_ids = Bitset::zeros(space.len());
     for t in targets {
@@ -457,7 +565,7 @@ pub fn shortest_path_to(
     }
     let mut parent = vec![NO_PARENT; space.len()];
     let mut via = vec![ActionId::from_index(0); space.len()];
-    let mut seen = Bitset::for_predicate(space, from, CheckOptions::default());
+    let mut seen = Bitset::for_predicate(space, from, CheckOptions::default())?;
     let mut queue: std::collections::VecDeque<StateId> =
         seen.iter_ones().map(StateId::from_index).collect();
     while let Some(id) = queue.pop_front() {
@@ -478,7 +586,7 @@ pub fn shortest_path_to(
                 cur = StateId::from_index(p as usize);
             }
             path.reverse();
-            return Some(path);
+            return Ok(Some(path));
         }
         for (a, next) in space.successors(id) {
             if !seen.contains(next) {
@@ -489,7 +597,7 @@ pub fn shortest_path_to(
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// Iterative Tarjan SCC over a CSR graph, restricted to the `alive`
@@ -594,7 +702,9 @@ mod tests {
         let s = pred_eq(&p, "x=0", "x", 0);
         for fairness in [Fairness::Unfair, Fairness::WeaklyFair] {
             assert!(
-                check_convergence(&space, &p, &Predicate::always_true(), &s, fairness).converges()
+                check_convergence(&space, &p, &Predicate::always_true(), &s, fairness)
+                    .unwrap()
+                    .converges()
             );
         }
     }
@@ -614,7 +724,8 @@ mod tests {
             &Predicate::always_true(),
             &s,
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(
             matches!(r, ConvergenceResult::DeadlockOutsideTarget { ref state } if state.slots() == [2])
         );
@@ -651,7 +762,8 @@ mod tests {
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
 
-        let unfair = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair);
+        let unfair =
+            check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair).unwrap();
         assert!(
             matches!(unfair, ConvergenceResult::Divergence { ref states, fairness: Fairness::Unfair } if states.len() == 2)
         );
@@ -662,7 +774,8 @@ mod tests {
             &Predicate::always_true(),
             &s,
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(fair.converges(), "weak fairness forces `exit`: {fair:?}");
     }
 
@@ -689,7 +802,8 @@ mod tests {
             &Predicate::always_true(),
             &s,
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(
             matches!(
                 r,
@@ -720,7 +834,8 @@ mod tests {
         let space = StateSpace::enumerate(&p).unwrap();
         let s = Predicate::new("x", [x], move |st| st.get_bool(x));
 
-        let unfair = check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair);
+        let unfair =
+            check_convergence(&space, &p, &Predicate::always_true(), &s, Fairness::Unfair).unwrap();
         assert!(
             matches!(unfair, ConvergenceResult::Divergence { ref states, .. } if states.len() == 1)
         );
@@ -731,6 +846,7 @@ mod tests {
             &s,
             Fairness::WeaklyFair
         )
+        .unwrap()
         .converges());
     }
 
@@ -751,7 +867,7 @@ mod tests {
         let s = pred_eq(&p, "x=0", "x", 0);
         let x_id = p.var_by_name("x").unwrap();
         let t = Predicate::new("x<=1", [x_id], move |st| st.get(x_id) <= 1);
-        let r = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair);
+        let r = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair).unwrap();
         assert!(
             matches!(r, ConvergenceResult::EscapesFaultSpan { .. }),
             "got {r:?}"
@@ -771,7 +887,8 @@ mod tests {
             &Predicate::always_true(),
             &Predicate::always_true(),
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(r.converges());
     }
 
@@ -798,7 +915,7 @@ mod tests {
             let x = p.var_by_name("x").unwrap();
             move |st| st.get(x) <= 1
         });
-        let r = check_convergence(&space, &p, &t, &s, Fairness::Unfair);
+        let r = check_convergence(&space, &p, &t, &s, Fairness::Unfair).unwrap();
         assert!(r.converges(), "got {r:?}");
     }
 
@@ -830,7 +947,8 @@ mod tests {
             &s,
             Fairness::WeaklyFair,
             CheckOptions::serial(),
-        );
+        )
+        .unwrap();
         for threads in [2, 4, 8] {
             let par = check_convergence_opts(
                 &space,
@@ -839,7 +957,8 @@ mod tests {
                 &s,
                 Fairness::WeaklyFair,
                 CheckOptions::default().threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
         assert!(
@@ -882,7 +1001,8 @@ mod tests {
             &s,
             Fairness::Unfair,
             CheckOptions::serial(),
-        );
+        )
+        .unwrap();
         assert!(
             matches!(serial, ConvergenceResult::Divergence { ref states, .. } if states.len() == 2),
             "got {serial:?}"
@@ -895,7 +1015,8 @@ mod tests {
                 &s,
                 Fairness::Unfair,
                 CheckOptions::default().threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
     }
@@ -956,5 +1077,53 @@ mod tests {
     fn fairness_display() {
         assert_eq!(Fairness::Unfair.to_string(), "unfair");
         assert_eq!(Fairness::WeaklyFair.to_string(), "weakly-fair");
+    }
+
+    #[test]
+    fn stats_reported_and_wave_journaled() {
+        // The countdown peels its whole region; the stats and the Wave
+        // event must agree on the sizes.
+        let mut b = Program::builder("down");
+        let x = b.var("x", Domain::range(0, 5));
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let (journal, buffer) = Journal::memory();
+        let (result, stats) = check_convergence_stats(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            CheckOptions::default(),
+            &journal,
+        )
+        .unwrap();
+        assert!(result.converges());
+        assert_eq!(stats.region_states, 5);
+        assert_eq!(stats.peeled_states, 5);
+        assert_eq!(stats.sccs_found, 0);
+        journal.flush();
+        let text = buffer.contents();
+        let record = Event::parse_line(text.trim()).unwrap();
+        assert_eq!(
+            record.event,
+            Event::Wave {
+                fairness: "weakly-fair".to_string(),
+                region: 5,
+                peeled: 5,
+                sccs: 0,
+            }
+        );
     }
 }

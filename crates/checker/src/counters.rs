@@ -1,0 +1,101 @@
+//! Per-pass work counters for a full verification run.
+//!
+//! The checker's passes (enumeration, predicate caching, closure,
+//! convergence) each do a quantifiable amount of work; [`CheckCounters`]
+//! aggregates it so callers (notably `nonmask::Design::verify`) can report
+//! *how much* state space a verdict rests on. The struct implements
+//! [`CounterSet`], so one call journals every field as an
+//! [`Event::Counter`](nonmask_obs::Event::Counter) under the `checker`
+//! scope.
+
+use nonmask_obs::CounterSet;
+
+/// Work counters accumulated across one verification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// States in the enumerated space.
+    pub states: u64,
+    /// Transitions in the CSR table.
+    pub transitions: u64,
+    /// Predicate caches ([`Bitset`](crate::Bitset)s) built.
+    pub bitset_builds: u64,
+    /// State decodings performed while building predicate caches
+    /// (`bitset_builds × states`).
+    pub states_decoded: u64,
+    /// CSR rows visited by closure/preservation scans.
+    pub csr_rows_visited: u64,
+    /// Region (`T ∧ ¬S`) states examined by convergence passes.
+    pub region_states: u64,
+    /// Region states resolved by the Kahn-style peel (no SCC work needed).
+    pub peeled_states: u64,
+    /// Strongly connected components Tarjan examined in the residuals.
+    pub sccs_found: u64,
+    /// Preservation-memo lookups answered from cache.
+    pub cache_hits: u64,
+    /// Preservation-memo lookups that ran a fresh scan.
+    pub cache_misses: u64,
+}
+
+impl CounterSet for CheckCounters {
+    fn scope(&self) -> String {
+        "checker".to_string()
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("states", self.states),
+            ("transitions", self.transitions),
+            ("bitset_builds", self.bitset_builds),
+            ("states_decoded", self.states_decoded),
+            ("csr_rows_visited", self.csr_rows_visited),
+            ("region_states", self.region_states),
+            ("peeled_states", self.peeled_states),
+            ("sccs_found", self.sccs_found),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_obs::{Event, Journal};
+
+    #[test]
+    fn counters_emit_under_checker_scope() {
+        let counters = CheckCounters {
+            states: 10,
+            cache_hits: 3,
+            ..CheckCounters::default()
+        };
+        assert_eq!(counters.scope(), "checker");
+        assert_eq!(counters.fields().len(), 10);
+        let (journal, buffer) = Journal::memory();
+        counters.emit(&journal);
+        journal.flush();
+        let lines: Vec<_> = buffer.contents().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 10);
+        let first = Event::parse_line(&lines[0]).unwrap();
+        assert_eq!(
+            first.event,
+            Event::Counter {
+                scope: "checker".to_string(),
+                name: "states".to_string(),
+                value: 10,
+            }
+        );
+    }
+
+    #[test]
+    fn to_json_lists_fields_in_order() {
+        let counters = CheckCounters {
+            states: 1,
+            transitions: 2,
+            ..CheckCounters::default()
+        };
+        let json = counters.to_json();
+        assert!(json.starts_with("{\"states\":1,\"transitions\":2,"));
+        assert!(json.ends_with("\"cache_misses\":0}"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Typed failures of checker passes.
+
+/// An error raised by a checker pass (predicate caching, closure,
+/// convergence, bounds, fault-span computation).
+///
+/// The checker evaluates caller-supplied closures — predicates, guards,
+/// action bodies — across worker threads. A panic inside one of those
+/// closures used to abort the whole process via
+/// `.join().expect("checker worker panicked")`; it is now caught (on both
+/// the threaded and the single-chunk serial paths) and surfaced as
+/// [`CheckError::WorkerFailed`] so a caller embedding the checker
+/// survives a poisoned closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A worker panicked while evaluating a caller-supplied closure; the
+    /// panic payload is captured instead of aborting the process.
+    WorkerFailed {
+        /// The panic payload, rendered as a string (non-string payloads
+        /// are replaced by a placeholder).
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::WorkerFailed { payload } => {
+                write!(f, "checker worker panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Render a caught panic payload as a string for
+/// [`CheckError::WorkerFailed`].
+pub(crate) fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -66,9 +66,23 @@
 //! let space = StateSpace::enumerate(&p).unwrap();
 //! let s = Predicate::new("x=0", [x], move |st| st.get(x) == 0);
 //! let t = Predicate::always_true();
-//! let result = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair);
+//! let result = check_convergence(&space, &p, &t, &s, Fairness::WeaklyFair).unwrap();
 //! assert!(matches!(result, ConvergenceResult::Converges));
 //! ```
+//!
+//! # Observability
+//!
+//! Passes accept a [`nonmask_obs::Journal`] through the `*_journaled` /
+//! `*_stats` variants ([`StateSpace::enumerate_journaled`],
+//! [`convergence::check_convergence_stats`]) and emit structured JSON-lines
+//! events (CSR build phases, convergence wave sizes). [`CheckCounters`]
+//! aggregates per-pass work counts for reports. With the default disabled
+//! journal no event is ever formatted, so instrumented paths cost
+//! near-nothing.
+//!
+//! A panic in a caller-supplied closure (predicate, guard, action body) no
+//! longer aborts the process: every public entry point returns
+//! [`CheckError::WorkerFailed`] with the captured payload instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,8 +91,11 @@ pub mod bounds;
 pub mod cache;
 pub mod closure;
 pub mod convergence;
+pub mod counters;
+pub mod error;
 pub mod expected;
 pub mod options;
+pub mod replay;
 pub mod space;
 pub mod span;
 
@@ -88,11 +105,14 @@ pub use closure::{
     is_closed, is_closed_bits, preserves, preserves_given, preserves_given_bits, Violation,
 };
 pub use convergence::{
-    check_convergence, check_convergence_bits, check_convergence_opts, shortest_path_to,
-    ConvergenceResult, Fairness, PathStep,
+    check_convergence, check_convergence_bits, check_convergence_opts, check_convergence_stats,
+    shortest_path_to, ConvergenceResult, ConvergenceStats, Fairness, PathStep,
 };
+pub use counters::CheckCounters;
+pub use error::CheckError;
 pub use expected::{expected_moves, ExpectedMoves};
 pub use options::{CheckOptions, DEFAULT_MEMORY_BUDGET};
+pub use replay::{replay_constraints, ConstraintTransition};
 pub use space::{
     SpaceError, StateId, StateSpace, Transitions, TransitionsIter, DEFAULT_STATE_LIMIT,
 };

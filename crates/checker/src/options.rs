@@ -9,6 +9,7 @@
 //!
 //! [`StateId`]: crate::StateId
 
+use crate::error::{payload_string, CheckError};
 use crate::space::DEFAULT_STATE_LIMIT;
 
 /// Below this many work items a pass runs on the calling thread: spawning
@@ -129,14 +130,28 @@ pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<us
 /// **in chunk order**. Deterministic reductions over the returned vector
 /// (concatenation, first-`Some`, minimum-index) therefore reproduce the
 /// sequential left-to-right scan exactly.
-pub(crate) fn run_chunks<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+///
+/// `f` runs caller-supplied closures (predicates, guards, action bodies);
+/// a panic in any chunk — worker thread or the single-chunk serial path —
+/// is caught and returned as [`CheckError::WorkerFailed`] instead of
+/// aborting the process.
+pub(crate) fn run_chunks<T, F>(len: usize, workers: usize, f: F) -> Result<Vec<T>, CheckError>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> T + Sync,
 {
     let ranges = chunk_ranges(len, workers);
     if ranges.len() <= 1 {
-        return ranges.into_iter().map(f).collect();
+        return ranges
+            .into_iter()
+            .map(|r| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(r))).map_err(|p| {
+                    CheckError::WorkerFailed {
+                        payload: payload_string(p),
+                    }
+                })
+            })
+            .collect();
     }
     let f = &f;
     std::thread::scope(|scope| {
@@ -144,9 +159,17 @@ where
             .into_iter()
             .map(|r| scope.spawn(move || f(r)))
             .collect();
-        handles
+        // Join *every* handle before converting errors: joining a panicked
+        // worker consumes its payload, and a handle left unjoined would
+        // make the scope re-raise the panic on exit.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined
             .into_iter()
-            .map(|h| h.join().expect("checker worker panicked"))
+            .map(|r| {
+                r.map_err(|p| CheckError::WorkerFailed {
+                    payload: payload_string(p),
+                })
+            })
             .collect()
     })
 }
@@ -159,6 +182,7 @@ mod tests {
     fn chunks_cover_range_in_order() {
         for workers in [1, 2, 3, 8] {
             let ids: Vec<usize> = run_chunks(10_000, workers, |r| r.collect::<Vec<_>>())
+                .unwrap()
                 .into_iter()
                 .flatten()
                 .collect();
@@ -182,8 +206,43 @@ mod tests {
 
     #[test]
     fn empty_range_yields_one_empty_chunk() {
-        let out = run_chunks(0, 4, |r| r.len());
+        let out = run_chunks(0, 4, |r| r.len()).unwrap();
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn serial_chunk_panic_is_a_typed_error() {
+        // Small work runs on the calling thread; a poisoned closure must
+        // still surface as `WorkerFailed`, not unwind through the caller.
+        let err = run_chunks(10, 1, |r| {
+            if r.contains(&3) {
+                panic!("poisoned predicate at 3");
+            }
+            r.len()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, CheckError::WorkerFailed { ref payload }
+                if payload.contains("poisoned predicate at 3")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn worker_thread_panic_is_a_typed_error() {
+        let err = run_chunks(10_000, 4, |r| {
+            if r.contains(&9_999) {
+                panic!("poisoned predicate at {}", 9_999);
+            }
+            r.len()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, CheckError::WorkerFailed { ref payload }
+                if payload.contains("poisoned predicate at 9999")),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("checker worker panicked"));
     }
 
     #[test]

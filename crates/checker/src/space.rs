@@ -52,9 +52,11 @@
 //! [`state`]: StateSpace::state
 //! [`decode_state`]: StateSpace::decode_state
 
+use nonmask_obs::{Event, Journal};
 use nonmask_program::{ActionId, Predicate, Program, State, VarId};
 
 use crate::cache::Bitset;
+use crate::error::{payload_string, CheckError};
 use crate::options::{chunk_ranges, run_chunks, CheckOptions};
 
 /// Identifier of a state within a [`StateSpace`].
@@ -121,6 +123,12 @@ pub enum SpaceError {
         /// Name of the variable whose domain was escaped.
         var: String,
     },
+    /// An enumeration worker panicked while evaluating a guard or action
+    /// body (see [`CheckError::WorkerFailed`]).
+    WorkerFailed {
+        /// The panic payload, rendered as a string.
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for SpaceError {
@@ -147,11 +155,22 @@ impl std::fmt::Display for SpaceError {
                 "action `{action}` left the state space (wrote `{var}` outside its domain); \
                  domains must be closed under all actions"
             ),
+            SpaceError::WorkerFailed { payload } => {
+                write!(f, "enumeration worker panicked: {payload}")
+            }
         }
     }
 }
 
 impl std::error::Error for SpaceError {}
+
+impl From<CheckError> for SpaceError {
+    fn from(e: CheckError) -> Self {
+        match e {
+            CheckError::WorkerFailed { payload } => SpaceError::WorkerFailed { payload },
+        }
+    }
+}
 
 /// The mixed-radix index: per variable, the domain minimum, the domain
 /// size, and the stride (product of the sizes of all later variables).
@@ -424,6 +443,23 @@ impl StateSpace {
         program: &Program,
         options: CheckOptions,
     ) -> Result<Self, SpaceError> {
+        Self::enumerate_journaled(program, options, &Journal::disabled())
+    }
+
+    /// [`enumerate_with_options`](StateSpace::enumerate_with_options),
+    /// additionally recording one [`Event::CsrPhase`] record per build
+    /// phase (`"count"`, `"fill"`) with states, transitions, and
+    /// wall-clock micros. A [disabled](Journal::disabled) journal makes
+    /// this identical to the un-journaled call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateSpace::enumerate`].
+    pub fn enumerate_journaled(
+        program: &Program,
+        options: CheckOptions,
+        journal: &Journal,
+    ) -> Result<Self, SpaceError> {
         let (radix, total) = Radix::of(program)?;
         // Ids are u32, so the effective cap is the configured limit clamped
         // to the representable id range.
@@ -450,6 +486,7 @@ impl StateSpace {
 
         // Phase 1: count enabled actions per state, decoding each state into
         // a per-chunk scratch buffer (no per-state allocation).
+        let phase_started = std::time::Instant::now();
         let counts: Vec<u32> = run_chunks(n, workers, |range| {
             let mut scratch = State::zeroed(nv);
             let mut out = Vec::with_capacity(range.len());
@@ -464,7 +501,7 @@ impl StateSpace {
                 out.push(c);
             }
             out
-        })
+        })?
         .into_iter()
         .flatten()
         .collect();
@@ -473,6 +510,12 @@ impl StateSpace {
             .map_err(|count| SpaceError::TooManyTransitions { count })?;
         drop(counts);
         let m = *offsets.last().expect("offsets never empty") as usize;
+        journal.emit_with(|| Event::CsrPhase {
+            phase: "count".to_string(),
+            states: n as u64,
+            transitions: m as u64,
+            micros: phase_started.elapsed().as_micros() as u64,
+        });
         let exact_bytes = offsets_bytes + 8 * m as u64;
         if exact_bytes > budget {
             return Err(SpaceError::BudgetExceeded {
@@ -522,8 +565,14 @@ impl StateSpace {
             debug_assert_eq!(k, succs.len(), "impure guard: phase-2 count drifted");
             None
         };
+        let phase_started = std::time::Instant::now();
         let escape: Option<Escape> = if workers <= 1 {
-            fill(0..n, &mut actions, &mut succs)
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fill(0..n, &mut actions, &mut succs)
+            }))
+            .map_err(|p| SpaceError::WorkerFailed {
+                payload: payload_string(p),
+            })?
         } else {
             let fill = &fill;
             let mut a_rest: &mut [ActionId] = &mut actions;
@@ -538,12 +587,37 @@ impl StateSpace {
                     s_rest = rest;
                     handles.push(scope.spawn(move || fill(r, a_chunk, s_chunk)));
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("checker worker panicked"))
-                    .find_map(|e| e)
-            })
+                // Join *every* handle before acting on any failure: an
+                // unjoined panicked handle would make the scope re-raise the
+                // panic on exit, bypassing the typed error.
+                let mut first_escape = None;
+                let mut failure = None;
+                for h in handles {
+                    match h.join() {
+                        Ok(e) => {
+                            if first_escape.is_none() {
+                                first_escape = e;
+                            }
+                        }
+                        Err(p) => {
+                            if failure.is_none() {
+                                failure = Some(payload_string(p));
+                            }
+                        }
+                    }
+                }
+                match failure {
+                    Some(payload) => Err(SpaceError::WorkerFailed { payload }),
+                    None => Ok(first_escape),
+                }
+            })?
         };
+        journal.emit_with(|| Event::CsrPhase {
+            phase: "fill".to_string(),
+            states: n as u64,
+            transitions: m as u64,
+            micros: phase_started.elapsed().as_micros() as u64,
+        });
         if let Some(e) = escape {
             return Err(SpaceError::EscapedDomain {
                 action: program.action(e.action).name().to_string(),
@@ -645,22 +719,38 @@ impl StateSpace {
 
     /// Ids of the states satisfying `pred` (parallel scan with the
     /// [default options](CheckOptions::default)).
-    pub fn satisfying(&self, pred: &Predicate) -> Vec<StateId> {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics.
+    pub fn satisfying(&self, pred: &Predicate) -> Result<Vec<StateId>, CheckError> {
         self.satisfying_opts(pred, CheckOptions::default())
     }
 
     /// Ids of the states satisfying `pred`, with explicit options.
-    pub fn satisfying_opts(&self, pred: &Predicate, options: CheckOptions) -> Vec<StateId> {
-        Bitset::for_predicate(self, pred, options)
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics.
+    pub fn satisfying_opts(
+        &self,
+        pred: &Predicate,
+        options: CheckOptions,
+    ) -> Result<Vec<StateId>, CheckError> {
+        Ok(Bitset::for_predicate(self, pred, options)?
             .iter_ones()
             .map(StateId::from_index)
-            .collect()
+            .collect())
     }
 
     /// Number of states satisfying `pred` (parallel scan with the
     /// [default options](CheckOptions::default)).
-    pub fn count_satisfying(&self, pred: &Predicate) -> usize {
-        Bitset::for_predicate(self, pred, CheckOptions::default()).count_ones()
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics.
+    pub fn count_satisfying(&self, pred: &Predicate) -> Result<usize, CheckError> {
+        Ok(Bitset::for_predicate(self, pred, CheckOptions::default())?.count_ones())
     }
 
     /// Total number of transitions.
@@ -788,8 +878,8 @@ mod tests {
         let x = p.var_by_name("x").unwrap();
         let space = StateSpace::enumerate(&p).unwrap();
         let even = Predicate::new("even", [x], move |s| s.get(x) % 2 == 0);
-        assert_eq!(space.satisfying(&even).len(), 5);
-        assert_eq!(space.count_satisfying(&even), 5);
+        assert_eq!(space.satisfying(&even).unwrap().len(), 5);
+        assert_eq!(space.count_satisfying(&even).unwrap(), 5);
     }
 
     #[test]
@@ -798,10 +888,14 @@ mod tests {
         let x = p.var_by_name("x").unwrap();
         let space = StateSpace::enumerate(&p).unwrap();
         let pred = Predicate::new("mod7", [x], move |s| s.get(x) % 7 == 0);
-        let serial = space.satisfying_opts(&pred, CheckOptions::serial());
-        let parallel = space.satisfying_opts(&pred, CheckOptions::default().threads(4));
+        let serial = space
+            .satisfying_opts(&pred, CheckOptions::serial())
+            .unwrap();
+        let parallel = space
+            .satisfying_opts(&pred, CheckOptions::default().threads(4))
+            .unwrap();
         assert_eq!(serial, parallel);
-        assert_eq!(serial.len(), space.count_satisfying(&pred));
+        assert_eq!(serial.len(), space.count_satisfying(&pred).unwrap());
     }
 
     #[test]

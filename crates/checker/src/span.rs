@@ -15,6 +15,7 @@ use std::sync::Arc;
 use nonmask_program::{Action, Predicate, Program, State};
 
 use crate::cache::Bitset;
+use crate::error::CheckError;
 use crate::options::CheckOptions;
 use crate::space::{StateId, StateSpace};
 
@@ -28,16 +29,28 @@ pub struct StateSet {
 
 impl StateSet {
     /// The states satisfying `pred`.
-    pub fn from_predicate(space: &StateSpace, pred: &Predicate) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics at some state.
+    pub fn from_predicate(space: &StateSpace, pred: &Predicate) -> Result<Self, CheckError> {
         Self::from_predicate_opts(space, pred, CheckOptions::default())
     }
 
     /// [`StateSet::from_predicate`] with explicit [`CheckOptions`] (the
     /// predicate is evaluated once per state, in parallel chunks).
-    pub fn from_predicate_opts(space: &StateSpace, pred: &Predicate, opts: CheckOptions) -> Self {
-        let members = Bitset::for_predicate(space, pred, opts);
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics at some state.
+    pub fn from_predicate_opts(
+        space: &StateSpace,
+        pred: &Predicate,
+        opts: CheckOptions,
+    ) -> Result<Self, CheckError> {
+        let members = Bitset::for_predicate(space, pred, opts)?;
         let count = members.count_ones();
-        StateSet { members, count }
+        Ok(StateSet { members, count })
     }
 
     /// Whether `id` is in the set.
@@ -90,22 +103,26 @@ pub fn compute_fault_span(
     program: &Program,
     invariant: &Predicate,
     faults: &[Action],
-) -> StateSet {
+) -> Result<StateSet, CheckError> {
     compute_fault_span_opts(space, program, invariant, faults, CheckOptions::default())
 }
 
 /// [`compute_fault_span`] with explicit [`CheckOptions`]: the invariant is
 /// seeded in parallel; the reachability sweep itself is sequential (each
 /// state is expanded exactly once).
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if `invariant` panics at some state.
 pub fn compute_fault_span_opts(
     space: &StateSpace,
     program: &Program,
     invariant: &Predicate,
     faults: &[Action],
     opts: CheckOptions,
-) -> StateSet {
+) -> Result<StateSet, CheckError> {
     let _ = program;
-    let mut members = Bitset::for_predicate(space, invariant, opts);
+    let mut members = Bitset::for_predicate(space, invariant, opts)?;
     let mut frontier: Vec<StateId> = members.iter_ones().map(StateId::from_index).collect();
     let mut count = frontier.len();
 
@@ -142,7 +159,7 @@ pub fn compute_fault_span_opts(
         }
     }
 
-    StateSet { members, count }
+    Ok(StateSet { members, count })
 }
 
 #[cfg(test)]
@@ -184,7 +201,7 @@ mod tests {
     fn span_is_reachability_closure() {
         let (p, s, faults) = setup();
         let space = StateSpace::enumerate(&p).unwrap();
-        let span = compute_fault_span(&space, &p, &s, &faults);
+        let span = compute_fault_span(&space, &p, &s, &faults).unwrap();
         // From x=0, faults reach up to 3; decs reach everything below.
         // x=4, x=5 are unreachable.
         assert_eq!(span.len(), 4);
@@ -198,10 +215,10 @@ mod tests {
     fn span_predicate_closed_and_contains_invariant() {
         let (p, s, faults) = setup();
         let space = StateSpace::enumerate(&p).unwrap();
-        let span = compute_fault_span(&space, &p, &s, &faults);
+        let span = compute_fault_span(&space, &p, &s, &faults).unwrap();
         let t = span.to_predicate(&space, "T");
         // T is closed under program actions …
-        assert!(crate::closure::is_closed(&space, &p, &t).is_none());
+        assert!(crate::closure::is_closed(&space, &p, &t).unwrap().is_none());
         // … contains S …
         for id in space.ids() {
             if s.holds(&space.state(id)) {
@@ -210,7 +227,8 @@ mod tests {
         }
         // … and the program converges from T back to S.
         let r =
-            crate::convergence::check_convergence(&space, &p, &t, &s, crate::Fairness::WeaklyFair);
+            crate::convergence::check_convergence(&space, &p, &t, &s, crate::Fairness::WeaklyFair)
+                .unwrap();
         assert!(r.converges());
     }
 
@@ -218,7 +236,7 @@ mod tests {
     fn no_faults_means_span_is_program_reachability() {
         let (p, s, _) = setup();
         let space = StateSpace::enumerate(&p).unwrap();
-        let span = compute_fault_span(&space, &p, &s, &[]);
+        let span = compute_fault_span(&space, &p, &s, &[]).unwrap();
         // The only invariant state is x=0, and dec cannot leave it.
         assert_eq!(span.len(), 1);
     }
@@ -227,7 +245,7 @@ mod tests {
     fn from_predicate_roundtrip() {
         let (p, s, _) = setup();
         let space = StateSpace::enumerate(&p).unwrap();
-        let set = StateSet::from_predicate(&space, &s);
+        let set = StateSet::from_predicate(&space, &s).unwrap();
         assert_eq!(set.len(), 1);
         assert!(!set.is_empty());
         let back = set.to_predicate(&space, "S'");

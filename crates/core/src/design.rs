@@ -4,8 +4,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use nonmask_checker::{
-    bounds, closure, convergence::check_convergence_bits, Bitset, CheckOptions, Fairness,
-    SpaceError, StateSpace, Violation,
+    bounds, closure, convergence::check_convergence_bits_stats, Bitset, CheckCounters, CheckError,
+    CheckOptions, Fairness, SpaceError, StateSpace, Violation,
 };
 use nonmask_graph::{ConstraintGraph, ConstraintRef, GraphError, Layering, NodePartition, Shape};
 use nonmask_program::{ActionId, ActionKind, Predicate, Program};
@@ -25,6 +25,9 @@ pub enum DesignError {
     Graph(GraphError),
     /// The state space could not be enumerated.
     Space(SpaceError),
+    /// A checker pass failed — today this means a caller-supplied closure
+    /// (predicate, guard, or action body) panicked inside a worker.
+    Check(CheckError),
 }
 
 impl std::fmt::Display for DesignError {
@@ -36,6 +39,7 @@ impl std::fmt::Display for DesignError {
             DesignError::UnknownAction(a) => write!(f, "action {a} is not part of the program"),
             DesignError::Graph(e) => write!(f, "constraint graph: {e}"),
             DesignError::Space(e) => write!(f, "state space: {e}"),
+            DesignError::Check(e) => write!(f, "checker: {e}"),
         }
     }
 }
@@ -51,6 +55,12 @@ impl From<GraphError> for DesignError {
 impl From<SpaceError> for DesignError {
     fn from(e: SpaceError) -> Self {
         DesignError::Space(e)
+    }
+}
+
+impl From<CheckError> for DesignError {
+    fn from(e: CheckError) -> Self {
+        DesignError::Check(e)
     }
 }
 
@@ -167,7 +177,9 @@ impl Design {
     /// # Errors
     ///
     /// [`DesignError::Space`] for unbounded or oversized programs;
-    /// [`DesignError::Graph`] if the constraint graph cannot be derived.
+    /// [`DesignError::Graph`] if the constraint graph cannot be derived;
+    /// [`DesignError::Check`] if a predicate, guard, or action body panics
+    /// inside a checker worker.
     pub fn verify(&self) -> Result<ToleranceReport, DesignError> {
         let started = Instant::now();
         let space = StateSpace::enumerate_with_options(&self.program, self.options)?;
@@ -197,7 +209,9 @@ impl Design {
     ///
     /// # Errors
     ///
-    /// [`DesignError::Graph`] if the constraint graph cannot be derived.
+    /// [`DesignError::Graph`] if the constraint graph cannot be derived;
+    /// [`DesignError::Check`] if a predicate, guard, or action body panics
+    /// inside a checker worker.
     pub fn verify_with(&self, space: &StateSpace) -> Result<ToleranceReport, DesignError> {
         let started = Instant::now();
         let graph = self.constraint_graph()?;
@@ -211,18 +225,18 @@ impl Design {
         // `T`, and each constraint are evaluated exactly once per state
         // (in parallel), and all later obligations are bit tests.
         let eval_started = Instant::now();
-        let s_bits = Bitset::for_predicate(space, &s, opts);
-        let t_bits = Bitset::for_predicate(space, t, opts);
+        let s_bits = Bitset::for_predicate(space, &s, opts)?;
+        let t_bits = Bitset::for_predicate(space, t, opts)?;
         let c_bits: Vec<Bitset> = self
             .constraints
             .iter()
             .map(|c| Bitset::for_predicate(space, c.predicate(), opts))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let predicate_eval = eval_started.elapsed();
 
         // --- 1. Closure obligations -----------------------------------
         let closure_started = Instant::now();
-        let closure_report = self.check_closure_bits(space, &s_bits, &t_bits, &c_bits);
+        let closure_report = self.check_closure_bits(space, &s_bits, &t_bits, &c_bits)?;
         let closure_time = closure_started.elapsed();
 
         // --- 2. Theorem side conditions --------------------------------
@@ -231,10 +245,32 @@ impl Design {
         // 3's per-layer assumption.
         let theorem_started = Instant::now();
         let mut memo: HashMap<(ActionId, usize, u8), bool> = HashMap::new();
+        let mut cache_hits: u64 = 0;
+        let mut cache_misses: u64 = 0;
+        // The graph crate's order-search callbacks return `bool`, so the
+        // oracle cannot propagate a `CheckError` directly; the first failure
+        // is parked here (answering `false`) and re-raised below, after the
+        // theorem selection unwinds.
+        let mut oracle_error: Option<CheckError> = None;
         let mut preserves_under = |a: ActionId, ci: usize, assuming: &Bitset, tag: u8| -> bool {
-            *memo.entry((a, ci, tag)).or_insert_with(|| {
-                closure::preserves_given_bits(space, a, &c_bits[ci], assuming, opts).is_none()
-            })
+            match memo.entry((a, ci, tag)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    cache_hits += 1;
+                    *e.get()
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    cache_misses += 1;
+                    match closure::preserves_given_bits(space, a, &c_bits[ci], assuming, opts) {
+                        Ok(violation) => *slot.insert(violation.is_none()),
+                        Err(e) => {
+                            if oracle_error.is_none() {
+                                oracle_error = Some(e);
+                            }
+                            *slot.insert(false)
+                        }
+                    }
+                }
+            }
         };
 
         let mut reasons: Vec<String> = Vec::new();
@@ -304,24 +340,48 @@ impl Design {
             &mut reasons,
         );
         let theorem_time = theorem_started.elapsed();
+        if let Some(e) = oracle_error {
+            return Err(DesignError::Check(e));
+        }
 
         // --- 3. Ground truth -------------------------------------------
         // Both daemons share the same `S`/`T` bit caches; no predicate is
         // re-evaluated between the two convergence passes and the bound.
         let conv_started = Instant::now();
-        let conv_fair =
-            check_convergence_bits(space, p, &t_bits, &s_bits, Fairness::WeaklyFair, opts);
-        let conv_unfair =
-            check_convergence_bits(space, p, &t_bits, &s_bits, Fairness::Unfair, opts);
+        let (conv_fair, fair_stats) =
+            check_convergence_bits_stats(space, p, &t_bits, &s_bits, Fairness::WeaklyFair, opts)?;
+        let (conv_unfair, unfair_stats) =
+            check_convergence_bits_stats(space, p, &t_bits, &s_bits, Fairness::Unfair, opts)?;
         let convergence_time = conv_started.elapsed();
         let bounds_started = Instant::now();
-        let worst = bounds::worst_case_moves_bits(space, &t_bits, &s_bits, opts);
+        let worst = bounds::worst_case_moves_bits(space, &t_bits, &s_bits, opts)?;
         let bounds_time = bounds_started.elapsed();
 
         let state_counts = StateCounts {
             invariant: s_bits.count_ones(),
             fault_span: t_bits.count_ones(),
             total: space.len(),
+        };
+
+        // Work counters: convergence figures are summed over the two
+        // daemon passes; the CSR-row figure counts whole-space scans (one
+        // per distinct preservation query, two closure checks per action,
+        // and the two per-constraint obligation sweeps).
+        let states = space.len() as u64;
+        let bitset_builds = 2 + self.constraints.len() as u64;
+        let scan_count =
+            cache_misses + 2 * p.action_count() as u64 + 2 * self.constraints.len() as u64;
+        let counters = CheckCounters {
+            states,
+            transitions: space.transition_count() as u64,
+            bitset_builds,
+            states_decoded: bitset_builds * states,
+            csr_rows_visited: scan_count * states,
+            region_states: fair_stats.region_states + unfair_stats.region_states,
+            peeled_states: fair_stats.peeled_states + unfair_stats.peeled_states,
+            sccs_found: fair_stats.sccs_found + unfair_stats.sccs_found,
+            cache_hits,
+            cache_misses,
         };
 
         Ok(ToleranceReport {
@@ -332,6 +392,7 @@ impl Design {
             convergence_unfair: conv_unfair,
             worst_case_moves: worst,
             state_counts,
+            counters,
             timings: VerifyTimings {
                 enumerate: None,
                 predicate_eval,
@@ -354,11 +415,11 @@ impl Design {
         s_bits: &Bitset,
         t_bits: &Bitset,
         c_bits: &[Bitset],
-    ) -> ClosureReport {
+    ) -> Result<ClosureReport, CheckError> {
         let p = &self.program;
         let opts = self.options;
-        let invariant = closure::is_closed_bits(space, p, s_bits, opts);
-        let fault_span = closure::is_closed_bits(space, p, t_bits, opts);
+        let invariant = closure::is_closed_bits(space, p, s_bits, opts)?;
+        let fault_span = closure::is_closed_bits(space, p, t_bits, opts)?;
 
         let mut unguarded = Vec::new();
         let mut non_establishing = Vec::new();
@@ -394,12 +455,12 @@ impl Design {
             }
         }
 
-        ClosureReport {
+        Ok(ClosureReport {
             invariant,
             fault_span,
             unguarded_constraints: unguarded,
             non_establishing,
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -82,7 +82,7 @@ pub mod triple;
 
 pub use constraint::Constraint;
 pub use design::{Design, DesignBuilder, DesignError};
-pub use nonmask_checker::CheckOptions;
+pub use nonmask_checker::{CheckCounters, CheckOptions};
 pub use report::{ClosureReport, StateCounts, TheoremOutcome, ToleranceReport, VerifyTimings};
 pub use stair::{ConvergenceStair, StageReport, StairReport};
 pub use triple::CandidateTriple;

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use nonmask_checker::{ConvergenceResult, Violation};
+use nonmask_checker::{CheckCounters, ConvergenceResult, Violation};
 use nonmask_graph::{EdgeId, NodeId, Shape};
 
 /// Outcome of the closure checks (the Closure requirement of Section 3).
@@ -99,6 +99,10 @@ pub struct ToleranceReport {
     pub worst_case_moves: Option<u64>,
     /// Number of states in `S`, in `T`, and in total (diagnostics).
     pub state_counts: StateCounts,
+    /// Per-pass work counters (how much state space the verdict rests
+    /// on). Implements [`nonmask_obs::CounterSet`](CheckCounters), so
+    /// `report.counters.emit(&journal)` journals every field.
+    pub counters: CheckCounters,
     /// Wall-clock time spent in each verification phase.
     pub timings: VerifyTimings,
 }

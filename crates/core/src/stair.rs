@@ -9,7 +9,8 @@
 //! stage's states* can be simpler than the global one.
 
 use nonmask_checker::{
-    closure, convergence::check_convergence, ConvergenceResult, Fairness, StateSpace, Violation,
+    closure, convergence::check_convergence, CheckError, ConvergenceResult, Fairness, StateSpace,
+    Violation,
 };
 use nonmask_program::{Predicate, Program, State};
 
@@ -80,7 +81,17 @@ impl ConvergenceStair {
 
     /// Verify every stage: `R_{i+1} ⊆ R_i`, `R_{i+1}` closed, and
     /// convergence from `R_i` to `R_{i+1}` under `fairness`.
-    pub fn verify(&self, space: &StateSpace, program: &Program, fairness: Fairness) -> StairReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if a stage predicate or an action body
+    /// panics mid-scan.
+    pub fn verify(
+        &self,
+        space: &StateSpace,
+        program: &Program,
+        fairness: Fairness,
+    ) -> Result<StairReport, CheckError> {
         let mut reports = Vec::new();
         for i in 0..self.stages.len() - 1 {
             let from = &self.stages[i];
@@ -91,12 +102,12 @@ impl ConvergenceStair {
                 .find(|s| to.holds(s) && !from.holds(s));
             reports.push(StageReport {
                 stage: i,
-                target_closed: closure::is_closed(space, program, to),
-                convergence: check_convergence(space, program, from, to, fairness),
+                target_closed: closure::is_closed(space, program, to)?,
+                convergence: check_convergence(space, program, from, to, fairness)?,
                 inclusion_witness,
             });
         }
-        StairReport { stages: reports }
+        Ok(StairReport { stages: reports })
     }
 }
 
@@ -133,7 +144,7 @@ mod tests {
             Predicate::new("x=0", [x], move |s| s.get(x) == 0),
         ]);
         assert_eq!(stair.height(), 2);
-        let report = stair.verify(&space, &p, Fairness::WeaklyFair);
+        let report = stair.verify(&space, &p, Fairness::WeaklyFair).unwrap();
         assert!(report.ok(), "{report:?}");
         assert_eq!(report.stages.len(), 2);
     }
@@ -148,7 +159,7 @@ mod tests {
             Predicate::new("x<=2", [x], move |s| s.get(x) <= 2),
             Predicate::new("x<=4", [x], move |s| s.get(x) <= 4),
         ]);
-        let report = stair.verify(&space, &p, Fairness::WeaklyFair);
+        let report = stair.verify(&space, &p, Fairness::WeaklyFair).unwrap();
         assert!(!report.ok());
         assert!(report.stages[0].inclusion_witness.is_some());
     }
@@ -180,7 +191,7 @@ mod tests {
             Predicate::always_true(),
             Predicate::new("x<=1", [x], move |s| s.get(x) <= 1),
         ]);
-        let report = stair.verify(&space, &p, Fairness::WeaklyFair);
+        let report = stair.verify(&space, &p, Fairness::WeaklyFair).unwrap();
         assert!(report.stages[0].target_closed.is_some());
         assert!(!report.ok());
     }

@@ -1,6 +1,6 @@
 //! Candidate triples `(p, S, T)`.
 
-use nonmask_checker::{closure, StateSpace, Violation};
+use nonmask_checker::{closure, CheckError, StateSpace, Violation};
 use nonmask_program::{Predicate, Program, State};
 
 /// A candidate triple `(p, S, T)`: a program whose (closure) actions are
@@ -62,11 +62,19 @@ impl CandidateTriple {
     ///
     /// Returns `(s_violation, t_violation)`; both `None` means the triple
     /// is a valid candidate.
-    pub fn check_closure(&self, space: &StateSpace) -> (Option<Violation>, Option<Violation>) {
-        (
-            closure::is_closed(space, &self.program, &self.invariant),
-            closure::is_closed(space, &self.program, &self.fault_span),
-        )
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if a predicate or action body panics
+    /// mid-scan.
+    pub fn check_closure(
+        &self,
+        space: &StateSpace,
+    ) -> Result<(Option<Violation>, Option<Violation>), CheckError> {
+        Ok((
+            closure::is_closed(space, &self.program, &self.invariant)?,
+            closure::is_closed(space, &self.program, &self.fault_span)?,
+        ))
     }
 
     /// Check `S ⇒ T` extensionally; returns a counterexample state where
@@ -108,7 +116,7 @@ mod tests {
         let (p, s, t) = setup();
         let triple = CandidateTriple::new(p, s, t);
         let space = StateSpace::enumerate(triple.program()).unwrap();
-        let (sv, tv) = triple.check_closure(&space);
+        let (sv, tv) = triple.check_closure(&space).unwrap();
         assert!(sv.is_none() && tv.is_none());
         assert!(triple.check_span_contains_invariant(&space).is_none());
         assert!(!triple.is_masking(&space));
@@ -121,7 +129,7 @@ mod tests {
         let s = Predicate::new("x=2", [x], move |st| st.get(x) == 2);
         let triple = CandidateTriple::new(p, s, t);
         let space = StateSpace::enumerate(triple.program()).unwrap();
-        let (sv, tv) = triple.check_closure(&space);
+        let (sv, tv) = triple.check_closure(&space).unwrap();
         assert!(sv.is_some(), "dec leaves x=2");
         assert!(tv.is_none());
     }

@@ -60,9 +60,10 @@ fn parsed_token_ring_is_stabilizing() {
     let s = Predicate::new("one-privilege", program.var_ids(), move |st| {
         p2.enabled_actions(st).len() == 1
     });
-    assert!(is_closed(&space, &program, &s).is_none());
+    assert!(is_closed(&space, &program, &s).unwrap().is_none());
     for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-        let r = check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
+        let r =
+            check_convergence(&space, &program, &Predicate::always_true(), &s, fairness).unwrap();
         assert!(r.converges(), "{fairness}: {r:?}");
     }
 }
@@ -93,9 +94,13 @@ fn parsed_diffusing_chain_is_stabilizing() {
     };
     let s = r(c1, sn1, c0, sn0).and(&r(c2, sn2, c1, sn1)).named("S");
 
-    assert!(is_closed(&space, &program, &s).is_none(), "S is closed");
+    assert!(
+        is_closed(&space, &program, &s).unwrap().is_none(),
+        "S is closed"
+    );
     for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-        let verdict = check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
+        let verdict =
+            check_convergence(&space, &program, &Predicate::always_true(), &s, fairness).unwrap();
         assert!(verdict.converges(), "{fairness}: {verdict:?}");
     }
 }
@@ -141,6 +146,7 @@ fn pretty_printed_paper_program_still_verifies() {
         &Predicate::always_true(),
         &s,
         Fairness::WeaklyFair,
-    );
+    )
+    .unwrap();
     assert!(verdict.converges());
 }

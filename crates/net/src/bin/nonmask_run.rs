@@ -1,21 +1,32 @@
 //! `nonmask-run`: launch a protocol as distributed TCP-loopback nodes
-//! under configurable fault rates.
+//! under configurable fault rates, or replay/produce observability
+//! journals.
 //!
 //! ```text
 //! nonmask-run token-ring --nodes 5 --k 5 --loss 0.2 --seed 1
 //! nonmask-run diffusing --nodes 7 --loss 0.3 --crash 2 --json out.json
+//! nonmask-run token-ring --crash 2 --journal run.jsonl
+//! nonmask-run check --nodes 5 --journal check.jsonl
+//! nonmask-run trace check.jsonl
 //! nonmask-run --list
 //! ```
 //!
-//! The run starts from a seeded random (usually illegitimate) state,
-//! waits for the runtime detector to observe convergence, optionally
-//! crash-restarts one node into an arbitrary state and waits for
-//! reconvergence, then prints the observability report.
+//! A protocol run starts from a seeded random (usually illegitimate)
+//! state, waits for the runtime detector to observe convergence,
+//! optionally crash-restarts one node into an arbitrary state and waits
+//! for reconvergence, then prints the observability report. `check` runs
+//! the exhaustive checker on the token ring and journals a convergence
+//! witness as a per-constraint repair timeline; `trace` replays any
+//! journal as human-readable text (and fails on schema drift, which is
+//! what the CI gate leans on).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use nonmask_net::{run, FaultConfig, NetConfig, NetEvent};
+use nonmask_checker::convergence::{check_convergence_stats, shortest_path_to};
+use nonmask_checker::{replay_constraints, CheckOptions, Fairness, StateSpace};
+use nonmask_net::{run, FaultConfig, Journal, NetConfig, NetEvent};
+use nonmask_obs::{parse_journal, render_timeline};
 use nonmask_program::{Predicate, Program, State};
 use nonmask_protocols::diffusing::DiffusingComputation;
 use nonmask_protocols::token_ring::TokenRing;
@@ -25,10 +36,18 @@ use rand::SeedableRng;
 
 const USAGE: &str = "\
 usage: nonmask-run <protocol> [options]
+       nonmask-run check [options]
+       nonmask-run trace <journal.jsonl>
 
 protocols:
   token-ring        Dijkstra's K-state token ring (--nodes, --k)
   diffusing         diffusing computation on a binary tree (--nodes)
+
+subcommands:
+  check             model-check the token ring and journal a convergence
+                    witness as a per-constraint repair timeline
+  trace             replay a JSON-lines journal as a readable timeline
+                    (exits nonzero on any schema drift)
 
 options:
   --nodes N         number of processes            (default 5; diffusing: tree size)
@@ -42,6 +61,8 @@ options:
   --down-ms MS      crash downtime                 (default 50)
   --timeout-ms MS   abort threshold                (default 30000)
   --json PATH       also write the machine-readable report to PATH
+  --journal PATH    write a JSON-lines event journal to PATH
+                    (for `check`: default prints the timeline instead)
   --list            list protocols and exit
   --help            this text";
 
@@ -58,6 +79,7 @@ struct Args {
     down_ms: u64,
     timeout_ms: u64,
     json: Option<String>,
+    journal: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -74,6 +96,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         down_ms: 50,
         timeout_ms: 30_000,
         json: None,
+        journal: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -134,6 +157,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--timeout-ms: {e}"))?
             }
             "--json" => args.json = Some(value("--json")?),
+            "--journal" => args.journal = Some(value("--journal")?),
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other if args.protocol.is_empty() => args.protocol = other.to_owned(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -174,6 +198,141 @@ fn build_protocol(args: &Args) -> Result<(Program, Predicate, State), String> {
     }
 }
 
+/// `trace <journal.jsonl>`: replay a journal as a readable timeline;
+/// any schema drift is a hard failure.
+fn trace_main(argv: &[String]) -> ExitCode {
+    let [path] = argv else {
+        eprintln!("error: trace takes exactly one journal path\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse_journal(&text) {
+        Ok(records) => {
+            print!("{}", render_timeline(&records));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `check`: model-check the token ring, then journal a witness
+/// computation from a corrupt state as a §4 constraint-repair timeline.
+fn check_main(args: &Args) -> ExitCode {
+    match check_ring(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_ring(args: &Args) -> Result<ExitCode, String> {
+    let n = args.nodes;
+    if n < 2 {
+        return Err("check needs --nodes >= 2".to_owned());
+    }
+    let k = args.k.unwrap_or(n as i64);
+    if k < 2 {
+        return Err("check needs --k >= 2".to_owned());
+    }
+    let ring = TokenRing::new(n, k);
+    let program = ring.program();
+
+    // Journal to the requested file, or to memory (rendered at the end).
+    let (journal, memory) = match &args.journal {
+        Some(path) => (
+            Journal::to_file(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            None,
+        ),
+        None => {
+            let (journal, buffer) = Journal::memory();
+            (journal, Some(buffer))
+        }
+    };
+
+    let opts = CheckOptions::default();
+    let space = StateSpace::enumerate_journaled(program, opts, &journal)
+        .map_err(|e| format!("enumeration failed: {e}"))?;
+    let (convergence, _) = check_convergence_stats(
+        &space,
+        program,
+        &Predicate::always_true(),
+        &ring.invariant(),
+        Fairness::WeaklyFair,
+        opts,
+        &journal,
+    )
+    .map_err(|e| format!("convergence check failed: {e}"))?;
+
+    // §4 constraint decomposition of the ring: c.j ≡ `x.j = x.(j-1)`.
+    // The constraint graph is the ring's chain (c.j reads only c.(j-1)'s
+    // variables), and on the all-agree states only the root holds the
+    // privilege — the paper's Theorem 2 shape.
+    let constraints: Vec<Predicate> = (1..n)
+        .map(|j| {
+            let xj = ring.counter_var(j);
+            let xp = ring.counter_var(j - 1);
+            Predicate::new(format!("c.{j}"), [xj, xp], move |s| s.get(xj) == s.get(xp))
+        })
+        .collect();
+
+    // A maximally disagreeing start: every boundary violates its
+    // constraint, so the witness shows the whole repair cascade.
+    let corrupt = program
+        .state_from((0..n).map(|j| ((n - j) as i64) % k).collect::<Vec<_>>())
+        .map_err(|e| format!("corrupt state: {e}"))?;
+    let all_vars: Vec<_> = program.var_ids().collect();
+    let corrupt_eq = corrupt.clone();
+    let from = Predicate::new("corrupt-start", all_vars.clone(), move |s| *s == corrupt_eq);
+    let agree = Predicate::new("all-agree", all_vars, {
+        let constraints = constraints.clone();
+        move |s| constraints.iter().all(|c| c.holds(s))
+    });
+    let targets: Vec<State> = space
+        .satisfying(&agree)
+        .map_err(|e| format!("target scan failed: {e}"))?
+        .into_iter()
+        .map(|id| space.state(id))
+        .collect();
+    let path = shortest_path_to(&space, &from, &targets)
+        .map_err(|e| format!("path search failed: {e}"))?
+        .ok_or("no path from the corrupt state to the all-agree states")?;
+    let transitions = replay_constraints(program, &path, &constraints, &journal);
+    journal.flush();
+
+    println!(
+        "token ring n={n} k={k}: {} states, converges: {}, witness path {} steps, {} constraint transitions",
+        space.len(),
+        convergence.converges(),
+        path.len() - 1,
+        transitions.len()
+    );
+    match (&args.journal, memory) {
+        (Some(path), _) => println!("journal written to {path}"),
+        (None, Some(buffer)) => {
+            let records = parse_journal(&buffer.contents())
+                .map_err(|e| format!("journal replay failed: {e}"))?;
+            print!("{}", render_timeline(&records));
+        }
+        (None, None) => unreachable!("memory journal exists when no path is given"),
+    }
+    Ok(if convergence.converges() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -184,6 +343,9 @@ fn main() -> ExitCode {
         println!("token-ring\ndiffusing");
         return ExitCode::SUCCESS;
     }
+    if argv.first().map(String::as_str) == Some("trace") {
+        return trace_main(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(msg) => {
@@ -191,6 +353,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.protocol == "check" {
+        return check_main(&args);
+    }
 
     let (program, goal, initial) = match build_protocol(&args) {
         Ok(built) => built,
@@ -216,11 +381,22 @@ fn main() -> ExitCode {
         }],
         None => Vec::new(),
     };
+    let journal = match &args.journal {
+        Some(path) => match Journal::to_file(path) {
+            Ok(journal) => journal,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Journal::disabled(),
+    };
     let config = NetConfig {
         seed: args.seed,
         faults,
         timeout: Duration::from_millis(args.timeout_ms),
         events,
+        journal,
         ..NetConfig::default()
     };
 
@@ -245,6 +421,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.journal {
+        eprintln!("journal written to {path}");
     }
     if report.converged {
         ExitCode::SUCCESS

@@ -4,7 +4,11 @@
 //! loop (reader threads forward decode failures as inbox messages rather
 //! than touching counters), snapshotted into every [`crate::wire::Frame::Report`]
 //! the node ships to the controller, and surfaced verbatim in the final
-//! [`crate::NetReport`].
+//! [`crate::NetReport`]. JSON rendering and journal emission go through
+//! the shared [`CounterSet`] abstraction from `nonmask-obs`; only the
+//! fixed binary wire order ([`CounterSnapshot::to_words`]) stays local.
+
+use nonmask_obs::CounterSet;
 
 /// Monotonic per-node event counts.
 ///
@@ -78,10 +82,19 @@ impl CounterSnapshot {
             crashes: words[11],
         }
     }
+}
 
-    /// Field `(name, value)` pairs in wire order, for rendering and JSON.
-    pub fn fields(&self) -> [(&'static str, u64); Self::WORDS] {
-        [
+/// The shared counter abstraction: `fields()` lists the counters in wire
+/// order, and the trait's default methods provide the JSON rendering
+/// (used by [`crate::NetReport::to_json`]) and per-field journal
+/// emission.
+impl CounterSet for CounterSnapshot {
+    fn scope(&self) -> String {
+        "net-node".to_string()
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
             ("sent", self.sent),
             ("received", self.received),
             ("dropped", self.dropped),
@@ -95,16 +108,6 @@ impl CounterSnapshot {
             ("reports", self.reports),
             ("crashes", self.crashes),
         ]
-    }
-
-    /// Render as a JSON object.
-    pub fn to_json(&self) -> String {
-        let fields: Vec<String> = self
-            .fields()
-            .iter()
-            .map(|(name, value)| format!("\"{name}\":{value}"))
-            .collect();
-        format!("{{{}}}", fields.join(","))
     }
 }
 
@@ -137,5 +140,12 @@ mod tests {
         for (name, _) in CounterSnapshot::default().fields() {
             assert!(json.contains(name), "{name} missing from {json}");
         }
+    }
+
+    #[test]
+    fn fields_follow_wire_order() {
+        let c = CounterSnapshot::from_words([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let values: Vec<u64> = c.fields().iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, c.to_words());
     }
 }

@@ -108,9 +108,13 @@ impl Detector {
             return false;
         }
         self.window.push_back((now, holds));
-        // Trim samples that fell out of the sliding window.
+        // Trim samples that fell out of the sliding window. The window is
+        // the half-open interval `(now - stable_for, now]`: a sample
+        // landing exactly on the horizon is `stable_for` old and belongs
+        // to the previous window, so `<=` evicts it (with `<` it would be
+        // double-counted relative to the documented window width).
         let horizon = now.saturating_sub(self.config.stable_for);
-        while self.window.front().is_some_and(|&(t, _)| t < horizon) {
+        while self.window.front().is_some_and(|&(t, _)| t <= horizon) {
             self.window.pop_front();
         }
         let episode = self.episodes.last_mut().expect("one episode always open");
@@ -213,6 +217,50 @@ mod tests {
         let e = &d.episodes()[1];
         assert_eq!(e.label, "crash-restart node 2");
         assert_eq!(e.latency(), Some(ms(105)));
+    }
+
+    #[test]
+    fn exact_horizon_sample_is_evicted() {
+        // A violation at t=0 sits exactly on the horizon when now=100:
+        // the window is (0, 100], so it must not count against the
+        // episode. Require a perfect window to make the boundary visible.
+        let mut d = Detector::new(
+            DetectorConfig {
+                stable_for: ms(100),
+                stable_fraction: 1.0,
+            },
+            "initial",
+        );
+        d.observe(ms(0), false);
+        let mut converged_at = None;
+        for t in (5..=150).step_by(5) {
+            if d.observe(ms(t), true) {
+                converged_at = Some(t);
+                break;
+            }
+        }
+        assert_eq!(
+            converged_at,
+            Some(100),
+            "the boundary violation at t=0 fell out of the (0,100] window"
+        );
+    }
+
+    #[test]
+    fn same_instant_restart_inherits_no_samples() {
+        let mut d = detector();
+        for t in (0..105).step_by(5) {
+            d.observe(ms(t), true);
+        }
+        assert!(d.idle());
+        // Restart at the same instant as the last sample: the stale
+        // boundary sample from the finished episode must not leak into
+        // the new window, and the verdict clock restarts from 100.
+        d.start_episode(ms(100), "same-instant fault");
+        assert!(!d.observe(ms(100), true), "no instant re-convergence");
+        assert!(!d.observe(ms(195), true), "window not yet spanned");
+        assert!(d.observe(ms(200), true));
+        assert_eq!(d.episodes()[1].latency(), Some(ms(100)));
     }
 
     #[test]

@@ -60,5 +60,8 @@ pub mod wire;
 pub use counters::CounterSnapshot;
 pub use detect::{Detector, DetectorConfig, Episode};
 pub use fault::{FaultConfig, PartitionMap};
+// Re-exported so `NetConfig::journal` can be populated without a direct
+// `nonmask-obs` dependency.
+pub use nonmask_obs::{CounterSet, Journal};
 pub use runtime::{run, NetConfig, NetError, NetEvent, NetReport, NodeReport};
 pub use wire::{Frame, WireError};

@@ -24,8 +24,10 @@ use crate::wire::{read_frame, write_frame, Frame, WireError};
 /// refinement by the runtime).
 #[derive(Debug, Clone)]
 pub(crate) struct NodeSpec {
-    /// This node's index.
-    pub node: usize,
+    /// This node's index, already narrowed to the wire's 16-bit id space
+    /// by [`crate::runtime`]'s spec construction — the one place node
+    /// counts are validated, so no later conversion can panic.
+    pub node: u16,
     /// Actions this node executes.
     pub actions: Vec<ActionId>,
     /// Variables this node owns.
@@ -124,7 +126,7 @@ pub(crate) fn run_node(
     faults: &FaultConfig,
     timing: &NodeTiming,
 ) -> io::Result<()> {
-    let node = u16::try_from(spec.node).expect("runtime validates node count");
+    let node = spec.node;
     let (tx, rx) = std::sync::mpsc::channel::<InMsg>();
 
     // Instrumentation plane: reliable, no fault injection.
@@ -147,7 +149,7 @@ pub(crate) fn run_node(
         // deterministic frame sequence.
         write_frame(&mut stream, &Frame::Hello { node })?;
         links.push(OutLink {
-            link: FaultyLink::new(stream, spec.node, *peer, faults.clone()),
+            link: FaultyLink::new(stream, usize::from(spec.node), *peer, faults.clone()),
             vars: vars.clone(),
         });
     }

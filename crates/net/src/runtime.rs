@@ -8,6 +8,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
+use nonmask_obs::{CounterSet, Event, Journal};
 use nonmask_program::json::{escape, state_to_json};
 use nonmask_program::{Predicate, Program, State, VarId};
 use nonmask_sim::{RefineError, Refinement};
@@ -77,6 +78,10 @@ pub struct NetConfig {
     pub timeout: Duration,
     /// Scheduled disturbances.
     pub events: Vec<NetEvent>,
+    /// Structured event journal for the controller: fault injections,
+    /// detector episodes, control frames, and final per-node counters.
+    /// Defaults to [`Journal::disabled`] (no overhead).
+    pub journal: Journal,
 }
 
 impl Default for NetConfig {
@@ -92,6 +97,7 @@ impl Default for NetConfig {
             detector: DetectorConfig::default(),
             timeout: Duration::from_secs(30),
             events: Vec::new(),
+            journal: Journal::disabled(),
         }
     }
 }
@@ -157,6 +163,19 @@ pub struct NodeReport {
     pub node: usize,
     /// The node's final counters (from its last report).
     pub counters: CounterSnapshot,
+}
+
+/// Journals each node's counters under a per-node scope
+/// (`"net-node:<index>"`), so one journal distinguishes every node's
+/// final figures.
+impl CounterSet for NodeReport {
+    fn scope(&self) -> String {
+        format!("net-node:{}", self.node)
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        self.counters.fields()
+    }
 }
 
 /// The machine-readable outcome of a [`run`].
@@ -272,17 +291,23 @@ enum PendingAction {
     Heal,
 }
 
-fn build_specs(refinement: &Refinement) -> Vec<NodeSpec> {
+/// Derive per-node topology specs. Node indices are narrowed to the
+/// wire's 16-bit id space here, once — the only conversion site, so an
+/// oversized process count surfaces as [`NetError::TooManyNodes`] before
+/// any socket or thread exists instead of panicking inside a node.
+fn build_specs(refinement: &Refinement) -> Result<Vec<NodeSpec>, NetError> {
     let n = refinement.process_count();
     let mut specs: Vec<NodeSpec> = (0..n)
-        .map(|p| NodeSpec {
-            node: p,
-            actions: refinement.actions_of(p),
-            owned: refinement.vars_of(p),
-            out_peers: Vec::new(),
-            expected_incoming: 0,
+        .map(|p| {
+            Ok(NodeSpec {
+                node: u16::try_from(p).map_err(|_| NetError::TooManyNodes(n))?,
+                actions: refinement.actions_of(p),
+                owned: refinement.vars_of(p),
+                out_peers: Vec::new(),
+                expected_incoming: 0,
+            })
         })
-        .collect();
+        .collect::<Result<_, NetError>>()?;
     for p in 0..n {
         let mut peer_vars: Vec<(usize, Vec<VarId>)> = Vec::new();
         for &v in &specs[p].owned.clone() {
@@ -299,7 +324,7 @@ fn build_specs(refinement: &Refinement) -> Vec<NodeSpec> {
         }
         specs[p].out_peers = peer_vars;
     }
-    specs
+    Ok(specs)
 }
 
 fn validate(
@@ -352,7 +377,7 @@ pub fn run(
 ) -> Result<NetReport, NetError> {
     let refinement = Refinement::new(program)?;
     validate(program, &refinement, config)?;
-    let specs = build_specs(&refinement);
+    let specs = build_specs(&refinement)?;
     let n = specs.len();
 
     // Bind every listener before any thread dials anything.
@@ -431,6 +456,7 @@ fn control_loop<'scope, 'env>(
 where
     'env: 'scope,
 {
+    let journal = &config.journal;
     let (report_tx, report_rx) = std::sync::mpsc::channel::<Frame>();
 
     // Each node dials in and opens with Hello{node}; the read half feeds
@@ -474,6 +500,10 @@ where
             }
         };
         control_tx[node] = Some(stream);
+        journal.emit_with(|| Event::Frame {
+            node: node as u64,
+            kind: "hello".to_string(),
+        });
         let tx: Sender<Frame> = report_tx.clone();
         scope.spawn(move || {
             while let Ok(Some(result)) = read_frame(&mut reader) {
@@ -496,6 +526,9 @@ where
     let mut node_counters = vec![CounterSnapshot::default(); n];
     let mut node_done = vec![false; n];
     let mut detector = Detector::new(config.detector.clone(), "initial convergence");
+    journal.emit_with(|| Event::EpisodeStarted {
+        label: "initial convergence".to_string(),
+    });
     let mut queue: VecDeque<NetEvent> = config.events.iter().cloned().collect();
     let mut pending: Vec<(Duration, PendingAction)> = Vec::new();
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xD15E_A5ED));
@@ -517,6 +550,14 @@ where
             if node < n {
                 node_counters[node] = *counters;
                 node_done[node] |= *last;
+                // Only final reports are journaled: at the default cadence
+                // the periodic ones arrive thousands of times per second.
+                if *last {
+                    journal.emit_with(|| Event::Frame {
+                        node: node as u64,
+                        kind: "report".to_string(),
+                    });
+                }
                 for &(var, value) in vars {
                     if (var as usize) < program.var_count() {
                         assembled.set(VarId::from_index(var as usize), value);
@@ -551,10 +592,24 @@ where
                             .collect();
                         send_control(&mut control_tx, node, &Frame::Restart { vars: arbitrary });
                         detector.start_episode(now, format!("crash-restart node {node}"));
+                        journal.emit_with(|| Event::Fault {
+                            kind: "restart".to_string(),
+                            detail: format!("node {node} with arbitrary state"),
+                        });
+                        journal.emit_with(|| Event::EpisodeStarted {
+                            label: format!("crash-restart node {node}"),
+                        });
                     }
                     PendingAction::Heal => {
                         partition.heal();
                         detector.start_episode(now, "partition heal");
+                        journal.emit_with(|| Event::Fault {
+                            kind: "heal".to_string(),
+                            detail: "partition healed".to_string(),
+                        });
+                        journal.emit_with(|| Event::EpisodeStarted {
+                            label: "partition heal".to_string(),
+                        });
                     }
                 }
             } else {
@@ -573,11 +628,19 @@ where
                 match queue.pop_front().expect("checked front") {
                     NetEvent::CrashRestart { node, down, .. } => {
                         send_control(&mut control_tx, node, &Frame::Crash);
+                        journal.emit_with(|| Event::Fault {
+                            kind: "crash".to_string(),
+                            detail: format!("node {node} down for {down:?}"),
+                        });
                         pending.push((now + down, PendingAction::Restart { node }));
                     }
                     NetEvent::Partition {
                         groups, heal_after, ..
                     } => {
+                        journal.emit_with(|| Event::Fault {
+                            kind: "partition".to_string(),
+                            detail: format!("groups {groups:?}"),
+                        });
                         partition.set(groups);
                         pending.push((now + heal_after, PendingAction::Heal));
                     }
@@ -585,7 +648,14 @@ where
             }
         }
 
-        detector.observe(now, goal.holds(&assembled));
+        if detector.observe(now, goal.holds(&assembled)) {
+            if let Some(episode) = detector.episodes().last() {
+                journal.emit_with(|| Event::EpisodeConverged {
+                    label: episode.label.clone(),
+                    micros: episode.latency().unwrap_or_default().as_micros() as u64,
+                });
+            }
+        }
 
         if queue.is_empty() && pending.is_empty() && detector.idle() {
             break;
@@ -617,7 +687,7 @@ where
     drop(control_tx);
 
     let converged = detector.all_converged() && !timed_out;
-    Ok(NetReport {
+    let report = NetReport {
         converged,
         timed_out,
         episodes: detector.episodes().to_vec(),
@@ -629,7 +699,12 @@ where
             .enumerate()
             .map(|(node, counters)| NodeReport { node, counters })
             .collect(),
-    })
+    };
+    for node in &report.nodes {
+        node.emit(journal);
+    }
+    journal.flush();
+    Ok(report)
 }
 
 /// Best-effort control-plane send; a node that already exited is fine.

@@ -188,3 +188,60 @@ fn unrefinable_or_oversized_inputs_error_cleanly() {
     let err = run(ring.program(), &initial, &ring.invariant(), &config).unwrap_err();
     assert!(matches!(err, NetError::BadEvent(_)), "{err}");
 }
+
+/// A journaled run records the controller's view — hello frames, the
+/// detector episode lifecycle, and final per-node counters — and the
+/// journal parses back schema-clean.
+#[test]
+fn journal_captures_episodes_frames_and_counters() {
+    use nonmask_obs::{parse_journal, Event, Journal};
+
+    let ring = TokenRing::new(3, 3);
+    let (journal, buffer) = Journal::memory();
+    let config = NetConfig {
+        journal,
+        timeout: Duration::from_secs(60),
+        ..NetConfig::default()
+    };
+    let initial = ring.initial_state();
+    let report = run(ring.program(), &initial, &ring.invariant(), &config).expect("run starts");
+    assert!(report.converged, "{}", report.render());
+
+    let records = parse_journal(&buffer.contents()).expect("journal is schema-clean");
+    assert!(records
+        .iter()
+        .any(|r| matches!(&r.event, Event::Frame { kind, .. } if kind == "hello")));
+    assert!(records.iter().any(
+        |r| matches!(&r.event, Event::EpisodeStarted { label } if label == "initial convergence")
+    ));
+    assert!(records
+        .iter()
+        .any(|r| matches!(&r.event, Event::EpisodeConverged { .. })));
+    assert!(records.iter().any(
+        |r| matches!(&r.event, Event::Counter { scope, name, .. } if scope == "net-node:0" && name == "sent")
+    ));
+}
+
+/// Node ids are 16-bit on the wire; a program with more than 65535
+/// processes must be rejected up front (`NetError::TooManyNodes`), never
+/// panic in a worker thread mid-run.
+#[test]
+fn more_than_u16_max_nodes_errors_instead_of_panicking() {
+    use nonmask_net::NetError;
+    use nonmask_program::{Domain, ProcessId};
+
+    let n = usize::from(u16::MAX) + 2;
+    let mut builder = Program::builder("too-wide");
+    let first = builder.var_of("x.0", Domain::range(0, 1), ProcessId(0));
+    for p in 1..n {
+        builder.var_of(format!("x.{p}"), Domain::range(0, 1), ProcessId(p));
+    }
+    let program = builder.build();
+    let goal = Predicate::new("first-zero", [first], move |s: &State| s.get(first) == 0);
+    let initial = program.state_from(vec![0; n]).unwrap();
+    let err = run(&program, &initial, &goal, &NetConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, NetError::TooManyNodes(count) if count == n),
+        "{err}"
+    );
+}

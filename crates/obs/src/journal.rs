@@ -1,0 +1,272 @@
+//! The journal sink: buffered JSON-lines output behind a cheap handle.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// A sink that discards everything. [`Journal::disabled`] never even
+/// formats an event, so this type exists for callers that need a `Write`
+/// placeholder (e.g. to silence a journal mid-run without re-plumbing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct Inner {
+    start: Instant,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+/// A handle to a JSON-lines event journal, shared by cloning.
+///
+/// The disabled journal ([`Journal::disabled`], also the `Default`) holds
+/// no sink at all: [`emit`](Journal::emit) is a single branch and
+/// [`emit_with`](Journal::emit_with) never runs its closure, so
+/// instrumented hot paths cost near-nothing when observability is off.
+/// Enabled journals stamp each event with microseconds since the journal
+/// was opened, format the line *outside* the sink lock, and write through
+/// a buffered writer that is flushed when the last handle drops.
+#[derive(Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// The no-op journal: nothing is formatted, locked, or written.
+    pub fn disabled() -> Self {
+        Journal { inner: None }
+    }
+
+    /// A journal writing JSON-lines to `sink` (wrap files in your own
+    /// buffering if needed; [`Journal::to_file`] buffers for you).
+    pub fn to_writer(sink: impl Write + Send + 'static) -> Self {
+        Journal {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                sink: Mutex::new(Box::new(sink)),
+            })),
+        }
+    }
+
+    /// A journal writing buffered JSON-lines to the file at `path`
+    /// (truncating it).
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the file.
+    pub fn to_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(std::io::BufWriter::new(file)))
+    }
+
+    /// An in-memory journal plus the buffer to read it back from — for
+    /// tests and for replaying a run without touching the filesystem.
+    pub fn memory() -> (Self, MemoryBuffer) {
+        let buffer = MemoryBuffer {
+            bytes: Arc::new(Mutex::new(Vec::new())),
+        };
+        (Self::to_writer(buffer.clone()), buffer)
+    }
+
+    /// Whether events are recorded at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record `event`, stamped with the current journal-relative time.
+    /// Disabled journals return immediately.
+    pub fn emit(&self, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        let t_us = inner.start.elapsed().as_micros() as u64;
+        let mut line = event.to_json_line(t_us);
+        line.push('\n');
+        let mut sink = inner.sink.lock().expect("journal sink poisoned");
+        // Journals are diagnostics: a full disk must not take the checked
+        // program down with it.
+        let _ = sink.write_all(line.as_bytes());
+    }
+
+    /// Record the event built by `f`, skipping the closure entirely when
+    /// the journal is disabled — use this when *constructing* the event
+    /// costs something (formatting, cloning).
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> Event) {
+        if self.is_enabled() {
+            self.emit(f());
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.sink.lock().expect("journal sink poisoned").flush();
+        }
+    }
+
+    /// Open a named span: emits [`Event::SpanOpen`] now and the matching
+    /// [`Event::SpanClose`] (with the measured duration) when the returned
+    /// guard drops.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        let name = name.into();
+        self.emit_with(|| Event::SpanOpen { name: name.clone() });
+        Span {
+            journal: self,
+            name,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+/// RAII guard for a journal span; see [`Journal::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    journal: &'a Journal,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let micros = self.started.elapsed().as_micros() as u64;
+        self.journal.emit_with(|| Event::SpanClose {
+            name: std::mem::take(&mut self.name),
+            micros,
+        });
+    }
+}
+
+/// The shared byte buffer behind [`Journal::memory`].
+#[derive(Debug, Clone)]
+pub struct MemoryBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemoryBuffer {
+    /// The journal contents written so far, as UTF-8 text.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.bytes.lock().expect("journal buffer poisoned").clone())
+            .expect("journal lines are UTF-8")
+    }
+}
+
+impl Write for MemoryBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes
+            .lock()
+            .expect("journal buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Record;
+
+    #[test]
+    fn disabled_journal_never_runs_the_closure() {
+        let journal = Journal::disabled();
+        assert!(!journal.is_enabled());
+        journal.emit_with(|| unreachable!("disabled journals must not build events"));
+        journal.flush();
+    }
+
+    #[test]
+    fn memory_journal_records_lines_in_order() {
+        let (journal, buffer) = Journal::memory();
+        assert!(journal.is_enabled());
+        journal.emit(Event::SpanOpen {
+            name: "a".to_string(),
+        });
+        journal.emit(Event::Stabilized { rounds: 3 });
+        journal.flush();
+        let records: Vec<Record> = buffer
+            .contents()
+            .lines()
+            .map(|l| Event::parse_line(l).unwrap())
+            .collect();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(&records[0].event, Event::SpanOpen { name } if name == "a"));
+        assert_eq!(records[1].event, Event::Stabilized { rounds: 3 });
+        assert!(records[0].t_us <= records[1].t_us, "timestamps ascend");
+    }
+
+    #[test]
+    fn span_guard_emits_open_and_close() {
+        let (journal, buffer) = Journal::memory();
+        {
+            let _span = journal.span("phase");
+            journal.emit(Event::Stabilized { rounds: 0 });
+        }
+        let records: Vec<Record> = buffer
+            .contents()
+            .lines()
+            .map(|l| Event::parse_line(l).unwrap())
+            .collect();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(&records[0].event, Event::SpanOpen { name } if name == "phase"));
+        assert!(matches!(&records[2].event, Event::SpanClose { name, .. } if name == "phase"));
+    }
+
+    #[test]
+    fn clones_share_the_sink_and_clock() {
+        let (journal, buffer) = Journal::memory();
+        let clone = journal.clone();
+        clone.emit(Event::Stabilized { rounds: 1 });
+        journal.emit(Event::Stabilized { rounds: 2 });
+        drop(clone);
+        drop(journal);
+        assert_eq!(buffer.contents().lines().count(), 2);
+    }
+
+    #[test]
+    fn file_journal_writes_and_flushes_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("nonmask-obs-test-{}.jsonl", std::process::id()));
+        {
+            let journal = Journal::to_file(&path).unwrap();
+            journal.emit(Event::Stabilized { rounds: 9 });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let record = Event::parse_line(text.trim()).unwrap();
+        assert_eq!(record.event, Event::Stabilized { rounds: 9 });
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let journal = Journal::to_writer(NullSink);
+        journal.emit(Event::Stabilized { rounds: 1 });
+        journal.flush();
+    }
+}

@@ -1,0 +1,161 @@
+//! Journal replay: parse a JSON-lines journal and render it as a
+//! human-readable timeline.
+//!
+//! The renderer is schema-strict on purpose: [`parse_journal`] fails on
+//! the first malformed or drifted line, which is what lets a CI step use
+//! `trace` as a wire-format gate — if any producer silently changes the
+//! journal schema, replaying its output breaks loudly.
+
+use crate::event::{Event, ParseError, Record};
+
+/// Parse a whole JSON-lines journal (blank lines are skipped).
+///
+/// # Errors
+///
+/// The first [`ParseError`] hit — any schema drift fails the whole
+/// replay.
+pub fn parse_journal(text: &str) -> Result<Vec<Record>, ParseError> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(Event::parse_line)
+        .collect()
+}
+
+fn fmt_time(t_us: u64) -> String {
+    format!("{:>10.3}ms", t_us as f64 / 1e3)
+}
+
+/// Render parsed records as a timeline, one line per event, in journal
+/// order. Constraint violations and repairs — the §4 repair timeline —
+/// are marked with `✗` / `✓` so the constraint-graph order is scannable.
+pub fn render_timeline(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let line = match &r.event {
+            Event::SpanOpen { name } => format!("▶ {name}"),
+            Event::SpanClose { name, micros } => {
+                format!("◀ {name} ({:.3}ms)", *micros as f64 / 1e3)
+            }
+            Event::Counter { scope, name, value } => {
+                format!("  {scope}.{name} = {value}")
+            }
+            Event::CsrPhase {
+                phase,
+                states,
+                transitions,
+                micros,
+            } => format!(
+                "  csr {phase}: {states} states, {transitions} transitions ({:.3}ms)",
+                *micros as f64 / 1e3
+            ),
+            Event::Wave {
+                fairness,
+                region,
+                peeled,
+                sccs,
+            } => format!(
+                "  wave [{fairness}]: region {region}, peeled {peeled}, residual sccs {sccs}"
+            ),
+            Event::ConstraintViolated { step, constraint } => {
+                format!("✗ step {step}: constraint `{constraint}` violated")
+            }
+            Event::ConstraintRepaired {
+                step,
+                constraint,
+                action,
+            } => format!("✓ step {step}: constraint `{constraint}` repaired by `{action}`"),
+            Event::Fault { kind, detail } => format!("⚡ fault {kind}: {detail}"),
+            Event::Frame { node, kind } => format!("  frame [{kind}] from node {node}"),
+            Event::EpisodeStarted { label } => format!("… episode `{label}` started"),
+            Event::EpisodeConverged { label, micros } => format!(
+                "✔ episode `{label}` converged ({:.3}ms)",
+                *micros as f64 / 1e3
+            ),
+            Event::Stabilized { rounds } => format!("✔ stabilized after {rounds} rounds"),
+        };
+        out.push_str(&fmt_time(r.t_us));
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The §4 repair timeline distilled from a journal: the constraint names
+/// of every [`Event::ConstraintRepaired`] record, in journal order.
+pub fn repair_order(records: &[Record]) -> Vec<String> {
+    records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::ConstraintRepaired { constraint, .. } => Some(constraint.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal_text() -> String {
+        [
+            Event::SpanOpen {
+                name: "enumerate".into(),
+            },
+            Event::ConstraintViolated {
+                step: 0,
+                constraint: "c.2".into(),
+            },
+            Event::ConstraintRepaired {
+                step: 3,
+                constraint: "c.2".into(),
+                action: "fix.2".into(),
+            },
+            Event::ConstraintRepaired {
+                step: 5,
+                constraint: "c.1".into(),
+                action: "fix.1".into(),
+            },
+            Event::Stabilized { rounds: 5 },
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, e)| e.to_json_line(i as u64 * 1000))
+        .collect::<Vec<_>>()
+        .join("\n")
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let records = parse_journal(&journal_text()).unwrap();
+        assert_eq!(records.len(), 5);
+        let rendered = render_timeline(&records);
+        assert!(rendered.contains("constraint `c.2` violated"));
+        assert!(rendered.contains("repaired by `fix.2`"));
+        assert!(rendered.contains("stabilized after 5 rounds"));
+        assert_eq!(rendered.lines().count(), 5);
+    }
+
+    #[test]
+    fn repair_order_follows_the_journal() {
+        let records = parse_journal(&journal_text()).unwrap();
+        assert_eq!(repair_order(&records), vec!["c.2", "c.1"]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_but_drift_is_fatal() {
+        assert_eq!(parse_journal("\n\n").unwrap().len(), 0);
+        let mut text = journal_text();
+        text.push_str("\n{\"ev\":\"renamed-kind\",\"t_us\":0}");
+        assert!(parse_journal(&text).is_err(), "schema drift must fail");
+    }
+
+    #[test]
+    fn every_event_kind_renders_one_line() {
+        let records: Vec<Record> = crate::event::tests::one_of_each()
+            .into_iter()
+            .map(|event| Record { t_us: 1, event })
+            .collect();
+        assert_eq!(render_timeline(&records).lines().count(), records.len());
+    }
+}

@@ -330,7 +330,8 @@ mod tests {
             &Predicate::always_true(),
             &aa.invariant(),
             Fairness::Unfair,
-        );
+        )
+        .unwrap();
         assert!(
             matches!(r, ConvergenceResult::Divergence { .. }),
             "unfair daemon diverges: {r:?}"
@@ -342,7 +343,7 @@ mod tests {
         let aa = AtomicActions::new(4);
         let space = StateSpace::enumerate(aa.program()).unwrap();
         let s = aa.invariant();
-        for id in space.satisfying(&s) {
+        for id in space.satisfying(&s).unwrap() {
             assert!(
                 !aa.neighbours_engaged(&space.state(id)),
                 "S implies neighbour mutual exclusion"
@@ -405,7 +406,8 @@ mod tests {
             &Predicate::always_true(),
             &aa.invariant(),
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(r.converges(), "{r:?}");
     }
 

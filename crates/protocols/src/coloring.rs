@@ -178,6 +178,7 @@ mod tests {
             &Predicate::always_true(),
             &tc.invariant(),
         )
+        .unwrap()
         .expect("finite");
         let rank_sum: u64 = (1..6).map(|j| tc.tree().depth(j) as u64).sum();
         assert!(bound <= rank_sum, "bound {bound} <= Σ depths {rank_sum}");

@@ -399,7 +399,7 @@ mod tests {
         let s = dc.invariant();
         let t = Predicate::always_true();
         for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-            let r = check_convergence(&space, dc.program(), &t, &s, fairness);
+            let r = check_convergence(&space, dc.program(), &t, &s, fairness).unwrap();
             assert!(r.converges(), "{fairness}: {r:?}");
         }
     }
@@ -428,7 +428,8 @@ mod tests {
                 &Predicate::always_true(),
                 &invariant,
                 fairness,
-            );
+            )
+            .unwrap();
             assert_eq!(
                 r.converges(),
                 expect_converges,

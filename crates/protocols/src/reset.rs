@@ -281,7 +281,8 @@ mod tests {
             &Predicate::always_true(),
             &reset.invariant(),
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(r.converges());
     }
 

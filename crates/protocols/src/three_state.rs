@@ -185,7 +185,7 @@ mod tests {
             let space = StateSpace::enumerate(ts.program()).unwrap();
             let s = ts.invariant();
             assert!(
-                is_closed(&space, ts.program(), &s).is_none(),
+                is_closed(&space, ts.program(), &s).unwrap().is_none(),
                 "n={n}: one-privilege set is closed"
             );
             for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
@@ -195,7 +195,8 @@ mod tests {
                     &Predicate::always_true(),
                     &s,
                     fairness,
-                );
+                )
+                .unwrap();
                 assert!(r.converges(), "n={n} {fairness}: {r:?}");
             }
         }
@@ -213,7 +214,8 @@ mod tests {
             &Predicate::always_true(),
             &ts.invariant(),
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(r.converges());
     }
 

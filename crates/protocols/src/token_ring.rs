@@ -366,11 +366,13 @@ mod tests {
             let s = ring.invariant();
             let t = Predicate::always_true();
             for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-                let r = check_convergence(&space, ring.program(), &t, &s, fairness);
+                let r = check_convergence(&space, ring.program(), &t, &s, fairness).unwrap();
                 assert!(r.converges(), "n={n} k={k} {fairness}: {r:?}");
             }
             assert!(
-                worst_case_moves(&space, ring.program(), &t, &s).is_some(),
+                worst_case_moves(&space, ring.program(), &t, &s)
+                    .unwrap()
+                    .is_some(),
                 "n={n} k={k}: finite convergence bound"
             );
         }
@@ -381,7 +383,9 @@ mod tests {
         let ring = TokenRing::new(4, 4);
         let space = StateSpace::enumerate(ring.program()).unwrap();
         let s = ring.invariant();
-        assert!(nonmask_checker::is_closed(&space, ring.program(), &s).is_none());
+        assert!(nonmask_checker::is_closed(&space, ring.program(), &s)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -391,7 +395,7 @@ mod tests {
         let ring = TokenRing::new(4, 4);
         let space = StateSpace::enumerate(ring.program()).unwrap();
         let s = ring.invariant();
-        for id in space.satisfying(&s) {
+        for id in space.satisfying(&s).unwrap() {
             let st = space.state(id);
             let enabled = ring.program().enabled_actions(&st);
             assert_eq!(enabled.len(), 1);
@@ -441,7 +445,8 @@ mod tests {
             &Predicate::always_true(),
             &ring.invariant(),
             Fairness::WeaklyFair,
-        );
+        )
+        .unwrap();
         assert!(!r.converges(), "k=2 < n=4 should admit divergence: {r:?}");
     }
 

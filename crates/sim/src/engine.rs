@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use nonmask_obs::{Event, Journal};
 use nonmask_program::{Predicate, Program, State, VarId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +86,7 @@ pub struct Simulation<'p> {
     partition_until: u64,
     /// Partition-group id per process (all zero = no partition).
     partition_group: Vec<usize>,
+    journal: Journal,
     rng: StdRng,
     rounds: u64,
     steps: u64,
@@ -112,11 +114,20 @@ impl<'p> Simulation<'p> {
             cursors: vec![0; n],
             partition_until: 0,
             partition_group: vec![0; n],
+            journal: Journal::disabled(),
             rounds: 0,
             steps: 0,
             messages_delivered: 0,
             messages_dropped: 0,
         }
+    }
+
+    /// Journal fault injections and stabilization episodes to `journal`.
+    /// The default is [`Journal::disabled`] (no overhead).
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// The god's-eye state: every variable read from its owner's view.
@@ -187,6 +198,10 @@ impl<'p> Simulation<'p> {
         assert_eq!(groups.len(), self.views.len(), "one group id per process");
         self.partition_group.copy_from_slice(groups);
         self.partition_until = self.rounds + rounds;
+        self.journal.emit_with(|| Event::Fault {
+            kind: "partition".to_string(),
+            detail: format!("groups {groups:?} for {rounds} rounds"),
+        });
     }
 
     /// Execute one round: deliver, step every process, broadcast.
@@ -259,6 +274,9 @@ impl<'p> Simulation<'p> {
     /// Panics if `hold == 0`.
     pub fn run_until_stable(&mut self, pred: &Predicate, hold: u32) -> SimReport {
         assert!(hold > 0);
+        self.journal.emit_with(|| Event::EpisodeStarted {
+            label: pred.name().to_string(),
+        });
         let mut held = 0u32;
         let mut hold_start = 0u64;
         let start_round = self.rounds;
@@ -272,6 +290,9 @@ impl<'p> Simulation<'p> {
                 held += 1;
                 if held >= hold {
                     stabilized_at_round = Some(hold_start);
+                    self.journal.emit_with(|| Event::Stabilized {
+                        rounds: hold_start - start_round,
+                    });
                     break;
                 }
             } else {
@@ -296,12 +317,20 @@ impl<'p> Simulation<'p> {
             let value = self.program.var(var).domain().sample(&mut self.rng);
             self.views[p].set(var, value);
         }
+        self.journal.emit_with(|| Event::Fault {
+            kind: "corrupt-process".to_string(),
+            detail: format!("process {p}"),
+        });
     }
 
     /// Overwrite one authoritative variable (targeted fault injection).
     pub fn corrupt_var(&mut self, var: VarId, value: i64) {
         let owner = self.refinement.owner_of(var);
         self.views[owner].set(var, value);
+        self.journal.emit_with(|| Event::Fault {
+            kind: "corrupt-var".to_string(),
+            detail: format!("{} := {value}", self.program.var(var).name()),
+        });
     }
 
     /// Crash-and-restart process `p`: its own variables reset to their
@@ -314,6 +343,10 @@ impl<'p> Simulation<'p> {
             self.views[p].set(var, min);
         }
         self.inboxes[p].clear();
+        self.journal.emit_with(|| Event::Fault {
+            kind: "crash-restart".to_string(),
+            detail: format!("process {p}"),
+        });
     }
 }
 
@@ -501,6 +534,39 @@ mod tests {
             SimConfig::default(),
         );
         sim.partition(&[0, 1], 10);
+    }
+
+    #[test]
+    fn journal_records_faults_and_stabilization() {
+        use nonmask_obs::{Event, Journal, Record};
+        let (journal, buffer) = Journal::memory();
+        let (ring, refinement) = ring_sim(4, 4, SimConfig::default());
+        let corrupt = ring.program().state_from([2, 0, 3, 1]).unwrap();
+        let mut sim = Simulation::new(ring.program(), refinement, corrupt, SimConfig::default())
+            .with_journal(journal.clone());
+        sim.crash_restart(1);
+        sim.corrupt_var(ring.counter_var(2), 3);
+        let report = sim.run_until_stable(&ring.invariant(), 3);
+        assert!(report.stabilized_at_round.is_some());
+        journal.flush();
+        let records: Vec<Record> = buffer
+            .contents()
+            .lines()
+            .map(|l| Event::parse_line(l).expect("well-formed journal line"))
+            .collect();
+        assert!(matches!(
+            &records[0].event,
+            Event::Fault { kind, detail } if kind == "crash-restart" && detail == "process 1"
+        ));
+        assert!(matches!(
+            &records[1].event,
+            Event::Fault { kind, .. } if kind == "corrupt-var"
+        ));
+        assert!(matches!(&records[2].event, Event::EpisodeStarted { .. }));
+        assert!(matches!(
+            records.last().map(|r| &r.event),
+            Some(Event::Stabilized { .. })
+        ));
     }
 
     #[test]

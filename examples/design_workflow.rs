@@ -74,7 +74,7 @@ fn main() {
     let (good, _) = xyz::out_tree().expect("design");
     let triple = CandidateTriple::stabilizing(good.program().clone(), good.invariant());
     let space = StateSpace::enumerate(triple.program()).expect("bounded");
-    let (sv, tv) = triple.check_closure(&space);
+    let (sv, tv) = triple.check_closure(&space).expect("closure");
     println!(
         "candidate triple: S closed: {}, T closed: {}, masking: {}\n",
         sv.is_none(),

@@ -40,19 +40,20 @@ fn main() {
     println!("program: {} ({} states)", program.name(), space.len());
     println!("fault model: overwrite x.2 with an arbitrary value\n");
 
-    let span = compute_fault_span(&space, program, &s, &faults);
+    let span = compute_fault_span(&space, program, &s, &faults).expect("span");
     let t = span.to_predicate(&space, "T");
 
     println!(
         "|S| = {:>3}   (legitimate states)",
-        space.count_satisfying(&s)
+        space.count_satisfying(&s).expect("count")
     );
     println!("|T| = {:>3}   (derived fault span)", span.len());
     println!("|U| = {:>3}   (all states)\n", space.len());
 
-    let t_closed = is_closed(&space, program, &t).is_none();
-    let conv = check_convergence(&space, program, &t, &s, Fairness::WeaklyFair);
-    let moves = worst_case_moves(&space, program, &t, &s);
+    let t_closed = is_closed(&space, program, &t).expect("closure").is_none();
+    let conv =
+        check_convergence(&space, program, &t, &s, Fairness::WeaklyFair).expect("convergence");
+    let moves = worst_case_moves(&space, program, &t, &s).expect("bounds");
     println!("T closed under program actions: {t_closed}");
     println!(
         "every fair computation from T reaches S: {}",
@@ -61,7 +62,8 @@ fn main() {
     println!("worst-case moves outside S: {:?}\n", moves);
 
     assert!(t_closed && conv.converges());
-    assert!(space.count_satisfying(&s) < span.len() && span.len() < space.len());
+    let s_count = space.count_satisfying(&s).expect("count");
+    assert!(s_count < span.len() && span.len() < space.len());
     println!("S ⊂ T ⊂ true: the program is NONMASKING tolerant to this fault");
     println!("class — not masking (faults are visible), not stabilizing (states");
     println!("outside T are never entered, so tolerance need not cover them).");

@@ -38,7 +38,8 @@ fn main() {
         p2.enabled_actions(st).len() == 1
     });
     for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-        let verdict = check_convergence(&space, &program, &Predicate::always_true(), &s, fairness);
+        let verdict = check_convergence(&space, &program, &Predicate::always_true(), &s, fairness)
+            .expect("convergence");
         println!(
             "convergence under the {fairness} daemon: {}",
             verdict.converges()

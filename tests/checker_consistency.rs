@@ -93,8 +93,8 @@ fn checker_verdicts_match_execution() {
         let t = Predicate::always_true();
         let space = StateSpace::enumerate(&program).unwrap();
 
-        let fair = check_convergence(&space, &program, &t, &s, Fairness::WeaklyFair);
-        let unfair = check_convergence(&space, &program, &t, &s, Fairness::Unfair);
+        let fair = check_convergence(&space, &program, &t, &s, Fairness::WeaklyFair).unwrap();
+        let unfair = check_convergence(&space, &program, &t, &s, Fairness::Unfair).unwrap();
 
         // Unfair convergence implies fair convergence.
         if unfair.converges() {
@@ -157,6 +157,7 @@ fn checker_verdicts_match_execution() {
         if unfair.converges() {
             converged_unfair += 1;
             let bound = worst_case_moves(&space, &program, &t, &s)
+                .unwrap()
                 .expect("unfair convergence implies a finite bound");
             // No daemon exceeds the bound from any start.
             for id in space.ids() {
@@ -301,7 +302,7 @@ fn worst_case_bound_is_tight_somewhere() {
         let s = random_target(&mut rng);
         let t = Predicate::always_true();
         let space = StateSpace::enumerate(&program).unwrap();
-        if let Some(bound) = worst_case_moves(&space, &program, &t, &s) {
+        if let Some(bound) = worst_case_moves(&space, &program, &t, &s).unwrap() {
             finite += 1;
             max_bound = max_bound.max(bound);
         }

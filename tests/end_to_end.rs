@@ -86,6 +86,7 @@ fn token_ring_adversarial_respects_bound() {
     let s = ring.invariant();
     let space = StateSpace::enumerate(ring.program()).unwrap();
     let bound = worst_case_moves(&space, ring.program(), &Predicate::always_true(), &s)
+        .unwrap()
         .expect("finite bound");
 
     // Try several adversarial priority orders from several corrupt states.
@@ -142,7 +143,8 @@ fn windowed_ring_bound_consistency() {
         design.program(),
         design.fault_span(),
         &design.invariant(),
-    );
+    )
+    .unwrap();
     assert_eq!(report.worst_case_moves, direct);
 }
 
@@ -178,11 +180,13 @@ fn divergence_counterexample_path() {
     let s = design.invariant();
     let t = Predicate::always_true();
     let ConvergenceResult::Divergence { states, .. } =
-        check_convergence(&space, program, &t, &s, Fairness::WeaklyFair)
+        check_convergence(&space, program, &t, &s, Fairness::WeaklyFair).unwrap()
     else {
         panic!("interfering design should diverge");
     };
-    let path = shortest_path_to(&space, &t, &states).expect("reachable livelock");
+    let path = shortest_path_to(&space, &t, &states)
+        .unwrap()
+        .expect("reachable livelock");
     assert!(!path.is_empty());
     assert!(
         path[0].action.is_none(),
@@ -247,7 +251,7 @@ fn stair_verifies_unfair_too() {
         move |s| (1..xs.len()).all(|j| s.get(xs[j - 1]) >= s.get(xs[j]))
     });
     let stair = ConvergenceStair::new([Predicate::always_true(), layer1, design.invariant()]);
-    let report = stair.verify(&space, &program, Fairness::Unfair);
+    let report = stair.verify(&space, &program, Fairness::Unfair).unwrap();
     assert!(report.ok(), "{report:?}");
 }
 
@@ -287,6 +291,6 @@ fn candidate_triple_detects_unclosed_span() {
     let bogus_span = Predicate::new("x0<=1", [x0], move |s| s.get(x0) <= 1);
     let triple = CandidateTriple::new(ring.program().clone(), ring.invariant(), bogus_span);
     let space = StateSpace::enumerate(triple.program()).unwrap();
-    let (_, t_violation) = triple.check_closure(&space);
+    let (_, t_violation) = triple.check_closure(&space).unwrap();
     assert!(t_violation.is_some(), "the bogus span is escaped");
 }

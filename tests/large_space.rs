@@ -32,9 +32,11 @@ fn token_ring_16m_states_within_default_budget() {
     );
 
     let s = ring.invariant();
-    let s_bits = Bitset::for_predicate(&space, &s, opts);
+    let s_bits = Bitset::for_predicate(&space, &s, opts).unwrap();
     assert!(
-        is_closed_bits(&space, ring.program(), &s_bits, opts).is_none(),
+        is_closed_bits(&space, ring.program(), &s_bits, opts)
+            .unwrap()
+            .is_none(),
         "the invariant is closed"
     );
     let t_bits = Bitset::ones(space.len());
@@ -45,6 +47,7 @@ fn token_ring_16m_states_within_default_budget() {
         &s_bits,
         Fairness::WeaklyFair,
         opts,
-    );
+    )
+    .unwrap();
     assert!(r.converges(), "{r:?}");
 }

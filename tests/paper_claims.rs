@@ -54,17 +54,21 @@ fn section3_global_repair_special_case() {
     let p = b.build();
     let s = Predicate::new("S", [x, y], move |st| st.get(x) == 0 && st.get(y) == 0);
     let space = StateSpace::enumerate(&p).unwrap();
-    assert!(is_closed(&space, &p, &s).is_none(), "trivially preserves S");
+    assert!(
+        is_closed(&space, &p, &s).unwrap().is_none(),
+        "trivially preserves S"
+    );
     let r = check_convergence(
         &space,
         &p,
         &Predicate::always_true(),
         &s,
         Fairness::WeaklyFair,
-    );
+    )
+    .unwrap();
     assert!(r.converges());
     assert_eq!(
-        worst_case_moves(&space, &p, &Predicate::always_true(), &s),
+        worst_case_moves(&space, &p, &Predicate::always_true(), &s).unwrap(),
         Some(1),
         "establishes S in one step"
     );
@@ -111,6 +115,7 @@ fn section5_rank_bound_dominates_real_runs() {
     let s = dc.invariant();
     let space = StateSpace::enumerate(dc.program()).unwrap();
     let bound = worst_case_moves(&space, dc.program(), &Predicate::always_true(), &s)
+        .unwrap()
         .expect("finite bound");
 
     let mut rng = StdRng::seed_from_u64(99);
@@ -188,7 +193,7 @@ fn section7_token_ring_specification() {
     let ring = TokenRing::new(4, 4);
     let space = StateSpace::enumerate(ring.program()).unwrap();
     let s = ring.invariant();
-    for id in space.satisfying(&s) {
+    for id in space.satisfying(&s).unwrap() {
         assert_eq!(ring.privileges(&space.state(id)).len(), 1);
     }
     // Convergence from every state = recovery from arbitrary privilege
@@ -199,7 +204,8 @@ fn section7_token_ring_specification() {
         &Predicate::always_true(),
         &s,
         Fairness::WeaklyFair,
-    );
+    )
+    .unwrap();
     assert!(r.converges());
 }
 
@@ -217,7 +223,8 @@ fn section8_fairness_remark() {
         &Predicate::always_true(),
         &dc.invariant(),
         Fairness::Unfair,
-    );
+    )
+    .unwrap();
     assert!(r.converges(), "diffusing computation needs no fairness");
 
     let aa = AtomicActions::new(4);
@@ -228,14 +235,16 @@ fn section8_fairness_remark() {
         &Predicate::always_true(),
         &aa.invariant(),
         Fairness::Unfair,
-    );
+    )
+    .unwrap();
     let fair = check_convergence(
         &space,
         aa.program(),
         &Predicate::always_true(),
         &aa.invariant(),
         Fairness::WeaklyFair,
-    );
+    )
+    .unwrap();
     assert!(!unfair.converges() && fair.converges());
 }
 
@@ -282,6 +291,8 @@ fn section7_convergence_stair() {
     });
     let stair = ConvergenceStair::new([Predicate::always_true(), layer1, design.invariant()]);
     assert_eq!(stair.height(), 2);
-    let report = stair.verify(&space, &program, Fairness::WeaklyFair);
+    let report = stair
+        .verify(&space, &program, Fairness::WeaklyFair)
+        .unwrap();
     assert!(report.ok(), "{report:?}");
 }

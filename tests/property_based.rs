@@ -75,6 +75,7 @@ proptest! {
         let s = ring.invariant();
         let space = StateSpace::enumerate(ring.program()).unwrap();
         let bound = worst_case_moves(&space, ring.program(), &Predicate::always_true(), &s)
+            .expect("bounds")
             .expect("finite bound");
         let report = Executor::new(ring.program()).run(
             start,
@@ -262,8 +263,8 @@ fn assert_parallel_matches_serial(
     let space = StateSpace::enumerate(p).unwrap();
     let opts = CheckOptions::default().threads(threads);
     for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
-        let serial = check_convergence(&space, p, t, s, fairness);
-        let parallel = check_convergence_opts(&space, p, t, s, fairness, opts);
+        let serial = check_convergence(&space, p, t, s, fairness).unwrap();
+        let parallel = check_convergence_opts(&space, p, t, s, fairness, opts).unwrap();
         prop_assert_eq!(
             &serial,
             &parallel,
@@ -272,10 +273,10 @@ fn assert_parallel_matches_serial(
             threads
         );
     }
-    let s_bits = Bitset::for_predicate(&space, s, opts);
+    let s_bits = Bitset::for_predicate(&space, s, opts).unwrap();
     prop_assert_eq!(
-        is_closed(&space, p, s),
-        is_closed_bits(&space, p, &s_bits, opts),
+        is_closed(&space, p, s).unwrap(),
+        is_closed_bits(&space, p, &s_bits, opts).unwrap(),
         "closure with {} threads",
         threads
     );
