@@ -8,7 +8,9 @@
 //! - [`nonmasking`] — derived fault spans, S ⊂ T ⊂ true (E11).
 //! - [`cost`] — expected vs worst-case moves; network sensitivity (E12, E13).
 //! - [`netlat`] — socket-runtime convergence latency vs frame loss (E15).
+//! - [`conformance`] — cross-layer differential conformance corpus (E16).
 
+pub mod conformance;
 pub mod cost;
 pub mod dynamics;
 pub mod faults;

@@ -21,7 +21,7 @@ pub use table::Table;
 /// The identifiers of all experiments, in presentation order.
 pub const ALL: &[&str] = &[
     "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e15", "e16",
 ];
 
 /// Run one experiment by id, returning its rendered report.
@@ -47,6 +47,7 @@ pub fn run(id: &str) -> String {
         "e13" => experiments::cost::e13(),
         "e14" => experiments::cost::e14(),
         "e15" => experiments::netlat::e15(),
+        "e16" => experiments::conformance::e16(),
         other => panic!("unknown experiment id `{other}`; known: {ALL:?}"),
     }
 }

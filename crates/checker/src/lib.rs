@@ -95,6 +95,7 @@ pub mod counters;
 pub mod error;
 pub mod expected;
 pub mod options;
+pub mod oracle;
 pub mod replay;
 pub mod space;
 pub mod span;
@@ -112,6 +113,7 @@ pub use counters::CheckCounters;
 pub use error::CheckError;
 pub use expected::{expected_moves, ExpectedMoves};
 pub use options::{CheckOptions, DEFAULT_MEMORY_BUDGET};
+pub use oracle::{attribute_constraints, ConstraintAttribution, StepFault, StepOracle};
 pub use replay::{replay_constraints, ConstraintTransition};
 pub use space::{
     SpaceError, StateId, StateSpace, Transitions, TransitionsIter, DEFAULT_STATE_LIMIT,

@@ -7,6 +7,7 @@
 //! nonmask-run diffusing --nodes 7 --loss 0.3 --crash 2 --json out.json
 //! nonmask-run token-ring --crash 2 --journal run.jsonl
 //! nonmask-run check --nodes 5 --journal check.jsonl
+//! nonmask-run conform --smoke --out conform-out
 //! nonmask-run trace check.jsonl
 //! nonmask-run --list
 //! ```
@@ -37,6 +38,7 @@ use rand::SeedableRng;
 const USAGE: &str = "\
 usage: nonmask-run <protocol> [options]
        nonmask-run check [options]
+       nonmask-run conform [--smoke] [--seed S] [--out DIR] [--sim-only]
        nonmask-run trace <journal.jsonl>
 
 protocols:
@@ -46,6 +48,13 @@ protocols:
 subcommands:
   check             model-check the token ring and journal a convergence
                     witness as a per-constraint repair timeline
+  conform           differential conformance: replay every simulator and
+                    socket-runtime step through the checker's transition
+                    relation over a fixed-seed corpus; on divergence,
+                    shrink the fault schedule and write repro artifacts
+                    (--smoke: CI-sized corpus; --out: artifact dir;
+                    --journal: verdict journal; --sim-only: skip sockets;
+                    --planted-bug: self-test, needs feature planted-bug)
   trace             replay a JSON-lines journal as a readable timeline
                     (exits nonzero on any schema drift)
 
@@ -346,6 +355,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("trace") {
         return trace_main(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("conform") {
+        return conform::main(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(msg) => {
@@ -428,6 +440,284 @@ fn main() -> ExitCode {
     if report.converged {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `conform`: the fixed-seed differential conformance corpus, plus the
+/// planted-bug self-test when built with `--features planted-bug`.
+mod conform {
+    use std::process::ExitCode;
+
+    use nonmask_conform::{
+        check_run, default_specs, run_corpus, run_net_journaled, run_sim, run_sim_journaled,
+        shrink_schedule, CorpusConfig, CorpusReport, ProtocolOracle, ProtocolSpec, RunInput,
+    };
+    use nonmask_obs::{Event, Journal};
+
+    struct Args {
+        smoke: bool,
+        seed: u64,
+        out: String,
+        journal: Option<String>,
+        sim_only: bool,
+        planted: bool,
+    }
+
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            smoke: false,
+            seed: 1,
+            out: "conform-out".to_owned(),
+            journal: None,
+            sim_only: false,
+            planted: false,
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = argv[i].as_str();
+            let mut value = |name: &str| -> Result<String, String> {
+                i += 1;
+                argv.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg {
+                "--smoke" => args.smoke = true,
+                "--sim-only" => args.sim_only = true,
+                "--planted-bug" => args.planted = true,
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--out" => args.out = value("--out")?,
+                "--journal" => args.journal = Some(value("--journal")?),
+                other => return Err(format!("unknown conform option `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    pub fn main(argv: &[String]) -> ExitCode {
+        let args = match parse(argv) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", super::USAGE);
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.planted {
+            return planted_main(&args);
+        }
+
+        let specs = default_specs();
+        let mut config = if args.smoke {
+            CorpusConfig::smoke(args.seed)
+        } else {
+            CorpusConfig::full(args.seed)
+        };
+        config.sim_only = args.sim_only;
+        let journal = match &args.journal {
+            Some(path) => match Journal::to_file(path) {
+                Ok(journal) => journal,
+                Err(e) => {
+                    eprintln!("error: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Journal::disabled(),
+        };
+        println!(
+            "conformance corpus: {} protocols, {} sim + {} net runs each (base seed {})",
+            specs.len(),
+            config.sim_runs,
+            if config.sim_only { 0 } else { config.net_runs },
+            args.seed
+        );
+        let report = match run_corpus(&specs, &config, &journal) {
+            Ok(report) => report,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        journal.flush();
+        print!("{}", report.render());
+        if let Some(path) = &args.journal {
+            eprintln!("verdict journal written to {path}");
+        }
+        if report.divergent_runs() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            if let Err(msg) = write_artifacts(&report, &specs, &args.out) {
+                eprintln!("error writing artifacts: {msg}");
+            }
+            // Distinct from infrastructure failure (1): the layers ran,
+            // but they disagree with the checker.
+            ExitCode::from(2)
+        }
+    }
+
+    /// For every divergent run: shrink its fault schedule (sim) to a
+    /// 1-minimal reproducer and write the `(protocol, seed, schedule)`
+    /// triple plus a re-execution journal under `out`.
+    fn write_artifacts(
+        report: &CorpusReport,
+        specs: &[ProtocolSpec],
+        out: &str,
+    ) -> Result<(), String> {
+        std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        for protocol in &report.protocols {
+            if protocol.divergent().next().is_none() {
+                continue;
+            }
+            let spec = specs
+                .iter()
+                .find(|s| s.name == protocol.name)
+                .ok_or_else(|| format!("no spec named {}", protocol.name))?;
+            let oracle = ProtocolOracle::build(spec)?;
+            for run in protocol.divergent() {
+                let stem = format!("{out}/{}-{}-seed{}", protocol.name, run.layer, run.seed);
+                let journal = Journal::to_file(format!("{stem}.journal.jsonl"))
+                    .map_err(|e| format!("cannot create {stem}.journal.jsonl: {e}"))?;
+                match &run.input {
+                    RunInput::Sim { schedule, cfg } => {
+                        let shrunk = shrink_schedule(schedule, |candidate| {
+                            run_sim(&spec.program, &spec.goal, run.seed, candidate, cfg)
+                                .map(|o| !check_run(&oracle, spec, &o, true).conforms())
+                                .unwrap_or(false)
+                        });
+                        let outcome = run_sim_journaled(
+                            &spec.program,
+                            &spec.goal,
+                            run.seed,
+                            &shrunk,
+                            cfg,
+                            &journal,
+                        )?;
+                        let verdict = check_run(&oracle, spec, &outcome, true);
+                        emit_verdict(&journal, "sim", &protocol.name, run.seed, &verdict);
+                        let text = format!(
+                            "# minimal reproducing fault schedule\n# protocol {}\n# layer sim ({})\n# seed {}\n# replay: deterministic given (protocol, seed, schedule)\n{}",
+                            protocol.name,
+                            run.variant,
+                            run.seed,
+                            shrunk.render()
+                        );
+                        std::fs::write(format!("{stem}.schedule"), text)
+                            .map_err(|e| format!("cannot write {stem}.schedule: {e}"))?;
+                        println!(
+                            "repro: {} sim seed {} shrunk to {} fault(s) -> {stem}.schedule",
+                            protocol.name,
+                            run.seed,
+                            shrunk.len()
+                        );
+                    }
+                    RunInput::Net { cfg } => {
+                        let outcome =
+                            run_net_journaled(&spec.program, &spec.goal, run.seed, cfg, &journal)
+                                .map_err(|e| format!("net replay failed: {e}"))?;
+                        let verdict = check_run(&oracle, spec, &outcome, true);
+                        emit_verdict(&journal, "net", &protocol.name, run.seed, &verdict);
+                        println!(
+                            "repro: {} net seed {} ({}) -> {stem}.journal.jsonl",
+                            protocol.name, run.seed, run.variant
+                        );
+                    }
+                }
+                journal.flush();
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_verdict(
+        journal: &Journal,
+        layer: &str,
+        protocol: &str,
+        seed: u64,
+        report: &nonmask_conform::RunReport,
+    ) {
+        journal.emit_with(|| Event::Verdict {
+            layer: layer.to_string(),
+            protocol: protocol.to_string(),
+            seed,
+            steps: report.steps_checked,
+            verdict: report.verdict().to_string(),
+            detail: report
+                .divergences
+                .first()
+                .map(ToString::to_string)
+                .unwrap_or_default(),
+        });
+    }
+
+    /// Self-test: execute the planted token-ring mutant against the
+    /// healthy oracle — the harness must detect the divergence and
+    /// shrink the fault schedule to a ≤5-event reproducer.
+    #[cfg(feature = "planted-bug")]
+    fn planted_main(args: &Args) -> ExitCode {
+        use nonmask_conform::{FaultSchedule, SimRunConfig};
+        use nonmask_program::Predicate;
+
+        let spec = ProtocolSpec::token_ring(4, 4);
+        let mutant = ProtocolSpec::token_ring_mutant_program(4, 4);
+        let oracle = match ProtocolOracle::build(&spec) {
+            Ok(oracle) => oracle,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Run for a fixed horizon (never-satisfied goal) so the token
+        // always revisits the mutated root action.
+        let never = Predicate::always_false();
+        let cfg = SimRunConfig {
+            max_rounds: 60,
+            ..SimRunConfig::default()
+        };
+        let diverges = |schedule: &FaultSchedule| {
+            run_sim(&mutant, &never, args.seed, schedule, &cfg)
+                .map(|o| !check_run(&oracle, &spec, &o, false).conforms())
+                .unwrap_or(false)
+        };
+        let schedule = FaultSchedule::random(&spec.program, 4, args.seed, 8, 40);
+        if !diverges(&schedule) {
+            eprintln!("planted bug NOT detected (seed {})", args.seed);
+            return ExitCode::FAILURE;
+        }
+        let shrunk = shrink_schedule(&schedule, diverges);
+        println!(
+            "planted bug detected; schedule shrunk {} -> {} fault(s)",
+            schedule.len(),
+            shrunk.len()
+        );
+        println!(
+            "repro: protocol {} seed {} schedule:\n{}",
+            spec.name,
+            args.seed,
+            if shrunk.is_empty() {
+                "(empty — the bug needs no faults)".to_owned()
+            } else {
+                shrunk.render()
+            }
+        );
+        if shrunk.len() <= 5 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("shrunk schedule still has {} faults (> 5)", shrunk.len());
+            ExitCode::FAILURE
+        }
+    }
+
+    #[cfg(not(feature = "planted-bug"))]
+    fn planted_main(_args: &Args) -> ExitCode {
+        eprintln!(
+            "error: the planted-bug self-test needs `--features planted-bug` \
+             (cargo run -p nonmask-conform --features planted-bug --bin nonmask-run -- conform --planted-bug)"
+        );
         ExitCode::FAILURE
     }
 }

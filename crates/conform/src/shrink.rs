@@ -1,0 +1,136 @@
+//! Deterministic delta-debugging over fault schedules.
+//!
+//! Classic `ddmin` (Zeller & Hildebrandt): given a failing input and a
+//! deterministic test, repeatedly try chunks and chunk-complements at
+//! increasing granularity until the surviving entry list is 1-minimal —
+//! removing any single remaining entry makes the divergence disappear.
+//! Determinism of the test callback is what makes the result a true
+//! minimal *reproducer* rather than a flaky witness; the harness asserts
+//! it by replaying the shrunk schedule twice.
+
+use crate::schedule::FaultSchedule;
+
+/// Minimize `items` while `fails` keeps returning `true`.
+///
+/// `fails(subset)` must be deterministic and must return `true` for the
+/// full input; the result is a 1-minimal subsequence (original order
+/// preserved) that still fails. If the full input does *not* fail, it is
+/// returned unchanged.
+pub fn ddmin<T: Clone, F: FnMut(&[T]) -> bool>(items: &[T], mut fails: F) -> Vec<T> {
+    if fails(&[]) {
+        return Vec::new();
+    }
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+
+        // Try each chunk on its own (big jumps first), then each
+        // complement (remove one chunk at a time).
+        let mut start = 0;
+        while start < current.len() {
+            let end = usize::min(start + chunk, current.len());
+            let subset: Vec<T> = current[start..end].to_vec();
+            if subset.len() < current.len() && fails(&subset) {
+                current = subset;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+
+        let mut start = 0;
+        while start < current.len() {
+            let end = usize::min(start + chunk, current.len());
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !complement.is_empty() && complement.len() < current.len() && fails(&complement) {
+                current = complement;
+                granularity = usize::max(granularity - 1, 2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+
+        if granularity >= current.len() {
+            break;
+        }
+        granularity = usize::min(granularity * 2, current.len());
+    }
+    current
+}
+
+/// [`ddmin`] specialized to fault schedules: shrink `schedule` to a
+/// 1-minimal schedule for which `fails` still reports a divergence.
+pub fn shrink_schedule<F: FnMut(&FaultSchedule) -> bool>(
+    schedule: &FaultSchedule,
+    mut fails: F,
+) -> FaultSchedule {
+    let entries = ddmin(&schedule.entries, |subset| {
+        fails(&FaultSchedule {
+            entries: subset.to_vec(),
+        })
+    });
+    FaultSchedule { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_single_culprit() {
+        let items: Vec<u32> = (0..32).collect();
+        let shrunk = ddmin(&items, |s| s.contains(&17));
+        assert_eq!(shrunk, vec![17]);
+    }
+
+    #[test]
+    fn finds_a_scattered_pair() {
+        let items: Vec<u32> = (0..20).collect();
+        let shrunk = ddmin(&items, |s| s.contains(&3) && s.contains(&18));
+        assert_eq!(shrunk, vec![3, 18]);
+    }
+
+    #[test]
+    fn empty_failure_shrinks_to_nothing() {
+        let items: Vec<u32> = (0..8).collect();
+        let shrunk = ddmin(&items, |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let items: Vec<u32> = (0..8).collect();
+        let shrunk = ddmin(&items, |s| s.len() > 100);
+        assert_eq!(shrunk, items);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Fails iff the subset keeps at least 3 even numbers.
+        let items: Vec<u32> = (0..16).collect();
+        let shrunk = ddmin(&items, |s| s.iter().filter(|v| *v % 2 == 0).count() >= 3);
+        assert_eq!(shrunk.len(), 3);
+        for i in 0..shrunk.len() {
+            let mut without: Vec<u32> = shrunk.clone();
+            without.remove(i);
+            assert!(without.iter().filter(|v| *v % 2 == 0).count() < 3);
+        }
+    }
+}

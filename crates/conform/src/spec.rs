@@ -1,0 +1,126 @@
+//! Protocol specifications for the conformance corpus.
+//!
+//! A [`ProtocolSpec`] bundles everything the harness needs to run one
+//! protocol through every layer and judge the result against the checker:
+//! the guarded-command program, the stabilization goal, the §4 constraint
+//! decomposition, and the *designated* repair pairs — which convergence
+//! action the design holds responsible for re-establishing which
+//! constraint. The designation is cross-validated against the checker's
+//! own constraint attribution when the oracle is built
+//! ([`crate::check::ProtocolOracle::build`]), so a spec cannot silently
+//! claim repairs the transition relation does not deliver.
+
+use nonmask_program::{ActionId, Predicate, Program};
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+
+/// One protocol as the conformance harness sees it.
+#[derive(Debug, Clone)]
+pub struct ProtocolSpec {
+    /// Corpus-facing name (`token-ring-4x4`, `diffusing-7`, ...).
+    pub name: String,
+    /// The reference program — the transition relation the checker
+    /// enumerates and every executed step is validated against.
+    pub program: Program,
+    /// The stabilization goal (the protocol invariant).
+    pub goal: Predicate,
+    /// The constraint decomposition `c.1 ... c.m` from the paper's §4.
+    pub constraints: Vec<Predicate>,
+    /// Designated repair pairs: `(action, constraint index)` means the
+    /// design holds `action` responsible for re-establishing
+    /// `constraints[index]` whenever it executes.
+    pub designated: Vec<(ActionId, usize)>,
+}
+
+impl ProtocolSpec {
+    /// Dijkstra's K-state token ring on `n` processes with modulus `k`.
+    ///
+    /// Constraints are the agreement boundaries `c.j ≡ x.j = x.(j-1)` for
+    /// `j = 1..n`; the designated repair of `c.j` is `pass@j`, whose
+    /// effect `x.j := x.(j-1)` re-establishes the boundary from any state.
+    pub fn token_ring(n: usize, k: i64) -> Self {
+        let ring = TokenRing::new(n, k);
+        Self::token_ring_from(&ring, format!("token-ring-{n}x{k}"))
+    }
+
+    /// The spec shared by the healthy ring and the planted mutant: same
+    /// variables, same action layout, same constraint decomposition.
+    fn token_ring_from(ring: &TokenRing, name: String) -> Self {
+        let n = ring.len();
+        let mut constraints = Vec::with_capacity(n.saturating_sub(1));
+        let mut designated = Vec::with_capacity(n.saturating_sub(1));
+        for j in 1..n {
+            let xj = ring.counter_var(j);
+            let xp = ring.counter_var(j - 1);
+            constraints.push(Predicate::new(format!("c.{j}"), [xj, xp], move |s| {
+                s.get(xj) == s.get(xp)
+            }));
+            designated.push((ring.pass_action(j), j - 1));
+        }
+        ProtocolSpec {
+            name,
+            program: ring.program().clone(),
+            goal: ring.invariant(),
+            constraints,
+            designated,
+        }
+    }
+
+    /// The diffusing computation on a binary tree of `nodes` nodes.
+    ///
+    /// Constraints are the per-node `R.j` predicates; the designated
+    /// repair of `R.j` is the combined propagate/repair action at `j`
+    /// (the root has no constraint — its actions drive the wave).
+    pub fn diffusing(nodes: usize) -> Self {
+        let dc = DiffusingComputation::new(&Tree::binary(nodes));
+        let mut constraints = Vec::new();
+        let mut designated = Vec::new();
+        for j in 0..nodes {
+            if let Some(action) = dc.combined_action(j) {
+                designated.push((action, constraints.len()));
+                constraints.push(dc.constraint(j));
+            }
+        }
+        ProtocolSpec {
+            name: format!("diffusing-{nodes}"),
+            program: dc.program().clone(),
+            goal: dc.invariant(),
+            constraints,
+            designated,
+        }
+    }
+
+    /// The deliberately broken token ring (root increments by two), to be
+    /// *executed* while the healthy [`ProtocolSpec::token_ring`] of the
+    /// same shape serves as the oracle. The divergence shows up as a
+    /// wrong-effect step the moment the mutant root fires.
+    #[cfg(feature = "planted-bug")]
+    pub fn token_ring_mutant_program(n: usize, k: i64) -> Program {
+        TokenRing::planted_mutant(n, k).program().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_ring_spec_designates_every_boundary() {
+        let spec = ProtocolSpec::token_ring(4, 4);
+        assert_eq!(spec.constraints.len(), 3);
+        assert_eq!(spec.designated.len(), 3);
+        // Every designated pair points at a real constraint index.
+        for &(_, c) in &spec.designated {
+            assert!(c < spec.constraints.len());
+        }
+    }
+
+    #[test]
+    fn diffusing_spec_skips_the_root() {
+        let spec = ProtocolSpec::diffusing(7);
+        // Binary tree of 7: six non-root nodes, one constraint each.
+        assert_eq!(spec.constraints.len(), 6);
+        assert_eq!(spec.designated.len(), 6);
+    }
+}

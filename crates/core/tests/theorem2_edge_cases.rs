@@ -1,0 +1,265 @@
+//! Theorem 2 edge cases: self-looping constraint graphs where the
+//! linear preservation order is *non-unique*, and where *no* order
+//! exists at all.
+//!
+//! Theorem 2's third antecedent asks, per graph node, for an ordering
+//! `e1 … ek` of the convergence actions targeting the node such that for
+//! `i < j` the action of `ej` preserves the constraint of `ei`. Two
+//! boundary situations matter and neither is exercised by the worked
+//! protocols (whose nodes each carry exactly one repair action):
+//!
+//! 1. **Every order works.** Two repairs on one node that mutually
+//!    preserve each other's constraints — the precedence relation is
+//!    empty, any permutation is a witness, and the theorem must still
+//!    apply (non-uniqueness is fine; the theorem asks for existence).
+//! 2. **No order works.** Two repairs that mutually *destroy* each
+//!    other's constraints — the precedence relation is cyclic, the
+//!    theorem must be rejected with a reason naming the node, and the
+//!    ground-truth model check confirms the design really livelocks.
+
+use nonmask::graph::{ConstraintGraph, ConstraintRef, NodePartition, Shape};
+use nonmask::program::{ActionId, Domain, Predicate, Program, VarId};
+use nonmask::{Design, TheoremOutcome};
+
+/// Whether `action` preserves `constraint` in `program`: from every
+/// state where the constraint holds and the guard is enabled, the
+/// successor still satisfies the constraint. (Brute force over the
+/// 4-state spaces used here — an independent check of the same property
+/// the verifier discharges with its preservation oracle.)
+fn preserves(program: &Program, action: ActionId, constraint: &Predicate) -> bool {
+    let act = program.action(action);
+    let mut state = program.min_state();
+    loop {
+        if constraint.holds(&state) && act.enabled(&state) {
+            let next = act.successor(&state);
+            if !constraint.holds(&next) {
+                return false;
+            }
+        }
+        // Advance the 2-bool odometer.
+        let vars: Vec<VarId> = program.var_ids().collect();
+        let mut done = true;
+        for &v in &vars {
+            if state.get(v) == 0 {
+                state.set(v, 1);
+                done = false;
+                break;
+            }
+            state.set(v, 0);
+        }
+        if done {
+            return true;
+        }
+    }
+}
+
+/// Two self-looping repairs that commute: `fix-x` re-establishes
+/// `x = false` without touching `y`, and vice versa.
+fn commuting_design() -> (
+    Program,
+    Predicate,
+    Predicate,
+    ActionId,
+    ActionId,
+    NodePartition,
+) {
+    let mut b = Program::builder("selfloop-commuting");
+    let x = b.var("x", Domain::Bool);
+    let y = b.var("y", Domain::Bool);
+    let fix_x = b.convergence_action(
+        "fix-x",
+        [x],
+        [x],
+        move |s| s.get_bool(x),
+        move |s| s.set_bool(x, false),
+    );
+    let fix_y = b.convergence_action(
+        "fix-y",
+        [y],
+        [y],
+        move |s| s.get_bool(y),
+        move |s| s.set_bool(y, false),
+    );
+    let program = b.build();
+    let cx = Predicate::new("c.x", [x], move |s| !s.get_bool(x));
+    let cy = Predicate::new("c.y", [y], move |s| !s.get_bool(y));
+    let partition = NodePartition::new().group("xy", [x, y]);
+    (program, cx, cy, fix_x, fix_y, partition)
+}
+
+/// Two self-looping repairs that mutually destroy each other: `fix-x`
+/// re-establishes `x = false` but flips `y` on, and vice versa.
+fn destructive_design() -> (
+    Program,
+    Predicate,
+    Predicate,
+    ActionId,
+    ActionId,
+    NodePartition,
+) {
+    let mut b = Program::builder("selfloop-destructive");
+    let x = b.var("x", Domain::Bool);
+    let y = b.var("y", Domain::Bool);
+    let fix_x = b.convergence_action(
+        "fix-x",
+        [x, y],
+        [x, y],
+        move |s| s.get_bool(x),
+        move |s| {
+            s.set_bool(x, false);
+            s.set_bool(y, true);
+        },
+    );
+    let fix_y = b.convergence_action(
+        "fix-y",
+        [x, y],
+        [x, y],
+        move |s| s.get_bool(y),
+        move |s| {
+            s.set_bool(y, false);
+            s.set_bool(x, true);
+        },
+    );
+    let program = b.build();
+    let cx = Predicate::new("c.x", [x], move |s| !s.get_bool(x));
+    let cy = Predicate::new("c.y", [y], move |s| !s.get_bool(y));
+    let partition = NodePartition::new().group("xy", [x, y]);
+    (program, cx, cy, fix_x, fix_y, partition)
+}
+
+#[test]
+fn commuting_self_loops_verify_under_theorem_2() {
+    let (program, cx, cy, fix_x, fix_y, partition) = commuting_design();
+    let design = Design::builder(program)
+        .partition(partition)
+        .constraint("c.x", cx, fix_x)
+        .constraint("c.y", cy, fix_y)
+        .build()
+        .expect("well-formed design");
+    let report = design.verify().expect("verification runs");
+    assert_eq!(report.shape, Shape::SelfLooping);
+    assert!(
+        matches!(report.theorem, TheoremOutcome::Theorem2 { .. }),
+        "expected Theorem 2, got {} ({:?})",
+        report.theorem.name(),
+        report.theorem
+    );
+    assert!(report.is_stabilizing(), "the design converges for real");
+}
+
+#[test]
+fn the_commuting_preservation_order_is_non_unique() {
+    let (program, cx, cy, fix_x, fix_y, partition) = commuting_design();
+    // Both actions preserve both constraints, so the precedence relation
+    // is empty and *every* permutation is a linear preservation order.
+    for (action, constraint) in [(fix_x, &cx), (fix_x, &cy), (fix_y, &cx), (fix_y, &cy)] {
+        assert!(preserves(&program, action, constraint));
+    }
+
+    let graph = ConstraintGraph::derive(
+        &program,
+        &partition,
+        &[(fix_x, ConstraintRef(0)), (fix_y, ConstraintRef(1))],
+    )
+    .expect("derivable graph");
+    assert_eq!(graph.node_count(), 1);
+    assert!(graph.edges().iter().all(|e| e.is_self_loop()));
+
+    let node = graph.node_ids().next().unwrap();
+    let constraints = [&cx, &cy];
+    let order = graph
+        .linear_preservation_order(node, |a, c| preserves(&program, a, constraints[c.0]))
+        .expect("an order exists");
+    assert_eq!(order.len(), 2);
+    // The reversed order is a witness too: for every i < j, action(ej)
+    // preserves constraint(ei). Non-uniqueness in the flesh.
+    let reversed: Vec<_> = order.iter().rev().copied().collect();
+    for i in 0..reversed.len() {
+        for j in (i + 1)..reversed.len() {
+            let later = graph.edge_ref(reversed[j]);
+            let earlier = graph.edge_ref(reversed[i]);
+            assert!(preserves(
+                &program,
+                later.action(),
+                constraints[earlier.constraint().0]
+            ));
+        }
+    }
+}
+
+#[test]
+fn mutually_destructive_self_loops_are_rejected_with_a_reason() {
+    let (program, cx, cy, fix_x, fix_y, partition) = destructive_design();
+    // Sanity: each action destroys the *other* constraint, so no linear
+    // preservation order can exist.
+    assert!(!preserves(&program, fix_x, &cy));
+    assert!(!preserves(&program, fix_y, &cx));
+
+    let design = Design::builder(program.clone())
+        .partition(partition.clone())
+        .constraint("c.x", cx.clone(), fix_x)
+        .constraint("c.y", cy.clone(), fix_y)
+        .build()
+        .expect("well-formed design");
+    let report = design.verify().expect("verification runs");
+    let TheoremOutcome::NotApplicable { reasons } = &report.theorem else {
+        panic!("expected rejection, got {}", report.theorem.name());
+    };
+    assert!(
+        reasons
+            .iter()
+            .any(|r| r.contains("no linear preservation order")),
+        "reasons should name the missing order: {reasons:?}"
+    );
+    assert!(
+        reasons.iter().any(|r| r.contains("xy")),
+        "reasons should name the offending node: {reasons:?}"
+    );
+    // The rejection is not a false negative of the sufficient condition:
+    // the two repairs really do livelock (x=1 ⇄ y=1 forever), so the
+    // ground-truth model check refuses convergence as well.
+    assert!(!report.is_stabilizing());
+
+    // And the graph layer agrees directly: the precedence relation is
+    // cyclic, so no order exists.
+    let graph = ConstraintGraph::derive(
+        &program,
+        &partition,
+        &[(fix_x, ConstraintRef(0)), (fix_y, ConstraintRef(1))],
+    )
+    .expect("derivable graph");
+    let node = graph.node_ids().next().unwrap();
+    let constraints = [&cx, &cy];
+    assert!(graph
+        .linear_preservation_order(node, |a, c| preserves(&program, a, constraints[c.0]))
+        .is_none());
+}
+
+#[test]
+fn a_single_self_loop_is_trivially_ordered() {
+    // Degenerate boundary: one repair on one node — the order is the
+    // singleton, Theorem 2 applies without any preservation obligation.
+    let mut b = Program::builder("selfloop-single");
+    let x = b.var("x", Domain::Bool);
+    let fix_x = b.convergence_action(
+        "fix-x",
+        [x],
+        [x],
+        move |s| s.get_bool(x),
+        move |s| s.set_bool(x, false),
+    );
+    let program = b.build();
+    let cx = Predicate::new("c.x", [x], move |s| !s.get_bool(x));
+    let design = Design::builder(program)
+        .partition(NodePartition::new().group("x", [x]))
+        .constraint("c.x", cx, fix_x)
+        .build()
+        .expect("well-formed design");
+    let report = design.verify().expect("verification runs");
+    assert!(
+        matches!(report.theorem, TheoremOutcome::Theorem2 { .. }),
+        "got {}",
+        report.theorem.name()
+    );
+    assert!(report.is_stabilizing());
+}

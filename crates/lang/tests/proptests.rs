@@ -29,6 +29,20 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     })
 }
 
+/// Domains for the variable at `index`: booleans, ranges (including
+/// negative bounds and singletons), and enumerations. Enum labels are
+/// synthesized from the variable index (`v3l0`, `v3l1`, …) so no two
+/// enums ever rebind the same label to different values.
+fn domain_strategy(index: usize) -> BoxedStrategy<DomainDef> {
+    prop_oneof![
+        Just(DomainDef::Bool),
+        (-8i64..8, 0i64..8).prop_map(|(lo, span)| DomainDef::Range(lo, lo + span)),
+        (2usize..4)
+            .prop_map(move |k| DomainDef::Enum((0..k).map(|j| format!("v{index}l{j}")).collect())),
+    ]
+    .boxed()
+}
+
 fn expr_strategy(vars: Vec<String>) -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         (0i64..100).prop_map(Expr::Int),
@@ -66,18 +80,33 @@ fn expr_strategy(vars: Vec<String>) -> impl Strategy<Value = Expr> {
 fn program_strategy() -> impl Strategy<Value = ProgramDef> {
     (
         ident_strategy(),
-        proptest::collection::btree_set(ident_strategy(), 1..4),
+        proptest::collection::btree_set(ident_strategy(), 1..5),
     )
         .prop_flat_map(|(name, var_names)| {
             let vars: Vec<String> = var_names.into_iter().collect();
+            let domains: Vec<BoxedStrategy<DomainDef>> =
+                (0..vars.len()).map(domain_strategy).collect();
+            (Just(name), Just(vars), domains)
+        })
+        .prop_flat_map(|(name, vars, domains)| {
             let var_defs: Vec<VarDef> = vars
                 .iter()
-                .map(|v| VarDef {
+                .zip(domains)
+                .map(|(v, domain)| VarDef {
                     name: v.clone(),
-                    domain: DomainDef::Range(0, 7),
+                    domain,
                     line: 0,
                 })
                 .collect();
+            // Expressions may mention variables *and* enum labels (which
+            // compile to folded constants); assignment targets stay
+            // variables.
+            let mut idents = vars.clone();
+            for def in &var_defs {
+                if let DomainDef::Enum(labels) = &def.domain {
+                    idents.extend(labels.iter().cloned());
+                }
+            }
             let action = (
                 ident_strategy(),
                 proptest::sample::select(vec![
@@ -85,13 +114,13 @@ fn program_strategy() -> impl Strategy<Value = ProgramDef> {
                     ActionKind::Convergence,
                     ActionKind::Combined,
                 ]),
-                expr_strategy(vars.clone()),
+                expr_strategy(idents.clone()),
                 proptest::collection::vec(
                     (
                         proptest::sample::select(vars.clone()),
-                        expr_strategy(vars.clone()),
+                        expr_strategy(idents.clone()),
                     ),
-                    1..3,
+                    1..4,
                 ),
             )
                 .prop_map(|(name, kind, guard, assigns)| ActionDef {
@@ -104,13 +133,24 @@ fn program_strategy() -> impl Strategy<Value = ProgramDef> {
             (
                 Just(name),
                 Just(var_defs),
-                proptest::collection::vec(action, 0..3),
+                proptest::collection::vec(action, 0..4),
             )
         })
         .prop_map(|(name, vars, actions)| ProgramDef {
             name,
             vars,
             actions,
+        })
+        .prop_filter("enum labels must not collide with variable names", |def| {
+            // A generated variable could coincidentally be named like a
+            // synthesized label (`v0l1`); the label would then resolve to
+            // the variable instead of the constant, so drop such programs.
+            let names: std::collections::HashSet<&str> =
+                def.vars.iter().map(|v| v.name.as_str()).collect();
+            def.vars.iter().all(|v| match &v.domain {
+                DomainDef::Enum(labels) => labels.iter().all(|l| !names.contains(l.as_str())),
+                _ => true,
+            })
         })
 }
 

@@ -14,7 +14,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
-use nonmask_program::{ActionId, ActionKind, Program, State, VarId};
+use nonmask_program::{ActionId, ActionKind, Program, State, StepLog, VarId};
 
 use crate::counters::CounterSnapshot;
 use crate::fault::{FaultConfig, FaultyLink, PartitionMap};
@@ -125,6 +125,7 @@ pub(crate) fn run_node(
     partition: &PartitionMap,
     faults: &FaultConfig,
     timing: &NodeTiming,
+    step_log: Option<StepLog>,
 ) -> io::Result<()> {
     let node = spec.node;
     let (tx, rx) = std::sync::mpsc::channel::<InMsg>();
@@ -194,6 +195,7 @@ pub(crate) fn run_node(
         &mut links,
         partition,
         timing,
+        step_log,
     );
     Ok(())
 }
@@ -209,6 +211,7 @@ fn main_loop(
     links: &mut Vec<OutLink>,
     partition: &PartitionMap,
     timing: &NodeTiming,
+    step_log: Option<StepLog>,
 ) {
     let mut counters = CounterSnapshot::default();
     let mut crashed = false;
@@ -292,7 +295,17 @@ fn main_loop(
                     let Some(idx) = chosen else { break };
                     cursor = (idx + 1) % k;
                     let action = program.action(spec.actions[idx]);
+                    let before = step_log.as_ref().map(|_| view.clone());
                     action.apply(&mut view);
+                    if let (Some(log), Some(before)) = (&step_log, before) {
+                        log.push(
+                            usize::from(node),
+                            tick,
+                            spec.actions[idx],
+                            before,
+                            view.clone(),
+                        );
+                    }
                     counters.steps += 1;
                     if action.kind() != ActionKind::Closure {
                         counters.convergence_steps += 1;

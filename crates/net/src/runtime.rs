@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use nonmask_obs::{CounterSet, Event, Journal};
 use nonmask_program::json::{escape, state_to_json};
-use nonmask_program::{Predicate, Program, State, VarId};
+use nonmask_program::{Predicate, Program, State, StepLog, VarId};
 use nonmask_sim::{RefineError, Refinement};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +82,11 @@ pub struct NetConfig {
     /// detector episodes, control frames, and final per-node counters.
     /// Defaults to [`Journal::disabled`] (no overhead).
     pub journal: Journal,
+    /// Record every action a node executes — node index, node-local tick,
+    /// and the node's view before/after — for differential conformance
+    /// checking (`crates/conform`). Off by default; recording clones two
+    /// states per step under a shared lock.
+    pub step_log: Option<StepLog>,
 }
 
 impl Default for NetConfig {
@@ -98,6 +103,7 @@ impl Default for NetConfig {
             timeout: Duration::from_secs(30),
             events: Vec::new(),
             journal: Journal::disabled(),
+            step_log: None,
         }
     }
 }
@@ -409,6 +415,7 @@ pub fn run(
             let timing = &timing;
             let faults = &config.faults;
             let initial_view = initial.clone();
+            let step_log = config.step_log.clone();
             scope.spawn(move || {
                 // Startup failures leave the node silent; the controller
                 // times out and reports non-convergence.
@@ -422,6 +429,7 @@ pub fn run(
                     partition,
                     faults,
                     timing,
+                    step_log,
                 );
             });
         }

@@ -44,8 +44,35 @@ fn run_protocol(
     seed: u64,
     events: Vec<NetEvent>,
 ) -> NetReport {
+    run_protocol_journaled(program, goal, seed, events).0
+}
+
+/// Like [`run_protocol`], but also returns the parsed journal so tests
+/// can assert on the *recorded* fault and episode lifecycle instead of
+/// only the summary report.
+fn run_protocol_journaled(
+    program: &Program,
+    goal: &Predicate,
+    seed: u64,
+    events: Vec<NetEvent>,
+) -> (NetReport, Vec<nonmask_obs::Record>) {
     let initial = program.random_state(&mut StdRng::seed_from_u64(seed));
-    run(program, &initial, goal, &config(seed, events)).expect("run starts")
+    let (journal, buffer) = nonmask_obs::Journal::memory();
+    let config = NetConfig {
+        journal,
+        ..config(seed, events)
+    };
+    let report = run(program, &initial, goal, &config).expect("run starts");
+    let records = nonmask_obs::parse_journal(&buffer.contents()).expect("journal is schema-clean");
+    (report, records)
+}
+
+/// Position of the first journal record matching `pred`.
+fn position_of(
+    records: &[nonmask_obs::Record],
+    pred: impl Fn(&nonmask_obs::Event) -> bool,
+) -> Option<usize> {
+    records.iter().position(|r| pred(&r.event))
 }
 
 fn assert_converged(report: &NetReport, episodes: usize) {
@@ -60,8 +87,11 @@ fn assert_converged(report: &NetReport, episodes: usize) {
 
 #[test]
 fn token_ring_converges_under_loss_and_crash_restart() {
+    use nonmask_obs::Event;
+
     let ring = TokenRing::new(5, 5);
-    let report = run_protocol(ring.program(), &ring.invariant(), 42, crash_restart(2));
+    let (report, records) =
+        run_protocol_journaled(ring.program(), &ring.invariant(), 42, crash_restart(2));
     assert_converged(&report, 2);
     assert!(ring.invariant().holds(&report.final_state));
     assert_eq!(ring.privileges(&report.final_state).len(), 1);
@@ -82,6 +112,37 @@ fn token_ring_converges_under_loss_and_crash_restart() {
     assert_eq!(report.nodes[2].counters.crashes, 1);
     let crashes: u64 = report.nodes.iter().map(|n| n.counters.crashes).sum();
     assert_eq!(crashes, 1);
+
+    // The journal records the whole crash-restart lifecycle, in causal
+    // order: crash fault, restart fault, episode open, episode converged.
+    let crash = position_of(&records, |e| {
+        matches!(e, Event::Fault { kind, detail } if kind == "crash" && detail.contains("node 2"))
+    })
+    .expect("crash fault journaled");
+    let restart = position_of(&records, |e| {
+        matches!(e, Event::Fault { kind, detail } if kind == "restart" && detail.contains("node 2"))
+    })
+    .expect("restart fault journaled");
+    let opened = position_of(
+        &records,
+        |e| matches!(e, Event::EpisodeStarted { label } if label == "crash-restart node 2"),
+    )
+    .expect("crash episode opened");
+    let converged = position_of(
+        &records,
+        |e| matches!(e, Event::EpisodeConverged { label, .. } if label == "crash-restart node 2"),
+    )
+    .expect("crash episode converged");
+    assert!(
+        crash < restart && restart < converged && opened < converged,
+        "lifecycle out of order: crash@{crash} restart@{restart} opened@{opened} converged@{converged}"
+    );
+    // One EpisodeConverged per reported episode — detector and journal agree.
+    let journaled_convergences = records
+        .iter()
+        .filter(|r| matches!(&r.event, Event::EpisodeConverged { .. }))
+        .count();
+    assert_eq!(journaled_convergences, report.episodes.len());
 }
 
 #[test]
@@ -96,16 +157,45 @@ fn diffusing_computation_converges_under_loss_and_crash_restart() {
 
 #[test]
 fn token_ring_survives_partition_and_heals() {
+    use nonmask_obs::Event;
+
     let ring = TokenRing::new(4, 4);
     let events = vec![NetEvent::Partition {
         groups: vec![0, 0, 1, 1],
         at_least: Duration::ZERO,
         heal_after: Duration::from_millis(40),
     }];
-    let report = run_protocol(ring.program(), &ring.invariant(), 7, events);
+    let (report, records) = run_protocol_journaled(ring.program(), &ring.invariant(), 7, events);
     assert_converged(&report, 2);
     assert_eq!(report.episodes[1].label, "partition heal");
     assert!(ring.invariant().holds(&report.final_state));
+
+    // Journal lifecycle: the partition splits, later heals, and the heal
+    // opens an episode that eventually converges — in that order.
+    let split = position_of(
+        &records,
+        |e| matches!(e, Event::Fault { kind, .. } if kind == "partition"),
+    )
+    .expect("partition fault journaled");
+    let heal = position_of(
+        &records,
+        |e| matches!(e, Event::Fault { kind, .. } if kind == "heal"),
+    )
+    .expect("heal fault journaled");
+    let opened = position_of(
+        &records,
+        |e| matches!(e, Event::EpisodeStarted { label } if label == "partition heal"),
+    )
+    .expect("heal episode opened");
+    let converged = position_of(
+        &records,
+        |e| matches!(e, Event::EpisodeConverged { label, .. } if label == "partition heal"),
+    )
+    .expect("heal episode converged");
+    assert!(
+        split < heal && heal <= opened && opened < converged,
+        "lifecycle out of order: split@{split} heal@{heal} opened@{opened} converged@{converged}"
+    );
 }
 
 #[test]

@@ -105,6 +105,24 @@ pub enum Event {
         /// Rounds executed before stabilization.
         rounds: u64,
     },
+    /// A conformance verdict from the cross-layer harness
+    /// (`crates/conform`): the outcome of differentially replaying one
+    /// execution through the checker's step oracle.
+    Verdict {
+        /// Execution layer the run came from, `"sim"` or `"net"`.
+        layer: String,
+        /// Protocol instance, e.g. `"token-ring-4x4"`.
+        protocol: String,
+        /// Seed the run (and its fault schedule) was derived from.
+        seed: u64,
+        /// Steps validated against the transition relation.
+        steps: u64,
+        /// `"conforms"` or `"diverged"`.
+        verdict: String,
+        /// Free-form detail: empty when conforming, the first divergence
+        /// otherwise.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -123,6 +141,7 @@ impl Event {
             Event::EpisodeStarted { .. } => "episode-started",
             Event::EpisodeConverged { .. } => "episode-converged",
             Event::Stabilized { .. } => "stabilized",
+            Event::Verdict { .. } => "verdict",
         }
     }
 
@@ -190,6 +209,21 @@ impl Event {
                 w.num_field("micros", *micros);
             }
             Event::Stabilized { rounds } => w.num_field("rounds", *rounds),
+            Event::Verdict {
+                layer,
+                protocol,
+                seed,
+                steps,
+                verdict,
+                detail,
+            } => {
+                w.str_field("layer", layer);
+                w.str_field("protocol", protocol);
+                w.num_field("seed", *seed);
+                w.num_field("steps", *steps);
+                w.str_field("verdict", verdict);
+                w.str_field("detail", detail);
+            }
         }
         w.finish()
     }
@@ -273,6 +307,14 @@ impl Event {
             },
             "stabilized" => Event::Stabilized {
                 rounds: get_num("rounds")?,
+            },
+            "verdict" => Event::Verdict {
+                layer: get_str("layer")?,
+                protocol: get_str("protocol")?,
+                seed: get_num("seed")?,
+                steps: get_num("steps")?,
+                verdict: get_str("verdict")?,
+                detail: get_str("detail")?,
             },
             other => return Err(ParseError::new(format!("unknown event tag `{other}`"))),
         };
@@ -521,6 +563,14 @@ pub(crate) mod tests {
                 micros: 150000,
             },
             Event::Stabilized { rounds: 17 },
+            Event::Verdict {
+                layer: "sim".into(),
+                protocol: "token-ring-4x4".into(),
+                seed: 11,
+                steps: 640,
+                verdict: "conforms".into(),
+                detail: String::new(),
+            },
         ]
     }
 
@@ -538,7 +588,8 @@ pub(crate) mod tests {
 {"ev":"frame","t_us":7,"node":4,"kind":"report"}
 {"ev":"episode-started","t_us":7,"label":"initial"}
 {"ev":"episode-converged","t_us":7,"label":"initial","micros":150000}
-{"ev":"stabilized","t_us":7,"rounds":17}"#;
+{"ev":"stabilized","t_us":7,"rounds":17}
+{"ev":"verdict","t_us":7,"layer":"sim","protocol":"token-ring-4x4","seed":11,"steps":640,"verdict":"conforms","detail":""}"#;
 
     #[test]
     fn golden_wire_format_is_stable() {

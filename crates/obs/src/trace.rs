@@ -72,6 +72,22 @@ pub fn render_timeline(records: &[Record]) -> String {
                 *micros as f64 / 1e3
             ),
             Event::Stabilized { rounds } => format!("✔ stabilized after {rounds} rounds"),
+            Event::Verdict {
+                layer,
+                protocol,
+                seed,
+                steps,
+                verdict,
+                detail,
+            } => {
+                let suffix = if detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(": {detail}")
+                };
+                let mark = if verdict == "conforms" { '✔' } else { '✗' };
+                format!("{mark} conform [{layer}] {protocol} seed {seed}: {verdict} after {steps} steps{suffix}")
+            }
         };
         out.push_str(&fmt_time(r.t_us));
         out.push_str("  ");

@@ -51,6 +51,7 @@ pub mod predicate;
 pub mod program;
 pub mod scheduler;
 pub mod state;
+pub mod steplog;
 pub mod trace;
 pub mod value;
 
@@ -61,6 +62,7 @@ pub use predicate::Predicate;
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use scheduler::Scheduler;
 pub use state::State;
+pub use steplog::{StepLog, StepRecord};
 pub use trace::{Trace, TraceStep};
 pub use value::{Domain, DomainError};
 

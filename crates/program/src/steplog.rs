@@ -1,0 +1,130 @@
+//! Step capture for differential conformance checking.
+//!
+//! Execution layers (the in-process simulator, the socket runtime) record
+//! every action they execute into a [`StepLog`]: which site fired which
+//! action, and the full before/after state *as the site saw it* (its own
+//! variables plus its cached copies of remote variables). The conformance
+//! harness (`crates/conform`) replays each record through the checker's
+//! transition relation — an action applied to a site's view is a program
+//! transition of that view, so each record is independently checkable.
+//!
+//! The log is a cloneable handle over a shared vector: an execution layer
+//! keeps one clone per site/thread, the harness keeps another and drains it
+//! after the run. Records carry a global sequence number assigned under the
+//! shared lock, so a multi-threaded run still yields one total order.
+
+use std::sync::{Arc, Mutex};
+
+use crate::action::ActionId;
+use crate::state::State;
+
+/// One executed action, as observed at the executing site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Global sequence number: position in the shared log, assigned under
+    /// the log lock. For multi-threaded runs this is the order in which
+    /// sites committed their steps.
+    pub seq: u64,
+    /// The executing site (process index in the simulator, node index in
+    /// the net runtime).
+    pub site: usize,
+    /// Layer-local time: the simulator round or the node-local tick in
+    /// which the step executed.
+    pub tick: u64,
+    /// The action that fired.
+    pub action: ActionId,
+    /// The site's view immediately before applying the action.
+    pub before: State,
+    /// The site's view immediately after applying the action.
+    pub after: State,
+}
+
+/// A shared, cloneable log of executed steps.
+///
+/// Cloning is cheap (an `Arc` bump); all clones append to the same vector.
+/// Recording clones two full states per step, so layers only offer it as an
+/// opt-in hook (`None` by default) and skip the clones entirely when no log
+/// is attached.
+#[derive(Debug, Clone, Default)]
+pub struct StepLog {
+    inner: Arc<Mutex<Vec<StepRecord>>>,
+}
+
+impl StepLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one step. The record's `seq` field is overwritten with the
+    /// log position, so callers can pass `seq: 0`.
+    pub fn record(&self, mut record: StepRecord) {
+        let mut log = self.inner.lock().expect("step log poisoned");
+        record.seq = log.len() as u64;
+        log.push(record);
+    }
+
+    /// Convenience: build and append a record in one call.
+    pub fn push(&self, site: usize, tick: u64, action: ActionId, before: State, after: State) {
+        self.record(StepRecord {
+            seq: 0,
+            site,
+            tick,
+            action,
+            before,
+            after,
+        });
+    }
+
+    /// Number of steps recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("step log poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out everything recorded so far, in sequence order.
+    pub fn snapshot(&self) -> Vec<StepRecord> {
+        self.inner.lock().expect("step log poisoned").clone()
+    }
+
+    /// Drain the log, returning everything recorded so far and leaving the
+    /// log empty (subsequent records restart at `seq` 0).
+    pub fn take(&self) -> Vec<StepRecord> {
+        std::mem::take(&mut *self.inner.lock().expect("step log poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_get_sequential_seq_numbers() {
+        let log = StepLog::new();
+        let clone = log.clone();
+        let s = State::zeroed(1);
+        clone.push(0, 0, ActionId(0), s.clone(), s.clone());
+        log.push(1, 3, ActionId(1), s.clone(), s.clone());
+        let steps = log.snapshot();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].seq, 0);
+        assert_eq!(steps[1].seq, 1);
+        assert_eq!(steps[1].site, 1);
+        assert_eq!(steps[1].tick, 3);
+    }
+
+    #[test]
+    fn take_drains_and_resets() {
+        let log = StepLog::new();
+        let s = State::zeroed(1);
+        log.push(0, 0, ActionId(0), s.clone(), s.clone());
+        assert_eq!(log.take().len(), 1);
+        assert!(log.is_empty());
+        log.push(0, 1, ActionId(0), s.clone(), s);
+        assert_eq!(log.snapshot()[0].seq, 0, "seq restarts after take");
+    }
+}

@@ -91,6 +91,58 @@ impl TokenRing {
         }
     }
 
+    /// A deliberately broken mod-`k` ring for the conformance harness's
+    /// planted-bug self-test (cargo feature `planted-bug`): identical to
+    /// [`TokenRing::new`] except the root passes the privilege by
+    /// incrementing its counter by **two** — the off-by-one a differential
+    /// harness must catch. Variable and action layout match the reference
+    /// exactly, so views recorded while executing the mutant can be
+    /// validated against the reference program's transition relation.
+    #[cfg(feature = "planted-bug")]
+    pub fn planted_mutant(n: usize, k: i64) -> Self {
+        assert!(n >= 2, "a ring needs at least two nodes");
+        assert!(k >= 2, "counters need at least two values");
+        let mut b = Program::builder(format!("token-ring-mutant[n={n},k={k}]"));
+        let x: Vec<VarId> = (0..n)
+            .map(|j| b.var_of(format!("x.{j}"), Domain::range(0, k - 1), ProcessId(j)))
+            .collect();
+
+        let mut actions = Vec::with_capacity(n);
+        let (x0, xl) = (x[0], x[n - 1]);
+        actions.push(b.combined_action(
+            "pass@0",
+            [x0, xl],
+            [x0],
+            move |s| s.get(x0) == s.get(xl),
+            move |s| {
+                let v = s.get(x0);
+                // The planted bug: += 2 instead of += 1.
+                s.set(x0, (v + 2) % k);
+            },
+        ));
+        for j in 1..n {
+            let (xj, xp) = (x[j], x[j - 1]);
+            actions.push(b.combined_action(
+                format!("pass@{j}"),
+                [xj, xp],
+                [xj],
+                move |s| s.get(xj) != s.get(xp),
+                move |s| {
+                    let v = s.get(xp);
+                    s.set(xj, v);
+                },
+            ));
+        }
+
+        TokenRing {
+            n,
+            k,
+            program: b.build(),
+            x,
+            actions,
+        }
+    }
+
     /// The paper's literal unbounded-counter program (for simulation; its
     /// state space cannot be enumerated).
     pub fn unbounded(n: usize) -> Self {

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use nonmask_obs::{Event, Journal};
-use nonmask_program::{Predicate, Program, State, VarId};
+use nonmask_program::{Predicate, Program, State, StepLog, VarId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,6 +87,7 @@ pub struct Simulation<'p> {
     /// Partition-group id per process (all zero = no partition).
     partition_group: Vec<usize>,
     journal: Journal,
+    step_log: Option<StepLog>,
     rng: StdRng,
     rounds: u64,
     steps: u64,
@@ -115,6 +116,7 @@ impl<'p> Simulation<'p> {
             partition_until: 0,
             partition_group: vec![0; n],
             journal: Journal::disabled(),
+            step_log: None,
             rounds: 0,
             steps: 0,
             messages_delivered: 0,
@@ -127,6 +129,16 @@ impl<'p> Simulation<'p> {
     #[must_use]
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = journal;
+        self
+    }
+
+    /// Record every executed action into `log` — the process index, the
+    /// round, and the executing process's view before and after the action
+    /// — for differential conformance checking (`crates/conform`). Off by
+    /// default; recording clones two states per step.
+    #[must_use]
+    pub fn with_step_log(mut self, log: StepLog) -> Self {
+        self.step_log = Some(log);
         self
     }
 
@@ -240,8 +252,12 @@ impl<'p> Simulation<'p> {
                 let Some(idx) = chosen else { break };
                 self.cursors[p] = (idx as u32 + 1) % k;
                 let action = self.program.action(actions[idx]);
+                let before = self.step_log.as_ref().map(|_| self.views[p].clone());
                 action.apply(&mut self.views[p]);
                 self.steps += 1;
+                if let (Some(log), Some(before)) = (&self.step_log, before) {
+                    log.push(p, self.rounds, actions[idx], before, self.views[p].clone());
+                }
                 for &w in action.writes() {
                     outgoing.push((w, self.views[p].get(w)));
                 }
@@ -567,6 +583,30 @@ mod tests {
             records.last().map(|r| &r.event),
             Some(Event::Stabilized { .. })
         ));
+    }
+
+    #[test]
+    fn step_log_captures_every_view_transition() {
+        use nonmask_program::StepLog;
+        let (ring, refinement) = ring_sim(3, 3, SimConfig::default());
+        let log = StepLog::new();
+        let mut sim = Simulation::new(
+            ring.program(),
+            refinement,
+            ring.initial_state(),
+            SimConfig::default(),
+        )
+        .with_step_log(log.clone());
+        for _ in 0..5 {
+            sim.round();
+        }
+        let steps = log.snapshot();
+        assert_eq!(steps.len() as u64, sim.steps(), "one record per step");
+        for s in &steps {
+            let action = ring.program().action(s.action);
+            assert!(action.enabled(&s.before), "guard held on the view");
+            assert_eq!(action.successor(&s.before), s.after, "effect is exact");
+        }
     }
 
     #[test]
