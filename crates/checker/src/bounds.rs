@@ -6,6 +6,13 @@
 //! candidate variant functions mechanically and computes the exact
 //! worst-case number of moves a program can spend outside its invariant —
 //! the quantity the rank argument of Theorem 1 bounds.
+//!
+//! Both passes here run a longest-path DFS over the region's transition
+//! graph, so they need the full CSR arrays resident (a [`StateSpace`]).
+//! If you only need a convergence *verdict* for an instance too large to
+//! hold its transition table in memory, use the out-of-core
+//! [`frontier`](crate::frontier) mode instead — it never materializes
+//! transitions, but it cannot produce move counts.
 
 use nonmask_program::{Predicate, Program, State};
 

@@ -13,7 +13,7 @@ use nonmask_program::Predicate;
 
 use crate::error::CheckError;
 use crate::options::{run_chunks, CheckOptions};
-use crate::space::{StateId, StateSpace};
+use crate::space::{SpaceIndex, StateId, StateSpace};
 
 /// A fixed-length set of state indices, one bit per state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,17 +87,32 @@ impl Bitset {
         pred: &Predicate,
         opts: CheckOptions,
     ) -> Result<Self, CheckError> {
-        let len = space.len();
+        Self::for_predicate_index(space.index(), pred, opts)
+    }
+
+    /// [`for_predicate`](Bitset::for_predicate) from a bare [`SpaceIndex`]:
+    /// predicate caches need only the id↔state bijection, so out-of-core
+    /// passes build them without ever materializing a CSR.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::WorkerFailed`] if `pred` panics.
+    pub fn for_predicate_index(
+        index: &SpaceIndex,
+        pred: &Predicate,
+        opts: CheckOptions,
+    ) -> Result<Self, CheckError> {
+        let len = index.len();
         let word_count = len.div_ceil(64);
         let workers = opts.workers_for(len);
         let words: Vec<u64> = run_chunks(word_count, workers, |word_range| {
-            let mut scratch = space.scratch_state();
+            let mut scratch = index.scratch_state();
             word_range
                 .map(|wi| {
                     let mut word = 0u64;
                     let base = wi * 64;
                     for bit in 0..64usize.min(len - base.min(len)) {
-                        space.decode_state(StateId::from_index(base + bit), &mut scratch);
+                        index.decode_state(StateId::from_index(base + bit), &mut scratch);
                         if pred.holds(&scratch) {
                             word |= 1 << bit;
                         }
@@ -182,6 +197,20 @@ impl Bitset {
         };
         b.mask_tail();
         b
+    }
+
+    /// OR `delta` words into the set starting at word index `word_start`.
+    /// The frontier pass merges per-segment delta windows with this; OR is
+    /// commutative and associative, so overlapping boundary words from
+    /// adjacent segments merge to the same result in any order.
+    pub(crate) fn or_words(&mut self, word_start: usize, delta: &[u64]) {
+        for (w, &d) in self.words[word_start..word_start + delta.len()]
+            .iter_mut()
+            .zip(delta)
+        {
+            *w |= d;
+        }
+        self.mask_tail();
     }
 
     /// Zero the bits beyond `len` so `count_ones`/`not` stay exact.

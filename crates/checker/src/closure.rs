@@ -17,7 +17,8 @@ use nonmask_program::{ActionId, Predicate, Program, State};
 use crate::cache::Bitset;
 use crate::error::CheckError;
 use crate::options::{run_chunks, CheckOptions};
-use crate::space::{StateId, StateSpace};
+use crate::segment::SegmentedSpace;
+use crate::space::{SpaceError, StateId, StateSpace};
 
 /// A witnessed preservation failure: executing `action` at `before` (where
 /// the checked predicate held) produced `after` (where it does not).
@@ -154,6 +155,47 @@ pub fn is_closed_bits(
         }
     }
     Ok(None)
+}
+
+/// [`is_closed`] without a resident transition relation: a single
+/// work-stealing sweep over the [`SegmentedSpace`]'s plan, each segment
+/// built, checked against every action's rows, and dropped. Use this when
+/// the full CSR would exceed the memory budget.
+///
+/// The violation reported is the one at the **lowest state id** (then in
+/// action order within that state) — every thread count and segment size
+/// agrees on it. Note the monolithic [`is_closed`] orders by lowest
+/// *action* first instead (it sweeps the space once per action); both are
+/// deterministic, but the two entry points can surface different members
+/// of the same violation set.
+///
+/// # Errors
+///
+/// [`SpaceError`] for segment-build failures (budget, domain escapes) or
+/// worker panics.
+pub fn is_closed_segmented(
+    seg_space: &SegmentedSpace<'_>,
+    pred_bits: &Bitset,
+) -> Result<Option<Violation>, SpaceError> {
+    let index = seg_space.index();
+    let hit = seg_space.scan_find(|_, seg| {
+        for i in seg.range() {
+            if !pred_bits.get(i) {
+                continue;
+            }
+            for (a, succ) in seg.successors(StateId::from_index(i)) {
+                if !pred_bits.contains(succ) {
+                    return Some((i, a, succ));
+                }
+            }
+        }
+        None
+    })?;
+    Ok(hit.map(|(i, action, succ)| Violation {
+        action,
+        before: index.state(StateId::from_index(i)),
+        after: index.state(succ),
+    }))
 }
 
 #[cfg(test)]
@@ -312,6 +354,43 @@ mod tests {
             .unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn segmented_closure_matches_monolithic_verdict() {
+        let mut b = Program::builder("big");
+        let x = b.var("x", Domain::range(0, 9999));
+        b.closure_action(
+            "inc",
+            [x],
+            [x],
+            move |s| s.get(x) < 9999,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        let p = b.build();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let even = Predicate::new("even", [x], move |s| s.get(x) % 2 == 0);
+        let bits = Bitset::for_predicate(&space, &even, CheckOptions::default()).unwrap();
+        // Broken at every even x: the segmented sweep must report the
+        // lowest-id witness for every thread count and segment size.
+        for threads in [1, 2, 8] {
+            for seg in [512, 1000] {
+                let opts = CheckOptions::default().threads(threads).segment_states(seg);
+                let seg_space = SegmentedSpace::new(&p, opts).unwrap();
+                let v = is_closed_segmented(&seg_space, &bits)
+                    .unwrap()
+                    .expect("inc breaks evenness");
+                assert_eq!(v.before.slots()[0], 0, "threads={threads} seg={seg}");
+                assert_eq!(v.after.slots()[0], 1);
+            }
+        }
+        // A closed predicate passes.
+        let all = Bitset::ones(space.len());
+        let seg_space = SegmentedSpace::new(&p, CheckOptions::default()).unwrap();
+        assert!(is_closed_segmented(&seg_space, &all).unwrap().is_none());
     }
 
     #[test]

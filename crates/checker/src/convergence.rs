@@ -602,8 +602,9 @@ pub fn shortest_path_to(
 
 /// Iterative Tarjan SCC over a CSR graph, restricted to the `alive`
 /// sub-nodes (both roots and traversed edges). Returns each component as a
-/// sorted vector of node indices.
-fn tarjan_sccs_csr(offsets: &[u32], edges: &[u32], alive: &Bitset) -> Vec<Vec<u32>> {
+/// sorted vector of node indices. (Shared with the frontier convergence
+/// mode, which runs it over the residual subgraph only.)
+pub(crate) fn tarjan_sccs_csr(offsets: &[u32], edges: &[u32], alive: &Bitset) -> Vec<Vec<u32>> {
     let n = offsets.len() - 1;
     let row = |u: u32| -> &[u32] {
         let (lo, hi) = (

@@ -1,0 +1,804 @@
+//! Frontier convergence: the out-of-core convergence check.
+//!
+//! [`check_convergence`](crate::convergence::check_convergence) needs the
+//! whole CSR transition relation resident, which caps the checkable
+//! instance at the memory budget. This module answers the same question —
+//! does every computation from `T` reach `S`? — from a bare
+//! [`SpaceIndex`]: successors are re-derived on demand, segment by
+//! segment, and the only O(states) residency is a handful of bitsets
+//! (predicate caches and the `resolved` frontier), about half a byte per
+//! state instead of 8 bytes per *transition*.
+//!
+//! # Algorithm
+//!
+//! The monolithic checker peels the region `T ∧ ¬S` Kahn-style: a state is
+//! *resolved* (cannot stay in the region forever) exactly when **all** of
+//! its internal successors are resolved. The frontier mode computes the
+//! same fixpoint in rounds. Each round, work-stealing workers sweep the
+//! [segment plan](crate::CheckOptions::segment_plan): a worker buffers the
+//! internal-successor rows of its segment's still-unresolved region states
+//! (a throwaway mini-CSR, dropped at segment end), then runs an in-segment
+//! fixpoint against the shared immutable `resolved` set plus its own local
+//! delta bits — so resolution chains *within* a segment collapse in one
+//! round. Per-segment deltas are OR-merged after the round (OR is
+//! commutative and associative, so the overlapping boundary words of
+//! adjacent segments merge identically in any order). Rounds repeat until
+//! no state resolves; what remains unresolved is exactly the monolithic
+//! peel's residual.
+//!
+//! Round 1 doubles as the deadlock/escape sweep (every region state is
+//! unresolved then, so every row is examined): the lowest-id event wins,
+//! matching the monolithic witness. The residual — typically tiny, and
+//! empty whenever the program converges — is then analyzed exactly as in
+//! the monolithic pipeline: a residual-local CSR (rows in action order,
+//! filtered to residual targets), the shared Tarjan pass, and the same
+//! fair-admissibility test with enabledness re-derived from guards (an
+//! action is enabled at a state iff the CSR would have had a row pair for
+//! it). SCC emission order, witness content, and state ordering are
+//! identical to the monolithic checker's.
+//!
+//! # Determinism
+//!
+//! The resolved fixpoint is monotone, so its final value — and therefore
+//! the verdict and every witness — is independent of thread count, segment
+//! size, and claim order. With an explicit
+//! [`segment_states`](crate::CheckOptions::segment_states) the per-round
+//! journal events are invariant across thread counts too (the auto plan
+//! sizes segments by worker count, which may change round boundaries but
+//! never the verdict).
+
+use nonmask_obs::{Event, Journal};
+use nonmask_program::{Predicate, Program, VarId};
+
+use crate::cache::Bitset;
+use crate::convergence::{tarjan_sccs_csr, ConvergenceResult, ConvergenceStats, Fairness};
+use crate::options::{steal_tasks, CheckOptions};
+use crate::space::{offsets_from_counts, scratch_bytes, SpaceError, SpaceIndex, StateId};
+
+/// Work and progress counters for one frontier convergence pass, wrapping
+/// the monolithic [`ConvergenceStats`] so results stay comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// The monolithic-compatible sizes: region, peeled (= resolved at the
+    /// fixpoint), residual SCCs.
+    pub convergence: ConvergenceStats,
+    /// Fixpoint rounds executed (0 when the region is empty).
+    pub rounds: u64,
+    /// Successor evaluations across all rounds — the frontier's unit of
+    /// work, typically a small multiple of the region size.
+    pub evals: u64,
+    /// Segment row-buffers built across all rounds.
+    pub segments_built: u64,
+}
+
+/// [`check_convergence`](crate::convergence::check_convergence) without a
+/// resident transition relation, with the
+/// [default options](CheckOptions::default).
+///
+/// # Errors
+///
+/// [`SpaceError`] for unbounded/too-large programs, budget violations,
+/// domain escapes at region states, or worker panics.
+pub fn check_convergence_frontier(
+    program: &Program,
+    from: &Predicate,
+    to: &Predicate,
+    fairness: Fairness,
+) -> Result<ConvergenceResult, SpaceError> {
+    check_convergence_frontier_opts(program, from, to, fairness, CheckOptions::default())
+}
+
+/// [`check_convergence_frontier`] with explicit [`CheckOptions`].
+///
+/// # Errors
+///
+/// Same as [`check_convergence_frontier`].
+pub fn check_convergence_frontier_opts(
+    program: &Program,
+    from: &Predicate,
+    to: &Predicate,
+    fairness: Fairness,
+    options: CheckOptions,
+) -> Result<ConvergenceResult, SpaceError> {
+    Ok(check_convergence_frontier_stats(
+        program,
+        from,
+        to,
+        fairness,
+        options,
+        &Journal::disabled(),
+    )?
+    .0)
+}
+
+/// [`check_convergence_frontier_opts`] that additionally reports
+/// [`FrontierStats`] and journals the pass: one [`Event::Segment`] (phase
+/// `"frontier-round"`) per round with the states resolved and successor
+/// evaluations, plus the same final [`Event::Wave`] the monolithic checker
+/// emits.
+///
+/// # Errors
+///
+/// Same as [`check_convergence_frontier`].
+pub fn check_convergence_frontier_stats(
+    program: &Program,
+    from: &Predicate,
+    to: &Predicate,
+    fairness: Fairness,
+    options: CheckOptions,
+    journal: &Journal,
+) -> Result<(ConvergenceResult, FrontierStats), SpaceError> {
+    let index = SpaceIndex::of_program(program, options)?;
+    let from_bits = Bitset::for_predicate_index(&index, from, options)?;
+    let to_bits = Bitset::for_predicate_index(&index, to, options)?;
+    check_convergence_frontier_bits_stats(
+        program, &index, &from_bits, &to_bits, fairness, options, journal,
+    )
+}
+
+/// [`check_convergence_frontier_stats`] over precomputed predicate caches
+/// (evaluations of `from` and `to` over exactly `index`'s space), for
+/// callers sharing the caches across passes.
+///
+/// # Errors
+///
+/// Same as [`check_convergence_frontier`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_convergence_frontier_bits_stats(
+    program: &Program,
+    index: &SpaceIndex,
+    from_bits: &Bitset,
+    to_bits: &Bitset,
+    fairness: Fairness,
+    options: CheckOptions,
+    journal: &Journal,
+) -> Result<(ConvergenceResult, FrontierStats), SpaceError> {
+    let mut stats = FrontierStats::default();
+    let n = index.len();
+    let region = from_bits.and(&to_bits.not());
+    stats.convergence.region_states = region.count_ones() as u64;
+    let emit_wave = |stats: &FrontierStats| {
+        journal.emit_with(|| Event::Wave {
+            fairness: fairness.to_string(),
+            region: stats.convergence.region_states,
+            peeled: stats.convergence.peeled_states,
+            sccs: stats.convergence.sccs_found,
+        });
+    };
+    if stats.convergence.region_states == 0 {
+        emit_wave(&stats);
+        return Ok((ConvergenceResult::Converges, stats));
+    }
+
+    let plan = options.segment_plan(n);
+    let workers = options.workers_for(n);
+    let nv = index.var_count();
+    // Frontier residency floor: the four bitsets (from, to, region,
+    // resolved) plus per-worker decode scratch. Checked before the rounds
+    // allocate anything; per-round row buffers are accounted after each
+    // round, when their actual size is known.
+    let bitset_bytes = 4 * (n.div_ceil(64) as u64 * 8);
+    let floor = bitset_bytes + scratch_bytes(2 * workers as u64, nv);
+    if floor > options.memory_budget {
+        return Err(SpaceError::BudgetExceeded {
+            required: floor,
+            budget: options.memory_budget,
+            phase: "frontier bitsets",
+        });
+    }
+
+    let mut resolved = Bitset::zeros(n);
+
+    /// The lowest-id offending observation of the round-1 sweep, in the
+    /// same precedence a sequential row scan has: the first offending
+    /// successor (in action order) of the lowest offending state.
+    enum RegionEvent {
+        Deadlock,
+        FaultEscape { after: StateId },
+        DomainEscape { action: String, var: String },
+    }
+    struct SegDelta {
+        word_start: usize,
+        delta: Vec<u64>,
+        newly: u64,
+        evals: u64,
+        row_bytes: u64,
+        event: Option<(usize, RegionEvent)>,
+    }
+
+    let mut round: u64 = 0;
+    loop {
+        round += 1;
+        let resolved_ref = &resolved;
+        let region_ref = &region;
+        let results: Vec<SegDelta> = steal_tasks(plan.count(), workers, |ti| {
+            let range = plan.range(ti);
+            let word_start = range.start / 64;
+            let word_end = range.end.div_ceil(64);
+            let mut delta = vec![0u64; word_end - word_start];
+            let mut scratch = index.scratch_state();
+            let mut succ = index.scratch_state();
+            // Buffered rows of this segment's unresolved region states:
+            // global state id + the internal successors, in action order.
+            let mut row_states: Vec<u32> = Vec::new();
+            let mut row_offsets: Vec<u32> = vec![0];
+            let mut row_succs: Vec<u32> = Vec::new();
+            let mut evals = 0u64;
+            let mut event: Option<(usize, RegionEvent)> = None;
+            'states: for i in range.clone() {
+                if !region_ref.get(i) || resolved_ref.get(i) {
+                    continue;
+                }
+                index.decode_state(StateId::from_index(i), &mut scratch);
+                let mut any_succ = false;
+                for a in program.action_ids() {
+                    let act = program.action(a);
+                    if !act.enabled(&scratch) {
+                        continue;
+                    }
+                    any_succ = true;
+                    act.successor_into(&scratch, &mut succ);
+                    evals += 1;
+                    let Some(t) = index.id_of(&succ) else {
+                        event = Some((
+                            i,
+                            RegionEvent::DomainEscape {
+                                action: act.name().to_string(),
+                                var: program
+                                    .var(VarId::from_index(index.escaping_var(&succ)))
+                                    .name()
+                                    .to_string(),
+                            },
+                        ));
+                        break 'states;
+                    };
+                    if to_bits.contains(t) {
+                        continue; // exits into S: not an internal edge
+                    }
+                    if !from_bits.contains(t) {
+                        event = Some((i, RegionEvent::FaultEscape { after: t }));
+                        break 'states;
+                    }
+                    row_succs.push(t.index() as u32);
+                }
+                if !any_succ {
+                    event = Some((i, RegionEvent::Deadlock));
+                    break 'states;
+                }
+                row_states.push(i as u32);
+                row_offsets.push(row_succs.len() as u32);
+            }
+            let row_bytes = 4 * (row_states.len() + row_offsets.len() + row_succs.len()) as u64;
+            let mut newly = 0u64;
+            if event.is_none() {
+                // In-segment fixpoint: a buffered state resolves when all
+                // its internal successors are resolved — in the shared set
+                // (previous rounds) or in this segment's own delta.
+                let is_resolved = |t: usize, delta: &[u64]| -> bool {
+                    let w = t / 64;
+                    if w >= word_start
+                        && w < word_end
+                        && delta[w - word_start] & (1 << (t % 64)) != 0
+                    {
+                        return true;
+                    }
+                    resolved_ref.get(t)
+                };
+                loop {
+                    let mut changed = false;
+                    for (k, &s) in row_states.iter().enumerate() {
+                        let s = s as usize;
+                        if delta[s / 64 - word_start] & (1 << (s % 64)) != 0 {
+                            continue;
+                        }
+                        let (lo, hi) = (row_offsets[k] as usize, row_offsets[k + 1] as usize);
+                        if row_succs[lo..hi]
+                            .iter()
+                            .all(|&t| is_resolved(t as usize, &delta))
+                        {
+                            delta[s / 64 - word_start] |= 1 << (s % 64);
+                            newly += 1;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+            SegDelta {
+                word_start,
+                delta,
+                newly,
+                evals,
+                row_bytes,
+                event,
+            }
+        })
+        .map_err(SpaceError::from)?;
+
+        stats.segments_built += plan.count() as u64;
+        let round_evals: u64 = results.iter().map(|r| r.evals).sum();
+        stats.evals += round_evals;
+        stats.rounds = round;
+
+        // Round-1 events: the results are in segment order and each
+        // segment reports its first event, so the first Some is the
+        // lowest-id witness — exactly the sequential one.
+        if let Some((i, ev)) = results.iter().find_map(|r| r.event.as_ref()) {
+            let before = index.state(StateId::from_index(*i));
+            let result = match ev {
+                RegionEvent::Deadlock => ConvergenceResult::DeadlockOutsideTarget { state: before },
+                RegionEvent::FaultEscape { after } => ConvergenceResult::EscapesFaultSpan {
+                    before,
+                    after: index.state(*after),
+                },
+                RegionEvent::DomainEscape { action, var } => {
+                    return Err(SpaceError::EscapedDomain {
+                        action: action.clone(),
+                        var: var.clone(),
+                    })
+                }
+            };
+            emit_wave(&stats);
+            return Ok((result, stats));
+        }
+
+        // Budget: the concurrent residency this round actually was —
+        // bitsets plus one row buffer per worker (post-hoc, like the
+        // segment builds).
+        let peak_rows = results.iter().map(|r| r.row_bytes).max().unwrap_or(0);
+        let required =
+            bitset_bytes + workers as u64 * peak_rows + scratch_bytes(2 * workers as u64, nv);
+        if required > options.memory_budget {
+            return Err(SpaceError::BudgetExceeded {
+                required,
+                budget: options.memory_budget,
+                phase: "segment build",
+            });
+        }
+
+        let round_newly: u64 = results.iter().map(|r| r.newly).sum();
+        journal.emit_with(|| Event::Segment {
+            phase: "frontier-round".to_string(),
+            index: round,
+            states: round_newly,
+            transitions: round_evals,
+        });
+        if round_newly == 0 {
+            break; // fixpoint: the unresolved remainder is the residual
+        }
+        for r in &results {
+            resolved.or_words(r.word_start, &r.delta);
+        }
+    }
+
+    let residual_bits = region.and(&resolved.not());
+    let residual_ids: Vec<StateId> = residual_bits.iter_ones().map(StateId::from_index).collect();
+    stats.convergence.peeled_states = stats.convergence.region_states - residual_ids.len() as u64;
+    if residual_ids.is_empty() {
+        emit_wave(&stats);
+        return Ok((ConvergenceResult::Converges, stats));
+    }
+
+    // Residual-local CSR, rows in action order filtered to residual
+    // targets: the monolithic Tarjan skips peeled targets through its
+    // `alive` mask, so the DFS — and hence the SCC emission order — is
+    // identical. The residual is the small hard core (empty in the common
+    // converging case), so this build is serial and resident.
+    let rn = residual_ids.len();
+    let local = |t: StateId| -> Option<usize> { residual_ids.binary_search(&t).ok() };
+    let mut offsets: Vec<u32> = Vec::with_capacity(rn + 1);
+    offsets.push(0);
+    let mut edges: Vec<u32> = Vec::new();
+    {
+        let mut scratch = index.scratch_state();
+        let mut succ = index.scratch_state();
+        for &id in &residual_ids {
+            index.decode_state(id, &mut scratch);
+            for a in program.action_ids() {
+                let act = program.action(a);
+                if !act.enabled(&scratch) {
+                    continue;
+                }
+                act.successor_into(&scratch, &mut succ);
+                stats.evals += 1;
+                let t = index
+                    .id_of(&succ)
+                    .expect("round 1 already vetted every residual state's successors");
+                if let Some(lt) = local(t) {
+                    edges.push(lt as u32);
+                }
+            }
+            offsets.push(edges.len() as u32);
+        }
+    }
+    debug_assert_eq!(
+        offsets_from_counts(
+            &offsets
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .collect::<Vec<u32>>()
+        )
+        .expect("residual edges fit u32"),
+        offsets
+    );
+    let row = |u: u32| -> &[u32] {
+        &edges[offsets[u as usize] as usize..offsets[u as usize + 1] as usize]
+    };
+
+    let sccs = tarjan_sccs_csr(&offsets, &edges, &Bitset::ones(rn));
+    stats.convergence.sccs_found = sccs.len() as u64;
+    for scc in &sccs {
+        let mut scc_bits = Bitset::zeros(rn);
+        for &u in scc {
+            scc_bits.set(u as usize);
+        }
+        let has_internal_edge = scc
+            .iter()
+            .any(|&u| row(u).iter().any(|&v| scc_bits.get(v as usize)));
+        if !has_internal_edge {
+            continue;
+        }
+        let divergent = match fairness {
+            Fairness::Unfair => true,
+            Fairness::WeaklyFair => {
+                fair_admissible_frontier(program, index, &residual_ids, scc, &scc_bits)
+            }
+        };
+        if divergent {
+            let result = ConvergenceResult::Divergence {
+                states: scc
+                    .iter()
+                    .map(|&u| index.state(residual_ids[u as usize]))
+                    .collect(),
+                fairness,
+            };
+            emit_wave(&stats);
+            return Ok((result, stats));
+        }
+    }
+
+    emit_wave(&stats);
+    Ok((ConvergenceResult::Converges, stats))
+}
+
+/// The monolithic fair-admissibility test with enabledness re-derived from
+/// guards: an action has a CSR row pair at a state exactly when its guard
+/// holds there, so evaluating the guard (and, when enabled, the successor)
+/// reproduces the CSR-based test bit for bit.
+fn fair_admissible_frontier(
+    program: &Program,
+    index: &SpaceIndex,
+    residual_ids: &[StateId],
+    scc: &[u32],
+    scc_bits: &Bitset,
+) -> bool {
+    let mut scratch = index.scratch_state();
+    let mut succ = index.scratch_state();
+    let in_scc = |t: StateId| -> bool {
+        residual_ids
+            .binary_search(&t)
+            .is_ok_and(|lt| scc_bits.get(lt))
+    };
+    'actions: for aid in program.action_ids() {
+        let act = program.action(aid);
+        let mut has_internal = false;
+        for &u in scc {
+            let id = residual_ids[u as usize];
+            index.decode_state(id, &mut scratch);
+            if !act.enabled(&scratch) {
+                // Not continuously enabled on a tour of the SCC: imposes no
+                // fairness obligation here.
+                continue 'actions;
+            }
+            if !has_internal {
+                act.successor_into(&scratch, &mut succ);
+                let t = index
+                    .id_of(&succ)
+                    .expect("round 1 already vetted every residual state's successors");
+                if in_scc(t) {
+                    has_internal = true;
+                }
+            }
+        }
+        if !has_internal {
+            // Enabled everywhere in the SCC but every execution leaves it:
+            // a fair computation cannot stay forever.
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::{check_convergence_opts, check_convergence_stats};
+    use crate::space::StateSpace;
+    use nonmask_program::Domain;
+
+    fn pred_eq(p: &Program, name: &str, var: &str, value: i64) -> Predicate {
+        let v = p.var_by_name(var).unwrap();
+        Predicate::new(name, [v], move |s| s.get(v) == value)
+    }
+
+    /// A program whose region mixes chains, deadlocks, or cycles depending
+    /// on the knobs, used to diff frontier against monolithic.
+    fn countdown(max: i64, floor: i64) -> Program {
+        let mut b = Program::builder("down");
+        let x = b.var("x", Domain::range(0, max));
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > floor,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
+        b.build()
+    }
+
+    fn check_both(
+        p: &Program,
+        from: &Predicate,
+        to: &Predicate,
+        fairness: Fairness,
+        opts: CheckOptions,
+    ) -> (ConvergenceResult, ConvergenceResult) {
+        let space = StateSpace::enumerate_with_options(p, opts).unwrap();
+        let mono = check_convergence_opts(&space, p, from, to, fairness, opts).unwrap();
+        let front = check_convergence_frontier_opts(p, from, to, fairness, opts).unwrap();
+        (mono, front)
+    }
+
+    #[test]
+    fn converging_chain_matches_monolithic() {
+        let p = countdown(4999, 0);
+        let s = pred_eq(&p, "x=0", "x", 0);
+        for threads in [1, 2, 8] {
+            for seg in [512, 1000, 4096] {
+                let opts = CheckOptions::default().threads(threads).segment_states(seg);
+                let (mono, front) = check_both(
+                    &p,
+                    &Predicate::always_true(),
+                    &s,
+                    Fairness::WeaklyFair,
+                    opts,
+                );
+                assert_eq!(mono, front, "threads={threads} seg={seg}");
+                assert!(front.converges());
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_witness_matches_monolithic() {
+        // floor=1: x=1 deadlocks outside the target x=0.
+        let p = countdown(4999, 1);
+        let s = pred_eq(&p, "x=0", "x", 0);
+        for threads in [1, 2, 8] {
+            let opts = CheckOptions::default().threads(threads).segment_states(777);
+            let (mono, front) = check_both(
+                &p,
+                &Predicate::always_true(),
+                &s,
+                Fairness::WeaklyFair,
+                opts,
+            );
+            assert_eq!(mono, front, "threads={threads}");
+            assert!(
+                matches!(front, ConvergenceResult::DeadlockOutsideTarget { ref state } if state.slots() == [1])
+            );
+        }
+    }
+
+    #[test]
+    fn escape_witness_matches_monolithic() {
+        // T = x<=1, but `jump` at x=1 lands at x=2 outside S ∪ T.
+        let mut b = Program::builder("escape");
+        let x = b.var("x", Domain::range(0, 2));
+        b.closure_action(
+            "jump",
+            [x],
+            [x],
+            move |s| s.get(x) == 1,
+            move |s| s.set(x, 2),
+        );
+        let p = b.build();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let x_id = p.var_by_name("x").unwrap();
+        let t = Predicate::new("x<=1", [x_id], move |st| st.get(x_id) <= 1);
+        let (mono, front) = check_both(&p, &t, &s, Fairness::WeaklyFair, CheckOptions::default());
+        assert_eq!(mono, front);
+        assert!(matches!(front, ConvergenceResult::EscapesFaultSpan { .. }));
+    }
+
+    #[test]
+    fn divergence_witness_matches_monolithic() {
+        // Spin cycles everywhere in the region plus exits: unfair diverges
+        // with a 2-state SCC, weak fairness rescues. Witness content must
+        // match the monolithic checker's exactly.
+        let mut b = Program::builder("mt-div");
+        let x = b.var("x", Domain::range(0, 4095));
+        let y = b.var("y", Domain::Bool);
+        b.closure_action(
+            "spin",
+            [x, y],
+            [y],
+            move |s| s.get(x) > 0,
+            move |s| s.toggle(y),
+        );
+        b.convergence_action(
+            "dec",
+            [x],
+            [x],
+            move |s| s.get(x) > 0,
+            move |s| {
+                let v = s.get(x);
+                s.set(x, v - 1);
+            },
+        );
+        let p = b.build();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        for fairness in [Fairness::Unfair, Fairness::WeaklyFair] {
+            for threads in [1, 8] {
+                let opts = CheckOptions::default().threads(threads).segment_states(900);
+                let (mono, front) = check_both(&p, &Predicate::always_true(), &s, fairness, opts);
+                assert_eq!(mono, front, "fairness={fairness} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fair_divergence_detected() {
+        // The only region action cycles within it: even fair computations
+        // diverge, and the frontier's on-demand admissibility test must say
+        // so.
+        let mut b = Program::builder("livelock");
+        let y = b.var("y", Domain::Bool);
+        let x = b.var("x", Domain::Bool);
+        b.closure_action(
+            "toggle",
+            [x, y],
+            [y],
+            move |s| !s.get_bool(x),
+            move |s| s.toggle(y),
+        );
+        let p = b.build();
+        let s = Predicate::new("x", [x], move |st| st.get_bool(x));
+        let (mono, front) = check_both(
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            CheckOptions::default(),
+        );
+        assert_eq!(mono, front);
+        assert!(matches!(
+            front,
+            ConvergenceResult::Divergence {
+                fairness: Fairness::WeaklyFair,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stats_match_monolithic_and_rounds_are_journaled() {
+        let p = countdown(4999, 0);
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let opts = CheckOptions::default().segment_states(1000);
+        let space = StateSpace::enumerate_with_options(&p, opts).unwrap();
+        let (_, mono_stats) = check_convergence_stats(
+            &space,
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            opts,
+            &Journal::disabled(),
+        )
+        .unwrap();
+        let (journal, buffer) = Journal::memory();
+        let (result, stats) = check_convergence_frontier_stats(
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            opts,
+            &journal,
+        )
+        .unwrap();
+        assert!(result.converges());
+        assert_eq!(stats.convergence, mono_stats);
+        assert!(stats.rounds >= 1);
+        assert!(stats.evals >= stats.convergence.region_states);
+        journal.flush();
+        let events: Vec<Event> = buffer
+            .contents()
+            .lines()
+            .map(|l| Event::parse_line(l).unwrap().event)
+            .collect();
+        let rounds = events
+            .iter()
+            .filter(|e| matches!(e, Event::Segment { phase, .. } if phase == "frontier-round"))
+            .count() as u64;
+        assert_eq!(rounds, stats.rounds);
+        assert!(
+            matches!(events.last(), Some(Event::Wave { region, peeled, .. })
+                if *region == stats.convergence.region_states
+                    && *peeled == stats.convergence.peeled_states),
+            "the final Wave mirrors the stats"
+        );
+    }
+
+    #[test]
+    fn frontier_budget_floor_is_enforced() {
+        let p = countdown(99_999, 0);
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let err = check_convergence_frontier_opts(
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            CheckOptions::default().memory_budget(1024),
+        )
+        .unwrap_err();
+        let SpaceError::BudgetExceeded { phase, .. } = err else {
+            panic!("expected BudgetExceeded, got {err:?}");
+        };
+        assert_eq!(phase, "frontier bitsets");
+    }
+
+    #[test]
+    fn domain_escape_is_an_error() {
+        let mut b = Program::builder("bad");
+        let x = b.var("x", Domain::range(0, 2));
+        b.closure_action("overflow", [x], [x], |_| true, move |s| s.set(x, 7));
+        let p = b.build();
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let err =
+            check_convergence_frontier(&p, &Predicate::always_true(), &s, Fairness::WeaklyFair)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::EscapedDomain {
+                action: "overflow".into(),
+                var: "x".into()
+            }
+        );
+    }
+
+    #[test]
+    fn segment_boundary_states_round_trip() {
+        // Every state on a segment boundary must decode and step
+        // identically whether reached from the segment before or after the
+        // boundary — i.e. verdicts cannot depend on where the plan cuts.
+        let p = countdown(4999, 0);
+        let s = pred_eq(&p, "x=0", "x", 0);
+        let base = check_convergence_frontier_opts(
+            &p,
+            &Predicate::always_true(),
+            &s,
+            Fairness::WeaklyFair,
+            CheckOptions::default().segment_states(5000),
+        )
+        .unwrap();
+        // Boundaries at powers of two, at odd primes, and off-by-one from
+        // the state count.
+        for seg in [64, 127, 4999, 4998, 2500] {
+            let r = check_convergence_frontier_opts(
+                &p,
+                &Predicate::always_true(),
+                &s,
+                Fairness::WeaklyFair,
+                CheckOptions::default().segment_states(seg),
+            )
+            .unwrap();
+            assert_eq!(base, r, "seg={seg}");
+        }
+    }
+}

@@ -39,15 +39,37 @@
 //!
 //! Every state-space sweep — enumeration, transition construction,
 //! predicate evaluation, closure, the convergence region analysis, and the
-//! bounds region build — runs in parallel over contiguous id chunks,
-//! controlled by [`CheckOptions::threads`]; results are **bit-identical for
-//! every thread count** because per-chunk results are reduced in chunk
-//! order (the lowest-id witness always wins). Predicates are evaluated once
-//! per state into [`Bitset`] caches (`*_bits` function variants) that
-//! callers can share across passes and compose with bitwise `and`/`not`.
-//! Convergence peels the region down to the states that can stay in it
-//! forever before running any SCC analysis, so the Tarjan pass vanishes in
-//! the common converging case (see the [`convergence`] module docs).
+//! bounds region build — runs in parallel, controlled by
+//! [`CheckOptions::threads`]; results are **bit-identical for every thread
+//! count** because per-task results are reduced in task order (the
+//! lowest-id witness always wins). Predicates are evaluated once per state
+//! into [`Bitset`] caches (`*_bits` function variants) that callers can
+//! share across passes and compose with bitwise `and`/`not`. Convergence
+//! peels the region down to the states that can stay in it forever before
+//! running any SCC analysis, so the Tarjan pass vanishes in the common
+//! converging case (see the [`convergence`] module docs).
+//!
+//! ## Out-of-core: segments, work-stealing, and the frontier
+//!
+//! When the whole CSR table does not fit the memory budget, the id range
+//! splits into contiguous **segments** ([`SegmentPlan`], [`segment`]):
+//! each segment's offsets/actions/succs columns are built independently
+//! from the arithmetic index, scanned, and dropped, so resident memory is
+//! one segment per worker instead of the whole table. Workers claim
+//! segments through a **work-stealing** scheduler (an atomic claim
+//! counter; no fixed chunk assignment), which keeps the cores busy even
+//! when transition density is skewed across the id range — and because
+//! per-segment results are still merged in segment order, verdicts and
+//! witnesses remain bit-identical for every thread count and claim order.
+//! [`SegmentedSpace`] exposes the scan/find primitives;
+//! [`closure::is_closed_segmented`] is closure checking on top of them.
+//!
+//! For convergence-only queries on such instances, the **frontier** mode
+//! ([`frontier`], [`check_convergence_frontier`]) goes further and never
+//! materializes transitions at all: it runs the Kahn-style peel as a
+//! round-based fixpoint over per-segment row buffers, decoding successors
+//! on demand, with four bitsets of live memory. Its verdicts, witnesses,
+//! and statistics are bit-identical to the resident checker's.
 //!
 //! # Example: verifying a tiny stabilizing program
 //!
@@ -94,16 +116,19 @@ pub mod convergence;
 pub mod counters;
 pub mod error;
 pub mod expected;
+pub mod frontier;
 pub mod options;
 pub mod oracle;
 pub mod replay;
+pub mod segment;
 pub mod space;
 pub mod span;
 
 pub use bounds::{check_variant, worst_case_moves, worst_case_moves_bits, VariantReport};
 pub use cache::{Bitset, OnesIter};
 pub use closure::{
-    is_closed, is_closed_bits, preserves, preserves_given, preserves_given_bits, Violation,
+    is_closed, is_closed_bits, is_closed_segmented, preserves, preserves_given,
+    preserves_given_bits, Violation,
 };
 pub use convergence::{
     check_convergence, check_convergence_bits, check_convergence_opts, check_convergence_stats,
@@ -112,10 +137,15 @@ pub use convergence::{
 pub use counters::CheckCounters;
 pub use error::CheckError;
 pub use expected::{expected_moves, ExpectedMoves};
-pub use options::{CheckOptions, DEFAULT_MEMORY_BUDGET};
+pub use frontier::{
+    check_convergence_frontier, check_convergence_frontier_bits_stats,
+    check_convergence_frontier_opts, check_convergence_frontier_stats, FrontierStats,
+};
+pub use options::{CheckOptions, SegmentPlan, DEFAULT_MEMORY_BUDGET, DEFAULT_SEGMENT_STATES};
 pub use oracle::{attribute_constraints, ConstraintAttribution, StepFault, StepOracle};
 pub use replay::{replay_constraints, ConstraintTransition};
+pub use segment::{Segment, SegmentedSpace};
 pub use space::{
-    SpaceError, StateId, StateSpace, Transitions, TransitionsIter, DEFAULT_STATE_LIMIT,
+    SpaceError, SpaceIndex, StateId, StateSpace, Transitions, TransitionsIter, DEFAULT_STATE_LIMIT,
 };
 pub use span::{compute_fault_span, compute_fault_span_opts, StateSet};

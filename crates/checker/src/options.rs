@@ -1,13 +1,27 @@
-//! Tuning knobs for the exhaustive checker.
+//! Tuning knobs for the exhaustive checker, plus the two scheduling
+//! primitives every pass is built on.
 //!
 //! All state-space passes (enumeration, closure, convergence, bounds,
 //! fault-span) are *embarrassingly parallel over contiguous [`StateId`]
-//! ranges*: each worker owns a chunk of ids and the per-chunk results are
-//! concatenated in chunk order, so multi-threaded runs return **bit-identical
-//! results** to single-threaded runs — including which violation or
-//! divergence witness is reported first.
+//! ranges*. Two schedulers exist:
+//!
+//! * `run_chunks` — the original static scheduler: split `0..len` into
+//!   one balanced chunk per worker and concatenate per-chunk results in
+//!   chunk order.
+//! * `steal_tasks` / `steal_find` — the work-stealing scheduler: a
+//!   shared atomic claim counter hands out *task indices* (typically one
+//!   per [segment](crate::segment)) to whichever worker is free, so a
+//!   skewed task no longer idles the rest of the pool. Results are still
+//!   merged **in task order** (`steal_tasks`) or reduced to the
+//!   lowest-index hit (`steal_find`), so multi-threaded runs return
+//!   **bit-identical results** to single-threaded runs — including which
+//!   violation or divergence witness is reported first.
 //!
 //! [`StateId`]: crate::StateId
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::error::{payload_string, CheckError};
 use crate::space::DEFAULT_STATE_LIMIT;
@@ -20,16 +34,27 @@ const PARALLEL_THRESHOLD: usize = 2048;
 ///
 /// At the CSR cost of `4·(states+1) + 8·transitions` bytes this admits
 /// spaces of hundreds of millions of states (the seed representation's
-/// ~100+ bytes/state capped out around 2 million).
-pub const DEFAULT_MEMORY_BUDGET: usize = 8 << 30;
+/// ~100+ bytes/state capped out around 2 million). Segmented passes
+/// ([`SegmentedSpace`](crate::SegmentedSpace)) and the frontier
+/// convergence mode stay under the same budget with only a bounded window
+/// of the transition relation resident.
+pub const DEFAULT_MEMORY_BUDGET: u64 = 8 << 30;
+
+/// Default [`CheckOptions::segment_states`]: 2^22 states per segment.
+///
+/// A built segment costs roughly `4·(seg+1) + 8·seg·actions` bytes, so at
+/// the default size even transition-dense protocols keep each resident
+/// segment in the low hundreds of MiB.
+pub const DEFAULT_SEGMENT_STATES: usize = 1 << 22;
 
 /// Options shared by all checker passes.
 ///
 /// The default is `threads: 0` (auto-detect the available parallelism), the
-/// [default state limit](DEFAULT_STATE_LIMIT) (the full `u32` id range), and
-/// the [default memory budget](DEFAULT_MEMORY_BUDGET). Spaces smaller than a
-/// few thousand states always run single-threaded regardless of `threads`,
-/// so the knob is free for small programs.
+/// [default state limit](DEFAULT_STATE_LIMIT) (the full `u32` id range), the
+/// [default memory budget](DEFAULT_MEMORY_BUDGET), and automatic
+/// [segment sizing](DEFAULT_SEGMENT_STATES). Spaces smaller than a few
+/// thousand states always run single-threaded regardless of `threads`, so
+/// the knob is free for small programs.
 ///
 /// ```
 /// use nonmask_checker::{CheckOptions, StateSpace};
@@ -53,12 +78,20 @@ pub struct CheckOptions {
     /// with these options may contain. Defaults to the full `u32` id range;
     /// in practice `memory_budget` binds first.
     pub state_limit: usize,
-    /// Maximum resident bytes the CSR arrays of a
-    /// [`StateSpace`](crate::StateSpace) may occupy
-    /// (`4·(states+1) + 8·transitions`). Enumeration fails with
+    /// Maximum resident bytes a pass may allocate: for monolithic
+    /// enumeration the CSR arrays (`4·(states+1) + 8·transitions`) plus
+    /// per-worker scratch; for segmented passes the concurrently resident
+    /// segment windows. Enumeration fails with
     /// [`SpaceError::BudgetExceeded`](crate::SpaceError::BudgetExceeded)
-    /// before the big allocations happen.
-    pub memory_budget: usize,
+    /// — naming the phase that tripped — before the big allocations
+    /// happen.
+    pub memory_budget: u64,
+    /// States per segment for segmented/out-of-core passes; `0` means
+    /// auto ([`DEFAULT_SEGMENT_STATES`], shrunk so small spaces still
+    /// split into one task per worker). Any positive value is honored
+    /// exactly, whether or not it divides the state count; results are
+    /// identical for every value.
+    pub segment_states: usize,
 }
 
 impl Default for CheckOptions {
@@ -67,6 +100,7 @@ impl Default for CheckOptions {
             threads: 0,
             state_limit: DEFAULT_STATE_LIMIT,
             memory_budget: DEFAULT_MEMORY_BUDGET,
+            segment_states: 0,
         }
     }
 }
@@ -90,8 +124,15 @@ impl CheckOptions {
     }
 
     /// Set the resident-memory budget (bytes) for enumeration.
-    pub fn memory_budget(mut self, bytes: usize) -> Self {
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
         self.memory_budget = bytes;
+        self
+    }
+
+    /// Set the segment size (states per segment) for segmented passes
+    /// (`0` = auto).
+    pub fn segment_states(mut self, states: usize) -> Self {
+        self.segment_states = states;
         self
     }
 
@@ -109,20 +150,90 @@ impl CheckOptions {
         };
         requested.clamp(1, work_items)
     }
+
+    /// The segment plan for a space of `len` states under these options.
+    ///
+    /// With `segment_states == 0` the size is [`DEFAULT_SEGMENT_STATES`],
+    /// shrunk (never below the serial-pass threshold) so that `len` splits
+    /// into at least `4 × workers` tasks and the work-stealing pool has
+    /// slack to balance. An explicit `segment_states` is honored exactly —
+    /// the plan never depends on the thread count in that case, which is
+    /// what the bit-identity proptests pin down.
+    pub fn segment_plan(&self, len: usize) -> SegmentPlan {
+        let segment = if self.segment_states == 0 {
+            let workers = self.workers_for(len).max(1);
+            DEFAULT_SEGMENT_STATES
+                .min(len.div_ceil(4 * workers).max(PARALLEL_THRESHOLD))
+                .max(1)
+        } else {
+            self.segment_states
+        };
+        SegmentPlan { len, segment }
+    }
+}
+
+/// A partition of `0..len` state ids into contiguous same-size segments
+/// (the last may be shorter). Segments are the unit of work for the
+/// work-stealing scheduler and the unit of residency for out-of-core
+/// passes: task `i` covers [`range(i)`](SegmentPlan::range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPlan {
+    len: usize,
+    segment: usize,
+}
+
+impl SegmentPlan {
+    /// Total states covered by the plan.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the plan covers no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// States per segment (the last segment may hold fewer).
+    pub fn segment_states(&self) -> usize {
+        self.segment
+    }
+
+    /// Number of segments (0 when the plan is empty).
+    pub fn count(&self) -> usize {
+        self.len.div_ceil(self.segment)
+    }
+
+    /// The id range of segment `i` (`i < count()`).
+    pub fn range(&self, i: usize) -> Range<usize> {
+        let start = i * self.segment;
+        start..(start + self.segment).min(self.len)
+    }
 }
 
 /// The contiguous chunk ranges `run_chunks` hands to `workers` workers over
 /// `0..len`, exposed so two-phase passes (count, then fill disjoint
 /// sub-slices) can split their output arrays along the same boundaries.
-pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
-    if workers <= 1 || len <= 1 {
-        return std::iter::once(0..len).collect();
+///
+/// The split is *balanced*: no empty ranges are ever produced (`len == 0`
+/// yields no chunks at all), `workers` is clamped to `len`, and chunk sizes
+/// differ by at most one — `len % workers` leftover items are spread one
+/// each over the leading chunks instead of piling into a degenerate tail.
+pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
     }
-    let chunk = len.div_ceil(workers);
-    (0..len)
-        .step_by(chunk)
-        .map(|start| start..(start + chunk).min(len))
-        .collect()
+    let workers = workers.clamp(1, len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
 }
 
 /// Split `0..len` into at most `workers` contiguous chunks, run `f` on each
@@ -138,7 +249,7 @@ pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<us
 pub(crate) fn run_chunks<T, F>(len: usize, workers: usize, f: F) -> Result<Vec<T>, CheckError>
 where
     T: Send,
-    F: Fn(std::ops::Range<usize>) -> T + Sync,
+    F: Fn(Range<usize>) -> T + Sync,
 {
     let ranges = chunk_ranges(len, workers);
     if ranges.len() <= 1 {
@@ -174,6 +285,138 @@ where
     })
 }
 
+/// Run `f(0), f(1), …, f(tasks-1)` under a work-stealing pool of `workers`
+/// threads and return all results **in task order**.
+///
+/// Scheduling: a shared [`AtomicUsize`] claim counter hands out the next
+/// unclaimed task index to whichever worker finishes first, so skewed task
+/// costs (a transition-dense segment, a cache-cold range) no longer idle
+/// the rest of the pool the way a static per-worker split does. Which
+/// worker runs which task is nondeterministic; the *returned vector* is
+/// not — slot `i` always holds `f(i)`.
+///
+/// # Errors
+///
+/// A panic inside any `f(i)` is caught (serial path) or joined (worker
+/// path) and surfaced as [`CheckError::WorkerFailed`]; all workers are
+/// joined before the error returns.
+pub(crate) fn steal_tasks<T, F>(tasks: usize, workers: usize, f: F) -> Result<Vec<T>, CheckError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || tasks <= 1 {
+        return (0..tasks)
+            .map(|i| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|p| {
+                    CheckError::WorkerFailed {
+                        payload: payload_string(p),
+                    }
+                })
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let (f, next, slots) = (&f, &next, &slots);
+    let workers = workers.min(tasks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        return;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().unwrap() = Some(out);
+                })
+            })
+            .collect();
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        for r in joined {
+            r.map_err(|p| CheckError::WorkerFailed {
+                payload: payload_string(p),
+            })?;
+        }
+        Ok(slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .unwrap()
+                    .take()
+                    .expect("every task ran to completion")
+            })
+            .collect())
+    })
+}
+
+/// Work-stealing search: run `f` over task indices until the hit with the
+/// **lowest task index** is known, then stop claiming further work.
+///
+/// Equivalent to `(0..tasks).find_map(f)` — the early-exit flag is a
+/// shared "lowest hit so far" watermark (`fetch_min`): because the claim
+/// counter hands out indices in ascending order, once some worker hits at
+/// task `i` no unclaimed task below `i` exists, so remaining workers only
+/// need to finish tasks already in flight and can drop everything above
+/// the watermark. The final reduction takes the minimum-index hit, which
+/// makes the result independent of worker count and interleaving.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerFailed`] if any `f(i)` panics.
+pub(crate) fn steal_find<T, F>(tasks: usize, workers: usize, f: F) -> Result<Option<T>, CheckError>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    if workers <= 1 || tasks <= 1 {
+        for i in 0..tasks {
+            let out =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|p| {
+                    CheckError::WorkerFailed {
+                        payload: payload_string(p),
+                    }
+                })?;
+            if out.is_some() {
+                return Ok(out);
+            }
+        }
+        return Ok(None);
+    }
+    let next = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    let hits: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    let (f, next, best, hits) = (&f, &next, &best, &hits);
+    let workers = workers.min(tasks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks || i > best.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Some(out) = f(i) {
+                        best.fetch_min(i, Ordering::AcqRel);
+                        hits.lock().unwrap().push((i, out));
+                        return;
+                    }
+                })
+            })
+            .collect();
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        for r in joined {
+            r.map_err(|p| CheckError::WorkerFailed {
+                payload: payload_string(p),
+            })?;
+        }
+        let mut found = std::mem::take(&mut *hits.lock().unwrap());
+        found.sort_by_key(|&(i, _)| i);
+        Ok(found.into_iter().map(|(_, out)| out).next())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,9 +448,36 @@ mod tests {
     }
 
     #[test]
-    fn empty_range_yields_one_empty_chunk() {
+    fn chunk_ranges_degenerate_lens_are_balanced() {
+        // len ∈ {0, 1, workers−1, workers+1} and a tiny-tail case: no empty
+        // chunks ever, and sizes differ by at most one.
+        for workers in [2, 4, 7, 8] {
+            for len in [0, 1, workers - 1, workers + 1, 10 * workers + 1] {
+                let ranges = chunk_ranges(len, workers);
+                if len == 0 {
+                    assert!(ranges.is_empty(), "len=0 workers={workers}: {ranges:?}");
+                    continue;
+                }
+                assert_eq!(ranges.len(), workers.min(len));
+                let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+                assert!(
+                    sizes.iter().all(|&s| s > 0),
+                    "empty chunk at len={len} workers={workers}: {sizes:?}"
+                );
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(
+                    max - min <= 1,
+                    "imbalance at len={len} workers={workers}: {sizes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_no_chunks() {
         let out = run_chunks(0, 4, |r| r.len()).unwrap();
-        assert_eq!(out, vec![0]);
+        assert!(out.is_empty());
+        assert!(chunk_ranges(0, 4).is_empty());
     }
 
     #[test]
@@ -260,11 +530,96 @@ mod tests {
 
     #[test]
     fn builder_style() {
-        let o = CheckOptions::serial().state_limit(7).memory_budget(1 << 20);
+        let o = CheckOptions::serial()
+            .state_limit(7)
+            .memory_budget(1 << 20)
+            .segment_states(4096);
         assert_eq!(o.threads, 1);
         assert_eq!(o.state_limit, 7);
         assert_eq!(o.memory_budget, 1 << 20);
+        assert_eq!(o.segment_states, 4096);
         assert_eq!(CheckOptions::default().threads, 0);
         assert_eq!(CheckOptions::default().memory_budget, DEFAULT_MEMORY_BUDGET);
+        assert_eq!(CheckOptions::default().segment_states, 0);
+    }
+
+    #[test]
+    fn segment_plan_tiles_the_space() {
+        for (len, seg) in [(0, 64), (1, 64), (100, 64), (4096, 4096), (10_000, 4097)] {
+            let plan = CheckOptions::default()
+                .segment_states(seg)
+                .segment_plan(len);
+            assert_eq!(plan.len(), len);
+            assert_eq!(plan.segment_states(), seg);
+            assert_eq!(plan.count(), len.div_ceil(seg));
+            let mut next = 0;
+            for i in 0..plan.count() {
+                let r = plan.range(i);
+                assert_eq!(r.start, next);
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, len, "len={len} seg={seg}");
+        }
+        // Auto sizing keeps at least PARALLEL_THRESHOLD states per segment
+        // and never exceeds the default.
+        let auto = CheckOptions::serial().segment_plan(1 << 24);
+        assert!(auto.segment_states() >= PARALLEL_THRESHOLD);
+        assert!(auto.segment_states() <= DEFAULT_SEGMENT_STATES);
+    }
+
+    #[test]
+    fn steal_tasks_results_are_in_task_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = steal_tasks(37, workers, |i| i * i).unwrap();
+            let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+        assert!(steal_tasks(0, 4, |i| i).unwrap().is_empty());
+    }
+
+    #[test]
+    fn steal_tasks_panic_is_a_typed_error() {
+        for workers in [1, 4] {
+            let err = steal_tasks(16, workers, |i| {
+                if i == 11 {
+                    panic!("poisoned task {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, CheckError::WorkerFailed { ref payload }
+                    if payload.contains("poisoned task 11")),
+                "workers={workers}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_find_returns_lowest_index_hit() {
+        for workers in [1, 2, 8] {
+            // Hits at 5 and 9; the sequential semantics demand 5.
+            let out = steal_find(16, workers, |i| (i == 5 || i == 9).then_some(i)).unwrap();
+            assert_eq!(out, Some(5), "workers={workers}");
+            assert_eq!(steal_find(16, workers, |_| None::<usize>).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn steal_find_panic_is_a_typed_error() {
+        for workers in [1, 8] {
+            let err = steal_find(64, workers, |i| {
+                if i == 63 {
+                    panic!("poisoned probe");
+                }
+                None::<usize>
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, CheckError::WorkerFailed { .. }),
+                "workers={workers}: got {err:?}"
+            );
+        }
     }
 }

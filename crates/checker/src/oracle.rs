@@ -22,13 +22,22 @@
 //! their per-site views directly: an action applied to a site's view (own
 //! variables plus cached remote reads) is a program transition of the view
 //! state, which is exactly what the CSR relation describes.
+//!
+//! The oracle does not actually need resident CSR arrays:
+//! [`StepOracle::over_index`] builds it from a bare [`SpaceIndex`]
+//! (O(variables) memory, no enumeration pass). Domain membership comes
+//! from the index's id bijection and transition lookups re-derive
+//! successors from the guards, which is bit-equivalent to reading the CSR
+//! row — a `(action, succ)` pair exists in a row exactly when the action's
+//! guard holds and its effect produces `succ`, and rows list actions in
+//! id order, so the lowest-id tie-break is identical.
 
 use nonmask_program::{ActionId, Program, State};
 
 use crate::cache::Bitset;
 use crate::error::CheckError;
 use crate::options::CheckOptions;
-use crate::space::StateSpace;
+use crate::space::{SpaceIndex, StateSpace};
 
 /// Why a step failed oracle validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,22 +78,57 @@ impl std::fmt::Display for StepFault {
 
 impl std::error::Error for StepFault {}
 
+/// What backs the oracle's domain-membership and transition lookups.
+#[derive(Debug, Clone, Copy)]
+enum Backing<'a> {
+    /// Resident CSR space: transition lookups read the CSR row.
+    Resident(&'a StateSpace),
+    /// Bare index: transition lookups re-derive successors from guards.
+    Index(&'a SpaceIndex),
+}
+
 /// A per-step validity oracle over an enumerated state space.
 #[derive(Debug, Clone, Copy)]
 pub struct StepOracle<'a> {
-    space: &'a StateSpace,
+    backing: Backing<'a>,
     program: &'a Program,
 }
 
 impl<'a> StepOracle<'a> {
     /// Build an oracle for `program` over its enumerated `space`.
     pub fn new(space: &'a StateSpace, program: &'a Program) -> Self {
-        StepOracle { space, program }
+        StepOracle {
+            backing: Backing::Resident(space),
+            program,
+        }
     }
 
-    /// The state space backing this oracle.
-    pub fn space(&self) -> &'a StateSpace {
-        self.space
+    /// Build an oracle from a bare [`SpaceIndex`], without materializing
+    /// any transitions. Verdicts are bit-identical to an oracle over the
+    /// enumerated space (see the module docs); memory is O(variables)
+    /// instead of O(states + transitions).
+    pub fn over_index(index: &'a SpaceIndex, program: &'a Program) -> Self {
+        StepOracle {
+            backing: Backing::Index(index),
+            program,
+        }
+    }
+
+    /// The resident state space backing this oracle, if it was built with
+    /// [`StepOracle::new`]; `None` for index-backed oracles.
+    pub fn space(&self) -> Option<&'a StateSpace> {
+        match self.backing {
+            Backing::Resident(space) => Some(space),
+            Backing::Index(_) => None,
+        }
+    }
+
+    /// Is `state` inside the enumerated domains?
+    fn contains(&self, state: &State) -> bool {
+        match self.backing {
+            Backing::Resident(space) => space.id_of(state).is_some(),
+            Backing::Index(index) => index.id_of(state).is_some(),
+        }
     }
 
     /// Is `(before, after)` a transition of the program? Returns the
@@ -101,14 +145,33 @@ impl<'a> StepOracle<'a> {
         before: &State,
         after: &State,
     ) -> Result<ActionId, StepFault> {
-        let pre = self.space.id_of(before).ok_or(StepFault::UnknownBefore)?;
-        let post = self.space.id_of(after).ok_or(StepFault::UnknownAfter)?;
-        self.space
-            .successors(pre)
-            .iter()
-            .find(|&(_, succ)| succ == post)
-            .map(|(action, _)| action)
-            .ok_or(StepFault::NoMatchingAction)
+        match self.backing {
+            Backing::Resident(space) => {
+                let pre = space.id_of(before).ok_or(StepFault::UnknownBefore)?;
+                let post = space.id_of(after).ok_or(StepFault::UnknownAfter)?;
+                space
+                    .successors(pre)
+                    .iter()
+                    .find(|&(_, succ)| succ == post)
+                    .map(|(action, _)| action)
+                    .ok_or(StepFault::NoMatchingAction)
+            }
+            Backing::Index(index) => {
+                if index.id_of(before).is_none() {
+                    return Err(StepFault::UnknownBefore);
+                }
+                if index.id_of(after).is_none() {
+                    return Err(StepFault::UnknownAfter);
+                }
+                self.program
+                    .action_ids()
+                    .find(|&a| {
+                        let act = self.program.action(a);
+                        act.enabled(before) && &act.successor(before) == after
+                    })
+                    .ok_or(StepFault::NoMatchingAction)
+            }
+        }
     }
 
     /// Did `action` legally produce `after` from `before`? Stricter than
@@ -127,10 +190,10 @@ impl<'a> StepOracle<'a> {
         before: &State,
         after: &State,
     ) -> Result<(), StepFault> {
-        if self.space.id_of(before).is_none() {
+        if !self.contains(before) {
             return Err(StepFault::UnknownBefore);
         }
-        if self.space.id_of(after).is_none() {
+        if !self.contains(after) {
             return Err(StepFault::UnknownAfter);
         }
         let act = self.program.action(action);
@@ -327,6 +390,47 @@ mod tests {
             }
             other => panic!("expected WrongEffect, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn index_backed_oracle_matches_resident_oracle() {
+        let p = program();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let index = SpaceIndex::of_program(&p, CheckOptions::default()).unwrap();
+        let resident = StepOracle::new(&space, &p);
+        let by_index = StepOracle::over_index(&index, &p);
+        assert!(resident.space().is_some());
+        assert!(by_index.space().is_none());
+        // Exhaustive agreement over every ordered state pair, including
+        // the action chosen on ties and the exact fault on rejection.
+        for pre in index.ids() {
+            let before = index.state(pre);
+            for post in index.ids() {
+                let after = index.state(post);
+                assert_eq!(
+                    resident.is_valid_transition(&before, &after),
+                    by_index.is_valid_transition(&before, &after),
+                    "disagree on {before:?} -> {after:?}"
+                );
+                for a in p.action_ids() {
+                    assert_eq!(
+                        resident.validate_step(a, &before, &after),
+                        by_index.validate_step(a, &before, &after),
+                    );
+                }
+            }
+        }
+        // Escaped domains are reported identically without a CSR.
+        let escaped = State::new([5, 0, 0]);
+        let inside = p.state_from([0, 0, 0]).unwrap();
+        assert_eq!(
+            by_index.is_valid_transition(&escaped, &inside),
+            Err(StepFault::UnknownBefore)
+        );
+        assert_eq!(
+            by_index.is_valid_transition(&inside, &escaped),
+            Err(StepFault::UnknownAfter)
+        );
     }
 
     #[test]

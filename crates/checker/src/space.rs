@@ -32,21 +32,32 @@
 //! state), an order-of-magnitude cut for protocol-sized programs.
 //!
 //! Construction is two-phase so results are bit-identical for every thread
-//! count: phase 1 counts enabled actions per state (parallel over disjoint
-//! id chunks), a sequential prefix sum turns the counts into `offsets`
-//! (checking the `u32` edge-count bound), and phase 2 fills each chunk's
-//! disjoint sub-slices of the final arrays in place. Guards are evaluated
-//! twice (once per phase); the paper's guarded commands are pure, so the
-//! trade is deterministic layout and half the peak memory of a
-//! collect-then-concatenate build.
+//! count: phase 1 counts enabled actions per state, a sequential prefix sum
+//! turns the counts into `offsets` (checking the `u32` edge-count bound),
+//! and phase 2 fills disjoint sub-slices of the final arrays in place. Both
+//! phases run under the work-stealing scheduler over the
+//! [segment plan](CheckOptions::segment_plan): tasks are contiguous id
+//! ranges claimed from a shared atomic counter, and per-task results are
+//! merged in task order, so the layout is independent of thread count and
+//! scheduling. Guards are evaluated twice (once per phase); the paper's
+//! guarded commands are pure, so the trade is deterministic layout and half
+//! the peak memory of a collect-then-concatenate build.
+//!
+//! The decode machinery is factored into [`SpaceIndex`] — the id↔state
+//! bijection *without* any transition arrays. Out-of-core passes
+//! ([`SegmentedSpace`](crate::SegmentedSpace), the frontier convergence
+//! mode) work from a `SpaceIndex` alone and re-derive transitions on
+//! demand, so the full CSR never needs to be resident.
 //!
 //! # Memory budget
 //!
 //! The id range allows up to `u32::MAX + 1` states; what actually bounds a
 //! run is the [`CheckOptions::memory_budget`]: enumeration rejects a space
-//! whose resident CSR bytes (`4·(len+1) + 8·transitions`, estimated before
-//! the big allocations happen) would exceed it, instead of the seed's blunt
-//! 2-million-state cap.
+//! whose resident bytes — CSR arrays plus the transient counts column and
+//! per-worker decode scratch — would exceed it, instead of the seed's blunt
+//! 2-million-state cap. The [`SpaceError::BudgetExceeded`] error names the
+//! phase (`"offsets"`, `"succs"`, or `"segment build"`) whose requirement
+//! tripped first.
 //!
 //! [`id_of`]: StateSpace::id_of
 //! [`state`]: StateSpace::state
@@ -55,9 +66,11 @@
 use nonmask_obs::{Event, Journal};
 use nonmask_program::{ActionId, Predicate, Program, State, VarId};
 
+use std::sync::Mutex;
+
 use crate::cache::Bitset;
-use crate::error::{payload_string, CheckError};
-use crate::options::{chunk_ranges, run_chunks, CheckOptions};
+use crate::error::CheckError;
+use crate::options::{steal_tasks, CheckOptions};
 
 /// Identifier of a state within a [`StateSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,7 +85,7 @@ impl StateId {
     /// The id at position `index` (caller guarantees `index` fits; every
     /// space is pre-checked to hold at most `u32::MAX + 1` states).
     #[inline]
-    pub(crate) fn from_index(index: usize) -> Self {
+    pub fn from_index(index: usize) -> Self {
         debug_assert!(u32::try_from(index).is_ok());
         StateId(index as u32)
     }
@@ -100,14 +113,22 @@ pub enum SpaceError {
         /// The limit that was exceeded.
         limit: usize,
     },
-    /// The CSR arrays for the space would exceed the configured
-    /// [`CheckOptions::memory_budget`]. Raise the budget to check larger
+    /// A build phase would exceed the configured
+    /// [`CheckOptions::memory_budget`]. Raise the budget (or switch
+    /// convergence-only queries to the frontier mode) to check larger
     /// instances.
     BudgetExceeded {
-        /// Resident bytes the space would need.
+        /// Resident bytes the tripping phase would need (CSR arrays plus
+        /// transient build metadata and per-worker scratch).
         required: u64,
         /// The configured budget in bytes.
         budget: u64,
+        /// Which build phase tripped: `"offsets"` (per-state counts +
+        /// offsets column), `"succs"` (flat transition arrays),
+        /// `"segment build"` (a resident segment window), or
+        /// `"frontier bitsets"` (the frontier mode's predicate and
+        /// resolved-set bitsets).
+        phase: &'static str,
     },
     /// The space has more transitions than CSR `u32` offsets can index.
     TooManyTransitions {
@@ -141,10 +162,14 @@ impl std::fmt::Display for SpaceError {
             SpaceError::TooLarge { limit } => {
                 write!(f, "state space exceeds the limit of {limit} states")
             }
-            SpaceError::BudgetExceeded { required, budget } => write!(
+            SpaceError::BudgetExceeded {
+                required,
+                budget,
+                phase,
+            } => write!(
                 f,
-                "state space needs {required} resident bytes, over the memory budget of \
-                 {budget} bytes; raise `CheckOptions::memory_budget` to check it"
+                "state space needs {required} resident bytes in the {phase} phase, over the \
+                 memory budget of {budget} bytes; raise `CheckOptions::memory_budget` to check it"
             ),
             SpaceError::TooManyTransitions { count } => write!(
                 f,
@@ -274,6 +299,118 @@ impl Radix {
     }
 }
 
+/// The id↔state bijection of a bounded program's state space — the part of
+/// a [`StateSpace`] that costs O(variables), not O(states).
+///
+/// A `SpaceIndex` knows how many states exist and how to decode any
+/// [`StateId`] into a [`State`] (and back via [`id_of`](SpaceIndex::id_of))
+/// without materializing anything per state. Out-of-core passes — the
+/// [segmented scans](crate::SegmentedSpace) and the frontier convergence
+/// mode — are built on a `SpaceIndex` plus on-demand successor evaluation,
+/// so the transition relation never needs to be resident at once.
+#[derive(Debug, Clone)]
+pub struct SpaceIndex {
+    len: usize,
+    radix: Radix,
+}
+
+impl SpaceIndex {
+    /// Derive the index of `program`'s state space, validating the state
+    /// limit (and `u32` id range) from `options` without allocating
+    /// anything proportional to the space.
+    ///
+    /// # Errors
+    ///
+    /// [`SpaceError::Unbounded`] for unbounded programs;
+    /// [`SpaceError::TooLarge`] when the state limit is exceeded.
+    pub fn of_program(program: &Program, options: CheckOptions) -> Result<Self, SpaceError> {
+        let (radix, total) = Radix::of(program)?;
+        // Ids are u32, so the effective cap is the configured limit clamped
+        // to the representable id range.
+        let id_cap = u32::MAX as u128 + 1;
+        let effective = u128::min(options.state_limit as u128, id_cap);
+        if total > effective {
+            return Err(SpaceError::TooLarge {
+                limit: effective as usize,
+            });
+        }
+        Ok(SpaceIndex {
+            len: total as usize,
+            radix,
+        })
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the space has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of variables per state.
+    pub fn var_count(&self) -> usize {
+        self.radix.var_count()
+    }
+
+    /// All state ids.
+    pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.len).map(StateId::from_index)
+    }
+
+    /// The state with id `id`, freshly allocated (use
+    /// [`decode_state`](SpaceIndex::decode_state) in loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this space.
+    pub fn state(&self, id: StateId) -> State {
+        assert!(id.index() < self.len, "state id {id} out of range");
+        self.radix.state_of(id.0 as u64)
+    }
+
+    /// Decode the state with id `id` into `out`, reusing `out`'s buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this space or `out` has the wrong arity.
+    #[inline]
+    pub fn decode_state(&self, id: StateId, out: &mut State) {
+        assert!(id.index() < self.len, "state id {id} out of range");
+        self.radix.decode_into(id.0 as u64, out);
+    }
+
+    /// A zeroed scratch state of this space's arity.
+    pub fn scratch_state(&self) -> State {
+        State::zeroed(self.radix.var_count())
+    }
+
+    /// The id of `state`, if it belongs to this space (arithmetic
+    /// mixed-radix lookup: `O(|vars|)`, no hashing, no allocation).
+    #[inline]
+    pub fn id_of(&self, state: &State) -> Option<StateId> {
+        let idx = self.radix.index_of(state)?;
+        debug_assert!((idx as usize) < self.len);
+        Some(StateId(idx as u32))
+    }
+
+    /// The first variable of `state` outside its domain, for
+    /// [`SpaceError::EscapedDomain`] diagnostics.
+    pub(crate) fn escaping_var(&self, state: &State) -> usize {
+        self.radix.escaping_var(state)
+    }
+}
+
+/// Estimated bytes of per-worker decode scratch for `scratches` reusable
+/// `State` buffers of `nv` variables each (slots plus `Vec` header),
+/// counted against the memory budget so the `required` figure in
+/// [`SpaceError::BudgetExceeded`] reflects what the pass actually holds.
+pub(crate) fn scratch_bytes(scratches: u64, nv: usize) -> u64 {
+    scratches * (8 * nv as u64 + 48)
+}
+
 /// The `(action, successor)` transitions of one state: a zero-copy view of
 /// two parallel CSR row slices, yielded by [`StateSpace::successors`].
 ///
@@ -289,6 +426,13 @@ pub struct Transitions<'a> {
 }
 
 impl<'a> Transitions<'a> {
+    /// A row view over parallel action/successor slices. Segment storage
+    /// shares this view type with the monolithic CSR.
+    pub(crate) fn new(actions: &'a [ActionId], succs: &'a [StateId]) -> Self {
+        debug_assert_eq!(actions.len(), succs.len());
+        Transitions { actions, succs }
+    }
+
     /// Number of transitions (enabled actions) at this state.
     pub fn len(&self) -> usize {
         self.succs.len()
@@ -351,8 +495,7 @@ impl<'a> IntoIterator for Transitions<'a> {
 /// gated by [`CheckOptions::memory_budget`].
 #[derive(Debug, Clone)]
 pub struct StateSpace {
-    len: usize,
-    radix: Radix,
+    index: SpaceIndex,
     /// CSR row bounds: state `i`'s transitions are `offsets[i]..offsets[i+1]`.
     offsets: Vec<u32>,
     /// Flat action column, parallel to `succs`.
@@ -460,38 +603,37 @@ impl StateSpace {
         options: CheckOptions,
         journal: &Journal,
     ) -> Result<Self, SpaceError> {
-        let (radix, total) = Radix::of(program)?;
-        // Ids are u32, so the effective cap is the configured limit clamped
-        // to the representable id range.
-        let id_cap = u32::MAX as u128 + 1;
-        let effective = u128::min(options.state_limit as u128, id_cap);
-        if total > effective {
-            return Err(SpaceError::TooLarge {
-                limit: effective as usize,
-            });
-        }
-        let n = total as usize;
-        let budget = options.memory_budget as u64;
-        // Floor estimate before any large allocation: the offsets column
-        // alone. (The transient phase-1 counts array is the same size.)
-        let offsets_bytes = 4 * (n as u64 + 1);
-        if offsets_bytes > budget {
-            return Err(SpaceError::BudgetExceeded {
-                required: offsets_bytes,
-                budget,
-            });
-        }
+        let index = SpaceIndex::of_program(program, options)?;
+        let n = index.len();
+        let budget = options.memory_budget;
         let workers = options.workers_for(n);
-        let nv = radix.var_count();
+        let nv = index.var_count();
+        let plan = options.segment_plan(n);
+        let tasks = plan.count();
+        // Budget floor before any large allocation: the offsets column, the
+        // transient phase-1 counts column (same size), and one decode
+        // scratch per worker.
+        let offsets_bytes = 4 * (n as u64 + 1);
+        let offsets_phase_bytes = offsets_bytes + 4 * n as u64 + scratch_bytes(workers as u64, nv);
+        if offsets_phase_bytes > budget {
+            return Err(SpaceError::BudgetExceeded {
+                required: offsets_phase_bytes,
+                budget,
+                phase: "offsets",
+            });
+        }
 
-        // Phase 1: count enabled actions per state, decoding each state into
-        // a per-chunk scratch buffer (no per-state allocation).
+        // Phase 1: count enabled actions per state. Work-stealing over the
+        // segment plan: whichever worker is free claims the next segment;
+        // per-segment count vectors are concatenated in segment order, so
+        // the result is identical for every thread count.
         let phase_started = std::time::Instant::now();
-        let counts: Vec<u32> = run_chunks(n, workers, |range| {
+        let counts: Vec<u32> = steal_tasks(tasks, workers, |ti| {
+            let range = plan.range(ti);
             let mut scratch = State::zeroed(nv);
             let mut out = Vec::with_capacity(range.len());
             for i in range {
-                radix.decode_into(i as u64, &mut scratch);
+                index.radix.decode_into(i as u64, &mut scratch);
                 let mut c = 0u32;
                 for a in program.action_ids() {
                     if program.action(a).enabled(&scratch) {
@@ -516,143 +658,128 @@ impl StateSpace {
             transitions: m as u64,
             micros: phase_started.elapsed().as_micros() as u64,
         });
-        let exact_bytes = offsets_bytes + 8 * m as u64;
-        if exact_bytes > budget {
+        // Exact requirement now that the edge count is known: offsets plus
+        // the two flat columns plus two decode scratches per worker (state
+        // and successor buffers in the fill loop).
+        let succs_phase_bytes =
+            offsets_bytes + 8 * m as u64 + scratch_bytes(2 * workers as u64, nv);
+        if succs_phase_bytes > budget {
             return Err(SpaceError::BudgetExceeded {
-                required: exact_bytes,
+                required: succs_phase_bytes,
                 budget,
+                phase: "succs",
             });
         }
 
-        // Phase 2: fill the final arrays in place. Each chunk owns the
-        // disjoint sub-slices its offsets describe, so any thread count
-        // produces the identical layout. A worker stops at the first
-        // escaping action in its chunk; chunks are in ascending id order, so
-        // the first reporting chunk holds the lowest-id escape, matching a
-        // sequential scan.
+        // Phase 2: fill the final arrays in place. The flat columns are
+        // pre-split along the plan's offsets into one disjoint sub-slice
+        // pair per segment; a stealing worker takes the pair for the
+        // segment it claimed, so any thread count and any claim order
+        // produce the identical layout. A worker stops at the first
+        // escaping action in its segment; segments are in ascending id
+        // order and escapes are reduced by lowest segment index, so the
+        // reported witness matches a sequential scan.
         let mut actions = vec![ActionId::from_index(0); m];
         let mut succs = vec![StateId(0); m];
-        let fill = |range: std::ops::Range<usize>,
-                    actions: &mut [ActionId],
-                    succs: &mut [StateId]|
-         -> Option<Escape> {
-            let mut scratch = State::zeroed(nv);
-            let mut succ = State::zeroed(nv);
-            let mut k = 0usize;
-            for i in range {
-                radix.decode_into(i as u64, &mut scratch);
-                for a in program.action_ids() {
-                    let act = program.action(a);
-                    if !act.enabled(&scratch) {
-                        continue;
-                    }
-                    act.successor_into(&scratch, &mut succ);
-                    match radix.index_of(&succ) {
-                        Some(idx) => {
-                            actions[k] = a;
-                            succs[k] = StateId(idx as u32);
-                            k += 1;
-                        }
-                        None => {
-                            return Some(Escape {
-                                action: a,
-                                var: radix.escaping_var(&succ),
-                            });
-                        }
-                    }
-                }
-            }
-            debug_assert_eq!(k, succs.len(), "impure guard: phase-2 count drifted");
-            None
-        };
-        let phase_started = std::time::Instant::now();
-        let escape: Option<Escape> = if workers <= 1 {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                fill(0..n, &mut actions, &mut succs)
-            }))
-            .map_err(|p| SpaceError::WorkerFailed {
-                payload: payload_string(p),
-            })?
-        } else {
-            let fill = &fill;
+        {
+            // One segment's pre-split destination slices, taken once by
+            // whichever worker claims the segment.
+            type FillSlot<'a> = Mutex<Option<(&'a mut [ActionId], &'a mut [StateId])>>;
+            let mut slices: Vec<FillSlot<'_>> = Vec::with_capacity(tasks);
             let mut a_rest: &mut [ActionId] = &mut actions;
             let mut s_rest: &mut [StateId] = &mut succs;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for r in chunk_ranges(n, workers) {
-                    let take = (offsets[r.end] - offsets[r.start]) as usize;
-                    let (a_chunk, rest) = std::mem::take(&mut a_rest).split_at_mut(take);
-                    a_rest = rest;
-                    let (s_chunk, rest) = std::mem::take(&mut s_rest).split_at_mut(take);
-                    s_rest = rest;
-                    handles.push(scope.spawn(move || fill(r, a_chunk, s_chunk)));
-                }
-                // Join *every* handle before acting on any failure: an
-                // unjoined panicked handle would make the scope re-raise the
-                // panic on exit, bypassing the typed error.
-                let mut first_escape = None;
-                let mut failure = None;
-                for h in handles {
-                    match h.join() {
-                        Ok(e) => {
-                            if first_escape.is_none() {
-                                first_escape = e;
-                            }
+            for ti in 0..tasks {
+                let r = plan.range(ti);
+                let take = (offsets[r.end] - offsets[r.start]) as usize;
+                let (a_chunk, rest) = std::mem::take(&mut a_rest).split_at_mut(take);
+                a_rest = rest;
+                let (s_chunk, rest) = std::mem::take(&mut s_rest).split_at_mut(take);
+                s_rest = rest;
+                slices.push(Mutex::new(Some((a_chunk, s_chunk))));
+            }
+            let phase_started = std::time::Instant::now();
+            let escapes: Vec<Option<Escape>> = steal_tasks(tasks, workers, |ti| {
+                let (actions, succs) = slices[ti]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each fill segment is claimed exactly once");
+                let mut scratch = State::zeroed(nv);
+                let mut succ = State::zeroed(nv);
+                let mut k = 0usize;
+                for i in plan.range(ti) {
+                    index.radix.decode_into(i as u64, &mut scratch);
+                    for a in program.action_ids() {
+                        let act = program.action(a);
+                        if !act.enabled(&scratch) {
+                            continue;
                         }
-                        Err(p) => {
-                            if failure.is_none() {
-                                failure = Some(payload_string(p));
+                        act.successor_into(&scratch, &mut succ);
+                        match index.radix.index_of(&succ) {
+                            Some(idx) => {
+                                actions[k] = a;
+                                succs[k] = StateId(idx as u32);
+                                k += 1;
+                            }
+                            None => {
+                                return Some(Escape {
+                                    action: a,
+                                    var: index.radix.escaping_var(&succ),
+                                });
                             }
                         }
                     }
                 }
-                match failure {
-                    Some(payload) => Err(SpaceError::WorkerFailed { payload }),
-                    None => Ok(first_escape),
-                }
-            })?
-        };
-        journal.emit_with(|| Event::CsrPhase {
-            phase: "fill".to_string(),
-            states: n as u64,
-            transitions: m as u64,
-            micros: phase_started.elapsed().as_micros() as u64,
-        });
-        if let Some(e) = escape {
-            return Err(SpaceError::EscapedDomain {
-                action: program.action(e.action).name().to_string(),
-                var: program.var(VarId::from_index(e.var)).name().to_string(),
+                debug_assert_eq!(k, succs.len(), "impure guard: phase-2 count drifted");
+                None
+            })?;
+            journal.emit_with(|| Event::CsrPhase {
+                phase: "fill".to_string(),
+                states: n as u64,
+                transitions: m as u64,
+                micros: phase_started.elapsed().as_micros() as u64,
             });
+            if let Some(e) = escapes.into_iter().flatten().next() {
+                return Err(SpaceError::EscapedDomain {
+                    action: program.action(e.action).name().to_string(),
+                    var: program.var(VarId::from_index(e.var)).name().to_string(),
+                });
+            }
         }
 
         Ok(StateSpace {
-            len: n,
-            radix,
+            index,
             offsets,
             actions,
             succs,
         })
     }
 
+    /// The id↔state bijection of this space, without the CSR arrays. Hand
+    /// this to passes that re-derive transitions on demand.
+    pub fn index(&self) -> &SpaceIndex {
+        &self.index
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
-        self.len
+        self.index.len()
     }
 
     /// Whether the space has no states (impossible for valid programs — a
     /// program with zero variables still has the single empty state).
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.index.is_empty()
     }
 
     /// Number of variables per state.
     pub fn var_count(&self) -> usize {
-        self.radix.var_count()
+        self.index.var_count()
     }
 
     /// All state ids.
     pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
-        (0..self.len).map(StateId::from_index)
+        self.index.ids()
     }
 
     /// The state with id `id`, decoded from the id (freshly allocated; use
@@ -662,8 +789,7 @@ impl StateSpace {
     ///
     /// Panics if `id` is not from this space.
     pub fn state(&self, id: StateId) -> State {
-        assert!(id.index() < self.len, "state id {id} out of range");
-        self.radix.state_of(id.0 as u64)
+        self.index.state(id)
     }
 
     /// Decode the state with id `id` into `out`, reusing `out`'s buffer
@@ -674,14 +800,13 @@ impl StateSpace {
     /// Panics if `id` is not from this space or `out` has the wrong arity.
     #[inline]
     pub fn decode_state(&self, id: StateId, out: &mut State) {
-        assert!(id.index() < self.len, "state id {id} out of range");
-        self.radix.decode_into(id.0 as u64, out);
+        self.index.decode_state(id, out);
     }
 
     /// A zeroed scratch state of this space's arity, for
     /// [`decode_state`](StateSpace::decode_state) loops.
     pub fn scratch_state(&self) -> State {
-        State::zeroed(self.radix.var_count())
+        self.index.scratch_state()
     }
 
     /// The id of `state`, if it belongs to this space.
@@ -689,9 +814,7 @@ impl StateSpace {
     /// This is the arithmetic mixed-radix lookup: `O(|vars|)` with no
     /// hashing or allocation.
     pub fn id_of(&self, state: &State) -> Option<StateId> {
-        let idx = self.radix.index_of(state)?;
-        debug_assert!((idx as usize) < self.len);
-        Some(StateId(idx as u32))
+        self.index.id_of(state)
     }
 
     /// The `(action, successor)` pairs of every action enabled at `id`, in
@@ -766,7 +889,7 @@ impl StateSpace {
             + self.offsets.len() * std::mem::size_of::<u32>()
             + self.actions.len() * std::mem::size_of::<ActionId>()
             + self.succs.len() * std::mem::size_of::<StateId>()
-            + self.radix.var_count() * 3 * 8
+            + self.index.var_count() * 3 * 8
     }
 }
 
@@ -936,18 +1059,38 @@ mod tests {
         let err =
             StateSpace::enumerate_with_options(&p, CheckOptions::default().memory_budget(1024))
                 .unwrap_err();
-        let SpaceError::BudgetExceeded { required, budget } = err else {
+        let SpaceError::BudgetExceeded {
+            required,
+            budget,
+            phase,
+        } = err
+        else {
             panic!("expected BudgetExceeded, got {err:?}");
         };
         assert_eq!(budget, 1024);
         assert!(required > 1024);
-        // A budget that admits the exact resident size succeeds.
+        assert_eq!(phase, "offsets", "the floor estimate trips first");
+        // A budget that admits the resident size (plus a little slack for
+        // the per-worker scratch the accounting now includes) succeeds.
         let space = StateSpace::enumerate(&p).unwrap();
         let ok = StateSpace::enumerate_with_options(
             &p,
-            CheckOptions::default().memory_budget(space.resident_bytes()),
+            CheckOptions::default().memory_budget(space.resident_bytes() as u64 + (64 << 10)),
         );
         assert!(ok.is_ok());
+        // A budget squeezed between the offsets floor and the full CSR cost
+        // trips at the succs phase, and the error names it.
+        let offsets_floor = 4 * (space.len() as u64 + 1) + 4 * space.len() as u64 + (64 << 10);
+        let err = StateSpace::enumerate_with_options(
+            &p,
+            CheckOptions::default().memory_budget(offsets_floor),
+        )
+        .unwrap_err();
+        let SpaceError::BudgetExceeded { phase, .. } = err else {
+            panic!("expected BudgetExceeded, got {err:?}");
+        };
+        assert_eq!(phase, "succs");
+        assert!(err.to_string().contains("succs phase"));
     }
 
     #[test]

@@ -382,6 +382,11 @@ impl Design {
             sccs_found: fair_stats.sccs_found + unfair_stats.sccs_found,
             cache_hits,
             cache_misses,
+            // Design::verify runs fully resident; the out-of-core figures
+            // are populated only by frontier/segmented entry points.
+            segments_built: 0,
+            frontier_rounds: 0,
+            frontier_evals: 0,
         };
 
         Ok(ToleranceReport {

@@ -44,6 +44,24 @@ pub enum Event {
         /// Wall-clock duration of the phase in microseconds.
         micros: u64,
     },
+    /// One segment processed by an out-of-core pass (a segmented scan or a
+    /// frontier-convergence round). Deliberately carries **no** wall-clock
+    /// field: segment events are emitted in segment order regardless of
+    /// which worker built the segment, so journals are bit-identical for
+    /// every thread count.
+    Segment {
+        /// Producing pass: `"scan"` for full-relation sweeps,
+        /// `"frontier-round"` for one convergence round.
+        phase: String,
+        /// Segment index within the plan (or round number for
+        /// `"frontier-round"`).
+        index: u64,
+        /// States covered by the segment (or resolved this round).
+        states: u64,
+        /// Transitions materialized in the segment (or successor
+        /// evaluations this round).
+        transitions: u64,
+    },
     /// Progress of one convergence-wave analysis (region build, peel,
     /// residual SCCs) under one fairness assumption.
     Wave {
@@ -133,6 +151,7 @@ impl Event {
             Event::SpanClose { .. } => "span-close",
             Event::Counter { .. } => "counter",
             Event::CsrPhase { .. } => "csr-phase",
+            Event::Segment { .. } => "segment",
             Event::Wave { .. } => "wave",
             Event::ConstraintViolated { .. } => "constraint-violated",
             Event::ConstraintRepaired { .. } => "constraint-repaired",
@@ -170,6 +189,17 @@ impl Event {
                 w.num_field("states", *states);
                 w.num_field("transitions", *transitions);
                 w.num_field("micros", *micros);
+            }
+            Event::Segment {
+                phase,
+                index,
+                states,
+                transitions,
+            } => {
+                w.str_field("phase", phase);
+                w.num_field("index", *index);
+                w.num_field("states", *states);
+                w.num_field("transitions", *transitions);
             }
             Event::Wave {
                 fairness,
@@ -274,6 +304,12 @@ impl Event {
                 states: get_num("states")?,
                 transitions: get_num("transitions")?,
                 micros: get_num("micros")?,
+            },
+            "segment" => Event::Segment {
+                phase: get_str("phase")?,
+                index: get_num("index")?,
+                states: get_num("states")?,
+                transitions: get_num("transitions")?,
             },
             "wave" => Event::Wave {
                 fairness: get_str("fairness")?,
@@ -532,6 +568,12 @@ pub(crate) mod tests {
                 transitions: 15625,
                 micros: 42,
             },
+            Event::Segment {
+                phase: "scan".into(),
+                index: 2,
+                states: 4096,
+                transitions: 20480,
+            },
             Event::Wave {
                 fairness: "weakly-fair".into(),
                 region: 3120,
@@ -581,6 +623,7 @@ pub(crate) mod tests {
 {"ev":"span-close","t_us":7,"name":"enumerate","micros":1234}
 {"ev":"counter","t_us":7,"scope":"checker","name":"states_decoded","value":98765}
 {"ev":"csr-phase","t_us":7,"phase":"count","states":3125,"transitions":15625,"micros":42}
+{"ev":"segment","t_us":7,"phase":"scan","index":2,"states":4096,"transitions":20480}
 {"ev":"wave","t_us":7,"fairness":"weakly-fair","region":3120,"peeled":3120,"sccs":0}
 {"ev":"constraint-violated","t_us":7,"step":0,"constraint":"x.1>=x.2"}
 {"ev":"constraint-repaired","t_us":7,"step":3,"constraint":"x.1>=x.2","action":"fix.2"}

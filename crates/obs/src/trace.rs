@@ -48,6 +48,12 @@ pub fn render_timeline(records: &[Record]) -> String {
                 "  csr {phase}: {states} states, {transitions} transitions ({:.3}ms)",
                 *micros as f64 / 1e3
             ),
+            Event::Segment {
+                phase,
+                index,
+                states,
+                transitions,
+            } => format!("  segment {phase} #{index}: {states} states, {transitions} transitions"),
             Event::Wave {
                 fairness,
                 region,

@@ -2,10 +2,12 @@
 
 use nonmask::TheoremOutcome;
 use nonmask_checker::{
-    check_convergence, check_convergence_opts, is_closed, is_closed_bits, worst_case_moves, Bitset,
-    CheckOptions, Fairness, StateSpace,
+    check_convergence, check_convergence_frontier_stats, check_convergence_opts, is_closed,
+    is_closed_bits, is_closed_segmented, worst_case_moves, Bitset, CheckOptions, Fairness,
+    SegmentedSpace, StateSpace,
 };
 use nonmask_graph::Shape;
+use nonmask_obs::{Event, Journal, MemoryBuffer};
 use nonmask_program::scheduler::Random;
 use nonmask_program::{Domain, Executor, Predicate, Program, RunConfig, State};
 use nonmask_protocols::diffusing::DiffusingComputation;
@@ -315,5 +317,121 @@ proptest! {
             &design.invariant(),
             threads,
         )?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Segment boundaries are invisible: for any random program, any
+    /// thread count, and segment sizes that do and do not divide the
+    /// state count, the work-stealing segmented build reproduces every
+    /// CSR row of the monolithic space, in id order — and segmented
+    /// closure agrees with the resident check.
+    #[test]
+    fn segmented_rows_match_monolithic_on_random_programs(
+        domains in proptest::collection::vec(domain_strategy(), 1..=4),
+        actions in proptest::collection::vec((0usize..4, 0usize..4, 1i64..=3), 0..=4),
+        threads in 1usize..=8,
+        seg_pick in 0usize..4,
+    ) {
+        let p = program_with_actions(domains, actions);
+        let space = StateSpace::enumerate(&p).unwrap();
+        let n = space.len();
+        // One size of each kind: degenerate, non-dividing, roughly a
+        // third (almost never divides), and everything-in-one-segment.
+        let sizes = [1, 7, n.div_ceil(3).max(1), n.max(1)];
+        let opts = CheckOptions::default()
+            .threads(threads)
+            .segment_states(sizes[seg_pick]);
+        let seg_space = SegmentedSpace::new(&p, opts).unwrap();
+        let ids: Vec<_> = space.ids().collect();
+        let per_segment = seg_space
+            .scan(|_ti, seg| {
+                seg.range()
+                    .map(|i| seg.successors(ids[i]).iter().collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+        let rebuilt: Vec<_> = per_segment.into_iter().flatten().collect();
+        prop_assert_eq!(rebuilt.len(), n);
+        for id in space.ids() {
+            let monolithic: Vec<_> = space.successors(id).iter().collect();
+            prop_assert_eq!(&rebuilt[id.index()], &monolithic, "row of {}", id);
+        }
+
+        // Closure verdicts agree for an arbitrary predicate (witness
+        // *order* differs by construction — see `is_closed_segmented` —
+        // so only the verdict is compared here).
+        let even = Predicate::new("even", p.var_ids(), |s: &State| {
+            s.slots().iter().sum::<i64>() % 2 == 0
+        });
+        let bits = Bitset::for_predicate(&space, &even, opts).unwrap();
+        prop_assert_eq!(
+            is_closed_segmented(&seg_space, &bits).unwrap().is_none(),
+            is_closed_bits(&space, &p, &bits, opts).unwrap().is_none()
+        );
+    }
+}
+
+/// All journal events in a memory buffer, with the wall-clock timestamps
+/// stripped (the event payloads themselves carry no timing by design).
+fn journal_events(journal: Journal, buffer: &MemoryBuffer) -> Vec<Event> {
+    journal.flush();
+    buffer
+        .contents()
+        .lines()
+        .map(|l| Event::parse_line(l).expect("journal lines parse").event)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The frontier checker is bit-identical across work-stealing thread
+    /// counts: same verdict and witness as the resident checker, same
+    /// stats, and — with an explicit segment size — the same journal
+    /// event sequence, whether or not the size divides the state count.
+    #[test]
+    fn frontier_work_stealing_is_bit_identical(
+        threads in 2usize..=8,
+        seg_pick in 0usize..3,
+    ) {
+        let ring = TokenRing::new(5, 5);
+        let dc = DiffusingComputation::new(&Tree::from_parents(vec![0, 0, 1, 1, 2]));
+        let cases = [
+            (ring.program().clone(), ring.invariant()),
+            (dc.program().clone(), dc.invariant()),
+        ];
+        for (p, goal) in &cases {
+            let space = StateSpace::enumerate(p).unwrap();
+            let n = space.len();
+            // 625 divides 5^5; the other two sizes divide neither case.
+            let sizes = [625, 999, n.div_ceil(3)];
+            let t = Predicate::always_true();
+            for fairness in [Fairness::WeaklyFair, Fairness::Unfair] {
+                let resident = check_convergence(&space, p, &t, goal, fairness).unwrap();
+                let serial_opts = CheckOptions::default()
+                    .threads(1)
+                    .segment_states(sizes[seg_pick]);
+                let stolen_opts = serial_opts.threads(threads);
+                let (j1, b1) = Journal::memory();
+                let (r1, s1) =
+                    check_convergence_frontier_stats(p, &t, goal, fairness, serial_opts, &j1)
+                        .unwrap();
+                let (jn, bn) = Journal::memory();
+                let (rn, sn) =
+                    check_convergence_frontier_stats(p, &t, goal, fairness, stolen_opts, &jn)
+                        .unwrap();
+                prop_assert_eq!(&r1, &resident, "serial frontier vs resident ({:?})", fairness);
+                prop_assert_eq!(&rn, &resident, "stolen frontier vs resident ({:?})", fairness);
+                prop_assert_eq!(s1, sn, "stats must not depend on the thread count");
+                prop_assert_eq!(
+                    journal_events(j1, &b1),
+                    journal_events(jn, &bn),
+                    "journals must not depend on the thread count"
+                );
+            }
+        }
     }
 }
