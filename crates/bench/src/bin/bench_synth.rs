@@ -1,0 +1,267 @@
+//! S1 synthesis figures: candidate throughput, attribution-prune ratio,
+//! and certification oracle sweeps saved versus unpruned enumeration,
+//! emitted as `BENCH_synth.json`.
+//!
+//! ```text
+//! bench_synth                   # full run
+//! bench_synth --smoke           # the three paper instances (CI-sized)
+//! bench_synth --check           # fail on savings/distance regressions
+//! bench_synth --out FILE        # write the JSON somewhere else
+//! ```
+//!
+//! # What is measured
+//!
+//! Each instance runs [`synthesize`] end to end — grammar, pooled
+//! enumeration, implication-lattice classification, attribution prune,
+//! certification battery, selection, final `Design::verify` — and
+//! reports the synthesizer's own work accounting next to wall clock:
+//!
+//! - `candidates_per_second`: grammar candidates processed per wall
+//!   second (the headline throughput figure);
+//! - `prune_ratio`: fraction of candidates the single attribution sweep
+//!   eliminates before any per-candidate oracle work;
+//! - `oracle_savings`: full-space certification sweeps an unpruned
+//!   enumeration would spend, divided by the sweeps actually spent. The
+//!   battery never short-circuits, so the two cost models are symmetric
+//!   and the ratio is attributable to the prune alone.
+//!
+//! With `--check`, the token-ring instance must keep `oracle_savings >=
+//! 10` (the committed gate) and every instance must synthesize at ideal
+//! distance 0 (each chosen guard exactly the required region).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nonmask_obs::Journal;
+use nonmask_synth::{specs, synthesize, SynthOptions, SynthSpec};
+
+/// Which runs include the instance.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// Always measured (the paper's three instances, CI-sized).
+    Smoke,
+    /// Default runs: larger instances of the same families.
+    Full,
+}
+
+struct Instance {
+    name: &'static str,
+    spec: SynthSpec,
+    tier: Tier,
+    /// `--check`: minimum oracle-savings factor (0 = ungated).
+    min_savings: f64,
+}
+
+fn instances(tier: Tier) -> Vec<Instance> {
+    let mut all = vec![
+        Instance {
+            name: "token-ring-n4-m3",
+            spec: specs::token_ring_windowed(4, 3),
+            tier: Tier::Smoke,
+            min_savings: 10.0,
+        },
+        Instance {
+            name: "diffusing-7",
+            spec: specs::diffusing(7),
+            tier: Tier::Smoke,
+            min_savings: 0.0,
+        },
+        Instance {
+            name: "coloring-7-c3",
+            spec: specs::coloring(7, 3),
+            tier: Tier::Smoke,
+            min_savings: 0.0,
+        },
+        Instance {
+            name: "token-ring-n5-m4",
+            spec: specs::token_ring_windowed(5, 4),
+            tier: Tier::Full,
+            min_savings: 10.0,
+        },
+        Instance {
+            name: "coloring-9-c3",
+            spec: specs::coloring(9, 3),
+            tier: Tier::Full,
+            min_savings: 0.0,
+        },
+    ];
+    all.retain(|i| tier == Tier::Full || i.tier == Tier::Smoke);
+    all
+}
+
+struct Row {
+    name: &'static str,
+    states: u64,
+    candidates: u64,
+    survivors: u64,
+    certified: u64,
+    oracle_calls: u64,
+    oracle_calls_unpruned: u64,
+    oracle_savings: f64,
+    prune_ratio: f64,
+    verify_attempts: u64,
+    distance: u64,
+    theorem: String,
+    worst_case_moves: Option<u64>,
+    wall_seconds: f64,
+    candidates_per_second: f64,
+    min_savings: f64,
+}
+
+fn measure(inst: &Instance) -> Result<Row, String> {
+    let start = Instant::now();
+    let out = synthesize(&inst.spec, &SynthOptions::default(), &Journal::disabled())
+        .map_err(|e| format!("{}: {e}", inst.name))?;
+    let wall = start.elapsed().as_secs_f64();
+    if !out.report.is_tolerant() {
+        return Err(format!("{}: synthesized design is not tolerant", inst.name));
+    }
+    let m = out.metrics;
+    Ok(Row {
+        name: inst.name,
+        states: m.states,
+        candidates: m.candidates,
+        survivors: m.survivors,
+        certified: m.certified,
+        oracle_calls: m.oracle_calls,
+        oracle_calls_unpruned: m.oracle_calls_unpruned,
+        oracle_savings: m.oracle_calls_unpruned as f64 / m.oracle_calls.max(1) as f64,
+        prune_ratio: 1.0 - m.survivors as f64 / m.candidates.max(1) as f64,
+        verify_attempts: m.verify_attempts,
+        distance: out.distance,
+        theorem: out.report.theorem.name().to_string(),
+        worst_case_moves: out.report.worst_case_moves,
+        wall_seconds: wall,
+        candidates_per_second: m.candidates as f64 / wall.max(1e-9),
+        min_savings: inst.min_savings,
+    })
+}
+
+fn emit(rows: &[Row], mode: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench-synth-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"instances\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"states\": {},\n", r.states));
+        out.push_str(&format!("      \"candidates\": {},\n", r.candidates));
+        out.push_str(&format!("      \"survivors\": {},\n", r.survivors));
+        out.push_str(&format!("      \"certified\": {},\n", r.certified));
+        out.push_str(&format!("      \"oracle_calls\": {},\n", r.oracle_calls));
+        out.push_str(&format!(
+            "      \"oracle_calls_unpruned\": {},\n",
+            r.oracle_calls_unpruned
+        ));
+        out.push_str(&format!(
+            "      \"oracle_savings\": {:.2},\n",
+            r.oracle_savings
+        ));
+        out.push_str(&format!("      \"prune_ratio\": {:.3},\n", r.prune_ratio));
+        out.push_str(&format!(
+            "      \"verify_attempts\": {},\n",
+            r.verify_attempts
+        ));
+        out.push_str(&format!("      \"distance\": {},\n", r.distance));
+        out.push_str(&format!("      \"theorem\": \"{}\",\n", r.theorem));
+        match r.worst_case_moves {
+            Some(w) => out.push_str(&format!("      \"worst_case_moves\": {w},\n")),
+            None => out.push_str("      \"worst_case_moves\": null,\n"),
+        }
+        out.push_str(&format!("      \"wall_seconds\": {:.3},\n", r.wall_seconds));
+        out.push_str(&format!(
+            "      \"candidates_per_second\": {:.0}\n",
+            r.candidates_per_second
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_synth.json".to_string());
+    let (tier, mode) = if smoke {
+        (Tier::Smoke, "smoke")
+    } else {
+        (Tier::Full, "full")
+    };
+
+    println!(
+        "{:<18} {:>9} {:>10} {:>9} {:>9} {:>8} {:>10} {:>8} {:>8}",
+        "instance",
+        "states",
+        "candidates",
+        "survivors",
+        "oracle",
+        "unpruned",
+        "savings",
+        "wall s",
+        "cand/s"
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for inst in instances(tier) {
+        let r = match measure(&inst) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("FAIL {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{:<18} {:>9} {:>10} {:>9} {:>9} {:>8} {:>9.1}x {:>8.3} {:>8.0}",
+            r.name,
+            r.states,
+            r.candidates,
+            r.survivors,
+            r.oracle_calls,
+            r.oracle_calls_unpruned,
+            r.oracle_savings,
+            r.wall_seconds,
+            r.candidates_per_second
+        );
+        if check {
+            if r.min_savings > 0.0 && r.oracle_savings < r.min_savings {
+                eprintln!(
+                    "FAIL {}: oracle savings {:.1}x below the committed gate {:.0}x",
+                    r.name, r.oracle_savings, r.min_savings
+                );
+                failed = true;
+            }
+            if r.distance != 0 {
+                eprintln!(
+                    "FAIL {}: ideal-stabilization distance {} (expected 0)",
+                    r.name, r.distance
+                );
+                failed = true;
+            }
+        }
+        rows.push(r);
+    }
+    let json = emit(&rows, mode);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

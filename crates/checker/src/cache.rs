@@ -189,6 +189,24 @@ impl Bitset {
         }
     }
 
+    /// Set union (disjunction of the cached predicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or(&self, other: &Bitset) -> Bitset {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        Bitset {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
     /// Set complement (negation of the cached predicate).
     pub fn not(&self) -> Bitset {
         let mut b = Bitset {

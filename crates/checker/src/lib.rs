@@ -141,7 +141,10 @@ pub use frontier::{
     check_convergence_frontier, check_convergence_frontier_bits_stats,
     check_convergence_frontier_opts, check_convergence_frontier_stats, FrontierStats,
 };
-pub use options::{CheckOptions, SegmentPlan, DEFAULT_MEMORY_BUDGET, DEFAULT_SEGMENT_STATES};
+pub use options::{
+    steal_find, steal_tasks, CheckOptions, SegmentPlan, DEFAULT_MEMORY_BUDGET,
+    DEFAULT_SEGMENT_STATES,
+};
 pub use oracle::{attribute_constraints, ConstraintAttribution, StepFault, StepOracle};
 pub use replay::{replay_constraints, ConstraintTransition};
 pub use segment::{Segment, SegmentedSpace};

@@ -300,7 +300,7 @@ where
 /// A panic inside any `f(i)` is caught (serial path) or joined (worker
 /// path) and surfaced as [`CheckError::WorkerFailed`]; all workers are
 /// joined before the error returns.
-pub(crate) fn steal_tasks<T, F>(tasks: usize, workers: usize, f: F) -> Result<Vec<T>, CheckError>
+pub fn steal_tasks<T, F>(tasks: usize, workers: usize, f: F) -> Result<Vec<T>, CheckError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -365,7 +365,7 @@ where
 /// # Errors
 ///
 /// [`CheckError::WorkerFailed`] if any `f(i)` panics.
-pub(crate) fn steal_find<T, F>(tasks: usize, workers: usize, f: F) -> Result<Option<T>, CheckError>
+pub fn steal_find<T, F>(tasks: usize, workers: usize, f: F) -> Result<Option<T>, CheckError>
 where
     T: Send,
     F: Fn(usize) -> Option<T> + Sync,

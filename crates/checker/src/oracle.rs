@@ -221,6 +221,9 @@ pub struct ConstraintAttribution {
     /// Row-major `[action][constraint]`: establishes, and at least one
     /// transition by the action starts outside the constraint.
     repairs: Vec<bool>,
+    /// Row-major `[action][constraint]`: no transition by the action exits
+    /// the constraint (starts inside, ends outside).
+    preserves: Vec<bool>,
 }
 
 impl ConstraintAttribution {
@@ -247,6 +250,18 @@ impl ConstraintAttribution {
         (0..self.constraints)
             .filter(|&c| self.repairs(action, c))
             .collect()
+    }
+
+    /// Does no transition by `action` *exit* constraint `c` (start in a
+    /// state satisfying it, end in one violating it)? This is global
+    /// preservation over the whole relation — stronger than the checker's
+    /// assumption-relative `preserves_given`, and the hard-prune criterion
+    /// the synthesizer applies to candidates against already-established
+    /// lower constraints.
+    ///
+    /// Vacuously true for actions with no transitions.
+    pub fn preserves(&self, action: ActionId, c: usize) -> bool {
+        self.preserves[action.index() * self.constraints + c]
     }
 }
 
@@ -275,6 +290,7 @@ pub fn attribute_constraints(
     let actions = program.action_count();
     let mut establishes = vec![true; actions * k];
     let mut entered_from_outside = vec![false; actions * k];
+    let mut preserves = vec![true; actions * k];
     for id in space.ids() {
         for (action, succ) in space.successors(id) {
             let row = action.index() * k;
@@ -285,6 +301,9 @@ pub fn attribute_constraints(
                     }
                 } else {
                     establishes[row + c] = false;
+                    if cb.contains(id) {
+                        preserves[row + c] = false;
+                    }
                 }
             }
         }
@@ -298,6 +317,7 @@ pub fn attribute_constraints(
         constraints: k,
         establishes,
         repairs,
+        preserves,
     })
 }
 
@@ -457,5 +477,38 @@ mod tests {
         assert!(!attr.establishes(id("fix-y"), 1));
         // spin repairs nothing.
         assert_eq!(attr.repaired_by(id("spin")), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn preservation_tracks_exits_only() {
+        let p = program();
+        let space = StateSpace::enumerate(&p).unwrap();
+        let x = p.var_by_name("x").unwrap();
+        let y = p.var_by_name("y").unwrap();
+        let z = p.var_by_name("z").unwrap();
+        let cx = Predicate::new("x=0", [x], move |s: &State| s.get(x) == 0);
+        let cy1 = Predicate::new("y<=1", [y], move |s: &State| s.get(y) <= 1);
+        let cz = Predicate::new("z=0", [z], move |s: &State| s.get(z) == 0);
+        let attr =
+            attribute_constraints(&space, &p, &[cx, cy1, cz], CheckOptions::default()).unwrap();
+        let id = |name: &str| {
+            p.action_ids()
+                .find(|&a| p.action(a).name() == name)
+                .unwrap()
+        };
+        // fix-x never touches x once x=0 holds (its guard needs x>0), and
+        // never writes y, so it preserves both constraints.
+        assert!(attr.preserves(id("fix-x"), 0));
+        assert!(attr.preserves(id("fix-x"), 1));
+        // fix-y decrements y, so y<=1 can only become *more* true.
+        assert!(attr.preserves(id("fix-y"), 1));
+        // spin writes z only: preserves the x/y constraints without
+        // repairing them, but toggling z out of z=0 is an exit.
+        assert!(attr.preserves(id("spin"), 0));
+        assert!(attr.preserves(id("spin"), 1));
+        assert!(!attr.repairs(id("spin"), 0));
+        assert!(!attr.preserves(id("spin"), 2));
+        // fix-x can fire at z=1 but never writes z: no exit from z=0.
+        assert!(attr.preserves(id("fix-x"), 2));
     }
 }

@@ -39,6 +39,7 @@ const USAGE: &str = "\
 usage: nonmask-run <protocol> [options]
        nonmask-run check [options]
        nonmask-run conform [--smoke] [--seed S] [--out DIR] [--sim-only]
+       nonmask-run synth --protocol P [--out FILE] [--golden FILE] [--conform]
        nonmask-run trace <journal.jsonl>
 
 protocols:
@@ -55,6 +56,16 @@ subcommands:
                     (--smoke: CI-sized corpus; --out: artifact dir;
                     --journal: verdict journal; --sim-only: skip sockets;
                     --planted-bug: self-test, needs feature planted-bug)
+  synth             derive the convergence actions of a protocol from its
+                    constraint decomposition alone and print the
+                    checker-certified design
+                    (--protocol token-ring|diffusing|coloring;
+                    --nodes/--window/--colors: instance size;
+                    --threads: certification workers; --out: write the
+                    rendered design; --journal: synthesis event journal;
+                    --golden FILE: diff against a committed design, exit
+                    nonzero on drift; --conform: feed the synthesized
+                    design through the smoke conformance corpus)
   trace             replay a JSON-lines journal as a readable timeline
                     (exits nonzero on any schema drift)
 
@@ -357,6 +368,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("conform") {
         return conform::main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("synth") {
+        return synth::main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(args) => args,
@@ -719,5 +733,245 @@ mod conform {
              (cargo run -p nonmask-conform --features planted-bug --bin nonmask-run -- conform --planted-bug)"
         );
         ExitCode::FAILURE
+    }
+}
+
+/// `synth`: run the constraint-guided synthesizer on one of the paper's
+/// decompositions, print the certified design, and optionally golden-diff
+/// it or feed it through the conformance corpus.
+mod synth {
+    use std::process::ExitCode;
+
+    use nonmask_conform::{run_corpus, CorpusConfig, ProtocolSpec};
+    use nonmask_lang::compile_predicate;
+    use nonmask_obs::Journal;
+    use nonmask_program::ActionId;
+    use nonmask_synth::{specs, synthesize, SynthOptions, SynthResult, SynthSpec};
+
+    struct Args {
+        protocol: String,
+        nodes: Option<usize>,
+        window: Option<i64>,
+        colors: Option<i64>,
+        threads: usize,
+        out: Option<String>,
+        journal: Option<String>,
+        golden: Option<String>,
+        conform: bool,
+        seed: u64,
+    }
+
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            protocol: String::new(),
+            nodes: None,
+            window: None,
+            colors: None,
+            threads: 0,
+            out: None,
+            journal: None,
+            golden: None,
+            conform: false,
+            seed: 1,
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = argv[i].as_str();
+            let mut value = |name: &str| -> Result<String, String> {
+                i += 1;
+                argv.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg {
+                "--protocol" => args.protocol = value("--protocol")?,
+                "--nodes" => {
+                    args.nodes = Some(
+                        value("--nodes")?
+                            .parse()
+                            .map_err(|e| format!("--nodes: {e}"))?,
+                    )
+                }
+                "--window" => {
+                    args.window = Some(
+                        value("--window")?
+                            .parse()
+                            .map_err(|e| format!("--window: {e}"))?,
+                    )
+                }
+                "--colors" => {
+                    args.colors = Some(
+                        value("--colors")?
+                            .parse()
+                            .map_err(|e| format!("--colors: {e}"))?,
+                    )
+                }
+                "--threads" => {
+                    args.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--out" => args.out = Some(value("--out")?),
+                "--journal" => args.journal = Some(value("--journal")?),
+                "--golden" => args.golden = Some(value("--golden")?),
+                "--conform" => args.conform = true,
+                other => return Err(format!("unknown synth option `{other}`")),
+            }
+            i += 1;
+        }
+        if args.protocol.is_empty() {
+            return Err("synth needs --protocol token-ring|diffusing|coloring".to_owned());
+        }
+        Ok(args)
+    }
+
+    fn spec_for(args: &Args) -> Result<SynthSpec, String> {
+        match args.protocol.as_str() {
+            "token-ring" => Ok(specs::token_ring_windowed(
+                args.nodes.unwrap_or(4),
+                args.window.unwrap_or(3),
+            )),
+            "diffusing" => Ok(specs::diffusing(args.nodes.unwrap_or(7))),
+            "coloring" => Ok(specs::coloring(
+                args.nodes.unwrap_or(7),
+                args.colors.unwrap_or(3),
+            )),
+            other => Err(format!("unknown synth protocol `{other}`")),
+        }
+    }
+
+    /// A conformance-corpus spec for the synthesized design: the same
+    /// program/goal/constraints the synthesizer certified, with the
+    /// derived `repair.*` actions as the designated repairs.
+    fn corpus_spec(spec: &SynthSpec, out: &SynthResult) -> Result<ProtocolSpec, String> {
+        let program = out.design.program().clone();
+        let goal = compile_predicate(&program, &out.def, "goal", &spec.goal)
+            .map_err(|e| format!("goal does not compile against the design: {e}"))?;
+        let base_count = spec.base.actions.len();
+        let mut constraints = Vec::with_capacity(spec.constraints.len());
+        let mut designated = Vec::with_capacity(spec.constraints.len());
+        for (ci, sc) in spec.constraints.iter().enumerate() {
+            constraints.push(
+                compile_predicate(&program, &out.def, &sc.name, &sc.expr)
+                    .map_err(|e| format!("constraint {}: {e}", sc.name))?,
+            );
+            designated.push((ActionId::from_index(base_count + ci), ci));
+        }
+        Ok(ProtocolSpec {
+            name: format!("synth-{}", out.spec_name),
+            program,
+            goal,
+            constraints,
+            designated,
+        })
+    }
+
+    pub fn main(argv: &[String]) -> ExitCode {
+        let args = match parse(argv) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", super::USAGE);
+                return ExitCode::FAILURE;
+            }
+        };
+        match run(&args) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    fn run(args: &Args) -> Result<ExitCode, String> {
+        let spec = spec_for(args)?;
+        let journal = match &args.journal {
+            Some(path) => nonmask_obs::Journal::to_file(path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?,
+            None => Journal::disabled(),
+        };
+        let opts = SynthOptions {
+            threads: args.threads,
+            ..SynthOptions::default()
+        };
+        let out = synthesize(&spec, &opts, &journal).map_err(|e| e.to_string())?;
+        journal.flush();
+
+        let rendered = out.render();
+        print!("{rendered}");
+        println!(
+            "synth {}: {} states, {} candidates -> {} survivors -> {} certified; \
+             {} oracle sweeps ({} unpruned, {:.1}x saved); {}",
+            out.spec_name,
+            out.metrics.states,
+            out.metrics.candidates,
+            out.metrics.survivors,
+            out.metrics.certified,
+            out.metrics.oracle_calls,
+            out.metrics.oracle_calls_unpruned,
+            out.metrics.oracle_calls_unpruned as f64 / out.metrics.oracle_calls.max(1) as f64,
+            out.report.summary()
+        );
+        if let Some(path) = &args.out {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("design written to {path}");
+        }
+        if let Some(path) = &args.journal {
+            eprintln!("synthesis journal written to {path}");
+        }
+
+        if let Some(path) = &args.golden {
+            let expected = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read golden {path}: {e}"))?;
+            if rendered != expected {
+                eprintln!("golden mismatch against {path}:");
+                for diff in diff_lines(&expected, &rendered) {
+                    eprintln!("{diff}");
+                }
+                return Ok(ExitCode::from(2));
+            }
+            println!("golden match: {path}");
+        }
+
+        if args.conform {
+            let corpus = corpus_spec(&spec, &out)?;
+            let config = CorpusConfig::smoke(args.seed);
+            println!(
+                "conformance: {} sim + {} net runs of {}",
+                config.sim_runs, config.net_runs, corpus.name
+            );
+            let report = run_corpus(std::slice::from_ref(&corpus), &config, &Journal::disabled())?;
+            print!("{}", report.render());
+            if report.divergent_runs() > 0 {
+                return Ok(ExitCode::from(2));
+            }
+        }
+        Ok(ExitCode::SUCCESS)
+    }
+
+    /// A minimal unified-ish diff: every line that differs, prefixed.
+    fn diff_lines(expected: &str, got: &str) -> Vec<String> {
+        let e: Vec<&str> = expected.lines().collect();
+        let g: Vec<&str> = got.lines().collect();
+        let mut out = Vec::new();
+        for i in 0..e.len().max(g.len()) {
+            match (e.get(i), g.get(i)) {
+                (Some(a), Some(b)) if a == b => {}
+                (a, b) => {
+                    if let Some(a) = a {
+                        out.push(format!("-{a}"));
+                    }
+                    if let Some(b) = b {
+                        out.push(format!("+{b}"));
+                    }
+                }
+            }
+        }
+        out
     }
 }

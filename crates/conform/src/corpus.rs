@@ -195,7 +195,11 @@ impl CorpusReport {
 /// The default corpus protocols: the worked designs of the paper that
 /// both execution layers can refine.
 pub fn default_specs() -> Vec<ProtocolSpec> {
-    vec![ProtocolSpec::token_ring(4, 4), ProtocolSpec::diffusing(7)]
+    vec![
+        ProtocolSpec::token_ring(4, 4),
+        ProtocolSpec::diffusing(7),
+        ProtocolSpec::coloring(7, 3),
+    ]
 }
 
 /// The simulator configuration of corpus run `i`: two clean runs

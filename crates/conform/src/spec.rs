@@ -11,6 +11,7 @@
 //! claim repairs the transition relation does not deliver.
 
 use nonmask_program::{ActionId, Predicate, Program};
+use nonmask_protocols::coloring::TreeColoring;
 use nonmask_protocols::diffusing::DiffusingComputation;
 use nonmask_protocols::token_ring::TokenRing;
 use nonmask_protocols::Tree;
@@ -91,6 +92,32 @@ impl ProtocolSpec {
         }
     }
 
+    /// The stabilizing proper coloring on a binary tree of `nodes` nodes
+    /// with `colors` colors.
+    ///
+    /// Constraints are the per-edge `R.j ≡ c.j ≠ c.(P.j)` predicates; the
+    /// designated repair of `R.j` is `recolor@j`. Unlike the wave
+    /// protocols this design is *silent* inside the invariant, so corpus
+    /// runs exercise the termination path of both execution layers.
+    pub fn coloring(nodes: usize, colors: i64) -> Self {
+        let tc = TreeColoring::new(&Tree::binary(nodes), colors);
+        let mut constraints = Vec::new();
+        let mut designated = Vec::new();
+        for j in 1..nodes {
+            if let Some(action) = tc.recolor_action(j) {
+                designated.push((action, constraints.len()));
+                constraints.push(tc.constraint(j));
+            }
+        }
+        ProtocolSpec {
+            name: format!("coloring-{nodes}x{colors}"),
+            program: tc.program().clone(),
+            goal: tc.invariant(),
+            constraints,
+            designated,
+        }
+    }
+
     /// The deliberately broken token ring (root increments by two), to be
     /// *executed* while the healthy [`ProtocolSpec::token_ring`] of the
     /// same shape serves as the oracle. The divergence shows up as a
@@ -111,6 +138,16 @@ mod tests {
         assert_eq!(spec.constraints.len(), 3);
         assert_eq!(spec.designated.len(), 3);
         // Every designated pair points at a real constraint index.
+        for &(_, c) in &spec.designated {
+            assert!(c < spec.constraints.len());
+        }
+    }
+
+    #[test]
+    fn coloring_spec_designates_every_edge() {
+        let spec = ProtocolSpec::coloring(7, 3);
+        assert_eq!(spec.constraints.len(), 6);
+        assert_eq!(spec.designated.len(), 6);
         for &(_, c) in &spec.designated {
             assert!(c < spec.constraints.len());
         }

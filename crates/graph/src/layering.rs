@@ -204,6 +204,76 @@ mod tests {
     }
 
     #[test]
+    fn single_constraint_self_loop_is_the_smallest_layering() {
+        // Degenerate partition: one constraint, one node, one self-loop.
+        // Theorem 3 collapses to Theorem 2: the only layer must classify
+        // as self-looping.
+        let nodes = vec![ConstraintGraph::node("a", [])];
+        let edges = vec![ConstraintGraph::edge(
+            ConstraintGraph::node_id(0),
+            ConstraintGraph::node_id(0),
+            ActionId::from_index(0),
+            c(0),
+        )];
+        let g = ConstraintGraph::from_parts(nodes, edges);
+        let l = Layering::new([vec![c(0)]]).unwrap();
+        assert_eq!(l.len(), 1);
+        assert!(l.below(0).is_empty());
+        assert!(l.above(0).is_empty());
+        assert_eq!(l.layer_of(c(0)), Some(0));
+        let (sub, shape) = l.layer_graph(&g, 0);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(shape, Shape::SelfLooping);
+    }
+
+    #[test]
+    fn fully_disconnected_graph_yields_empty_layer_graphs() {
+        // Constraints with no corrective edges at all: every layer graph
+        // is edgeless, hence (vacuously) an out-tree forest per node.
+        let nodes = (0..3)
+            .map(|i| ConstraintGraph::node(format!("n{i}"), []))
+            .collect();
+        let g = ConstraintGraph::from_parts(nodes, vec![]);
+        let l = Layering::new([vec![c(0)], vec![c(1), c(2)]]).unwrap();
+        for layer in 0..l.len() {
+            assert!(l.edges_in_layer(&g, layer).is_empty());
+            let (sub, shape) = l.layer_graph(&g, layer);
+            assert_eq!(sub.edge_count(), 0);
+            assert_ne!(shape, Shape::Cyclic);
+        }
+    }
+
+    #[test]
+    fn cycle_condensed_into_one_layer_stays_cyclic() {
+        // The counterpart of `layer_graphs_restrict_edges`: if the 2-cycle
+        // is NOT split across layers it condenses to a single cyclic
+        // layer, which Theorem 3 must reject.
+        let nodes = vec![
+            ConstraintGraph::node("a", []),
+            ConstraintGraph::node("b", []),
+        ];
+        let edges = vec![
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(0),
+                ConstraintGraph::node_id(1),
+                ActionId::from_index(0),
+                c(0),
+            ),
+            ConstraintGraph::edge(
+                ConstraintGraph::node_id(1),
+                ConstraintGraph::node_id(0),
+                ActionId::from_index(1),
+                c(1),
+            ),
+        ];
+        let g = ConstraintGraph::from_parts(nodes, edges);
+        let l = Layering::single([c(0), c(1)]);
+        let (sub, shape) = l.layer_graph(&g, 0);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(shape, Shape::Cyclic);
+    }
+
+    #[test]
     fn edges_in_layer_filters_by_constraint() {
         let nodes = vec![ConstraintGraph::node("a", [])];
         let e = |i: usize| {

@@ -138,3 +138,96 @@ proptest! {
         }
     }
 }
+
+/// A random disjoint layering of `total` constraints into 1..=4 layers,
+/// as layer sizes (sizes sum to `total`, no layer empty).
+fn random_layering(total: usize) -> impl Strategy<Value = Vec<Vec<ConstraintRef>>> {
+    proptest::collection::vec(1usize..=total, 1..4).prop_map(move |cuts| {
+        // Turn random sizes into a partition of 0..total by walking the
+        // requested sizes and flushing the remainder into a final layer.
+        let mut layers = Vec::new();
+        let mut next = 0usize;
+        for want in cuts {
+            if next >= total {
+                break;
+            }
+            let take = want.min(total - next);
+            layers.push((next..next + take).map(ConstraintRef).collect());
+            next += take;
+        }
+        if next < total {
+            layers.push((next..total).map(ConstraintRef).collect());
+        }
+        layers
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `below(i)`, the layer itself, and `above(i)` tri-partition the
+    /// constraint set at every layer index — disjoint, exhaustive, and
+    /// consistent with `layer_of`.
+    #[test]
+    fn layering_below_layer_above_tri_partition(
+        total in 1usize..10,
+        layers in (1usize..10).prop_flat_map(random_layering),
+    ) {
+        let _ = total;
+        let all: std::collections::BTreeSet<ConstraintRef> =
+            layers.iter().flatten().copied().collect();
+        let l = nonmask_graph::Layering::new(layers.clone()).unwrap();
+        prop_assert_eq!(l.len(), layers.len());
+        for i in 0..l.len() {
+            let below: std::collections::BTreeSet<_> = l.below(i).into_iter().collect();
+            let here: std::collections::BTreeSet<_> = l.layers()[i].iter().copied().collect();
+            let above: std::collections::BTreeSet<_> = l.above(i).into_iter().collect();
+            prop_assert!(below.is_disjoint(&here));
+            prop_assert!(below.is_disjoint(&above));
+            prop_assert!(here.is_disjoint(&above));
+            let union: std::collections::BTreeSet<_> =
+                below.iter().chain(&here).chain(&above).copied().collect();
+            prop_assert_eq!(&union, &all, "tri-partition must be exhaustive");
+            for &c in &here {
+                prop_assert_eq!(l.layer_of(c), Some(i));
+            }
+        }
+    }
+
+    /// When the layers partition exactly the constraints labelling a
+    /// graph's edges, `edges_in_layer` partitions the edge set.
+    #[test]
+    fn layering_edges_in_layer_partition_edges(
+        (n, arcs) in arbitrary_arcs(),
+        layers in (1usize..12).prop_flat_map(random_layering),
+    ) {
+        // Build a graph whose edge i carries constraint i, then keep only
+        // the layers that name existing constraints.
+        let g = build(n, &arcs);
+        let layers: Vec<Vec<ConstraintRef>> = layers
+            .into_iter()
+            .filter_map(|layer| {
+                let kept: Vec<_> =
+                    layer.into_iter().filter(|c| c.0 < g.edge_count()).collect();
+                (!kept.is_empty()).then_some(kept)
+            })
+            .collect();
+        if layers.is_empty() {
+            return Ok(()); // edgeless graph drew no usable constraints
+        }
+        let named: std::collections::BTreeSet<usize> =
+            layers.iter().flatten().map(|c| c.0).collect();
+        let l = nonmask_graph::Layering::new(layers).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut count = 0usize;
+        for i in 0..l.len() {
+            for e in l.edges_in_layer(&g, i) {
+                prop_assert!(seen.insert(e), "edge listed in two layers");
+                count += 1;
+            }
+            let (sub, _) = l.layer_graph(&g, i);
+            prop_assert_eq!(sub.edge_count(), l.edges_in_layer(&g, i).len());
+        }
+        prop_assert_eq!(count, named.len(), "every named edge in exactly one layer");
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use nonmask_program::{Domain, Program, State, VarId};
+use nonmask_program::{Domain, Predicate, ProcessId, Program, State, VarId};
 
 use crate::ast::{BinOp, DomainDef, Expr, ProgramDef};
 use crate::LangError;
@@ -122,6 +122,38 @@ fn collect_vars(e: &CExpr, out: &mut Vec<VarId>) {
 /// [`LangError`] on duplicate variables, conflicting enum labels, unknown
 /// identifiers, or empty ranges.
 pub fn compile_def(def: &ProgramDef) -> Result<Program, LangError> {
+    compile_inner(def, false)
+}
+
+/// Compile like [`compile_def`], additionally tagging every variable with
+/// an owning [`ProcessId`] inferred from its name's trailing `.N` segment
+/// (`x.3` and `sn.3` are owned by process 3). The tags are what make the
+/// compiled program *refinable* — runnable on the message-passing
+/// simulator and the socket runtime, whose node mapping requires every
+/// variable to carry an owner.
+///
+/// # Errors
+///
+/// [`LangError`] as for [`compile_def`], plus an error for any variable
+/// whose name does not end in a `.N` segment.
+pub fn compile_def_with_processes(def: &ProgramDef) -> Result<Program, LangError> {
+    compile_inner(def, true)
+}
+
+fn infer_process(name: &str, line: u32) -> Result<ProcessId, LangError> {
+    name.rsplit('.')
+        .next()
+        .and_then(|seg| seg.parse::<usize>().ok())
+        .map(ProcessId)
+        .ok_or_else(|| {
+            LangError::new(
+                line,
+                format!("cannot infer owning process for `{name}` (expected a `.N` name suffix)"),
+            )
+        })
+}
+
+fn compile_inner(def: &ProgramDef, tag_processes: bool) -> Result<Program, LangError> {
     let mut b = Program::builder(def.name.clone());
     let mut scope = Scope {
         vars: HashMap::new(),
@@ -165,7 +197,15 @@ pub fn compile_def(def: &ProgramDef) -> Result<Program, LangError> {
                 Domain::enumeration(labels.iter().map(String::as_str))
             }
         };
-        let id = b.var(var.name.clone(), domain);
+        let id = if tag_processes {
+            b.var_of(
+                var.name.clone(),
+                domain,
+                infer_process(&var.name, var.line)?,
+            )
+        } else {
+            b.var(var.name.clone(), domain)
+        };
         scope.vars.insert(var.name.clone(), id);
     }
 
@@ -214,6 +254,47 @@ pub fn compile_def(def: &ProgramDef) -> Result<Program, LangError> {
 
     b.try_build()
         .map_err(|e| LangError::new(1, format!("program construction failed: {e}")))
+}
+
+/// Compile a bare [`Expr`] into a [`Predicate`] over `program`'s
+/// variables, with `def` supplying the enum-label constants (`green`,
+/// `red`, …) exactly as [`compile_def`] binds them. The predicate's
+/// variable set is the expression's free variables, so the constraint
+/// graph's read-locality checks see the same footprint the evaluator
+/// uses.
+///
+/// # Errors
+///
+/// [`LangError`] for identifiers that are neither a variable of `program`
+/// nor an enum label of `def`.
+pub fn compile_predicate(
+    program: &Program,
+    def: &ProgramDef,
+    name: impl Into<String>,
+    expr: &Expr,
+) -> Result<Predicate, LangError> {
+    let mut scope = Scope {
+        vars: HashMap::new(),
+        consts: HashMap::new(),
+    };
+    for var in &def.vars {
+        if let DomainDef::Enum(labels) = &var.domain {
+            for (i, label) in labels.iter().enumerate() {
+                scope.consts.insert(label.clone(), i as i64);
+            }
+        }
+    }
+    for id in program.var_ids() {
+        scope.vars.insert(program.var(id).name().to_string(), id);
+    }
+    let compiled = scope.resolve(expr, 1)?;
+    let mut reads = Vec::new();
+    collect_vars(&compiled, &mut reads);
+    reads.sort_unstable();
+    reads.dedup();
+    Ok(Predicate::new(name, reads, move |s: &State| {
+        truthy(eval(&compiled, s))
+    }))
 }
 
 #[cfg(test)]
@@ -316,6 +397,55 @@ mod tests {
     fn empty_range_rejected() {
         let err = compile_def(&parse("program p var x : 5..2").unwrap()).unwrap_err();
         assert!(err.message.contains("empty range"));
+    }
+
+    #[test]
+    fn process_tags_come_from_name_suffixes() {
+        let def = parse(
+            "program p var x.0 : 0..3; x.1 : 0..3; sn.1 : bool \
+             action a : x.0 != x.1 -> x.1 := x.0",
+        )
+        .unwrap();
+        let p = compile_def_with_processes(&def).unwrap();
+        let pid = |name: &str| p.var(p.var_by_name(name).unwrap()).process();
+        assert_eq!(pid("x.0"), Some(ProcessId(0)));
+        assert_eq!(pid("x.1"), Some(ProcessId(1)));
+        assert_eq!(pid("sn.1"), Some(ProcessId(1)));
+        // The untagged compiler leaves ownership empty.
+        let bare = compile_def(&def).unwrap();
+        assert_eq!(bare.var(bare.var_by_name("x.0").unwrap()).process(), None);
+    }
+
+    #[test]
+    fn process_inference_requires_numeric_suffix() {
+        let def = parse("program p var token : bool").unwrap();
+        let err = compile_def_with_processes(&def).unwrap_err();
+        assert!(err.message.contains("cannot infer owning process"));
+    }
+
+    #[test]
+    fn predicates_compile_against_the_program() {
+        let def = parse(
+            "program p var x.0 : 0..3; c.1 : {green, red} \
+             action a : x.0 < 3 -> x.0 := x.0 + 1",
+        )
+        .unwrap();
+        let p = compile_def(&def).unwrap();
+        let expr = parse("program q var x.0 : 0..3; c.1 : {green, red} action t : x.0 == 2 && c.1 == red -> x.0 := x.0")
+            .unwrap()
+            .actions[0]
+            .guard
+            .clone();
+        let pred = compile_predicate(&p, &def, "probe", &expr).unwrap();
+        assert_eq!(pred.name(), "probe");
+        assert!(pred.holds(&p.state_from([2, 1]).unwrap()));
+        assert!(!pred.holds(&p.state_from([2, 0]).unwrap()));
+        assert!(!pred.holds(&p.state_from([1, 1]).unwrap()));
+        // Free variables become the declared read set.
+        assert_eq!(pred.reads().len(), 2);
+        // Unknown identifiers are rejected.
+        let bad = Expr::Ident("nope".into());
+        assert!(compile_predicate(&p, &def, "bad", &bad).is_err());
     }
 
     #[test]

@@ -54,10 +54,10 @@ pub mod parser;
 pub mod print;
 
 pub use ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, VarDef};
-pub use compile::compile_def;
+pub use compile::{compile_def, compile_def_with_processes, compile_predicate};
 pub use expand::expand;
 pub use parser::parse;
-pub use print::pretty;
+pub use print::{pretty, pretty_action, pretty_expr};
 
 /// Errors from parsing or compiling a program text.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,7 +2,7 @@
 
 use nonmask_program::ActionKind;
 
-use crate::ast::{DomainDef, Expr, ProgramDef};
+use crate::ast::{ActionDef, DomainDef, Expr, ProgramDef};
 
 /// Render a [`ProgramDef`] back to parseable surface syntax.
 ///
@@ -22,24 +22,37 @@ pub fn pretty(def: &ProgramDef) -> String {
         out.push('\n');
     }
     for a in &def.actions {
-        let kind = match a.kind {
-            ActionKind::Closure => "closure",
-            ActionKind::Convergence => "convergence",
-            ActionKind::Combined => "combined",
-        };
-        let assigns: Vec<String> = a
-            .assigns
-            .iter()
-            .map(|(t, e)| format!("{t} := {}", render_expr(e)))
-            .collect();
-        out.push_str(&format!(
-            "action {} [{kind}] : {} -> {}\n",
-            a.name,
-            render_expr(&a.guard),
-            assigns.join(", ")
-        ));
+        out.push_str(&pretty_action(a));
+        out.push('\n');
     }
     out
+}
+
+/// Render one [`ActionDef`] as its surface-syntax `action` line (no
+/// trailing newline) — the per-action unit of [`pretty`], exposed so the
+/// synthesizer can emit and diff individual candidate actions.
+pub fn pretty_action(a: &ActionDef) -> String {
+    let kind = match a.kind {
+        ActionKind::Closure => "closure",
+        ActionKind::Convergence => "convergence",
+        ActionKind::Combined => "combined",
+    };
+    let assigns: Vec<String> = a
+        .assigns
+        .iter()
+        .map(|(t, e)| format!("{t} := {}", pretty_expr(e)))
+        .collect();
+    format!(
+        "action {} [{kind}] : {} -> {}",
+        a.name,
+        pretty_expr(&a.guard),
+        assigns.join(", ")
+    )
+}
+
+/// Render one [`Expr`] as fully parenthesized surface syntax.
+pub fn pretty_expr(e: &Expr) -> String {
+    render_expr(e)
 }
 
 fn render_domain(d: &DomainDef) -> String {

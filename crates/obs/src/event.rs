@@ -123,6 +123,24 @@ pub enum Event {
         /// Rounds executed before stabilization.
         rounds: u64,
     },
+    /// One phase of a design-synthesis run (`nonmask-synth`): candidate
+    /// enumeration, lattice classification, attribution pruning, oracle
+    /// certification, or selection. Deliberately carries **no** wall-clock
+    /// field: synthesis events are emitted in constraint/phase order from
+    /// the driving thread, so journals are bit-identical for every worker
+    /// count and candidate-chunk size.
+    Synth {
+        /// Pipeline phase: `"grammar"`, `"classify"`, `"prune"`,
+        /// `"certify"`, `"select"`, or `"verify"`.
+        phase: String,
+        /// Free-form detail — the constraint name, layer list, chosen
+        /// action, or final verdict.
+        detail: String,
+        /// Candidates entering the phase.
+        candidates: u64,
+        /// Candidates surviving the phase.
+        survivors: u64,
+    },
     /// A conformance verdict from the cross-layer harness
     /// (`crates/conform`): the outcome of differentially replaying one
     /// execution through the checker's step oracle.
@@ -160,6 +178,7 @@ impl Event {
             Event::EpisodeStarted { .. } => "episode-started",
             Event::EpisodeConverged { .. } => "episode-converged",
             Event::Stabilized { .. } => "stabilized",
+            Event::Synth { .. } => "synth",
             Event::Verdict { .. } => "verdict",
         }
     }
@@ -239,6 +258,17 @@ impl Event {
                 w.num_field("micros", *micros);
             }
             Event::Stabilized { rounds } => w.num_field("rounds", *rounds),
+            Event::Synth {
+                phase,
+                detail,
+                candidates,
+                survivors,
+            } => {
+                w.str_field("phase", phase);
+                w.str_field("detail", detail);
+                w.num_field("candidates", *candidates);
+                w.num_field("survivors", *survivors);
+            }
             Event::Verdict {
                 layer,
                 protocol,
@@ -343,6 +373,12 @@ impl Event {
             },
             "stabilized" => Event::Stabilized {
                 rounds: get_num("rounds")?,
+            },
+            "synth" => Event::Synth {
+                phase: get_str("phase")?,
+                detail: get_str("detail")?,
+                candidates: get_num("candidates")?,
+                survivors: get_num("survivors")?,
             },
             "verdict" => Event::Verdict {
                 layer: get_str("layer")?,
@@ -605,6 +641,12 @@ pub(crate) mod tests {
                 micros: 150000,
             },
             Event::Stabilized { rounds: 17 },
+            Event::Synth {
+                phase: "prune".into(),
+                detail: "token-ring".into(),
+                candidates: 420,
+                survivors: 38,
+            },
             Event::Verdict {
                 layer: "sim".into(),
                 protocol: "token-ring-4x4".into(),
@@ -632,6 +674,7 @@ pub(crate) mod tests {
 {"ev":"episode-started","t_us":7,"label":"initial"}
 {"ev":"episode-converged","t_us":7,"label":"initial","micros":150000}
 {"ev":"stabilized","t_us":7,"rounds":17}
+{"ev":"synth","t_us":7,"phase":"prune","detail":"token-ring","candidates":420,"survivors":38}
 {"ev":"verdict","t_us":7,"layer":"sim","protocol":"token-ring-4x4","seed":11,"steps":640,"verdict":"conforms","detail":""}"#;
 
     #[test]

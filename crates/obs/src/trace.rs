@@ -78,6 +78,12 @@ pub fn render_timeline(records: &[Record]) -> String {
                 *micros as f64 / 1e3
             ),
             Event::Stabilized { rounds } => format!("✔ stabilized after {rounds} rounds"),
+            Event::Synth {
+                phase,
+                detail,
+                candidates,
+                survivors,
+            } => format!("  synth {phase} [{detail}]: {candidates} -> {survivors}"),
             Event::Verdict {
                 layer,
                 protocol,

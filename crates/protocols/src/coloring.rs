@@ -87,6 +87,14 @@ impl TreeColoring {
         self.color[j]
     }
 
+    /// The recoloring repair at non-root node `j`, if any.
+    pub fn recolor_action(&self, j: usize) -> Option<ActionId> {
+        self.repairs
+            .iter()
+            .find(|&&(node, _)| node == j)
+            .map(|&(_, id)| id)
+    }
+
     /// The constraint `R.j: c.j != c.(P.j)`.
     ///
     /// # Panics
