@@ -1,0 +1,233 @@
+//! F2 fleet figures: multi-tenant throughput (instances/s, steps/s),
+//! per-tenant footprint, verdict-cache hit rate, and stabilization-latency
+//! percentiles versus the checker's certified bounds, emitted as
+//! `BENCH_fleet.json`.
+//!
+//! ```text
+//! bench_fleet                   # full run (1M+ tenants)
+//! bench_fleet --smoke           # CI-sized (100k tenants)
+//! bench_fleet --check           # fail on violations or footprint/cache regressions
+//! bench_fleet --out FILE        # write the JSON somewhere else
+//! ```
+//!
+//! # What is measured
+//!
+//! Each population runs [`run_fleet`] end to end: per-tenant fault
+//! streams split from one master seed, batch-stepped slabs over the
+//! work-stealing pool, first-tenant-pays verdict caching. Reported per
+//! population:
+//!
+//! - `instances_per_second` / `steps_per_second`: throughput;
+//! - `bytes_per_instance`: resident state + metadata per tenant;
+//! - `cache_hit_rate`: verdict-cache hits over lookups;
+//! - `p50_steps` / `p99_steps` / `max_latency`: final-episode
+//!   stabilization latency, compared per configuration against the
+//!   checker's `worst_case_moves` bound.
+//!
+//! With `--check`, every population must show zero violations (no stuck,
+//! exhausted, or over-bound tenants), `bytes_per_instance <= 64` for the
+//! ring populations, and a cache hit rate above 99.9%; additionally the
+//! smoke population is re-run under a different worker count and slab
+//! size and its deterministic digest must not move.
+
+use std::process::ExitCode;
+
+use nonmask_fleet::{run_fleet, FleetConfig, FleetProtocol, FleetReport};
+use nonmask_obs::Journal;
+
+/// Which runs include the population.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// Always measured (CI-sized).
+    Smoke,
+    /// Default runs: the million-tenant populations.
+    Full,
+}
+
+struct Population {
+    name: &'static str,
+    config: FleetConfig,
+    tier: Tier,
+    /// `--check`: maximum bytes/instance (0 = ungated).
+    max_bytes: u64,
+}
+
+fn populations(tier: Tier) -> Vec<Population> {
+    let mut all = vec![
+        Population {
+            name: "ring-mix-100k",
+            config: FleetConfig {
+                protocols: FleetProtocol::ring_mix(),
+                tenants: 100_000,
+                master_seed: 0xF1EE_7001,
+                faults_per_tenant: 2,
+                ..FleetConfig::default()
+            },
+            tier: Tier::Smoke,
+            max_bytes: 64,
+        },
+        Population {
+            name: "mixed-100k",
+            config: FleetConfig {
+                protocols: FleetProtocol::mixed(),
+                tenants: 100_000,
+                master_seed: 0xF1EE_7002,
+                faults_per_tenant: 2,
+                ..FleetConfig::default()
+            },
+            tier: Tier::Smoke,
+            max_bytes: 0,
+        },
+        Population {
+            name: "ring-mix-1m",
+            config: FleetConfig {
+                protocols: FleetProtocol::ring_mix(),
+                tenants: 1_000_000,
+                master_seed: 0xF1EE_7003,
+                faults_per_tenant: 2,
+                ..FleetConfig::default()
+            },
+            tier: Tier::Full,
+            max_bytes: 64,
+        },
+        Population {
+            name: "mixed-1m",
+            config: FleetConfig {
+                protocols: FleetProtocol::mixed(),
+                tenants: 1_000_000,
+                master_seed: 0xF1EE_7004,
+                faults_per_tenant: 3,
+                ..FleetConfig::default()
+            },
+            tier: Tier::Full,
+            max_bytes: 0,
+        },
+    ];
+    all.retain(|p| tier == Tier::Full || p.tier == Tier::Smoke);
+    all
+}
+
+fn emit(rows: &[(&'static str, FleetReport)], mode: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench-fleet-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"populations\": [\n");
+    for (i, (name, r)) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{name}\",\n"));
+        out.push_str(&format!("      \"report\": {}\n", r.to_json()));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Re-run the population under inverted scheduling knobs and compare
+/// digests: the determinism spot check `--check` enforces.
+fn digest_moves_under_rescheduling(pop: &Population, baseline: &FleetReport) -> bool {
+    let mut alt = pop.config.clone();
+    alt.workers = if baseline.workers == 1 { 4 } else { 1 };
+    alt.slab_size = if pop.config.slab_size == 512 {
+        4096
+    } else {
+        512
+    };
+    match run_fleet(&alt, &Journal::disabled()) {
+        Ok(report) => report.digest() != baseline.digest(),
+        Err(_) => true,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let (tier, mode) = if smoke {
+        (Tier::Smoke, "smoke")
+    } else {
+        (Tier::Full, "full")
+    };
+
+    println!(
+        "{:<14} {:>9} {:>12} {:>13} {:>7} {:>8} {:>5} {:>5} {:>8}",
+        "population", "tenants", "inst/s", "steps/s", "B/inst", "hit rate", "p50", "p99", "wall s"
+    );
+    let mut rows: Vec<(&'static str, FleetReport)> = Vec::new();
+    let mut failed = false;
+    for pop in populations(tier) {
+        let report = match run_fleet(&pop.config, &Journal::disabled()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", pop.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{:<14} {:>9} {:>12.0} {:>13.0} {:>7} {:>7.4}% {:>5} {:>5} {:>8.3}",
+            pop.name,
+            report.tenants,
+            report.instances_per_second(),
+            report.steps_per_second(),
+            report.bytes_per_instance,
+            report.cache_hit_rate() * 100.0,
+            report.histogram.percentile(50.0).unwrap_or(0),
+            report.histogram.percentile(99.0).unwrap_or(0),
+            report.wall.as_secs_f64(),
+        );
+        if check {
+            if report.violations() != 0 {
+                eprintln!(
+                    "FAIL {}: {} verdict-contradicting tenants (stuck/exhausted/over-bound)",
+                    pop.name,
+                    report.violations()
+                );
+                failed = true;
+            }
+            if pop.max_bytes > 0 && report.bytes_per_instance > pop.max_bytes {
+                eprintln!(
+                    "FAIL {}: {} bytes/instance exceeds the {}-byte budget",
+                    pop.name, report.bytes_per_instance, pop.max_bytes
+                );
+                failed = true;
+            }
+            if report.cache_hit_rate() < 0.999 {
+                eprintln!(
+                    "FAIL {}: cache hit rate {:.4} below 0.999",
+                    pop.name,
+                    report.cache_hit_rate()
+                );
+                failed = true;
+            }
+            if pop.tier == Tier::Smoke && digest_moves_under_rescheduling(&pop, &report) {
+                eprintln!(
+                    "FAIL {}: deterministic digest moved under different workers/slab size",
+                    pop.name
+                );
+                failed = true;
+            }
+        }
+        rows.push((pop.name, report));
+    }
+    let json = emit(&rows, mode);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -44,7 +44,8 @@ pub fn e7() -> String {
             let mut total = 0.0;
             const SEEDS: u64 = 5;
             for seed in 0..SEEDS {
-                let mut faults = TransientCorruption::new(rate, 1_000 + seed * 17 + i as u64);
+                let mut faults =
+                    TransientCorruption::new(rate, rand::split_seed(seed, 1_000 + i as u64));
                 let report = Executor::new(program).run_with_faults(
                     initial.clone(),
                     &mut Random::seeded(77 + seed),

@@ -40,6 +40,7 @@ usage: nonmask-run <protocol> [options]
        nonmask-run check [options]
        nonmask-run conform [--smoke] [--seed S] [--out DIR] [--sim-only]
        nonmask-run synth --protocol P [--out FILE] [--golden FILE] [--conform]
+       nonmask-run fleet [--tenants N] [--protocols ring|mixed] [--out FILE]
        nonmask-run trace <journal.jsonl>
 
 protocols:
@@ -66,6 +67,15 @@ subcommands:
                     --golden FILE: diff against a committed design, exit
                     nonzero on drift; --conform: feed the synthesized
                     design through the smoke conformance corpus)
+  fleet             batch-step a population of protocol instances to
+                    stabilization over the verdict cache and report
+                    throughput, cache hit rate, and latency percentiles
+                    versus the certified bounds
+                    (--tenants: population size; --protocols ring|mixed;
+                    --seed: master seed; --workers/--slab-size:
+                    scheduling knobs, bit-identical results either way;
+                    --faults: transient faults per tenant; --journal:
+                    population-summary journal; --out: JSON report)
   trace             replay a JSON-lines journal as a readable timeline
                     (exits nonzero on any schema drift)
 
@@ -371,6 +381,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("synth") {
         return synth::main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("fleet") {
+        return fleet::main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(args) => args,
@@ -733,6 +746,179 @@ mod conform {
              (cargo run -p nonmask-conform --features planted-bug --bin nonmask-run -- conform --planted-bug)"
         );
         ExitCode::FAILURE
+    }
+}
+
+/// `fleet`: batch-step a population of lightweight protocol instances to
+/// stabilization, with checker verdicts shared through the fleet's
+/// first-tenant-pays cache.
+mod fleet {
+    use std::process::ExitCode;
+
+    use nonmask_fleet::{run_fleet, FleetConfig, FleetProtocol};
+    use nonmask_obs::Journal;
+
+    struct Args {
+        tenants: u64,
+        protocols: String,
+        seed: u64,
+        workers: usize,
+        slab_size: usize,
+        faults: u32,
+        journal: Option<String>,
+        out: Option<String>,
+    }
+
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let defaults = FleetConfig::default();
+        let mut args = Args {
+            tenants: defaults.tenants,
+            protocols: "ring".to_owned(),
+            seed: defaults.master_seed,
+            workers: defaults.workers,
+            slab_size: defaults.slab_size,
+            faults: defaults.faults_per_tenant,
+            journal: None,
+            out: None,
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = argv[i].as_str();
+            let mut value = |name: &str| -> Result<String, String> {
+                i += 1;
+                argv.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg {
+                "--tenants" => {
+                    args.tenants = value("--tenants")?
+                        .parse()
+                        .map_err(|e| format!("--tenants: {e}"))?
+                }
+                "--protocols" => args.protocols = value("--protocols")?,
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--workers" => {
+                    args.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?
+                }
+                "--slab-size" => {
+                    args.slab_size = value("--slab-size")?
+                        .parse()
+                        .map_err(|e| format!("--slab-size: {e}"))?
+                }
+                "--faults" => {
+                    args.faults = value("--faults")?
+                        .parse()
+                        .map_err(|e| format!("--faults: {e}"))?
+                }
+                "--journal" => args.journal = Some(value("--journal")?),
+                "--out" => args.out = Some(value("--out")?),
+                other => return Err(format!("unknown fleet option `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    pub fn main(argv: &[String]) -> ExitCode {
+        let args = match parse(argv) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", super::USAGE);
+                return ExitCode::FAILURE;
+            }
+        };
+        match run(&args) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    fn run(args: &Args) -> Result<ExitCode, String> {
+        let protocols = match args.protocols.as_str() {
+            "ring" => FleetProtocol::ring_mix(),
+            "mixed" => FleetProtocol::mixed(),
+            other => return Err(format!("unknown protocol set `{other}` (ring|mixed)")),
+        };
+        let config = FleetConfig {
+            protocols,
+            tenants: args.tenants,
+            master_seed: args.seed,
+            workers: args.workers,
+            slab_size: args.slab_size,
+            faults_per_tenant: args.faults,
+            ..FleetConfig::default()
+        };
+        let journal = match &args.journal {
+            Some(path) => {
+                Journal::to_file(path).map_err(|e| format!("cannot create {path}: {e}"))?
+            }
+            None => Journal::disabled(),
+        };
+        println!(
+            "fleet: {} tenants over {} configurations (seed {:#x}, {} faults/tenant)",
+            config.tenants,
+            config.protocols.len(),
+            config.master_seed,
+            config.faults_per_tenant
+        );
+        let report = run_fleet(&config, &journal).map_err(|e| e.to_string())?;
+        journal.flush();
+
+        println!(
+            "{} tenants retired in {:.3}s ({:.0} instances/s, {:.0} steps/s), \
+             {} B/instance, cache hit rate {:.4}%",
+            report.tenants,
+            report.wall.as_secs_f64(),
+            report.instances_per_second(),
+            report.steps_per_second(),
+            report.bytes_per_instance,
+            report.cache_hit_rate() * 100.0
+        );
+        println!(
+            "latency: p50 {} p99 {} max {} steps; digest {:016x}",
+            report.histogram.percentile(50.0).unwrap_or(0),
+            report.histogram.percentile(99.0).unwrap_or(0),
+            report.histogram.max(),
+            report.digest()
+        );
+        for c in &report.configs {
+            println!(
+                "  {:<16} {:>8} tenants {:>10} steps  max latency {:>3} / bound {:<4} {}",
+                c.key,
+                c.tenants,
+                c.steps,
+                c.max_latency,
+                c.bound.map_or("-".to_string(), |b| b.to_string()),
+                if c.within_bound() { "ok" } else { "VIOLATED" }
+            );
+        }
+        if let Some(path) = &args.journal {
+            eprintln!("population journal written to {path}");
+        }
+        if let Some(path) = &args.out {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        Ok(if report.violations() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: {} verdict-contradicting tenants/configurations",
+                report.violations()
+            );
+            ExitCode::from(2)
+        })
     }
 }
 

@@ -22,7 +22,9 @@ use crate::spec::ProtocolSpec;
 /// How much corpus to run.
 #[derive(Debug, Clone)]
 pub struct CorpusConfig {
-    /// Base seed; run `i` of a protocol uses `base_seed + i`.
+    /// Master seed; run `i` derives its seed via
+    /// [`rand::split_seed`] on a per-layer stream index, so runs never
+    /// share seed material across runs or layers.
     pub base_seed: u64,
     /// Simulator runs per protocol.
     pub sim_runs: usize,
@@ -272,8 +274,12 @@ pub fn run_corpus(
             .process_count();
         let mut runs = Vec::with_capacity(config.sim_runs + config.net_runs);
 
+        // Sim runs take even streams, net runs odd — disjoint stream
+        // spaces under one master seed, with full avalanche between
+        // neighbouring runs (`split_seed` never collides, unlike the
+        // old `base_seed + i` pattern).
         for i in 0..config.sim_runs {
-            let seed = config.base_seed + i as u64;
+            let seed = rand::split_seed(config.base_seed, 2 * i as u64);
             let (sim_cfg, variant) = sim_variant(i);
             let schedule = FaultSchedule::random(&spec.program, nodes, seed, 4, 20);
             let outcome = run_sim(&spec.program, &spec.goal, seed, &schedule, &sim_cfg)?;
@@ -293,7 +299,7 @@ pub fn run_corpus(
 
         if !config.sim_only {
             for i in 0..config.net_runs {
-                let seed = config.base_seed + 0x4E57 + i as u64;
+                let seed = rand::split_seed(config.base_seed, 2 * i as u64 + 1);
                 let (net_cfg, variant) = net_variant(i, seed, nodes);
                 let outcome = run_net(&spec.program, &spec.goal, seed, &net_cfg)
                     .map_err(|e| format!("{}: net run failed: {e}", spec.name))?;

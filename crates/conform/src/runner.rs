@@ -256,7 +256,7 @@ pub fn run_net_journaled(
             if found {
                 break;
             }
-            for var in refinement.vars_of(step.site) {
+            for &var in refinement.vars_of(step.site) {
                 truth.set(var, step.after.get(var));
             }
             count += 1;

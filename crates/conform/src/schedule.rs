@@ -88,7 +88,7 @@ impl FaultSchedule {
         horizon: u64,
     ) -> Self {
         // Decouple the schedule stream from the simulator's seed stream.
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5C8E_D01E);
+        let mut rng = StdRng::seed_from_u64(rand::split_seed(seed, 0x5EED_5C8E_D01E));
         let vars: Vec<_> = program.var_ids().collect();
         let count = if max_entries == 0 {
             0

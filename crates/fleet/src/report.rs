@@ -1,0 +1,276 @@
+//! Fleet run reports: aggregates, derived rates, and a deterministic
+//! digest for cross-configuration bit-identity checks.
+
+use std::time::Duration;
+
+use nonmask_obs::{CounterSet, Counters};
+
+use crate::hist::LatencyHistogram;
+
+/// Per-configuration aggregate of a fleet run, alongside the cached
+/// checker verdict it is compared against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigReport {
+    /// The configuration's cache key.
+    pub key: String,
+    /// Reachable states (from the cached verdict).
+    pub states: u64,
+    /// The checker's worst-case convergence bound; `None` means the
+    /// checker found the configuration non-converging.
+    pub bound: Option<u64>,
+    /// Tenants assigned to this configuration.
+    pub tenants: u64,
+    /// Total steps its tenants took.
+    pub steps: u64,
+    /// Tenants that stabilized.
+    pub stabilized: u64,
+    /// Tenants that deadlocked outside the goal (contradicts a finite
+    /// bound — always a violation).
+    pub stuck: u64,
+    /// Tenants that hit the per-episode step cap (likewise a violation:
+    /// the cap is far above any certified bound).
+    pub exhausted: u64,
+    /// Largest final-episode latency observed among stabilized tenants.
+    pub max_latency: u64,
+}
+
+impl ConfigReport {
+    /// Whether every observed latency respects the certified bound (and
+    /// a bound exists at all).
+    pub fn within_bound(&self) -> bool {
+        match self.bound {
+            Some(bound) => self.max_latency <= bound,
+            None => false,
+        }
+    }
+}
+
+/// The complete outcome of one [`run_fleet`](crate::run_fleet) call.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Tenants run.
+    pub tenants: u64,
+    /// Worker threads actually used (auto-detect resolved).
+    pub workers: usize,
+    /// Slab size used.
+    pub slab_size: usize,
+    /// Master seed the per-tenant streams were split from.
+    pub master_seed: u64,
+    /// Faults injected per tenant.
+    pub faults_per_tenant: u32,
+    /// Per-episode step cap.
+    pub max_steps: u32,
+    /// Bytes of resident state per tenant: arena stride plus metadata.
+    pub bytes_per_instance: u64,
+    /// Checker enumerations performed (the verdict cache's miss count).
+    pub enumerations: u64,
+    /// Fleet-wide counters (scope `fleet`): `tenants`, `ticks`, `steps`,
+    /// `faults`, `stabilized`, `stuck`, `exhausted`, `cache_lookups`.
+    pub counters: Counters,
+    /// Stabilization-latency histogram over all stabilized tenants.
+    pub histogram: LatencyHistogram,
+    /// Per-configuration aggregates (configurations with tenants).
+    pub configs: Vec<ConfigReport>,
+    /// Wall-clock duration of the stepping phase.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Verdict-cache hit rate: `(lookups - misses) / lookups`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.counters.get("cache_lookups");
+        if lookups == 0 {
+            return 0.0;
+        }
+        (lookups - self.enumerations.min(lookups)) as f64 / lookups as f64
+    }
+
+    /// Tenants retired per wall-clock second.
+    pub fn instances_per_second(&self) -> f64 {
+        self.tenants as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Steps executed per wall-clock second.
+    pub fn steps_per_second(&self) -> f64 {
+        self.counters.get("steps") as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Verdict-contradicting outcomes: stuck or exhausted tenants, plus
+    /// configurations whose observed latency escaped the certified bound.
+    pub fn violations(&self) -> u64 {
+        self.counters.get("stuck")
+            + self.counters.get("exhausted")
+            + self.configs.iter().filter(|c| !c.within_bound()).count() as u64
+    }
+
+    /// The run's outcome as JSON **excluding** every timing-dependent
+    /// field and every scheduling knob (`workers`, `slab_size`, wall
+    /// time, rates): two runs of the same fleet must render identical
+    /// deterministic JSON regardless of thread count or slab size.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"tenants\":");
+        out.push_str(&self.tenants.to_string());
+        out.push_str(",\"master_seed\":");
+        out.push_str(&self.master_seed.to_string());
+        out.push_str(",\"faults_per_tenant\":");
+        out.push_str(&self.faults_per_tenant.to_string());
+        out.push_str(",\"max_steps\":");
+        out.push_str(&self.max_steps.to_string());
+        out.push_str(",\"bytes_per_instance\":");
+        out.push_str(&self.bytes_per_instance.to_string());
+        out.push_str(",\"enumerations\":");
+        out.push_str(&self.enumerations.to_string());
+        out.push_str(",\"counters\":");
+        out.push_str(&self.counters.to_json());
+        out.push_str(",\"latency\":{\"buckets\":{");
+        for (i, (latency, count)) in self.histogram.nonzero().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{latency}\":{count}"));
+        }
+        out.push_str("},\"overflow\":");
+        out.push_str(&self.histogram.overflow().to_string());
+        out.push_str("},\"configs\":[");
+        for (i, c) in self.configs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"key\":\"{}\",\"states\":{},\"bound\":{},\"tenants\":{},\"steps\":{},\
+                 \"stabilized\":{},\"stuck\":{},\"exhausted\":{},\"max_latency\":{}}}",
+                c.key,
+                c.states,
+                c.bound.map_or("null".to_string(), |b| b.to_string()),
+                c.tenants,
+                c.steps,
+                c.stabilized,
+                c.stuck,
+                c.exhausted,
+                c.max_latency,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// FNV-1a digest of [`deterministic_json`](FleetReport::deterministic_json)
+    /// — the value the determinism tests and the bench's cross-scheduling
+    /// spot check compare.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.deterministic_json().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// Full JSON rendering: the deterministic core plus scheduling knobs,
+    /// wall time, derived rates, percentiles, and the digest.
+    pub fn to_json(&self) -> String {
+        let core = self.deterministic_json();
+        // Splice the extra fields into the top-level object.
+        let mut out = core;
+        out.pop(); // trailing '}'
+        out.push_str(&format!(
+            ",\"workers\":{},\"slab_size\":{},\"wall_seconds\":{:.6},\
+             \"instances_per_second\":{:.1},\"steps_per_second\":{:.1},\
+             \"cache_hit_rate\":{:.8},\"p50_steps\":{},\"p99_steps\":{},\
+             \"max_latency\":{},\"violations\":{},\"digest\":\"{:016x}\"}}",
+            self.workers,
+            self.slab_size,
+            self.wall.as_secs_f64(),
+            self.instances_per_second(),
+            self.steps_per_second(),
+            self.cache_hit_rate(),
+            self.histogram.percentile(50.0).unwrap_or(0),
+            self.histogram.percentile(99.0).unwrap_or(0),
+            self.histogram.max(),
+            self.violations(),
+            self.digest(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> FleetReport {
+        let mut counters = Counters::new("fleet");
+        counters.add("tenants", 4);
+        counters.add("steps", 40);
+        counters.add("stuck", 0);
+        counters.add("exhausted", 0);
+        counters.add("cache_lookups", 4);
+        let mut histogram = LatencyHistogram::new();
+        for latency in [2, 3, 3, 9] {
+            histogram.record(latency);
+        }
+        FleetReport {
+            tenants: 4,
+            workers: 2,
+            slab_size: 2,
+            master_seed: 7,
+            faults_per_tenant: 1,
+            max_steps: 100,
+            bytes_per_instance: 64,
+            enumerations: 1,
+            counters,
+            histogram,
+            configs: vec![ConfigReport {
+                key: "token-ring-3x3".to_string(),
+                states: 27,
+                bound: Some(11),
+                tenants: 4,
+                steps: 40,
+                stabilized: 4,
+                stuck: 0,
+                exhausted: 0,
+                max_latency: 9,
+            }],
+            wall: Duration::from_millis(125),
+        }
+    }
+
+    #[test]
+    fn digest_ignores_scheduling_and_wall_time() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.workers = 16;
+        b.slab_size = 4096;
+        b.wall = Duration::from_secs(30);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        // But not the outcome itself.
+        let mut c = sample_report();
+        c.master_seed = 8;
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn rates_and_violations() {
+        let r = sample_report();
+        assert_eq!(r.cache_hit_rate(), 0.75);
+        assert!(r.instances_per_second() > 0.0);
+        assert_eq!(r.violations(), 0);
+        let mut bad = sample_report();
+        bad.configs[0].max_latency = 99;
+        assert_eq!(bad.violations(), 1);
+    }
+
+    #[test]
+    fn json_renders_and_mentions_the_digest() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(json.contains("\"digest\":\""));
+        assert!(json.contains("\"p99_steps\":9"));
+        assert!(json.contains("\"latency\":{\"buckets\":{\"2\":1,\"3\":2,\"9\":1}"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,0 +1,120 @@
+//! Bit-identity of fleet results across scheduling choices.
+//!
+//! The fleet's headline guarantee: worker count and slab size are pure
+//! scheduling knobs — they must not change a single bit of the outcome
+//! (digest, counters, histogram, per-config aggregates). These tests pin
+//! that across a grid of `{workers} × {slab sizes}` and, via proptest,
+//! across master seeds.
+
+use nonmask_fleet::{run_fleet, FleetConfig, FleetProtocol, FleetReport};
+use nonmask_obs::Journal;
+use proptest::prelude::*;
+
+fn run(config: &FleetConfig) -> FleetReport {
+    run_fleet(config, &Journal::disabled()).expect("fleet run failed")
+}
+
+fn mixed_config(tenants: u64, master_seed: u64) -> FleetConfig {
+    FleetConfig {
+        protocols: FleetProtocol::mixed(),
+        tenants,
+        master_seed,
+        faults_per_tenant: 2,
+        ..FleetConfig::default()
+    }
+}
+
+/// Every observable aggregate must match, not just the digest.
+fn assert_identical(a: &FleetReport, b: &FleetReport, what: &str) {
+    assert_eq!(a.digest(), b.digest(), "{what}: digest diverged");
+    assert_eq!(a.counters, b.counters, "{what}: counters diverged");
+    assert_eq!(a.histogram, b.histogram, "{what}: histogram diverged");
+    assert_eq!(
+        a.configs, b.configs,
+        "{what}: per-config aggregates diverged"
+    );
+    assert_eq!(
+        a.enumerations, b.enumerations,
+        "{what}: cache misses diverged"
+    );
+}
+
+#[test]
+fn bit_identical_across_workers_and_slab_sizes() {
+    let baseline = {
+        let mut c = mixed_config(2_000, 0xABCD_EF01);
+        c.workers = 1;
+        c.slab_size = 64;
+        run(&c)
+    };
+    assert_eq!(baseline.counters.get("tenants"), 2_000);
+    assert_eq!(baseline.counters.get("stabilized"), 2_000);
+    assert_eq!(baseline.violations(), 0);
+
+    for workers in [1, 4, 7] {
+        for slab_size in [1, 64, 4096] {
+            let mut c = mixed_config(2_000, 0xABCD_EF01);
+            c.workers = workers;
+            c.slab_size = slab_size;
+            let report = run(&c);
+            assert_identical(
+                &baseline,
+                &report,
+                &format!("workers={workers} slab={slab_size}"),
+            );
+            assert_eq!(report.workers, workers, "resolved workers reported");
+        }
+    }
+}
+
+#[test]
+fn verdict_cache_misses_once_per_config() {
+    let report = run(&mixed_config(1_000, 42));
+    // 4 configurations in the mix; every tenant looked the verdict up.
+    assert_eq!(report.enumerations, 4);
+    assert_eq!(report.counters.get("cache_lookups"), 1_000);
+    let expected = (1_000.0 - 4.0) / 1_000.0;
+    assert!((report.cache_hit_rate() - expected).abs() < 1e-12);
+}
+
+#[test]
+fn every_latency_respects_the_certified_bound() {
+    let report = run(&mixed_config(3_000, 0x0BAD_CAFE));
+    assert_eq!(report.counters.get("stuck"), 0);
+    assert_eq!(report.counters.get("exhausted"), 0);
+    for c in &report.configs {
+        let bound = c.bound.expect("fleet protocols converge");
+        assert!(
+            c.max_latency <= bound,
+            "{}: empirical latency {} exceeds certified bound {}",
+            c.key,
+            c.max_latency,
+            bound
+        );
+    }
+    // The histogram agrees with the per-config tallies.
+    assert_eq!(report.histogram.total(), 3_000);
+    let fleet_max = report.configs.iter().map(|c| c.max_latency).max().unwrap();
+    assert_eq!(report.histogram.max(), fleet_max);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary master seeds, a single-threaded tiny-slab run and a
+    /// multi-threaded large-slab run are bit-identical and respect the
+    /// checker's bounds.
+    #[test]
+    fn st_mt_identity_over_seeds(master_seed in any::<u64>()) {
+        let mut st = mixed_config(300, master_seed);
+        st.workers = 1;
+        st.slab_size = 7;
+        let mut mt = mixed_config(300, master_seed);
+        mt.workers = 4;
+        mt.slab_size = 128;
+        let a = run(&st);
+        let b = run(&mt);
+        assert_identical(&a, &b, &format!("seed={master_seed:#x}"));
+        prop_assert_eq!(a.violations(), 0);
+    }
+}

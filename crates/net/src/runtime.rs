@@ -307,8 +307,8 @@ fn build_specs(refinement: &Refinement) -> Result<Vec<NodeSpec>, NetError> {
         .map(|p| {
             Ok(NodeSpec {
                 node: u16::try_from(p).map_err(|_| NetError::TooManyNodes(n))?,
-                actions: refinement.actions_of(p),
-                owned: refinement.vars_of(p),
+                actions: refinement.actions_of(p).to_vec(),
+                owned: refinement.vars_of(p).to_vec(),
                 out_peers: Vec::new(),
                 expected_incoming: 0,
             })
@@ -539,7 +539,9 @@ where
     });
     let mut queue: VecDeque<NetEvent> = config.events.iter().cloned().collect();
     let mut pending: Vec<(Duration, PendingAction)> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xD15E_A5ED));
+    // The controller's event stream must not share seed material with the
+    // per-node link streams derived from the same config seed.
+    let mut rng = StdRng::seed_from_u64(rand::split_seed(config.seed, 0xD15E_A5ED));
     let mut timed_out = false;
 
     let apply_report = |frame: &Frame,

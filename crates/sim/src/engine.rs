@@ -93,6 +93,9 @@ pub struct Simulation<'p> {
     steps: u64,
     messages_delivered: u64,
     messages_dropped: u64,
+    /// Reusable write buffer for the broadcast phase; capacity persists
+    /// across rounds so the steady-state hot path never allocates.
+    outgoing: Vec<(VarId, i64)>,
 }
 
 impl<'p> Simulation<'p> {
@@ -121,6 +124,7 @@ impl<'p> Simulation<'p> {
             steps: 0,
             messages_delivered: 0,
             messages_dropped: 0,
+            outgoing: Vec::new(),
         }
     }
 
@@ -145,11 +149,23 @@ impl<'p> Simulation<'p> {
     /// The god's-eye state: every variable read from its owner's view.
     pub fn ground_truth(&self) -> State {
         let mut s = State::zeroed(self.program.var_count());
+        self.ground_truth_into(&mut s);
+        s
+    }
+
+    /// Assemble the god's-eye state into `out` — the allocation-free
+    /// counterpart of [`ground_truth`](Simulation::ground_truth) for
+    /// loops that poll it every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has a different length than the program's states.
+    pub fn ground_truth_into(&self, out: &mut State) {
+        assert_eq!(out.len(), self.program.var_count());
         for var in self.program.var_ids() {
             let owner = self.refinement.owner_of(var);
-            s.set(var, self.views[owner].get(var));
+            out.set(var, self.views[owner].get(var));
         }
-        s
     }
 
     /// The view (own variables + caches) of process `p`.
@@ -180,7 +196,9 @@ impl<'p> Simulation<'p> {
 
     fn send(&mut self, var: VarId, value: i64) {
         let sender = self.refinement.owner_of(var);
-        for &reader in self.refinement.remote_readers_of(var).to_vec().iter() {
+        // Disjoint field borrows: the reader list borrows `refinement`
+        // immutably while the loop body mutates `rng`/`inboxes`/counters.
+        for &reader in self.refinement.remote_readers_of(var) {
             let partitioned = self.rounds < self.partition_until
                 && self.partition_group[sender] != self.partition_group[reader];
             if partitioned
@@ -217,22 +235,31 @@ impl<'p> Simulation<'p> {
     }
 
     /// Execute one round: deliver, step every process, broadcast.
+    ///
+    /// The steady-state hot path is allocation-free: inboxes rotate in
+    /// place, outgoing writes reuse one persistent buffer, and the
+    /// refinement lookups are slice borrows. (Step logging is the
+    /// documented exception — it clones two states per step.)
     pub fn round(&mut self) {
         // 1. Deliver the updates whose delay has elapsed, in send order.
+        //    In-place rotation: pop each entry once; due entries apply,
+        //    the rest re-queue behind — relative order is preserved and
+        //    the deque's capacity is reused round after round.
         for p in 0..self.views.len() {
-            let mut remaining = VecDeque::with_capacity(self.inboxes[p].len());
-            while let Some((due, var, value)) = self.inboxes[p].pop_front() {
+            for _ in 0..self.inboxes[p].len() {
+                let Some((due, var, value)) = self.inboxes[p].pop_front() else {
+                    break;
+                };
                 if due <= self.rounds {
                     self.views[p].set(var, value);
                 } else {
-                    remaining.push_back((due, var, value));
+                    self.inboxes[p].push_back((due, var, value));
                 }
             }
-            self.inboxes[p] = remaining;
         }
 
         // 2. Each process executes up to steps_per_round enabled actions.
-        let mut outgoing: Vec<(VarId, i64)> = Vec::new();
+        debug_assert!(self.outgoing.is_empty());
         for p in 0..self.views.len() {
             let actions = self.refinement.actions_of(p);
             if actions.is_empty() {
@@ -259,20 +286,23 @@ impl<'p> Simulation<'p> {
                     log.push(p, self.rounds, actions[idx], before, self.views[p].clone());
                 }
                 for &w in action.writes() {
-                    outgoing.push((w, self.views[p].get(w)));
+                    self.outgoing.push((w, self.views[p].get(w)));
                 }
             }
         }
-        for (var, value) in outgoing {
+        for i in 0..self.outgoing.len() {
+            let (var, value) = self.outgoing[i];
             self.send(var, value);
         }
+        self.outgoing.clear();
 
         // 3. Heartbeats.
         if self.config.heartbeat_period > 0
             && self.rounds.is_multiple_of(self.config.heartbeat_period)
         {
             for p in 0..self.views.len() {
-                for var in self.refinement.vars_of(p) {
+                for i in 0..self.refinement.vars_of(p).len() {
+                    let var = self.refinement.vars_of(p)[i];
                     let value = self.views[p].get(var);
                     self.send(var, value);
                 }
@@ -297,9 +327,11 @@ impl<'p> Simulation<'p> {
         let mut hold_start = 0u64;
         let start_round = self.rounds;
         let mut stabilized_at_round = None;
+        let mut truth = State::zeroed(self.program.var_count());
         while self.rounds - start_round < self.config.max_rounds {
             self.round();
-            if pred.holds(&self.ground_truth()) {
+            self.ground_truth_into(&mut truth);
+            if pred.holds(&truth) {
                 if held == 0 {
                     hold_start = self.rounds - 1;
                 }
@@ -329,7 +361,7 @@ impl<'p> Simulation<'p> {
     /// (authoritative copies only; caches elsewhere go stale, exactly like
     /// a real memory fault).
     pub fn corrupt_process(&mut self, p: usize) {
-        for var in self.refinement.vars_of(p) {
+        for &var in self.refinement.vars_of(p) {
             let value = self.program.var(var).domain().sample(&mut self.rng);
             self.views[p].set(var, value);
         }

@@ -240,8 +240,8 @@ impl<'p> EventSim<'p> {
                     let own: Vec<(VarId, i64)> = self
                         .refinement
                         .vars_of(process)
-                        .into_iter()
-                        .map(|v| (v, self.views[process].get(v)))
+                        .iter()
+                        .map(|&v| (v, self.views[process].get(v)))
                         .collect();
                     for (var, value) in own {
                         self.broadcast(var, value);

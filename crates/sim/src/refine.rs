@@ -56,6 +56,11 @@ pub struct Refinement {
     executor: Vec<usize>,
     /// Variable → processes (indices) that read it remotely.
     remote_readers: Vec<Vec<usize>>,
+    /// Process → its actions, precomputed so per-round lookups are
+    /// allocation-free slice borrows.
+    actions_by_process: Vec<Vec<ActionId>>,
+    /// Process → its variables, precomputed for the same reason.
+    vars_by_process: Vec<Vec<VarId>>,
 }
 
 impl Refinement {
@@ -110,11 +115,22 @@ impl Refinement {
             }
         }
 
+        let mut actions_by_process = vec![Vec::new(); processes.len()];
+        for (i, &e) in executor.iter().enumerate() {
+            actions_by_process[e].push(ActionId::from_index(i));
+        }
+        let mut vars_by_process = vec![Vec::new(); processes.len()];
+        for (i, &o) in owner.iter().enumerate() {
+            vars_by_process[o].push(VarId::from_index(i));
+        }
+
         Ok(Refinement {
             processes,
             owner,
             executor,
             remote_readers,
+            actions_by_process,
+            vars_by_process,
         })
     }
 
@@ -143,20 +159,14 @@ impl Refinement {
         &self.remote_readers[var.index()]
     }
 
-    /// The actions executed by process `p`.
-    pub fn actions_of(&self, p: usize) -> Vec<ActionId> {
-        (0..self.executor.len())
-            .filter(|&i| self.executor[i] == p)
-            .map(ActionId::from_index)
-            .collect()
+    /// The actions executed by process `p` (ascending action order).
+    pub fn actions_of(&self, p: usize) -> &[ActionId] {
+        &self.actions_by_process[p]
     }
 
-    /// The variables owned by process `p`.
-    pub fn vars_of(&self, p: usize) -> Vec<VarId> {
-        (0..self.owner.len())
-            .filter(|&i| self.owner[i] == p)
-            .map(VarId::from_index)
-            .collect()
+    /// The variables owned by process `p` (declaration order).
+    pub fn vars_of(&self, p: usize) -> &[VarId] {
+        &self.vars_by_process[p]
     }
 
     /// Total number of directed `(owner → reader)` cache relationships — a

@@ -1,0 +1,102 @@
+//! Step-determinism regression pin for the simulator engine.
+//!
+//! The engine's hot path was rewritten to be allocation-free (in-place
+//! inbox rotation, a reusable outgoing buffer, slice-backed refinement
+//! lookups, a scratch ground-truth state). None of that may change a
+//! single observable value: the RNG draw order, delivery order, action
+//! order, and therefore every counter and the final state must be
+//! bit-identical to the pre-refactor engine. The constants below were
+//! captured from the original implementation; any drift is a regression.
+
+use nonmask_protocols::diffusing::DiffusingComputation;
+use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::Tree;
+use nonmask_sim::{Refinement, SimConfig, Simulation};
+
+struct Golden {
+    stabilized_at_round: Option<u64>,
+    rounds: u64,
+    steps: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+    final_state: Vec<i64>,
+}
+
+fn run_ring(config: SimConfig) -> Golden {
+    let ring = TokenRing::new(5, 5);
+    let refinement = Refinement::new(ring.program()).unwrap();
+    let corrupt = ring.program().state_from([3, 1, 4, 1, 2]).unwrap();
+    let mut sim = Simulation::new(ring.program(), refinement, corrupt, config);
+    sim.corrupt_process(2);
+    sim.partition(&[0, 0, 0, 1, 1], 7);
+    let report = sim.run_until_stable(&ring.invariant(), 3);
+    Golden {
+        stabilized_at_round: report.stabilized_at_round,
+        rounds: report.rounds,
+        steps: report.steps,
+        messages_delivered: report.messages_delivered,
+        messages_dropped: report.messages_dropped,
+        final_state: report.final_state.slots().to_vec(),
+    }
+}
+
+fn run_diffusing(config: SimConfig) -> Golden {
+    let tree = Tree::binary(7);
+    let dc = DiffusingComputation::new(&tree);
+    let refinement = Refinement::new(dc.program()).unwrap();
+    let mut sim = Simulation::new(dc.program(), refinement, dc.initial_state(), config);
+    for _ in 0..10 {
+        sim.round();
+    }
+    sim.corrupt_process(2);
+    sim.corrupt_process(5);
+    sim.crash_restart(6);
+    let report = sim.run_until_stable(&dc.invariant(), 5);
+    Golden {
+        stabilized_at_round: report.stabilized_at_round,
+        rounds: report.rounds,
+        steps: report.steps,
+        messages_delivered: report.messages_delivered,
+        messages_dropped: report.messages_dropped,
+        final_state: report.final_state.slots().to_vec(),
+    }
+}
+
+#[test]
+fn lossy_delayed_ring_golden() {
+    // Lossy network + reordering delays + a partition + a process
+    // corruption: every RNG consumer on the hot path fires.
+    let g = run_ring(SimConfig {
+        seed: 0x00D5_EA11,
+        loss_rate: 0.25,
+        max_delay: 3,
+        ..SimConfig::default()
+    });
+    assert_eq!(g.stabilized_at_round, Some(3));
+    assert_eq!(g.rounds, 6);
+    assert_eq!(g.steps, 6);
+    assert_eq!(g.messages_delivered, 17);
+    assert_eq!(g.messages_dropped, 19);
+    assert_eq!(g.final_state, vec![3, 3, 3, 4, 4]);
+}
+
+#[test]
+fn diffusing_corruption_golden() {
+    let g = run_diffusing(SimConfig {
+        seed: 77,
+        loss_rate: 0.1,
+        max_delay: 2,
+        steps_per_round: 2,
+        heartbeat_period: 3,
+        ..SimConfig::default()
+    });
+    assert_eq!(g.stabilized_at_round, Some(10));
+    assert_eq!(g.rounds, 5);
+    assert_eq!(g.steps, 22);
+    assert_eq!(g.messages_delivered, 171);
+    assert_eq!(g.messages_dropped, 16);
+    assert_eq!(
+        g.final_state,
+        vec![1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+    );
+}

@@ -1,0 +1,58 @@
+//! Tier-1 fleet smoke: 100k tenants stepped to stabilization.
+//!
+//! A scaled-down version of the committed `BENCH_fleet.json` run that is
+//! cheap enough for every test invocation: the full ring mix, one
+//! hundred thousand tenants, default scheduling. Guards the fleet
+//! harness's three core claims — everyone stabilizes, the verdict cache
+//! misses exactly once per configuration, and every empirical latency
+//! respects the checker's certified worst-case bound.
+
+use nonmask_fleet::{run_fleet, FleetConfig, FleetProtocol};
+use nonmask_obs::Journal;
+
+#[test]
+fn hundred_thousand_tenants_stabilize_within_certified_bounds() {
+    let config = FleetConfig {
+        protocols: FleetProtocol::ring_mix(),
+        tenants: 100_000,
+        master_seed: 0xF1EE_7001,
+        faults_per_tenant: 2,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&config, &Journal::disabled()).unwrap();
+
+    assert_eq!(report.counters.get("tenants"), 100_000);
+    assert_eq!(report.counters.get("stabilized"), 100_000);
+    assert_eq!(report.violations(), 0, "stuck/exhausted/over-bound tenants");
+    assert_eq!(report.counters.get("faults"), 200_000);
+
+    // Cache: one enumeration per distinct configuration, everything else
+    // hits.
+    assert_eq!(report.enumerations, 8);
+    assert_eq!(report.counters.get("cache_lookups"), 100_000);
+    assert!(report.cache_hit_rate() > 0.9999);
+
+    // Per-tenant footprint: the 64-byte budget the arena layout promises.
+    assert!(
+        report.bytes_per_instance <= 64,
+        "bytes/instance = {}",
+        report.bytes_per_instance
+    );
+
+    // Latency distribution is sane and bounded.
+    assert_eq!(report.histogram.total(), 100_000);
+    assert_eq!(report.histogram.overflow(), 0);
+    let p50 = report.histogram.percentile(50.0).unwrap();
+    let p99 = report.histogram.percentile(99.0).unwrap();
+    assert!(p50 <= p99);
+    for c in &report.configs {
+        let bound = c.bound.expect("rings converge");
+        assert!(
+            c.max_latency <= bound,
+            "{}: {} > bound {}",
+            c.key,
+            c.max_latency,
+            bound
+        );
+    }
+}

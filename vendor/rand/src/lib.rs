@@ -56,17 +56,47 @@ pub trait SeedableRng: Sized {
 }
 
 /// SplitMix64: seed-expansion generator (public for reuse in seeding).
-#[derive(Clone, Debug)]
+///
+/// Also a full [`RngCore`]/[`Rng`] in its own right: its entire state is
+/// one `u64`, which makes it the generator of choice when millions of
+/// independent streams must each fit in a few bytes (the fleet harness
+/// keeps one per tenant).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SplitMix64(pub u64);
 
-impl SplitMix64 {
+impl RngCore for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        mix64(self.0)
     }
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically split one master seed into independent per-stream
+/// seeds: `split_seed(master, stream)` is the seed of stream `stream`.
+///
+/// Replaces ad-hoc `seed + i` / `seed ^ CONST` derivations: additive
+/// streams collide across neighbouring masters (`split(s, i+1)` vs
+/// `split(s+1, i)`) and feed nearly identical seed material to the
+/// generator. Here both inputs pass through the bijective SplitMix64
+/// finalizer before combining, so for a fixed master the map
+/// `stream -> seed` is **injective** (no two streams of one master ever
+/// collide, by construction, not by luck), and for a fixed stream the map
+/// `master -> seed` is injective too.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    // mix64 is bijective and the golden-ratio offsets decorrelate the two
+    // arguments; the outer mix64 avalanches the combination. For fixed
+    // `master` this composes bijections of `stream`, hence injectivity.
+    mix64(
+        mix64(master.wrapping_add(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(mix64(stream ^ 0x6A09_E667_F3BC_C909)),
+    )
 }
 
 /// Types samplable "off the standard distribution" via [`Rng::gen`].
@@ -222,5 +252,73 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn split_seed_streams_never_collide() {
+        // Injectivity in `stream` holds by construction; this smoke test
+        // pins it (and would catch a future non-bijective edit) over a
+        // contiguous run of tenant ids plus adversarial extremes.
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..100_000u64 {
+            assert!(
+                seen.insert(split_seed(0xFEED_FACE, stream)),
+                "collision at stream {stream}"
+            );
+        }
+        for stream in [u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            assert!(seen.insert(split_seed(0xFEED_FACE, stream)));
+        }
+    }
+
+    #[test]
+    fn split_seed_separates_masters() {
+        // The ad-hoc patterns this replaces collide exactly here:
+        // `master + (i+1) == (master+1) + i`. The split must not.
+        for master in [0u64, 1, 42, u64::MAX - 1] {
+            for stream in 0..100u64 {
+                assert_ne!(
+                    split_seed(master, stream + 1),
+                    split_seed(master + 1, stream),
+                    "master={master} stream={stream}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_seed_streams_look_independent() {
+        // Adjacent streams must avalanche: over 64-bit outputs of
+        // consecutive streams, the mean hamming distance is ~32 bits.
+        // (`seed + i` scores ~1 here.)
+        let mut total = 0u64;
+        let n = 10_000u64;
+        for stream in 0..n {
+            let a = split_seed(7, stream);
+            let b = split_seed(7, stream + 1);
+            total += (a ^ b).count_ones() as u64;
+        }
+        let mean = total as f64 / n as f64;
+        assert!(
+            (24.0..=40.0).contains(&mean),
+            "mean hamming distance {mean}"
+        );
+    }
+
+    #[test]
+    fn splitmix_is_a_deterministic_rng() {
+        let mut a = SplitMix64(9);
+        let mut b = SplitMix64(9);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Usable through the `Rng` facade like any generator.
+        let v: i64 = SplitMix64(3).gen_range(-4..=4);
+        assert!((-4..=4).contains(&v));
+        // Streams seeded via split_seed diverge immediately.
+        assert_ne!(
+            SplitMix64(split_seed(1, 0)).next_u64(),
+            SplitMix64(split_seed(1, 1)).next_u64()
+        );
     }
 }
