@@ -30,6 +30,7 @@ fn config(seed: u64, loss: f64) -> NetConfig {
         detector: nonmask_net::DetectorConfig {
             stable_for: Duration::from_millis(30),
             stable_fraction: 0.9,
+            ..nonmask_net::DetectorConfig::default()
         },
         timeout: Duration::from_secs(30),
         ..NetConfig::default()

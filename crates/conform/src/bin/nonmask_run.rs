@@ -90,6 +90,7 @@ options:
   --crash NODE      crash-restart NODE into an arbitrary state mid-run
   --down-ms MS      crash downtime                 (default 50)
   --timeout-ms MS   abort threshold                (default 30000)
+  --shards S        reactor worker shards          (default 0 = auto)
   --json PATH       also write the machine-readable report to PATH
   --journal PATH    write a JSON-lines event journal to PATH
                     (for `check`: default prints the timeline instead)
@@ -110,6 +111,7 @@ struct Args {
     timeout_ms: u64,
     json: Option<String>,
     journal: Option<String>,
+    shards: usize,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -127,6 +129,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         timeout_ms: 30_000,
         json: None,
         journal: None,
+        shards: 0,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -185,6 +188,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.timeout_ms = value("--timeout-ms")?
                     .parse()
                     .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
             }
             "--json" => args.json = Some(value("--json")?),
             "--journal" => args.journal = Some(value("--journal")?),
@@ -436,6 +444,7 @@ fn main() -> ExitCode {
         timeout: Duration::from_millis(args.timeout_ms),
         events,
         journal,
+        shards: args.shards,
         ..NetConfig::default()
     };
 

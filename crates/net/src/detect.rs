@@ -28,6 +28,13 @@ pub struct DetectorConfig {
     pub stable_for: Duration,
     /// Fraction of window samples that must satisfy the predicate.
     pub stable_fraction: f64,
+    /// How many consecutive sampling opportunities may be skipped because
+    /// the assembly is known-stale (shard freshness generations behind the
+    /// live state) before the detector samples anyway. Skipping stale
+    /// snapshots prevents premature convergence verdicts at high node
+    /// counts; the bound prevents a permanently-busy shard from starving
+    /// detection entirely.
+    pub max_stale_skips: u32,
 }
 
 impl Default for DetectorConfig {
@@ -35,6 +42,7 @@ impl Default for DetectorConfig {
         DetectorConfig {
             stable_for: Duration::from_millis(150),
             stable_fraction: 0.90,
+            max_stale_skips: 64,
         }
     }
 }
@@ -65,6 +73,8 @@ pub struct Detector {
     episodes: Vec<Episode>,
     /// Recent samples as `(time, predicate_held)`.
     window: VecDeque<(Duration, bool)>,
+    /// Consecutive sampling opportunities skipped for staleness.
+    stale_skips: u32,
 }
 
 impl Detector {
@@ -78,6 +88,7 @@ impl Detector {
                 converged_at: None,
             }],
             window: VecDeque::new(),
+            stale_skips: 0,
         }
     }
 
@@ -100,10 +111,21 @@ impl Detector {
             .is_some_and(|e| e.converged_at.is_some())
     }
 
+    /// Record that a sampling opportunity was skipped because the
+    /// assembled state is known to be stale (some shard's freshness
+    /// generation is behind its live counter). Returns `true` when the
+    /// consecutive-skip budget is exhausted — the caller should sample
+    /// anyway rather than let a never-quiescent shard starve detection.
+    pub fn note_stale(&mut self) -> bool {
+        self.stale_skips = self.stale_skips.saturating_add(1);
+        self.stale_skips >= self.config.max_stale_skips
+    }
+
     /// Feed one sampled evaluation of the predicate on the assembled
     /// state. Returns `true` if this sample completed the current
     /// episode.
     pub fn observe(&mut self, now: Duration, holds: bool) -> bool {
+        self.stale_skips = 0;
         if self.idle() {
             return false;
         }
@@ -157,6 +179,7 @@ mod tests {
             DetectorConfig {
                 stable_for: ms(100),
                 stable_fraction: 0.9,
+                ..DetectorConfig::default()
             },
             "initial",
         )
@@ -228,6 +251,7 @@ mod tests {
             DetectorConfig {
                 stable_for: ms(100),
                 stable_fraction: 1.0,
+                ..DetectorConfig::default()
             },
             "initial",
         );
@@ -261,6 +285,24 @@ mod tests {
         assert!(!d.observe(ms(195), true), "window not yet spanned");
         assert!(d.observe(ms(200), true));
         assert_eq!(d.episodes()[1].latency(), Some(ms(100)));
+    }
+
+    #[test]
+    fn stale_skip_budget_is_bounded_and_resets_on_observe() {
+        let mut d = Detector::new(
+            DetectorConfig {
+                stable_for: ms(100),
+                stable_fraction: 0.9,
+                max_stale_skips: 3,
+            },
+            "initial",
+        );
+        assert!(!d.note_stale());
+        assert!(!d.note_stale());
+        assert!(d.note_stale(), "budget exhausted on the third skip");
+        assert!(d.note_stale(), "stays exhausted until a real sample");
+        d.observe(ms(5), true);
+        assert!(!d.note_stale(), "observing resets the skip budget");
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! survives and the receiver's CRC rejects the frame — the corrupt frame
 //! behaves like a detected drop, which is exactly how real checksummed
 //! transports degrade.
+//!
+//! The decision core lives in [`Injector`], which is transport-agnostic:
+//! it appends deliver-now wire bytes to a caller-supplied buffer. The
+//! reactor uses it directly (many logical links batching into one shard
+//! stream); [`FaultyLink`] wraps it around a dedicated `TcpStream` for
+//! unit tests and single-link uses.
 
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -18,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::counters::CounterSnapshot;
-use crate::wire::Frame;
+use crate::wire::{Frame, WireError};
 
 /// Fault rates for every data-plane link.
 ///
@@ -76,6 +82,13 @@ impl FaultConfig {
 ///
 /// Consulted by every link at send time; frames crossing group
 /// boundaries while a partition is active are dropped.
+///
+/// All three accessors recover from mutex poisoning: the guarded value is
+/// a plain `Option<Vec<usize>>` that is written atomically (never left in
+/// a torn state), so a panic on some other thread while it held the lock
+/// cannot corrupt it — cascading that panic into every subsequent sender
+/// (which is what `.expect("partition lock")` did) turned one dead link
+/// into a whole-run abort.
 #[derive(Debug, Default)]
 pub struct PartitionMap {
     groups: Mutex<Option<Vec<usize>>>,
@@ -89,17 +102,27 @@ impl PartitionMap {
 
     /// Install a partition: `groups[node]` is the node's group id.
     pub fn set(&self, groups: Vec<usize>) {
-        *self.groups.lock().expect("partition lock") = Some(groups);
+        *self
+            .groups
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(groups);
     }
 
     /// Heal the partition.
     pub fn heal(&self) {
-        *self.groups.lock().expect("partition lock") = None;
+        *self
+            .groups
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
     }
 
     /// Whether a frame from `sender` to `receiver` is currently blocked.
     pub fn blocks(&self, sender: usize, receiver: usize) -> bool {
-        match &*self.groups.lock().expect("partition lock") {
+        let guard = self
+            .groups
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match &*guard {
             Some(groups) => groups.get(sender) != groups.get(receiver),
             None => false,
         }
@@ -117,10 +140,15 @@ fn link_rng(seed: u64, sender: usize, receiver: usize) -> StdRng {
     StdRng::seed_from_u64(combined)
 }
 
-/// A fault-injecting, send-side view of one directed TCP link.
+/// The transport-agnostic fault-decision core for one directed link.
+///
+/// `admit` consumes exactly one RNG draw per decision in a fixed order
+/// (drop, duplicate, then per-copy corrupt/bit-pick and delay/delay-pick),
+/// so the fault pattern for a given `(seed, sender, receiver)` depends
+/// only on the link's frame sequence — never on which transport carries
+/// the bytes or how they are batched.
 #[derive(Debug)]
-pub struct FaultyLink {
-    stream: TcpStream,
+pub struct Injector {
     rng: StdRng,
     config: FaultConfig,
     sender: usize,
@@ -129,12 +157,11 @@ pub struct FaultyLink {
     pending: Vec<(u64, Vec<u8>)>,
 }
 
-impl FaultyLink {
-    /// Wrap `stream` as the faulty link `sender → receiver`.
-    pub fn new(stream: TcpStream, sender: usize, receiver: usize, config: FaultConfig) -> Self {
+impl Injector {
+    /// The injector for the directed link `sender → receiver`.
+    pub fn new(sender: usize, receiver: usize, config: FaultConfig) -> Self {
         let rng = link_rng(config.seed, sender, receiver);
-        FaultyLink {
-            stream,
+        Injector {
             rng,
             config,
             sender,
@@ -148,20 +175,21 @@ impl FaultyLink {
         self.receiver
     }
 
-    /// Send `frame` through the fault injector at `tick`, updating
-    /// `counters` with whatever happened to it.
+    /// Run `frame` through the fault decisions at `tick`, appending the
+    /// wire bytes of every deliver-now copy to `out` and updating
+    /// `counters` with whatever happened.
     ///
     /// # Errors
     ///
-    /// Socket write errors (an unencodable frame surfaces as
-    /// `InvalidData`).
-    pub fn send(
+    /// [`WireError`] if the frame cannot be encoded.
+    pub fn admit(
         &mut self,
         frame: &Frame,
         tick: u64,
         partition: &PartitionMap,
         counters: &mut CounterSnapshot,
-    ) -> io::Result<()> {
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
         if partition.blocks(self.sender, self.receiver) {
             counters.dropped += 1;
             return Ok(());
@@ -178,9 +206,7 @@ impl FaultyLink {
                 1
             };
         for _ in 0..copies {
-            let mut wire = frame
-                .encode()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let mut wire = frame.encode()?;
             if self.config.corrupt_rate > 0.0 && self.rng.gen_bool(self.config.corrupt_rate) {
                 // Flip one bit strictly inside the payload: framing holds,
                 // the CRC catches it at the receiver.
@@ -194,11 +220,75 @@ impl FaultyLink {
                 self.pending.push((tick + delay, wire));
                 counters.delayed += 1;
             } else {
-                self.stream.write_all(&wire)?;
+                out.extend_from_slice(&wire);
                 counters.sent += 1;
             }
         }
         Ok(())
+    }
+
+    /// Append every held-back frame whose due tick has arrived to `out`.
+    pub fn flush_due(&mut self, tick: u64, counters: &mut CounterSnapshot, out: &mut Vec<u8>) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= tick {
+                let (_, wire) = self.pending.swap_remove(i);
+                out.extend_from_slice(&wire);
+                counters.sent += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The earliest due tick among held-back frames, if any — the
+    /// reactor's deadline source for delayed traffic.
+    pub fn next_due(&self) -> Option<u64> {
+        self.pending.iter().map(|(due, _)| *due).min()
+    }
+}
+
+/// A fault-injecting, send-side view of one directed TCP link: an
+/// [`Injector`] bound to its own `TcpStream`.
+#[derive(Debug)]
+pub struct FaultyLink {
+    stream: TcpStream,
+    injector: Injector,
+}
+
+impl FaultyLink {
+    /// Wrap `stream` as the faulty link `sender → receiver`.
+    pub fn new(stream: TcpStream, sender: usize, receiver: usize, config: FaultConfig) -> Self {
+        FaultyLink {
+            stream,
+            injector: Injector::new(sender, receiver, config),
+        }
+    }
+
+    /// The receiving node's index.
+    pub fn receiver(&self) -> usize {
+        self.injector.receiver()
+    }
+
+    /// Send `frame` through the fault injector at `tick`, updating
+    /// `counters` with whatever happened to it.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors (an unencodable frame surfaces as
+    /// `InvalidData`).
+    pub fn send(
+        &mut self,
+        frame: &Frame,
+        tick: u64,
+        partition: &PartitionMap,
+        counters: &mut CounterSnapshot,
+    ) -> io::Result<()> {
+        let mut out = Vec::new();
+        self.injector
+            .admit(frame, tick, partition, counters, &mut out)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.stream.write_all(&out)
     }
 
     /// Write every held-back frame whose due tick has arrived.
@@ -207,17 +297,9 @@ impl FaultyLink {
     ///
     /// Socket write errors.
     pub fn flush_due(&mut self, tick: u64, counters: &mut CounterSnapshot) -> io::Result<()> {
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].0 <= tick {
-                let (_, wire) = self.pending.swap_remove(i);
-                self.stream.write_all(&wire)?;
-                counters.sent += 1;
-            } else {
-                i += 1;
-            }
-        }
-        Ok(())
+        let mut out = Vec::new();
+        self.injector.flush_due(tick, counters, &mut out);
+        self.stream.write_all(&out)
     }
 }
 
@@ -226,6 +308,7 @@ mod tests {
     use super::*;
     use crate::wire::read_frame;
     use std::net::TcpListener;
+    use std::panic::AssertUnwindSafe;
 
     fn pipe() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -289,6 +372,41 @@ mod tests {
     }
 
     #[test]
+    fn injector_decisions_do_not_depend_on_transport_batching() {
+        // The same frame sequence through a bare Injector (reactor path)
+        // and a FaultyLink (thread path) must produce identical counter
+        // outcomes: fault patterns are a property of the link, not of the
+        // transport that carries the bytes.
+        let config = FaultConfig::hostile(99, 0.3);
+        let frames: Vec<Frame> = (0..128u64)
+            .map(|seq| Frame::Update {
+                node: 5,
+                seq,
+                var: 1,
+                value: seq as i64,
+            })
+            .collect();
+        let partition = PartitionMap::new();
+
+        let mut inj = Injector::new(5, 6, config.clone());
+        let mut batched = Vec::new();
+        let mut inj_counters = CounterSnapshot::default();
+        for (tick, f) in frames.iter().enumerate() {
+            inj.admit(f, tick as u64, &partition, &mut inj_counters, &mut batched)
+                .unwrap();
+        }
+
+        let (tx, _rx) = pipe();
+        let mut link = FaultyLink::new(tx, 5, 6, config);
+        let mut link_counters = CounterSnapshot::default();
+        for (tick, f) in frames.iter().enumerate() {
+            link.send(f, tick as u64, &partition, &mut link_counters)
+                .unwrap();
+        }
+        assert_eq!(inj_counters, link_counters);
+    }
+
+    #[test]
     fn corruption_is_always_rejected_downstream() {
         let (tx, mut rx) = pipe();
         let config = FaultConfig {
@@ -339,6 +457,55 @@ mod tests {
         drop(link);
         assert_eq!(read_frame(&mut rx).unwrap().unwrap().unwrap(), f);
         assert!(read_frame(&mut rx).unwrap().is_none());
+    }
+
+    // ---- satellite: one panicking sender must not poison everyone ----
+
+    #[test]
+    fn poisoned_partition_lock_does_not_cascade() {
+        let map = PartitionMap::new();
+        map.set(vec![0, 0, 1, 1]);
+        // A "sender thread" panics while holding the partition lock —
+        // exactly the mid-send window where the old `.expect()` turned
+        // poisoning into a panic cascade across every other link.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = map
+                .groups
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            panic!("sender died mid-partition");
+        }));
+        assert!(result.is_err(), "the sender did panic");
+        // Remaining nodes keep working: the active partition is still
+        // enforced, and heal/set still function.
+        assert!(map.blocks(0, 2), "partition still enforced after poison");
+        assert!(!map.blocks(0, 1), "same-group traffic still flows");
+        map.heal();
+        assert!(!map.blocks(0, 2), "heal works on a poisoned map");
+        map.set(vec![0, 1]);
+        assert!(map.blocks(0, 1), "set works on a poisoned map");
+    }
+
+    #[test]
+    fn surviving_links_send_through_a_poisoned_map() {
+        let (tx, mut rx) = pipe();
+        let map = PartitionMap::new();
+        map.set(vec![0, 0]);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = map.groups.lock().unwrap();
+            panic!("boom");
+        }));
+        let mut link = FaultyLink::new(tx, 0, 1, FaultConfig::default());
+        let mut counters = CounterSnapshot::default();
+        let f = Frame::Heartbeat {
+            node: 0,
+            seq: 1,
+            vars: vec![(0, 7)],
+        };
+        link.send(&f, 0, &map, &mut counters).unwrap();
+        assert_eq!(counters.sent, 1);
+        drop(link);
+        assert_eq!(read_frame(&mut rx).unwrap().unwrap().unwrap(), f);
     }
 
     #[test]

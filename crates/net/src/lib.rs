@@ -54,6 +54,7 @@ pub mod counters;
 pub mod detect;
 pub mod fault;
 mod node;
+mod reactor;
 pub mod runtime;
 pub mod wire;
 

@@ -1,6 +1,4 @@
-//! One distributed node: a thread owning its process's variables,
-//! talking to peers and the controller exclusively through TCP loopback
-//! sockets.
+//! One distributed node as a reactor-driven state machine.
 //!
 //! A node's *view* is a full state vector in which its own variables are
 //! authoritative and remote variables its actions read are caches,
@@ -8,17 +6,24 @@
 //! their owners. The node never touches shared memory: every byte of
 //! cross-node information crosses a socket through the fault-injecting
 //! transport.
+//!
+//! Since the reactor refactor a node is no longer a thread: it is a
+//! [`NodeCore`] owned by a shard worker (`crate::reactor`), advanced by
+//! two entry points — [`NodeCore::on_frame`] when a frame arrives for it,
+//! and [`NodeCore::service`] when a deadline (cooldown expiry, heartbeat,
+//! report, delayed-frame flush) comes due. Deadlines are *absolute*
+//! ticks derived from wall clock by the reactor, so cadence holds under
+//! load instead of stretching with per-iteration sleep drift; the node
+//! reports its next deadline via [`NodeCore::next_deadline`] and is left
+//! entirely alone between events.
 
-use std::io::{self, BufReader};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use nonmask_program::{ActionId, ActionKind, Program, State, StepLog, VarId};
+use nonmask_program::{ActionKind, Program, State, StepLog, VarId};
 
 use crate::counters::CounterSnapshot;
-use crate::fault::{FaultConfig, FaultyLink, PartitionMap};
-use crate::wire::{read_frame, write_frame, Frame, WireError};
+use crate::fault::{FaultConfig, Injector, PartitionMap};
+use crate::wire::Frame;
 
 /// What one node needs to know about the topology (derived from the
 /// refinement by the runtime).
@@ -29,419 +34,443 @@ pub(crate) struct NodeSpec {
     /// counts are validated, so no later conversion can panic.
     pub node: u16,
     /// Actions this node executes.
-    pub actions: Vec<ActionId>,
+    pub actions: Vec<nonmask_program::ActionId>,
     /// Variables this node owns.
     pub owned: Vec<VarId>,
-    /// `(peer, owned vars that peer reads)` — one outgoing data link per
-    /// entry.
+    /// `(peer, owned vars that peer reads)` — one outgoing logical link
+    /// per entry.
     pub out_peers: Vec<(usize, Vec<VarId>)>,
-    /// Incoming data connections to expect at startup.
-    pub expected_incoming: usize,
 }
 
 /// Pacing and cadence knobs shared by every node (split out of
-/// [`crate::NetConfig`] so the node loop does not depend on
+/// [`crate::NetConfig`] so the node machinery does not depend on
 /// controller-only fields).
 #[derive(Debug, Clone)]
 pub(crate) struct NodeTiming {
-    /// Wall-clock duration of one loop tick.
+    /// Wall-clock duration of one tick (the unit all deadlines are in).
     pub tick: Duration,
-    /// Max actions executed per eligible tick.
+    /// Max actions executed per eligible service.
     pub steps_per_tick: usize,
     /// Ticks a node rests after executing actions (paces the protocol so
     /// report skew stays well below the inter-action gap).
     pub cooldown_ticks: u64,
     /// Heartbeat broadcast period in ticks (`0` disables).
     pub heartbeat_every: u64,
-    /// Report period in ticks.
+    /// Minimum ticks between state reports (reports are additionally
+    /// gated on the state actually having changed).
     pub report_every: u64,
-    /// Give up on startup dials/accepts after this long (a peer that died
-    /// before connecting must not wedge the whole run).
+    /// Give up on startup dials/accepts after this long (a peer shard
+    /// that died before connecting must not wedge the whole run).
     pub startup_timeout: Duration,
 }
 
-/// What reader threads push into the node's inbox.
-enum InMsg {
-    /// A decoded frame.
-    Frame(Frame),
-    /// A frame the codec rejected (corruption caught by CRC, bad tag…).
-    Rejected,
-    /// The controller connection ended — the run is over for this node.
-    ControlClosed,
-}
-
-/// Pump frames off one socket into the inbox until EOF or a fatal
-/// framing error. `is_control` marks the controller link, whose loss
-/// must end the node (a peer link merely going quiet is normal).
-fn pump(stream: TcpStream, tx: Sender<InMsg>, is_control: bool) {
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_frame(&mut reader) {
-            Ok(None) | Err(_) => break,
-            Ok(Some(Ok(frame))) => {
-                if tx.send(InMsg::Frame(frame)).is_err() {
-                    break;
-                }
-            }
-            Ok(Some(Err(WireError::Oversized { .. }))) => {
-                // The frame boundary itself is gone; stop reading.
-                let _ = tx.send(InMsg::Rejected);
-                break;
-            }
-            Ok(Some(Err(_))) => {
-                if tx.send(InMsg::Rejected).is_err() {
-                    break;
-                }
-            }
-        }
-    }
-    if is_control {
-        let _ = tx.send(InMsg::ControlClosed);
-    }
-}
-
-/// An outgoing data link plus the owned variables its receiver reads.
+/// One outgoing logical link: the per-link fault injector plus the index
+/// of the shard-pair stream (within the owning shard's data connections)
+/// that carries its bytes.
+#[derive(Debug)]
 struct OutLink {
-    link: FaultyLink,
+    injector: Injector,
     vars: Vec<VarId>,
+    receiver: u16,
+    conn: usize,
 }
 
-/// Run one node to completion (until [`Frame::Shutdown`] or loss of the
-/// controller).
-///
-/// # Errors
-///
-/// Startup I/O errors (dial/accept). After startup, peer-link write
-/// failures demote the link instead of failing the node, and controller
-/// write failures end the node cleanly.
-#[allow(clippy::too_many_arguments)] // one call site, in the runtime
-pub(crate) fn run_node(
-    program: &Program,
-    spec: &NodeSpec,
-    listener: TcpListener,
-    peer_addrs: &[SocketAddr],
-    controller_addr: SocketAddr,
-    initial_view: State,
-    partition: &PartitionMap,
-    faults: &FaultConfig,
-    timing: &NodeTiming,
+/// The per-node protocol state machine.
+#[derive(Debug)]
+pub(crate) struct NodeCore<'a> {
+    program: &'a Program,
+    spec: &'a NodeSpec,
+    timing: &'a NodeTiming,
     step_log: Option<StepLog>,
-) -> io::Result<()> {
-    let node = spec.node;
-    let (tx, rx) = std::sync::mpsc::channel::<InMsg>();
+    view: State,
+    /// This node's transport/protocol counters (the report payload).
+    pub counters: CounterSnapshot,
+    crashed: bool,
+    shutting: bool,
+    finalized: bool,
+    cursor: usize,
+    /// Earliest tick the node may execute actions again (cooldown).
+    next_exec_tick: u64,
+    /// Next heartbeat deadline (absolute tick; staggered per node so a
+    /// large population does not burst every period boundary at once).
+    next_hb_tick: u64,
+    /// Tick of the last periodic report.
+    last_report_tick: u64,
+    /// An authoritative variable changed since the last report.
+    dirty: bool,
+    data_seq: u64,
+    report_seq: u64,
+    links: Vec<OutLink>,
+}
 
-    // Instrumentation plane: reliable, no fault injection.
-    let control = TcpStream::connect(controller_addr)?;
-    control.set_nodelay(true)?;
-    let mut control_tx = control.try_clone()?;
-    write_frame(&mut control_tx, &Frame::Hello { node })?;
-    {
-        let tx = tx.clone();
-        std::thread::spawn(move || pump(control, tx, true));
-    }
-
-    // Data plane out: dial every reader of our variables.
-    let mut links: Vec<OutLink> = Vec::with_capacity(spec.out_peers.len());
-    for (peer, vars) in &spec.out_peers {
-        let mut stream = TcpStream::connect(peer_addrs[*peer])?;
-        stream.set_nodelay(true)?;
-        // The opener bypasses the injector: losing it costs nothing, but a
-        // clean handshake keeps the link's fault pattern aligned with the
-        // deterministic frame sequence.
-        write_frame(&mut stream, &Frame::Hello { node })?;
-        links.push(OutLink {
-            link: FaultyLink::new(stream, usize::from(spec.node), *peer, faults.clone()),
-            vars: vars.clone(),
-        });
-    }
-
-    // Data plane in: accept the known number of writers, one pump each.
-    // Non-blocking with a deadline: a writer that died before dialing
-    // must not leave this node wedged in accept (the controller would
-    // then block forever joining its thread).
-    listener.set_nonblocking(true)?;
-    let deadline = Instant::now() + timing.startup_timeout;
-    let mut accepted = 0;
-    while accepted < spec.expected_incoming {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false)?;
-                stream.set_nodelay(true)?;
-                let tx = tx.clone();
-                std::thread::spawn(move || pump(stream, tx, false));
-                accepted += 1;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() > deadline {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "peer never connected",
-                    ));
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(e) => return Err(e),
+impl<'a> NodeCore<'a> {
+    /// Build the state machine for one node. `conn_of_peer` maps a peer
+    /// node index to the shard-stream index its frames travel on.
+    pub fn new(
+        program: &'a Program,
+        spec: &'a NodeSpec,
+        timing: &'a NodeTiming,
+        initial_view: State,
+        faults: &FaultConfig,
+        conn_of_peer: impl Fn(usize) -> usize,
+        step_log: Option<StepLog>,
+    ) -> Self {
+        let links = spec
+            .out_peers
+            .iter()
+            .map(|(peer, vars)| OutLink {
+                injector: Injector::new(usize::from(spec.node), *peer, faults.clone()),
+                vars: vars.clone(),
+                receiver: *peer as u16,
+                conn: conn_of_peer(*peer),
+            })
+            .collect();
+        let next_hb_tick = if timing.heartbeat_every > 0 {
+            // Stagger heartbeat phases across nodes: cadence per node is
+            // identical, but a 10^4-node population spreads its beats
+            // across the period instead of bursting on every boundary.
+            u64::from(spec.node) % timing.heartbeat_every
+        } else {
+            0
+        };
+        NodeCore {
+            program,
+            spec,
+            timing,
+            step_log,
+            view: initial_view,
+            counters: CounterSnapshot::default(),
+            crashed: false,
+            shutting: false,
+            finalized: false,
+            cursor: 0,
+            next_exec_tick: 0,
+            next_hb_tick,
+            last_report_tick: 0,
+            dirty: false,
+            data_seq: 0,
+            report_seq: 0,
+            links,
         }
     }
-    drop(listener);
 
-    main_loop(
-        program,
-        spec,
-        node,
-        initial_view,
-        &rx,
-        &mut control_tx,
-        &mut links,
-        partition,
-        timing,
-        step_log,
-    );
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn main_loop(
-    program: &Program,
-    spec: &NodeSpec,
-    node: u16,
-    mut view: State,
-    rx: &Receiver<InMsg>,
-    control_tx: &mut TcpStream,
-    links: &mut Vec<OutLink>,
-    partition: &PartitionMap,
-    timing: &NodeTiming,
-    step_log: Option<StepLog>,
-) {
-    let mut counters = CounterSnapshot::default();
-    let mut crashed = false;
-    let mut shutdown = false;
-    let mut lost_controller = false;
-    let mut cursor = 0usize;
-    let mut cooldown_until = 0u64;
-    let mut data_seq = 0u64;
-    let mut report_seq = 0u64;
-    let mut tick = 0u64;
-
-    let apply = |view: &mut State, var: u32, value: i64| {
+    fn apply_var(&mut self, var: u32, value: i64) {
         // Out-of-range indices cannot come from CRC-checked frames, but a
         // misbehaving peer must not crash the node.
-        if (var as usize) < program.var_count() {
-            view.set(VarId::from_index(var as usize), value);
+        if (var as usize) < self.program.var_count() {
+            self.view.set(VarId::from_index(var as usize), value);
         }
-    };
+    }
 
-    'node: loop {
-        // 1. Drain the inbox.
-        loop {
-            match rx.try_recv() {
-                Ok(InMsg::Frame(frame)) => match frame {
-                    Frame::Update { var, value, .. } => {
-                        counters.received += 1;
-                        if !crashed {
-                            apply(&mut view, var, value);
-                        }
+    /// Apply one incoming frame. Returns `true` when the node's
+    /// *authoritative* state changed (a restart) — the shard bumps its
+    /// freshness generation on that signal; cache refreshes from peers do
+    /// not count (they never appear in reports).
+    pub fn on_frame(&mut self, frame: Frame) -> bool {
+        match frame {
+            Frame::Update { var, value, .. } => {
+                self.counters.received += 1;
+                if !self.crashed {
+                    self.apply_var(var, value);
+                }
+                false
+            }
+            Frame::Heartbeat { vars, .. } => {
+                self.counters.received += 1;
+                if !self.crashed {
+                    for (var, value) in vars {
+                        self.apply_var(var, value);
                     }
-                    Frame::Heartbeat { vars, .. } => {
-                        counters.received += 1;
-                        if !crashed {
-                            for (var, value) in vars {
-                                apply(&mut view, var, value);
-                            }
-                        }
-                    }
-                    Frame::Crash => {
-                        crashed = true;
-                        counters.crashes += 1;
-                    }
-                    Frame::Restart { vars } => {
-                        // The whole view — owned variables and caches —
-                        // comes back arbitrary: the nonmasking scenario.
-                        for (var, value) in vars {
-                            apply(&mut view, var, value);
-                        }
-                        crashed = false;
-                        cooldown_until = 0;
-                    }
-                    Frame::Shutdown => shutdown = true,
-                    Frame::Hello { .. } | Frame::Report { .. } => {}
-                },
-                Ok(InMsg::Rejected) => counters.rejected += 1,
-                Ok(InMsg::ControlClosed) | Err(TryRecvError::Disconnected) => {
-                    lost_controller = true;
+                }
+                false
+            }
+            Frame::Crash => {
+                self.crashed = true;
+                self.counters.crashes += 1;
+                false
+            }
+            Frame::Restart { vars } => {
+                // The whole view — owned variables and caches — comes
+                // back arbitrary: the nonmasking scenario. Large views
+                // arrive as several chunks; each applies the same way.
+                for (var, value) in vars {
+                    self.apply_var(var, value);
+                }
+                self.crashed = false;
+                self.next_exec_tick = 0;
+                self.dirty = true;
+                true
+            }
+            Frame::Shutdown => {
+                self.shutting = true;
+                false
+            }
+            // Stray frames on the data plane (opener Hellos, misrouted
+            // control traffic) are ignored, exactly as the thread runtime
+            // ignored them.
+            _ => false,
+        }
+    }
+
+    /// Count one frame the codec rejected on a stream carrying this
+    /// node's traffic (corruption caught by CRC, bad tag…).
+    pub fn on_rejected(&mut self) {
+        self.counters.rejected += 1;
+    }
+
+    /// True once the node has seen [`Frame::Shutdown`].
+    pub fn is_shutting(&self) -> bool {
+        self.shutting
+    }
+
+    /// Route `frame` to every link whose receiver reads `w`, through each
+    /// link's fault injector, batching wire bytes into the owning shard
+    /// stream's out-buffer.
+    fn send_to_readers(
+        &mut self,
+        w: VarId,
+        frame: &Frame,
+        tick: u64,
+        partition: &PartitionMap,
+        outs: &mut [Vec<u8>],
+    ) {
+        for link in &mut self.links {
+            if !link.vars.contains(&w) {
+                continue;
+            }
+            let routed = Frame::Routed {
+                to: link.receiver,
+                frame: Box::new(frame.clone()),
+            };
+            // Encoding cannot fail here (single-var Update, no nesting);
+            // if it ever did, treat it as a dropped frame.
+            if link
+                .injector
+                .admit(
+                    &routed,
+                    tick,
+                    partition,
+                    &mut self.counters,
+                    &mut outs[link.conn],
+                )
+                .is_err()
+            {
+                self.counters.dropped += 1;
+            }
+        }
+    }
+
+    /// Execute enabled actions, round-robin, paced by the cooldown.
+    fn try_exec(&mut self, tick: u64, partition: &PartitionMap, outs: &mut [Vec<u8>]) -> u64 {
+        if tick < self.next_exec_tick || self.spec.actions.is_empty() {
+            return 0;
+        }
+        let mut changes = 0u64;
+        let mut executed = false;
+        for _ in 0..self.timing.steps_per_tick {
+            let k = self.spec.actions.len();
+            let mut chosen = None;
+            for off in 0..k {
+                let idx = (self.cursor + off) % k;
+                if self
+                    .program
+                    .action(self.spec.actions[idx])
+                    .enabled(&self.view)
+                {
+                    chosen = Some(idx);
                     break;
                 }
-                Err(TryRecvError::Empty) => break,
+            }
+            let Some(idx) = chosen else { break };
+            self.cursor = (idx + 1) % k;
+            let action_id = self.spec.actions[idx];
+            let action = self.program.action(action_id);
+            let before = self.step_log.as_ref().map(|_| self.view.clone());
+            action.apply(&mut self.view);
+            if let (Some(log), Some(before)) = (&self.step_log, before) {
+                log.push(
+                    usize::from(self.spec.node),
+                    tick,
+                    action_id,
+                    before,
+                    self.view.clone(),
+                );
+            }
+            self.counters.steps += 1;
+            if action.kind() != ActionKind::Closure {
+                self.counters.convergence_steps += 1;
+            }
+            executed = true;
+            let writes: Vec<VarId> = action.writes().to_vec();
+            for w in writes {
+                let value = self.view.get(w);
+                self.data_seq += 1;
+                let frame = Frame::Update {
+                    node: self.spec.node,
+                    seq: self.data_seq,
+                    var: w.index() as u32,
+                    value,
+                };
+                self.send_to_readers(w, &frame, tick, partition, outs);
+                changes += 1;
             }
         }
-        if shutdown || lost_controller {
-            break 'node;
+        if executed {
+            // `max(1)` keeps the event-driven loop from executing an
+            // unbounded number of bursts within one tick when
+            // cooldown_ticks is 0 (the thread runtime was implicitly
+            // bounded to one burst per loop iteration).
+            self.next_exec_tick = tick + self.timing.cooldown_ticks.max(1);
+            self.dirty = true;
         }
+        changes
+    }
 
-        if !crashed {
-            // 2. Execute enabled actions, round-robin, paced by cooldown.
-            if tick >= cooldown_until && !spec.actions.is_empty() {
-                let mut executed = false;
-                for _ in 0..timing.steps_per_tick {
-                    let k = spec.actions.len();
-                    let mut chosen = None;
-                    for off in 0..k {
-                        let idx = (cursor + off) % k;
-                        if program.action(spec.actions[idx]).enabled(&view) {
-                            chosen = Some(idx);
-                            break;
-                        }
-                    }
-                    let Some(idx) = chosen else { break };
-                    cursor = (idx + 1) % k;
-                    let action = program.action(spec.actions[idx]);
-                    let before = step_log.as_ref().map(|_| view.clone());
-                    action.apply(&mut view);
-                    if let (Some(log), Some(before)) = (&step_log, before) {
-                        log.push(
-                            usize::from(node),
-                            tick,
-                            spec.actions[idx],
-                            before,
-                            view.clone(),
-                        );
-                    }
-                    counters.steps += 1;
-                    if action.kind() != ActionKind::Closure {
-                        counters.convergence_steps += 1;
-                    }
-                    executed = true;
-                    for &w in action.writes() {
-                        let value = view.get(w);
-                        data_seq += 1;
-                        let frame = Frame::Update {
-                            node,
-                            seq: data_seq,
-                            var: w.index() as u32,
-                            value,
-                        };
-                        send_to_readers(links, w, &frame, tick, partition, &mut counters);
-                    }
-                }
-                if executed {
-                    cooldown_until = tick + timing.cooldown_ticks;
-                }
-            }
+    /// Drive all due work at `tick`: action execution, heartbeats, the
+    /// (dirty-gated) periodic report, and delayed-frame flushes. Returns
+    /// the number of authoritative changes made, for the shard's
+    /// freshness generation.
+    pub fn service(
+        &mut self,
+        tick: u64,
+        partition: &PartitionMap,
+        outs: &mut [Vec<u8>],
+        control: &mut Vec<u8>,
+    ) -> u64 {
+        if self.finalized || self.shutting {
+            return 0;
+        }
+        let mut changes = 0u64;
+        if !self.crashed {
+            changes += self.try_exec(tick, partition, outs);
 
-            // 3. Heartbeats: re-broadcast owned values to each reader.
-            if timing.heartbeat_every > 0
-                && tick.is_multiple_of(timing.heartbeat_every)
-                && !links.is_empty()
+            // Heartbeats: re-broadcast owned values to each reader.
+            if self.timing.heartbeat_every > 0
+                && tick >= self.next_hb_tick
+                && !self.links.is_empty()
             {
-                counters.heartbeats += 1;
-                let mut i = 0;
-                while i < links.len() {
-                    let vars: Vec<(u32, i64)> = links[i]
+                self.counters.heartbeats += 1;
+                for i in 0..self.links.len() {
+                    let vars: Vec<(u32, i64)> = self.links[i]
                         .vars
                         .iter()
-                        .map(|&v| (v.index() as u32, view.get(v)))
+                        .map(|&v| (v.index() as u32, self.view.get(v)))
                         .collect();
-                    data_seq += 1;
-                    let frame = Frame::Heartbeat {
-                        node,
-                        seq: data_seq,
-                        vars,
+                    self.data_seq += 1;
+                    let routed = Frame::Routed {
+                        to: self.links[i].receiver,
+                        frame: Box::new(Frame::Heartbeat {
+                            node: self.spec.node,
+                            seq: self.data_seq,
+                            vars,
+                        }),
                     };
-                    if links[i]
-                        .link
-                        .send(&frame, tick, partition, &mut counters)
+                    let link = &mut self.links[i];
+                    if link
+                        .injector
+                        .admit(
+                            &routed,
+                            tick,
+                            partition,
+                            &mut self.counters,
+                            &mut outs[link.conn],
+                        )
                         .is_err()
                     {
-                        links.swap_remove(i);
-                    } else {
-                        i += 1;
+                        self.counters.dropped += 1;
                     }
                 }
-            }
-
-            // 4. Report authoritative values to the controller.
-            if timing.report_every > 0 && tick.is_multiple_of(timing.report_every) {
-                report_seq += 1;
-                counters.reports += 1;
-                let report = report_frame(spec, node, report_seq, false, counters, &view);
-                if write_frame(control_tx, &report).is_err() {
-                    break 'node;
+                // Absolute cadence: skip missed beats rather than burst.
+                while self.next_hb_tick <= tick {
+                    self.next_hb_tick += self.timing.heartbeat_every;
                 }
             }
-        }
 
-        // 5. Deliver delayed frames whose tick has come (in-flight frames
-        // belong to the network, so this runs even while crashed).
-        let mut i = 0;
-        while i < links.len() {
-            if links[i].link.flush_due(tick, &mut counters).is_err() {
-                links.swap_remove(i);
-            } else {
-                i += 1;
+            // Report authoritative values to the controller — only when
+            // something changed (the controller already holds the initial
+            // state, and re-sending identical values at 10^4 nodes would
+            // drown the control plane).
+            if self.timing.report_every > 0
+                && self.dirty
+                && tick >= self.last_report_tick + self.timing.report_every
+            {
+                self.emit_report(false, control);
+                self.last_report_tick = tick;
+                self.dirty = false;
             }
         }
 
-        tick += 1;
-        std::thread::sleep(timing.tick);
-    }
-
-    // Final report: ship the closing counters (best effort).
-    if !lost_controller {
-        report_seq += 1;
-        counters.reports += 1;
-        let report = report_frame(spec, node, report_seq, true, counters, &view);
-        let _ = write_frame(control_tx, &report);
-    }
-    // Shut the socket itself down (shared by every clone): this unblocks
-    // our own control pump thread, and — once the controller's clones go
-    // too — delivers the FIN its reader thread is waiting on. Without
-    // this, each side's blocked reader keeps a clone open and neither
-    // ever sees EOF.
-    let _ = control_tx.shutdown(Shutdown::Both);
-}
-
-/// Send `frame` on every link whose receiver reads `w`; dead links are
-/// dropped (their node has already shut down).
-fn send_to_readers(
-    links: &mut Vec<OutLink>,
-    w: VarId,
-    frame: &Frame,
-    tick: u64,
-    partition: &PartitionMap,
-    counters: &mut CounterSnapshot,
-) {
-    let mut i = 0;
-    while i < links.len() {
-        if links[i].vars.contains(&w)
-            && links[i]
-                .link
-                .send(frame, tick, partition, counters)
-                .is_err()
-        {
-            links.swap_remove(i);
-            continue;
+        // Deliver delayed frames whose tick has come (in-flight frames
+        // belong to the network, so this runs even while crashed).
+        for link in &mut self.links {
+            link.injector
+                .flush_due(tick, &mut self.counters, &mut outs[link.conn]);
         }
-        i += 1;
+        changes
     }
-}
 
-fn report_frame(
-    spec: &NodeSpec,
-    node: u16,
-    seq: u64,
-    last: bool,
-    counters: CounterSnapshot,
-    view: &State,
-) -> Frame {
-    Frame::Report {
-        node,
-        seq,
-        last,
-        counters,
-        vars: spec
-            .owned
+    /// The earliest tick at which this node needs service again, or
+    /// `None` when it is fully event-driven idle (nothing due until a
+    /// frame arrives).
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.finalized || self.shutting {
+            return None;
+        }
+        let mut due: Option<u64> = None;
+        let mut consider = |t: u64| due = Some(due.map_or(t, |d: u64| d.min(t)));
+        if !self.crashed {
+            if !self.spec.actions.is_empty() && self.any_enabled() {
+                consider(self.next_exec_tick);
+            }
+            if self.timing.heartbeat_every > 0 && !self.links.is_empty() {
+                consider(self.next_hb_tick);
+            }
+            if self.timing.report_every > 0 && self.dirty {
+                consider(self.last_report_tick + self.timing.report_every);
+            }
+        }
+        for link in &self.links {
+            if let Some(t) = link.injector.next_due() {
+                consider(t);
+            }
+        }
+        due
+    }
+
+    fn any_enabled(&self) -> bool {
+        self.spec
+            .actions
             .iter()
-            .map(|&v| (v.index() as u32, view.get(v)))
-            .collect(),
+            .any(|&a| self.program.action(a).enabled(&self.view))
+    }
+
+    /// Emit the final (`last = true`) report into the control buffer.
+    pub fn finalize(&mut self, control: &mut Vec<u8>) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        self.emit_report(true, control);
+    }
+
+    fn emit_report(&mut self, last: bool, control: &mut Vec<u8>) {
+        self.report_seq += 1;
+        self.counters.reports += 1;
+        let frame = Frame::Report {
+            node: self.spec.node,
+            seq: self.report_seq,
+            last,
+            counters: self.counters,
+            vars: self
+                .spec
+                .owned
+                .iter()
+                .map(|&v| (v.index() as u32, self.view.get(v)))
+                .collect(),
+        };
+        // Reports never exceed MAX_PAYLOAD (validate() bounds per-node
+        // owned variables); treat the impossible encode failure as a
+        // skipped report rather than a panic.
+        let _ = frame.encode_into(control);
     }
 }

@@ -1,25 +1,45 @@
-//! The controller: launches one socket node per protocol process, injects
-//! scheduled faults, detects stabilization at runtime, and assembles the
-//! machine-readable report.
+//! The controller: launches shard workers that multiplex one node per
+//! protocol process, injects scheduled faults, detects stabilization at
+//! runtime, and assembles the machine-readable report.
+//!
+//! Since the reactor refactor the controller no longer owns one socket
+//! and two threads per node: it accepts a single control stream per
+//! *shard* (see the `reactor` module), drives them all from one poll loop,
+//! and addresses individual nodes with [`Frame::Routed`] envelopes.
+//! Convergence sampling is freshness-gated: every shard publishes a live
+//! generation counter (bumped on each authoritative state change) and
+//! pulses the generation it has flushed down its control stream, so the
+//! controller knows when its assembled snapshot lags a busy shard and
+//! skips the sample instead of risking a premature verdict (with a
+//! bounded skip budget, [`DetectorConfig::max_stale_skips`], so sampling
+//! can never starve).
 
 use std::collections::VecDeque;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use nonmask_obs::{CounterSet, Event, Journal};
 use nonmask_program::json::{escape, state_to_json};
 use nonmask_program::{Predicate, Program, State, StepLog, VarId};
 use nonmask_sim::{RefineError, Refinement};
+use polling::{PollFd, READABLE, WRITABLE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::counters::CounterSnapshot;
 use crate::detect::{Detector, DetectorConfig, Episode};
 use crate::fault::{FaultConfig, PartitionMap};
-use crate::node::{run_node, NodeSpec, NodeTiming};
-use crate::wire::{read_frame, write_frame, Frame, MAX_PAYLOAD};
+use crate::node::{NodeSpec, NodeTiming};
+use crate::reactor::{
+    debug_enabled, effective_shards, flush_buf, raw_fd, run_worker, MeshPlan, ShardPlan, WorkerEnv,
+};
+use crate::wire::{read_frame, FeedStatus, Frame, FrameBuffer, MAX_PAYLOAD};
+
+/// Most `(var, value)` pairs per Restart frame: a restart of a huge view
+/// is chunked so no frame exceeds [`MAX_PAYLOAD`].
+const RESTART_CHUNK: usize = 4096;
 
 /// A scheduled disturbance.
 ///
@@ -72,6 +92,10 @@ pub struct NetConfig {
     pub heartbeat_every: u64,
     /// Report period in ticks.
     pub report_every: u64,
+    /// Worker shards multiplexing the nodes (`0` = auto from available
+    /// parallelism). Physical transport only: the logical per-link fault
+    /// streams are shard-count-invariant.
+    pub shards: usize,
     /// Stabilization-detector thresholds.
     pub detector: DetectorConfig,
     /// Abort the run (unconverged) after this much wall-clock time.
@@ -87,6 +111,10 @@ pub struct NetConfig {
     /// checking (`crates/conform`). Off by default; recording clones two
     /// states per step under a shared lock.
     pub step_log: Option<StepLog>,
+    /// Test hook: panic the given shard worker during startup, to
+    /// exercise the [`NetError::ControlLoopFailed`] path.
+    #[doc(hidden)]
+    pub sabotage_worker: Option<usize>,
 }
 
 impl Default for NetConfig {
@@ -99,16 +127,18 @@ impl Default for NetConfig {
             cooldown_ticks: 16,
             heartbeat_every: 4,
             report_every: 1,
+            shards: 0,
             detector: DetectorConfig::default(),
             timeout: Duration::from_secs(30),
             events: Vec::new(),
             journal: Journal::disabled(),
             step_log: None,
+            sabotage_worker: None,
         }
     }
 }
 
-/// Why a run could not start.
+/// Why a run could not start or finish.
 #[derive(Debug)]
 pub enum NetError {
     /// The program is not refinable into per-process nodes.
@@ -117,12 +147,15 @@ pub enum NetError {
     Unbounded,
     /// More processes than the wire's 16-bit node ids.
     TooManyNodes(usize),
-    /// A full-view frame for this program would exceed [`MAX_PAYLOAD`].
+    /// One node's owned variables do not fit a single report frame.
     TooManyVars(usize),
     /// An event references a node outside the process range.
     BadEvent(String),
     /// Socket setup failed.
     Io(io::Error),
+    /// A shard worker thread died (panicked) instead of running its
+    /// nodes; carries the panic payload's message.
+    ControlLoopFailed(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -139,11 +172,14 @@ impl std::fmt::Display for NetError {
             NetError::TooManyVars(n) => {
                 write!(
                     f,
-                    "{n} variables do not fit one frame ({MAX_PAYLOAD} byte payload cap)"
+                    "{n} owned variables do not fit one frame ({MAX_PAYLOAD} byte payload cap)"
                 )
             }
             NetError::BadEvent(msg) => write!(f, "bad event: {msg}"),
             NetError::Io(e) => write!(f, "socket setup failed: {e}"),
+            NetError::ControlLoopFailed(msg) => {
+                write!(f, "a node worker thread died: {msg}")
+            }
         }
     }
 }
@@ -310,13 +346,12 @@ fn build_specs(refinement: &Refinement) -> Result<Vec<NodeSpec>, NetError> {
                 actions: refinement.actions_of(p).to_vec(),
                 owned: refinement.vars_of(p).to_vec(),
                 out_peers: Vec::new(),
-                expected_incoming: 0,
             })
         })
         .collect::<Result<_, NetError>>()?;
-    for p in 0..n {
+    for spec in &mut specs {
         let mut peer_vars: Vec<(usize, Vec<VarId>)> = Vec::new();
-        for &v in &specs[p].owned.clone() {
+        for &v in &spec.owned {
             for &q in refinement.remote_readers_of(v) {
                 match peer_vars.iter_mut().find(|(peer, _)| *peer == q) {
                     Some((_, vars)) => vars.push(v),
@@ -325,10 +360,7 @@ fn build_specs(refinement: &Refinement) -> Result<Vec<NodeSpec>, NetError> {
             }
         }
         peer_vars.sort_by_key(|(peer, _)| *peer);
-        for (q, _) in &peer_vars {
-            specs[*q].expected_incoming += 1;
-        }
-        specs[p].out_peers = peer_vars;
+        spec.out_peers = peer_vars;
     }
     Ok(specs)
 }
@@ -345,9 +377,15 @@ fn validate(
     if n > usize::from(u16::MAX) {
         return Err(NetError::TooManyNodes(n));
     }
-    // A Restart frame carries the full view: 12 bytes per var + header.
-    if program.var_count() * 12 + 64 > MAX_PAYLOAD {
-        return Err(NetError::TooManyVars(program.var_count()));
+    // Per-node bound: a report frame carries every variable the node
+    // owns (12 bytes each, plus headers and counters). Restart frames
+    // carry the *full* view but are chunked, so only the per-node owned
+    // set needs to fit one frame.
+    for p in 0..n {
+        let owned = refinement.vars_of(p).len();
+        if owned * 12 + 128 > MAX_PAYLOAD {
+            return Err(NetError::TooManyVars(owned));
+        }
     }
     for event in &config.events {
         match event {
@@ -368,9 +406,10 @@ fn validate(
     Ok(())
 }
 
-/// Launch `program` as one TCP-loopback node per process, drive it from
-/// `initial` until the goal predicate stabilizes (and every scheduled
-/// event has played out), and return the observability report.
+/// Launch `program` as one node per process — multiplexed onto shard
+/// workers over TCP loopback — drive it from `initial` until the goal
+/// predicate stabilizes (and every scheduled event has played out), and
+/// return the observability report.
 ///
 /// # Errors
 ///
@@ -381,18 +420,28 @@ pub fn run(
     goal: &Predicate,
     config: &NetConfig,
 ) -> Result<NetReport, NetError> {
+    let debug_t0 = Instant::now();
     let refinement = Refinement::new(program)?;
     validate(program, &refinement, config)?;
     let specs = build_specs(&refinement)?;
+    if debug_enabled() {
+        eprintln!("[net-debug] specs built at {:?}", debug_t0.elapsed());
+    }
     let n = specs.len();
+    let plan = ShardPlan::new(n, effective_shards(config.shards, n));
+    let s_count = plan.shard_count();
+    let mesh = MeshPlan::new(&specs, &plan);
+    // Socket count is O(shards^2), far under default limits; raising the
+    // soft fd cap is opportunistic headroom for user-chosen shard counts.
+    let _ = polling::raise_nofile_limit();
 
-    // Bind every listener before any thread dials anything.
-    let mut node_listeners = Vec::with_capacity(n);
-    let mut peer_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
-    for _ in 0..n {
+    // Bind every listener before any worker dials anything.
+    let mut shard_listeners = Vec::with_capacity(s_count);
+    let mut shard_addrs = Vec::with_capacity(s_count);
+    for _ in 0..s_count {
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        peer_addrs.push(listener.local_addr()?);
-        node_listeners.push(listener);
+        shard_addrs.push(listener.local_addr()?);
+        shard_listeners.push(listener);
     }
     let controller_listener = TcpListener::bind("127.0.0.1:0")?;
     let controller_addr = controller_listener.local_addr()?;
@@ -406,133 +455,351 @@ pub fn run(
         report_every: config.report_every,
         startup_timeout: config.timeout,
     };
+    let generations: Vec<AtomicU64> = (0..s_count).map(|_| AtomicU64::new(0)).collect();
+    let env = WorkerEnv {
+        program,
+        specs: &specs,
+        plan: &plan,
+        mesh: &mesh,
+        timing: &timing,
+        faults: &config.faults,
+        partition: &partition,
+        initial,
+        step_log: config.step_log.clone(),
+        generations: &generations,
+        sabotage: config.sabotage_worker,
+    };
 
-    let mut result: Option<NetReport> = None;
-    std::thread::scope(|scope| -> Result<(), NetError> {
-        for (spec, listener) in specs.iter().zip(node_listeners) {
-            let peer_addrs = &peer_addrs;
-            let partition = &partition;
-            let timing = &timing;
-            let faults = &config.faults;
-            let initial_view = initial.clone();
-            let step_log = config.step_log.clone();
-            scope.spawn(move || {
-                // Startup failures leave the node silent; the controller
-                // times out and reports non-convergence.
-                let _ = run_node(
-                    program,
-                    spec,
-                    listener,
-                    peer_addrs,
-                    controller_addr,
-                    initial_view,
-                    partition,
-                    faults,
-                    timing,
-                    step_log,
-                );
-            });
-        }
-        result = Some(control_loop(
+    let (ctrl_result, worker_panic) = std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_listeners
+            .into_iter()
+            .enumerate()
+            .map(|(shard, listener)| {
+                let env = &env;
+                let shard_addrs = &shard_addrs;
+                scope.spawn(move || {
+                    // Worker I/O failures leave the shard silent; the
+                    // controller times out and reports non-convergence.
+                    // Panics are caught at join and become
+                    // `ControlLoopFailed`.
+                    run_worker(env, shard, listener, shard_addrs, controller_addr)
+                })
+            })
+            .collect();
+        let result = control_loop(
             program,
             initial,
             goal,
             config,
             &partition,
             controller_listener,
+            &plan,
+            &generations,
             n,
-            scope,
-        )?);
-        Ok(())
-    })?;
-    Ok(result.expect("control loop ran"))
+        );
+        // The control loop has shut its sockets down (or errored out and
+        // dropped them), so every worker sees EOF and exits; joining here
+        // cannot hang and surfaces worker panics.
+        let mut panic_msg: Option<String> = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                    .unwrap_or_else(|| "worker panicked without a message".to_string());
+                panic_msg.get_or_insert(msg);
+            }
+        }
+        (result, panic_msg)
+    });
+    if debug_enabled() {
+        eprintln!("[net-debug] scope done at {:?}", debug_t0.elapsed());
+    }
+    match worker_panic {
+        // A dead worker explains (and outranks) whatever secondary error
+        // the controller hit while waiting on it.
+        Some(msg) => Err(NetError::ControlLoopFailed(msg)),
+        None => ctrl_result,
+    }
 }
 
-/// Accept all node control connections, run the event/detector loop, and
-/// assemble the report.
+/// One shard's control connection, with incremental decode and batched
+/// writes.
+struct CtrlConn {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    stalled: bool,
+    eof: bool,
+}
+
+impl CtrlConn {
+    fn new(stream: TcpStream) -> Self {
+        CtrlConn {
+            stream,
+            inbuf: FrameBuffer::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            stalled: false,
+            eof: false,
+        }
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.outpos > 0 || !self.outbuf.is_empty()
+    }
+}
+
+/// Controller-side view of the cluster's telemetry.
+struct Telemetry {
+    assembled: State,
+    node_counters: Vec<CounterSnapshot>,
+    node_done: Vec<bool>,
+    /// Generation carried by the last Pulse drained from each shard.
+    seen_gen: Vec<u64>,
+    /// When that Pulse arrived.
+    last_pulse: Vec<Instant>,
+    hellos: usize,
+}
+
+/// Poll every live control connection and feed whatever is readable.
+fn poll_conns(conns: &mut [CtrlConn], timeout: Duration) -> io::Result<()> {
+    let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len());
+    let mut idx: Vec<usize> = Vec::with_capacity(conns.len());
+    for (i, c) in conns.iter().enumerate() {
+        let mut interest = 0u16;
+        if !c.eof {
+            interest |= READABLE;
+            if c.stalled {
+                interest |= WRITABLE;
+            }
+        }
+        if interest != 0 {
+            fds.push(PollFd::new(raw_fd(&c.stream), interest));
+            idx.push(i);
+        }
+    }
+    if fds.is_empty() {
+        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+        return Ok(());
+    }
+    polling::poll(&mut fds, Some(timeout))?;
+    for (fd, &i) in fds.iter().zip(&idx) {
+        let c = &mut conns[i];
+        if fd.is_writable() {
+            c.stalled = false;
+        }
+        if fd.is_readable() {
+            match c.inbuf.feed(&mut c.stream) {
+                Ok(FeedStatus::Eof) | Err(_) => c.eof = true,
+                Ok(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode and apply every frame buffered on the control connections.
+fn drain_frames(
+    conns: &mut [CtrlConn],
+    telemetry: &mut Telemetry,
+    program: &Program,
+    journal: &Journal,
+    n: usize,
+) {
+    for (shard, conn) in conns.iter_mut().enumerate() {
+        while let Some(res) = conn.inbuf.pop() {
+            let Ok(frame) = res else {
+                // The control plane is not fault-injected; a decode error
+                // here means a worker died mid-write. Drop the remains.
+                continue;
+            };
+            match frame {
+                Frame::Hello { node } if telemetry.hellos < n => {
+                    telemetry.hellos += 1;
+                    journal.emit_with(|| Event::Frame {
+                        node: u64::from(node),
+                        kind: "hello".to_string(),
+                    });
+                }
+                Frame::Hello { .. } => {}
+                Frame::Pulse { generation, .. } => {
+                    telemetry.seen_gen[shard] = generation;
+                    telemetry.last_pulse[shard] = Instant::now();
+                }
+                Frame::Report {
+                    node,
+                    last,
+                    counters,
+                    vars,
+                    ..
+                } => {
+                    let node = usize::from(node);
+                    if node < n {
+                        telemetry.node_counters[node] = counters;
+                        telemetry.node_done[node] |= last;
+                        // Only final reports are journaled: at the default
+                        // cadence the periodic ones arrive thousands of
+                        // times per second.
+                        if last {
+                            journal.emit_with(|| Event::Frame {
+                                node: node as u64,
+                                kind: "report".to_string(),
+                            });
+                        }
+                        for (var, value) in vars {
+                            if (var as usize) < program.var_count() {
+                                telemetry
+                                    .assembled
+                                    .set(VarId::from_index(var as usize), value);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Queue a control frame for `node` on its shard's stream.
+fn send_to_node(conns: &mut [CtrlConn], plan: &ShardPlan, node: usize, frame: Frame) {
+    let conn = &mut conns[plan.shard_of[node]];
+    if conn.eof {
+        return;
+    }
+    let routed = Frame::Routed {
+        to: node as u16,
+        frame: Box::new(frame),
+    };
+    // Control frames are always well-formed and under the payload cap
+    // (restarts are pre-chunked); an encode failure cannot happen.
+    let _ = routed.encode_into(&mut conn.outbuf);
+}
+
+/// Flush every connection's batched output as far as the sockets allow.
+fn flush_conns(conns: &mut [CtrlConn]) {
+    for c in conns.iter_mut() {
+        if c.eof || !c.has_pending_out() {
+            continue;
+        }
+        match flush_buf(&mut c.stream, &mut c.outbuf, &mut c.outpos) {
+            Ok(true) => c.stalled = false,
+            Ok(false) => c.stalled = true,
+            // A write failure means the worker died; reads on the same
+            // socket are done too.
+            Err(_) => c.eof = true,
+        }
+    }
+}
+
+/// Accept all shard control connections, run the event/detector loop,
+/// and assemble the report.
 #[allow(clippy::too_many_arguments)]
-fn control_loop<'scope, 'env>(
+fn control_loop(
     program: &Program,
     initial: &State,
     goal: &Predicate,
     config: &NetConfig,
     partition: &PartitionMap,
     controller_listener: TcpListener,
+    plan: &ShardPlan,
+    generations: &[AtomicU64],
     n: usize,
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-) -> Result<NetReport, NetError>
-where
-    'env: 'scope,
-{
+) -> Result<NetReport, NetError> {
     let journal = &config.journal;
-    let (report_tx, report_rx) = std::sync::mpsc::channel::<Frame>();
+    let s_count = plan.shard_count();
 
-    // Each node dials in and opens with Hello{node}; the read half feeds
-    // the report channel, the write half carries control frames. The
-    // accept loop is deadlined: a node that died during startup must not
-    // block the run forever (on bail-out, dropping the listener and the
-    // accepted streams resets every node's control link, which each node
-    // treats as shutdown — so the scoped threads still unwind).
-    let mut control_tx: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    // Each shard worker dials in and greets with Pulse{shard, 0}; the
+    // accept loop is deadlined so a worker that died during startup
+    // cannot block the run forever (on bail-out, dropping the listener
+    // and accepted streams gives every worker EOF, so they all unwind).
     controller_listener.set_nonblocking(true)?;
-    let accept_deadline = Instant::now() + config.timeout;
-    for _ in 0..n {
-        let stream = loop {
-            match controller_listener.accept() {
-                Ok((stream, _)) => break stream,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if Instant::now() > accept_deadline {
-                        for open in control_tx.iter().flatten() {
-                            let _ = open.shutdown(std::net::Shutdown::Both);
-                        }
+    let startup_deadline = Instant::now() + config.timeout;
+    let mut slots: Vec<Option<CtrlConn>> = (0..s_count).map(|_| None).collect();
+    let mut accepted = 0usize;
+    while accepted < s_count {
+        match controller_listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(false)?;
+                let remaining = startup_deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                stream.set_read_timeout(Some(remaining))?;
+                let shard = match read_frame(&mut stream)? {
+                    Some(Ok(Frame::Pulse { shard, .. })) => usize::from(shard),
+                    other => {
                         return Err(NetError::Io(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "a node never connected to the controller",
-                        )));
+                            io::ErrorKind::InvalidData,
+                            format!("expected shard greeting on control connection, got {other:?}"),
+                        )))
                     }
-                    std::thread::sleep(Duration::from_millis(1));
+                };
+                if shard >= s_count || slots[shard].is_some() {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bogus shard greeting {shard}"),
+                    )));
                 }
-                Err(e) => return Err(NetError::Io(e)),
+                stream.set_read_timeout(None)?;
+                stream.set_nonblocking(true)?;
+                slots[shard] = Some(CtrlConn::new(stream));
+                accepted += 1;
             }
-        };
-        stream.set_nonblocking(false)?;
-        stream.set_nodelay(true)?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let node = match read_frame(&mut reader)? {
-            Some(Ok(Frame::Hello { node })) => usize::from(node),
-            other => {
-                return Err(NetError::Io(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("expected Hello on control connection, got {other:?}"),
-                )))
-            }
-        };
-        control_tx[node] = Some(stream);
-        journal.emit_with(|| Event::Frame {
-            node: node as u64,
-            kind: "hello".to_string(),
-        });
-        let tx: Sender<Frame> = report_tx.clone();
-        scope.spawn(move || {
-            while let Ok(Some(result)) = read_frame(&mut reader) {
-                match result {
-                    Ok(frame) => {
-                        if tx.send(frame).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() > startup_deadline {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "a shard worker never connected to the controller",
+                    )));
                 }
+                std::thread::sleep(Duration::from_millis(1));
             }
-        });
+            Err(e) => return Err(NetError::Io(e)),
+        }
     }
-    drop(report_tx);
     drop(controller_listener);
+    let mut conns: Vec<CtrlConn> = slots
+        .into_iter()
+        .map(|c| c.expect("all accepted"))
+        .collect();
+
+    let mut telemetry = Telemetry {
+        assembled: initial.clone(),
+        node_counters: vec![CounterSnapshot::default(); n],
+        node_done: vec![false; n],
+        seen_gen: vec![0; s_count],
+        last_pulse: vec![Instant::now(); s_count],
+        hellos: 0,
+    };
+
+    // Startup barrier: every node announces itself once its shard's mesh
+    // is fully connected; the convergence clock starts only then, so
+    // episode latencies never include connection setup.
+    while telemetry.hellos < n {
+        if Instant::now() > startup_deadline {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "a node never announced itself to the controller",
+            )));
+        }
+        poll_conns(&mut conns, Duration::from_millis(1))?;
+        drain_frames(&mut conns, &mut telemetry, program, journal, n);
+        if conns.iter().all(|c| c.eof) {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "every shard worker hung up before the run started",
+            )));
+        }
+    }
 
     let start = Instant::now();
-    let mut assembled = initial.clone();
-    let mut node_counters = vec![CounterSnapshot::default(); n];
-    let mut node_done = vec![false; n];
+    if debug_enabled() {
+        eprintln!("[net-debug] hello barrier done");
+    }
     let mut detector = Detector::new(config.detector.clone(), "initial convergence");
     journal.emit_with(|| Event::EpisodeStarted {
         label: "initial convergence".to_string(),
@@ -543,50 +810,14 @@ where
     // per-node link streams derived from the same config seed.
     let mut rng = StdRng::seed_from_u64(rand::split_seed(config.seed, 0xD15E_A5ED));
     let mut timed_out = false;
-
-    let apply_report = |frame: &Frame,
-                        assembled: &mut State,
-                        node_counters: &mut [CounterSnapshot],
-                        node_done: &mut [bool]| {
-        if let Frame::Report {
-            node,
-            last,
-            counters,
-            vars,
-            ..
-        } = frame
-        {
-            let node = usize::from(*node);
-            if node < n {
-                node_counters[node] = *counters;
-                node_done[node] |= *last;
-                // Only final reports are journaled: at the default cadence
-                // the periodic ones arrive thousands of times per second.
-                if *last {
-                    journal.emit_with(|| Event::Frame {
-                        node: node as u64,
-                        kind: "report".to_string(),
-                    });
-                }
-                for &(var, value) in vars {
-                    if (var as usize) < program.var_count() {
-                        assembled.set(VarId::from_index(var as usize), value);
-                    }
-                }
-            }
-        }
-    };
+    // A shard is "fresh" when the controller has drained a Pulse for its
+    // latest generation, or when one arrived so recently that the lag is
+    // ordinary pipeline skew rather than a stall.
+    let pulse_window = (config.detector.stable_for / 4).max(Duration::from_millis(5));
 
     loop {
-        // Block briefly for the next report, then drain the backlog.
-        match report_rx.recv_timeout(Duration::from_micros(500)) {
-            Ok(frame) => apply_report(&frame, &mut assembled, &mut node_counters, &mut node_done),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-        for frame in report_rx.try_iter() {
-            apply_report(&frame, &mut assembled, &mut node_counters, &mut node_done);
-        }
+        poll_conns(&mut conns, Duration::from_micros(500))?;
+        drain_frames(&mut conns, &mut telemetry, program, journal, n);
         let now = start.elapsed();
 
         // Fire due follow-ups (restarts, heals) unconditionally.
@@ -600,7 +831,19 @@ where
                             .var_ids()
                             .map(|v| (v.index() as u32, program.var(v).domain().sample(&mut rng)))
                             .collect();
-                        send_control(&mut control_tx, node, &Frame::Restart { vars: arbitrary });
+                        if arbitrary.is_empty() {
+                            send_to_node(&mut conns, plan, node, Frame::Restart { vars: vec![] });
+                        }
+                        for chunk in arbitrary.chunks(RESTART_CHUNK) {
+                            send_to_node(
+                                &mut conns,
+                                plan,
+                                node,
+                                Frame::Restart {
+                                    vars: chunk.to_vec(),
+                                },
+                            );
+                        }
                         detector.start_episode(now, format!("crash-restart node {node}"));
                         journal.emit_with(|| Event::Fault {
                             kind: "restart".to_string(),
@@ -637,7 +880,7 @@ where
             if due {
                 match queue.pop_front().expect("checked front") {
                     NetEvent::CrashRestart { node, down, .. } => {
-                        send_control(&mut control_tx, node, &Frame::Crash);
+                        send_to_node(&mut conns, plan, node, Frame::Crash);
                         journal.emit_with(|| Event::Fault {
                             kind: "crash".to_string(),
                             detail: format!("node {node} down for {down:?}"),
@@ -658,7 +901,18 @@ where
             }
         }
 
-        if detector.observe(now, goal.holds(&assembled)) {
+        // Freshness-gated sampling: skip the observation when some shard
+        // has state the controller provably has not assembled yet — but
+        // never skip more than the configured budget in a row, because a
+        // protocol that is always active (closure actions) keeps its
+        // generation perpetually hot.
+        let fresh = (0..s_count).all(|s| {
+            telemetry.seen_gen[s] == generations[s].load(Ordering::Acquire)
+                || telemetry.last_pulse[s].elapsed() <= pulse_window
+        });
+        if (fresh || detector.note_stale())
+            && detector.observe(now, goal.holds(&telemetry.assembled))
+        {
             if let Some(episode) = detector.episodes().last() {
                 journal.emit_with(|| Event::EpisodeConverged {
                     label: episode.label.clone(),
@@ -667,7 +921,12 @@ where
             }
         }
 
+        flush_conns(&mut conns);
+
         if queue.is_empty() && pending.is_empty() && detector.idle() {
+            break;
+        }
+        if conns.iter().all(|c| c.eof) {
             break;
         }
         if now > config.timeout {
@@ -676,25 +935,33 @@ where
         }
     }
 
-    // Shut everything down and collect final reports.
+    // Shut everything down and collect final reports: each node gets a
+    // routed Shutdown; workers quiesce (in-flight data still counts),
+    // emit final reports, and hang up.
     for node in 0..n {
-        send_control(&mut control_tx, node, &Frame::Shutdown);
+        send_to_node(&mut conns, plan, node, Frame::Shutdown);
     }
     let grace = Instant::now();
-    while !node_done.iter().all(|&d| d) && grace.elapsed() < Duration::from_secs(5) {
-        match report_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(frame) => apply_report(&frame, &mut assembled, &mut node_counters, &mut node_done),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+    while !telemetry.node_done.iter().all(|&d| d) && grace.elapsed() < Duration::from_secs(5) {
+        flush_conns(&mut conns);
+        if conns.iter().all(|c| c.eof) && !conns.iter().any(CtrlConn::has_pending_out) {
+            break;
         }
+        poll_conns(&mut conns, Duration::from_millis(5))?;
+        drain_frames(&mut conns, &mut telemetry, program, journal, n);
     }
-    // Shut the sockets down (not just drop our clones): the scoped reader
-    // threads hold their own clones and are blocked in read, so only a
-    // socket-level shutdown gets them EOF and lets the scope join.
-    for stream in control_tx.iter().flatten() {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
+    if debug_enabled() {
+        let done = telemetry.node_done.iter().filter(|&&d| d).count();
+        eprintln!(
+            "[net-debug] grace ended after {:?}: {done}/{n} finals, eof={:?}",
+            grace.elapsed(),
+            conns.iter().map(|c| c.eof).collect::<Vec<_>>()
+        );
     }
-    drop(control_tx);
+    for c in &conns {
+        let _ = c.stream.shutdown(std::net::Shutdown::Both);
+    }
+    drop(conns);
 
     let converged = detector.all_converged() && !timed_out;
     let report = NetReport {
@@ -703,8 +970,9 @@ where
         episodes: detector.episodes().to_vec(),
         wall: start.elapsed(),
         goal: goal.name().to_owned(),
-        final_state: assembled,
-        nodes: node_counters
+        final_state: telemetry.assembled,
+        nodes: telemetry
+            .node_counters
             .into_iter()
             .enumerate()
             .map(|(node, counters)| NodeReport { node, counters })
@@ -714,12 +982,11 @@ where
         node.emit(journal);
     }
     journal.flush();
-    Ok(report)
-}
-
-/// Best-effort control-plane send; a node that already exited is fine.
-fn send_control(control_tx: &mut [Option<TcpStream>], node: usize, frame: &Frame) {
-    if let Some(stream) = control_tx.get_mut(node).and_then(Option::as_mut) {
-        let _ = write_frame(stream, frame);
+    if debug_enabled() {
+        eprintln!(
+            "[net-debug] control_loop returns at {:?} after start",
+            start.elapsed()
+        );
     }
+    Ok(report)
 }

@@ -11,6 +11,13 @@
 //! any single-frame fault) leaves the length prefix intact; only an
 //! [`WireError::Oversized`] length is unrecoverable mid-stream, and
 //! readers treat it as fatal for the connection.
+//!
+//! Two frames exist purely for the reactor's shard-multiplexed transport:
+//! [`Frame::Routed`] wraps any non-routed frame with the index of the
+//! destination node so many logical links can share one shard-pair TCP
+//! stream, and [`Frame::Pulse`] carries a shard's freshness generation to
+//! the controller so the global detector never declares convergence from a
+//! stale assembly.
 
 use std::io::{self, Read, Write};
 
@@ -105,7 +112,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// `Update`/`Heartbeat` flow node → node over the fault-injected data
 /// plane; `Report` flows node → controller and `Crash`/`Restart`/
 /// `Shutdown` controller → node over the reliable instrumentation plane;
-/// `Hello` opens every connection.
+/// `Hello` opens every connection. On shard-multiplexed streams every
+/// per-node frame rides inside a [`Frame::Routed`] envelope, and
+/// [`Frame::Pulse`] carries shard-level freshness to the controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// Connection opener: identifies the dialing node.
@@ -151,6 +160,10 @@ pub enum Frame {
     /// Controller → node: crash now (drop state, go silent).
     Crash,
     /// Controller → node: restart with this (arbitrary) full view.
+    ///
+    /// At large variable counts the controller splits the view across
+    /// several `Restart` frames (each under [`MAX_PAYLOAD`]); the node
+    /// applies every chunk and leaves the crashed state on the first.
     Restart {
         /// `(variable index, value)` pairs covering the node's whole view
         /// — owned variables *and* caches come back arbitrary.
@@ -158,6 +171,27 @@ pub enum Frame {
     },
     /// Controller → node: send a final report and exit.
     Shutdown,
+    /// Shard-stream envelope: deliver `frame` to node `to`.
+    ///
+    /// The outer CRC covers the envelope and the inner frame together (the
+    /// inner frame is carried without its own CRC), so a single bit flip
+    /// anywhere — including in `to` — rejects the whole frame. Nesting a
+    /// `Routed` inside a `Routed` is a codec error.
+    Routed {
+        /// Destination node index.
+        to: u16,
+        /// The wrapped frame (never itself `Routed`).
+        frame: Box<Frame>,
+    },
+    /// Shard → controller freshness beacon: every state change the shard
+    /// has made up to `generation` has been flushed to the controller
+    /// stream ahead of this frame.
+    Pulse {
+        /// Reporting shard index.
+        shard: u16,
+        /// The shard's change generation at flush time.
+        generation: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -167,6 +201,8 @@ const TAG_REPORT: u8 = 4;
 const TAG_CRASH: u8 = 5;
 const TAG_RESTART: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_ROUTED: u8 = 8;
+const TAG_PULSE: u8 = 9;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -254,18 +290,16 @@ impl<'a> Cursor<'a> {
 }
 
 impl Frame {
-    /// Encode the full wire form: length prefix, tag, body, CRC-32.
+    /// Append tag + body (no CRC, no length prefix) to `payload`.
     ///
-    /// # Errors
-    ///
-    /// [`WireError::Oversized`] if the frame does not fit [`MAX_PAYLOAD`]
-    /// (a variable list too long for one frame).
-    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
-        let mut payload = Vec::with_capacity(32);
+    /// `allow_routed` is false when encoding the inner frame of a
+    /// [`Frame::Routed`] envelope: nesting envelopes is a codec error
+    /// (it would also allow unbounded decode recursion).
+    fn encode_body(&self, payload: &mut Vec<u8>, allow_routed: bool) -> Result<(), WireError> {
         match self {
             Frame::Hello { node } => {
                 payload.push(TAG_HELLO);
-                put_u16(&mut payload, *node);
+                put_u16(payload, *node);
             }
             Frame::Update {
                 node,
@@ -274,16 +308,16 @@ impl Frame {
                 value,
             } => {
                 payload.push(TAG_UPDATE);
-                put_u16(&mut payload, *node);
-                put_u64(&mut payload, *seq);
-                put_u32(&mut payload, *var);
-                put_i64(&mut payload, *value);
+                put_u16(payload, *node);
+                put_u64(payload, *seq);
+                put_u32(payload, *var);
+                put_i64(payload, *value);
             }
             Frame::Heartbeat { node, seq, vars } => {
                 payload.push(TAG_HEARTBEAT);
-                put_u16(&mut payload, *node);
-                put_u64(&mut payload, *seq);
-                put_vars(&mut payload, vars)?;
+                put_u16(payload, *node);
+                put_u64(payload, *seq);
+                put_vars(payload, vars)?;
             }
             Frame::Report {
                 node,
@@ -293,58 +327,39 @@ impl Frame {
                 vars,
             } => {
                 payload.push(TAG_REPORT);
-                put_u16(&mut payload, *node);
-                put_u64(&mut payload, *seq);
+                put_u16(payload, *node);
+                put_u64(payload, *seq);
                 payload.push(u8::from(*last));
                 for word in counters.to_words() {
-                    put_u64(&mut payload, word);
+                    put_u64(payload, word);
                 }
-                put_vars(&mut payload, vars)?;
+                put_vars(payload, vars)?;
             }
             Frame::Crash => payload.push(TAG_CRASH),
             Frame::Restart { vars } => {
                 payload.push(TAG_RESTART);
-                put_vars(&mut payload, vars)?;
+                put_vars(payload, vars)?;
             }
             Frame::Shutdown => payload.push(TAG_SHUTDOWN),
+            Frame::Routed { to, frame } => {
+                if !allow_routed {
+                    return Err(WireError::BadTag(TAG_ROUTED));
+                }
+                payload.push(TAG_ROUTED);
+                put_u16(payload, *to);
+                frame.encode_body(payload, false)?;
+            }
+            Frame::Pulse { shard, generation } => {
+                payload.push(TAG_PULSE);
+                put_u16(payload, *shard);
+                put_u64(payload, *generation);
+            }
         }
-        let crc = crc32(&payload);
-        payload.extend_from_slice(&crc.to_le_bytes());
-        if payload.len() > MAX_PAYLOAD {
-            return Err(WireError::Oversized { len: payload.len() });
-        }
-        let mut wire = Vec::with_capacity(4 + payload.len());
-        wire.extend_from_slice(&u32::try_from(payload.len()).expect("bounded").to_be_bytes());
-        wire.extend_from_slice(&payload);
-        Ok(wire)
+        Ok(())
     }
 
-    /// Decode a payload (the bytes after the length prefix).
-    ///
-    /// # Errors
-    ///
-    /// See [`WireError`]; notably [`WireError::BadChecksum`] for any
-    /// single-bit corruption anywhere in the payload.
-    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
-        if payload.len() < 1 + CRC_LEN {
-            return Err(WireError::Truncated {
-                needed: 1 + CRC_LEN,
-                have: payload.len(),
-            });
-        }
-        if payload.len() > MAX_PAYLOAD {
-            return Err(WireError::Oversized { len: payload.len() });
-        }
-        let (body, crc_bytes) = payload.split_at(payload.len() - CRC_LEN);
-        let found = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-        let computed = crc32(body);
-        if found != computed {
-            return Err(WireError::BadChecksum { found, computed });
-        }
-        let mut c = Cursor {
-            bytes: body,
-            pos: 0,
-        };
+    /// Decode one tag + body from the cursor (CRC already verified).
+    fn decode_body(c: &mut Cursor<'_>, allow_routed: bool) -> Result<Frame, WireError> {
         let frame = match c.u8()? {
             TAG_HELLO => Frame::Hello { node: c.u16()? },
             TAG_UPDATE => Frame::Update {
@@ -377,8 +392,86 @@ impl Frame {
             TAG_CRASH => Frame::Crash,
             TAG_RESTART => Frame::Restart { vars: c.vars()? },
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_ROUTED if allow_routed => Frame::Routed {
+                to: c.u16()?,
+                frame: Box::new(Frame::decode_body(c, false)?),
+            },
+            TAG_PULSE => Frame::Pulse {
+                shard: c.u16()?,
+                generation: c.u64()?,
+            },
             tag => return Err(WireError::BadTag(tag)),
         };
+        Ok(frame)
+    }
+
+    /// Encode the full wire form: length prefix, tag, body, CRC-32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] if the frame does not fit [`MAX_PAYLOAD`]
+    /// (a variable list too long for one frame);
+    /// [`WireError::BadTag`] for a `Routed` nested inside a `Routed`.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut wire = Vec::with_capacity(36);
+        self.encode_into(&mut wire)?;
+        Ok(wire)
+    }
+
+    /// Append the full wire form (length prefix, tag, body, CRC-32) to
+    /// `out`, leaving `out` untouched on error. This is the batching form:
+    /// the reactor accumulates many frames into one buffer and flushes
+    /// them with a single `write` per readiness cycle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Frame::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 4]); // length placeholder
+        if let Err(e) = self.encode_body(out, true) {
+            out.truncate(start);
+            return Err(e);
+        }
+        let crc = crc32(&out[start + 4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let payload_len = out.len() - start - 4;
+        if payload_len > MAX_PAYLOAD {
+            out.truncate(start);
+            return Err(WireError::Oversized { len: payload_len });
+        }
+        let len_bytes = u32::try_from(payload_len).expect("bounded").to_be_bytes();
+        out[start..start + 4].copy_from_slice(&len_bytes);
+        Ok(())
+    }
+
+    /// Decode a payload (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]; notably [`WireError::BadChecksum`] for any
+    /// single-bit corruption anywhere in the payload.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        if payload.len() < 1 + CRC_LEN {
+            return Err(WireError::Truncated {
+                needed: 1 + CRC_LEN,
+                have: payload.len(),
+            });
+        }
+        if payload.len() > MAX_PAYLOAD {
+            return Err(WireError::Oversized { len: payload.len() });
+        }
+        let (body, crc_bytes) = payload.split_at(payload.len() - CRC_LEN);
+        let found = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if found != computed {
+            return Err(WireError::BadChecksum { found, computed });
+        }
+        let mut c = Cursor {
+            bytes: body,
+            pos: 0,
+        };
+        let frame = Frame::decode_body(&mut c, true)?;
         if c.pos != body.len() {
             return Err(WireError::Trailing {
                 extra: body.len() - c.pos,
@@ -401,37 +494,210 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&wire)
 }
 
+/// Fill `buf` completely, distinguishing a clean EOF at offset 0 from an
+/// EOF that lands mid-read. Returns `Ok(false)` for the clean case.
+fn read_full(r: &mut impl Read, buf: &mut [u8], mid_frame: bool) -> io::Result<Option<bool>> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && !mid_frame {
+                    return Ok(Some(false)); // clean EOF at a frame boundary
+                }
+                return Ok(None); // EOF mid-frame
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                if filled == 0 && !mid_frame {
+                    return Ok(Some(false));
+                }
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(true))
+}
+
 /// Read one frame from `r`.
 ///
-/// Returns `Ok(None)` on a cleanly (or mid-frame) closed connection,
-/// `Ok(Some(Err(_)))` for a frame that arrived but failed to decode —
-/// [`WireError::Oversized`] is fatal for the stream (the caller must stop
-/// reading; the boundary is lost), checksum/tag errors are per-frame and
-/// the stream remains framed — and `Ok(Some(Ok(_)))` for a good frame.
+/// Returns `Ok(None)` only on a *cleanly* closed connection — an EOF that
+/// lands exactly on a frame boundary. An EOF mid-frame (inside the length
+/// prefix or inside the payload) is a protocol violation and surfaces as
+/// `Ok(Some(Err(WireError::Truncated { .. })))`, never a silent `None`:
+/// a peer that dies mid-write must be distinguishable from one that shut
+/// down in an orderly way. [`WireError::Oversized`] is fatal for the
+/// stream (the caller must stop reading; the boundary is lost); checksum/
+/// tag errors are per-frame and the stream remains framed.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors other than EOF.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Result<Frame, WireError>>> {
     let mut len_bytes = [0u8; 4];
-    if let Err(e) = r.read_exact(&mut len_bytes) {
-        return match e.kind() {
-            io::ErrorKind::UnexpectedEof => Ok(None),
-            _ => Err(e),
-        };
+    match read_full(r, &mut len_bytes, false)? {
+        Some(true) => {}
+        Some(false) => return Ok(None),
+        None => {
+            return Ok(Some(Err(WireError::Truncated {
+                needed: len_bytes.len(),
+                have: 0,
+            })))
+        }
     }
     let len = u32::from_be_bytes(len_bytes) as usize;
     if len > MAX_PAYLOAD {
         return Ok(Some(Err(WireError::Oversized { len })));
     }
     let mut payload = vec![0u8; len];
-    if let Err(e) = r.read_exact(&mut payload) {
-        return match e.kind() {
-            io::ErrorKind::UnexpectedEof => Ok(None),
-            _ => Err(e),
-        };
+    match read_full(r, &mut payload, true)? {
+        Some(true) => {}
+        Some(false) | None => {
+            return Ok(Some(Err(WireError::Truncated {
+                needed: len,
+                have: 0,
+            })))
+        }
     }
     Ok(Some(Frame::decode(&payload)))
+}
+
+/// What a [`FrameBuffer::feed`] observed about the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedStatus {
+    /// More bytes may arrive.
+    Open,
+    /// The reader reported `WouldBlock`: drained for now.
+    Drained,
+    /// The peer closed the stream (EOF observed).
+    Eof,
+}
+
+/// Incremental, nonblocking frame decoder for the reactor.
+///
+/// Bytes are appended in whatever chunks the socket yields; complete
+/// frames are popped in order. Frame boundaries, CRC checking, and the
+/// EOF-mid-frame rule match [`read_frame`] exactly: after the peer closes,
+/// leftover bytes that do not form a whole frame surface as one
+/// [`WireError::Truncated`] decode error.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    pos: usize,
+    /// Sticky fatal error: an oversized length prefix destroys framing.
+    dead: bool,
+    /// EOF seen; at most one trailing Truncated error remains.
+    eof: bool,
+    eof_error_taken: bool,
+}
+
+impl FrameBuffer {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pull everything currently readable from a nonblocking reader.
+    ///
+    /// Returns how the read ended: drained (`WouldBlock`), EOF, or still
+    /// open (only when `scratch` reads hit an `Interrupted` boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `WouldBlock`/`Interrupted`/EOF.
+    pub fn feed(&mut self, r: &mut impl Read) -> io::Result<FeedStatus> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match r.read(&mut scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(FeedStatus::Eof);
+                }
+                Ok(n) => self.extend(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FeedStatus::Drained),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Mark the stream closed without reading (e.g. poll reported hangup
+    /// and a subsequent read returned 0 elsewhere).
+    pub fn mark_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// True once a fatal (stream-destroying) error has been returned.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unconsumed byte count (diagnostic).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pop the next complete frame, if any.
+    ///
+    /// `None` means "no complete frame buffered" — either more bytes are
+    /// needed, or the stream ended cleanly. After EOF, a partial trailing
+    /// frame yields exactly one `Some(Err(Truncated))`. An `Oversized`
+    /// length prefix yields `Some(Err(Oversized))` once and kills the
+    /// buffer (subsequent pops return `None`).
+    pub fn pop(&mut self) -> Option<Result<Frame, WireError>> {
+        if self.dead {
+            return None;
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail >= 4 {
+            let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes");
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            if len > MAX_PAYLOAD {
+                self.dead = true;
+                return Some(Err(WireError::Oversized { len }));
+            }
+            if avail >= 4 + len {
+                let payload = &self.buf[self.pos + 4..self.pos + 4 + len];
+                let frame = Frame::decode(payload);
+                self.pos += 4 + len;
+                return Some(frame);
+            }
+        }
+        if self.eof && avail > 0 && !self.eof_error_taken {
+            // Peer died mid-frame: same rule as `read_frame`.
+            self.eof_error_taken = true;
+            return Some(Err(WireError::Truncated {
+                needed: if avail >= 4 {
+                    u32::from_be_bytes(
+                        self.buf[self.pos..self.pos + 4]
+                            .try_into()
+                            .expect("4 bytes"),
+                    ) as usize
+                } else {
+                    4
+                },
+                have: avail.saturating_sub(4),
+            }));
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -477,6 +743,23 @@ mod tests {
                 vars: vec![(0, 3), (1, 0), (2, i64::MIN)],
             },
             Frame::Shutdown,
+            Frame::Routed {
+                to: 512,
+                frame: Box::new(Frame::Update {
+                    node: 11,
+                    seq: 3,
+                    var: 11,
+                    value: 8,
+                }),
+            },
+            Frame::Routed {
+                to: 0,
+                frame: Box::new(Frame::Shutdown),
+            },
+            Frame::Pulse {
+                shard: 7,
+                generation: u64::MAX - 1,
+            },
         ]
     }
 
@@ -487,6 +770,63 @@ mod tests {
             let len = u32::from_be_bytes(wire[..4].try_into().unwrap()) as usize;
             assert_eq!(len, wire.len() - 4);
             assert_eq!(Frame::decode(&wire[4..]).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_batches() {
+        let frames = sample_frames();
+        let mut batched = Vec::new();
+        let mut concat = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut batched).unwrap();
+            concat.extend_from_slice(&f.encode().unwrap());
+        }
+        assert_eq!(batched, concat);
+    }
+
+    #[test]
+    fn nested_routed_is_rejected_on_encode() {
+        let frame = Frame::Routed {
+            to: 1,
+            frame: Box::new(Frame::Routed {
+                to: 2,
+                frame: Box::new(Frame::Crash),
+            }),
+        };
+        assert!(matches!(frame.encode(), Err(WireError::BadTag(8))));
+        // And a hand-built nested payload is rejected on decode.
+        let mut body = vec![8u8];
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.push(8u8);
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.push(5u8); // Crash
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(Frame::decode(&body), Err(WireError::BadTag(8))));
+    }
+
+    #[test]
+    fn routed_bit_flips_reject_whole_envelope() {
+        let frame = Frame::Routed {
+            to: 9,
+            frame: Box::new(Frame::Heartbeat {
+                node: 4,
+                seq: 77,
+                vars: vec![(1, 5)],
+            }),
+        };
+        let wire = frame.encode().unwrap();
+        let payload = &wire[4..];
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut bad = payload.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} slipped through"
+                );
+            }
         }
     }
 
@@ -584,5 +924,160 @@ mod tests {
     fn crc_reference_vector() {
         // The classic IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    // ---- satellite: EOF-mid-frame must be a clean framing error ----
+
+    #[test]
+    fn eof_inside_payload_is_truncated_error_not_silent_none() {
+        let frame = Frame::Heartbeat {
+            node: 1,
+            seq: 2,
+            vars: vec![(0, 1), (1, 2)],
+        };
+        let wire = frame.encode().unwrap();
+        // Cut the stream after the length prefix + part of the payload.
+        for cut in 5..wire.len() {
+            let mut r = &wire[..cut];
+            match read_frame(&mut r).unwrap() {
+                Some(Err(WireError::Truncated { .. })) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_inside_length_prefix_is_truncated_error() {
+        let frame = Frame::Crash;
+        let wire = frame.encode().unwrap();
+        for cut in 1..4 {
+            let mut r = &wire[..cut];
+            match read_frame(&mut r).unwrap() {
+                Some(Err(WireError::Truncated { .. })) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        // Zero bytes is a *clean* close, not an error.
+        let mut r: &[u8] = &[];
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Crash).unwrap();
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).unwrap().unwrap().is_ok());
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    // ---- FrameBuffer: the nonblocking decoder obeys the same rules ----
+
+    #[test]
+    fn frame_buffer_decodes_across_arbitrary_chunk_boundaries() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire).unwrap();
+        }
+        for chunk in [1usize, 2, 3, 7, 16, 64, wire.len()] {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(f) = fb.pop() {
+                    got.push(f.unwrap());
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+            assert_eq!(fb.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_eof_mid_frame_yields_one_truncated_error() {
+        let wire = Frame::Heartbeat {
+            node: 1,
+            seq: 2,
+            vars: vec![(0, 1), (1, 2)],
+        }
+        .encode()
+        .unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire[..wire.len() - 3]);
+        assert!(fb.pop().is_none(), "incomplete frame: wait for more");
+        fb.mark_eof();
+        match fb.pop() {
+            Some(Err(WireError::Truncated { .. })) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert!(fb.pop().is_none(), "error reported exactly once");
+    }
+
+    #[test]
+    fn frame_buffer_eof_at_boundary_is_clean() {
+        let wire = Frame::Crash.encode().unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert!(fb.pop().unwrap().is_ok());
+        fb.mark_eof();
+        assert!(fb.pop().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_oversized_is_sticky_fatal() {
+        let mut fb = FrameBuffer::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        fb.extend(&bytes);
+        assert!(matches!(fb.pop(), Some(Err(WireError::Oversized { .. }))));
+        assert!(fb.is_dead());
+        assert!(fb.pop().is_none());
+        // Even appending a perfectly valid frame cannot revive it: the
+        // stream boundary is untrustworthy.
+        fb.extend(&Frame::Crash.encode().unwrap());
+        assert!(fb.pop().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_feed_reads_nonblocking_reader() {
+        struct Chunked {
+            data: Vec<u8>,
+            pos: usize,
+            would_block_at: usize,
+        }
+        impl Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos == self.would_block_at && self.pos < self.data.len() {
+                    self.would_block_at = usize::MAX;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+                }
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                let n = (self.data.len() - self.pos).min(buf.len()).min(5);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let frames = vec![Frame::Hello { node: 1 }, Frame::Shutdown];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire).unwrap();
+        }
+        let mut r = Chunked {
+            data: wire,
+            pos: 0,
+            would_block_at: 5,
+        };
+        let mut fb = FrameBuffer::new();
+        assert_eq!(fb.feed(&mut r).unwrap(), FeedStatus::Drained);
+        assert_eq!(fb.feed(&mut r).unwrap(), FeedStatus::Eof);
+        let got: Vec<Frame> = std::iter::from_fn(|| fb.pop())
+            .map(|f| f.unwrap())
+            .collect();
+        assert_eq!(got, frames);
     }
 }

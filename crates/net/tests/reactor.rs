@@ -1,0 +1,147 @@
+//! Reactor-runtime integration tests: typed surfacing of a dead worker,
+//! wall-clock heartbeat cadence, and shard-count invariance of the
+//! logical outcome.
+
+use std::time::Duration;
+
+use nonmask_net::{run, DetectorConfig, FaultConfig, NetConfig, NetError, NetEvent};
+use nonmask_protocols::token_ring::TokenRing;
+
+/// A worker thread that dies must surface as the typed
+/// `ControlLoopFailed` error carrying the panic message — not as a
+/// panic in `run`, and not masked by the controller's secondary timeout.
+#[test]
+fn sabotaged_worker_is_a_typed_control_loop_failure() {
+    let ring = TokenRing::new(4, 4);
+    let initial = ring.program().state_from([0, 0, 0, 0]).expect("in domain");
+    let config = NetConfig {
+        timeout: Duration::from_millis(400),
+        sabotage_worker: Some(0),
+        ..NetConfig::default()
+    };
+    match run(ring.program(), &initial, &ring.invariant(), &config) {
+        Err(NetError::ControlLoopFailed(msg)) => {
+            assert!(msg.contains("sabotaged"), "panic payload preserved: {msg}");
+        }
+        other => panic!("expected ControlLoopFailed, got {other:?}"),
+    }
+}
+
+/// Heartbeat cadence is pinned to the wall clock: over a fixed window,
+/// each node's beat count must match `window / (tick * heartbeat_every)`
+/// closely in both directions. Absolute next-deadline scheduling holds
+/// this under load; per-iteration sleeps would drift low by the loop's
+/// work time every tick.
+#[test]
+fn heartbeat_cadence_holds_against_wall_clock() {
+    let ring = TokenRing::new(3, 3);
+    let initial = ring.program().state_from([0, 0, 0]).expect("in domain");
+    let window = Duration::from_millis(500);
+    let tick = Duration::from_micros(500);
+    let hb_every = 4u64;
+    let config = NetConfig {
+        tick,
+        heartbeat_every: hb_every,
+        // A detector window longer than the timeout keeps the run open
+        // for the whole measurement window.
+        detector: DetectorConfig {
+            stable_for: Duration::from_secs(60),
+            ..DetectorConfig::default()
+        },
+        timeout: window,
+        ..NetConfig::default()
+    };
+    let report = run(ring.program(), &initial, &ring.invariant(), &config).expect("runs");
+    assert!(report.timed_out, "the run must span the whole window");
+    let expected = (window.as_micros() / (tick * hb_every as u32).as_micros()) as u64;
+    for node in &report.nodes {
+        let beats = node.counters.heartbeats;
+        assert!(
+            beats >= expected * 3 / 5,
+            "node {} beat {beats} times in {window:?}, expected ~{expected}: cadence drifted",
+            node.node
+        );
+        assert!(
+            beats <= expected * 6 / 5,
+            "node {} beat {beats} times in {window:?}, expected ~{expected}: cadence ran hot",
+            node.node
+        );
+    }
+}
+
+/// A 12-node ring spread over 4 shard workers converges through hostile
+/// faults, a crash-restart, and a partition/heal — every episode, with
+/// the fault bookkeeping intact.
+#[test]
+fn four_shards_converge_under_churn() {
+    let ring = TokenRing::new(12, 12);
+    let initial = ring
+        .program()
+        .state_from([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8])
+        .expect("in domain");
+    let mut groups = vec![0usize; 6];
+    groups.extend(vec![1usize; 6]);
+    let config = NetConfig {
+        seed: 7,
+        shards: 4,
+        faults: FaultConfig::hostile(21, 0.15),
+        events: vec![
+            NetEvent::CrashRestart {
+                node: 5,
+                at_least: Duration::ZERO,
+                down: Duration::from_millis(10),
+            },
+            NetEvent::Partition {
+                groups,
+                at_least: Duration::ZERO,
+                heal_after: Duration::from_millis(20),
+            },
+        ],
+        timeout: Duration::from_secs(30),
+        ..NetConfig::default()
+    };
+    let report = run(ring.program(), &initial, &ring.invariant(), &config).expect("runs");
+    assert!(
+        report.converged,
+        "every episode converged:\n{}",
+        report.render()
+    );
+    assert_eq!(report.episodes.len(), 3);
+    assert!(report.episodes.iter().all(|e| e.latency().is_some()));
+    assert!(ring.invariant().holds(&report.final_state));
+    let crashes: u64 = report.nodes.iter().map(|n| n.counters.crashes).sum();
+    assert_eq!(crashes, 1, "exactly the scheduled crash");
+    let dropped: u64 = report.nodes.iter().map(|n| n.counters.dropped).sum();
+    assert!(dropped > 0, "hostile faults actually fired");
+}
+
+/// The shard count is physical transport only: a faultless run reaches
+/// the same logical outcome (convergence, exact sent == received
+/// balance, invariant final state) whether the nodes share one worker or
+/// are spread over several.
+#[test]
+fn shard_count_is_invisible_to_logical_outcomes() {
+    for shards in [1usize, 3] {
+        let ring = TokenRing::new(9, 9);
+        let initial = ring
+            .program()
+            .state_from([8, 6, 7, 5, 3, 0, 1, 2, 4])
+            .expect("in domain");
+        let config = NetConfig {
+            seed: 11,
+            shards,
+            faults: FaultConfig::default(),
+            timeout: Duration::from_secs(20),
+            ..NetConfig::default()
+        };
+        let report = run(ring.program(), &initial, &ring.invariant(), &config).expect("runs");
+        assert!(report.converged, "shards={shards}:\n{}", report.render());
+        assert!(ring.invariant().holds(&report.final_state));
+        let sent: u64 = report.nodes.iter().map(|n| n.counters.sent).sum();
+        let received: u64 = report.nodes.iter().map(|n| n.counters.received).sum();
+        assert_eq!(
+            sent, received,
+            "shards={shards}: a faultless run loses nothing in flight"
+        );
+    }
+}

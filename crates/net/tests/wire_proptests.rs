@@ -52,6 +52,20 @@ fn any_frame() -> BoxedStrategy<Frame> {
         Just(Frame::Crash),
         any_vars().prop_map(|vars| Frame::Restart { vars }),
         Just(Frame::Shutdown),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(shard, generation)| Frame::Pulse { shard, generation }),
+    ]
+}
+
+/// Frames including one level of `Routed` wrapping (the shard-stream
+/// envelope); `any_frame` stays flat because `Routed` may not nest.
+fn any_wire_frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        any_frame(),
+        (any::<u16>(), any_frame()).prop_map(|(to, frame)| Frame::Routed {
+            to,
+            frame: Box::new(frame)
+        }),
     ]
 }
 
@@ -60,7 +74,7 @@ proptest! {
 
     /// Encode → decode is the identity for every frame shape.
     #[test]
-    fn frames_roundtrip(frame in any_frame()) {
+    fn frames_roundtrip(frame in any_wire_frame()) {
         let wire = frame.encode().expect("bounded frames encode");
         // The payload sits between the 4-byte length prefix and nothing:
         // decode consumes tag + body + trailing checksum.
@@ -70,7 +84,7 @@ proptest! {
 
     /// Stream roundtrip: frames written back-to-back come out in order.
     #[test]
-    fn streams_roundtrip(frames in proptest::collection::vec(any_frame(), 1..8)) {
+    fn streams_roundtrip(frames in proptest::collection::vec(any_wire_frame(), 1..8)) {
         let mut buf = Vec::new();
         for frame in &frames {
             write_frame(&mut buf, frame).expect("write to Vec");
@@ -89,7 +103,7 @@ proptest! {
     /// Truncating the payload anywhere yields an error, not a panic and
     /// not a frame.
     #[test]
-    fn truncated_payloads_are_rejected(frame in any_frame(), cut in any::<u16>()) {
+    fn truncated_payloads_are_rejected(frame in any_wire_frame(), cut in any::<u16>()) {
         let wire = frame.encode().expect("encodes");
         let payload = &wire[4..];
         let cut = usize::from(cut) % payload.len();
@@ -100,7 +114,7 @@ proptest! {
     /// all 1-bit errors) or, if it hits the length-sensitive var count,
     /// surfaces as a structural error — never a silently altered frame.
     #[test]
-    fn bit_flips_are_rejected(frame in any_frame(), pick in (any::<u32>(), 0u8..8)) {
+    fn bit_flips_are_rejected(frame in any_wire_frame(), pick in (any::<u32>(), 0u8..8)) {
         let wire = frame.encode().expect("encodes");
         let (byte, bit) = pick;
         let mut payload = wire[4..].to_vec();
@@ -129,14 +143,24 @@ proptest! {
         prop_assert!(matches!(result, Err(WireError::Oversized { .. })), "{result:?}");
     }
 
-    /// A frame whose stream bytes are cut mid-frame reads as EOF (the
-    /// connection died), never as a partial frame.
+    /// A stream cut mid-frame surfaces a `Truncated` framing error — the
+    /// peer died with a frame in flight — while a cut at a frame boundary
+    /// (zero bytes kept) is a clean end of stream. Silent `None` for a
+    /// partial frame hid real disconnects from every caller.
     #[test]
-    fn mid_frame_eof_reads_as_end_of_stream(frame in any_frame(), keep in any::<u16>()) {
+    fn mid_frame_eof_is_a_framing_error(frame in any_wire_frame(), keep in any::<u16>()) {
         let mut buf = Vec::new();
         write_frame(&mut buf, &frame).expect("write to Vec");
         let keep = usize::from(keep) % buf.len(); // strictly shorter
         let mut reader = &buf[..keep];
-        prop_assert!(read_frame(&mut reader).expect("io ok").is_none());
+        let got = read_frame(&mut reader).expect("io ok");
+        if keep == 0 {
+            prop_assert!(got.is_none(), "boundary EOF is clean: {got:?}");
+        } else {
+            prop_assert!(
+                matches!(got, Some(Err(WireError::Truncated { .. }))),
+                "mid-frame EOF must be loud: {got:?}"
+            );
+        }
     }
 }

@@ -1,0 +1,307 @@
+//! Vendored, std-only readiness shim over `poll(2)`.
+//!
+//! The offline build constraint (see `vendor/rand`) forbids pulling real
+//! crates from the network, so this crate provides the *minimum* readiness
+//! surface the `nonmask-net` reactor needs: level-triggered readable/writable
+//! polling over a small set of sockets, plus a best-effort attempt to raise
+//! the process file-descriptor limit.
+//!
+//! Design notes:
+//!
+//! - The reactor multiplexes *logical* links over a handful of per-shard
+//!   TCP streams, so the poll set stays tiny (tens of descriptors even at
+//!   10^4 nodes). `poll(2)` is therefore the right primitive — O(fds) scans
+//!   are irrelevant at this set size and the syscall exists everywhere;
+//!   epoll would buy nothing here.
+//! - All `unsafe` in the workspace's networking stack lives in this one
+//!   vendored crate; `nonmask-net` itself remains `#![forbid(unsafe_code)]`.
+//! - On non-Unix targets the shim degrades to "report everything ready
+//!   after a short sleep", which keeps the reactor correct (its socket I/O
+//!   is nonblocking and tolerates spurious readiness) at the cost of
+//!   busy-polling.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// Interest/readiness flag: the descriptor is readable (or has hung up —
+/// hangup is folded into readability so callers observe EOF via `read`).
+pub const READABLE: u16 = 0x1;
+/// Interest/readiness flag: the descriptor is writable.
+pub const WRITABLE: u16 = 0x2;
+
+/// One pollable descriptor: the caller sets `fd` and `interest`
+/// ([`READABLE`] | [`WRITABLE`]), and [`poll`] fills `ready`.
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// Raw file descriptor (from `std::os::fd::AsRawFd` on Unix).
+    pub fd: i32,
+    /// Requested interest: a bitwise OR of [`READABLE`] and [`WRITABLE`].
+    pub interest: u16,
+    /// Readiness reported by the last [`poll`] call (same bits). Error and
+    /// hangup conditions are reported as [`READABLE`] so the caller's next
+    /// nonblocking read observes them.
+    pub ready: u16,
+}
+
+impl PollFd {
+    /// A poll entry for `fd` with the given interest and no readiness yet.
+    pub fn new(fd: i32, interest: u16) -> Self {
+        PollFd {
+            fd,
+            interest,
+            ready: 0,
+        }
+    }
+
+    /// True if the last poll reported the descriptor readable (or hung up).
+    pub fn is_readable(&self) -> bool {
+        self.ready & READABLE != 0
+    }
+
+    /// True if the last poll reported the descriptor writable.
+    pub fn is_writable(&self) -> bool {
+        self.ready & WRITABLE != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{PollFd, READABLE, WRITABLE};
+    use std::io;
+    use std::time::Duration;
+
+    // Minimal libc surface, declared by hand: the container has no `libc`
+    // crate to `cargo add`, and these signatures are stable POSIX.
+    #[repr(C)]
+    struct RawPollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut RawPollFd, nfds: u64, timeout: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    const RLIMIT_NOFILE: i32 = 7;
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let mut raw: Vec<RawPollFd> = fds
+            .iter()
+            .map(|p| {
+                let mut events = 0i16;
+                if p.interest & READABLE != 0 {
+                    events |= POLLIN;
+                }
+                if p.interest & WRITABLE != 0 {
+                    events |= POLLOUT;
+                }
+                RawPollFd {
+                    fd: p.fd,
+                    events,
+                    revents: 0,
+                }
+            })
+            .collect();
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 1ns request does not spin at timeout 0.
+            Some(d) => {
+                d.as_millis().min(i32::MAX as u128) as i32
+                    + if d.subsec_nanos() % 1_000_000 != 0 {
+                        1
+                    } else {
+                        0
+                    }
+            }
+            None => -1,
+        };
+        // SAFETY: `raw` is a live, correctly sized buffer of #[repr(C)]
+        // pollfd records for the duration of the call.
+        let rc = unsafe { poll(raw.as_mut_ptr(), raw.len() as u64, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                // EINTR: report "nothing ready"; the caller's loop re-polls.
+                for p in fds.iter_mut() {
+                    p.ready = 0;
+                }
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let mut ready = 0usize;
+        for (p, r) in fds.iter_mut().zip(raw.iter()) {
+            let mut bits = 0u16;
+            if r.revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+                bits |= READABLE;
+            }
+            if r.revents & (POLLOUT | POLLERR) != 0 {
+                bits |= WRITABLE;
+            }
+            p.ready = bits;
+            if bits != 0 {
+                ready += 1;
+            }
+        }
+        Ok(ready)
+    }
+
+    pub fn raise_nofile_limit_impl() -> io::Result<u64> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // SAFETY: `lim` is a live #[repr(C)] rlimit out-parameter.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.cur < lim.max {
+            let want = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            // SAFETY: `want` is a live #[repr(C)] rlimit in-parameter.
+            if unsafe { setrlimit(RLIMIT_NOFILE, &want) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            return Ok(lim.max);
+        }
+        Ok(lim.cur)
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollFd;
+    use std::io;
+    use std::time::Duration;
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        // Degraded portable fallback: claim everything is ready after a
+        // short pause. Nonblocking callers observe WouldBlock and retry.
+        std::thread::sleep(
+            timeout
+                .unwrap_or(Duration::from_millis(1))
+                .min(Duration::from_millis(1)),
+        );
+        for p in fds.iter_mut() {
+            p.ready = p.interest;
+        }
+        Ok(fds.len())
+    }
+
+    pub fn raise_nofile_limit_impl() -> io::Result<u64> {
+        Ok(u64::MAX)
+    }
+}
+
+/// Wait until at least one descriptor in `fds` is ready for its requested
+/// interest, or `timeout` elapses (`None` blocks indefinitely). Fills each
+/// entry's `ready` bits and returns the number of ready descriptors.
+///
+/// `EINTR` is swallowed and reported as zero ready descriptors; callers are
+/// expected to run this inside a loop that recomputes deadlines anyway.
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    sys::poll_impl(fds, timeout)
+}
+
+/// Best-effort: raise the soft `RLIMIT_NOFILE` to the hard limit and return
+/// the resulting soft limit. The hard limit itself cannot be raised in a
+/// sandboxed container, so callers must still budget descriptors; the
+/// reactor's shard-multiplexed design needs only tens of sockets even at
+/// 10^4 nodes.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    sys::raise_nofile_limit_impl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[cfg(unix)]
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn detects_readable_after_write() {
+        let (mut a, b) = pair();
+        let mut fds = [PollFd::new(b.as_raw_fd(), READABLE)];
+        // Nothing written yet: poll with a short timeout reports nothing.
+        let n = poll(&mut fds, Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(n, 0);
+        assert!(!fds[0].is_readable());
+
+        a.write_all(b"hello").expect("write");
+        let n = poll(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].is_readable());
+
+        let mut buf = [0u8; 5];
+        let mut b = b;
+        b.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn reports_writable_immediately_and_eof_as_readable() {
+        let (a, b) = pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), WRITABLE)];
+        let n = poll(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].is_writable());
+
+        drop(b); // peer close => hangup must surface as READABLE
+        let mut fds = [PollFd::new(a.as_raw_fd(), READABLE)];
+        let n = poll(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].is_readable());
+    }
+
+    #[test]
+    fn timeout_is_honored() {
+        #[cfg(unix)]
+        {
+            let (_a, b) = pair();
+            let mut fds = [PollFd::new(b.as_raw_fd(), READABLE)];
+            let start = Instant::now();
+            let n = poll(&mut fds, Some(Duration::from_millis(30))).expect("poll");
+            assert_eq!(n, 0);
+            assert!(start.elapsed() >= Duration::from_millis(25));
+        }
+        #[cfg(not(unix))]
+        {
+            let mut fds = [];
+            let _ = poll(&mut fds, Some(Duration::from_millis(5))).expect("poll");
+        }
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let lim = raise_nofile_limit().expect("rlimit");
+        assert!(lim > 0);
+    }
+}
