@@ -19,6 +19,15 @@ pub enum CheckError {
         /// are replaced by a placeholder).
         payload: String,
     },
+    /// A containment sweep found a radius that fails to converge after a
+    /// smaller radius already converged — the caller's goal family is not
+    /// a restriction chain, so "the certified radius" is ill-defined.
+    NonMonotoneContainment {
+        /// The smaller radius that converged.
+        certified: u64,
+        /// The larger radius that failed.
+        failed: u64,
+    },
 }
 
 impl std::fmt::Display for CheckError {
@@ -26,6 +35,12 @@ impl std::fmt::Display for CheckError {
         match self {
             CheckError::WorkerFailed { payload } => {
                 write!(f, "checker worker panicked: {payload}")
+            }
+            CheckError::NonMonotoneContainment { certified, failed } => {
+                write!(
+                    f,
+                    "containment goal family is not monotone: radius {certified} converges but radius {failed} does not"
+                )
             }
         }
     }

@@ -112,6 +112,7 @@
 pub mod bounds;
 pub mod cache;
 pub mod closure;
+pub mod containment;
 pub mod convergence;
 pub mod counters;
 pub mod error;
@@ -130,6 +131,7 @@ pub use closure::{
     is_closed, is_closed_bits, is_closed_segmented, preserves, preserves_given,
     preserves_given_bits, Violation,
 };
+pub use containment::{certify_containment, ContainmentVerdict};
 pub use convergence::{
     check_convergence, check_convergence_bits, check_convergence_opts, check_convergence_stats,
     shortest_path_to, ConvergenceResult, ConvergenceStats, Fairness, PathStep,

@@ -193,6 +193,11 @@ impl From<CheckError> for SpaceError {
     fn from(e: CheckError) -> Self {
         match e {
             CheckError::WorkerFailed { payload } => SpaceError::WorkerFailed { payload },
+            // Containment sweeps never run during space construction; keep
+            // the conversion total for error-context plumbing.
+            other @ CheckError::NonMonotoneContainment { .. } => SpaceError::WorkerFailed {
+                payload: other.to_string(),
+            },
         }
     }
 }

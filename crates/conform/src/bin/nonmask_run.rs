@@ -41,6 +41,7 @@ usage: nonmask-run <protocol> [options]
        nonmask-run conform [--smoke] [--seed S] [--out DIR] [--sim-only]
        nonmask-run synth --protocol P [--out FILE] [--golden FILE] [--conform]
        nonmask-run fleet [--tenants N] [--protocols ring|mixed] [--out FILE]
+       nonmask-run byzantine [--protocol bfs|spanning-tree] [--nodes N] [--byz A,B]
        nonmask-run trace <journal.jsonl>
 
 protocols:
@@ -76,6 +77,19 @@ subcommands:
                     scheduling knobs, bit-identical results either way;
                     --faults: transient faults per tenant; --journal:
                     population-summary journal; --out: JSON report)
+  byzantine         containment-radius agreement battery: run one
+                    Byzantine instance through the simulator and the
+                    socket runtime on the same seed, measure the
+                    containment radius from each journal's per-node
+                    verdicts, and certify the radius with the checker's
+                    restricted-region convergence sweep on a small
+                    instance of the same family; exit 2 on any radius
+                    violation
+                    (--protocol bfs|spanning-tree; --nodes: graph size;
+                    --degree/--topo-seed: random-graph shape; --byz:
+                    comma-separated liar nodes; --seed: run seed;
+                    --check-nodes: checker instance size; --out DIR:
+                    write sim/net/small journals and a JSON summary)
   trace             replay a JSON-lines journal as a readable timeline
                     (exits nonzero on any schema drift)
 
@@ -392,6 +406,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("fleet") {
         return fleet::main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("byzantine") {
+        return byzantine::main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(args) => args,
@@ -1168,5 +1185,393 @@ mod synth {
             }
         }
         out
+    }
+}
+
+/// `byzantine`: the containment-radius agreement battery. One Byzantine
+/// instance runs through the simulator and the socket runtime on the
+/// same seed; each layer's journal gets per-node containment verdicts,
+/// and the radius measured from those verdicts must agree across the
+/// layers, match the theory's prediction, and match the checker's
+/// restricted-region convergence sweep on a small instance of the same
+/// topology family. Exit 2 means the layers ran but a radius disagrees
+/// — a containment violation.
+mod byzantine {
+    use std::process::ExitCode;
+    use std::time::Duration;
+
+    use nonmask_checker::{certify_containment, CheckOptions, Fairness, StateSpace};
+    use nonmask_conform::{
+        run_net_journaled, run_sim_journaled, ContainmentMap, FaultSchedule, NetRunConfig,
+        SimRunConfig,
+    };
+    use nonmask_graph::Topology;
+    use nonmask_obs::Journal;
+    use nonmask_program::{Predicate, Program, State};
+    use nonmask_protocols::{MinPlusOne, SpanningTree};
+
+    struct Args {
+        protocol: String,
+        nodes: usize,
+        degree: usize,
+        topo_seed: u64,
+        byz: Option<Vec<usize>>,
+        seed: u64,
+        check_nodes: Option<usize>,
+        timeout_ms: u64,
+        out: Option<String>,
+    }
+
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            protocol: "bfs".to_owned(),
+            nodes: 64,
+            degree: 3,
+            topo_seed: 1,
+            byz: None,
+            seed: 1,
+            check_nodes: None,
+            timeout_ms: 60_000,
+            out: None,
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = argv[i].as_str();
+            let mut value = |name: &str| -> Result<String, String> {
+                i += 1;
+                argv.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg {
+                "--protocol" => args.protocol = value("--protocol")?,
+                "--nodes" => {
+                    args.nodes = value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?
+                }
+                "--degree" => {
+                    args.degree = value("--degree")?
+                        .parse()
+                        .map_err(|e| format!("--degree: {e}"))?
+                }
+                "--topo-seed" => {
+                    args.topo_seed = value("--topo-seed")?
+                        .parse()
+                        .map_err(|e| format!("--topo-seed: {e}"))?
+                }
+                "--byz" => {
+                    let list = value("--byz")?;
+                    let nodes: Result<Vec<usize>, _> =
+                        list.split(',').map(str::trim).map(str::parse).collect();
+                    args.byz = Some(nodes.map_err(|e| format!("--byz: {e}"))?);
+                }
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--check-nodes" => {
+                    args.check_nodes = Some(
+                        value("--check-nodes")?
+                            .parse()
+                            .map_err(|e| format!("--check-nodes: {e}"))?,
+                    )
+                }
+                "--timeout-ms" => {
+                    args.timeout_ms = value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?
+                }
+                "--out" => args.out = Some(value("--out")?),
+                other => return Err(format!("unknown byzantine option `{other}`")),
+            }
+            i += 1;
+        }
+        if args.nodes < 4 {
+            return Err("byzantine needs --nodes >= 4".to_owned());
+        }
+        Ok(args)
+    }
+
+    /// The checker instance is fully enumerated, so its size is capped
+    /// per protocol: min+1 has `n+1` values per node, the spanning
+    /// tree `(n+1)·n` (distance × parent).
+    fn check_nodes_for(protocol: &str, requested: Option<usize>) -> Result<usize, String> {
+        let (default, max) = match protocol {
+            "spanning-tree" => (4, 5),
+            _ => (6, 7),
+        };
+        let n = requested.unwrap_or(default);
+        if n < 4 || n > max {
+            return Err(format!(
+                "--check-nodes must be in 4..={max} for {protocol} (the space is enumerated)"
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Default liar placement: one mid-graph, one at the highest node
+    /// id — deterministic, never the root.
+    fn default_byz(nodes: usize) -> Vec<usize> {
+        vec![nodes / 2, nodes - 1]
+    }
+
+    /// One protocol instance: its program, safe-region goal,
+    /// containment expectations, and restricted-region goal family.
+    struct Instance {
+        program: Program,
+        goal: Predicate,
+        map: ContainmentMap,
+        goal_at: Box<dyn Fn(u64) -> Predicate>,
+        max_radius: u64,
+        /// Whether the protocol's safety rule is exact (min+1: pure
+        /// minimum, no ties) or a sound upper bound (spanning tree:
+        /// the strict rule counts tie nodes the lowest-id tie-break
+        /// may in fact protect, so the checker can certify less).
+        exact: bool,
+    }
+
+    fn build(protocol: &str, topo: &Topology, byz: &[usize]) -> Result<Instance, String> {
+        for &b in byz {
+            if b >= topo.len() {
+                return Err(format!("--byz node {b} out of range"));
+            }
+            if b == 0 {
+                return Err("node 0 is the root; pick a non-root liar".to_owned());
+            }
+        }
+        let max_radius = topo.len() as u64;
+        match protocol {
+            "bfs" => {
+                let proto = MinPlusOne::with_byzantine(topo, 0, byz);
+                let map = ContainmentMap::bfs(&proto);
+                let goal = proto.safe_goal();
+                let program = proto.program().clone();
+                Ok(Instance {
+                    program,
+                    goal,
+                    map,
+                    goal_at: Box::new(move |r| proto.containment_goal(r)),
+                    max_radius,
+                    exact: true,
+                })
+            }
+            "spanning-tree" => {
+                let proto = SpanningTree::with_byzantine(topo, 0, byz);
+                let map = ContainmentMap::spanning_tree(&proto);
+                let goal = proto.safe_goal();
+                let program = proto.program().clone();
+                Ok(Instance {
+                    program,
+                    goal,
+                    map,
+                    goal_at: Box::new(move |r| proto.containment_goal(r)),
+                    max_radius,
+                    exact: false,
+                })
+            }
+            other => Err(format!("unknown --protocol `{other}` (bfs|spanning-tree)")),
+        }
+    }
+
+    fn journal_for(out: &Option<String>, name: &str) -> Result<(Journal, Option<String>), String> {
+        match out {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+                let path = format!("{dir}/{name}.jsonl");
+                let journal =
+                    Journal::to_file(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                Ok((journal, Some(path)))
+            }
+            None => Ok((Journal::disabled(), None)),
+        }
+    }
+
+    /// Measure one layer's radius: run it, judge the final state, and
+    /// append the per-node containment verdicts to the layer journal.
+    fn measure_sim(
+        inst: &Instance,
+        seed: u64,
+        journal: &Journal,
+    ) -> Result<(u64, State, bool), String> {
+        let cfg = SimRunConfig {
+            byzantine: byz_of(&inst.map),
+            byzantine_seed: seed,
+            ..SimRunConfig::default()
+        };
+        let outcome = run_sim_journaled(
+            &inst.program,
+            &inst.goal,
+            seed,
+            &FaultSchedule::empty(),
+            &cfg,
+            journal,
+        )?;
+        let radius = inst.map.emit(&outcome.final_state, "sim", seed, journal);
+        journal.flush();
+        Ok((radius, outcome.final_state, outcome.stabilized))
+    }
+
+    fn measure_net(
+        inst: &Instance,
+        seed: u64,
+        timeout_ms: u64,
+        journal: &Journal,
+    ) -> Result<(u64, bool), String> {
+        let cfg = NetRunConfig {
+            byzantine: byz_of(&inst.map),
+            byzantine_seed: seed,
+            timeout: Duration::from_millis(timeout_ms),
+            ..NetRunConfig::default()
+        };
+        let outcome = run_net_journaled(&inst.program, &inst.goal, seed, &cfg, journal)
+            .map_err(|e| format!("net run failed: {e}"))?;
+        let radius = inst.map.emit(&outcome.final_state, "net", seed, journal);
+        journal.flush();
+        Ok((radius, outcome.stabilized))
+    }
+
+    fn byz_of(map: &ContainmentMap) -> Vec<usize> {
+        map.byzantine().to_vec()
+    }
+
+    pub fn main(argv: &[String]) -> ExitCode {
+        let args = match parse(argv) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", super::USAGE);
+                return ExitCode::FAILURE;
+            }
+        };
+        match run(&args) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    fn run(args: &Args) -> Result<ExitCode, String> {
+        let byz = args.byz.clone().unwrap_or_else(|| default_byz(args.nodes));
+        let topo = Topology::random_connected(args.nodes, args.degree, args.topo_seed);
+        let inst = build(&args.protocol, &topo, &byz)?;
+        println!(
+            "byzantine {}: {} nodes (degree {}, topo seed {}), liars {:?}, run seed {}",
+            args.protocol, args.nodes, args.degree, args.topo_seed, byz, args.seed
+        );
+        println!(
+            "predicted containment radius: {}",
+            inst.map.predicted_radius
+        );
+
+        let (sim_journal, sim_path) = journal_for(&args.out, "sim")?;
+        let (sim_radius, _, sim_ok) = measure_sim(&inst, args.seed, &sim_journal)?;
+        println!(
+            "sim: safe region {}, measured radius {}{}",
+            if sim_ok {
+                "stabilized"
+            } else {
+                "DID NOT stabilize"
+            },
+            sim_radius,
+            sim_path
+                .as_deref()
+                .map(|p| format!(" -> {p}"))
+                .unwrap_or_default()
+        );
+
+        let (net_journal, net_path) = journal_for(&args.out, "net")?;
+        let (net_radius, net_ok) = measure_net(&inst, args.seed, args.timeout_ms, &net_journal)?;
+        println!(
+            "net: safe region {}, measured radius {}{}",
+            if net_ok {
+                "stabilized"
+            } else {
+                "DID NOT stabilize"
+            },
+            net_radius,
+            net_path
+                .as_deref()
+                .map(|p| format!(" -> {p}"))
+                .unwrap_or_default()
+        );
+
+        // The checker's independent verdict on a small instance of the
+        // same family: enumerate the full Byzantine state space (havoc
+        // actions included) and sweep the restricted-region goals.
+        let check_nodes = check_nodes_for(&args.protocol, args.check_nodes)?;
+        let small_byz = default_byz(check_nodes);
+        let small_topo = Topology::random_connected(check_nodes, 2, args.topo_seed);
+        let small = build(&args.protocol, &small_topo, &small_byz)?;
+        let space = StateSpace::enumerate(&small.program)
+            .map_err(|e| format!("small-instance enumeration failed: {e}"))?;
+        let verdict = certify_containment(
+            &space,
+            &small.program,
+            &small.goal_at,
+            small.max_radius,
+            Fairness::WeaklyFair,
+            CheckOptions::default(),
+        )
+        .map_err(|e| format!("containment certification failed: {e}"))?;
+        let certified = verdict
+            .radius
+            .ok_or("no radius converged on the small instance")?;
+
+        let (small_journal, small_path) = journal_for(&args.out, "small")?;
+        let (small_radius, _, small_ok) = measure_sim(&small, args.seed, &small_journal)?;
+        println!(
+            "checker: {} nodes, {} states, certified radius {}; observed small-instance radius {} ({}){}",
+            check_nodes,
+            space.len(),
+            certified,
+            small_radius,
+            if small_ok { "stabilized" } else { "DID NOT stabilize" },
+            small_path.as_deref().map(|p| format!(" -> {p}")).unwrap_or_default()
+        );
+
+        // The layers must agree with each other and with the theory;
+        // the checker must agree exactly where the safety rule is
+        // exact (min+1), and must never certify a *larger* radius than
+        // the measured one (a genuine containment violation) where the
+        // rule is a sound upper bound (spanning tree ties).
+        let checker_agrees = if inst.exact {
+            certified == small_radius
+        } else {
+            certified <= small_radius
+        };
+        let agree = sim_ok
+            && net_ok
+            && small_ok
+            && sim_radius == net_radius
+            && sim_radius == inst.map.predicted_radius
+            && small_radius == small.map.predicted_radius
+            && checker_agrees;
+        if let Some(dir) = &args.out {
+            let summary = format!(
+                "{{\"protocol\":\"{}\",\"nodes\":{},\"byzantine\":{:?},\"seed\":{},\
+                 \"predicted_radius\":{},\"sim_radius\":{sim_radius},\"net_radius\":{net_radius},\
+                 \"check_nodes\":{},\"certified_radius\":{certified},\"small_radius\":{small_radius},\
+                 \"agree\":{agree}}}\n",
+                args.protocol,
+                args.nodes,
+                byz,
+                args.seed,
+                inst.map.predicted_radius,
+                check_nodes,
+            );
+            let path = format!("{dir}/summary.json");
+            std::fs::write(&path, summary).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("summary written to {path}");
+        }
+        if agree {
+            println!("containment radii agree across sim, net, and checker");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            eprintln!("RADIUS VIOLATION: sim/net/checker disagree (see above)");
+            Ok(ExitCode::from(2))
+        }
     }
 }

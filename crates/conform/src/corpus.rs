@@ -201,6 +201,8 @@ pub fn default_specs() -> Vec<ProtocolSpec> {
         ProtocolSpec::token_ring(4, 4),
         ProtocolSpec::diffusing(7),
         ProtocolSpec::coloring(7, 3),
+        ProtocolSpec::bfs(),
+        ProtocolSpec::spanning_tree(),
     ]
 }
 
@@ -213,7 +215,7 @@ fn sim_variant(i: usize) -> (SimRunConfig, &'static str) {
                 loss_rate: 0.2,
                 max_delay: 3,
                 heartbeat_period: 2,
-                max_rounds: 10_000,
+                ..SimRunConfig::default()
             },
             "lossy",
         )

@@ -24,6 +24,7 @@
 //! paper through both layers; `nonmask-run conform` is the CLI entry.
 
 pub mod check;
+pub mod containment;
 pub mod corpus;
 pub mod runner;
 pub mod schedule;
@@ -31,6 +32,7 @@ pub mod shrink;
 pub mod spec;
 
 pub use check::{check_run, Divergence, ProtocolOracle, RunReport};
+pub use containment::ContainmentMap;
 pub use corpus::{
     default_specs, run_corpus, CorpusConfig, CorpusReport, ProtocolResult, RunInput, RunRecord,
 };

@@ -35,6 +35,13 @@ pub struct SimRunConfig {
     pub heartbeat_period: u64,
     /// Round budget before the run is declared non-stabilizing.
     pub max_rounds: u64,
+    /// Processes to run as Byzantine liars: they never execute a
+    /// program action and broadcast the seeded stateless lie stream
+    /// every round. A liar never heals, so the convergence envelope is
+    /// not assertable and `goal` must read only safe-region variables.
+    pub byzantine: Vec<usize>,
+    /// Seed of the Byzantine lie stream.
+    pub byzantine_seed: u64,
 }
 
 impl Default for SimRunConfig {
@@ -44,6 +51,8 @@ impl Default for SimRunConfig {
             max_delay: 1,
             heartbeat_period: 1,
             max_rounds: 10_000,
+            byzantine: Vec::new(),
+            byzantine_seed: 0,
         }
     }
 }
@@ -51,8 +60,9 @@ impl Default for SimRunConfig {
 impl SimRunConfig {
     /// Whether the post-schedule execution is free of ongoing message
     /// faults, i.e. whether the convergence envelope is assertable.
+    /// Byzantine liars are a fault source that never stops.
     pub fn envelope_applies(&self) -> bool {
-        self.loss_rate == 0.0
+        self.loss_rate == 0.0 && self.byzantine.is_empty()
     }
 }
 
@@ -117,6 +127,9 @@ pub fn run_sim_journaled(
     let mut sim = Simulation::new(exec, refinement, initial, sim_config)
         .with_step_log(log.clone())
         .with_journal(journal.clone());
+    if !cfg.byzantine.is_empty() {
+        sim = sim.with_byzantine(cfg.byzantine.iter().copied(), cfg.byzantine_seed);
+    }
 
     let mut entries = schedule.entries.clone();
     entries.sort_by_key(ScheduleEntry::round);
@@ -176,6 +189,13 @@ pub struct NetRunConfig {
     pub events: Vec<NetEvent>,
     /// Abort threshold for the whole run.
     pub timeout: Duration,
+    /// Nodes to run as Byzantine liars: they never execute a program
+    /// action and heartbeat the seeded stateless lie stream forever.
+    /// A liar never heals, so the convergence envelope is not
+    /// assertable and `goal` must read only safe-region variables.
+    pub byzantine: Vec<usize>,
+    /// Seed of the Byzantine lie stream.
+    pub byzantine_seed: u64,
 }
 
 impl Default for NetRunConfig {
@@ -184,6 +204,8 @@ impl Default for NetRunConfig {
             faults: FaultConfig::default(),
             events: Vec::new(),
             timeout: Duration::from_secs(60),
+            byzantine: Vec::new(),
+            byzantine_seed: 0,
         }
     }
 }
@@ -194,6 +216,7 @@ impl NetRunConfig {
     pub fn envelope_applies(&self) -> bool {
         let f = &self.faults;
         self.events.is_empty()
+            && self.byzantine.is_empty()
             && f.drop_rate == 0.0
             && f.corrupt_rate == 0.0
             && f.duplicate_rate == 0.0
@@ -241,6 +264,8 @@ pub fn run_net_journaled(
         },
         events: cfg.events.clone(),
         timeout: cfg.timeout,
+        byzantine: cfg.byzantine.clone(),
+        byzantine_seed: cfg.byzantine_seed,
         step_log: Some(log.clone()),
         journal: journal.clone(),
         ..NetConfig::default()

@@ -10,11 +10,12 @@
 //! ([`crate::check::ProtocolOracle::build`]), so a spec cannot silently
 //! claim repairs the transition relation does not deliver.
 
+use nonmask_graph::Topology;
 use nonmask_program::{ActionId, Predicate, Program};
 use nonmask_protocols::coloring::TreeColoring;
 use nonmask_protocols::diffusing::DiffusingComputation;
 use nonmask_protocols::token_ring::TokenRing;
-use nonmask_protocols::Tree;
+use nonmask_protocols::{MinPlusOne, SpanningTree, Tree};
 
 /// One protocol as the conformance harness sees it.
 #[derive(Debug, Clone)]
@@ -118,6 +119,62 @@ impl ProtocolSpec {
         }
     }
 
+    /// The self-stabilizing min+1 BFS distance protocol on a fixed
+    /// 6-node random connected graph (byzantine-free — the corpus
+    /// exercises the healthy convergence path; Byzantine containment
+    /// has its own battery in `tests/` and `nonmask-run byzantine`).
+    ///
+    /// Constraints are the per-node min+1 equations `c.j`; the
+    /// designated repair of `c.j` is `fix@j` (`anchor@root` at the
+    /// root), whose effect rewrites `d.j` to the equation's value.
+    pub fn bfs() -> Self {
+        let topo = Topology::random_connected(6, 2, 1);
+        let proto = MinPlusOne::new(&topo, 0);
+        let n = topo.len();
+        let mut constraints = Vec::with_capacity(n);
+        let mut designated = Vec::with_capacity(n);
+        for j in 0..n {
+            if let Some(action) = proto.fix_action(j) {
+                designated.push((action, constraints.len()));
+                constraints.push(proto.constraint(j));
+            }
+        }
+        ProtocolSpec {
+            name: format!("bfs-{n}"),
+            program: proto.program().clone(),
+            goal: proto.invariant(),
+            constraints,
+            designated,
+        }
+    }
+
+    /// The self-stabilizing BFS spanning tree (distance + parent
+    /// pointer, lowest-id tie-break) on a 4-ring, byzantine-free.
+    ///
+    /// Constraints are the per-node BFS equations over both variables;
+    /// the designated repair of `c.j` is the node's single combined
+    /// repair action.
+    pub fn spanning_tree() -> Self {
+        let topo = Topology::ring(4);
+        let proto = SpanningTree::new(&topo, 0);
+        let n = topo.len();
+        let mut constraints = Vec::with_capacity(n);
+        let mut designated = Vec::with_capacity(n);
+        for j in 0..n {
+            if let Some(action) = proto.fix_action(j) {
+                designated.push((action, constraints.len()));
+                constraints.push(proto.constraint(j));
+            }
+        }
+        ProtocolSpec {
+            name: format!("spanning-tree-{n}"),
+            program: proto.program().clone(),
+            goal: proto.invariant(),
+            constraints,
+            designated,
+        }
+    }
+
     /// The deliberately broken token ring (root increments by two), to be
     /// *executed* while the healthy [`ProtocolSpec::token_ring`] of the
     /// same shape serves as the oracle. The divergence shows up as a
@@ -125,6 +182,22 @@ impl ProtocolSpec {
     #[cfg(feature = "planted-bug")]
     pub fn token_ring_mutant_program(n: usize, k: i64) -> Program {
         TokenRing::planted_mutant(n, k).program().clone()
+    }
+
+    /// The deliberately broken spanning tree on the same 4-ring as
+    /// [`ProtocolSpec::spanning_tree`]: node `trusting` adopts node
+    /// `liar` as its parent unconditionally — the "Byzantine node
+    /// accepted as parent" bug. Executed while the healthy spec serves
+    /// as the oracle; the divergence is a wrong-effect step the moment
+    /// the trusting node fires next to a liar holding a short distance.
+    #[cfg(feature = "planted-bug")]
+    pub fn spanning_tree_mutant_program(trusting: usize, liar: usize) -> Program {
+        nonmask_protocols::spanning_tree::planted_trusting_mutant(
+            &Topology::ring(4),
+            0,
+            trusting,
+            liar,
+        )
     }
 }
 
@@ -148,6 +221,28 @@ mod tests {
         let spec = ProtocolSpec::coloring(7, 3);
         assert_eq!(spec.constraints.len(), 6);
         assert_eq!(spec.designated.len(), 6);
+        for &(_, c) in &spec.designated {
+            assert!(c < spec.constraints.len());
+        }
+    }
+
+    #[test]
+    fn bfs_spec_designates_every_node() {
+        let spec = ProtocolSpec::bfs();
+        // Every node of the 6-node graph, root included, carries its
+        // min+1 (or anchor) equation and the matching repair.
+        assert_eq!(spec.constraints.len(), 6);
+        assert_eq!(spec.designated.len(), 6);
+        for &(_, c) in &spec.designated {
+            assert!(c < spec.constraints.len());
+        }
+    }
+
+    #[test]
+    fn spanning_tree_spec_designates_every_node() {
+        let spec = ProtocolSpec::spanning_tree();
+        assert_eq!(spec.constraints.len(), 4);
+        assert_eq!(spec.designated.len(), 4);
         for &(_, c) in &spec.designated {
             assert!(c < spec.constraints.len());
         }

@@ -26,6 +26,12 @@
 //! program's declared read/write sets ([`ConstraintGraph::derive`]), shape
 //! classification, the rank function from Theorem 1's proof, the
 //! linear-order search, layering support, and DOT export.
+//!
+//! Alongside the directed constraint graphs it also provides
+//! [`Topology`], the *undirected* communication graphs that
+//! message-passing protocols run over, with the BFS-distance utilities
+//! (eccentricity, radius, distance-to-nearest-liar) the
+//! Byzantine-containment work is measured in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +41,10 @@ pub mod graph;
 pub mod layering;
 pub mod partition;
 pub mod shape;
+pub mod topology;
 
 pub use graph::{ConstraintGraph, ConstraintRef, Edge, EdgeId, GraphError, Node, NodeId};
 pub use layering::{Layering, LayeringError};
 pub use partition::NodePartition;
 pub use shape::Shape;
+pub use topology::Topology;

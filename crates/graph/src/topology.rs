@@ -1,0 +1,276 @@
+//! Undirected communication topologies and BFS-distance utilities.
+//!
+//! The constraint graphs of Section 4 are *directed* (who repairs before
+//! whom); a distributed protocol additionally lives on an *undirected*
+//! communication graph: which nodes exchange messages. [`Topology`] is
+//! that graph, with the distance machinery the Byzantine-containment
+//! work needs: single- and multi-source BFS, eccentricity, radius and
+//! diameter, and distance-to-a-set queries ("how far is node `v` from
+//! the nearest liar?").
+//!
+//! Distances are exact hop counts ([`Topology::INFINITY`] for
+//! unreachable pairs), computed by breadth-first search, so all the
+//! classic metric laws hold and are property-tested: symmetry on
+//! undirected graphs, the triangle inequality, and monotonicity of the
+//! radius under edge addition.
+
+/// An undirected graph over nodes `0..n`, stored as adjacency lists.
+///
+/// Parallel edges are coalesced and self-loops rejected; adjacency
+/// lists are kept sorted so iteration order (and everything derived
+/// from it, e.g. deterministic tie-breaks in protocols) is stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Distance value meaning "unreachable".
+    pub const INFINITY: u64 = u64::MAX;
+
+    /// An edgeless topology over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Topology {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Add the undirected edge `{a, b}`. Self-loops and duplicate edges
+    /// are ignored. Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(
+            a < self.len() && b < self.len(),
+            "edge endpoint out of range"
+        );
+        if a == b || self.has_edge(a, b) {
+            return;
+        }
+        let ai = self.adj[a].partition_point(|&x| x < b);
+        self.adj[a].insert(ai, b);
+        let bi = self.adj[b].partition_point(|&x| x < a);
+        self.adj[b].insert(bi, a);
+    }
+
+    /// Whether the undirected edge `{a, b}` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// The sorted neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// A line (path) topology `0 - 1 - … - n-1`.
+    pub fn line(n: usize) -> Self {
+        let mut t = Topology::new(n);
+        for v in 1..n {
+            t.add_edge(v - 1, v);
+        }
+        t
+    }
+
+    /// A ring topology (a line with the ends joined; `n >= 3`).
+    pub fn ring(n: usize) -> Self {
+        let mut t = Topology::line(n);
+        if n >= 3 {
+            t.add_edge(n - 1, 0);
+        }
+        t
+    }
+
+    /// A star topology: node 0 adjacent to every other node.
+    pub fn star(n: usize) -> Self {
+        let mut t = Topology::new(n);
+        for v in 1..n {
+            t.add_edge(0, v);
+        }
+        t
+    }
+
+    /// A seeded random connected topology: a random spanning tree
+    /// (each node `v > 0` attaches to a uniformly drawn earlier node)
+    /// plus `extra` additional random chord edges. Deterministic in
+    /// `(n, extra, seed)`; uses its own splitmix64 stream so the crate
+    /// stays dependency-free.
+    pub fn random_connected(n: usize, extra: usize, seed: u64) -> Self {
+        let mut t = Topology::new(n);
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            // splitmix64: full-avalanche, never short-cycles.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for v in 1..n {
+            let parent = (next() % v as u64) as usize;
+            t.add_edge(parent, v);
+        }
+        if n >= 2 {
+            for _ in 0..extra {
+                let a = (next() % n as u64) as usize;
+                let b = (next() % n as u64) as usize;
+                t.add_edge(a, b);
+            }
+        }
+        t
+    }
+
+    /// Hop distances from every node of `sources` (multi-source BFS):
+    /// `result[v]` is the fewest hops from `v` to the nearest source,
+    /// or [`Topology::INFINITY`] if no source is reachable.
+    pub fn distances_from(&self, sources: &[usize]) -> Vec<u64> {
+        let mut dist = vec![Self::INFINITY; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            assert!(s < self.len(), "BFS source out of range");
+            if dist[s] == Self::INFINITY {
+                dist[s] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if dist[w] == Self::INFINITY {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between `a` and `b` ([`Topology::INFINITY`] when
+    /// disconnected).
+    pub fn distance(&self, a: usize, b: usize) -> u64 {
+        self.distances_from(&[a])[b]
+    }
+
+    /// Eccentricity of `v`: the greatest distance from `v` to any node,
+    /// [`Topology::INFINITY`] when some node is unreachable.
+    pub fn eccentricity(&self, v: usize) -> u64 {
+        self.distances_from(&[v]).into_iter().max().unwrap_or(0)
+    }
+
+    /// The graph radius: the least eccentricity over all nodes.
+    /// [`Topology::INFINITY`] when disconnected, 0 for the empty or
+    /// one-node graph.
+    pub fn radius(&self) -> u64 {
+        (0..self.len())
+            .map(|v| self.eccentricity(v))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The graph diameter: the greatest eccentricity over all nodes.
+    pub fn diameter(&self) -> u64 {
+        (0..self.len())
+            .map(|v| self.eccentricity(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every pair of nodes is connected by some path.
+    pub fn is_connected(&self) -> bool {
+        match self.len() {
+            0 | 1 => true,
+            _ => !self
+                .distances_from(&[0])
+                .into_iter()
+                .any(|d| d == Self::INFINITY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances_are_index_differences() {
+        let t = Topology::line(6);
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(t.distance(a, b), (a as i64 - b as i64).unsigned_abs());
+            }
+        }
+        assert_eq!(t.diameter(), 5);
+        assert_eq!(t.radius(), 3);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let t = Topology::ring(6);
+        assert_eq!(t.distance(0, 5), 1);
+        assert_eq!(t.distance(0, 3), 3);
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(t.radius(), 3);
+    }
+
+    #[test]
+    fn star_has_radius_one() {
+        let t = Topology::star(7);
+        assert_eq!(t.eccentricity(0), 1);
+        assert_eq!(t.radius(), 1);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_ignored() {
+        let mut t = Topology::new(3);
+        t.add_edge(0, 1);
+        t.add_edge(1, 0);
+        t.add_edge(1, 1);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn disconnected_distances_are_infinite() {
+        let t = Topology::new(3);
+        assert_eq!(t.distance(0, 2), Topology::INFINITY);
+        assert!(!t.is_connected());
+        assert_eq!(t.radius(), Topology::INFINITY);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in 0..16u64 {
+            let a = Topology::random_connected(24, 8, seed);
+            let b = Topology::random_connected(24, 8, seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_source_distance_is_min_over_sources() {
+        let t = Topology::line(8);
+        let d = t.distances_from(&[0, 7]);
+        for (v, &dv) in d.iter().enumerate() {
+            assert_eq!(dv, t.distance(0, v).min(t.distance(7, v)));
+        }
+    }
+}

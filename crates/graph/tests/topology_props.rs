@@ -1,0 +1,131 @@
+//! Property-based tests of the undirected-topology distance metric.
+//!
+//! BFS hop distance on an undirected graph is a genuine metric, and the
+//! containment-radius measurements downstream lean on exactly these
+//! laws: symmetry (distance-to-nearest-liar is well-defined regardless
+//! of direction), the triangle inequality (a node can't be closer to a
+//! liar than any relay path allows), and monotonicity of the radius
+//! under edge addition (densifying a graph never increases how far the
+//! centre is from the periphery).
+
+use nonmask_graph::Topology;
+use proptest::prelude::*;
+
+/// A random topology as `(node_count, edges)`; edges may duplicate or
+/// self-loop — `add_edge` coalesces both.
+fn random_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edge = (0..n, 0..n);
+        (Just(n), proptest::collection::vec(edge, 0..24))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> Topology {
+    let mut t = Topology::new(n);
+    for &(a, b) in edges {
+        t.add_edge(a, b);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Distance on an undirected graph is symmetric.
+    #[test]
+    fn distance_is_symmetric((n, edges) in random_edges()) {
+        let t = build(n, &edges);
+        for a in 0..n {
+            let from_a = t.distances_from(&[a]);
+            for (b, &d) in from_a.iter().enumerate() {
+                prop_assert_eq!(d, t.distance(b, a), "d({},{})", a, b);
+            }
+        }
+    }
+
+    /// The triangle inequality holds for every reachable triple.
+    #[test]
+    fn triangle_inequality((n, edges) in random_edges()) {
+        let t = build(n, &edges);
+        let dist: Vec<Vec<u64>> = (0..n).map(|v| t.distances_from(&[v])).collect();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let (ab, bc) = (dist[a][b], dist[b][c]);
+                    if ab != Topology::INFINITY && bc != Topology::INFINITY {
+                        prop_assert!(
+                            dist[a][c] <= ab + bc,
+                            "d({a},{c}) > d({a},{b}) + d({b},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Identity of indiscernibles: distance zero exactly on the diagonal.
+    #[test]
+    fn distance_zero_iff_equal((n, edges) in random_edges()) {
+        let t = build(n, &edges);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(t.distance(a, b) == 0, a == b);
+            }
+        }
+    }
+
+    /// Adding one edge never increases any pairwise distance, hence
+    /// never increases any eccentricity, hence never increases the
+    /// radius (or the diameter).
+    #[test]
+    fn radius_is_monotone_under_edge_addition(
+        (n, edges) in random_edges(),
+        a in 0usize..16,
+        b in 0usize..16,
+    ) {
+        let before = build(n, &edges);
+        let mut after = before.clone();
+        after.add_edge(a % n, b % n);
+        for v in 0..n {
+            let (db, da) = (before.distances_from(&[v]), after.distances_from(&[v]));
+            for w in 0..n {
+                prop_assert!(da[w] <= db[w], "edge addition increased d({v},{w})");
+            }
+        }
+        prop_assert!(after.radius() <= before.radius());
+        prop_assert!(after.diameter() <= before.diameter());
+    }
+
+    /// Multi-source distances equal the pointwise minimum of the
+    /// single-source distances — the law the "distance to the nearest
+    /// Byzantine node" measurements rely on.
+    #[test]
+    fn multi_source_is_pointwise_min(
+        (n, edges) in random_edges(),
+        picks in proptest::collection::vec(0usize..16, 1..4),
+    ) {
+        let t = build(n, &edges);
+        let sources: Vec<usize> = picks.into_iter().map(|p| p % n).collect();
+        let multi = t.distances_from(&sources);
+        for (v, &d) in multi.iter().enumerate() {
+            let min = sources
+                .iter()
+                .map(|&s| t.distance(s, v))
+                .min()
+                .unwrap();
+            prop_assert_eq!(d, min);
+        }
+    }
+
+    /// Seeded random connected topologies are connected, so every
+    /// eccentricity (and the radius and diameter) is finite.
+    #[test]
+    fn random_connected_has_finite_metrics(n in 2usize..24, extra in 0usize..8, seed in any::<u64>()) {
+        let t = Topology::random_connected(n, extra, seed);
+        prop_assert!(t.is_connected());
+        prop_assert!(t.radius() != Topology::INFINITY);
+        prop_assert!(t.diameter() != Topology::INFINITY);
+        prop_assert!(t.radius() <= t.diameter());
+        prop_assert!(t.diameter() <= 2 * t.radius());
+    }
+}

@@ -7,8 +7,52 @@ pub struct ProgramDef {
     pub name: String,
     /// Variable declarations, in order.
     pub vars: Vec<VarDef>,
+    /// Per-node role annotations, in order.
+    pub roles: Vec<RoleDef>,
     /// Action definitions, in order.
     pub actions: Vec<ActionDef>,
+}
+
+impl ProgramDef {
+    /// All node indices annotated with `role`, sorted and deduplicated
+    /// across every `role` block of that name.
+    ///
+    /// ```
+    /// let def = nonmask_lang::parse(
+    ///     "program p var x.0 : 0..3; x.1 : 0..3 role byzantine : 1",
+    /// )?;
+    /// assert_eq!(def.nodes_with_role("byzantine"), vec![1]);
+    /// assert!(def.nodes_with_role("observer").is_empty());
+    /// # Ok::<(), nonmask_lang::LangError>(())
+    /// ```
+    pub fn nodes_with_role(&self, role: &str) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .roles
+            .iter()
+            .filter(|r| r.role == role)
+            .flat_map(|r| r.nodes.iter().copied())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// A role annotation: `role byzantine : 3, 5` marks nodes 3 and 5 as
+/// playing the named role. The language itself attaches no semantics;
+/// drivers read the annotation off the AST (via
+/// [`ProgramDef::nodes_with_role`]) and configure the execution layer —
+/// e.g. handing `byzantine` nodes to the simulator's or the net
+/// runtime's lie injector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleDef {
+    /// The role name (an open vocabulary; `byzantine` is the one the
+    /// stack currently acts on).
+    pub role: String,
+    /// The annotated node indices, in declaration order.
+    pub nodes: Vec<usize>,
+    /// Source line of the declaration.
+    pub line: u32,
 }
 
 /// A declared variable.

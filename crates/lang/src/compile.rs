@@ -209,6 +209,38 @@ fn compile_inner(def: &ProgramDef, tag_processes: bool) -> Result<Program, LangE
         scope.vars.insert(var.name.clone(), id);
     }
 
+    for role in &def.roles {
+        let mut seen = role.nodes.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != role.nodes.len() {
+            return Err(LangError::new(
+                role.line,
+                format!("role `{}` annotates a node twice", role.role),
+            ));
+        }
+        if tag_processes {
+            // Every annotated node must own at least one variable —
+            // otherwise the annotation names a process that does not
+            // exist and the execution layers would silently ignore it.
+            for &node in &role.nodes {
+                let owns_var = def
+                    .vars
+                    .iter()
+                    .any(|v| infer_process(&v.name, v.line) == Ok(ProcessId(node)));
+                if !owns_var {
+                    return Err(LangError::new(
+                        role.line,
+                        format!(
+                            "role `{}` annotates node {node}, which owns no variable",
+                            role.role
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
     for action in &def.actions {
         let guard = scope.resolve(&action.guard, action.line)?;
         let mut assigns: Vec<(VarId, CExpr)> = Vec::with_capacity(action.assigns.len());
@@ -421,6 +453,34 @@ mod tests {
         let def = parse("program p var token : bool").unwrap();
         let err = compile_def_with_processes(&def).unwrap_err();
         assert!(err.message.contains("cannot infer owning process"));
+    }
+
+    #[test]
+    fn role_annotations_must_name_existing_processes() {
+        let src = "program p var x.0 : bool; x.1 : bool role byzantine : 1 \
+                   action a.0 : x.0 -> x.0 := false";
+        let def = parse(src).unwrap();
+        // Node 1 owns x.1, so the annotation compiles under both modes.
+        compile_def(&def).unwrap();
+        compile_def_with_processes(&def).unwrap();
+
+        let bad = parse(
+            "program p var x.0 : bool role byzantine : 3 \
+             action a.0 : x.0 -> x.0 := false",
+        )
+        .unwrap();
+        // The untagged compiler has no process map and lets it pass...
+        compile_def(&bad).unwrap();
+        // ...but the refinable compiler rejects a role on a ghost node.
+        let err = compile_def_with_processes(&bad).unwrap_err();
+        assert!(err.message.contains("owns no variable"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_role_nodes_are_rejected() {
+        let def = parse("program p var x.0 : bool role byzantine : 0, 0").unwrap();
+        let err = compile_def(&def).unwrap_err();
+        assert!(err.message.contains("annotates a node twice"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub struct Spanned {
     pub line: u32,
 }
 
-const KEYWORDS: [&str; 6] = ["program", "var", "action", "bool", "true", "false"];
+const KEYWORDS: [&str; 7] = ["program", "var", "role", "action", "bool", "true", "false"];
 
 /// Multi-character operators first (longest match wins).
 const PUNCTS: [&str; 20] = [

@@ -29,15 +29,24 @@
 //! # Grammar
 //!
 //! ```text
-//! program  := "program" IDENT var-block* action*
+//! program  := "program" IDENT (var-block | role)* action*
 //! var-block:= "var" decl (";" decl)*
 //! decl     := IDENT ":" domain
 //! domain   := "bool" | INT ".." INT | "{" IDENT ("," IDENT)* "}"
+//! role     := "role" IDENT ":" INT ("," INT)*
 //! action   := "action" IDENT [ "[" kind "]" ] ":" expr "->" assign ("," assign)*
 //! kind     := "closure" | "convergence" | "combined"
 //! assign   := IDENT ":=" expr
 //! expr     := or-expr; usual precedence: ! > * / % > + - > comparisons > && > ||
 //! ```
+//!
+//! A `role` line annotates node indices with a named role (e.g.
+//! `role byzantine : 3, 5`). Roles carry no language semantics; drivers
+//! read them off the parsed [`ProgramDef`] with
+//! [`ProgramDef::nodes_with_role`] and configure the execution layers —
+//! the simulator and socket runtime both accept the `byzantine` set as
+//! their permanent-liar configuration. `compile_def_with_processes`
+//! rejects annotations naming a node that owns no variable.
 //!
 //! Enumeration labels (`green`, `red`, …) become named constants usable in
 //! expressions. Identifiers may contain `.` (so `c.0`, `sn.1` work
@@ -53,7 +62,7 @@ pub mod lexer;
 pub mod parser;
 pub mod print;
 
-pub use ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, VarDef};
+pub use ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, RoleDef, VarDef};
 pub use compile::{compile_def, compile_def_with_processes, compile_predicate};
 pub use expand::expand;
 pub use parser::parse;

@@ -2,7 +2,7 @@
 
 use nonmask_program::ActionKind;
 
-use crate::ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, VarDef};
+use crate::ast::{ActionDef, BinOp, DomainDef, Expr, ProgramDef, RoleDef, VarDef};
 use crate::lexer::{lex, Spanned, Tok};
 use crate::LangError;
 
@@ -144,24 +144,32 @@ impl Parser {
         let (name, _) = self.expect_ident()?;
 
         let mut vars = Vec::new();
-        // Any number of `var` blocks, each with `;`-separated declarations
-        // (template expansion produces one `var` line per process).
-        while self.eat_keyword("var") {
-            loop {
-                vars.push(self.var_def()?);
-                if !self.eat_punct(";") {
-                    break;
+        let mut roles = Vec::new();
+        // Any number of `var` and `role` blocks, in any order (template
+        // expansion produces one `var` line per process, and role
+        // annotations read most naturally next to the nodes they mark).
+        loop {
+            if self.eat_keyword("var") {
+                loop {
+                    vars.push(self.var_def()?);
+                    if !self.eat_punct(";") {
+                        break;
+                    }
+                    // Permit a trailing semicolon before `action` / `var` / EOF.
+                    if !matches!(
+                        self.peek(),
+                        Some(Spanned {
+                            tok: Tok::Ident(_),
+                            ..
+                        })
+                    ) {
+                        break;
+                    }
                 }
-                // Permit a trailing semicolon before `action` / `var` / EOF.
-                if !matches!(
-                    self.peek(),
-                    Some(Spanned {
-                        tok: Tok::Ident(_),
-                        ..
-                    })
-                ) {
-                    break;
-                }
+            } else if self.eat_keyword("role") {
+                roles.push(self.role_def()?);
+            } else {
+                break;
             }
         }
 
@@ -172,8 +180,30 @@ impl Parser {
         Ok(ProgramDef {
             name,
             vars,
+            roles,
             actions,
         })
+    }
+
+    /// `role byzantine : 3, 5` — the keyword is already consumed.
+    fn role_def(&mut self) -> Result<RoleDef, LangError> {
+        let (role, line) = self.expect_ident()?;
+        self.expect_punct(":")?;
+        let mut nodes = Vec::new();
+        loop {
+            let node = self.expect_int()?;
+            if node < 0 {
+                return Err(LangError::new(
+                    self.line(),
+                    format!("role `{role}` annotates a negative node index {node}"),
+                ));
+            }
+            nodes.push(node as usize);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(RoleDef { role, nodes, line })
     }
 
     fn var_def(&mut self) -> Result<VarDef, LangError> {
@@ -438,6 +468,28 @@ mod tests {
         assert_eq!(err.line, 3);
         let err = parse("program p var x : 0..").unwrap_err();
         assert!(err.message.contains("integer"));
+    }
+
+    #[test]
+    fn parses_role_annotations() {
+        let def = parse(
+            "program p var x.0 : bool; x.1 : bool role byzantine : 1 \
+             var y.2 : bool role observer : 0, 2 role byzantine : 0 \
+             action a.0 : x.0 -> x.0 := false",
+        )
+        .unwrap();
+        assert_eq!(def.roles.len(), 3);
+        assert_eq!(def.roles[0].role, "byzantine");
+        assert_eq!(def.roles[0].nodes, vec![1]);
+        assert_eq!(def.nodes_with_role("byzantine"), vec![0, 1]);
+        assert_eq!(def.nodes_with_role("observer"), vec![0, 2]);
+        assert!(def.nodes_with_role("leader").is_empty());
+    }
+
+    #[test]
+    fn rejects_negative_role_nodes() {
+        let err = parse("program p var x.0 : bool role byzantine : -1").unwrap_err();
+        assert!(err.message.contains("negative node index"));
     }
 
     #[test]

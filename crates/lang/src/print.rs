@@ -21,6 +21,10 @@ pub fn pretty(def: &ProgramDef) -> String {
         out.push_str(&decls.join(";\n    "));
         out.push('\n');
     }
+    for r in &def.roles {
+        let nodes: Vec<String> = r.nodes.iter().map(usize::to_string).collect();
+        out.push_str(&format!("role {} : {}\n", r.role, nodes.join(", ")));
+    }
     for a in &def.actions {
         out.push_str(&pretty_action(a));
         out.push('\n');
@@ -87,6 +91,9 @@ mod tests {
         for v in &mut def.vars {
             v.line = 0;
         }
+        for r in &mut def.roles {
+            r.line = 0;
+        }
         for a in &mut def.actions {
             a.line = 0;
         }
@@ -113,6 +120,20 @@ mod tests {
     fn negative_bounds_roundtrip() {
         let def = parse("program n var x : -3..3 action a : x == -1 -> x := -(x)").unwrap();
         let reparsed = parse(&pretty(&def)).unwrap();
+        assert_eq!(strip_lines(def), strip_lines(reparsed));
+    }
+
+    #[test]
+    fn role_annotations_roundtrip() {
+        let def = parse(
+            "program p var x.0 : 0..3; x.1 : 0..3; x.2 : 0..3 \
+             role byzantine : 1, 2 \
+             action a.0 : x.0 == x.2 -> x.0 := x.2",
+        )
+        .unwrap();
+        let printed = pretty(&def);
+        assert!(printed.contains("role byzantine : 1, 2"));
+        let reparsed = parse(&printed).unwrap();
         assert_eq!(strip_lines(def), strip_lines(reparsed));
     }
 

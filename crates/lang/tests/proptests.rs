@@ -139,6 +139,7 @@ fn program_strategy() -> impl Strategy<Value = ProgramDef> {
         .prop_map(|(name, vars, actions)| ProgramDef {
             name,
             vars,
+            roles: Vec::new(),
             actions,
         })
         .prop_filter("enum labels must not collide with variable names", |def| {

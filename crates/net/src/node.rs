@@ -19,7 +19,7 @@
 
 use std::time::Duration;
 
-use nonmask_program::{ActionKind, Program, State, StepLog, VarId};
+use nonmask_program::{byzantine_lie_in, ActionKind, Program, State, StepLog, VarId};
 
 use crate::counters::CounterSnapshot;
 use crate::fault::{FaultConfig, Injector, PartitionMap};
@@ -40,6 +40,10 @@ pub(crate) struct NodeSpec {
     /// `(peer, owned vars that peer reads)` — one outgoing logical link
     /// per entry.
     pub out_peers: Vec<(usize, Vec<VarId>)>,
+    /// Permanently malicious: the node never executes program actions;
+    /// at each heartbeat it overwrites its owned variables with the
+    /// seeded stateless lie stream and broadcasts the lies.
+    pub byzantine: bool,
 }
 
 /// Pacing and cadence knobs shared by every node (split out of
@@ -62,6 +66,11 @@ pub(crate) struct NodeTiming {
     /// Give up on startup dials/accepts after this long (a peer shard
     /// that died before connecting must not wedge the whole run).
     pub startup_timeout: Duration,
+    /// Seed of the stateless lie stream Byzantine nodes draw from
+    /// ([`nonmask_program::byzantine_lie_in`], keyed per node by its
+    /// heartbeat sequence number — so the malicious message sequence is
+    /// invariant under shard count, worker count, and batching).
+    pub byzantine_seed: u64,
 }
 
 /// One outgoing logical link: the per-link fault injector plus the index
@@ -342,13 +351,36 @@ impl<'a> NodeCore<'a> {
         }
         let mut changes = 0u64;
         if !self.crashed {
-            changes += self.try_exec(tick, partition, outs);
+            if !self.spec.byzantine {
+                changes += self.try_exec(tick, partition, outs);
+            }
 
             // Heartbeats: re-broadcast owned values to each reader.
             if self.timing.heartbeat_every > 0
                 && tick >= self.next_hb_tick
                 && !self.links.is_empty()
             {
+                // A Byzantine node refreshes its owned variables from
+                // the stateless lie stream before broadcasting: lies
+                // travel as ordinary heartbeats, keyed by the heartbeat
+                // sequence number — not the tick — so the k-th lie is
+                // identical for every shard count and batching.
+                if self.spec.byzantine {
+                    let k = self.counters.heartbeats;
+                    for i in 0..self.spec.owned.len() {
+                        let v = self.spec.owned[i];
+                        let lie = byzantine_lie_in(
+                            self.program.var(v).domain(),
+                            self.timing.byzantine_seed,
+                            u64::from(self.spec.node),
+                            v.index() as u64,
+                            k,
+                        );
+                        self.view.set(v, lie);
+                    }
+                    self.dirty = true;
+                    changes += 1;
+                }
                 self.counters.heartbeats += 1;
                 for i in 0..self.links.len() {
                     let vars: Vec<(u32, i64)> = self.links[i]
@@ -419,7 +451,7 @@ impl<'a> NodeCore<'a> {
         let mut due: Option<u64> = None;
         let mut consider = |t: u64| due = Some(due.map_or(t, |d: u64| d.min(t)));
         if !self.crashed {
-            if !self.spec.actions.is_empty() && self.any_enabled() {
+            if !self.spec.byzantine && !self.spec.actions.is_empty() && self.any_enabled() {
                 consider(self.next_exec_tick);
             }
             if self.timing.heartbeat_every > 0 && !self.links.is_empty() {

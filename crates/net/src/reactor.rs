@@ -645,6 +645,7 @@ mod tests {
                 actions: Vec::new(),
                 owned: Vec::new(),
                 out_peers: vec![(usize::from((p + 1) % 4), Vec::new())],
+                byzantine: false,
             })
             .collect();
         let plan = ShardPlan::new(4, 2);

@@ -102,6 +102,18 @@ pub struct NetConfig {
     pub timeout: Duration,
     /// Scheduled disturbances.
     pub events: Vec<NetEvent>,
+    /// Permanently malicious nodes: each never executes program actions
+    /// and instead broadcasts seeded arbitrary values for its owned
+    /// variables at every heartbeat, forever (the fault never heals). A
+    /// run with Byzantine nodes should be given a goal that reads only
+    /// variables *outside* their influence region (e.g. a protocol's
+    /// safe-region goal) — a goal pinning a liar's own variables can
+    /// never stabilize.
+    pub byzantine: Vec<usize>,
+    /// Seed of the Byzantine lie stream
+    /// ([`nonmask_program::byzantine_lie_in`]); independent of
+    /// [`NetConfig::seed`] so sim and net runs can share one adversary.
+    pub byzantine_seed: u64,
     /// Structured event journal for the controller: fault injections,
     /// detector episodes, control frames, and final per-node counters.
     /// Defaults to [`Journal::disabled`] (no overhead).
@@ -131,6 +143,8 @@ impl Default for NetConfig {
             detector: DetectorConfig::default(),
             timeout: Duration::from_secs(30),
             events: Vec::new(),
+            byzantine: Vec::new(),
+            byzantine_seed: 0,
             journal: Journal::disabled(),
             step_log: None,
             sabotage_worker: None,
@@ -337,7 +351,7 @@ enum PendingAction {
 /// wire's 16-bit id space here, once — the only conversion site, so an
 /// oversized process count surfaces as [`NetError::TooManyNodes`] before
 /// any socket or thread exists instead of panicking inside a node.
-fn build_specs(refinement: &Refinement) -> Result<Vec<NodeSpec>, NetError> {
+fn build_specs(refinement: &Refinement, byzantine: &[usize]) -> Result<Vec<NodeSpec>, NetError> {
     let n = refinement.process_count();
     let mut specs: Vec<NodeSpec> = (0..n)
         .map(|p| {
@@ -346,6 +360,7 @@ fn build_specs(refinement: &Refinement) -> Result<Vec<NodeSpec>, NetError> {
                 actions: refinement.actions_of(p).to_vec(),
                 owned: refinement.vars_of(p).to_vec(),
                 out_peers: Vec::new(),
+                byzantine: byzantine.contains(&p),
             })
         })
         .collect::<Result<_, NetError>>()?;
@@ -403,6 +418,13 @@ fn validate(
             _ => {}
         }
     }
+    for &b in &config.byzantine {
+        if b >= n {
+            return Err(NetError::BadEvent(format!(
+                "byzantine node {b}, but only {n} nodes"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -423,7 +445,13 @@ pub fn run(
     let debug_t0 = Instant::now();
     let refinement = Refinement::new(program)?;
     validate(program, &refinement, config)?;
-    let specs = build_specs(&refinement)?;
+    let specs = build_specs(&refinement, &config.byzantine)?;
+    for &b in &config.byzantine {
+        config.journal.emit_with(|| Event::Fault {
+            kind: "byzantine".to_string(),
+            detail: format!("node {b} (seed {})", config.byzantine_seed),
+        });
+    }
     if debug_enabled() {
         eprintln!("[net-debug] specs built at {:?}", debug_t0.elapsed());
     }
@@ -454,6 +482,7 @@ pub fn run(
         heartbeat_every: config.heartbeat_every,
         report_every: config.report_every,
         startup_timeout: config.timeout,
+        byzantine_seed: config.byzantine_seed,
     };
     let generations: Vec<AtomicU64> = (0..s_count).map(|_| AtomicU64::new(0)).collect();
     let env = WorkerEnv {

@@ -159,6 +159,28 @@ pub enum Event {
         /// otherwise.
         detail: String,
     },
+    /// A per-node Byzantine-containment verdict: after a run with
+    /// permanently malicious nodes, whether one correct node stabilized
+    /// to its legitimate value, keyed by its graph distance to the
+    /// nearest liar. The run's containment radius is the largest
+    /// `distance` carrying an `"unstable"` verdict (zero when every
+    /// correct node stabilized). Deliberately carries **no** wall-clock
+    /// field: verdicts are emitted in node order after the run, so
+    /// journals are bit-identical for every shard and worker count.
+    Containment {
+        /// Execution layer the run came from, `"sim"` or `"net"`.
+        layer: String,
+        /// Protocol instance, e.g. `"bfs-64"`.
+        protocol: String,
+        /// Seed the run (and its lie streams) was derived from.
+        seed: u64,
+        /// The judged node's index.
+        node: u64,
+        /// Hop distance from the node to the nearest Byzantine node.
+        distance: u64,
+        /// `"stabilized"` or `"unstable"`.
+        verdict: String,
+    },
 }
 
 impl Event {
@@ -180,6 +202,7 @@ impl Event {
             Event::Stabilized { .. } => "stabilized",
             Event::Synth { .. } => "synth",
             Event::Verdict { .. } => "verdict",
+            Event::Containment { .. } => "containment",
         }
     }
 
@@ -284,6 +307,21 @@ impl Event {
                 w.str_field("verdict", verdict);
                 w.str_field("detail", detail);
             }
+            Event::Containment {
+                layer,
+                protocol,
+                seed,
+                node,
+                distance,
+                verdict,
+            } => {
+                w.str_field("layer", layer);
+                w.str_field("protocol", protocol);
+                w.num_field("seed", *seed);
+                w.num_field("node", *node);
+                w.num_field("distance", *distance);
+                w.str_field("verdict", verdict);
+            }
         }
         w.finish()
     }
@@ -387,6 +425,14 @@ impl Event {
                 steps: get_num("steps")?,
                 verdict: get_str("verdict")?,
                 detail: get_str("detail")?,
+            },
+            "containment" => Event::Containment {
+                layer: get_str("layer")?,
+                protocol: get_str("protocol")?,
+                seed: get_num("seed")?,
+                node: get_num("node")?,
+                distance: get_num("distance")?,
+                verdict: get_str("verdict")?,
             },
             other => return Err(ParseError::new(format!("unknown event tag `{other}`"))),
         };
@@ -655,6 +701,14 @@ pub(crate) mod tests {
                 verdict: "conforms".into(),
                 detail: String::new(),
             },
+            Event::Containment {
+                layer: "net".into(),
+                protocol: "bfs-64".into(),
+                seed: 3,
+                node: 19,
+                distance: 2,
+                verdict: "unstable".into(),
+            },
         ]
     }
 
@@ -675,7 +729,8 @@ pub(crate) mod tests {
 {"ev":"episode-converged","t_us":7,"label":"initial","micros":150000}
 {"ev":"stabilized","t_us":7,"rounds":17}
 {"ev":"synth","t_us":7,"phase":"prune","detail":"token-ring","candidates":420,"survivors":38}
-{"ev":"verdict","t_us":7,"layer":"sim","protocol":"token-ring-4x4","seed":11,"steps":640,"verdict":"conforms","detail":""}"#;
+{"ev":"verdict","t_us":7,"layer":"sim","protocol":"token-ring-4x4","seed":11,"steps":640,"verdict":"conforms","detail":""}
+{"ev":"containment","t_us":7,"layer":"net","protocol":"bfs-64","seed":3,"node":19,"distance":2,"verdict":"unstable"}"#;
 
     #[test]
     fn golden_wire_format_is_stable() {

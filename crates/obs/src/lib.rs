@@ -39,7 +39,7 @@ mod trace;
 
 pub use event::{Event, ParseError, Record};
 pub use journal::{Journal, MemoryBuffer, NullSink, Span};
-pub use trace::{parse_journal, render_timeline, repair_order};
+pub use trace::{containment_radius, parse_journal, render_timeline, repair_order};
 
 /// A named set of `u64` counters that can be rendered to JSON and emitted
 /// into a [`Journal`].

@@ -100,6 +100,21 @@ pub fn render_timeline(records: &[Record]) -> String {
                 let mark = if verdict == "conforms" { '✔' } else { '✗' };
                 format!("{mark} conform [{layer}] {protocol} seed {seed}: {verdict} after {steps} steps{suffix}")
             }
+            Event::Containment {
+                layer,
+                protocol,
+                seed,
+                node,
+                distance,
+                verdict,
+            } => {
+                let mark = if verdict == "stabilized" {
+                    '✔'
+                } else {
+                    '✗'
+                };
+                format!("{mark} containment [{layer}] {protocol} seed {seed}: node {node} at distance {distance} {verdict}")
+            }
         };
         out.push_str(&fmt_time(r.t_us));
         out.push_str("  ");
@@ -119,6 +134,27 @@ pub fn repair_order(records: &[Record]) -> Vec<String> {
             _ => None,
         })
         .collect()
+}
+
+/// The Byzantine containment radius recorded in a journal: the largest
+/// distance-to-liar among [`Event::Containment`] records whose verdict is
+/// not `"stabilized"`, or `Some(0)` when every judged node stabilized.
+/// `None` when the journal carries no containment verdicts at all.
+pub fn containment_radius(records: &[Record]) -> Option<u64> {
+    let mut any = false;
+    let mut radius = 0;
+    for r in records {
+        if let Event::Containment {
+            distance, verdict, ..
+        } = &r.event
+        {
+            any = true;
+            if verdict != "stabilized" {
+                radius = radius.max(*distance);
+            }
+        }
+    }
+    any.then_some(radius)
 }
 
 #[cfg(test)]
@@ -176,6 +212,35 @@ mod tests {
         let mut text = journal_text();
         text.push_str("\n{\"ev\":\"renamed-kind\",\"t_us\":0}");
         assert!(parse_journal(&text).is_err(), "schema drift must fail");
+    }
+
+    #[test]
+    fn containment_radius_takes_the_largest_unstable_distance() {
+        let mk = |node: u64, distance: u64, verdict: &str| Record {
+            t_us: 0,
+            event: Event::Containment {
+                layer: "sim".into(),
+                protocol: "bfs-8".into(),
+                seed: 1,
+                node,
+                distance,
+                verdict: verdict.into(),
+            },
+        };
+        assert_eq!(containment_radius(&[]), None);
+        assert_eq!(
+            containment_radius(&[mk(0, 5, "stabilized"), mk(1, 4, "stabilized")]),
+            Some(0),
+            "all nodes stable: radius 0"
+        );
+        assert_eq!(
+            containment_radius(&[
+                mk(0, 5, "stabilized"),
+                mk(1, 2, "unstable"),
+                mk(2, 1, "unstable"),
+            ]),
+            Some(2)
+        );
     }
 
     #[test]

@@ -11,7 +11,47 @@ use rand::{Rng, SeedableRng};
 
 use crate::program::Program;
 use crate::state::State;
+use crate::value::Domain;
 use crate::VarId;
+
+/// The raw stateless Byzantine lie stream.
+///
+/// A permanently malicious (Byzantine) node does not corrupt state once
+/// and heal; it advertises arbitrary values forever. Every execution
+/// layer draws those values from this one pure mixing function — a
+/// splitmix64-style finalizer chained over the run seed, the lying
+/// node's id, the variable slot being lied about, and the broadcast
+/// index — so the adversary is *identical by construction* wherever it
+/// is replayed. The simulator keys `step` by round number; the socket
+/// runtime keys it by the node's heartbeat sequence number; and because
+/// a stateless function of its arguments cannot be reordered, the
+/// malicious message sequence is invariant under shard count, worker
+/// count, and batching.
+pub fn byzantine_lie(seed: u64, node: u64, slot: u64, step: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut z = mix(seed);
+    z = mix(z ^ node);
+    z = mix(z ^ slot);
+    mix(z ^ step)
+}
+
+/// [`byzantine_lie`], reduced into `domain`.
+///
+/// Bounded domains are contiguous runs starting at
+/// [`Domain::min_value`], so the raw lie is mapped by modular reduction;
+/// an unbounded domain receives the raw stream reinterpreted as `i64`.
+pub fn byzantine_lie_in(domain: &Domain, seed: u64, node: u64, slot: u64, step: u64) -> i64 {
+    let raw = byzantine_lie(seed, node, slot, step);
+    match domain.size() {
+        Some(n) => domain.min_value().wrapping_add((raw % n) as i64),
+        None => raw as i64,
+    }
+}
 
 /// A single applied fault: which variable was corrupted and to what.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -322,6 +362,55 @@ mod tests {
         assert_eq!(ev.len(), 2);
         assert_ne!(ev[0].var, ev[1].var);
         p.validate_state(&s).unwrap();
+    }
+
+    #[test]
+    fn byzantine_lie_is_a_pure_function() {
+        let a = byzantine_lie(7, 3, 1, 42);
+        let b = byzantine_lie(7, 3, 1, 42);
+        assert_eq!(a, b);
+        // Each argument independently perturbs the stream.
+        assert_ne!(a, byzantine_lie(8, 3, 1, 42));
+        assert_ne!(a, byzantine_lie(7, 4, 1, 42));
+        assert_ne!(a, byzantine_lie(7, 3, 2, 42));
+        assert_ne!(a, byzantine_lie(7, 3, 1, 43));
+    }
+
+    #[test]
+    fn byzantine_lie_stream_varies_over_steps() {
+        let values: Vec<u64> = (0..64).map(|t| byzantine_lie(1, 0, 0, t)).collect();
+        let mut distinct = values.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 32, "stream should not be near-constant");
+    }
+
+    #[test]
+    fn byzantine_lie_in_lands_in_domain() {
+        for domain in [
+            Domain::Bool,
+            Domain::range(0, 6),
+            Domain::range(-3, 3),
+            Domain::enumeration(["a", "b", "c"]),
+        ] {
+            for t in 0..200 {
+                let v = byzantine_lie_in(&domain, 99, 5, 0, t);
+                assert!(domain.contains(v), "{v} outside {domain:?}");
+            }
+        }
+        // Unbounded domains pass the raw stream through.
+        let raw = byzantine_lie(99, 5, 0, 7) as i64;
+        assert_eq!(byzantine_lie_in(&Domain::Unbounded, 99, 5, 0, 7), raw);
+    }
+
+    #[test]
+    fn byzantine_lie_in_covers_small_domains() {
+        let domain = Domain::range(0, 4);
+        let mut seen = [false; 5];
+        for t in 0..64 {
+            seen[byzantine_lie_in(&domain, 3, 1, 0, t) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every domain value should appear");
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod value;
 
 pub use action::{Action, ActionId, ActionKind};
 pub use engine::{Executor, RunConfig, RunReport, StopReason};
-pub use fault::{FaultEvent, FaultInjector, NoFaults, ScheduledCorruption, TransientCorruption};
+pub use fault::{
+    byzantine_lie, byzantine_lie_in, FaultEvent, FaultInjector, NoFaults, ScheduledCorruption,
+    TransientCorruption,
+};
 pub use predicate::Predicate;
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use scheduler::Scheduler;

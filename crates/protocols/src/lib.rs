@@ -10,6 +10,8 @@
 //! | [`aggregate`] | §5.1's application list (snapshot / termination detection) | out-tree (rides on diffusing) | 1 |
 //! | [`coloring`] | beyond the paper: a *silent* Theorem-1 design | out-tree | 1 |
 //! | [`three_state`] | Dijkstra's 3-state line (checker-verified baseline) | (not constraint-based) | — |
+//! | [`bfs`] | beyond the paper: Dubois–Masuzawa–Tixeuil min+1 BFS with Byzantine containment | (general graph) | — |
+//! | [`spanning_tree`] | beyond the paper: DMT stabilizing spanning tree with Byzantine containment | (general graph) | — |
 //!
 //! Every protocol exposes its program, its invariant, and (where the
 //! constraint decomposition exists) a complete [`nonmask::Design`] so that
@@ -24,12 +26,16 @@
 
 pub mod aggregate;
 pub mod atomic;
+pub mod bfs;
 pub mod coloring;
 pub mod diffusing;
 pub mod reset;
+pub mod spanning_tree;
 pub mod three_state;
 pub mod token_ring;
 pub mod topology;
 pub mod xyz;
 
+pub use bfs::MinPlusOne;
+pub use spanning_tree::SpanningTree;
 pub use topology::Tree;

@@ -1,0 +1,597 @@
+//! Self-stabilizing BFS spanning-tree construction in the style of
+//! Dubois, Masuzawa & Tixeuil (arXiv:1004.5256), over arbitrary
+//! connected [`Topology`]s.
+//!
+//! Every node `j` maintains a distance `d.j` and a parent pointer
+//! `prnt.j`. The root anchors `d = 0, prnt = root`; every other
+//! correct node enforces the BFS equations in one atomic repair:
+//!
+//! ```text
+//! m      = min over neighbors k of d.k
+//! d.j    = min(cap, m + 1)
+//! prnt.j = the lowest-id neighbor achieving m
+//! ```
+//!
+//! The lowest-id tie-break makes the legitimate tree unique, so "node
+//! `j` stabilized" is a pointwise equation rather than an existential
+//! property — which is what lets the containment measurements compare
+//! sim, net and checker verdicts exactly.
+//!
+//! # Byzantine containment
+//!
+//! [`SpanningTree::with_byzantine`] replaces marked nodes' repair with
+//! per-value havoc actions on both variables. A correct node `v` is
+//! *safe* here iff `legit(v) < dist(v, B)` — strictly closer to the
+//! root than to any liar. The strictness (vs `<=` for the pure
+//! distance protocol, [`crate::bfs::MinPlusOne`]) pays for the parent
+//! pointer: a liar at distance exactly `legit(v)` could tie `v`'s
+//! minimum with a forged distance and steal the tie-break, flapping
+//! `prnt.v` forever even though `d.v` stays pinned.
+
+use nonmask_graph::Topology;
+use nonmask_program::{ActionId, Domain, Predicate, ProcessId, Program, State, VarId};
+
+/// The stabilizing spanning-tree protocol over a [`Topology`],
+/// optionally with Byzantine (havoc-modelled) nodes.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    topology: Topology,
+    root: usize,
+    byzantine: Vec<usize>,
+    cap: i64,
+    program: Program,
+    dist: Vec<VarId>,
+    parent: Vec<VarId>,
+    repairs: Vec<(usize, ActionId)>,
+}
+
+/// The BFS target of node `j`: clamped min+1 distance and the
+/// lowest-id neighbor achieving the minimum.
+fn bfs_target(s: &State, neighbors: &[(usize, VarId)], cap: i64) -> (i64, i64) {
+    let (mut m, mut arg) = (i64::MAX, neighbors[0].0 as i64);
+    for &(id, var) in neighbors {
+        let d = s.get(var);
+        if d < m {
+            m = d;
+            arg = id as i64;
+        }
+    }
+    ((m + 1).min(cap), arg)
+}
+
+impl SpanningTree {
+    /// The byzantine-free protocol.
+    pub fn new(topology: &Topology, root: usize) -> Self {
+        SpanningTree::with_byzantine(topology, root, &[])
+    }
+
+    /// The protocol with the given nodes Byzantine: their repair is
+    /// replaced by one havoc action per variable and value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or disconnected topology, a topology with an
+    /// isolated non-root node, an out-of-range root or Byzantine index,
+    /// or a Byzantine root.
+    pub fn with_byzantine(topology: &Topology, root: usize, byzantine: &[usize]) -> Self {
+        let n = topology.len();
+        assert!(n >= 2, "a spanning tree needs at least two nodes");
+        assert!(topology.is_connected(), "the topology must be connected");
+        assert!(root < n, "root out of range");
+        let mut byz: Vec<usize> = byzantine.to_vec();
+        byz.sort_unstable();
+        byz.dedup();
+        assert!(byz.iter().all(|&b| b < n), "Byzantine index out of range");
+        assert!(!byz.contains(&root), "the root must not be Byzantine");
+
+        let cap = n as i64;
+        let mut b = Program::builder(format!(
+            "spanning-tree[n={n},root={root},byz={}]",
+            byz.len()
+        ));
+        let mut dist = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        for j in 0..n {
+            dist.push(b.var_of(format!("d.{j}"), Domain::range(0, cap), ProcessId(j)));
+            parent.push(b.var_of(
+                format!("prnt.{j}"),
+                Domain::range(0, n as i64 - 1),
+                ProcessId(j),
+            ));
+        }
+
+        let mut repairs = Vec::new();
+        for j in 0..n {
+            let (dj, pj) = (dist[j], parent[j]);
+            if byz.binary_search(&j).is_ok() {
+                for v in 0..=cap {
+                    b.closure_action(
+                        format!("lie-d@{j}={v}"),
+                        [dj],
+                        [dj],
+                        move |s| s.get(dj) != v,
+                        move |s| s.set(dj, v),
+                    );
+                }
+                for v in 0..n as i64 {
+                    b.closure_action(
+                        format!("lie-p@{j}={v}"),
+                        [pj],
+                        [pj],
+                        move |s| s.get(pj) != v,
+                        move |s| s.set(pj, v),
+                    );
+                }
+            } else if j == root {
+                let anchor = root as i64;
+                let id = b.convergence_action(
+                    format!("anchor@{j}"),
+                    [dj, pj],
+                    [dj, pj],
+                    move |s| s.get(dj) != 0 || s.get(pj) != anchor,
+                    move |s| {
+                        s.set(dj, 0);
+                        s.set(pj, anchor);
+                    },
+                );
+                repairs.push((j, id));
+            } else {
+                let around: Vec<(usize, VarId)> = topology
+                    .neighbors(j)
+                    .iter()
+                    .map(|&k| (k, dist[k]))
+                    .collect();
+                let mut reads: Vec<VarId> = around.iter().map(|&(_, v)| v).collect();
+                reads.push(dj);
+                reads.push(pj);
+                let (ga, ea) = (around.clone(), around);
+                let id = b.convergence_action(
+                    format!("adopt@{j}"),
+                    reads,
+                    [dj, pj],
+                    move |s| (s.get(dj), s.get(pj)) != bfs_target(s, &ga, cap),
+                    move |s| {
+                        let (d, p) = bfs_target(s, &ea, cap);
+                        s.set(dj, d);
+                        s.set(pj, p);
+                    },
+                );
+                repairs.push((j, id));
+            }
+        }
+
+        SpanningTree {
+            topology: topology.clone(),
+            root,
+            byzantine: byz,
+            cap,
+            program: b.build(),
+            dist,
+            parent,
+            repairs,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The guarded-command program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The sorted Byzantine node set.
+    pub fn byzantine(&self) -> &[usize] {
+        &self.byzantine
+    }
+
+    /// The distance variable of node `j`.
+    pub fn dist_var(&self, j: usize) -> VarId {
+        self.dist[j]
+    }
+
+    /// The parent variable of node `j`.
+    pub fn parent_var(&self, j: usize) -> VarId {
+        self.parent[j]
+    }
+
+    /// The repair action of correct node `j`.
+    pub fn fix_action(&self, j: usize) -> Option<ActionId> {
+        self.repairs
+            .iter()
+            .find(|&&(node, _)| node == j)
+            .map(|&(_, id)| id)
+    }
+
+    /// The local constraint of correct node `j`: the BFS equations
+    /// (`d = 0, prnt = root` at the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics for Byzantine or out-of-range nodes.
+    pub fn constraint(&self, j: usize) -> Predicate {
+        assert!(j < self.topology.len(), "node out of range");
+        assert!(
+            self.byzantine.binary_search(&j).is_err(),
+            "Byzantine nodes have no constraint"
+        );
+        let (dj, pj) = (self.dist[j], self.parent[j]);
+        if j == self.root {
+            let anchor = self.root as i64;
+            return Predicate::new(format!("c.{j}"), [dj, pj], move |s| {
+                s.get(dj) == 0 && s.get(pj) == anchor
+            });
+        }
+        let around: Vec<(usize, VarId)> = self
+            .topology
+            .neighbors(j)
+            .iter()
+            .map(|&k| (k, self.dist[k]))
+            .collect();
+        let mut reads: Vec<VarId> = around.iter().map(|&(_, v)| v).collect();
+        reads.push(dj);
+        reads.push(pj);
+        let cap = self.cap;
+        Predicate::new(format!("c.{j}"), reads, move |s| {
+            (s.get(dj), s.get(pj)) == bfs_target(s, &around, cap)
+        })
+    }
+
+    /// The byzantine-free invariant: the unique BFS tree (lowest-id
+    /// tie-break) with exact distances.
+    pub fn invariant(&self) -> Predicate {
+        let cs: Vec<Predicate> = (0..self.topology.len())
+            .filter(|j| self.byzantine.binary_search(j).is_err())
+            .map(|j| self.constraint(j))
+            .collect();
+        Predicate::all("bfs-tree", cs.iter()).named("bfs-tree")
+    }
+
+    /// Hop distance of every node to the nearest Byzantine node
+    /// ([`Topology::INFINITY`] when there are none).
+    pub fn distance_to_byzantine(&self) -> Vec<u64> {
+        if self.byzantine.is_empty() {
+            vec![Topology::INFINITY; self.topology.len()]
+        } else {
+            self.topology.distances_from(&self.byzantine)
+        }
+    }
+
+    /// The legitimate distance of every node through correct nodes
+    /// only (`None` for Byzantine nodes and for nodes the liars cut
+    /// off from the root).
+    pub fn legit_distances(&self) -> Vec<Option<u64>> {
+        let n = self.topology.len();
+        let mut dist = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[self.root] = Some(0u64);
+        queue.push_back(self.root);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v].unwrap();
+            for &w in self.topology.neighbors(v) {
+                if dist[w].is_none() && self.byzantine.binary_search(&w).is_err() {
+                    dist[w] = Some(dv + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        for &b in &self.byzantine {
+            dist[b] = None;
+        }
+        dist
+    }
+
+    /// The legitimate parent of correct non-root node `j`: the
+    /// lowest-id neighbor one legitimate hop closer to the root.
+    pub fn legit_parent(&self, j: usize) -> Option<usize> {
+        let legit = self.legit_distances();
+        let lj = legit[j]?;
+        if j == self.root {
+            return Some(self.root);
+        }
+        self.topology
+            .neighbors(j)
+            .iter()
+            .copied()
+            .find(|&k| legit[k] == Some(lj.wrapping_sub(1)))
+    }
+
+    /// Whether each node is *safe*: correct, root-reachable through
+    /// correct nodes, and **strictly** closer to the root than to any
+    /// liar. Safe nodes pin both their distance and their parent.
+    ///
+    /// The strict rule is sound but not always tight: a node exactly
+    /// equidistant between root and liar is classed unsafe because a
+    /// tie-valued lie channel *may* steal its parent, yet on concrete
+    /// topologies the lowest-id tie-break can make stealing impossible
+    /// (the root's id 0 wins every tie it enters). The checker's
+    /// restricted-region sweep adjudicates the true radius, which may
+    /// therefore be smaller than [`SpanningTree::predicted_radius`].
+    pub fn safe_set(&self) -> Vec<bool> {
+        let legit = self.legit_distances();
+        let to_byz = self.distance_to_byzantine();
+        (0..self.topology.len())
+            .map(|v| matches!(legit[v], Some(l) if l < to_byz[v]))
+            .collect()
+    }
+
+    /// The predicted containment radius: the largest distance-to-liar
+    /// over correct nodes that are not safe (0 when all are safe).
+    /// An upper bound on the true radius — see [`SpanningTree::safe_set`]
+    /// for why the strict rule can be conservative on ties.
+    pub fn predicted_radius(&self) -> u64 {
+        let safe = self.safe_set();
+        let to_byz = self.distance_to_byzantine();
+        (0..self.topology.len())
+            .filter(|&v| self.byzantine.binary_search(&v).is_err() && !safe[v])
+            .map(|v| to_byz[v])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The containment goal at radius `r`: every correct,
+    /// root-reachable node at distance `> r` from every Byzantine node
+    /// holds its legitimate distance *and* parent. The checker's
+    /// restricted-region convergence query asks for the least `r`
+    /// whose goal converges; it is at most
+    /// [`SpanningTree::predicted_radius`] and can be strictly smaller
+    /// when the lowest-id tie-break protects equidistant nodes from
+    /// parent-stealing lies.
+    pub fn containment_goal(&self, r: u64) -> Predicate {
+        let legit = self.legit_distances();
+        let to_byz = self.distance_to_byzantine();
+        let pins: Vec<Predicate> = (0..self.topology.len())
+            .filter(|&v| to_byz[v] > r)
+            .filter_map(|v| {
+                let l = legit[v]? as i64;
+                let p = if v == self.root {
+                    self.root as i64
+                } else {
+                    self.legit_parent(v)? as i64
+                };
+                let (dv, pv) = (self.dist[v], self.parent[v]);
+                Some(Predicate::new(format!("pin.{v}"), [dv, pv], move |s| {
+                    s.get(dv) == l && s.get(pv) == p
+                }))
+            })
+            .collect();
+        let name = format!("contained@r={r}");
+        Predicate::all(name.clone(), pins.iter()).named(name)
+    }
+
+    /// The run-time detection goal: every safe node holds its
+    /// legitimate distance and parent.
+    pub fn safe_goal(&self) -> Predicate {
+        let legit = self.legit_distances();
+        let safe = self.safe_set();
+        let pins: Vec<Predicate> = (0..self.topology.len())
+            .filter(|&v| safe[v])
+            .filter_map(|v| {
+                let l = legit[v]? as i64;
+                let p = if v == self.root {
+                    self.root as i64
+                } else {
+                    self.legit_parent(v)? as i64
+                };
+                let (dv, pv) = (self.dist[v], self.parent[v]);
+                Some(Predicate::new(format!("pin.{v}"), [dv, pv], move |s| {
+                    s.get(dv) == l && s.get(pv) == p
+                }))
+            })
+            .collect();
+        Predicate::all("safe-region", pins.iter()).named("safe-region")
+    }
+}
+
+/// A deliberately broken spanning tree for the conformance harness's
+/// planted-bug self-test (cargo feature `planted-bug`): identical to
+/// [`SpanningTree::new`] except node `trusting` adopts node `liar` as
+/// its parent unconditionally whenever they are neighbors — the
+/// "Byzantine node accepted as parent" bug a differential harness must
+/// catch. Variable and action layout match the reference exactly.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`SpanningTree::new`], or when
+/// `trusting` and `liar` are not adjacent (the bug would be dead code).
+#[cfg(feature = "planted-bug")]
+pub fn planted_trusting_mutant(
+    topology: &Topology,
+    root: usize,
+    trusting: usize,
+    liar: usize,
+) -> Program {
+    let n = topology.len();
+    assert!(n >= 2, "a spanning tree needs at least two nodes");
+    assert!(topology.is_connected(), "the topology must be connected");
+    assert!(root < n, "root out of range");
+    assert!(trusting != root, "the root has no parent to corrupt");
+    assert!(
+        topology.has_edge(trusting, liar),
+        "the trusting node must neighbor the liar"
+    );
+
+    let cap = n as i64;
+    let mut b = Program::builder(format!("spanning-tree[n={n},root={root},byz=0]"));
+    let mut dist = Vec::with_capacity(n);
+    let mut parent = Vec::with_capacity(n);
+    for j in 0..n {
+        dist.push(b.var_of(format!("d.{j}"), Domain::range(0, cap), ProcessId(j)));
+        parent.push(b.var_of(
+            format!("prnt.{j}"),
+            Domain::range(0, n as i64 - 1),
+            ProcessId(j),
+        ));
+    }
+    for j in 0..n {
+        let (dj, pj) = (dist[j], parent[j]);
+        if j == root {
+            let anchor = root as i64;
+            b.convergence_action(
+                format!("anchor@{j}"),
+                [dj, pj],
+                [dj, pj],
+                move |s| s.get(dj) != 0 || s.get(pj) != anchor,
+                move |s| {
+                    s.set(dj, 0);
+                    s.set(pj, anchor);
+                },
+            );
+        } else {
+            let around: Vec<(usize, VarId)> = topology
+                .neighbors(j)
+                .iter()
+                .map(|&k| (k, dist[k]))
+                .collect();
+            let mut reads: Vec<VarId> = around.iter().map(|&(_, v)| v).collect();
+            reads.push(dj);
+            reads.push(pj);
+            let (ga, ea) = (around.clone(), around);
+            let liar_dist = dist[liar];
+            let bugged = j == trusting;
+            b.convergence_action(
+                format!("adopt@{j}"),
+                reads,
+                [dj, pj],
+                move |s| (s.get(dj), s.get(pj)) != bfs_target(s, &ga, cap),
+                move |s| {
+                    if bugged {
+                        // The planted bug: trust the liar unconditionally
+                        // instead of taking the true minimum.
+                        s.set(dj, (s.get(liar_dist) + 1).min(cap));
+                        s.set(pj, liar as i64);
+                    } else {
+                        let (d, p) = bfs_target(s, &ea, cap);
+                        s.set(dj, d);
+                        s.set(pj, p);
+                    }
+                },
+            );
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonmask_program::scheduler::Random;
+    use nonmask_program::{Executor, RunConfig, StopReason};
+
+    #[test]
+    fn stabilizes_to_the_unique_bfs_tree() {
+        let t = Topology::random_connected(6, 3, 42);
+        let st = SpanningTree::new(&t, 0);
+        let init = st
+            .program()
+            .state_from(vec![3i64; 12])
+            .expect("in-domain start");
+        let report = Executor::new(st.program()).run(
+            init,
+            &mut Random::seeded(9),
+            &RunConfig::default().max_steps(20_000),
+        );
+        assert_eq!(report.stop, StopReason::Deadlock, "silent once stabilized");
+        assert!(st.invariant().holds(&report.final_state));
+        for v in 1..6 {
+            let d = report.final_state.get(st.dist_var(v)) as u64;
+            let p = report.final_state.get(st.parent_var(v)) as usize;
+            assert_eq!(d, t.distance(0, v), "node {v} distance");
+            assert!(t.has_edge(v, p), "parent of {v} is a neighbor");
+            assert_eq!(t.distance(0, p), d - 1, "parent of {v} is one hop closer");
+            assert_eq!(Some(p), st.legit_parent(v), "lowest-id tie-break");
+        }
+    }
+
+    #[test]
+    fn strict_safety_on_a_line() {
+        // 0 - 1 - 2 - 3 - 4 with the liar at 4: strict safety keeps
+        // nodes with v < 4 - v, i.e. 0 and 1; unsafe correct nodes 2, 3
+        // sit at distances 2 and 1 from the liar.
+        let t = Topology::line(5);
+        let st = SpanningTree::with_byzantine(&t, 0, &[4]);
+        assert_eq!(st.safe_set(), [true, true, false, false, false]);
+        assert_eq!(st.predicted_radius(), 2);
+    }
+
+    #[test]
+    fn legit_parent_prefers_lowest_id() {
+        // Diamond: 0 - {1, 2} - 3; node 3 has both 1 and 2 at the same
+        // legitimate depth, so its legitimate parent is 1.
+        let mut t = Topology::new(4);
+        t.add_edge(0, 1);
+        t.add_edge(0, 2);
+        t.add_edge(1, 3);
+        t.add_edge(2, 3);
+        let st = SpanningTree::new(&t, 0);
+        assert_eq!(st.legit_parent(3), Some(1));
+    }
+
+    #[test]
+    fn checker_certifies_at_most_the_predicted_radius() {
+        use nonmask_checker::{certify_containment, CheckOptions, Fairness, StateSpace};
+        // Ring 0-1-2-3 with the liar at 2: nodes 1 and 3 sit exactly
+        // between root and liar, so the strict rule predicts radius 1.
+        // But both reach the root directly and id 0 wins every value
+        // tie, so no lie can steal a parent: the true radius is 0.
+        let t = Topology::ring(4);
+        let st = SpanningTree::with_byzantine(&t, 0, &[2]);
+        assert_eq!(st.predicted_radius(), 1, "strict rule counts the ties");
+        let space = StateSpace::enumerate(st.program()).unwrap();
+        let verdict = certify_containment(
+            &space,
+            st.program(),
+            |r| st.containment_goal(r),
+            t.diameter(),
+            Fairness::WeaklyFair,
+            CheckOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(verdict.radius, Some(0), "the tie-break protects 1 and 3");
+    }
+
+    #[test]
+    fn checker_certifies_the_predicted_radius_on_a_line() {
+        use nonmask_checker::{certify_containment, CheckOptions, Fairness, StateSpace};
+        // Line 0-1-2-3 with the liar at 3: node 2 is strictly closer
+        // to the liar, and a small lie genuinely drags its distance
+        // down — strict prediction and certified radius agree at 1.
+        let t = Topology::line(4);
+        let st = SpanningTree::with_byzantine(&t, 0, &[3]);
+        assert_eq!(st.predicted_radius(), 1);
+        let space = StateSpace::enumerate(st.program()).unwrap();
+        let verdict = certify_containment(
+            &space,
+            st.program(),
+            |r| st.containment_goal(r),
+            t.diameter(),
+            Fairness::WeaklyFair,
+            CheckOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(verdict.radius, Some(1));
+    }
+
+    #[cfg(feature = "planted-bug")]
+    #[test]
+    fn mutant_layout_matches_reference() {
+        let t = Topology::ring(4);
+        let healthy = SpanningTree::new(&t, 0);
+        let mutant = planted_trusting_mutant(&t, 0, 2, 1);
+        assert_eq!(
+            healthy.program().var_ids().count(),
+            mutant.var_ids().count()
+        );
+        assert_eq!(
+            healthy.program().action_ids().count(),
+            mutant.action_ids().count()
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use nonmask_obs::{Event, Journal};
-use nonmask_program::{Predicate, Program, State, StepLog, VarId};
+use nonmask_program::{byzantine_lie_in, Predicate, Program, State, StepLog, VarId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,6 +86,10 @@ pub struct Simulation<'p> {
     partition_until: u64,
     /// Partition-group id per process (all zero = no partition).
     partition_group: Vec<usize>,
+    /// Per-process Byzantine flag (all false = every process correct).
+    byzantine: Vec<bool>,
+    /// Seed of the stateless lie stream the Byzantine processes draw from.
+    byz_seed: u64,
     journal: Journal,
     step_log: Option<StepLog>,
     rng: StdRng,
@@ -118,6 +122,8 @@ impl<'p> Simulation<'p> {
             cursors: vec![0; n],
             partition_until: 0,
             partition_group: vec![0; n],
+            byzantine: vec![false; n],
+            byz_seed: 0,
             journal: Journal::disabled(),
             step_log: None,
             rounds: 0,
@@ -144,6 +150,40 @@ impl<'p> Simulation<'p> {
     pub fn with_step_log(mut self, log: StepLog) -> Self {
         self.step_log = Some(log);
         self
+    }
+
+    /// Mark `processes` as permanently Byzantine (malicious, never
+    /// healing): they stop executing program actions, and each round
+    /// every variable they own is rewritten to the seeded stateless lie
+    /// stream ([`nonmask_program::byzantine_lie_in`], keyed by the round
+    /// number) and broadcast to its remote readers like any other write.
+    /// A run with Byzantine processes can only stabilize *outside* the
+    /// liars' influence region — measuring that region's radius is the
+    /// point of marking them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process index is out of range.
+    #[must_use]
+    pub fn with_byzantine(mut self, processes: impl IntoIterator<Item = usize>, seed: u64) -> Self {
+        self.byz_seed = seed;
+        for p in processes {
+            assert!(
+                p < self.byzantine.len(),
+                "byzantine process {p} out of range"
+            );
+            self.byzantine[p] = true;
+            self.journal.emit_with(|| Event::Fault {
+                kind: "byzantine".to_string(),
+                detail: format!("process {p} (seed {seed})"),
+            });
+        }
+        self
+    }
+
+    /// Whether process `p` was marked Byzantine.
+    pub fn is_byzantine(&self, p: usize) -> bool {
+        self.byzantine[p]
     }
 
     /// The god's-eye state: every variable read from its owner's view.
@@ -259,8 +299,26 @@ impl<'p> Simulation<'p> {
         }
 
         // 2. Each process executes up to steps_per_round enabled actions.
+        //    Byzantine processes never execute an action; they overwrite
+        //    their own variables with the round-keyed lie stream and
+        //    broadcast the lies like ordinary writes.
         debug_assert!(self.outgoing.is_empty());
         for p in 0..self.views.len() {
+            if self.byzantine[p] {
+                for i in 0..self.refinement.vars_of(p).len() {
+                    let var = self.refinement.vars_of(p)[i];
+                    let lie = byzantine_lie_in(
+                        self.program.var(var).domain(),
+                        self.byz_seed,
+                        p as u64,
+                        var.index() as u64,
+                        self.rounds,
+                    );
+                    self.views[p].set(var, lie);
+                    self.outgoing.push((var, lie));
+                }
+                continue;
+            }
             let actions = self.refinement.actions_of(p);
             if actions.is_empty() {
                 continue;
@@ -639,6 +697,113 @@ mod tests {
             assert!(action.enabled(&s.before), "guard held on the view");
             assert_eq!(action.successor(&s.before), s.after, "effect is exact");
         }
+    }
+
+    #[test]
+    fn byzantine_liar_never_steps_and_broadcasts_the_lie_stream() {
+        use nonmask_graph::Topology;
+        use nonmask_program::{byzantine_lie_in, StepLog};
+        use nonmask_protocols::MinPlusOne;
+        let topo = Topology::line(4);
+        let proto = MinPlusOne::with_byzantine(&topo, 0, &[3]);
+        let refinement = Refinement::new(proto.program()).unwrap();
+        let log = StepLog::new();
+        let mut sim = Simulation::new(
+            proto.program(),
+            refinement,
+            proto.program().min_state(),
+            SimConfig::default(),
+        )
+        .with_byzantine([3], 77)
+        .with_step_log(log.clone());
+        let d3 = proto.dist_var(3);
+        let mut cache_values = std::collections::BTreeSet::new();
+        for _ in 0..32 {
+            sim.round();
+            cache_values.insert(sim.view_of(2).get(d3));
+        }
+        assert!(sim.is_byzantine(3));
+        assert!(
+            log.snapshot().iter().all(|s| s.site != 3),
+            "the liar never executes a program action"
+        );
+        // The liar's authoritative value is exactly the stateless stream.
+        let expect = byzantine_lie_in(
+            proto.program().var(d3).domain(),
+            77,
+            3,
+            d3.index() as u64,
+            sim.rounds() - 1,
+        );
+        assert_eq!(sim.ground_truth().get(d3), expect);
+        assert!(
+            cache_values.len() > 1,
+            "lies vary over rounds and reach the neighbour's cache"
+        );
+    }
+
+    #[test]
+    fn byzantine_run_stabilizes_exactly_on_the_safe_region() {
+        use nonmask_graph::Topology;
+        use nonmask_protocols::MinPlusOne;
+        // line(6) with the liar at 5: safe set [T,T,T,F,F,F], radius 2.
+        let topo = Topology::line(6);
+        let proto = MinPlusOne::with_byzantine(&topo, 0, &[5]);
+        let refinement = Refinement::new(proto.program()).unwrap();
+        let mut sim = Simulation::new(
+            proto.program(),
+            refinement,
+            proto.program().min_state(),
+            SimConfig {
+                seed: 11,
+                max_rounds: 5_000,
+                ..SimConfig::default()
+            },
+        )
+        .with_byzantine([5], 13);
+        let report = sim.run_until_stable(&proto.safe_goal(), 8);
+        assert!(
+            report.stabilized_at_round.is_some(),
+            "safe region converged despite the liar ({} rounds)",
+            report.rounds
+        );
+        let legit = proto.legit_distances();
+        for (j, safe) in proto.safe_set().iter().enumerate() {
+            if *safe {
+                assert_eq!(
+                    report.final_state.get(proto.dist_var(j)) as u64,
+                    legit[j].unwrap(),
+                    "safe node {j} holds its legitimate distance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_runs_are_deterministic() {
+        use nonmask_graph::Topology;
+        use nonmask_protocols::MinPlusOne;
+        let topo = Topology::random_connected(9, 4, 3);
+        let proto = MinPlusOne::with_byzantine(&topo, 0, &[4, 7]);
+        let run = || {
+            let refinement = Refinement::new(proto.program()).unwrap();
+            let mut sim = Simulation::new(
+                proto.program(),
+                refinement,
+                proto.program().min_state(),
+                SimConfig {
+                    seed: 2,
+                    loss_rate: 0.1,
+                    ..SimConfig::default()
+                },
+            )
+            .with_byzantine([4, 7], 55);
+            for _ in 0..200 {
+                sim.round();
+            }
+            (sim.ground_truth(), sim.messages_delivered(), sim.steps())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

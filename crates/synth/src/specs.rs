@@ -57,6 +57,7 @@ pub fn token_ring_windowed(n: usize, m: i64) -> SynthSpec {
     let base = ProgramDef {
         name: format!("token.ring.windowed.n{n}.m{m}"),
         vars: (0..n).map(|j| var(x(j), DomainDef::Range(0, m))).collect(),
+        roles: Vec::new(),
         actions: vec![closure(
             "inc.0".into(),
             and(
@@ -181,6 +182,7 @@ pub fn diffusing(n: usize) -> SynthSpec {
         base: ProgramDef {
             name: format!("diffusing.{n}"),
             vars,
+            roles: Vec::new(),
             actions,
         },
         goal: all((1..n).map(r).collect()),
@@ -209,6 +211,7 @@ pub fn coloring(n: usize, colors: i64) -> SynthSpec {
             vars: (0..n)
                 .map(|j| var(c(j), DomainDef::Range(0, colors - 1)))
                 .collect(),
+            roles: Vec::new(),
             actions: Vec::new(),
         },
         goal: all((1..n).map(r).collect()),

@@ -10,9 +10,12 @@
 
 use nonmask_checker::convergence::shortest_path_to;
 use nonmask_checker::{replay_constraints, CheckOptions, StateSpace};
-use nonmask_obs::{parse_journal, render_timeline, repair_order, Journal};
+use nonmask_conform::{run_sim_journaled, ContainmentMap, FaultSchedule, SimRunConfig};
+use nonmask_graph::Topology;
+use nonmask_obs::{containment_radius, parse_journal, render_timeline, repair_order, Journal};
 use nonmask_program::{Predicate, State};
 use nonmask_protocols::token_ring::TokenRing;
+use nonmask_protocols::MinPlusOne;
 
 #[test]
 fn journaled_repair_timeline_matches_independent_replay() {
@@ -98,4 +101,64 @@ fn journaled_repair_timeline_matches_independent_replay() {
         .filter(|t| t.repaired_by.is_some())
         .count();
     assert_eq!(repairs_in_transitions, expected_repairs.len());
+}
+
+/// The Byzantine analogue of the repair story: a journaled run against
+/// permanent liars ends in a containment suffix whose rendered timeline
+/// and recovered radius are pinned, so any drift in how the layers
+/// report containment shows up as a diff here rather than only in the
+/// cross-layer agreement battery.
+#[test]
+fn containment_timeline_pins_the_measured_radius() {
+    // line(6), root 0, liar at 5: safe set [T,T,T,F,F] ⇒ predicted
+    // radius 2, with nodes 3 and 4 unstable.
+    let proto = MinPlusOne::with_byzantine(&Topology::line(6), 0, &[5]);
+    let map = ContainmentMap::bfs(&proto);
+
+    let (journal, buffer) = Journal::memory();
+    let cfg = SimRunConfig {
+        byzantine: proto.byzantine().to_vec(),
+        byzantine_seed: 0xB12A,
+        ..SimRunConfig::default()
+    };
+    let outcome = run_sim_journaled(
+        proto.program(),
+        &proto.safe_goal(),
+        3,
+        &FaultSchedule::empty(),
+        &cfg,
+        &journal,
+    )
+    .expect("sim run");
+    assert!(outcome.stabilized, "the safe region must stabilize");
+    let radius = map.emit(&outcome.final_state, "sim", 3, &journal);
+    journal.flush();
+
+    let records = parse_journal(&buffer.contents()).expect("journal parses schema-clean");
+    assert_eq!(radius, 2, "line(6) with liar 5 has containment radius 2");
+    assert_eq!(containment_radius(&records), Some(2));
+
+    // The timeline pins the verdict lines verbatim, in node order.
+    let rendered = render_timeline(&records);
+    let containment_lines: Vec<&str> = rendered
+        .lines()
+        .filter(|l| l.contains("containment"))
+        .collect();
+    assert_eq!(
+        containment_lines.len(),
+        5,
+        "one timeline line per correct node:\n{rendered}"
+    );
+    for (line, (node, verdict)) in containment_lines.iter().zip([
+        (0, "stabilized"),
+        (1, "stabilized"),
+        (2, "stabilized"),
+        (3, "unstable"),
+        (4, "unstable"),
+    ]) {
+        assert!(
+            line.contains(&format!("node {node} ")) && line.contains(verdict),
+            "expected node {node} verdict {verdict} in: {line}"
+        );
+    }
 }
